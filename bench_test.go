@@ -1,0 +1,46 @@
+package switchboard
+
+import (
+	"os"
+	"testing"
+
+	"switchboard/internal/experiments"
+)
+
+// Each benchmark regenerates one table or figure of the paper's
+// evaluation (Section 7) and prints it. These are macro-benchmarks: run
+// them with -benchtime=1x, e.g.
+//
+//	go test -bench 'BenchmarkFig12a' -benchtime=1x
+//
+// or use cmd/sbbench for the same output without the testing harness.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		table, err := e.Run()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 {
+			table.Fprint(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkFig7OverheadAblation(b *testing.B)        { runExperiment(b, "fig7") }
+func BenchmarkFig8ForwarderScaleOut(b *testing.B)       { runExperiment(b, "fig8") }
+func BenchmarkFig9BusVsBroadcast(b *testing.B)          { runExperiment(b, "fig9") }
+func BenchmarkFig10DynamicChaining(b *testing.B)        { runExperiment(b, "fig10") }
+func BenchmarkTable2EdgeSiteAddition(b *testing.B)      { runExperiment(b, "table2") }
+func BenchmarkFig11E2EComparison(b *testing.B)          { runExperiment(b, "fig11") }
+func BenchmarkTable3SharedCache(b *testing.B)           { runExperiment(b, "table3") }
+func BenchmarkFig12aThroughputVsCoverage(b *testing.B)  { runExperiment(b, "fig12a") }
+func BenchmarkFig12bThroughputVsCPUByte(b *testing.B)   { runExperiment(b, "fig12b") }
+func BenchmarkFig12cLatencyVsLoad(b *testing.B)         { runExperiment(b, "fig12c") }
+func BenchmarkFig13aDPAblation(b *testing.B)            { runExperiment(b, "fig13a") }
+func BenchmarkFig13bCloudCapacityPlanning(b *testing.B) { runExperiment(b, "fig13b") }
+func BenchmarkFig13cVNFPlacement(b *testing.B)          { runExperiment(b, "fig13c") }

@@ -1,0 +1,66 @@
+// Command sbbench regenerates the tables and figures of the Switchboard
+// paper's evaluation on the repository's simulated substrate.
+//
+// Usage:
+//
+//	sbbench -list
+//	sbbench -exp fig12a
+//	sbbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"switchboard/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID (e.g. fig12a, table2) or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	run := func(e experiments.Experiment) bool {
+		start := time.Now()
+		table, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			return false
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		return true
+	}
+
+	if *exp == "all" {
+		ok := true
+		for _, e := range experiments.All() {
+			ok = run(e) && ok
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	if !run(e) {
+		os.Exit(1)
+	}
+}

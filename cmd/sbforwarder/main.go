@@ -1,0 +1,218 @@
+// Command sbforwarder runs a Switchboard forwarder as a standalone UDP
+// daemon — the deployment model of Section 5.1: a cloud-agnostic proxy
+// that runs in any VM, receives Switchboard-labeled packets over UDP
+// tunnels, applies hierarchical load balancing with flow affinity, and
+// forwards to VNF instances or peer forwarders.
+//
+// The JSON config names the hops and the per-label-stack rules:
+//
+//	{
+//	  "listen": ":7000",
+//	  "hops": [
+//	    {"name": "g1", "kind": "vnf", "addr": "10.0.0.5:7001", "label_aware": true},
+//	    {"name": "f2", "kind": "forwarder", "addr": "198.51.100.2:7000"}
+//	  ],
+//	  "rules": [
+//	    {"chain": 100, "egress": 3,
+//	     "local_vnf": [{"hop": "g1", "weight": 1}],
+//	     "next": [{"hop": "f2", "weight": 1}],
+//	     "prev": []}
+//	  ]
+//	}
+//
+// Usage: sbforwarder -config fwd.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/forwarder"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+)
+
+// HopJSON is a config entry for one load-balancing target.
+type HopJSON struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"` // "vnf", "forwarder", "edge"
+	Addr       string `json:"addr"` // UDP host:port
+	LabelAware bool   `json:"label_aware"`
+	Chain      uint32 `json:"chain"`  // label set for label-unaware VNFs
+	Egress     uint32 `json:"egress"` //
+}
+
+// WeightJSON references a hop with a weight.
+type WeightJSON struct {
+	Hop    string  `json:"hop"`
+	Weight float64 `json:"weight"`
+}
+
+// RuleJSON is a per-label-stack rule.
+type RuleJSON struct {
+	Chain    uint32       `json:"chain"`
+	Egress   uint32       `json:"egress"`
+	LocalVNF []WeightJSON `json:"local_vnf"`
+	Next     []WeightJSON `json:"next"`
+	Prev     []WeightJSON `json:"prev"`
+}
+
+// Config is the daemon configuration.
+type Config struct {
+	Listen string     `json:"listen"`
+	Name   string     `json:"name"`
+	Shards int        `json:"shards"`
+	Hops   []HopJSON  `json:"hops"`
+	Rules  []RuleJSON `json:"rules"`
+}
+
+// daemon couples the forwarder fast path with UDP I/O.
+type daemon struct {
+	f     *forwarder.Forwarder
+	conn  *net.UDPConn
+	peers map[flowtable.Hop]*net.UDPAddr
+	// bySource resolves a sender address to its hop for Process.
+	bySource map[string]flowtable.Hop
+}
+
+func newDaemon(cfg Config) (*daemon, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Name == "" {
+		cfg.Name = "sbforwarder"
+	}
+	f := forwarder.New(cfg.Name, forwarder.ModeAffinity, cfg.Shards)
+	d := &daemon{
+		f:        f,
+		peers:    make(map[flowtable.Hop]*net.UDPAddr),
+		bySource: make(map[string]flowtable.Hop),
+	}
+	hopByName := make(map[string]flowtable.Hop, len(cfg.Hops))
+	for _, h := range cfg.Hops {
+		udp, err := net.ResolveUDPAddr("udp", h.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("hop %s: %w", h.Name, err)
+		}
+		var kind forwarder.HopKind
+		switch h.Kind {
+		case "vnf":
+			kind = forwarder.KindVNF
+		case "forwarder":
+			kind = forwarder.KindForwarder
+		case "edge":
+			kind = forwarder.KindEdge
+		default:
+			return nil, fmt.Errorf("hop %s: unknown kind %q", h.Name, h.Kind)
+		}
+		id := f.AddHop(forwarder.NextHop{
+			Kind: kind,
+			// Addr is used as an opaque identity inside the forwarder;
+			// the daemon maps hop IDs to real UDP addresses itself.
+			Addr:       simnet.Addr{Site: "wire", Host: h.Addr},
+			LabelAware: h.LabelAware,
+			Labels:     labels.Stack{Chain: h.Chain, Egress: h.Egress},
+		})
+		hopByName[h.Name] = id
+		d.peers[id] = udp
+		d.bySource[udp.String()] = id
+	}
+	for _, r := range cfg.Rules {
+		spec := forwarder.RuleSpec{}
+		conv := func(ws []WeightJSON) ([]forwarder.WeightedHop, error) {
+			out := make([]forwarder.WeightedHop, 0, len(ws))
+			for _, wj := range ws {
+				id, ok := hopByName[wj.Hop]
+				if !ok {
+					return nil, fmt.Errorf("rule references unknown hop %q", wj.Hop)
+				}
+				out = append(out, forwarder.WeightedHop{Hop: id, Weight: wj.Weight})
+			}
+			return out, nil
+		}
+		var err error
+		if spec.LocalVNF, err = conv(r.LocalVNF); err != nil {
+			return nil, err
+		}
+		if spec.Next, err = conv(r.Next); err != nil {
+			return nil, err
+		}
+		if spec.Prev, err = conv(r.Prev); err != nil {
+			return nil, err
+		}
+		f.InstallRule(labels.Stack{Chain: r.Chain, Egress: r.Egress}, spec)
+	}
+	return d, nil
+}
+
+// serve runs the receive-process-send loop.
+func (d *daemon) serve() error {
+	buf := make([]byte, 65536)
+	out := make([]byte, 0, 65536)
+	for {
+		n, src, err := d.conn.ReadFromUDP(buf)
+		if err != nil {
+			return err
+		}
+		p, err := packet.Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		from := d.bySource[src.String()]
+		nh, err := d.f.Process(p, from)
+		if err != nil {
+			continue
+		}
+		dst, ok := d.peers[nh.ID]
+		if !ok {
+			continue
+		}
+		out = out[:0]
+		out, err = p.MarshalAppend(out)
+		if err != nil {
+			continue
+		}
+		if _, err := d.conn.WriteToUDP(out, dst); err != nil {
+			log.Printf("send to %v: %v", dst, err)
+		}
+	}
+}
+
+func main() {
+	configPath := flag.String("config", "", "path to JSON config")
+	flag.Parse()
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: sbforwarder -config fwd.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		log.Fatalf("parsing config: %v", err)
+	}
+	d, err := newDaemon(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	listen, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.conn = conn
+	log.Printf("forwarder %s listening on %s (%d hops, %d rules)",
+		cfg.Name, cfg.Listen, len(cfg.Hops), len(cfg.Rules))
+	log.Fatal(d.serve())
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+)
+
+func TestNewDaemonConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"bad hop kind", Config{Hops: []HopJSON{{Name: "x", Kind: "router", Addr: "127.0.0.1:1"}}}},
+		{"bad hop addr", Config{Hops: []HopJSON{{Name: "x", Kind: "vnf", Addr: "not-an-addr:port:extra"}}}},
+		{"unknown rule hop", Config{Rules: []RuleJSON{{Chain: 1, Next: []WeightJSON{{Hop: "ghost", Weight: 1}}}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := newDaemon(tt.cfg); err == nil {
+				t.Error("bad config accepted")
+			}
+		})
+	}
+}
+
+func TestNewDaemonDefaults(t *testing.T) {
+	d, err := newDaemon(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.f == nil || d.f.Name() != "sbforwarder" {
+		t.Errorf("defaults not applied: %+v", d.f)
+	}
+}
+
+// TestUDPChainEndToEnd stands up two forwarder daemons and a VNF stub on
+// localhost UDP sockets and pushes a packet through the chain:
+//
+//	source → fwd1 → vnf (echo) → fwd1 → fwd2 → sink
+func TestUDPChainEndToEnd(t *testing.T) {
+	mustConn := func() *net.UDPConn {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	source := mustConn()
+	defer source.Close()
+	vnfConn := mustConn()
+	defer vnfConn.Close()
+	sink := mustConn()
+	defer sink.Close()
+	fwd1Conn := mustConn()
+	defer fwd1Conn.Close()
+	fwd2Conn := mustConn()
+	defer fwd2Conn.Close()
+
+	addrOf := func(c *net.UDPConn) string { return c.LocalAddr().String() }
+
+	d1, err := newDaemon(Config{
+		Name: "fwd1",
+		Hops: []HopJSON{
+			{Name: "vnf", Kind: "vnf", Addr: addrOf(vnfConn), LabelAware: true},
+			{Name: "fwd2", Kind: "forwarder", Addr: addrOf(fwd2Conn)},
+			{Name: "src", Kind: "edge", Addr: addrOf(source)},
+		},
+		Rules: []RuleJSON{{
+			Chain: 7, Egress: 3,
+			LocalVNF: []WeightJSON{{Hop: "vnf", Weight: 1}},
+			Next:     []WeightJSON{{Hop: "fwd2", Weight: 1}},
+			Prev:     []WeightJSON{{Hop: "src", Weight: 1}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.conn = fwd1Conn
+	go func() { _ = d1.serve() }()
+
+	d2, err := newDaemon(Config{
+		Name: "fwd2",
+		Hops: []HopJSON{
+			{Name: "fwd1", Kind: "forwarder", Addr: addrOf(fwd1Conn)},
+			{Name: "sink", Kind: "edge", Addr: addrOf(sink)},
+		},
+		Rules: []RuleJSON{{
+			Chain: 7, Egress: 3,
+			LocalVNF: []WeightJSON{{Hop: "sink", Weight: 1}},
+			Prev:     []WeightJSON{{Hop: "fwd1", Weight: 1}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.conn = fwd2Conn
+	go func() { _ = d2.serve() }()
+
+	// VNF stub: echo packets back to fwd1.
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			n, _, err := vnfConn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			fwd1, _ := net.ResolveUDPAddr("udp", addrOf(fwd1Conn))
+			_, _ = vnfConn.WriteToUDP(buf[:n], fwd1)
+		}
+	}()
+
+	// Send a labeled packet from the source to fwd1.
+	p := &packet.Packet{
+		Labels:  labels.Stack{Chain: 7, Egress: 3},
+		Labeled: true,
+		Key:     packet.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6},
+		Payload: []byte("wire"),
+	}
+	wire, err := p.MarshalAppend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd1Addr, _ := net.ResolveUDPAddr("udp", addrOf(fwd1Conn))
+	if _, err := source.WriteToUDP(wire, fwd1Addr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The packet must arrive at the sink, still labeled, via both
+	// forwarders and the VNF.
+	if err := sink.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 65536)
+	n, _, err := sink.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatalf("packet never reached sink: %v", err)
+	}
+	got, err := packet.Unmarshal(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "wire" {
+		t.Errorf("payload = %q", got.Payload)
+	}
+	if got.Labels != p.Labels {
+		t.Errorf("labels = %+v, want %+v", got.Labels, p.Labels)
+	}
+	if d1.f.FlowCount() != 1 || d2.f.FlowCount() != 1 {
+		t.Errorf("flow counts = %d/%d, want 1/1", d1.f.FlowCount(), d2.f.FlowCount())
+	}
+}

@@ -1,0 +1,246 @@
+// Command switchboard runs Global Switchboard's traffic-engineering
+// service as an HTTP daemon: clients POST a network model and chain set
+// as JSON and receive wide-area chain routes computed by SB-DP or SB-LP,
+// plus capacity-planning endpoints. It is the standalone equivalent of
+// the OpenDaylight-hosted controller in the paper's prototype.
+//
+// Endpoints:
+//
+//	POST /v1/route       — chain routing (body: RouteRequest)
+//	POST /v1/plan/cloud  — cloud capacity planning (body: CloudPlanRequest)
+//	GET  /healthz        — liveness
+//
+// Usage: switchboard [-addr :8080]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"switchboard/internal/model"
+	"switchboard/internal/te"
+)
+
+// VNFSpec is a catalog entry in a request.
+type VNFSpec struct {
+	ID          string             `json:"id"`
+	LoadPerUnit float64            `json:"load_per_unit"`
+	Sites       map[string]float64 `json:"sites"` // node index -> capacity
+}
+
+// ChainSpec is a chain in a request.
+type ChainSpec struct {
+	ID      string   `json:"id"`
+	Ingress int      `json:"ingress"`
+	Egress  int      `json:"egress"`
+	VNFs    []string `json:"vnfs"`
+	Forward float64  `json:"forward"`
+	Reverse float64  `json:"reverse"`
+}
+
+// NetworkSpec describes the model (Table 1 of the paper) in a request.
+type NetworkSpec struct {
+	Nodes    int                `json:"nodes"`
+	DelaysMs [][]float64        `json:"delays_ms"`
+	Sites    map[string]float64 `json:"sites"` // node index -> compute capacity
+	VNFs     []VNFSpec          `json:"vnfs"`
+	Chains   []ChainSpec        `json:"chains"`
+}
+
+// RouteRequest asks for chain routing.
+type RouteRequest struct {
+	Network NetworkSpec `json:"network"`
+	// Scheme: "dp" (default), "lp-latency", "lp-throughput".
+	Scheme string `json:"scheme"`
+}
+
+// RouteResponse carries per-chain path routes and aggregate metrics.
+type RouteResponse struct {
+	Routes map[string][]PathJSON `json:"routes"`
+	Stats  StatsJSON             `json:"stats"`
+}
+
+// PathJSON is one weighted site path.
+type PathJSON struct {
+	Sites    []int   `json:"sites"`
+	Fraction float64 `json:"fraction"`
+}
+
+// StatsJSON summarizes the routing.
+type StatsJSON struct {
+	ThroughputFraction float64 `json:"throughput_fraction"`
+	MeanLatencyMs      float64 `json:"mean_latency_ms"`
+	MaxSiteUtil        float64 `json:"max_site_util"`
+	Violations         int     `json:"violations"`
+}
+
+// CloudPlanRequest asks where to add compute capacity.
+type CloudPlanRequest struct {
+	Network NetworkSpec `json:"network"`
+	Extra   float64     `json:"extra"`
+}
+
+// CloudPlanResponse reports the plan.
+type CloudPlanResponse struct {
+	Alpha float64            `json:"alpha"`
+	Extra map[string]float64 `json:"extra_per_site"`
+}
+
+func buildNetwork(spec NetworkSpec) (*model.Network, error) {
+	if spec.Nodes <= 0 {
+		return nil, fmt.Errorf("nodes must be positive")
+	}
+	if len(spec.DelaysMs) != spec.Nodes {
+		return nil, fmt.Errorf("delays_ms must be %d x %d", spec.Nodes, spec.Nodes)
+	}
+	nw := model.NewNetwork(spec.Nodes, 1.0)
+	for i, row := range spec.DelaysMs {
+		if len(row) != spec.Nodes {
+			return nil, fmt.Errorf("delays_ms row %d has %d entries", i, len(row))
+		}
+		for j, ms := range row {
+			if i == j {
+				continue
+			}
+			nw.Delay[model.NodeID(i)][model.NodeID(j)] = time.Duration(ms * float64(time.Millisecond))
+		}
+	}
+	for node, capacity := range spec.Sites {
+		var idx int
+		if _, err := fmt.Sscanf(node, "%d", &idx); err != nil {
+			return nil, fmt.Errorf("bad site key %q", node)
+		}
+		nw.AddSite(model.NodeID(idx), capacity)
+	}
+	for _, v := range spec.VNFs {
+		mv := nw.AddVNF(model.VNFID(v.ID), v.LoadPerUnit)
+		for node, capacity := range v.Sites {
+			var idx int
+			if _, err := fmt.Sscanf(node, "%d", &idx); err != nil {
+				return nil, fmt.Errorf("bad VNF site key %q", node)
+			}
+			mv.SiteCapacity[model.NodeID(idx)] = capacity
+		}
+	}
+	for _, c := range spec.Chains {
+		mc := &model.Chain{
+			ID:      model.ChainID(c.ID),
+			Ingress: model.NodeID(c.Ingress),
+			Egress:  model.NodeID(c.Egress),
+		}
+		for _, v := range c.VNFs {
+			mc.VNFs = append(mc.VNFs, model.VNFID(v))
+		}
+		mc.UniformTraffic(c.Forward, c.Reverse)
+		nw.AddChain(mc)
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+func solve(nw *model.Network, scheme string) (*model.Routing, error) {
+	switch scheme {
+	case "", "dp":
+		return te.SolveDP(nw, te.DPOptions{}), nil
+	case "lp-latency":
+		return te.SolveLP(nw, te.LPOptions{Objective: te.MinLatency, SkipLinkConstraints: true})
+	case "lp-throughput":
+		return te.SolveLP(nw, te.LPOptions{Objective: te.MaxThroughput, SkipLinkConstraints: true})
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+}
+
+func handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req RouteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	nw, err := buildNetwork(req.Network)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	routing, err := solve(nw, req.Scheme)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	ev := te.Evaluate(nw, routing)
+	resp := RouteResponse{
+		Routes: make(map[string][]PathJSON, len(routing.Splits)),
+		Stats: StatsJSON{
+			MeanLatencyMs: ev.MeanLatency * 1000,
+			MaxSiteUtil:   ev.MaxSiteUtil,
+			Violations:    len(ev.Violations),
+		},
+	}
+	if ev.Demand > 0 {
+		resp.Stats.ThroughputFraction = ev.Throughput / ev.Demand
+	}
+	for id, split := range routing.Splits {
+		for _, p := range split.Paths() {
+			sites := make([]int, len(p.Sites))
+			for i, s := range p.Sites {
+				sites[i] = int(s)
+			}
+			resp.Routes[string(id)] = append(resp.Routes[string(id)], PathJSON{Sites: sites, Fraction: p.Fraction})
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func handleCloudPlan(w http.ResponseWriter, r *http.Request) {
+	var req CloudPlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	nw, err := buildNetwork(req.Network)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	plan, err := te.CloudCapacityPlan(nw, req.Extra)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	resp := CloudPlanResponse{Alpha: plan.Alpha, Extra: make(map[string]float64, len(plan.Extra))}
+	for s, v := range plan.Extra {
+		resp.Extra[fmt.Sprint(int(s))] = v
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/route", handleRoute)
+	mux.HandleFunc("POST /v1/plan/cloud", handleCloudPlan)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	log.Printf("global switchboard TE service listening on %s", *addr)
+	srv := &http.Server{Addr: *addr, Handler: newMux(), ReadHeaderTimeout: 5 * time.Second}
+	log.Fatal(srv.ListenAndServe())
+}

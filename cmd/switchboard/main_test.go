@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func testNetworkSpec() NetworkSpec {
+	return NetworkSpec{
+		Nodes: 3,
+		DelaysMs: [][]float64{
+			{0, 5, 25},
+			{5, 0, 22},
+			{25, 22, 0},
+		},
+		Sites: map[string]float64{"1": 100, "2": 400},
+		VNFs: []VNFSpec{
+			{ID: "fw", LoadPerUnit: 1, Sites: map[string]float64{"1": 60, "2": 200}},
+			{ID: "nat", LoadPerUnit: 0.5, Sites: map[string]float64{"2": 200}},
+		},
+		Chains: []ChainSpec{
+			{ID: "c1", Ingress: 0, Egress: 2, VNFs: []string{"fw", "nat"}, Forward: 10, Reverse: 4},
+		},
+	}
+}
+
+func postJSON(t *testing.T, mux *http.ServeMux, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestRouteEndpointDP(t *testing.T) {
+	mux := newMux()
+	rr := postJSON(t, mux, "/v1/route", RouteRequest{Network: testNetworkSpec(), Scheme: "dp"})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rr.Code, rr.Body.String())
+	}
+	var resp RouteResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	paths := resp.Routes["c1"]
+	if len(paths) == 0 {
+		t.Fatal("no routes returned")
+	}
+	if got := len(paths[0].Sites); got != 4 {
+		t.Errorf("path has %d sites, want 4 (ingress + 2 VNFs + egress)", got)
+	}
+	if resp.Stats.ThroughputFraction < 0.999 {
+		t.Errorf("throughput fraction = %v, want 1", resp.Stats.ThroughputFraction)
+	}
+	if resp.Stats.Violations != 0 {
+		t.Errorf("violations = %d", resp.Stats.Violations)
+	}
+}
+
+func TestRouteEndpointLPSchemes(t *testing.T) {
+	mux := newMux()
+	for _, scheme := range []string{"lp-latency", "lp-throughput", ""} {
+		rr := postJSON(t, mux, "/v1/route", RouteRequest{Network: testNetworkSpec(), Scheme: scheme})
+		if rr.Code != http.StatusOK {
+			t.Errorf("scheme %q: status %d: %s", scheme, rr.Code, rr.Body.String())
+		}
+	}
+}
+
+func TestRouteEndpointRejectsBadInput(t *testing.T) {
+	mux := newMux()
+
+	rr := postJSON(t, mux, "/v1/route", RouteRequest{Scheme: "dp"})
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("empty network: status = %d, want 400", rr.Code)
+	}
+
+	spec := testNetworkSpec()
+	spec.DelaysMs = spec.DelaysMs[:1]
+	rr = postJSON(t, mux, "/v1/route", RouteRequest{Network: spec})
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("ragged delays: status = %d, want 400", rr.Code)
+	}
+
+	rr = postJSON(t, mux, "/v1/route", RouteRequest{Network: testNetworkSpec(), Scheme: "nope"})
+	if rr.Code != http.StatusUnprocessableEntity {
+		t.Errorf("bad scheme: status = %d, want 422", rr.Code)
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/route", bytes.NewReader([]byte("{bad")))
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d, want 400", w.Code)
+	}
+}
+
+func TestRouteEndpointInfeasible(t *testing.T) {
+	spec := testNetworkSpec()
+	spec.VNFs[0].Sites = map[string]float64{"1": 0.1} // can't host the chain
+	spec.VNFs[1].Sites = map[string]float64{"2": 0.1}
+	mux := newMux()
+	rr := postJSON(t, mux, "/v1/route", RouteRequest{Network: spec, Scheme: "lp-latency"})
+	if rr.Code != http.StatusUnprocessableEntity {
+		t.Errorf("infeasible LP: status = %d, want 422 (body %s)", rr.Code, rr.Body.String())
+	}
+}
+
+func TestCloudPlanEndpoint(t *testing.T) {
+	mux := newMux()
+	rr := postJSON(t, mux, "/v1/plan/cloud", CloudPlanRequest{Network: testNetworkSpec(), Extra: 100})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rr.Code, rr.Body.String())
+	}
+	var resp CloudPlanResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Alpha <= 0 {
+		t.Errorf("alpha = %v, want positive", resp.Alpha)
+	}
+	total := 0.0
+	for _, v := range resp.Extra {
+		total += v
+	}
+	if total > 100.001 {
+		t.Errorf("allocated %v, budget 100", total)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	mux := newMux()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Errorf("status = %d", rr.Code)
+	}
+}

@@ -1,0 +1,13 @@
+// Package switchboard is a from-scratch Go reproduction of "Switchboard:
+// A Middleware for Wide-Area Service Chaining" (Middleware '19): a
+// middleware that stitches virtual network functions deployed across
+// heterogeneous cloud sites into customer service chains, globally
+// optimizes the wide-area routes those chains take, and realizes them
+// with a flow-affinity-preserving forwarder data plane and a
+// publish-subscribe control-plane bus.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the runnable programs under cmd/ and examples/, and the
+// benchmark harness that regenerates every table and figure of the
+// paper's evaluation in bench_test.go (driven by cmd/sbbench).
+package switchboard

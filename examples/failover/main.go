@@ -1,0 +1,154 @@
+// Failover demonstrates the fault-tolerance extensions (the paper's
+// Section 5.3 DHT flow table and its "future work" on compute failures):
+//
+//  1. A site's forwarder set is scaled out; members share a replicated
+//     flow table, so any member serves any connection.
+//  2. A whole compute site fails; Global Switchboard reroutes the chain
+//     through the surviving site and new connections keep flowing.
+//
+// Run with: go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"switchboard/internal/bus"
+	"switchboard/internal/controller"
+	"switchboard/internal/edge"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/vnf"
+)
+
+const (
+	clientIP = 0x0A000001
+	serverIP = 0xC0A80001
+)
+
+func main() {
+	sites := []simnet.SiteID{"gsb", "edgeA", "cloudB", "cloudC", "edgeD"}
+	net := simnet.New(5)
+	defer net.Close()
+	for i, a := range sites {
+		for _, b := range sites[i+1:] {
+			net.SetPath(a, b, simnet.PathProfile{Delay: 8 * time.Millisecond})
+		}
+	}
+	msgBus := bus.New(net)
+	for _, s := range sites {
+		if err := msgBus.AddSite(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := controller.NewGlobalSwitchboard(net, msgBus, "gsb")
+	locals := map[simnet.SiteID]*controller.LocalSwitchboard{}
+	for _, s := range sites {
+		ls, err := controller.NewLocalSwitchboard(net, msgBus, s, "gsb")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ls.Close()
+		g.RegisterLocal(ls)
+		locals[s] = ls
+	}
+	for _, s := range sites {
+		if _, err := g.RegisterSite(s, 1000); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fw := controller.NewVNFController(net, msgBus, controller.VNFConfig{
+		Name:        "firewall",
+		Factory:     func() vnf.Function { return vnf.NewFirewall([]vnf.Prefix{{IP: 0x0A000000, Bits: 8}}, nil) },
+		LoadPerUnit: 1.0,
+		LabelAware:  true,
+		Capacity:    map[simnet.SiteID]float64{"cloudB": 500, "cloudC": 500},
+	})
+	defer fw.Stop()
+	g.RegisterVNF(fw)
+
+	rec, err := g.CreateChain(controller.Spec{
+		ID: "c1", IngressSite: "edgeA", EgressSite: "edgeD",
+		VNFs: []string{"firewall"}, ForwardRate: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ingress, egress, err := g.ConfigureChainEdges(rec, []edge.MatchRule{{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []simnet.SiteID{"edgeA", "edgeD"} {
+		if err := g.WaitForDataPath(rec, s, 5*time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var vnfSite simnet.SiteID
+	for s := range rec.StageSites(1) {
+		vnfSite = s
+	}
+	fmt.Printf("chain active: edgeA → firewall@%s → edgeD\n", vnfSite)
+
+	client, err := net.Attach(simnet.Addr{Site: "edgeA", Host: "client"}, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := net.Attach(simnet.Addr{Site: "edgeD", Host: "server"}, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	egress.RegisterHost(serverIP, server.Addr())
+	ingress.RegisterHost(clientIP, client.Addr())
+
+	send := func(port uint16, note string) {
+		p := &packet.Packet{Key: packet.FlowKey{
+			SrcIP: clientIP, DstIP: serverIP, SrcPort: port, DstPort: 443, Proto: 6,
+		}}
+		start := time.Now()
+		if err := client.Send(ingress.Addr(), p, 64); err != nil {
+			log.Fatal(err)
+		}
+		select {
+		case <-server.Inbox():
+			fmt.Printf("  %-34s delivered in %5.1f ms\n", note, float64(time.Since(start).Microseconds())/1000)
+		case <-time.After(5 * time.Second):
+			log.Fatalf("%s: packet lost", note)
+		}
+	}
+	send(40000, "before scaling:")
+
+	// Scale the firewall site's forwarder set to 3 members.
+	if err := locals[vnfSite].ScaleForwarders("firewall", 3); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let upstream rules pick up the set
+	fmt.Printf("scaled fwd-firewall@%s to 3 members (shared DHT flow table)\n", vnfSite)
+	for i := 0; i < 5; i++ {
+		send(uint16(41000+i), fmt.Sprintf("after scaling (conn %d):", i))
+	}
+
+	// The whole VNF site fails.
+	fmt.Printf("site %s fails!\n", vnfSite)
+	start := time.Now()
+	rerouted, err := g.HandleSiteFailure(vnfSite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec2, _ := g.Record("c1")
+	var newSite simnet.SiteID
+	for s := range rec2.StageSites(1) {
+		newSite = s
+	}
+	for _, s := range []simnet.SiteID{"edgeA", newSite, "edgeD"} {
+		if err := g.WaitForDataPath(rec2, s, 5*time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("rerouted %v to firewall@%s in %.1f ms\n",
+		rerouted, newSite, float64(time.Since(start).Microseconds())/1000)
+	for i := 0; i < 3; i++ {
+		send(uint16(42000+i), fmt.Sprintf("after failover (conn %d):", i))
+	}
+	fmt.Println("recovery complete: new connections flow through the surviving site")
+}

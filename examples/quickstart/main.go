@@ -1,0 +1,80 @@
+// Quickstart: the smallest useful Switchboard program. It builds a
+// three-site network model, registers a firewall and a NAT in the VNF
+// catalog, defines one customer chain (VPN ingress → firewall → NAT →
+// Internet egress, the Figure 2 example), routes it with the SB-DP
+// traffic engineer, and prints the resulting wide-area routes and
+// resource utilization.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"switchboard/internal/model"
+	"switchboard/internal/te"
+)
+
+func main() {
+	// Three nodes: 0 is the customer's VPN edge, 1 a nearby edge cloud,
+	// 2 a regional data center that also egresses to the Internet.
+	nw := model.NewNetwork(3, 1.0)
+	nw.SetDelay(0, 1, 5*time.Millisecond)
+	nw.SetDelay(0, 2, 25*time.Millisecond)
+	nw.SetDelay(1, 2, 22*time.Millisecond)
+
+	// Cloud sites with compute capacity at the edge cloud and the DC.
+	nw.AddSite(1, 100)
+	nw.AddSite(2, 400)
+
+	// The VNF catalog: each VNF chooses its deployment sites and
+	// publishes per-site capacity and per-unit load (Table 1).
+	fw := nw.AddVNF("firewall", 1.0)
+	fw.SiteCapacity[1] = 60
+	fw.SiteCapacity[2] = 200
+	nat := nw.AddVNF("nat", 0.5)
+	nat.SiteCapacity[2] = 200
+
+	// The customer chain: ingress at the VPN edge (node 0), egress at
+	// the Internet gateway (node 2), 10 units forward / 4 reverse.
+	chain := &model.Chain{
+		ID:      "customer-42",
+		Ingress: 0,
+		Egress:  2,
+		VNFs:    []model.VNFID{"firewall", "nat"},
+	}
+	chain.UniformTraffic(10, 4)
+	nw.AddChain(chain)
+	if err := nw.Validate(); err != nil {
+		log.Fatalf("model: %v", err)
+	}
+
+	// Route with the dynamic-programming traffic engineer (Section 4.4).
+	routing := te.SolveDP(nw, te.DPOptions{})
+	fmt.Println("wide-area routes:")
+	for _, path := range routing.Splits[chain.ID].Paths() {
+		fmt.Printf("  %v\n", path)
+	}
+
+	ev := te.Evaluate(nw, routing)
+	fmt.Printf("admitted %.0f of %.0f units (%.0f%%)\n",
+		ev.Throughput, ev.Demand, 100*ev.Throughput/ev.Demand)
+	fmt.Printf("mean end-to-end latency: %.1f ms\n", ev.MeanLatency*1000)
+	for site, load := range ev.SiteLoad {
+		fmt.Printf("site %d compute load: %.1f / %.0f\n", site, load, nw.Sites[site].Capacity)
+	}
+	if len(ev.Violations) > 0 {
+		fmt.Println("violations:", ev.Violations)
+	}
+
+	// Compare against the optimal LP (Section 4.3).
+	lpRouting, err := te.SolveLP(nw, te.LPOptions{Objective: te.MinLatency, SkipLinkConstraints: true})
+	if err != nil {
+		log.Fatalf("LP: %v", err)
+	}
+	lpEv := te.Evaluate(nw, lpRouting)
+	fmt.Printf("SB-LP optimal latency: %.1f ms (SB-DP within %.1f%%)\n",
+		lpEv.MeanLatency*1000, 100*(ev.MeanLatency/lpEv.MeanLatency-1))
+}

@@ -1,0 +1,3 @@
+module switchboard
+
+go 1.22

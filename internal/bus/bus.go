@@ -1,0 +1,315 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"switchboard/internal/simnet"
+)
+
+// PubSub is the interface shared by the Switchboard bus and the
+// full-mesh baseline, so experiments can swap them.
+type PubSub interface {
+	// Subscribe registers a subscriber at the given site.
+	Subscribe(site simnet.SiteID, topic Topic, queue int) (*Subscription, error)
+	// Publish sends payload on a topic from the given site. size is the
+	// payload size in bytes for WAN bandwidth emulation.
+	Publish(site simnet.SiteID, topic Topic, payload any, size int) error
+	// WANMessages returns the number of inter-site transmissions so far.
+	WANMessages() uint64
+}
+
+// Subscription is a live topic subscription.
+type Subscription struct {
+	ch     chan Publication
+	cancel func()
+	once   sync.Once
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Ch returns the delivery channel. It is closed on Cancel.
+func (s *Subscription) Ch() <-chan Publication { return s.ch }
+
+// Cancel removes the subscription and closes the channel.
+func (s *Subscription) Cancel() { s.once.Do(s.cancel) }
+
+// deliver enqueues a publication, dropping it if the subscriber is slow
+// or already cancelled. The mutex serializes against closeCh so a send
+// can never race a close.
+func (s *Subscription) deliver(p Publication) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.ch <- p:
+	default:
+	}
+}
+
+func (s *Subscription) closeCh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// proxyMsg is the inter-proxy wire message.
+type proxyMsg struct {
+	kind    string // "pub", "sub", "unsub"
+	topic   Topic
+	payload any
+	site    simnet.SiteID // for sub/unsub: the subscribing site
+}
+
+// Bus is Switchboard's global message bus: one proxy per site.
+type Bus struct {
+	net     *simnet.Network
+	mu      sync.RWMutex
+	proxies map[simnet.SiteID]*proxy
+	wanMsgs atomic.Uint64
+}
+
+// proxy is the per-site message-queuing proxy.
+type proxy struct {
+	bus  *Bus
+	site simnet.SiteID
+	ep   *simnet.Endpoint
+
+	mu sync.Mutex
+	// localSubs are subscribers attached to this proxy.
+	localSubs map[Topic]map[*Subscription]bool
+	// remoteFilters are the subscription filters installed here because
+	// this proxy is the publisher's site for the topic: the set of
+	// sites that must receive one copy of each publication.
+	remoteFilters map[Topic]map[simnet.SiteID]int
+	// retained is the last value published per topic. The bus carries
+	// control-plane *state* (route records, instance lists), so a late
+	// subscriber receives the current value on filter installation
+	// instead of missing it forever.
+	retained map[Topic]retainedMsg
+}
+
+type retainedMsg struct {
+	payload any
+	size    int
+}
+
+// New creates a bus over the given simulated network.
+func New(net *simnet.Network) *Bus {
+	return &Bus{net: net, proxies: make(map[simnet.SiteID]*proxy)}
+}
+
+// AddSite creates the proxy for a site. Every site that publishes or
+// subscribes must be added first.
+func (b *Bus) AddSite(site simnet.SiteID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.proxies[site]; ok {
+		return fmt.Errorf("bus: site %s already added", site)
+	}
+	ep, err := b.net.Attach(simnet.Addr{Site: site, Host: "bus-proxy"}, 4096)
+	if err != nil {
+		return err
+	}
+	p := &proxy{
+		bus:           b,
+		site:          site,
+		ep:            ep,
+		localSubs:     make(map[Topic]map[*Subscription]bool),
+		remoteFilters: make(map[Topic]map[simnet.SiteID]int),
+		retained:      make(map[Topic]retainedMsg),
+	}
+	b.proxies[site] = p
+	go p.run()
+	return nil
+}
+
+var errNoProxy = errors.New("bus: no proxy for site")
+
+func (b *Bus) proxyFor(site simnet.SiteID) (*proxy, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	p, ok := b.proxies[site]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", errNoProxy, site)
+	}
+	return p, nil
+}
+
+// Subscribe registers a subscriber at the given site. If the topic's
+// publisher site differs, a filter-install message is sent to that
+// site's proxy so future publications are forwarded here.
+func (b *Bus) Subscribe(site simnet.SiteID, topic Topic, queue int) (*Subscription, error) {
+	p, err := b.proxyFor(site)
+	if err != nil {
+		return nil, err
+	}
+	if queue <= 0 {
+		queue = 64
+	}
+	sub := &Subscription{ch: make(chan Publication, queue)}
+	sub.cancel = func() { p.unsubscribe(topic, sub) }
+
+	p.mu.Lock()
+	subs, ok := p.localSubs[topic]
+	if !ok {
+		subs = make(map[*Subscription]bool)
+		p.localSubs[topic] = subs
+	}
+	first := len(subs) == 0
+	subs[sub] = true
+	ret, hasRetained := p.retained[topic]
+	p.mu.Unlock()
+
+	// Deliver this proxy's retained copy (if any) so late subscribers
+	// see current state immediately.
+	if hasRetained {
+		sub.deliver(Publication{Topic: topic, Payload: ret.payload})
+	}
+
+	// Install the filter at the publisher's site on first local
+	// subscriber for the topic. The home proxy responds with its
+	// retained value, covering the publish-before-subscribe race.
+	if pubSite, ok := topic.PublisherSite(); ok && pubSite != site && first {
+		if err := p.sendToProxy(pubSite, proxyMsg{kind: "sub", topic: topic, site: site}, 64); err != nil {
+			return nil, fmt.Errorf("bus: installing filter at %s: %w", pubSite, err)
+		}
+	}
+	return sub, nil
+}
+
+func (p *proxy) unsubscribe(topic Topic, sub *Subscription) {
+	p.mu.Lock()
+	subs := p.localSubs[topic]
+	delete(subs, sub)
+	last := len(subs) == 0
+	if last {
+		delete(p.localSubs, topic)
+	}
+	p.mu.Unlock()
+	sub.closeCh()
+	if pubSite, ok := topic.PublisherSite(); ok && pubSite != p.site && last {
+		_ = p.sendToProxy(pubSite, proxyMsg{kind: "unsub", topic: topic, site: p.site}, 64)
+	}
+}
+
+// Publish sends a payload on a topic. The publisher hands the message to
+// its local proxy; the proxy delivers locally and sends exactly one copy
+// per remote subscribed site.
+func (b *Bus) Publish(site simnet.SiteID, topic Topic, payload any, size int) error {
+	p, err := b.proxyFor(site)
+	if err != nil {
+		return err
+	}
+	pubSite, ok := topic.PublisherSite()
+	if ok && pubSite != site {
+		// Publishing from a site other than the topic's home: relay to
+		// the home proxy, which owns the filters.
+		return p.sendToProxy(pubSite, proxyMsg{kind: "pub", topic: topic, payload: payload}, size)
+	}
+	p.fanOut(topic, payload, size, 0)
+	return nil
+}
+
+// fanOut delivers locally and to each remotely subscribed site,
+// retaining the value for late subscribers.
+func (p *proxy) fanOut(topic Topic, payload any, size, hops int) {
+	p.mu.Lock()
+	p.retained[topic] = retainedMsg{payload: payload, size: size}
+	var local []*Subscription
+	for sub := range p.localSubs[topic] {
+		local = append(local, sub)
+	}
+	var remote []simnet.SiteID
+	for site := range p.remoteFilters[topic] {
+		remote = append(remote, site)
+	}
+	p.mu.Unlock()
+
+	for _, sub := range local {
+		sub.deliver(Publication{Topic: topic, Payload: payload, Hops: hops})
+	}
+	for _, site := range remote {
+		_ = p.sendToProxy(site, proxyMsg{kind: "pub", topic: topic, payload: payload}, size)
+	}
+}
+
+func (p *proxy) sendToProxy(site simnet.SiteID, m proxyMsg, size int) error {
+	if site != p.site {
+		p.bus.wanMsgs.Add(1)
+	}
+	return p.ep.Send(simnet.Addr{Site: site, Host: "bus-proxy"}, m, size)
+}
+
+// run drains the proxy's endpoint.
+func (p *proxy) run() {
+	for m := range p.ep.Inbox() {
+		pm, ok := m.Payload.(proxyMsg)
+		if !ok {
+			continue
+		}
+		switch pm.kind {
+		case "sub":
+			p.mu.Lock()
+			f, ok := p.remoteFilters[pm.topic]
+			if !ok {
+				f = make(map[simnet.SiteID]int)
+				p.remoteFilters[pm.topic] = f
+			}
+			f[pm.site]++
+			ret, hasRetained := p.retained[pm.topic]
+			p.mu.Unlock()
+			if hasRetained {
+				_ = p.sendToProxy(pm.site, proxyMsg{kind: "pub", topic: pm.topic, payload: ret.payload}, ret.size)
+			}
+		case "unsub":
+			p.mu.Lock()
+			if f, ok := p.remoteFilters[pm.topic]; ok {
+				if f[pm.site]--; f[pm.site] <= 0 {
+					delete(f, pm.site)
+				}
+				if len(f) == 0 {
+					delete(p.remoteFilters, pm.topic)
+				}
+			}
+			p.mu.Unlock()
+		case "pub":
+			if home, ok := pm.topic.PublisherSite(); ok && home == p.site {
+				// We own the filters: fan out (1 hop so far).
+				p.fanOut(pm.topic, pm.payload, m.Size, 1)
+			} else {
+				// Copy forwarded to us because we have local subs;
+				// retain it for this site's late subscribers.
+				p.mu.Lock()
+				p.retained[pm.topic] = retainedMsg{payload: pm.payload, size: m.Size}
+				p.mu.Unlock()
+				p.deliverLocal(pm.topic, pm.payload, 1)
+			}
+		}
+	}
+}
+
+func (p *proxy) deliverLocal(topic Topic, payload any, hops int) {
+	p.mu.Lock()
+	var local []*Subscription
+	for sub := range p.localSubs[topic] {
+		local = append(local, sub)
+	}
+	p.mu.Unlock()
+	for _, sub := range local {
+		sub.deliver(Publication{Topic: topic, Payload: payload, Hops: hops})
+	}
+}
+
+// WANMessages returns the count of inter-site proxy transmissions.
+func (b *Bus) WANMessages() uint64 { return b.wanMsgs.Load() }
+
+var _ PubSub = (*Bus)(nil)

@@ -1,0 +1,95 @@
+package bus
+
+import (
+	"testing"
+	"time"
+)
+
+// The bus carries control-plane *state*: a late subscriber must receive
+// the current value of a topic even if it was published before the
+// subscription existed. These tests pin that behaviour (it is what makes
+// route/instance propagation race-free in the controllers).
+
+func TestRetainedDeliveredToLateLocalSubscriber(t *testing.T) {
+	n := newTestNet(t, "A")
+	b := newTestBus(t, n, "A")
+	topic := MakeTopic("c1", "e1", "vnf_G", "A", "instances")
+	if err := b.Publish("A", topic, "v1", 8); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := b.Subscribe("A", topic, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := recvOrTimeout(t, sub)
+	if p.Payload != "v1" {
+		t.Errorf("late local subscriber got %v, want retained v1", p.Payload)
+	}
+}
+
+func TestRetainedDeliveredToLateRemoteSubscriber(t *testing.T) {
+	n := newTestNet(t, "A", "B")
+	b := newTestBus(t, n, "A", "B")
+	topic := MakeTopic("c1", "e1", "vnf_G", "A", "instances")
+	if err := b.Publish("A", topic, "v1", 8); err != nil {
+		t.Fatal(err)
+	}
+	// Remote site subscribes only afterwards; the home proxy answers
+	// the filter install with its retained value.
+	sub, err := b.Subscribe("B", topic, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := recvOrTimeout(t, sub)
+	if p.Payload != "v1" {
+		t.Errorf("late remote subscriber got %v, want retained v1", p.Payload)
+	}
+}
+
+func TestRetainedUpdatedBySubsequentPublishes(t *testing.T) {
+	n := newTestNet(t, "A", "B")
+	b := newTestBus(t, n, "A", "B")
+	topic := MakeTopic("c1", "e1", "vnf_G", "A", "instances")
+	for _, v := range []string{"v1", "v2", "v3"} {
+		if err := b.Publish("A", topic, v, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := b.Subscribe("B", topic, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := recvOrTimeout(t, sub)
+	if p.Payload != "v3" {
+		t.Errorf("retained = %v, want latest v3", p.Payload)
+	}
+}
+
+func TestSecondLocalSubscriberGetsSiteCachedCopy(t *testing.T) {
+	n := newTestNet(t, "A", "B")
+	b := newTestBus(t, n, "A", "B")
+	topic := MakeTopic("c1", "e1", "vnf_G", "A", "instances")
+	first, err := b.Subscribe("B", topic, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := b.Publish("A", topic, "v1", 8); err != nil {
+		t.Fatal(err)
+	}
+	recvOrTimeout(t, first)
+	wan := b.WANMessages()
+	// A second subscriber at the same site: served from the site's
+	// cached copy, no extra WAN traffic.
+	second, err := b.Subscribe("B", topic, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := recvOrTimeout(t, second)
+	if p.Payload != "v1" {
+		t.Errorf("second subscriber got %v", p.Payload)
+	}
+	if got := b.WANMessages() - wan; got != 0 {
+		t.Errorf("second local subscriber cost %d WAN messages, want 0", got)
+	}
+}

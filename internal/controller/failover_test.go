@@ -1,0 +1,140 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"switchboard/internal/edge"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/vnf"
+)
+
+// TestSiteFailureReroutesChains exercises the compute-failure recovery
+// path: a chain routed through site B loses B; the controller reroutes
+// it through site C and new connections flow again.
+func TestSiteFailureReroutesChains(t *testing.T) {
+	tb := newTestbed(t, 5*time.Millisecond, "A", "B", "C", "D")
+	tb.registerSites(1000, "A", "B", "C", "D")
+	v := tb.addVNF("fw", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"B": 500, "C": 500})
+
+	rec, err := tb.g.CreateChain(Spec{
+		ID: "c1", IngressSite: "A", EgressSite: "D",
+		VNFs: []string{"fw"}, ForwardRate: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingress, egress, err := tb.g.ConfigureChainEdges(rec, []edge.MatchRule{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.waitReady(rec, "A", "D")
+
+	client := tb.host("A", "client")
+	server := tb.host("D", "server")
+	egress.RegisterHost(serverIP, server.Addr())
+	ingress.RegisterHost(clientIP, client.Addr())
+
+	// Traffic flows through the initial VNF site.
+	p := &packet.Packet{Key: clientKey(50000), Payload: []byte("pre")}
+	sendAndWait(t, client, ingress.Addr(), server, p)
+	initialSite := simnet.SiteID("")
+	for s := range rec.StageSites(1) {
+		initialSite = s
+	}
+	if initialSite != "B" && initialSite != "C" {
+		t.Fatalf("unexpected initial VNF site %s", initialSite)
+	}
+	survivor := simnet.SiteID("C")
+	if initialSite == "C" {
+		survivor = "B"
+	}
+
+	// The VNF's site fails.
+	rerouted, err := tb.g.HandleSiteFailure(initialSite)
+	if err != nil {
+		t.Fatalf("HandleSiteFailure: %v", err)
+	}
+	if len(rerouted) != 1 || rerouted[0] != "c1" {
+		t.Fatalf("rerouted = %v, want [c1]", rerouted)
+	}
+	rec2, _ := tb.g.Record("c1")
+	if rec2.Version != rec.Version+1 {
+		t.Errorf("version = %d, want %d", rec2.Version, rec.Version+1)
+	}
+	for s := range rec2.StageSites(1) {
+		if s == initialSite {
+			t.Fatalf("recovered route still uses failed site %s", s)
+		}
+		if s != survivor {
+			t.Fatalf("recovered route uses %s, want %s", s, survivor)
+		}
+	}
+	tb.waitReady(rec2, "A", survivor, "D")
+
+	// New connections flow through the survivor site.
+	p2 := &packet.Packet{Key: clientKey(50001), Payload: []byte("post")}
+	got := sendAndWait(t, client, ingress.Addr(), server, p2)
+	if string(got.Payload) != "post" {
+		t.Errorf("payload = %q", got.Payload)
+	}
+	insts := v.InstancesAt(survivor)
+	if len(insts) != 1 || insts[0].Stats().Processed == 0 {
+		t.Error("survivor instance did not process recovered traffic")
+	}
+	if got := len(v.InstancesAt(initialSite)); got != 0 {
+		t.Errorf("failed site still has %d instances", got)
+	}
+}
+
+// TestSiteFailureWithNoAlternative reports an error but keeps running.
+func TestSiteFailureWithNoAlternative(t *testing.T) {
+	tb := newTestbed(t, time.Millisecond, "A", "B", "D")
+	tb.registerSites(1000, "A", "B", "D")
+	tb.addVNF("fw", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"B": 500})
+	if _, err := tb.g.CreateChain(Spec{
+		ID: "c1", IngressSite: "A", EgressSite: "D",
+		VNFs: []string{"fw"}, ForwardRate: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rerouted, err := tb.g.HandleSiteFailure("B")
+	if err == nil {
+		t.Error("expected error when no alternative site exists")
+	}
+	if len(rerouted) != 0 {
+		t.Errorf("rerouted = %v, want none", rerouted)
+	}
+}
+
+// TestSiteFailureSparesUnaffectedChains verifies chains not using the
+// failed site keep their routes and versions.
+func TestSiteFailureSparesUnaffectedChains(t *testing.T) {
+	tb := newTestbed(t, time.Millisecond, "A", "B", "C", "D")
+	tb.registerSites(1000, "A", "B", "C", "D")
+	tb.addVNF("fw", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"B": 500})
+	tb.addVNF("nat", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"C": 500})
+	if _, err := tb.g.CreateChain(Spec{
+		ID: "viaB", IngressSite: "A", EgressSite: "D", VNFs: []string{"fw"}, ForwardRate: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.g.CreateChain(Spec{
+		ID: "viaC", IngressSite: "A", EgressSite: "D", VNFs: []string{"nat"}, ForwardRate: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recC, _ := tb.g.Record("viaC")
+	if _, err := tb.g.HandleSiteFailure("B"); err == nil {
+		t.Log("viaB had no alternative; error expected") // fw only at B
+	}
+	recC2, _ := tb.g.Record("viaC")
+	if recC2.Version != recC.Version {
+		t.Errorf("unaffected chain version changed: %d -> %d", recC.Version, recC2.Version)
+	}
+}

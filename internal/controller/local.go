@@ -1,0 +1,726 @@
+package controller
+
+import (
+	"fmt"
+	"sync"
+
+	"switchboard/internal/bus"
+	"switchboard/internal/dht"
+	"switchboard/internal/edge"
+	"switchboard/internal/flowtable"
+	"switchboard/internal/forwarder"
+	"switchboard/internal/labels"
+	"switchboard/internal/simnet"
+)
+
+// edgeRole is the pseudo-VNF name under which edge-serving forwarders
+// publish themselves.
+const edgeRole = "edge"
+
+// LocalSwitchboard manages Switchboard's data plane at one site: it
+// creates forwarders (one per VNF service hosted at the site, plus one
+// serving edge instances), subscribes to the message-bus topics relevant
+// to chains that traverse the site, computes hierarchical load-balancing
+// rules (site-level TE weights × instance weights), and installs them at
+// its forwarders (Figure 4, step 5; Figure 6).
+type LocalSwitchboard struct {
+	site simnet.SiteID
+	net  *simnet.Network
+	bus  *bus.Bus
+
+	mu         sync.Mutex
+	forwarders map[string]*roleRuntime
+	edgeInst   *edge.Instance
+	edgeStop   func()
+	chains     map[ChainID]*chainState
+	tl         *Timeline
+	routesSub  *bus.Subscription
+	wg         sync.WaitGroup
+	closed     bool
+}
+
+type fwdRuntime struct {
+	f    *forwarder.Forwarder
+	ep   *simnet.Endpoint
+	stop func()
+}
+
+// roleRuntime is the (possibly scaled-out) forwarder set serving one
+// role at this site. All members share one replicated flow table (the
+// Section 5.3 DHT), so flow affinity holds regardless of which member a
+// packet lands on and survives member failure.
+type roleRuntime struct {
+	role    string
+	cluster *dht.Cluster
+	reg     *forwarder.HopRegistry
+	fwds    []*fwdRuntime
+}
+
+type chainState struct {
+	rec *RouteRecord
+	// infos caches the latest InstanceInfo list per subscribed topic.
+	infos map[bus.Topic][]InstanceInfo
+	subs  []*bus.Subscription
+}
+
+// NewLocalSwitchboard creates the Local Switchboard for a site and
+// subscribes it to the global route feed homed at gsbSite.
+func NewLocalSwitchboard(net *simnet.Network, b *bus.Bus, site, gsbSite simnet.SiteID) (*LocalSwitchboard, error) {
+	ls := &LocalSwitchboard{
+		site:       site,
+		net:        net,
+		bus:        b,
+		forwarders: make(map[string]*roleRuntime),
+		chains:     make(map[ChainID]*chainState),
+	}
+	sub, err := b.Subscribe(site, routesTopic(gsbSite), 256)
+	if err != nil {
+		return nil, fmt.Errorf("controller: local SB at %s subscribing to routes: %w", site, err)
+	}
+	ls.routesSub = sub
+	ls.wg.Add(1)
+	go func() {
+		defer ls.wg.Done()
+		for pub := range sub.Ch() {
+			switch recs := pub.Payload.(type) {
+			case []*RouteRecord:
+				for _, rec := range recs {
+					ls.OnRoute(rec)
+				}
+			case *RouteRecord:
+				ls.OnRoute(recs)
+			}
+		}
+	}()
+	return ls, nil
+}
+
+// SetTimeline attaches a timeline for responsiveness experiments.
+func (ls *LocalSwitchboard) SetTimeline(tl *Timeline) {
+	ls.mu.Lock()
+	ls.tl = tl
+	ls.mu.Unlock()
+}
+
+// Site returns the site this Local Switchboard manages.
+func (ls *LocalSwitchboard) Site() simnet.SiteID { return ls.site }
+
+// Forwarder returns (creating on demand) the forwarder serving the given
+// role: a VNF service name, or edgeRole for edge instances.
+func (ls *LocalSwitchboard) Forwarder(role string) (*forwarder.Forwarder, error) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.forwarderLocked(role)
+}
+
+func (ls *LocalSwitchboard) forwarderLocked(role string) (*forwarder.Forwarder, error) {
+	rr, err := ls.roleLocked(role)
+	if err != nil {
+		return nil, err
+	}
+	return rr.fwds[0].f, nil
+}
+
+// roleLocked returns (creating on demand) the role's forwarder set.
+func (ls *LocalSwitchboard) roleLocked(role string) (*roleRuntime, error) {
+	if rr, ok := ls.forwarders[role]; ok {
+		return rr, nil
+	}
+	if ls.closed {
+		return nil, fmt.Errorf("controller: local SB at %s closed", ls.site)
+	}
+	rr := &roleRuntime{role: role, cluster: dht.NewCluster(2), reg: forwarder.NewHopRegistry()}
+	ls.forwarders[role] = rr
+	if err := ls.growRoleLocked(rr, 1); err != nil {
+		delete(ls.forwarders, role)
+		return nil, err
+	}
+	return rr, nil
+}
+
+// growRoleLocked scales a role's forwarder set out to n members, each
+// joined to the role's shared flow-table cluster.
+func (ls *LocalSwitchboard) growRoleLocked(rr *roleRuntime, n int) error {
+	for len(rr.fwds) < n {
+		host := "fwd-" + rr.role
+		if len(rr.fwds) > 0 {
+			host = fmt.Sprintf("fwd-%s-%d", rr.role, len(rr.fwds)+1)
+		}
+		ep, err := ls.net.Attach(simnet.Addr{Site: ls.site, Host: host}, 4096)
+		if err != nil {
+			return fmt.Errorf("controller: attaching forwarder %s at %s: %w", host, ls.site, err)
+		}
+		store, err := rr.cluster.Join(host)
+		if err != nil {
+			ls.net.Detach(ep.Addr())
+			return err
+		}
+		f := forwarder.NewWithStore(fmt.Sprintf("%s/%s", ls.site, host), forwarder.ModeAffinity, store)
+		// Members share flow records, so hop IDs must be address-stable
+		// across the whole set.
+		f.UseHopRegistry(rr.reg)
+		r := &forwarder.Runner{F: f, EP: ep}
+		stop := r.Start()
+		rr.fwds = append(rr.fwds, &fwdRuntime{f: f, ep: ep, stop: stop})
+	}
+	return nil
+}
+
+// ForwarderAddr returns the address of a role's forwarder, creating it on
+// demand.
+func (ls *LocalSwitchboard) ForwarderAddr(role string) (simnet.Addr, error) {
+	if _, err := ls.Forwarder(role); err != nil {
+		return simnet.Addr{}, err
+	}
+	return simnet.Addr{Site: ls.site, Host: "fwd-" + role}, nil
+}
+
+// roleForwarders returns the role's member forwarders (creating the role
+// with one member on demand).
+func (ls *LocalSwitchboard) roleForwarders(role string) ([]*fwdRuntime, error) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	rr, err := ls.roleLocked(role)
+	if err != nil {
+		return nil, err
+	}
+	return append([]*fwdRuntime(nil), rr.fwds...), nil
+}
+
+// publishRole announces the role's forwarder set on the chain's topic.
+func (ls *LocalSwitchboard) publishRole(st labels.Stack, role string) {
+	fwds, err := ls.roleForwarders(role)
+	if err != nil {
+		return
+	}
+	infos := make([]InstanceInfo, 0, len(fwds))
+	for _, rt := range fwds {
+		infos = append(infos, InstanceInfo{Addr: rt.ep.Addr(), Weight: 1})
+	}
+	_ = ls.bus.Publish(ls.site, forwardersTopic(st, role, ls.site), infos, 64*len(infos))
+}
+
+// ScaleForwarders grows a role's forwarder set to n members (Section
+// 5.1: "the Local Switchboard scales the number of forwarders
+// elastically"). New members share the role's replicated flow table, so
+// existing connections keep their affinity no matter which member
+// receives them. The updated set is re-announced for every chain the
+// role serves, and rules are installed on the new members.
+func (ls *LocalSwitchboard) ScaleForwarders(role string, n int) error {
+	ls.mu.Lock()
+	rr, err := ls.roleLocked(role)
+	if err == nil {
+		err = ls.growRoleLocked(rr, n)
+	}
+	var chains []ChainID
+	var stacks []labels.Stack
+	for id, cs := range ls.chains {
+		if cs.rec != nil {
+			chains = append(chains, id)
+			stacks = append(stacks, labels.Stack{Chain: cs.rec.ChainLabel, Egress: cs.rec.EgressLabel})
+		}
+	}
+	ls.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for i, id := range chains {
+		ls.publishRole(stacks[i], role)
+		ls.reinstall(id)
+	}
+	return nil
+}
+
+// EnsureEdge creates (or returns) the site's edge instance, attached to
+// the edge forwarder. siteLabel is the site's egress label assigned by
+// Global Switchboard.
+func (ls *LocalSwitchboard) EnsureEdge(siteLabel uint32) (*edge.Instance, error) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.edgeInst != nil {
+		return ls.edgeInst, nil
+	}
+	if _, err := ls.forwarderLocked(edgeRole); err != nil {
+		return nil, err
+	}
+	fwdAddr := simnet.Addr{Site: ls.site, Host: "fwd-" + edgeRole}
+	ep, err := ls.net.Attach(simnet.Addr{Site: ls.site, Host: "edge-0"}, 4096)
+	if err != nil {
+		return nil, fmt.Errorf("controller: attaching edge at %s: %w", ls.site, err)
+	}
+	inst := edge.NewInstance(ep, fwdAddr, siteLabel)
+	ls.edgeInst = inst
+	ls.edgeStop = inst.Start()
+	return inst, nil
+}
+
+// Edge returns the site's edge instance, if created.
+func (ls *LocalSwitchboard) Edge() *edge.Instance {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.edgeInst
+}
+
+// OnRoute processes a (new or updated) chain route record: determines
+// this site's roles, publishes its forwarders for the VNFs it hosts,
+// subscribes to the topics its rules depend on, and (re)installs rules.
+func (ls *LocalSwitchboard) OnRoute(rec *RouteRecord) {
+	st := labels.Stack{Chain: rec.ChainLabel, Egress: rec.EgressLabel}
+	if rec.Deleted {
+		ls.onChainDeleted(rec, st)
+		return
+	}
+
+	ls.mu.Lock()
+	if ls.closed {
+		ls.mu.Unlock()
+		return
+	}
+	cs, ok := ls.chains[rec.Chain]
+	if !ok {
+		cs = &chainState{infos: make(map[bus.Topic][]InstanceInfo)}
+		ls.chains[rec.Chain] = cs
+	}
+	if cs.rec != nil && cs.rec.Version >= rec.Version {
+		// Already processed (snapshots repeat unchanged records).
+		ls.mu.Unlock()
+		return
+	}
+	cs.rec = rec
+	tl := ls.tl
+	ls.mu.Unlock()
+	tl.Record(fmt.Sprintf("localSB %s received route v%d for %s", ls.site, rec.Version, rec.Chain))
+
+	// Publish this site's forwarders for the roles it plays (all
+	// members of a scaled-out set, each with equal weight).
+	for j, vnfName := range rec.VNFs {
+		if ls.siteHostsStage(rec, j+1) {
+			ls.publishRole(st, vnfName)
+		}
+	}
+	if rec.IsIngress(ls.site) || rec.EgressSite == ls.site {
+		ls.publishRole(st, edgeRole)
+	}
+
+	// Subscribe to every topic this site's rules depend on.
+	for _, topic := range ls.dependencyTopics(rec, st) {
+		ls.subscribe(cs, rec.Chain, topic)
+	}
+	ls.reinstall(rec.Chain)
+}
+
+// onChainDeleted removes the chain's rules from every forwarder at this
+// site, cancels its subscriptions, and drops its state.
+func (ls *LocalSwitchboard) onChainDeleted(rec *RouteRecord, st labels.Stack) {
+	ls.mu.Lock()
+	cs, ok := ls.chains[rec.Chain]
+	if ok {
+		delete(ls.chains, rec.Chain)
+	}
+	var fwds []*fwdRuntime
+	for _, rr := range ls.forwarders {
+		fwds = append(fwds, rr.fwds...)
+	}
+	edgeInst := ls.edgeInst
+	tl := ls.tl
+	ls.mu.Unlock()
+	if !ok {
+		return
+	}
+	for _, rt := range fwds {
+		rt.f.RemoveRule(st)
+	}
+	if edgeInst != nil {
+		edgeInst.RemoveChainRules(st.Chain)
+	}
+	for _, sub := range cs.subs {
+		sub.Cancel()
+	}
+	tl.Record(fmt.Sprintf("localSB %s removed chain %s", ls.site, rec.Chain))
+}
+
+// siteHostsStage reports whether this site receives traffic at stage z
+// (i.e. hosts the stage-z VNF under the route's splits).
+func (ls *LocalSwitchboard) siteHostsStage(rec *RouteRecord, z int) bool {
+	for _, s := range rec.Splits {
+		if s.Stage == z && s.To == ls.site && s.Weight > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// dependencyTopics lists the bus topics whose contents feed this site's
+// rules for the chain.
+func (ls *LocalSwitchboard) dependencyTopics(rec *RouteRecord, st labels.Stack) []bus.Topic {
+	seen := make(map[bus.Topic]bool)
+	var out []bus.Topic
+	add := func(t bus.Topic) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for j, vnfName := range rec.VNFs {
+		z := j + 1 // VNF j receives traffic at stage z
+		if !ls.siteHostsStage(rec, z) {
+			continue
+		}
+		// Local instances of the hosted VNF.
+		add(instancesTopic(st, vnfName, ls.site))
+		// Next-stage forwarders.
+		nextRole, nextSites := ls.stageTargets(rec, z+1)
+		for s := range nextSites {
+			add(forwardersTopic(st, nextRole, s))
+		}
+		// Previous-stage forwarders.
+		prevRole, prevSites := ls.stageSources(rec, z)
+		for s := range prevSites {
+			add(forwardersTopic(st, prevRole, s))
+		}
+	}
+	if rec.IsIngress(ls.site) {
+		role, sites := ls.stageTargets(rec, 1)
+		for s := range sites {
+			add(forwardersTopic(st, role, s))
+		}
+	}
+	if rec.EgressSite == ls.site {
+		role, sites := ls.stageSources(rec, rec.Stages())
+		for s := range sites {
+			add(forwardersTopic(st, role, s))
+		}
+	}
+	return out
+}
+
+// stageTargets returns the role (VNF name or edge) receiving stage-z
+// traffic and the destination sites with their split weights from this
+// site (falling back to aggregate weights when this site has no splits).
+func (ls *LocalSwitchboard) stageTargets(rec *RouteRecord, z int) (string, map[simnet.SiteID]float64) {
+	role := edgeRole
+	if z <= len(rec.VNFs) {
+		role = rec.VNFs[z-1]
+	}
+	out := make(map[simnet.SiteID]float64)
+	for _, s := range rec.Splits {
+		if s.Stage == z && s.From == ls.site {
+			out[s.To] += s.Weight
+		}
+	}
+	if len(out) == 0 {
+		for _, s := range rec.Splits {
+			if s.Stage == z {
+				out[s.To] += s.Weight
+			}
+		}
+	}
+	return role, out
+}
+
+// stageSources returns the role sending stage-z traffic and the source
+// sites with their split weights into this site.
+func (ls *LocalSwitchboard) stageSources(rec *RouteRecord, z int) (string, map[simnet.SiteID]float64) {
+	role := edgeRole
+	if z-1 >= 1 {
+		role = rec.VNFs[z-2]
+	}
+	out := make(map[simnet.SiteID]float64)
+	for _, s := range rec.Splits {
+		if s.Stage == z && s.To == ls.site {
+			out[s.From] += s.Weight
+		}
+	}
+	if len(out) == 0 {
+		for _, s := range rec.Splits {
+			if s.Stage == z {
+				out[s.From] += s.Weight
+			}
+		}
+	}
+	return role, out
+}
+
+func (ls *LocalSwitchboard) subscribe(cs *chainState, id ChainID, topic bus.Topic) {
+	ls.mu.Lock()
+	if _, exists := cs.infos[topic]; exists {
+		ls.mu.Unlock()
+		return
+	}
+	cs.infos[topic] = nil
+	ls.mu.Unlock()
+
+	sub, err := ls.bus.Subscribe(ls.site, topic, 64)
+	if err != nil {
+		return
+	}
+	ls.mu.Lock()
+	if ls.closed || ls.chains[id] != cs {
+		// Close (or a chain tombstone) already snapshotted the
+		// subscription list; cancel here or the drain goroutine below
+		// would be orphaned and Close would wait forever.
+		ls.mu.Unlock()
+		sub.Cancel()
+		return
+	}
+	cs.subs = append(cs.subs, sub)
+	ls.wg.Add(1)
+	ls.mu.Unlock()
+	go func() {
+		defer ls.wg.Done()
+		for pub := range sub.Ch() {
+			infos, ok := pub.Payload.([]InstanceInfo)
+			if !ok {
+				continue
+			}
+			ls.mu.Lock()
+			cs.infos[topic] = infos
+			tl := ls.tl
+			ls.mu.Unlock()
+			tl.Record(fmt.Sprintf("localSB %s received %s", ls.site, topic))
+			ls.reinstall(id)
+		}
+	}()
+}
+
+// reinstall recomputes and installs rules for a chain at every forwarder
+// role this site plays.
+func (ls *LocalSwitchboard) reinstall(id ChainID) {
+	ls.mu.Lock()
+	cs, ok := ls.chains[id]
+	if !ok || cs.rec == nil {
+		ls.mu.Unlock()
+		return
+	}
+	rec := cs.rec
+	infos := make(map[bus.Topic][]InstanceInfo, len(cs.infos))
+	for t, v := range cs.infos {
+		infos[t] = v
+	}
+	tl := ls.tl
+	ls.mu.Unlock()
+
+	st := labels.Stack{Chain: rec.ChainLabel, Egress: rec.EgressLabel}
+
+	// Hosted VNFs.
+	for j, vnfName := range rec.VNFs {
+		z := j + 1
+		if !ls.siteHostsStage(rec, z) {
+			continue
+		}
+		members, err := ls.roleForwarders(vnfName)
+		if err != nil {
+			continue
+		}
+		live := len(infos[instancesTopic(st, vnfName, ls.site)]) > 0
+		for _, rt := range members {
+			f := rt.f
+			if !live {
+				// No live instances (not yet published, or the site's
+				// deployment failed): forwarding here would bypass the
+				// VNF and violate conformity, so drop instead of
+				// installing a transit rule.
+				f.RemoveRule(st)
+				continue
+			}
+			spec := forwarder.RuleSpec{}
+			for _, info := range infos[instancesTopic(st, vnfName, ls.site)] {
+				hop := ls.hopFor(f, forwarder.NextHop{
+					Kind: forwarder.KindVNF, Addr: info.Addr,
+					LabelAware: info.LabelAware, Labels: st,
+				})
+				spec.LocalVNF = append(spec.LocalVNF, forwarder.WeightedHop{Hop: hop, Weight: info.Weight})
+			}
+			nextRole, nextSites := ls.stageTargets(rec, z+1)
+			spec.Next = ls.weightedForwarders(f, st, infos, nextRole, nextSites)
+			prevRole, prevSites := ls.stageSources(rec, z)
+			spec.Prev = ls.weightedForwarders(f, st, infos, prevRole, prevSites)
+			f.InstallRule(st, spec)
+		}
+		if live {
+			tl.Record(fmt.Sprintf("localSB %s installed rule for %s at fwd-%s", ls.site, id, vnfName))
+		} else {
+			tl.Record(fmt.Sprintf("localSB %s removed rule for %s at fwd-%s (no instances)", ls.site, id, vnfName))
+		}
+	}
+
+	// Edge role: one combined rule whether this site is the chain's
+	// ingress, its egress, or both. The edge instance is the rule's
+	// local element: packets entering from outside are handed to it
+	// (egress side) and packets it injects head to the chain's first
+	// stage (ingress side); the forwarder's position-based routing
+	// keeps the two directions apart per connection.
+	if rec.IsIngress(ls.site) || rec.EgressSite == ls.site {
+		if members, err := ls.roleForwarders(edgeRole); err == nil {
+			ls.mu.Lock()
+			edgeInst := ls.edgeInst
+			ls.mu.Unlock()
+			for _, rt := range members {
+				f := rt.f
+				spec := forwarder.RuleSpec{}
+				if edgeInst != nil {
+					hop := ls.hopFor(f, forwarder.NextHop{Kind: forwarder.KindEdge, Addr: edgeInst.Addr()})
+					spec.LocalVNF = []forwarder.WeightedHop{{Hop: hop, Weight: 1}}
+				}
+				if rec.IsIngress(ls.site) {
+					role, sites := ls.stageTargets(rec, 1)
+					spec.Next = ls.weightedForwarders(f, st, infos, role, sites)
+				}
+				if rec.EgressSite == ls.site {
+					role, sites := ls.stageSources(rec, rec.Stages())
+					spec.Prev = ls.weightedForwarders(f, st, infos, role, sites)
+				}
+				f.InstallRule(st, spec)
+			}
+			tl.Record(fmt.Sprintf("localSB %s installed edge rule for %s", ls.site, id))
+		}
+	}
+}
+
+// weightedForwarders builds the hierarchical weights: site-level split
+// weight × published forwarder weight.
+func (ls *LocalSwitchboard) weightedForwarders(f *forwarder.Forwarder, st labels.Stack, infos map[bus.Topic][]InstanceInfo, role string, sites map[simnet.SiteID]float64) []forwarder.WeightedHop {
+	var out []forwarder.WeightedHop
+	for site, siteWeight := range sites {
+		list := infos[forwardersTopic(st, role, site)]
+		total := 0.0
+		for _, info := range list {
+			total += info.Weight
+		}
+		if total <= 0 {
+			continue
+		}
+		for _, info := range list {
+			hop := ls.hopFor(f, forwarder.NextHop{Kind: forwarder.KindForwarder, Addr: info.Addr})
+			out = append(out, forwarder.WeightedHop{Hop: hop, Weight: siteWeight * info.Weight / total})
+		}
+	}
+	return out
+}
+
+// hopFor registers the target at the forwarder once, reusing the existing
+// hop ID on subsequent calls.
+func (ls *LocalSwitchboard) hopFor(f *forwarder.Forwarder, nh forwarder.NextHop) flowtable.Hop {
+	if id := f.HopByAddr(nh.Addr); id != flowtable.None {
+		return id
+	}
+	return f.AddHop(nh)
+}
+
+// RegisterEdgeHop makes the edge instance a known source at the edge
+// forwarder (so its packets are attributed correctly).
+func (ls *LocalSwitchboard) RegisterEdgeHop() error {
+	ls.mu.Lock()
+	edgeInst := ls.edgeInst
+	ls.mu.Unlock()
+	if edgeInst == nil {
+		return fmt.Errorf("controller: no edge instance at %s", ls.site)
+	}
+	f, err := ls.Forwarder(edgeRole)
+	if err != nil {
+		return err
+	}
+	ls.hopFor(f, forwarder.NextHop{Kind: forwarder.KindEdge, Addr: edgeInst.Addr()})
+	return nil
+}
+
+// rulesReady reports whether this site's forwarders have complete rules
+// for the chain: the edge role (if ingress/egress here) and every hosted
+// VNF role must have a rule with a usable next hop, and hosted VNFs must
+// have local instances.
+func (ls *LocalSwitchboard) rulesReady(rec *RouteRecord) bool {
+	st := labels.Stack{Chain: rec.ChainLabel, Egress: rec.EgressLabel}
+	// The chain's labels are stable across route versions, so a rule
+	// alone could be a stale leftover of the previous version; require
+	// that this record's version has been processed here first.
+	ls.mu.Lock()
+	cs, ok := ls.chains[rec.Chain]
+	current := ok && cs.rec != nil && cs.rec.Version >= rec.Version
+	ls.mu.Unlock()
+	if !current {
+		return false
+	}
+	info := func(role string) (local, next, prev int, ok bool) {
+		ls.mu.Lock()
+		rr, exists := ls.forwarders[role]
+		var members []*fwdRuntime
+		if exists {
+			members = append(members, rr.fwds...)
+		}
+		ls.mu.Unlock()
+		if len(members) == 0 {
+			return 0, 0, 0, false
+		}
+		// Every member must have the rule.
+		for i, rt := range members {
+			l, n, p, o := rt.f.RuleInfo(st)
+			if !o {
+				return 0, 0, 0, false
+			}
+			if i == 0 {
+				local, next, prev, ok = l, n, p, o
+			}
+		}
+		return local, next, prev, ok
+	}
+	if rec.IsIngress(ls.site) || rec.EgressSite == ls.site {
+		local, next, prev, ok := info(edgeRole)
+		if !ok || local == 0 {
+			return false
+		}
+		if rec.IsIngress(ls.site) && next == 0 {
+			return false
+		}
+		if rec.EgressSite == ls.site && prev == 0 {
+			return false
+		}
+	}
+	for j, vnfName := range rec.VNFs {
+		if ls.siteHostsStage(rec, j+1) {
+			local, next, _, ok := info(vnfName)
+			if !ok || local == 0 || next == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Close cancels subscriptions and stops forwarders and the edge instance.
+func (ls *LocalSwitchboard) Close() {
+	ls.mu.Lock()
+	if ls.closed {
+		ls.mu.Unlock()
+		return
+	}
+	ls.closed = true
+	subs := []*bus.Subscription{ls.routesSub}
+	for _, cs := range ls.chains {
+		subs = append(subs, cs.subs...)
+	}
+	var fwds []*fwdRuntime
+	for _, rr := range ls.forwarders {
+		fwds = append(fwds, rr.fwds...)
+	}
+	edgeStop := ls.edgeStop
+	ls.mu.Unlock()
+
+	for _, s := range subs {
+		if s != nil {
+			s.Cancel()
+		}
+	}
+	for _, rt := range fwds {
+		rt.stop()
+	}
+	if edgeStop != nil {
+		edgeStop()
+	}
+	ls.wg.Wait()
+}
+
+// routesTopic is the global route feed, homed at Global Switchboard's
+// site so a single wide-area copy per site carries every route update.
+func routesTopic(gsbSite simnet.SiteID) bus.Topic {
+	return bus.MakeTopic("routes", "all", "global", gsbSite, "records")
+}

@@ -1,0 +1,63 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"switchboard/internal/labels"
+	"switchboard/internal/simnet"
+	"switchboard/internal/vnf"
+)
+
+// TestSharedInstanceAcrossChains reproduces the enterprise example: five
+// chains share one firewall instance at a site that is also an ingress.
+func TestSharedInstanceAcrossChains(t *testing.T) {
+	tb := newTestbed(t, 10*time.Millisecond, "hq", "edge1", "edge2")
+	tb.registerSites(1000, "hq", "edge1", "edge2")
+	v := NewVNFController(tb.net, tb.bus, VNFConfig{
+		Name:            "firewall",
+		Factory:         func() vnf.Function { return vnf.PassThrough{} },
+		LoadPerUnit:     1.0,
+		LabelAware:      true,
+		SharedInstances: true,
+		Capacity:        map[simnet.SiteID]float64{"edge1": 500},
+	})
+	tb.g.RegisterVNF(v)
+	t.Cleanup(v.Stop)
+
+	var recs []*RouteRecord
+	for i := 0; i < 5; i++ {
+		ingress := simnet.SiteID("edge1")
+		if i%2 == 1 {
+			ingress = "edge2"
+		}
+		rec, err := tb.g.CreateChain(Spec{
+			ID: ChainID(rune('a' + i)), IngressSite: ingress, EgressSite: "hq",
+			VNFs: []string{"firewall"}, ForwardRate: 5,
+		})
+		if err != nil {
+			t.Fatalf("chain %d: %v", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	if got := len(v.InstancesAt("edge1")); got != 1 {
+		t.Fatalf("instances at edge1 = %d, want 1 shared", got)
+	}
+	for i, rec := range recs {
+		ingress := rec.IngressSite
+		if err := tb.g.WaitForDataPath(rec, ingress, 3*time.Second); err != nil {
+			ls := tb.locals[ingress]
+			st := labels.Stack{Chain: rec.ChainLabel, Egress: rec.EgressLabel}
+			for _, role := range []string{"edge", "firewall"} {
+				f, ferr := ls.Forwarder(role)
+				if ferr != nil {
+					t.Logf("chain %d role %s: %v", i, role, ferr)
+					continue
+				}
+				l, n, p, ok := f.RuleInfo(st)
+				t.Logf("chain %d role %s at %s: local=%d next=%d prev=%d ok=%v", i, role, ingress, l, n, p, ok)
+			}
+			t.Fatalf("chain %d (%s) data path at %s: %v", i, rec.Chain, ingress, err)
+		}
+	}
+}

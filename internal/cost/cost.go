@@ -1,0 +1,77 @@
+// Package cost implements the piecewise-linear convex utilization cost
+// used by Switchboard's dynamic-programming traffic engineering (Section
+// 4.4 of the paper). The function follows Fortz & Thorup's OSPF
+// traffic-engineering cost [INFOCOM'00]: cheap while a resource is lightly
+// used and increasing steeply — roughly exponentially — once utilization
+// passes 1/2, so that routes avoid hot links and hot VNF sites long before
+// they saturate.
+package cost
+
+// breakpoint is one linear segment of the convex cost: for utilization at
+// or above U the marginal cost per unit of utilization is Slope.
+type breakpoint struct {
+	U     float64
+	Slope float64
+}
+
+// fortzThorup are the classic breakpoints. Slopes grow ~exponentially
+// above 0.5 utilization, and the two final segments punish overload
+// (utilization beyond capacity) severely but finitely, which lets the DP
+// still rank overloaded options instead of treating them all as +Inf.
+var fortzThorup = []breakpoint{
+	{0.0, 1},
+	{1.0 / 3.0, 3},
+	{2.0 / 3.0, 10},
+	{9.0 / 10.0, 70},
+	{1.0, 500},
+	{11.0 / 10.0, 5000},
+}
+
+// Utilization returns the convex cost of running a resource at utilization
+// u (load/capacity). The function is continuous, piecewise linear,
+// increasing, and convex, with Utilization(0) == 0.
+func Utilization(u float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	total := 0.0
+	for i, bp := range fortzThorup {
+		hi := u
+		if i+1 < len(fortzThorup) && fortzThorup[i+1].U < u {
+			hi = fortzThorup[i+1].U
+		}
+		if hi <= bp.U {
+			break
+		}
+		total += (hi - bp.U) * bp.Slope
+	}
+	return total
+}
+
+// Marginal returns the marginal cost (the slope) at utilization u.
+func Marginal(u float64) float64 {
+	if u < 0 {
+		u = 0
+	}
+	slope := fortzThorup[0].Slope
+	for _, bp := range fortzThorup[1:] {
+		if u >= bp.U {
+			slope = bp.Slope
+		}
+	}
+	return slope
+}
+
+// Load is a convenience wrapper: cost of placing `load` on a resource with
+// the given capacity. A non-positive capacity is treated as saturated and
+// returns the cost at utilization 2 — the overload regime — scaled by the
+// load, so zero-capacity resources are strongly but finitely discouraged.
+func Load(load, capacity float64) float64 {
+	if load <= 0 {
+		return 0
+	}
+	if capacity <= 0 {
+		return Utilization(2)
+	}
+	return Utilization(load / capacity)
+}

@@ -1,0 +1,104 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUtilizationZero(t *testing.T) {
+	if got := Utilization(0); got != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", got)
+	}
+	if got := Utilization(-1); got != 0 {
+		t.Errorf("Utilization(-1) = %v, want 0", got)
+	}
+}
+
+func TestUtilizationFirstSegment(t *testing.T) {
+	// Below 1/3 the slope is 1, so cost == u.
+	if got := Utilization(0.2); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Utilization(0.2) = %v, want 0.2", got)
+	}
+}
+
+func TestUtilizationKnownValues(t *testing.T) {
+	// Cost at 2/3 = 1/3*1 + 1/3*3 = 4/3.
+	want := 1.0/3.0 + 3.0/3.0
+	if got := Utilization(2.0 / 3.0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Utilization(2/3) = %v, want %v", got, want)
+	}
+	// Cost at 1.0 = 4/3 + (9/10-2/3)*10 + (1-9/10)*70 = 4/3 + 7/3 + 7.
+	want = 4.0/3.0 + (9.0/10.0-2.0/3.0)*10 + (1-9.0/10.0)*70
+	if got := Utilization(1.0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Utilization(1) = %v, want %v", got, want)
+	}
+}
+
+func TestUtilizationMonotoneAndConvex(t *testing.T) {
+	prev := 0.0
+	prevSlope := 0.0
+	for u := 0.01; u < 2.0; u += 0.01 {
+		c := Utilization(u)
+		if c < prev {
+			t.Fatalf("Utilization not monotone at u=%v: %v < %v", u, c, prev)
+		}
+		slope := (c - prev) / 0.01
+		if slope+1e-6 < prevSlope {
+			t.Fatalf("Utilization not convex at u=%v: slope %v < %v", u, slope, prevSlope)
+		}
+		prev, prevSlope = c, slope
+	}
+}
+
+func TestUtilizationSteepAboveHalf(t *testing.T) {
+	// The paper: "increases exponentially with utilization at values
+	// above 0.5". Check the marginal cost at 0.95 dwarfs that at 0.4.
+	low := Utilization(0.45) - Utilization(0.40)
+	high := Utilization(1.0) - Utilization(0.95)
+	if high < 10*low {
+		t.Errorf("cost not steep above 0.5: Δhigh=%v Δlow=%v", high, low)
+	}
+}
+
+func TestMarginal(t *testing.T) {
+	tests := []struct {
+		u    float64
+		want float64
+	}{
+		{0, 1}, {0.3, 1}, {0.34, 3}, {0.7, 10}, {0.95, 70}, {1.05, 500}, {1.5, 5000},
+	}
+	for _, tt := range tests {
+		if got := Marginal(tt.u); got != tt.want {
+			t.Errorf("Marginal(%v) = %v, want %v", tt.u, got, tt.want)
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	if got := Load(0, 10); got != 0 {
+		t.Errorf("Load(0,10) = %v, want 0", got)
+	}
+	if got, want := Load(5, 10), Utilization(0.5); got != want {
+		t.Errorf("Load(5,10) = %v, want %v", got, want)
+	}
+	// Zero capacity: finite overload cost.
+	got := Load(1, 0)
+	if math.IsInf(got, 1) || got <= Utilization(1.1) {
+		t.Errorf("Load(1,0) = %v, want finite overload cost > Utilization(1.1)", got)
+	}
+}
+
+// Property: Utilization is continuous (small input deltas give small
+// output deltas, bounded by the max slope).
+func TestUtilizationLipschitz(t *testing.T) {
+	f := func(a uint16) bool {
+		u := float64(a) / 10000.0 // up to ~6.5
+		delta := 1e-6
+		d := Utilization(u+delta) - Utilization(u)
+		return d >= 0 && d <= 5000*delta+1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

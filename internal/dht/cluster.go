@@ -1,0 +1,265 @@
+package dht
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+)
+
+// Cluster is a site-local group of forwarder nodes sharing one
+// replicated flow table. Each member obtains a *Node handle that
+// implements the forwarder's flow-store operations; writes are
+// synchronously replicated to `replicas` owners on the ring, reads fall
+// through the owners in order, so any member (or a member that takes
+// over a failed peer's VNF instances) sees every connection's pinned
+// hops.
+type Cluster struct {
+	replicas int
+
+	mu     sync.RWMutex
+	ring   *Ring
+	stores map[string]*store
+	epoch  atomic.Uint32
+}
+
+// store is one member's local partition.
+type store struct {
+	mu sync.Mutex
+	m  map[flowtable.Key]entry
+}
+
+type entry struct {
+	rec          flowtable.Record
+	fwdCanonical bool
+	epoch        uint32
+}
+
+// NewCluster returns an empty cluster replicating each record to up to
+// `replicas` members (minimum 1; the paper's fault-tolerance goal needs
+// at least 2).
+func NewCluster(replicas int) *Cluster {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Cluster{
+		replicas: replicas,
+		ring:     NewRing(),
+		stores:   make(map[string]*store),
+	}
+}
+
+// Join adds a member and returns its flow-store handle. Existing records
+// are re-replicated so the new member immediately owns its share.
+func (c *Cluster) Join(node string) (*Node, error) {
+	c.mu.Lock()
+	if _, dup := c.stores[node]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("dht: node %s already joined", node)
+	}
+	c.ring.Add(node)
+	c.stores[node] = &store{m: make(map[flowtable.Key]entry)}
+	c.mu.Unlock()
+	c.Repair()
+	return &Node{c: c, name: node}, nil
+}
+
+// Fail removes a member abruptly, losing its local partition (a crash).
+// Surviving replicas keep the records available; Repair restores the
+// replication factor on the remaining members.
+func (c *Cluster) Fail(node string) {
+	c.mu.Lock()
+	c.ring.Remove(node)
+	delete(c.stores, node)
+	c.mu.Unlock()
+	c.Repair()
+}
+
+// Leave removes a member gracefully: its records are re-replicated
+// before the partition is dropped (scale-in).
+func (c *Cluster) Leave(node string) {
+	c.mu.Lock()
+	st, ok := c.stores[node]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	c.ring.Remove(node)
+	c.mu.Unlock()
+
+	// Push this node's records to their new owners, then drop it.
+	st.mu.Lock()
+	records := make(map[flowtable.Key]entry, len(st.m))
+	for k, e := range st.m {
+		records[k] = e
+	}
+	st.mu.Unlock()
+	for k, e := range records {
+		c.replicate(k, e)
+	}
+	c.mu.Lock()
+	delete(c.stores, node)
+	c.mu.Unlock()
+}
+
+// Members returns the current member names.
+func (c *Cluster) Members() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Nodes()
+}
+
+// replicate writes the entry to every current owner of the key.
+func (c *Cluster) replicate(k flowtable.Key, e entry) {
+	c.mu.RLock()
+	owners := c.ring.Owners(k.Flow.Hash(), c.replicas)
+	targets := make([]*store, 0, len(owners))
+	for _, o := range owners {
+		if st, ok := c.stores[o]; ok {
+			targets = append(targets, st)
+		}
+	}
+	c.mu.RUnlock()
+	for _, st := range targets {
+		st.mu.Lock()
+		st.m[k] = e
+		st.mu.Unlock()
+	}
+}
+
+func canonicalKey(st labels.Stack, flow packet.FlowKey) (flowtable.Key, bool) {
+	cf, same := flow.Canonical()
+	return flowtable.Key{Chain: st.Chain, Egress: st.Egress, Flow: cf}, same
+}
+
+// Repair re-establishes the replication factor: every record found on
+// any member is copied to all of the key's current owners. Called after
+// membership changes; cheap at site scale (one site's connections).
+func (c *Cluster) Repair() {
+	c.mu.RLock()
+	stores := make([]*store, 0, len(c.stores))
+	for _, st := range c.stores {
+		stores = append(stores, st)
+	}
+	c.mu.RUnlock()
+	for _, st := range stores {
+		st.mu.Lock()
+		records := make(map[flowtable.Key]entry, len(st.m))
+		for k, e := range st.m {
+			records[k] = e
+		}
+		st.mu.Unlock()
+		for k, e := range records {
+			c.replicate(k, e)
+		}
+	}
+}
+
+// Len returns the number of distinct connections stored (records are
+// counted once regardless of replication).
+func (c *Cluster) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	seen := make(map[flowtable.Key]bool)
+	for _, st := range c.stores {
+		st.mu.Lock()
+		for k := range st.m {
+			seen[k] = true
+		}
+		st.mu.Unlock()
+	}
+	return len(seen)
+}
+
+// Node is one member's handle, implementing the forwarder flow-store
+// operations (the same contract as flowtable.Table).
+type Node struct {
+	c    *Cluster
+	name string
+}
+
+// Name returns the member name.
+func (n *Node) Name() string { return n.name }
+
+// Insert stores a connection record, replicated to the key's owners.
+func (n *Node) Insert(st labels.Stack, flow packet.FlowKey, rec flowtable.Record) {
+	k, fwdCanonical := canonicalKey(st, flow)
+	n.c.replicate(k, entry{rec: rec, fwdCanonical: fwdCanonical, epoch: n.c.epoch.Load()})
+}
+
+// Lookup consults the key's owners in ring order.
+func (n *Node) Lookup(st labels.Stack, flow packet.FlowKey) (flowtable.Record, bool, bool) {
+	k, same := canonicalKey(st, flow)
+	epoch := n.c.epoch.Load()
+	n.c.mu.RLock()
+	owners := n.c.ring.Owners(k.Flow.Hash(), n.c.replicas)
+	stores := make([]*store, 0, len(owners))
+	for _, o := range owners {
+		if st, ok := n.c.stores[o]; ok {
+			stores = append(stores, st)
+		}
+	}
+	n.c.mu.RUnlock()
+	for _, s := range stores {
+		s.mu.Lock()
+		e, ok := s.m[k]
+		if ok && e.epoch != epoch {
+			e.epoch = epoch
+			s.m[k] = e
+		}
+		s.mu.Unlock()
+		if ok {
+			return e.rec, same == e.fwdCanonical, true
+		}
+	}
+	return flowtable.Record{}, false, false
+}
+
+// Remove deletes a connection from all owners.
+func (n *Node) Remove(st labels.Stack, flow packet.FlowKey) {
+	k, _ := canonicalKey(st, flow)
+	n.c.mu.RLock()
+	stores := make([]*store, 0, len(n.c.stores))
+	for _, s := range n.c.stores {
+		stores = append(stores, s)
+	}
+	n.c.mu.RUnlock()
+	for _, s := range stores {
+		s.mu.Lock()
+		delete(s.m, k)
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the cluster-wide distinct connection count.
+func (n *Node) Len() int { return n.c.Len() }
+
+// Advance ages the cluster's idle-tracking epoch and evicts records not
+// looked up within keep epochs.
+func (n *Node) Advance(keep uint32) (evicted int) {
+	cur := n.c.epoch.Add(1)
+	n.c.mu.RLock()
+	stores := make([]*store, 0, len(n.c.stores))
+	for _, s := range n.c.stores {
+		stores = append(stores, s)
+	}
+	n.c.mu.RUnlock()
+	seen := make(map[flowtable.Key]bool)
+	for _, s := range stores {
+		s.mu.Lock()
+		for k, e := range s.m {
+			if cur-e.epoch > keep {
+				delete(s.m, k)
+				if !seen[k] {
+					seen[k] = true
+					evicted++
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return evicted
+}

@@ -1,0 +1,222 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+)
+
+var st = labels.Stack{Chain: 5, Egress: 2}
+
+func flowN(i int) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: 0x0A000000 | uint32(i), DstIP: 0xC0A80001,
+		SrcPort: uint16(1024 + i%60000), DstPort: 80, Proto: 6,
+	}
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := NewRing()
+	for _, n := range []string{"f1", "f2", "f3", "f4"} {
+		r.Add(n)
+	}
+	owners := r.Owners(12345, 3)
+	if len(owners) != 3 {
+		t.Fatalf("owners = %v, want 3", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %s", o)
+		}
+		seen[o] = true
+	}
+	// Stability: same key, same owners.
+	again := r.Owners(12345, 3)
+	for i := range owners {
+		if owners[i] != again[i] {
+			t.Fatal("owners not deterministic")
+		}
+	}
+}
+
+func TestRingOwnersFewerThanReplicas(t *testing.T) {
+	r := NewRing()
+	r.Add("only")
+	if got := r.Owners(1, 3); len(got) != 1 || got[0] != "only" {
+		t.Errorf("owners = %v", got)
+	}
+	if got := NewRing().Owners(1, 2); got != nil {
+		t.Errorf("empty ring owners = %v", got)
+	}
+}
+
+func TestRingRemoveRedistributes(t *testing.T) {
+	r := NewRing()
+	for _, n := range []string{"f1", "f2", "f3"} {
+		r.Add(n)
+	}
+	r.Remove("f2")
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for key := uint64(0); key < 1000; key += 37 {
+		for _, o := range r.Owners(key, 2) {
+			if o == "f2" {
+				t.Fatal("removed node still owns keys")
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing()
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("f%d", i))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 40000; i++ {
+		counts[r.Owners(flowN(i).Hash(), 1)[0]]++
+	}
+	for n, c := range counts {
+		share := float64(c) / 40000
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.0f%% of keys; want roughly balanced", n, share*100)
+		}
+	}
+}
+
+func TestClusterReplicationSurvivesFailure(t *testing.T) {
+	c := NewCluster(2)
+	n1, err := c.Join("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := c.Join("f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Join("f3"); err != nil {
+		t.Fatal(err)
+	}
+	const flows = 500
+	for i := 0; i < flows; i++ {
+		n1.Insert(st, flowN(i), flowtable.Record{VNF: flowtable.Hop(i + 1), Next: 7, Prev: 9})
+	}
+	if got := c.Len(); got != flows {
+		t.Fatalf("Len = %d, want %d", got, flows)
+	}
+	// Any member sees every record.
+	for i := 0; i < flows; i++ {
+		rec, fwd, ok := n2.Lookup(st, flowN(i))
+		if !ok || !fwd || rec.VNF != flowtable.Hop(i+1) {
+			t.Fatalf("flow %d not visible from f2: %+v %v %v", i, rec, fwd, ok)
+		}
+	}
+	// f1 crashes: with replication factor 2, no record is lost.
+	c.Fail("f1")
+	for i := 0; i < flows; i++ {
+		if _, _, ok := n2.Lookup(st, flowN(i)); !ok {
+			t.Fatalf("flow %d lost after single failure with R=2", i)
+		}
+	}
+	// Repair restored R=2 on the survivors: a second failure of either
+	// remaining node still loses nothing.
+	c.Fail("f3")
+	lost := 0
+	for i := 0; i < flows; i++ {
+		if _, _, ok := n2.Lookup(st, flowN(i)); !ok {
+			lost++
+		}
+	}
+	if lost != 0 {
+		t.Errorf("%d flows lost after sequential failures with repair", lost)
+	}
+}
+
+func TestClusterNoReplicationLosesOnFailure(t *testing.T) {
+	c := NewCluster(1) // no redundancy
+	n1, _ := c.Join("f1")
+	n2, _ := c.Join("f2")
+	_ = n2
+	const flows = 400
+	for i := 0; i < flows; i++ {
+		n1.Insert(st, flowN(i), flowtable.Record{VNF: 1})
+	}
+	c.Fail("f1")
+	survivors := 0
+	for i := 0; i < flows; i++ {
+		if _, _, ok := n2.Lookup(st, flowN(i)); ok {
+			survivors++
+		}
+	}
+	if survivors == 0 || survivors == flows {
+		t.Errorf("survivors = %d of %d with R=1; want partial loss (f2's share only)", survivors, flows)
+	}
+}
+
+func TestClusterLeaveKeepsEverything(t *testing.T) {
+	c := NewCluster(2)
+	n1, _ := c.Join("f1")
+	n2, _ := c.Join("f2")
+	const flows = 300
+	for i := 0; i < flows; i++ {
+		n1.Insert(st, flowN(i), flowtable.Record{Next: 3})
+	}
+	c.Leave("f1") // graceful: hands records off first
+	for i := 0; i < flows; i++ {
+		if _, _, ok := n2.Lookup(st, flowN(i)); !ok {
+			t.Fatalf("flow %d lost on graceful leave", i)
+		}
+	}
+}
+
+func TestClusterJoinRebalances(t *testing.T) {
+	c := NewCluster(2)
+	n1, _ := c.Join("f1")
+	const flows = 300
+	for i := 0; i < flows; i++ {
+		n1.Insert(st, flowN(i), flowtable.Record{Next: 3})
+	}
+	// New member joins; repair copies its share over, so f1 can fail.
+	n2, err := c.Join("f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Fail("f1")
+	for i := 0; i < flows; i++ {
+		if _, _, ok := n2.Lookup(st, flowN(i)); !ok {
+			t.Fatalf("flow %d lost after join+fail", i)
+		}
+	}
+}
+
+func TestClusterRemoveAndAdvance(t *testing.T) {
+	c := NewCluster(2)
+	n1, _ := c.Join("f1")
+	n1.Insert(st, flowN(1), flowtable.Record{Next: 3})
+	n1.Remove(st, flowN(1).Reverse())
+	if _, _, ok := n1.Lookup(st, flowN(1)); ok {
+		t.Error("record survived Remove")
+	}
+	n1.Insert(st, flowN(2), flowtable.Record{Next: 3})
+	for e := 0; e < 3; e++ {
+		n1.Advance(1)
+	}
+	if _, _, ok := n1.Lookup(st, flowN(2)); ok {
+		t.Error("idle record survived Advance eviction")
+	}
+}
+
+func TestClusterDuplicateJoin(t *testing.T) {
+	c := NewCluster(1)
+	if _, err := c.Join("f1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Join("f1"); err == nil {
+		t.Error("duplicate join succeeded")
+	}
+}

@@ -1,0 +1,254 @@
+// Package edge implements Switchboard's edge service: the instances that
+// sit between customer devices and the Switchboard overlay. On ingress an
+// edge instance classifies packets against customer chain specifications,
+// affixes the chain and egress-site labels, and hands the packet to its
+// forwarder; on egress it strips labels and delivers to the destination.
+// It remembers connections it has egressed so reverse traffic re-enters
+// the overlay with the same label stack, preserving the forwarders' flow
+// keys (Section 5.3, "conformity" and "symmetric return").
+package edge
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+)
+
+// MatchRule classifies a traffic slice to a chain (Section 2: VLAN or IP
+// header attributes select which chain applies). Zero fields match all.
+type MatchRule struct {
+	Src     packet.Prefix
+	Dst     packet.Prefix
+	Proto   uint8
+	DstPort uint16
+	// Chain is the chain label applied on match.
+	Chain uint32
+}
+
+// Matches reports whether the rule matches the key.
+func (r MatchRule) Matches(k packet.FlowKey) bool {
+	if !r.Src.Contains(k.SrcIP) || !r.Dst.Contains(k.DstIP) {
+		return false
+	}
+	if r.Proto != 0 && r.Proto != k.Proto {
+		return false
+	}
+	if r.DstPort != 0 && r.DstPort != k.DstPort {
+		return false
+	}
+	return true
+}
+
+// EgressRoute maps a destination prefix to the egress-site label, the
+// per-customer routing table of Section 5.3 (VRF-style).
+type EgressRoute struct {
+	Dst    packet.Prefix
+	Egress uint32
+}
+
+// Stats counts edge activity.
+type Stats struct {
+	Ingressed   uint64 // packets labeled and sent into the overlay
+	Egressed    uint64 // packets delivered to local destinations
+	Unmatched   uint64 // packets with no matching chain rule
+	NoEgress    uint64 // packets with no egress route
+	NoLocalHost uint64 // egress packets with unknown destination host
+}
+
+// Instance is one edge instance at a site.
+type Instance struct {
+	ep        *simnet.Endpoint
+	forwarder simnet.Addr
+	siteLabel uint32
+
+	mu          sync.RWMutex
+	rules       []MatchRule
+	egressTable []EgressRoute
+	localHosts  map[uint32]simnet.Addr
+	conns       map[packet.FlowKey]labels.Stack
+
+	ingressed, egressed, unmatched, noEgress, noLocalHost atomic.Uint64
+}
+
+// NewInstance creates an edge instance. siteLabel is this site's egress
+// label; forwarder is the Switchboard forwarder the instance attaches to.
+func NewInstance(ep *simnet.Endpoint, forwarder simnet.Addr, siteLabel uint32) *Instance {
+	return &Instance{
+		ep:         ep,
+		forwarder:  forwarder,
+		siteLabel:  siteLabel,
+		localHosts: make(map[uint32]simnet.Addr),
+		conns:      make(map[packet.FlowKey]labels.Stack),
+	}
+}
+
+// Addr returns the instance's overlay address.
+func (e *Instance) Addr() simnet.Addr { return e.ep.Addr() }
+
+// SiteLabel returns the site's egress label.
+func (e *Instance) SiteLabel() uint32 { return e.siteLabel }
+
+// SetForwarder repoints the instance at a (possibly new) forwarder.
+func (e *Instance) SetForwarder(a simnet.Addr) {
+	e.mu.Lock()
+	e.forwarder = a
+	e.mu.Unlock()
+}
+
+// AddRule appends a classification rule. Rules match in insertion order.
+func (e *Instance) AddRule(r MatchRule) {
+	e.mu.Lock()
+	e.rules = append(e.rules, r)
+	e.mu.Unlock()
+}
+
+// RemoveChainRules drops all rules for a chain label.
+func (e *Instance) RemoveChainRules(chain uint32) {
+	e.mu.Lock()
+	out := e.rules[:0]
+	for _, r := range e.rules {
+		if r.Chain != chain {
+			out = append(out, r)
+		}
+	}
+	e.rules = out
+	e.mu.Unlock()
+}
+
+// AddEgressRoute appends a destination-prefix → egress-label route.
+func (e *Instance) AddEgressRoute(r EgressRoute) {
+	e.mu.Lock()
+	e.egressTable = append(e.egressTable, r)
+	e.mu.Unlock()
+}
+
+// RegisterHost binds a local destination IP to its delivery address.
+func (e *Instance) RegisterHost(ip uint32, a simnet.Addr) {
+	e.mu.Lock()
+	e.localHosts[ip] = a
+	e.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Instance) Stats() Stats {
+	return Stats{
+		Ingressed:   e.ingressed.Load(),
+		Egressed:    e.egressed.Load(),
+		Unmatched:   e.unmatched.Load(),
+		NoEgress:    e.noEgress.Load(),
+		NoLocalHost: e.noLocalHost.Load(),
+	}
+}
+
+// HandlePacket processes one packet: labeled packets egress to local
+// hosts; unlabeled packets ingress into the overlay. It returns the
+// destination address and true when the packet should be sent.
+func (e *Instance) HandlePacket(p *packet.Packet) (simnet.Addr, bool) {
+	if p.Labeled {
+		return e.egress(p)
+	}
+	return e.ingress(p)
+}
+
+func (e *Instance) ingress(p *packet.Packet) (simnet.Addr, bool) {
+	e.mu.RLock()
+	// Known connection (typically reverse traffic of a chain that
+	// egressed here): reuse the recorded stack.
+	canon, _ := p.Key.Canonical()
+	if st, ok := e.conns[canon]; ok {
+		fw := e.forwarder
+		e.mu.RUnlock()
+		p.Labels = st
+		p.Labeled = true
+		e.ingressed.Add(1)
+		return fw, true
+	}
+	var chain uint32
+	matched := false
+	for _, r := range e.rules {
+		if r.Matches(p.Key) {
+			chain = r.Chain
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		e.mu.RUnlock()
+		e.unmatched.Add(1)
+		return simnet.Addr{}, false
+	}
+	egress := uint32(0)
+	found := false
+	for _, r := range e.egressTable {
+		if r.Dst.Contains(p.Key.DstIP) {
+			egress = r.Egress
+			found = true
+			break
+		}
+	}
+	fw := e.forwarder
+	e.mu.RUnlock()
+	if !found {
+		e.noEgress.Add(1)
+		return simnet.Addr{}, false
+	}
+	p.Labels = labels.Stack{Chain: chain, Egress: egress}
+	p.Labeled = true
+	e.ingressed.Add(1)
+	return fw, true
+}
+
+func (e *Instance) egress(p *packet.Packet) (simnet.Addr, bool) {
+	canon, _ := p.Key.Canonical()
+	e.mu.Lock()
+	e.conns[canon] = p.Labels
+	dst, ok := e.localHosts[p.Key.DstIP]
+	e.mu.Unlock()
+	if !ok {
+		e.noLocalHost.Add(1)
+		return simnet.Addr{}, false
+	}
+	p.Labeled = false
+	e.egressed.Add(1)
+	return dst, true
+}
+
+// Run drives the instance from its endpoint until the context is
+// cancelled or the inbox closes.
+func (e *Instance) Run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m, ok := <-e.ep.Inbox():
+			if !ok {
+				return
+			}
+			p, ok := m.Payload.(*packet.Packet)
+			if !ok {
+				continue
+			}
+			if to, send := e.HandlePacket(p); send {
+				_ = e.ep.Send(to, p, len(p.Payload)+40)
+			}
+		}
+	}
+}
+
+// Start launches Run on a goroutine and returns a stop function.
+func (e *Instance) Start() (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.Run(ctx)
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/forwarder"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+)
+
+var benchStack = labels.Stack{Chain: 77, Egress: 9}
+
+func benchFlow(core, i int) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: uint32(core)<<24 | uint32(i), DstIP: 0xC0A80001,
+		SrcPort: uint16(i % 60000), DstPort: 80, Proto: 6,
+	}
+}
+
+// buildForwarder assembles a single-chain forwarder in the given mode.
+func buildForwarder(name string, mode forwarder.Mode) (f *forwarder.Forwarder, prev flowtable.Hop) {
+	f = forwarder.New(name, mode, 16)
+	vnf := f.AddHop(forwarder.NextHop{Kind: forwarder.KindVNF,
+		Addr: simnet.Addr{Site: "A", Host: name + "-vnf"}, LabelAware: true})
+	next := f.AddHop(forwarder.NextHop{Kind: forwarder.KindForwarder,
+		Addr: simnet.Addr{Site: "B", Host: name + "-peer"}})
+	prev = f.AddHop(forwarder.NextHop{Kind: forwarder.KindEdge,
+		Addr: simnet.Addr{Site: "A", Host: name + "-edge"}})
+	f.InstallRule(benchStack, forwarder.RuleSpec{
+		LocalVNF: []forwarder.WeightedHop{{Hop: vnf, Weight: 1}},
+		Next:     []forwarder.WeightedHop{{Hop: next, Weight: 1}},
+		Prev:     []forwarder.WeightedHop{{Hop: prev, Weight: 1}},
+	})
+	f.SetBridgeTarget(next)
+	return f, prev
+}
+
+// measureMpps pushes packets through Process for the given duration and
+// returns millions of packets per second.
+func measureMpps(f *forwarder.Forwarder, prev flowtable.Hop, flows int, dur time.Duration) float64 {
+	pkts := make([]*packet.Packet, flows)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{Labels: benchStack, Labeled: true, Key: benchFlow(0, i)}
+	}
+	// Warm up: populate flow table.
+	for _, p := range pkts {
+		_, _ = f.Process(p, prev)
+		p.Labeled = true
+	}
+	n := 0
+	start := time.Now()
+	for time.Since(start) < dur {
+		for k := 0; k < 256; k++ {
+			p := pkts[n%flows]
+			_, _ = f.Process(p, prev)
+			p.Labeled = true
+			n++
+		}
+	}
+	sec := time.Since(start).Seconds()
+	return float64(n) / sec / 1e6
+}
+
+// Fig7 reproduces the OVS overhead ablation: per-packet throughput of a
+// plain bridge, +overlay labels (weighted LB per packet), and +flow
+// affinity rules, for 1-50 concurrent flows. The paper measured labels
+// at 19-29% overhead and affinity at a further 33-44% on OVS.
+func Fig7() (*Table, error) {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "forwarder overhead: bridge vs +labels vs +affinity (Mpps, 1 core)",
+		Header: []string{"flows", "bridge", "labels", "affinity", "labels ovh %", "affinity ovh %"},
+	}
+	const dur = 300 * time.Millisecond
+	for _, flows := range []int{1, 10, 50} {
+		fb, pb := buildForwarder("bridge", forwarder.ModeBridge)
+		fl, pl := buildForwarder("labels", forwarder.ModeLabels)
+		fa, pa := buildForwarder("affinity", forwarder.ModeAffinity)
+		bridge := measureMpps(fb, pb, flows, dur)
+		lbl := measureMpps(fl, pl, flows, dur)
+		aff := measureMpps(fa, pa, flows, dur)
+		lblOvh := (bridge/lbl - 1) * 100
+		affOvh := (lbl/aff - 1) * 100
+		t.AddRow(flows, bridge, lbl, aff, lblOvh, affOvh)
+	}
+	t.Notes = append(t.Notes,
+		"paper (OVS): labels +19-29%, affinity +33-44% over labels; shape target is ordered overhead, not absolute %")
+	return t, nil
+}
+
+// Fig8 reproduces the forwarder scale-out: aggregate throughput for 1..N
+// cores each owning its forwarder instance, at small and large flow
+// tables (512K flows per instance, the paper's per-core figure). The
+// paper: ~7 Mpps on one core, +3-4 Mpps per extra core, >20 Mpps with 6
+// cores and 3M flows.
+func Fig8() (*Table, error) {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "forwarder scale-out (aggregate Mpps)",
+		Header: []string{"cores", "flows/core", "total flows", "Mpps"},
+	}
+	maxCores := runtime.GOMAXPROCS(0)
+	coreCounts := []int{1, 2, 4, 6}
+	for _, cores := range coreCounts {
+		if cores > maxCores {
+			t.Notes = append(t.Notes,
+				fmt.Sprintf("cores=%d skipped: only %d hardware threads available", cores, maxCores))
+			continue
+		}
+		for _, flowsPer := range []int{8192, 524288} {
+			mpps := scaleOutMpps(cores, flowsPer, 400*time.Millisecond)
+			t.AddRow(cores, flowsPer, cores*flowsPer, mpps)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: near-linear core scaling; throughput drops as the flow table outgrows CPU caches")
+	return t, nil
+}
+
+func scaleOutMpps(cores, flowsPer int, dur time.Duration) float64 {
+	fwds := make([]*forwarder.Forwarder, cores)
+	prevs := make([]flowtable.Hop, cores)
+	for c := 0; c < cores; c++ {
+		fwds[c], prevs[c] = buildForwarder(fmt.Sprintf("f%d", c), forwarder.ModeAffinity)
+		for i := 0; i < flowsPer; i++ {
+			p := &packet.Packet{Labels: benchStack, Labeled: true, Key: benchFlow(c, i)}
+			_, _ = fwds[c].Process(p, prevs[c])
+		}
+	}
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < cores; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			const window = 2048
+			pkts := make([]*packet.Packet, window)
+			stride := flowsPer/window + 1
+			for i := range pkts {
+				pkts[i] = &packet.Packet{Labels: benchStack, Labeled: true, Key: benchFlow(c, (i*stride)%flowsPer)}
+			}
+			n := uint64(0)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					total.Add(n)
+					return
+				default:
+				}
+				for k := 0; k < window; k++ {
+					p := pkts[k]
+					_, _ = fwds[c].Process(p, prevs[c])
+					p.Labeled = true
+					n++
+				}
+			}
+		}(c)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	sec := time.Since(start).Seconds()
+	return float64(total.Load()) / sec / 1e6
+}

@@ -1,0 +1,107 @@
+// Package experiments regenerates every table and figure of the
+// Switchboard paper's evaluation (Section 7) on the repository's
+// simulated substrate. Each experiment returns a Table whose rows mirror
+// the series the paper plots; cmd/sbbench prints them and the top-level
+// benchmark harness embeds them in testing.B runs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid with the same rows or
+// series the paper reports.
+type Table struct {
+	ID     string // "fig12a", "table2", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is a runnable table/figure reproduction.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func() (*Table, error)
+}
+
+// All returns every experiment keyed by ID, in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig7", "OVS-style forwarder overhead: bridge vs labels vs flow affinity", Fig7},
+		{"fig8", "forwarder horizontal scale-out and flow-count scaling", Fig8},
+		{"fig9", "global message bus vs full-mesh broadcast", Fig9},
+		{"fig10", "dynamic chain route creation: update time and throughput", Fig10},
+		{"table2", "edge-site addition control-plane latency", Table2},
+		{"fig11", "E2E: Switchboard vs ANYCAST vs COMPUTE-AWARE on a 2-site WAN", Fig11},
+		{"table3", "shared vs vertically siloed cache instances", Table3},
+		{"fig12a", "throughput vs VNF coverage (SB-LP, SB-DP, ANYCAST)", Fig12a},
+		{"fig12b", "throughput vs CPU/byte (SB-LP, SB-DP, ANYCAST)", Fig12b},
+		{"fig12c", "latency vs load factor (SB-LP, SB-DP, ANYCAST)", Fig12c},
+		{"fig13a", "SB-DP vs DP-LATENCY vs ONEHOP ablation", Fig13a},
+		{"fig13b", "cloud capacity planning vs uniform provisioning", Fig13b},
+		{"fig13c", "VNF placement hints vs random site selection", Fig13c},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseCell(t *testing.T, table *Table, row, col int) float64 {
+	t.Helper()
+	if row >= len(table.Rows) || col >= len(table.Rows[row]) {
+		t.Fatalf("table %s has no cell (%d,%d): %+v", table.ID, row, col, table.Rows)
+	}
+	v, err := strconv.ParseFloat(table.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric", row, col, table.Rows[row][col])
+	}
+	return v
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Desc == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		ids[e.ID] = true
+		if _, ok := ByID(e.ID); !ok {
+			t.Errorf("ByID(%s) failed", e.ID)
+		}
+	}
+	// One per table/figure of Section 7.
+	for _, want := range []string{"fig7", "fig8", "fig9", "fig10", "table2",
+		"fig11", "table3", "fig12a", "fig12b", "fig12c", "fig13a", "fig13b", "fig13c"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown ID")
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Header: []string{"a", "bb"}}
+	tb.AddRow(1.5, "w")
+	tb.Notes = append(tb.Notes, "n")
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "1.500", "w", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The fast experiments run as regression tests asserting the paper's
+// qualitative claims hold on every build. (The slow ones — fig7-fig11 —
+// run via cmd/sbbench or the benchmark harness.)
+
+func TestTable3SharedCacheWins(t *testing.T) {
+	table, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedHit, siloHit := parseCell(t, table, 0, 1), parseCell(t, table, 1, 1)
+	sharedDl, siloDl := parseCell(t, table, 0, 2), parseCell(t, table, 1, 2)
+	if sharedHit <= siloHit {
+		t.Errorf("shared hit rate %v ≤ siloed %v", sharedHit, siloHit)
+	}
+	if sharedDl >= siloDl {
+		t.Errorf("shared download %v ≥ siloed %v", sharedDl, siloDl)
+	}
+}
+
+func TestFig12bOrderingHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LP experiment")
+	}
+	table, err := Fig12b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range table.Rows {
+		lp, dp, anycast := parseCell(t, table, i, 1), parseCell(t, table, i, 2), parseCell(t, table, i, 3)
+		if lp < dp-1e-6 {
+			t.Errorf("row %d: SB-LP %v < SB-DP %v", i, lp, dp)
+		}
+		if dp < anycast-1e-6 {
+			t.Errorf("row %d: SB-DP %v < ANYCAST %v", i, dp, anycast)
+		}
+	}
+}
+
+func TestFig13aDPBeatsLatencyOnly(t *testing.T) {
+	table, err := Fig13a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range table.Rows {
+		dp, dpl := parseCell(t, table, i, 1), parseCell(t, table, i, 2)
+		if dp < dpl {
+			t.Errorf("row %d: SB-DP %v < DP-LATENCY %v", i, dp, dpl)
+		}
+	}
+}
+
+func TestFig13bPlannedBeatsUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LP experiment")
+	}
+	table, err := Fig13b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range table.Rows {
+		uniform, planned := parseCell(t, table, i, 1), parseCell(t, table, i, 2)
+		if planned < uniform-1e-6 {
+			t.Errorf("row %d: planned α %v < uniform %v", i, planned, uniform)
+		}
+	}
+	// At least one budget shows a strict gain.
+	gained := false
+	for i := range table.Rows {
+		if parseCell(t, table, i, 3) > 1 {
+			gained = true
+		}
+	}
+	if !gained {
+		t.Error("optimizer never beat uniform provisioning")
+	}
+}
+
+func TestFig13cGreedyBeatsRandom(t *testing.T) {
+	table, err := Fig13c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for i := range table.Rows {
+		if parseCell(t, table, i, 3) > 0 {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("greedy placement never beat random")
+	}
+}
+
+func TestTable2CompletesQuickly(t *testing.T) {
+	table, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The TOTAL row must exist and be under a second (paper: <600 ms).
+	var total float64 = -1
+	for i, row := range table.Rows {
+		if strings.HasPrefix(row[0], "TOTAL") {
+			total = parseCell(t, table, i, 1)
+		}
+	}
+	if total < 0 {
+		t.Fatal("no TOTAL row")
+	}
+	// Generous bound: the experiment itself completes in ~100 ms on an
+	// idle box, but this test also runs during `go test -bench ./...`
+	// where concurrent packages contend for the two cores.
+	if total <= 0 || total > 5000 {
+		t.Errorf("edge addition took %v ms, want (0, 5000)", total)
+	}
+}

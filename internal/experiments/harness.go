@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"switchboard/internal/bus"
+	"switchboard/internal/controller"
+	"switchboard/internal/metrics"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/vnf"
+)
+
+// Bed is a full Switchboard deployment over the simulated WAN: bus,
+// Global Switchboard, and a Local Switchboard per site. It is the
+// end-to-end substrate of the Figure 10/11 and Table 2 experiments.
+type Bed struct {
+	Net    *simnet.Network
+	Bus    *bus.Bus
+	G      *controller.GlobalSwitchboard
+	locals map[simnet.SiteID]*controller.LocalSwitchboard
+	vnfs   []*controller.VNFController
+}
+
+// NewBed builds a deployment across the given sites with a uniform
+// one-way inter-site delay.
+func NewBed(seed int64, delay time.Duration, sites ...simnet.SiteID) (*Bed, error) {
+	net := simnet.New(seed)
+	for i, a := range sites {
+		for _, b := range sites[i+1:] {
+			net.SetPath(a, b, simnet.PathProfile{Delay: delay})
+		}
+	}
+	return newBedOn(net, sites)
+}
+
+// NewBedWithPaths builds a deployment with explicit per-pair profiles.
+func NewBedWithPaths(seed int64, paths map[[2]simnet.SiteID]simnet.PathProfile, sites ...simnet.SiteID) (*Bed, error) {
+	net := simnet.New(seed)
+	for pair, p := range paths {
+		net.SetPath(pair[0], pair[1], p)
+	}
+	return newBedOn(net, sites)
+}
+
+func newBedOn(net *simnet.Network, sites []simnet.SiteID) (*Bed, error) {
+	b := bus.New(net)
+	for _, s := range sites {
+		if err := b.AddSite(s); err != nil {
+			net.Close()
+			return nil, err
+		}
+	}
+	g := controller.NewGlobalSwitchboard(net, b, sites[0])
+	bed := &Bed{Net: net, Bus: b, G: g, locals: make(map[simnet.SiteID]*controller.LocalSwitchboard)}
+	for _, s := range sites {
+		ls, err := controller.NewLocalSwitchboard(net, b, s, sites[0])
+		if err != nil {
+			bed.Close()
+			return nil, err
+		}
+		g.RegisterLocal(ls)
+		bed.locals[s] = ls
+	}
+	return bed, nil
+}
+
+// AddVNF registers a VNF service.
+func (bed *Bed) AddVNF(cfg controller.VNFConfig) *controller.VNFController {
+	v := controller.NewVNFController(bed.Net, bed.Bus, cfg)
+	bed.G.RegisterVNF(v)
+	bed.vnfs = append(bed.vnfs, v)
+	return v
+}
+
+// Close tears the deployment down.
+func (bed *Bed) Close() {
+	for _, v := range bed.vnfs {
+		v.Stop()
+	}
+	for _, ls := range bed.locals {
+		ls.Close()
+	}
+	bed.Net.Close()
+}
+
+// Paced wraps a Function with a fixed per-packet service time, modeling a
+// VNF instance with finite processing capacity: offered load beyond
+// 1/Gap packets/second queues at the instance, adding latency — the way
+// an overloaded iptables box behaves in the paper's E2E experiments.
+type Paced struct {
+	Fn  vnf.Function
+	Gap time.Duration
+}
+
+// Name implements vnf.Function.
+func (p Paced) Name() string { return "paced-" + p.Fn.Name() }
+
+// Process implements vnf.Function.
+func (p Paced) Process(pkt *packet.Packet) bool {
+	time.Sleep(p.Gap)
+	return p.Fn.Process(pkt)
+}
+
+// TrafficResult summarizes a windowed traffic run.
+type TrafficResult struct {
+	Completed uint64
+	Duration  time.Duration
+	RTT       *metrics.Histogram
+}
+
+// Throughput returns completed round trips per second.
+func (r *TrafficResult) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Duration.Seconds()
+}
+
+// ChainEndpoints identifies one chain's traffic endpoints for the driver.
+type ChainEndpoints struct {
+	IngressEdge simnet.Addr // where the client injects
+	EgressEdge  simnet.Addr // where the server replies into
+	Client      *simnet.Endpoint
+	Server      *simnet.Endpoint
+	ClientIP    uint32
+	ServerIP    uint32
+	Flows       int
+	Window      int
+	// PortBase is the first client source port (default 10000). Runs
+	// that must use fresh connections (e.g. after a route update, since
+	// existing flows stay pinned to their old route) bump it.
+	PortBase int
+}
+
+// RunWindowedTraffic drives ack-clocked flows through a chain for the
+// given duration: each flow keeps Window requests outstanding; the server
+// echoes every request back through the chain (exercising symmetric
+// return), and each completed round trip immediately triggers the next
+// request — so throughput adapts to path RTT and VNF queueing the way a
+// windowed transport (TCP) does.
+func RunWindowedTraffic(ce ChainEndpoints, dur time.Duration) *TrafficResult {
+	if ce.PortBase == 0 {
+		ce.PortBase = 10000
+	}
+	res := &TrafficResult{RTT: metrics.NewHistogram()}
+	var completed atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Server: echo every request back through the egress edge.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case m, ok := <-ce.Server.Inbox():
+				if !ok {
+					return
+				}
+				req, ok := m.Payload.(*packet.Packet)
+				if !ok {
+					continue
+				}
+				resp := &packet.Packet{Key: req.Key.Reverse(), Payload: req.Payload}
+				_ = ce.Server.Send(ce.EgressEdge, resp, len(resp.Payload)+40)
+			}
+		}
+	}()
+
+	// Client: window-per-flow ack clocking.
+	sendReq := func(flow int) {
+		payload := make([]byte, 8)
+		binary.BigEndian.PutUint64(payload, uint64(time.Now().UnixNano()))
+		p := &packet.Packet{
+			Key: packet.FlowKey{
+				SrcIP: ce.ClientIP, DstIP: ce.ServerIP,
+				SrcPort: uint16(ce.PortBase + flow), DstPort: 80, Proto: 6,
+			},
+			Payload: payload,
+		}
+		_ = ce.Client.Send(ce.IngressEdge, p, len(p.Payload)+40)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case m, ok := <-ce.Client.Inbox():
+				if !ok {
+					return
+				}
+				resp, ok := m.Payload.(*packet.Packet)
+				if !ok || len(resp.Payload) < 8 {
+					continue
+				}
+				sent := int64(binary.BigEndian.Uint64(resp.Payload))
+				res.RTT.Observe(time.Duration(time.Now().UnixNano() - sent))
+				completed.Add(1)
+				flow := int(resp.Key.DstPort) - ce.PortBase
+				if flow >= 0 && flow < ce.Flows {
+					sendReq(flow)
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	for f := 0; f < ce.Flows; f++ {
+		for w := 0; w < ce.Window; w++ {
+			sendReq(f)
+		}
+	}
+	time.Sleep(dur)
+	close(stop)
+	res.Duration = time.Since(start)
+	res.Completed = completed.Load()
+	wg.Wait()
+	return res
+}
+
+// msOf converts a duration to fractional milliseconds for table cells.
+func msOf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

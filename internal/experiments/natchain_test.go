@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/edge"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/vnf"
+)
+
+// TestSequentialRoundTripsThroughNAT drives one flow through a remote
+// NAT chain for several sequential round trips — the pattern that
+// stalled in the Fig10 experiment after the first round trip.
+func TestSequentialRoundTripsThroughNAT(t *testing.T) {
+	bed, err := NewBed(33, 5*time.Millisecond, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bed.Close()
+	g := bed.G
+	if _, err := g.RegisterSite("A", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RegisterSite("B", 1000); err != nil {
+		t.Fatal(err)
+	}
+	bed.AddVNF(controller.VNFConfig{
+		Name:        "nat",
+		Factory:     func() vnf.Function { return vnf.NewNAT(0x05050505) },
+		LoadPerUnit: 1.0,
+		LabelAware:  true,
+		Capacity:    map[simnet.SiteID]float64{"B": 500},
+	})
+	rec, err := g.CreateChain(controller.Spec{
+		ID: "c1", IngressSite: "A", EgressSite: "B",
+		VNFs: []string{"nat"}, ForwardRate: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingress, egress, err := g.ConfigureChainEdges(rec, []edge.MatchRule{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []simnet.SiteID{"A", "B"} {
+		if err := g.WaitForDataPath(rec, s, 20*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, err := bed.Net.Attach(simnet.Addr{Site: "A", Host: "client"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := bed.Net.Attach(simnet.Addr{Site: "B", Host: "server"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	egress.RegisterHost(expServerIP, server.Addr())
+	ingress.RegisterHost(expClientIP, client.Addr())
+
+	key := packet.FlowKey{SrcIP: expClientIP, DstIP: expServerIP, SrcPort: 20000, DstPort: 80, Proto: 6}
+	for rt := 1; rt <= 5; rt++ {
+		req := &packet.Packet{Key: key, Payload: []byte{byte(rt)}}
+		if err := client.Send(ingress.Addr(), req, 8); err != nil {
+			t.Fatal(err)
+		}
+		var got *packet.Packet
+		select {
+		case m := <-server.Inbox():
+			got = m.Payload.(*packet.Packet)
+		case <-time.After(3 * time.Second):
+			t.Fatalf("round trip %d: request never reached server", rt)
+		}
+		resp := &packet.Packet{Key: got.Key.Reverse(), Payload: got.Payload}
+		if err := server.Send(egress.Addr(), resp, 8); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case m := <-client.Inbox():
+			back := m.Payload.(*packet.Packet)
+			if back.Key.DstPort != 20000 {
+				t.Fatalf("round trip %d: response dst port %d, want 20000", rt, back.Key.DstPort)
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatalf("round trip %d: response never reached client", rt)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/edge"
+	"switchboard/internal/labels"
+	"switchboard/internal/simnet"
+	"switchboard/internal/vnf"
+)
+
+// TestWindowedTrafficAfterRecompute reproduces the Fig10 scenario at
+// small scale and asserts that flows pinned to the second route keep
+// making progress (the instance at B processes many round trips).
+func TestWindowedTrafficAfterRecompute(t *testing.T) {
+	bed, err := NewBed(34, 2*time.Millisecond, "A", "B", "GSB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bed.Close()
+	g := bed.G
+	if _, err := g.RegisterSite("A", 10000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RegisterSite("B", 10000); err != nil {
+		t.Fatal(err)
+	}
+	var natSeq atomic.Uint32
+	nat := bed.AddVNF(controller.VNFConfig{
+		Name:        "nat",
+		Factory:     func() vnf.Function { return vnf.NewNAT(0x05050500 + natSeq.Add(1)) },
+		LoadPerUnit: 1.0,
+		LabelAware:  true,
+		Capacity:    map[simnet.SiteID]float64{"A": 25, "B": 25},
+	})
+	rec, err := g.CreateChain(controller.Spec{
+		ID: "c1", IngressSite: "A", EgressSite: "B",
+		VNFs: []string{"nat"}, ForwardRate: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingress, egress, err := g.ConfigureChainEdges(rec, []edge.MatchRule{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []simnet.SiteID{"A", "B"} {
+		if err := g.WaitForDataPath(rec, s, 20*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, _ := bed.Net.Attach(simnet.Addr{Site: "A", Host: "client"}, 8192)
+	server, _ := bed.Net.Attach(simnet.Addr{Site: "B", Host: "server"}, 8192)
+	egress.RegisterHost(expServerIP, server.Addr())
+	ingress.RegisterHost(expClientIP, client.Addr())
+
+	rec2, err := g.RecomputeChain("c1", 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsA, _ := g.Local("A")
+	fwdEdge, err := lsA.Forwarder("edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := labels.Stack{Chain: rec2.ChainLabel, Egress: rec2.EgressLabel}
+	deadline := time.Now().Add(5 * time.Second)
+	for fwdEdge.RuleNextHopCount(st) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("two-site rule never installed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ce := ChainEndpoints{
+		IngressEdge: ingress.Addr(), EgressEdge: egress.Addr(),
+		Client: client, Server: server,
+		ClientIP: expClientIP, ServerIP: expServerIP,
+		Flows: 32, Window: 2, PortBase: 20000,
+	}
+	res := RunWindowedTraffic(ce, time.Second)
+	t.Logf("completed %d round trips, RTT %s", res.Completed, res.RTT.Summary())
+
+	var atA, atB uint64
+	for _, inst := range nat.InstancesAt("A") {
+		atA += inst.Stats().Processed
+	}
+	for _, inst := range nat.InstancesAt("B") {
+		atB += inst.Stats().Processed
+	}
+	t.Logf("NAT processed: A=%d B=%d", atA, atB)
+	if atB < 100 {
+		fA, _ := lsA.Forwarder("nat")
+		lsB, _ := g.Local("B")
+		fB, _ := lsB.Forwarder("nat")
+		fe, _ := lsB.Forwarder("edge")
+		t.Logf("fwd-nat@A: %+v flows=%d", fA.Stats(), fA.FlowCount())
+		t.Logf("fwd-nat@B: %+v flows=%d", fB.Stats(), fB.FlowCount())
+		t.Logf("fwd-edge@B: %+v flows=%d", fe.Stats(), fe.FlowCount())
+		t.Logf("fwd-edge@A: %+v flows=%d", fwdEdge.Stats(), fwdEdge.FlowCount())
+		t.Logf("edge@A: %+v", lsA.Edge().Stats())
+		t.Logf("edge@B: %+v", lsB.Edge().Stats())
+		t.Fatalf("flows on route B stalled: NAT B processed only %d packets", atB)
+	}
+}

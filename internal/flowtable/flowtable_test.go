@@ -1,0 +1,172 @@
+package flowtable
+
+import (
+	"sync"
+	"testing"
+
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+)
+
+var testStack = labels.Stack{Chain: 42, Egress: 3}
+
+func flowN(i int) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP: 0x0A000000 | uint32(i), DstIP: 0xC0A80101,
+		SrcPort: uint16(1024 + i%60000), DstPort: 80, Proto: 6,
+	}
+}
+
+func TestInsertLookupBothDirections(t *testing.T) {
+	tb := New(4)
+	flow := flowN(1)
+	rec := Record{VNF: 5, Next: 7, Prev: 9}
+	tb.Insert(testStack, flow, rec)
+	got, fwd, ok := tb.Lookup(testStack, flow)
+	if !ok || !fwd || got != rec {
+		t.Errorf("forward lookup = %+v fwd=%v ok=%v", got, fwd, ok)
+	}
+	got, fwd, ok = tb.Lookup(testStack, flow.Reverse())
+	if !ok || fwd || got != rec {
+		t.Errorf("reverse lookup = %+v fwd=%v ok=%v, want same record, fwd=false", got, fwd, ok)
+	}
+}
+
+func TestDirectionIndependentOfKeyOrientation(t *testing.T) {
+	tb := New(4)
+	// A flow whose forward key is NOT canonical (src > dst).
+	flow := packet.FlowKey{SrcIP: 0xC0A80101, DstIP: 0x0A000001, SrcPort: 80, DstPort: 9999, Proto: 6}
+	if _, canonical := flow.Canonical(); canonical {
+		t.Skip("test flow unexpectedly canonical")
+	}
+	rec := Record{VNF: 1, Next: 2, Prev: 3}
+	tb.Insert(testStack, flow, rec)
+	if _, fwd, ok := tb.Lookup(testStack, flow); !ok || !fwd {
+		t.Error("forward lookup of non-canonical flow failed")
+	}
+	if _, fwd, ok := tb.Lookup(testStack, flow.Reverse()); !ok || fwd {
+		t.Error("reverse lookup of non-canonical flow misreported direction")
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	tb := New(4)
+	if _, _, ok := tb.Lookup(testStack, flowN(1)); ok {
+		t.Error("lookup on empty table hit")
+	}
+	tb.Insert(testStack, flowN(1), Record{VNF: 1})
+	other := labels.Stack{Chain: 43, Egress: 3}
+	if _, _, ok := tb.Lookup(other, flowN(1)); ok {
+		t.Error("lookup hit across different chain labels")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tb := New(4)
+	tb.Insert(testStack, flowN(1), Record{VNF: 1})
+	tb.Remove(testStack, flowN(1).Reverse()) // removing via either direction works
+	if _, _, ok := tb.Lookup(testStack, flowN(1)); ok {
+		t.Error("entry survived Remove")
+	}
+	if tb.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", tb.Len())
+	}
+}
+
+func TestLenCountsConnections(t *testing.T) {
+	tb := New(4)
+	for i := 0; i < 100; i++ {
+		tb.Insert(testStack, flowN(i), Record{VNF: Hop(i)})
+	}
+	if got := tb.Len(); got != 100 {
+		t.Errorf("Len() = %d, want 100", got)
+	}
+}
+
+func TestInsertOverwrites(t *testing.T) {
+	tb := New(4)
+	tb.Insert(testStack, flowN(1), Record{VNF: 1})
+	tb.Insert(testStack, flowN(1), Record{VNF: 2})
+	rec, _, ok := tb.Lookup(testStack, flowN(1))
+	if !ok || rec.VNF != 2 {
+		t.Errorf("lookup after overwrite = %+v", rec)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", tb.Len())
+	}
+}
+
+func TestAdvanceEvictsIdleEntries(t *testing.T) {
+	tb := New(4)
+	tb.Insert(testStack, flowN(1), Record{VNF: 1})
+	tb.Insert(testStack, flowN(2), Record{VNF: 2})
+	// Keep flow 1 alive across epochs; flow 2 goes idle.
+	for e := 0; e < 3; e++ {
+		tb.Advance(1)
+		tb.Lookup(testStack, flowN(1))
+	}
+	if _, _, ok := tb.Lookup(testStack, flowN(1)); !ok {
+		t.Error("active flow evicted")
+	}
+	if _, _, ok := tb.Lookup(testStack, flowN(2)); ok {
+		t.Error("idle flow not evicted")
+	}
+	// An active flow that then goes idle is evicted too.
+	tb.Advance(1)
+	tb.Advance(1)
+	if _, _, ok := tb.Lookup(testStack, flowN(1)); ok {
+		t.Error("flow 1 not evicted after going idle")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tb := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				flow := flowN(w*1000 + i)
+				tb.Insert(testStack, flow, Record{VNF: Hop(i + 1)})
+				if rec, _, ok := tb.Lookup(testStack, flow); !ok || rec.VNF != Hop(i+1) {
+					t.Errorf("concurrent lookup mismatch: %+v %v", rec, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tb.Len(); got != 8000 {
+		t.Errorf("Len() = %d, want 8000", got)
+	}
+}
+
+func TestNewRoundsUpShards(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {4, 4}, {5, 8}} {
+		tb := New(tc.in)
+		if len(tb.shards) != tc.want {
+			t.Errorf("New(%d) has %d shards, want %d", tc.in, len(tb.shards), tc.want)
+		}
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	tb := New(16)
+	const flows = 100000
+	for i := 0; i < flows; i++ {
+		tb.Insert(testStack, flowN(i), Record{VNF: Hop(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(testStack, flowN(i%flows))
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tb := New(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Insert(testStack, flowN(i), Record{VNF: Hop(i)})
+	}
+}

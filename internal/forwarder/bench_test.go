@@ -1,0 +1,171 @@
+package forwarder
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+)
+
+// Figure 7: per-packet cost of the three forwarder configurations —
+// bridge, +overlay labels, +flow-affinity — across flow counts, using
+// the encoded wire path (parse labels from bytes like the OVS pipeline
+// parses headers).
+func benchmarkMode(b *testing.B, mode Mode, flows int) {
+	f := New("bench", mode, 16)
+	st := labels.Stack{Chain: 77, Egress: 9}
+	vnf := f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "vnf"), LabelAware: true})
+	next := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "peer")})
+	prev := f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", "edge")})
+	f.InstallRule(st, RuleSpec{
+		LocalVNF: []WeightedHop{{vnf, 1}},
+		Next:     []WeightedHop{{next, 1}},
+		Prev:     []WeightedHop{{prev, 1}},
+	})
+	f.SetBridgeTarget(next)
+
+	pkts := make([]*packet.Packet, flows)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{
+			Labels: st, Labeled: true,
+			Key: packet.FlowKey{
+				SrcIP: 0x0A000000 + uint32(i), DstIP: 0xC0A80001,
+				SrcPort: uint16(1024 + i%60000), DstPort: 80, Proto: 6,
+			},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%flows]
+		if _, err := f.Process(p, prev); err != nil {
+			b.Fatal(err)
+		}
+		p.Labeled = true // reset any stripping for reuse
+	}
+	b.StopTimer()
+	reportPps(b)
+}
+
+func reportPps(b *testing.B) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec/1e6, "Mpps")
+	}
+}
+
+func BenchmarkFig7Forwarder(b *testing.B) {
+	for _, flows := range []int{1, 10, 50} {
+		for _, mc := range []struct {
+			name string
+			mode Mode
+		}{
+			{"bridge", ModeBridge},
+			{"labels", ModeLabels},
+			{"affinity", ModeAffinity},
+		} {
+			b.Run(fmt.Sprintf("%s/flows=%d", mc.name, flows), func(b *testing.B) {
+				benchmarkMode(b, mc.mode, flows)
+			})
+		}
+	}
+}
+
+// Figure 8: horizontal scale-out — N forwarder instances, each pinned to
+// its own goroutine ("core") with 512K flows, processing packets as fast
+// as possible. Reports aggregate Mpps.
+func BenchmarkFig8ScaleOut(b *testing.B) {
+	maxCores := runtime.GOMAXPROCS(0)
+	for _, cores := range []int{1, 2, 4, 6} {
+		if cores > maxCores {
+			continue
+		}
+		for _, flowsPer := range []int{8192, 524288} {
+			b.Run(fmt.Sprintf("cores=%d/flows=%dK", cores, flowsPer/1024), func(b *testing.B) {
+				benchScaleOut(b, cores, flowsPer)
+			})
+		}
+	}
+}
+
+func benchScaleOut(b *testing.B, cores, flowsPer int) {
+	st := labels.Stack{Chain: 77, Egress: 9}
+	fwds := make([]*Forwarder, cores)
+	prevs := make([]flowtable.Hop, cores)
+	for c := 0; c < cores; c++ {
+		f := New(fmt.Sprintf("f%d", c), ModeAffinity, 16)
+		vnf := f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", fmt.Sprintf("vnf%d", c)), LabelAware: true})
+		next := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", fmt.Sprintf("peer%d", c))})
+		prev := f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", fmt.Sprintf("edge%d", c))})
+		f.InstallRule(st, RuleSpec{
+			LocalVNF: []WeightedHop{{vnf, 1}},
+			Next:     []WeightedHop{{next, 1}},
+			Prev:     []WeightedHop{{prev, 1}},
+		})
+		fwds[c] = f
+		prevs[c] = prev
+	}
+	// Pre-populate the flow tables so the bench measures steady state
+	// with the target table size (the paper reports throughput with the
+	// tables full).
+	for c := 0; c < cores; c++ {
+		for i := 0; i < flowsPer; i++ {
+			p := benchPacket(st, c, i)
+			if _, err := fwds[c].Process(p, prevs[c]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var total atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	perCore := b.N
+	var wg sync.WaitGroup
+	for c := 0; c < cores; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			f := fwds[c]
+			prev := prevs[c]
+			// Iterate over a window of pre-built packets.
+			const window = 1024
+			pkts := make([]*packet.Packet, window)
+			for i := range pkts {
+				pkts[i] = benchPacket(st, c, i*(flowsPer/window+1)%flowsPer)
+			}
+			n := 0
+			for i := 0; i < perCore; i++ {
+				p := pkts[i%window]
+				if _, err := f.Process(p, prev); err == nil {
+					n++
+				}
+				p.Labeled = true
+			}
+			total.Add(uint64(n))
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(total.Load())/sec/1e6, "Mpps")
+	}
+	tableSize := 0
+	for _, f := range fwds {
+		tableSize += f.FlowCount()
+	}
+	b.ReportMetric(float64(tableSize)/1e6, "Mflows")
+}
+
+func benchPacket(st labels.Stack, core, i int) *packet.Packet {
+	return &packet.Packet{
+		Labels: st, Labeled: true,
+		Key: packet.FlowKey{
+			SrcIP: uint32(core)<<24 | uint32(i), DstIP: 0xC0A80001,
+			SrcPort: uint16(i % 60000), DstPort: 80, Proto: 6,
+		},
+	}
+}

@@ -1,0 +1,91 @@
+package forwarder
+
+import (
+	"sync"
+	"testing"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+)
+
+// TestConcurrentRuleChurn hammers one forwarder with packet processing
+// on several goroutines while rules are re-installed and the flow table
+// is aged concurrently — the route-update-under-traffic scenario of
+// Section 5.3. Run with -race.
+func TestConcurrentRuleChurn(t *testing.T) {
+	f := New("churn", ModeAffinity, 16)
+	st := labels.Stack{Chain: 9, Egress: 2}
+	vnf := f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "v1"), LabelAware: true})
+	next1 := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "n1")})
+	next2 := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("C", "n2")})
+	edge := f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", "e")})
+	install := func(n flowtable.Hop) {
+		f.InstallRule(st, RuleSpec{
+			LocalVNF: []WeightedHop{{Hop: vnf, Weight: 1}},
+			Next:     []WeightedHop{{Hop: n, Weight: 1}},
+			Prev:     []WeightedHop{{Hop: edge, Weight: 1}},
+		})
+	}
+	install(next1)
+
+	stop := make(chan struct{})
+	var churner sync.WaitGroup
+	churner.Add(1)
+	go func() {
+		defer churner.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				install(next2)
+			} else {
+				install(next1)
+			}
+			if i%16 == 0 {
+				f.AdvanceEpoch(4)
+			}
+		}
+	}()
+
+	var workers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			for i := 0; i < 5000; i++ {
+				p := &packet.Packet{
+					Labels: st, Labeled: true,
+					Key: packet.FlowKey{
+						SrcIP: uint32(w)<<16 | uint32(i%512), DstIP: 7,
+						SrcPort: 99, DstPort: 80, Proto: 6,
+					},
+				}
+				if _, err := f.Process(p, edge); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				p.Labeled = true
+				// Round trip through the VNF.
+				if _, err := f.Process(p, vnf); err != nil {
+					t.Errorf("worker %d post-vnf: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	workers.Wait()
+	close(stop)
+	churner.Wait()
+
+	stats := f.Stats()
+	if stats.Drops != 0 {
+		t.Errorf("drops under churn: %d", stats.Drops)
+	}
+	if stats.Rx != stats.Tx {
+		t.Errorf("rx %d != tx %d", stats.Rx, stats.Tx)
+	}
+}

@@ -1,0 +1,112 @@
+package forwarder
+
+import (
+	"testing"
+
+	"switchboard/internal/dht"
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+)
+
+// The dht.Node must satisfy the forwarder's FlowStore contract.
+var _ FlowStore = (*dht.Node)(nil)
+
+// TestForwarderFailoverWithDHTStore exercises the Section 5.3 extension:
+// two forwarders at one site share a replicated flow table. Connections
+// pinned through forwarder f1 keep their VNF instance and return path
+// when f1 dies and f2 takes over, because the flow records live in the
+// DHT, not in f1's memory.
+func TestForwarderFailoverWithDHTStore(t *testing.T) {
+	cluster := dht.NewCluster(2)
+	store1, err := cluster.Join("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2, err := cluster.Join("f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := labels.Stack{Chain: 11, Egress: 4}
+	// Both forwarders serve the same VNF instances and next hops (same
+	// site, same role); each has its own rule table but the shared
+	// store. Hop IDs are assigned per forwarder, so register in the
+	// same order on both to keep IDs aligned — exactly what a Local
+	// Switchboard does when configuring a scaled-out forwarder set.
+	build := func(name string, store FlowStore) (*Forwarder, map[string]flowtable.Hop) {
+		f := NewWithStore(name, ModeAffinity, store)
+		hops := map[string]flowtable.Hop{
+			"vnf1": f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "g1"), LabelAware: true}),
+			"vnf2": f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "g2"), LabelAware: true}),
+			"next": f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "fB")}),
+			"edge": f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", "edge")}),
+		}
+		f.InstallRule(st, RuleSpec{
+			LocalVNF: []WeightedHop{{Hop: hops["vnf1"], Weight: 1}, {Hop: hops["vnf2"], Weight: 1}},
+			Next:     []WeightedHop{{Hop: hops["next"], Weight: 1}},
+			Prev:     []WeightedHop{{Hop: hops["edge"], Weight: 1}},
+		})
+		return f, hops
+	}
+	f1, hops1 := build("f1", store1)
+	f2, hops2 := build("f2", store2)
+	if hops1["vnf1"] != hops2["vnf1"] {
+		t.Fatal("hop IDs misaligned between forwarders")
+	}
+
+	// Pin 50 connections through f1.
+	pinned := make(map[int]flowtable.Hop, 50)
+	for i := 0; i < 50; i++ {
+		p := &packet.Packet{Labels: st, Labeled: true, Key: flow(i)}
+		nh, err := f1.Process(p, hops1["edge"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned[i] = nh.ID
+	}
+
+	// f1 dies; its flow records survive in the cluster.
+	cluster.Fail("f1")
+
+	// f2 takes over: same VNF instance for every connection (flow
+	// affinity across forwarder failure), and reverse packets still
+	// find their previous hop (symmetric return).
+	for i := 0; i < 50; i++ {
+		p := &packet.Packet{Labels: st, Labeled: true, Key: flow(i)}
+		nh, err := f2.Process(p, hops2["edge"])
+		if err != nil {
+			t.Fatalf("flow %d after failover: %v", i, err)
+		}
+		if nh.ID != pinned[i] {
+			t.Fatalf("flow %d moved from VNF %d to %d after failover", i, pinned[i], nh.ID)
+		}
+		// Post-VNF leg continues toward the pinned next hop.
+		nh, err = f2.Process(p, nh.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nh.ID != hops2["next"] {
+			t.Fatalf("flow %d next hop = %d, want %d", i, nh.ID, hops2["next"])
+		}
+		// Reverse direction retraces through the same VNF to the edge.
+		rp := &packet.Packet{Labels: st, Labeled: true, Key: flow(i).Reverse()}
+		nh, err = f2.Process(rp, hops2["next"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nh.ID != pinned[i] {
+			t.Fatalf("flow %d reverse VNF = %d, want %d", i, nh.ID, pinned[i])
+		}
+		nh, err = f2.Process(rp, nh.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nh.ID != hops2["edge"] {
+			t.Fatalf("flow %d reverse prev = %d, want edge", i, nh.ID)
+		}
+	}
+	if f2.Stats().NewFlows != 0 {
+		t.Errorf("f2 re-pinned %d flows; all should have hit replicated records", f2.Stats().NewFlows)
+	}
+}

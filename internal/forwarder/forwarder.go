@@ -1,0 +1,546 @@
+// Package forwarder implements the Switchboard data-plane forwarder
+// (Section 5): a cloud-agnostic proxy that chains VNF instances together.
+// It applies hierarchical weighted load balancing (site-level traffic-
+// engineering splits × per-instance weights), maintains per-connection
+// flow affinity and symmetric return paths via a flow table, and strips/
+// re-affixes labels around VNFs that do not understand them.
+//
+// The packet fast path is the pure function Process, so the same code is
+// exercised by microbenchmarks (Figures 7 and 8), by the in-process
+// simulated WAN (package simnet), and by the UDP daemon (cmd/sbforwarder).
+//
+// Three modes reproduce the Figure 7 ablation: ModeBridge forwards
+// blindly like a plain bridge, ModeLabels adds label parsing and weighted
+// next-hop selection but no per-flow state, and ModeAffinity is the full
+// forwarder with the flow table.
+package forwarder
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+)
+
+// Mode selects the forwarding pipeline (Figure 7's three configurations).
+type Mode int
+
+// Forwarding modes.
+const (
+	// ModeBridge forwards every packet to a fixed peer, like the plain
+	// OVS bridge baseline.
+	ModeBridge Mode = iota + 1
+	// ModeLabels parses labels and applies weighted load balancing per
+	// packet, without flow affinity.
+	ModeLabels
+	// ModeAffinity is the full Switchboard forwarder: labels, weighted
+	// load balancing, flow table with affinity and symmetric return.
+	ModeAffinity
+)
+
+// HopKind classifies a load-balancing target.
+type HopKind int
+
+// Hop kinds.
+const (
+	// KindVNF is a VNF instance attached to this forwarder.
+	KindVNF HopKind = iota + 1
+	// KindForwarder is a peer forwarder (possibly at another site).
+	KindForwarder
+	// KindEdge is an edge instance (chain ingress or egress).
+	KindEdge
+)
+
+// NextHop describes a registered target.
+type NextHop struct {
+	ID   flowtable.Hop
+	Kind HopKind
+	Addr simnet.Addr
+	// LabelAware applies to VNF hops: when false the forwarder strips
+	// labels before delivery and re-affixes Labels when the packet
+	// returns from the instance (which therefore serves exactly one
+	// label set, per Section 5.3).
+	LabelAware bool
+	Labels     labels.Stack
+}
+
+// WeightedHop pairs a registered hop with its load-balancing weight.
+// Weights are the hierarchical product of the site-level TE split and the
+// instance's published weight.
+type WeightedHop struct {
+	Hop    flowtable.Hop
+	Weight float64
+}
+
+// RuleSpec is a load-balancing rule for one label stack: the local VNF
+// instances this forwarder serves for the chain, the next hops toward the
+// egress, and the previous hops toward the ingress.
+type RuleSpec struct {
+	LocalVNF []WeightedHop
+	Next     []WeightedHop
+	Prev     []WeightedHop
+}
+
+// Stats are the forwarder's packet counters.
+type Stats struct {
+	Rx        uint64
+	Tx        uint64
+	Drops     uint64
+	NewFlows  uint64
+	RuleMiss  uint64
+	Relabeled uint64
+}
+
+type counters struct {
+	rx, tx, drops, newFlows, ruleMiss, relabeled atomic.Uint64
+}
+
+// picker is a lock-free weighted round-robin selector over a precomputed
+// slot table.
+type picker struct {
+	slots []flowtable.Hop
+	ctr   atomic.Uint64
+}
+
+func newPicker(hops []WeightedHop) *picker {
+	if len(hops) == 0 {
+		return nil
+	}
+	const resolution = 64
+	total := 0.0
+	for _, h := range hops {
+		if h.Weight > 0 {
+			total += h.Weight
+		}
+	}
+	var slots []flowtable.Hop
+	if total <= 0 {
+		for _, h := range hops {
+			slots = append(slots, h.Hop)
+		}
+	} else {
+		for _, h := range hops {
+			if h.Weight <= 0 {
+				continue
+			}
+			n := int(h.Weight/total*resolution + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				slots = append(slots, h.Hop)
+			}
+		}
+	}
+	// Interleave slots so bursts spread across hops: stride permutation.
+	out := make([]flowtable.Hop, len(slots))
+	stride := len(slots)/2 + 1
+	for gcd(stride, len(slots)) != 1 {
+		stride++
+	}
+	for i := range slots {
+		out[i] = slots[(i*stride)%len(slots)]
+	}
+	return &picker{slots: out}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func (p *picker) pick() flowtable.Hop {
+	if p == nil || len(p.slots) == 0 {
+		return flowtable.None
+	}
+	i := p.ctr.Add(1)
+	return p.slots[i%uint64(len(p.slots))]
+}
+
+type rule struct {
+	local *picker
+	next  *picker
+	prev  *picker
+	// localSet marks the hops in the local picker, so the fast path can
+	// tell whether a packet entered from one of this rule's local
+	// elements (VNF instance or edge instance) or from outside.
+	localSet map[flowtable.Hop]bool
+}
+
+// FlowStore is the forwarder's connection-table contract. The in-memory
+// flowtable.Table is the default; dht.Node plugs in the replicated
+// distributed-hash-table variant (Section 5.3's forwarder fault
+// tolerance), where flow records survive the forwarder that created
+// them.
+type FlowStore interface {
+	Insert(st labels.Stack, flow packet.FlowKey, rec flowtable.Record)
+	Lookup(st labels.Stack, flow packet.FlowKey) (rec flowtable.Record, forward, ok bool)
+	Remove(st labels.Stack, flow packet.FlowKey)
+	Len() int
+	Advance(keep uint32) int
+}
+
+// HopRegistry assigns stable hop IDs by address. Forwarders that share a
+// flow store (a scaled-out set over one DHT) must also share a registry:
+// flow records store hop IDs, so the same address has to resolve to the
+// same ID on every member or a record written by one member would be
+// misinterpreted by another.
+type HopRegistry struct {
+	mu   sync.Mutex
+	ids  map[simnet.Addr]flowtable.Hop
+	next uint32
+}
+
+// NewHopRegistry returns an empty registry.
+func NewHopRegistry() *HopRegistry {
+	return &HopRegistry{ids: make(map[simnet.Addr]flowtable.Hop)}
+}
+
+// IDFor returns the stable ID for an address, allocating on first use.
+func (r *HopRegistry) IDFor(a simnet.Addr) flowtable.Hop {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.ids[a]; ok {
+		return id
+	}
+	r.next++
+	id := flowtable.Hop(r.next)
+	r.ids[a] = id
+	return id
+}
+
+// Forwarder is one Switchboard forwarder instance.
+type Forwarder struct {
+	name  string
+	mode  Mode
+	table FlowStore
+	reg   *HopRegistry
+
+	mu       sync.RWMutex
+	rules    map[labels.Stack]*rule
+	hops     map[flowtable.Hop]NextHop
+	byAddr   map[simnet.Addr]flowtable.Hop
+	bridgeTo flowtable.Hop
+	nextID   uint32
+
+	stats counters
+}
+
+// New returns a forwarder with the given mode and flow-table shard count.
+func New(name string, mode Mode, shards int) *Forwarder {
+	return NewWithStore(name, mode, flowtable.New(shards))
+}
+
+// NewWithStore returns a forwarder using an externally provided flow
+// store — e.g. a dht.Node shared by all forwarders at a site, so flow
+// affinity survives forwarder failures and elastic scaling.
+func NewWithStore(name string, mode Mode, store FlowStore) *Forwarder {
+	return &Forwarder{
+		name:   name,
+		mode:   mode,
+		table:  store,
+		rules:  make(map[labels.Stack]*rule),
+		hops:   make(map[flowtable.Hop]NextHop),
+		byAddr: make(map[simnet.Addr]flowtable.Hop),
+	}
+}
+
+// Name returns the forwarder's name.
+func (f *Forwarder) Name() string { return f.name }
+
+// Mode returns the forwarding mode.
+func (f *Forwarder) Mode() Mode { return f.mode }
+
+// UseHopRegistry makes subsequent AddHop calls draw IDs from a shared
+// registry. Must be set before any hop is added; required whenever the
+// forwarder shares its flow store with peers.
+func (f *Forwarder) UseHopRegistry(r *HopRegistry) {
+	f.mu.Lock()
+	f.reg = r
+	f.mu.Unlock()
+}
+
+// AddHop registers a target and returns its hop ID.
+func (f *Forwarder) AddHop(nh NextHop) flowtable.Hop {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.reg != nil {
+		nh.ID = f.reg.IDFor(nh.Addr)
+	} else {
+		f.nextID++
+		nh.ID = flowtable.Hop(f.nextID)
+	}
+	f.hops[nh.ID] = nh
+	f.byAddr[nh.Addr] = nh.ID
+	return nh.ID
+}
+
+// Hop returns a registered hop.
+func (f *Forwarder) Hop(id flowtable.Hop) (NextHop, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	nh, ok := f.hops[id]
+	return nh, ok
+}
+
+// HopByAddr resolves a source address to its hop ID (flowtable.None when
+// unknown, e.g. a traffic generator).
+func (f *Forwarder) HopByAddr(a simnet.Addr) flowtable.Hop {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.byAddr[a]
+}
+
+// InstallRule sets the load-balancing rule for a label stack. Existing
+// flows keep their table entries, so route updates only affect new
+// connections (Section 5.3).
+func (f *Forwarder) InstallRule(st labels.Stack, spec RuleSpec) {
+	r := &rule{
+		local:    newPicker(spec.LocalVNF),
+		next:     newPicker(spec.Next),
+		prev:     newPicker(spec.Prev),
+		localSet: make(map[flowtable.Hop]bool, len(spec.LocalVNF)),
+	}
+	for _, wh := range spec.LocalVNF {
+		r.localSet[wh.Hop] = true
+	}
+	f.mu.Lock()
+	f.rules[st] = r
+	f.mu.Unlock()
+}
+
+// RuleInfo reports the installed rule's picker sizes for a label stack:
+// the number of weighted slots for local VNFs, next hops, and previous
+// hops. ok is false when no rule is installed.
+func (f *Forwarder) RuleInfo(st labels.Stack) (local, next, prev int, ok bool) {
+	f.mu.RLock()
+	r := f.rules[st]
+	f.mu.RUnlock()
+	if r == nil {
+		return 0, 0, 0, false
+	}
+	size := func(p *picker) int {
+		if p == nil {
+			return 0
+		}
+		return len(p.slots)
+	}
+	return size(r.local), size(r.next), size(r.prev), true
+}
+
+// RuleNextHopCount returns the number of distinct next hops in the
+// installed rule for a label stack (0 when no rule exists). Experiments
+// use it to detect that an updated multi-site route has propagated.
+func (f *Forwarder) RuleNextHopCount(st labels.Stack) int {
+	f.mu.RLock()
+	r := f.rules[st]
+	f.mu.RUnlock()
+	if r == nil || r.next == nil {
+		return 0
+	}
+	distinct := make(map[flowtable.Hop]bool, 4)
+	for _, h := range r.next.slots {
+		distinct[h] = true
+	}
+	return len(distinct)
+}
+
+// RemoveRule deletes the rule for a label stack.
+func (f *Forwarder) RemoveRule(st labels.Stack) {
+	f.mu.Lock()
+	delete(f.rules, st)
+	f.mu.Unlock()
+}
+
+// SetBridgeTarget configures the fixed peer used in ModeBridge.
+func (f *Forwarder) SetBridgeTarget(h flowtable.Hop) {
+	f.mu.Lock()
+	f.bridgeTo = h
+	f.mu.Unlock()
+}
+
+// FlowCount returns the number of tracked connections.
+func (f *Forwarder) FlowCount() int { return f.table.Len() }
+
+// AdvanceEpoch ages the flow table (see flowtable.Table.Advance).
+func (f *Forwarder) AdvanceEpoch(keep uint32) int { return f.table.Advance(keep) }
+
+// Stats returns a snapshot of the packet counters.
+func (f *Forwarder) Stats() Stats {
+	return Stats{
+		Rx:        f.stats.rx.Load(),
+		Tx:        f.stats.tx.Load(),
+		Drops:     f.stats.drops.Load(),
+		NewFlows:  f.stats.newFlows.Load(),
+		RuleMiss:  f.stats.ruleMiss.Load(),
+		Relabeled: f.stats.relabeled.Load(),
+	}
+}
+
+// Errors returned by Process.
+var (
+	ErrNoRule     = errors.New("forwarder: no rule for labels")
+	ErrNoNextHop  = errors.New("forwarder: no next hop")
+	ErrUnlabeled  = errors.New("forwarder: unlabeled packet from unknown source")
+	ErrUnknownHop = errors.New("forwarder: unknown hop id")
+)
+
+// Process runs the packet through the forwarding pipeline and returns the
+// hop the packet must be sent to. from is the hop the packet arrived
+// from (flowtable.None for external sources such as traffic generators).
+// Process may mutate the packet's label state (strip/re-affix).
+func (f *Forwarder) Process(p *packet.Packet, from flowtable.Hop) (NextHop, error) {
+	f.stats.rx.Add(1)
+	switch f.mode {
+	case ModeBridge:
+		return f.processBridge()
+	case ModeLabels:
+		return f.processLabels(p, from)
+	default:
+		return f.processAffinity(p, from)
+	}
+}
+
+func (f *Forwarder) processBridge() (NextHop, error) {
+	f.mu.RLock()
+	nh, ok := f.hops[f.bridgeTo]
+	f.mu.RUnlock()
+	if !ok {
+		f.stats.drops.Add(1)
+		return NextHop{}, ErrNoNextHop
+	}
+	f.stats.tx.Add(1)
+	return nh, nil
+}
+
+// resolveLabels re-affixes labels on packets returning from label-unaware
+// VNF instances, using the instance's label association.
+func (f *Forwarder) resolveLabels(p *packet.Packet, from flowtable.Hop) (NextHop, error) {
+	f.mu.RLock()
+	src, srcOK := f.hops[from]
+	f.mu.RUnlock()
+	if !p.Labeled {
+		if !srcOK || src.Kind != KindVNF || src.LabelAware {
+			f.stats.drops.Add(1)
+			return NextHop{}, ErrUnlabeled
+		}
+		p.Labels = src.Labels
+		p.Labeled = true
+		f.stats.relabeled.Add(1)
+	}
+	if !srcOK {
+		return NextHop{}, nil // external source, still fine
+	}
+	return src, nil
+}
+
+func (f *Forwarder) processLabels(p *packet.Packet, from flowtable.Hop) (NextHop, error) {
+	if _, err := f.resolveLabels(p, from); err != nil {
+		return NextHop{}, err
+	}
+	f.mu.RLock()
+	r := f.rules[p.Labels]
+	f.mu.RUnlock()
+	if r == nil {
+		f.stats.ruleMiss.Add(1)
+		f.stats.drops.Add(1)
+		return NextHop{}, fmt.Errorf("%w: %+v", ErrNoRule, p.Labels)
+	}
+	var target flowtable.Hop
+	if !r.localSet[from] && r.local != nil {
+		target = r.local.pick()
+	} else {
+		target = r.next.pick()
+	}
+	return f.emit(p, target)
+}
+
+func (f *Forwarder) processAffinity(p *packet.Packet, from flowtable.Hop) (NextHop, error) {
+	if _, err := f.resolveLabels(p, from); err != nil {
+		return NextHop{}, err
+	}
+	f.mu.RLock()
+	r := f.rules[p.Labels]
+	f.mu.RUnlock()
+	if r == nil {
+		f.stats.ruleMiss.Add(1)
+		f.stats.drops.Add(1)
+		return NextHop{}, fmt.Errorf("%w: %+v", ErrNoRule, p.Labels)
+	}
+
+	rec, forward, ok := f.table.Lookup(p.Labels, p.Key)
+	if !ok {
+		// First packet of a connection: make all load-balancing
+		// decisions now and pin them (flow affinity). When the packet
+		// entered from one of the rule's local elements (the edge
+		// instance at an ingress site), that element is the
+		// connection's pinned local hop; otherwise one is picked by
+		// weight. The previous hop is whoever delivered this packet,
+		// enabling symmetric return.
+		rec = flowtable.Record{Next: r.next.pick(), Prev: from}
+		if r.localSet[from] {
+			rec.VNF = from
+			rec.Prev = r.prev.pick()
+		} else {
+			if r.local != nil {
+				rec.VNF = r.local.pick()
+			}
+			if rec.Prev == flowtable.None {
+				// Unknown source (e.g. a bare traffic generator): fall
+				// back to the rule's previous-hop picker so reverse
+				// packets still have a return path.
+				rec.Prev = r.prev.pick()
+			}
+		}
+		forward = true
+		f.table.Insert(p.Labels, p.Key, rec)
+		f.stats.newFlows.Add(1)
+	}
+
+	// Route by position: a packet that did not just return from the
+	// connection's pinned local element is entering this forwarder, so
+	// it is handed to that element (same instance in both directions —
+	// flow affinity). A packet returning from the local element moves
+	// along the chain: toward the egress when travelling forward,
+	// toward the ingress otherwise (symmetric return).
+	var target flowtable.Hop
+	switch {
+	case rec.VNF != flowtable.None && from != rec.VNF:
+		target = rec.VNF
+	case forward:
+		target = rec.Next
+	default:
+		target = rec.Prev
+	}
+	return f.emit(p, target)
+}
+
+// emit finalizes delivery to the target hop, handling label stripping for
+// label-unaware VNFs.
+func (f *Forwarder) emit(p *packet.Packet, target flowtable.Hop) (NextHop, error) {
+	if target == flowtable.None {
+		f.stats.drops.Add(1)
+		return NextHop{}, ErrNoNextHop
+	}
+	f.mu.RLock()
+	nh, ok := f.hops[target]
+	f.mu.RUnlock()
+	if !ok {
+		f.stats.drops.Add(1)
+		return NextHop{}, fmt.Errorf("%w: %d", ErrUnknownHop, target)
+	}
+	if nh.Kind == KindVNF && !nh.LabelAware {
+		p.Labeled = false
+	} else {
+		p.Labeled = true
+	}
+	f.stats.tx.Add(1)
+	return nh, nil
+}

@@ -1,0 +1,326 @@
+package forwarder
+
+import (
+	"testing"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+)
+
+var chainLabels = labels.Stack{Chain: 100, Egress: 3}
+
+func addr(site, host string) simnet.Addr {
+	return simnet.Addr{Site: simnet.SiteID(site), Host: host}
+}
+
+func flow(i int) packet.FlowKey {
+	return packet.FlowKey{SrcIP: 0x0A000000 + uint32(i), DstIP: 0xC0A80001, SrcPort: 10000, DstPort: 80, Proto: 6}
+}
+
+func labeledPacket(i int) *packet.Packet {
+	return &packet.Packet{Labels: chainLabels, Labeled: true, Key: flow(i)}
+}
+
+// chainForwarder builds a forwarder with two local VNF instances and two
+// next-hop forwarders, plus a previous-hop edge.
+func chainForwarder(t *testing.T, mode Mode) (f *Forwarder, vnf1, vnf2, next1, next2, prevEdge flowtable.Hop) {
+	t.Helper()
+	f = New("f1", mode, 4)
+	vnf1 = f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "g1"), LabelAware: true})
+	vnf2 = f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "g2"), LabelAware: true})
+	next1 = f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "f2")})
+	next2 = f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "f3")})
+	prevEdge = f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", "edge")})
+	f.InstallRule(chainLabels, RuleSpec{
+		LocalVNF: []WeightedHop{{vnf1, 1}, {vnf2, 1}},
+		Next:     []WeightedHop{{next1, 1}, {next2, 1}},
+		Prev:     []WeightedHop{{prevEdge, 1}},
+	})
+	return f, vnf1, vnf2, next1, next2, prevEdge
+}
+
+func TestAffinityPinsVNFInstance(t *testing.T) {
+	f, vnf1, vnf2, _, _, edge := chainForwarder(t, ModeAffinity)
+	p := labeledPacket(1)
+	nh, err := f.Process(p, edge)
+	if err != nil {
+		t.Fatalf("Process: %v", err)
+	}
+	if nh.Kind != KindVNF {
+		t.Fatalf("first packet went to %v, want local VNF", nh.Kind)
+	}
+	first := nh.ID
+	if first != vnf1 && first != vnf2 {
+		t.Fatalf("unknown VNF hop %d", first)
+	}
+	// All later packets of the flow go to the same instance.
+	for i := 0; i < 20; i++ {
+		nh, err := f.Process(labeledPacket(1), edge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nh.ID != first {
+			t.Fatalf("packet %d went to %d, want pinned %d", i, nh.ID, first)
+		}
+	}
+	if f.FlowCount() != 1 {
+		t.Errorf("FlowCount = %d, want 1", f.FlowCount())
+	}
+}
+
+func TestAffinityForwardAfterVNF(t *testing.T) {
+	f, _, _, next1, next2, edge := chainForwarder(t, ModeAffinity)
+	p := labeledPacket(2)
+	nh, err := f.Process(p, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vnfHop := nh.ID
+	// Packet comes back from the VNF: must go to the pinned next hop.
+	nh, err = f.Process(p, vnfHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != next1 && nh.ID != next2 {
+		t.Fatalf("post-VNF packet went to hop %d, want a next-hop forwarder", nh.ID)
+	}
+	pinnedNext := nh.ID
+	for i := 0; i < 10; i++ {
+		nh, err := f.Process(labeledPacket(2), vnfHop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nh.ID != pinnedNext {
+			t.Fatalf("next hop changed from %d to %d", pinnedNext, nh.ID)
+		}
+	}
+}
+
+func TestSymmetricReturn(t *testing.T) {
+	f, _, _, _, _, edge := chainForwarder(t, ModeAffinity)
+	fwd := labeledPacket(3)
+	nh, err := f.Process(fwd, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vnfHop := nh.ID
+	if _, err := f.Process(fwd, vnfHop); err != nil {
+		t.Fatal(err)
+	}
+	// Reverse packet arrives from the next-hop side with reversed key.
+	rev := &packet.Packet{Labels: chainLabels, Labeled: true, Key: flow(3).Reverse()}
+	nh, err = f.Process(rev, f.HopByAddr(addr("B", "f2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != vnfHop {
+		t.Fatalf("reverse packet went to %d, want same VNF instance %d", nh.ID, vnfHop)
+	}
+	// After the VNF processes the reverse packet, it must return to the
+	// previous hop recorded on the forward path (the edge).
+	nh, err = f.Process(rev, vnfHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != edge {
+		t.Fatalf("reverse packet egressed to %d, want previous hop %d (edge)", nh.ID, edge)
+	}
+}
+
+func TestRuleUpdateDoesNotMoveExistingFlows(t *testing.T) {
+	f, vnf1, _, _, _, edge := chainForwarder(t, ModeAffinity)
+	// Pin flow 4.
+	p := labeledPacket(4)
+	nh, err := f.Process(p, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := nh.ID
+	// New route: only vnf1 with different next hops.
+	newNext := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("C", "f9")})
+	f.InstallRule(chainLabels, RuleSpec{
+		LocalVNF: []WeightedHop{{vnf1, 1}},
+		Next:     []WeightedHop{{newNext, 1}},
+		Prev:     []WeightedHop{{edge, 1}},
+	})
+	// Existing flow unchanged.
+	nh, err = f.Process(labeledPacket(4), edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != pinned {
+		t.Errorf("existing flow moved from %d to %d after rule update", pinned, nh.ID)
+	}
+	// New flows use the new rule.
+	nh, err = f.Process(labeledPacket(5), edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != vnf1 {
+		t.Errorf("new flow VNF = %d, want %d", nh.ID, vnf1)
+	}
+}
+
+func TestWeightedDistribution(t *testing.T) {
+	f := New("f", ModeLabels, 4)
+	a := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "a")})
+	b := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "b")})
+	f.InstallRule(chainLabels, RuleSpec{Next: []WeightedHop{{a, 3}, {b, 1}}})
+	counts := map[flowtable.Hop]int{}
+	for i := 0; i < 4000; i++ {
+		nh, err := f.Process(labeledPacket(i), flowtable.None)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[nh.ID]++
+	}
+	ratio := float64(counts[a]) / float64(counts[b])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("weight ratio = %v (counts %v), want ≈ 3", ratio, counts)
+	}
+}
+
+func TestHierarchicalWeights(t *testing.T) {
+	// Site-level split 0.75/0.25 × instance weights: F2 represents two
+	// instances (weight 2), F3 one (weight 1) at the 0.25 site; local
+	// picks among instances at 0.75 site.
+	f := New("f", ModeLabels, 4)
+	f2 := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "f2")})
+	f3 := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("C", "f3")})
+	// Hierarchical product: site B gets 0.6 × (2/2)=0.6; site C 0.4.
+	f.InstallRule(chainLabels, RuleSpec{Next: []WeightedHop{{f2, 0.6}, {f3, 0.4}}})
+	counts := map[flowtable.Hop]int{}
+	for i := 0; i < 5000; i++ {
+		nh, err := f.Process(labeledPacket(i), flowtable.None)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[nh.ID]++
+	}
+	frac := float64(counts[f2]) / 5000
+	if frac < 0.55 || frac > 0.65 {
+		t.Errorf("site B fraction = %v, want ≈ 0.6", frac)
+	}
+}
+
+func TestBridgeMode(t *testing.T) {
+	f := New("f", ModeBridge, 1)
+	peer := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "peer")})
+	f.SetBridgeTarget(peer)
+	p := labeledPacket(1)
+	for i := 0; i < 10; i++ {
+		nh, err := f.Process(p, flowtable.None)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nh.ID != peer {
+			t.Fatalf("bridge sent to %d, want %d", nh.ID, peer)
+		}
+	}
+	if f.FlowCount() != 0 {
+		t.Error("bridge mode created flow state")
+	}
+}
+
+func TestLabelStripAndReaffix(t *testing.T) {
+	f := New("f", ModeAffinity, 4)
+	vnf := f.AddHop(NextHop{
+		Kind: KindVNF, Addr: addr("A", "legacy"),
+		LabelAware: false, Labels: chainLabels,
+	})
+	next := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "f2")})
+	edge := f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", "edge")})
+	f.InstallRule(chainLabels, RuleSpec{
+		LocalVNF: []WeightedHop{{vnf, 1}},
+		Next:     []WeightedHop{{next, 1}},
+		Prev:     []WeightedHop{{edge, 1}},
+	})
+	p := labeledPacket(1)
+	nh, err := f.Process(p, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != vnf {
+		t.Fatalf("went to %d, want VNF", nh.ID)
+	}
+	if p.Labeled {
+		t.Error("labels not stripped for label-unaware VNF")
+	}
+	// The VNF returns the packet unlabeled; forwarder must re-affix.
+	nh, err = f.Process(p, vnf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Labeled || p.Labels != chainLabels {
+		t.Error("labels not re-affixed after label-unaware VNF")
+	}
+	if nh.ID != next {
+		t.Errorf("post-VNF hop = %d, want %d", nh.ID, next)
+	}
+	if f.Stats().Relabeled == 0 {
+		t.Error("relabel counter not incremented")
+	}
+}
+
+func TestUnlabeledFromUnknownSourceDropped(t *testing.T) {
+	f, _, _, _, _, _ := chainForwarder(t, ModeAffinity)
+	p := &packet.Packet{Key: flow(1)} // no labels
+	if _, err := f.Process(p, flowtable.None); err == nil {
+		t.Error("unlabeled packet from unknown source accepted")
+	}
+	if f.Stats().Drops == 0 {
+		t.Error("drop not counted")
+	}
+}
+
+func TestNoRuleDrops(t *testing.T) {
+	f := New("f", ModeAffinity, 1)
+	p := labeledPacket(1)
+	if _, err := f.Process(p, flowtable.None); err == nil {
+		t.Error("packet with unknown labels accepted")
+	}
+	st := f.Stats()
+	if st.RuleMiss != 1 || st.Drops != 1 {
+		t.Errorf("stats = %+v, want RuleMiss=1 Drops=1", st)
+	}
+}
+
+func TestTransitForwarderNoLocalVNF(t *testing.T) {
+	// A forwarder with no local VNF for the chain forwards straight
+	// through and still maintains symmetric return.
+	f := New("f", ModeAffinity, 4)
+	next := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "f2")})
+	prev := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("Z", "f0")})
+	f.InstallRule(chainLabels, RuleSpec{Next: []WeightedHop{{next, 1}}, Prev: []WeightedHop{{prev, 1}}})
+	p := labeledPacket(9)
+	nh, err := f.Process(p, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != next {
+		t.Fatalf("transit forward went to %d, want %d", nh.ID, next)
+	}
+	rev := &packet.Packet{Labels: chainLabels, Labeled: true, Key: flow(9).Reverse()}
+	nh, err = f.Process(rev, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != prev {
+		t.Fatalf("transit reverse went to %d, want recorded prev %d", nh.ID, prev)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	f, _, _, _, _, edge := chainForwarder(t, ModeAffinity)
+	for i := 0; i < 5; i++ {
+		if _, err := f.Process(labeledPacket(i), edge); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.Rx != 5 || st.Tx != 5 || st.NewFlows != 5 {
+		t.Errorf("stats = %+v, want Rx=Tx=NewFlows=5", st)
+	}
+}

@@ -1,0 +1,85 @@
+package forwarder
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/packet"
+)
+
+// TestHierarchicalVsFlatWeights is the DESIGN.md ablation for the
+// paper's hierarchical load balancing (Section 5.2): the forwarder's
+// weights must be the product of the site-level traffic-engineering
+// split and the per-instance weight. With sites hosting different
+// instance counts, flat per-instance weights skew traffic toward the
+// bigger site and violate the TE split; hierarchical weights honor it.
+func TestHierarchicalVsFlatWeights(t *testing.T) {
+	// Site B: 3 forwarder targets; site C: 1. TE split: 50/50.
+	build := func(hierarchical bool) (*Forwarder, map[string]flowtable.Hop) {
+		f := New("f", ModeAffinity, 8)
+		hops := make(map[string]flowtable.Hop)
+		var whs []WeightedHop
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("B%d", i)
+			h := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", name)})
+			hops[name] = h
+			w := 1.0
+			if hierarchical {
+				w = 0.5 * (1.0 / 3.0) // site split × instance share
+			}
+			whs = append(whs, WeightedHop{Hop: h, Weight: w})
+		}
+		h := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("C", "C0")})
+		hops["C0"] = h
+		w := 1.0
+		if hierarchical {
+			w = 0.5
+		}
+		whs = append(whs, WeightedHop{Hop: h, Weight: w})
+		edge := f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", "edge")})
+		hops["edge"] = edge
+		f.InstallRule(chainLabels, RuleSpec{
+			LocalVNF: []WeightedHop{{Hop: edge, Weight: 1}},
+			Next:     whs,
+		})
+		return f, hops
+	}
+
+	measure := func(f *Forwarder, hops map[string]flowtable.Hop) (siteB, siteC float64) {
+		const flows = 6000
+		counts := map[flowtable.Hop]int{}
+		for i := 0; i < flows; i++ {
+			p := &packet.Packet{
+				Labels: chainLabels, Labeled: true,
+				Key: packet.FlowKey{SrcIP: uint32(i), DstIP: 1, SrcPort: 9, DstPort: 80, Proto: 6},
+			}
+			nh, err := f.Process(p, hops["edge"])
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[nh.ID]++
+		}
+		for i := 0; i < 3; i++ {
+			siteB += float64(counts[hops[fmt.Sprintf("B%d", i)]])
+		}
+		siteC = float64(counts[hops["C0"]])
+		return siteB / flows, siteC / flows
+	}
+
+	fh, hopsH := build(true)
+	b, c := measure(fh, hopsH)
+	if math.Abs(b-0.5) > 0.05 || math.Abs(c-0.5) > 0.05 {
+		t.Errorf("hierarchical weights: site split = %.2f/%.2f, want 0.50/0.50", b, c)
+	}
+
+	ff, hopsF := build(false)
+	b, c = measure(ff, hopsF)
+	if b < 0.70 {
+		t.Errorf("flat weights: site B got %.2f, expected ≈ 0.75 (the TE violation the ablation shows)", b)
+	}
+	if math.Abs(c-0.25) > 0.05 {
+		t.Errorf("flat weights: site C got %.2f, want ≈ 0.25", c)
+	}
+}

@@ -1,0 +1,67 @@
+package forwarder
+
+import (
+	"context"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+)
+
+// Runner drives a Forwarder from a simnet endpoint: it receives packets,
+// resolves the sender to a registered hop, runs Process, and sends the
+// packet onward. One Runner models one forwarder core.
+type Runner struct {
+	F  *Forwarder
+	EP *simnet.Endpoint
+}
+
+// Run processes packets until the context is cancelled or the endpoint's
+// inbox closes. Non-packet payloads and processing errors are counted as
+// drops and skipped.
+func (r *Runner) Run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m, ok := <-r.EP.Inbox():
+			if !ok {
+				return
+			}
+			p, ok := m.Payload.(*packet.Packet)
+			if !ok {
+				continue
+			}
+			from := r.F.HopByAddr(m.From)
+			if from == flowtable.None && m.From != (simnet.Addr{}) {
+				// Learn unknown senders as peer forwarders so the flow
+				// table can record them as previous hops (needed when a
+				// new edge site starts sending before any rule names it).
+				from = r.F.AddHop(NextHop{Kind: KindForwarder, Addr: m.From})
+			}
+			nh, err := r.F.Process(p, from)
+			if err != nil {
+				continue
+			}
+			// Payload size models the packet body plus the label
+			// overlay when labeled.
+			size := len(p.Payload) + 40
+			_ = r.EP.Send(nh.Addr, p, size)
+		}
+	}
+}
+
+// Start launches Run on a new goroutine and returns a stop function that
+// cancels it.
+func (r *Runner) Start() (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Run(ctx)
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}

@@ -1,0 +1,204 @@
+package forwarder
+
+import (
+	"testing"
+	"time"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+)
+
+func TestRunnerForwardsOverSimnet(t *testing.T) {
+	net := simnet.New(1)
+	defer net.Close()
+	fwdEP, err := net.Attach(addr("A", "fwd"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := net.Attach(addr("B", "peer"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := net.Attach(addr("A", "src"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := New("f", ModeAffinity, 4)
+	st := labels.Stack{Chain: 3, Egress: 1}
+	next := f.AddHop(NextHop{Kind: KindForwarder, Addr: peer.Addr()})
+	srcHop := f.AddHop(NextHop{Kind: KindEdge, Addr: src.Addr()})
+	f.InstallRule(st, RuleSpec{
+		Next: []WeightedHop{{Hop: next, Weight: 1}},
+		Prev: []WeightedHop{{Hop: srcHop, Weight: 1}},
+	})
+	r := &Runner{F: f, EP: fwdEP}
+	stop := r.Start()
+	defer stop()
+
+	p := &packet.Packet{Labels: st, Labeled: true, Key: flow(1), Payload: []byte("go")}
+	if err := src.Send(fwdEP.Addr(), p, 42); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-peer.Inbox():
+		got := m.Payload.(*packet.Packet)
+		if string(got.Payload) != "go" {
+			t.Errorf("payload = %q", got.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("packet never forwarded")
+	}
+
+	// Non-packet payloads and rule misses are skipped without crashing.
+	if err := src.Send(fwdEP.Addr(), "not a packet", 1); err != nil {
+		t.Fatal(err)
+	}
+	bad := &packet.Packet{Labels: labels.Stack{Chain: 99, Egress: 9}, Labeled: true, Key: flow(2)}
+	if err := src.Send(fwdEP.Addr(), bad, 10); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if f.Stats().RuleMiss == 0 {
+		t.Error("rule miss not counted through runner path")
+	}
+}
+
+func TestRunnerAutoLearnsUnknownSenders(t *testing.T) {
+	net := simnet.New(1)
+	defer net.Close()
+	fwdEP, _ := net.Attach(addr("A", "fwd"), 64)
+	peer, _ := net.Attach(addr("B", "peer"), 64)
+	stranger, _ := net.Attach(addr("C", "stranger"), 64)
+
+	f := New("f", ModeAffinity, 4)
+	st := labels.Stack{Chain: 3, Egress: 1}
+	next := f.AddHop(NextHop{Kind: KindForwarder, Addr: peer.Addr()})
+	f.InstallRule(st, RuleSpec{Next: []WeightedHop{{Hop: next, Weight: 1}}})
+	r := &Runner{F: f, EP: fwdEP}
+	stop := r.Start()
+	defer stop()
+
+	p := &packet.Packet{Labels: st, Labeled: true, Key: flow(5)}
+	if err := stranger.Send(fwdEP.Addr(), p, 10); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-peer.Inbox():
+	case <-time.After(2 * time.Second):
+		t.Fatal("packet from unknown sender not forwarded")
+	}
+	if got := f.HopByAddr(stranger.Addr()); got == flowtable.None {
+		t.Error("unknown sender not learned as a hop")
+	}
+	// Reverse packets can now return to the learned sender.
+	rp := &packet.Packet{Labels: st, Labeled: true, Key: flow(5).Reverse()}
+	if err := peer.Send(fwdEP.Addr(), rp, 10); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-stranger.Inbox():
+	case <-time.After(2 * time.Second):
+		t.Fatal("reverse packet never returned to learned sender")
+	}
+}
+
+func TestHopRegistryStableAcrossForwarders(t *testing.T) {
+	reg := NewHopRegistry()
+	f1 := New("f1", ModeAffinity, 1)
+	f1.UseHopRegistry(reg)
+	f2 := New("f2", ModeAffinity, 1)
+	f2.UseHopRegistry(reg)
+	// Register in different orders; IDs must match by address.
+	a1 := f1.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "x")})
+	b1 := f1.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "y")})
+	b2 := f2.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "y")})
+	a2 := f2.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "x")})
+	if a1 != a2 || b1 != b2 {
+		t.Errorf("IDs not address-stable: x %d/%d, y %d/%d", a1, a2, b1, b2)
+	}
+	if a1 == b1 {
+		t.Error("distinct addresses share an ID")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f := New("named", ModeLabels, 2)
+	if f.Name() != "named" || f.Mode() != ModeLabels {
+		t.Error("accessors wrong")
+	}
+	h := f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "v")})
+	nh, ok := f.Hop(h)
+	if !ok || nh.Addr != addr("A", "v") {
+		t.Errorf("Hop() = %+v, %v", nh, ok)
+	}
+	if _, ok := f.Hop(999); ok {
+		t.Error("unknown hop found")
+	}
+}
+
+func TestRuleInfoAndRemove(t *testing.T) {
+	f := New("f", ModeAffinity, 2)
+	st := labels.Stack{Chain: 1, Egress: 1}
+	if _, _, _, ok := f.RuleInfo(st); ok {
+		t.Error("RuleInfo found a rule before install")
+	}
+	v := f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "v")})
+	n := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "n")})
+	f.InstallRule(st, RuleSpec{
+		LocalVNF: []WeightedHop{{Hop: v, Weight: 1}},
+		Next:     []WeightedHop{{Hop: n, Weight: 1}},
+	})
+	local, next, prev, ok := f.RuleInfo(st)
+	if !ok || local == 0 || next == 0 || prev != 0 {
+		t.Errorf("RuleInfo = %d/%d/%d/%v", local, next, prev, ok)
+	}
+	if got := f.RuleNextHopCount(st); got != 1 {
+		t.Errorf("RuleNextHopCount = %d, want 1", got)
+	}
+	f.RemoveRule(st)
+	if _, _, _, ok := f.RuleInfo(st); ok {
+		t.Error("rule survived RemoveRule")
+	}
+	if got := f.RuleNextHopCount(st); got != 0 {
+		t.Errorf("RuleNextHopCount after remove = %d", got)
+	}
+}
+
+func TestProcessLabelsFromLocalElement(t *testing.T) {
+	// ModeLabels: a packet from a local-set member goes to Next, not
+	// back to the local picker.
+	f := New("f", ModeLabels, 2)
+	st := labels.Stack{Chain: 2, Egress: 1}
+	v := f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "v"), LabelAware: true})
+	n := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "n")})
+	f.InstallRule(st, RuleSpec{
+		LocalVNF: []WeightedHop{{Hop: v, Weight: 1}},
+		Next:     []WeightedHop{{Hop: n, Weight: 1}},
+	})
+	p := &packet.Packet{Labels: st, Labeled: true, Key: flow(1)}
+	nh, err := f.Process(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != n {
+		t.Errorf("from local element went to %d, want next %d", nh.ID, n)
+	}
+	nh, err = f.Process(p, flowtable.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != v {
+		t.Errorf("external packet went to %d, want local %d", nh.ID, v)
+	}
+}
+
+func TestBridgeWithoutTargetDrops(t *testing.T) {
+	f := New("f", ModeBridge, 1)
+	p := &packet.Packet{Key: flow(1)}
+	if _, err := f.Process(p, flowtable.None); err == nil {
+		t.Error("bridge with no target forwarded")
+	}
+}

@@ -1,0 +1,97 @@
+// Package labels implements Switchboard's two-label packet tagging
+// (Section 3): a chain label identifying the customer's service chain and
+// its wide-area route, and an egress label identifying the egress edge
+// site. The encoding is MPLS-like — 20-bit label values packed into a
+// fixed 8-byte header stack — so the data-plane overhead stays constant
+// regardless of chain length (unlike NSH/segment-routing source routes).
+package labels
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MaxLabel is the largest encodable label value (20 bits, as in MPLS).
+const MaxLabel = 1<<20 - 1
+
+// HeaderSize is the encoded size of a label stack: two 4-byte entries.
+const HeaderSize = 8
+
+// Stack is the pair of labels carried by every packet inside the
+// Switchboard overlay.
+type Stack struct {
+	// Chain identifies the service chain and its wide-area route.
+	Chain uint32
+	// Egress identifies the egress edge site.
+	Egress uint32
+}
+
+// ErrShortHeader is returned when decoding from fewer than HeaderSize bytes.
+var ErrShortHeader = errors.New("labels: short header")
+
+// ErrLabelRange is returned when a label exceeds MaxLabel.
+var ErrLabelRange = errors.New("labels: label out of range")
+
+// Encode writes the stack into buf, which must be at least HeaderSize
+// bytes, and returns the number of bytes written. Layout per entry mirrors
+// an MPLS shim: 20-bit label, 3-bit class (zero), bottom-of-stack bit,
+// 8-bit TTL (255).
+func (s Stack) Encode(buf []byte) (int, error) {
+	if len(buf) < HeaderSize {
+		return 0, ErrShortHeader
+	}
+	if s.Chain > MaxLabel || s.Egress > MaxLabel {
+		return 0, ErrLabelRange
+	}
+	binary.BigEndian.PutUint32(buf[0:4], s.Chain<<12|0xFF)       // not bottom of stack
+	binary.BigEndian.PutUint32(buf[4:8], s.Egress<<12|1<<8|0xFF) // bottom of stack
+	return HeaderSize, nil
+}
+
+// Decode parses a label stack from buf.
+func Decode(buf []byte) (Stack, error) {
+	if len(buf) < HeaderSize {
+		return Stack{}, ErrShortHeader
+	}
+	first := binary.BigEndian.Uint32(buf[0:4])
+	second := binary.BigEndian.Uint32(buf[4:8])
+	if first&(1<<8) != 0 {
+		return Stack{}, fmt.Errorf("labels: chain entry marked bottom of stack")
+	}
+	if second&(1<<8) == 0 {
+		return Stack{}, fmt.Errorf("labels: egress entry not bottom of stack")
+	}
+	return Stack{Chain: first >> 12, Egress: second >> 12}, nil
+}
+
+// Allocator hands out unique chain labels. Global Switchboard owns one
+// and assigns a label per (chain, wide-area route) pair.
+type Allocator struct {
+	next uint32
+	free []uint32
+}
+
+// NewAllocator returns an allocator starting at label 16 (values below 16
+// are reserved, as in MPLS).
+func NewAllocator() *Allocator { return &Allocator{next: 16} }
+
+// Alloc returns a fresh label, reusing released ones first.
+func (a *Allocator) Alloc() (uint32, error) {
+	if n := len(a.free); n > 0 {
+		l := a.free[n-1]
+		a.free = a.free[:n-1]
+		return l, nil
+	}
+	if a.next > MaxLabel {
+		return 0, errors.New("labels: space exhausted")
+	}
+	l := a.next
+	a.next++
+	return l, nil
+}
+
+// Release returns a label to the pool.
+func (a *Allocator) Release(l uint32) {
+	a.free = append(a.free, l)
+}

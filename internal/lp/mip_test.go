@@ -1,0 +1,167 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMIPKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c, weights 3,4,2, capacity 6, binary.
+	// Best: a+c = 17 (weight 5); b+c = 20 (weight 6) ← optimal.
+	p := NewMaximize()
+	a := p.AddVar(10, "a")
+	b := p.AddVar(13, "b")
+	c := p.AddVar(7, "c")
+	p.AddConstraint([]Term{{a, 3}, {b, 4}, {c, 2}}, LE, 6, "cap")
+	for _, v := range []int{a, b, c} {
+		p.MarkBinary(v)
+	}
+	sol, err := p.SolveMIP(MIPOptions{})
+	if err != nil {
+		t.Fatalf("SolveMIP() error: %v", err)
+	}
+	if !almost(sol.Objective, 20) {
+		t.Errorf("objective = %v, want 20", sol.Objective)
+	}
+	if !almost(sol.Value(b), 1) || !almost(sol.Value(c), 1) || !almost(sol.Value(a), 0) {
+		t.Errorf("solution = %v, want b=c=1, a=0", sol.X)
+	}
+}
+
+func TestMIPFallsBackToLP(t *testing.T) {
+	p := NewMaximize()
+	x := p.AddVar(1, "x")
+	p.AddConstraint([]Term{{x, 1}}, LE, 2.5, "c")
+	sol, err := p.SolveMIP(MIPOptions{})
+	if err != nil {
+		t.Fatalf("SolveMIP() error: %v", err)
+	}
+	if !almost(sol.Value(x), 2.5) {
+		t.Errorf("x = %v, want 2.5 (continuous, no integer marks)", sol.Value(x))
+	}
+}
+
+func TestMIPIntegerGeneral(t *testing.T) {
+	// max x + y  s.t. 2x + 2y ≤ 7, integer → x + y = 3.
+	p := NewMaximize()
+	x := p.AddVar(1, "x")
+	y := p.AddVar(1, "y")
+	p.AddConstraint([]Term{{x, 2}, {y, 2}}, LE, 7, "c")
+	p.MarkInteger(x)
+	p.MarkInteger(y)
+	sol, err := p.SolveMIP(MIPOptions{})
+	if err != nil {
+		t.Fatalf("SolveMIP() error: %v", err)
+	}
+	if !almost(sol.Objective, 3) {
+		t.Errorf("objective = %v, want 3", sol.Objective)
+	}
+	for _, v := range []int{x, y} {
+		if frac := math.Abs(sol.X[v] - math.Round(sol.X[v])); frac > 1e-6 {
+			t.Errorf("x%d = %v not integral", v, sol.X[v])
+		}
+	}
+}
+
+func TestMIPInfeasible(t *testing.T) {
+	// x binary with x ≥ 0.4 and x ≤ 0.6: LP feasible, MIP infeasible.
+	p := NewMinimize()
+	x := p.AddVar(1, "x")
+	p.MarkBinary(x)
+	p.AddConstraint([]Term{{x, 1}}, GE, 0.4, "lo")
+	p.AddConstraint([]Term{{x, 1}}, LE, 0.6, "hi")
+	if _, err := p.SolveMIP(MIPOptions{}); err != ErrInfeasible {
+		t.Errorf("SolveMIP() error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMIPFacilityLocation(t *testing.T) {
+	// 2 facilities (open cost 5 each), 3 clients, assignment costs:
+	//   f0: 1, 2, 8   f1: 8, 2, 1
+	// Opening both costs 10 + 1+2+1 = 14; only f0: 5 + 11 = 16;
+	// only f1: 5 + 11 = 16. Optimal = 14.
+	p := NewMinimize()
+	open := []int{p.AddVar(5, "y0"), p.AddVar(5, "y1")}
+	costs := [][]float64{{1, 2, 8}, {8, 2, 1}}
+	assign := make([][]int, 2)
+	for f := range assign {
+		assign[f] = make([]int, 3)
+		for c := range assign[f] {
+			assign[f][c] = p.AddVar(costs[f][c], "")
+		}
+	}
+	for _, y := range open {
+		p.MarkBinary(y)
+	}
+	for c := 0; c < 3; c++ {
+		p.AddConstraint([]Term{{assign[0][c], 1}, {assign[1][c], 1}}, EQ, 1, "serve")
+		for f := 0; f < 2; f++ {
+			// x_fc ≤ y_f
+			p.AddConstraint([]Term{{assign[f][c], 1}, {open[f], -1}}, LE, 0, "link")
+		}
+	}
+	sol, err := p.SolveMIP(MIPOptions{})
+	if err != nil {
+		t.Fatalf("SolveMIP() error: %v", err)
+	}
+	if !almost(sol.Objective, 14) {
+		t.Errorf("objective = %v, want 14", sol.Objective)
+	}
+}
+
+// Property: for random small binary knapsacks, branch and bound matches
+// exhaustive enumeration.
+func TestMIPMatchesBruteForce(t *testing.T) {
+	f := func(seed uint32) bool {
+		state := uint64(seed) | 1
+		next := func(n int) int {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return int(state % uint64(n))
+		}
+		n := 3 + next(4) // 3..6 items
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			values[i] = float64(1 + next(20))
+			weights[i] = float64(1 + next(10))
+		}
+		capacity := float64(5 + next(20))
+
+		p := NewMaximize()
+		vars := make([]int, n)
+		terms := make([]Term, n)
+		for i := 0; i < n; i++ {
+			vars[i] = p.AddVar(values[i], "")
+			terms[i] = Term{vars[i], weights[i]}
+		}
+		p.AddConstraint(terms, LE, capacity, "cap")
+		for _, v := range vars {
+			p.MarkBinary(v)
+		}
+		sol, err := p.SolveMIP(MIPOptions{})
+		if err != nil {
+			return false
+		}
+		// Brute force.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[i]
+					v += values[i]
+				}
+			}
+			if w <= capacity && v > best {
+				best = v
+			}
+		}
+		return math.Abs(sol.Objective-best) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

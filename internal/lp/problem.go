@@ -1,0 +1,144 @@
+// Package lp is a self-contained linear-programming substrate: a dense
+// two-phase primal simplex solver and a branch-and-bound mixed-integer
+// extension. It stands in for the CPLEX suite the Switchboard paper used
+// for its SB-LP chain-routing optimizer and capacity-planning MIPs.
+//
+// The solver targets the small-to-medium dense instances produced by
+// Switchboard's traffic-engineering formulations (thousands of variables,
+// hundreds to thousands of rows). It is exact up to floating-point
+// tolerance and uses Bland's rule to guarantee termination.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Sense is the direction of a constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota + 1 // ≤
+	GE                  // ≥
+	EQ                  // =
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Term is one coefficient of a linear expression.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is a linear constraint Σ coef·x  sense  RHS.
+type Constraint struct {
+	Terms []Term
+	Sense Sense
+	RHS   float64
+	Name  string
+}
+
+// Problem is an LP under construction. All variables are continuous and
+// non-negative; integer restrictions are added via MarkBinary /
+// MarkInteger and only honored by SolveMIP.
+type Problem struct {
+	Minimize bool
+	obj      []float64
+	names    []string
+	cons     []Constraint
+	integers map[int]bool
+	binaries map[int]bool
+}
+
+// NewMinimize returns an empty minimization problem.
+func NewMinimize() *Problem {
+	return &Problem{Minimize: true, integers: make(map[int]bool), binaries: make(map[int]bool)}
+}
+
+// NewMaximize returns an empty maximization problem.
+func NewMaximize() *Problem {
+	p := NewMinimize()
+	p.Minimize = false
+	return p
+}
+
+// AddVar adds a variable with the given objective coefficient and returns
+// its index.
+func (p *Problem) AddVar(objCoef float64, name string) int {
+	p.obj = append(p.obj, objCoef)
+	p.names = append(p.names, name)
+	return len(p.obj) - 1
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetObj overwrites the objective coefficient of variable v.
+func (p *Problem) SetObj(v int, coef float64) { p.obj[v] = coef }
+
+// AddConstraint appends a constraint built from sparse terms. Terms with
+// duplicate variable indices are summed.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64, name string) {
+	merged := mergeTerms(terms)
+	p.cons = append(p.cons, Constraint{Terms: merged, Sense: sense, RHS: rhs, Name: name})
+}
+
+// MarkBinary restricts variable v to {0, 1} for SolveMIP. It also adds
+// the bound x_v ≤ 1 so LP relaxations stay tight.
+func (p *Problem) MarkBinary(v int) {
+	if !p.binaries[v] {
+		p.binaries[v] = true
+		p.AddConstraint([]Term{{v, 1}}, LE, 1, fmt.Sprintf("bin_ub(%s)", p.names[v]))
+	}
+}
+
+// MarkInteger restricts variable v to non-negative integers for SolveMIP.
+func (p *Problem) MarkInteger(v int) { p.integers[v] = true }
+
+func mergeTerms(terms []Term) []Term {
+	m := make(map[int]float64, len(terms))
+	for _, t := range terms {
+		m[t.Var] += t.Coef
+	}
+	out := make([]Term, 0, len(m))
+	for v, c := range m {
+		if c != 0 {
+			out = append(out, Term{Var: v, Coef: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Var < out[j].Var })
+	return out
+}
+
+// Solution is the result of an LP or MIP solve.
+type Solution struct {
+	X         []float64
+	Objective float64
+}
+
+// Value returns x[v].
+func (s *Solution) Value(v int) float64 { return s.X[v] }
+
+// Errors returned by the solvers.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
+)

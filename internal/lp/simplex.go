@@ -1,0 +1,312 @@
+package lp
+
+import (
+	"math"
+)
+
+const (
+	pivotEps  = 1e-9
+	feasEps   = 1e-7
+	blandIter = 5000 // switch to Bland's rule after this many Dantzig iterations
+)
+
+// Solve runs the two-phase primal simplex and returns an optimal solution,
+// or ErrInfeasible / ErrUnbounded / ErrIterLimit.
+func (p *Problem) Solve() (*Solution, error) {
+	t := newTableau(p)
+	if err := t.phase1(); err != nil {
+		return nil, err
+	}
+	if err := t.phase2(); err != nil {
+		return nil, err
+	}
+	return t.solution(p), nil
+}
+
+// tableau is a dense simplex tableau in standard form:
+//
+//	min c·x  s.t.  A x = b,  x ≥ 0,  b ≥ 0
+//
+// with columns [structural | slack/surplus | artificial].
+type tableau struct {
+	m, n    int       // rows, total columns (excluding RHS)
+	nStruct int       // structural variables
+	a       []float64 // m × n row-major
+	b       []float64 // RHS, length m
+	c       []float64 // phase-2 costs, length n
+	basis   []int     // basic variable of each row
+	nArt    int
+	artCol0 int // first artificial column
+	iters   int
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.cons)
+	nStruct := len(p.obj)
+
+	// Count slack/surplus columns.
+	nSlack := 0
+	for _, con := range p.cons {
+		if con.Sense != EQ {
+			nSlack++
+		}
+	}
+	// Worst case each row needs an artificial; allocate lazily below.
+	t := &tableau{m: m, nStruct: nStruct}
+	n := nStruct + nSlack + m // upper bound incl. artificials
+	t.a = make([]float64, m*n)
+	t.b = make([]float64, m)
+	t.c = make([]float64, n)
+	t.basis = make([]int, m)
+	t.n = nStruct + nSlack
+	t.artCol0 = t.n
+
+	sign := 1.0
+	if !p.Minimize {
+		sign = -1.0
+	}
+	for v, coef := range p.obj {
+		t.c[v] = sign * coef
+	}
+
+	nCols := n // row stride
+	slack := nStruct
+	for i, con := range p.cons {
+		rhs := con.RHS
+		flip := 1.0
+		if rhs < 0 {
+			// Normalize to b ≥ 0 by negating the row (flips sense).
+			flip = -1.0
+			rhs = -rhs
+		}
+		row := t.a[i*nCols : (i+1)*nCols]
+		for _, term := range con.Terms {
+			row[term.Var] += flip * term.Coef
+		}
+		t.b[i] = rhs
+		sense := con.Sense
+		if flip < 0 {
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			t.basis[i] = t.addArtificial(i)
+		case EQ:
+			t.basis[i] = t.addArtificial(i)
+		}
+		// A ≤ row with zero RHS can start basic on its slack even if
+		// the slack coefficient became -1 after flipping; handled above
+		// since flip only occurs when rhs<0, never for rhs==0.
+	}
+	return t
+}
+
+// addArtificial appends an artificial column for row i and returns its index.
+func (t *tableau) addArtificial(i int) int {
+	col := t.artCol0 + t.nArt
+	t.nArt++
+	if col >= t.n {
+		t.n = col + 1
+	}
+	stride := t.stride()
+	t.a[i*stride+col] = 1
+	return col
+}
+
+func (t *tableau) stride() int { return t.nStruct + (t.artCol0 - t.nStruct) + t.m }
+
+// phase1 drives artificials to zero. If none exist it is a no-op.
+func (t *tableau) phase1() error {
+	if t.nArt == 0 {
+		return nil
+	}
+	// Phase-1 objective: minimize the sum of artificials.
+	obj := make([]float64, t.n)
+	for j := t.artCol0; j < t.artCol0+t.nArt; j++ {
+		obj[j] = 1
+	}
+	val, err := t.optimize(obj, t.artCol0+t.nArt)
+	if err != nil {
+		if err == ErrUnbounded {
+			// Phase 1 cannot be unbounded (objective bounded below by 0);
+			// treat as numerical trouble → infeasible.
+			return ErrInfeasible
+		}
+		return err
+	}
+	if val > feasEps {
+		return ErrInfeasible
+	}
+	// Pivot any artificial still in the basis out (degenerate rows),
+	// or mark the row as redundant by leaving it with zero RHS.
+	stride := t.stride()
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artCol0 {
+			continue
+		}
+		row := t.a[i*stride : i*stride+t.n]
+		pivoted := false
+		for j := 0; j < t.artCol0; j++ {
+			if math.Abs(row[j]) > pivotEps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant constraint; zero the row so it never pivots.
+			for j := range row {
+				row[j] = 0
+			}
+			t.b[i] = 0
+		}
+	}
+	return nil
+}
+
+// phase2 optimizes the real objective over columns excluding artificials.
+func (t *tableau) phase2() error {
+	_, err := t.optimize(t.c, t.artCol0)
+	return err
+}
+
+// optimize runs primal simplex minimizing obj over columns [0, maxCol).
+// Returns the optimal objective value. It maintains an explicit
+// reduced-cost row r (r_j = obj_j - Σ_i obj_{basis_i}·a_ij) and objective
+// value z, both updated on every pivot like ordinary tableau rows.
+func (t *tableau) optimize(obj []float64, maxCol int) (float64, error) {
+	stride := t.stride()
+	r := make([]float64, t.n)
+	copy(r, obj) // copy() truncates to the shorter slice
+
+	z := 0.0
+	for i := 0; i < t.m; i++ {
+		bi := t.basis[i]
+		var cb float64
+		if bi < len(obj) {
+			cb = obj[bi]
+		}
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i*stride : i*stride+t.n]
+		for j := 0; j < t.n; j++ {
+			r[j] -= cb * row[j]
+		}
+		z += cb * t.b[i]
+	}
+
+	maxIters := 200*(t.m+t.n) + 20000
+	for iter := 0; ; iter++ {
+		if iter > maxIters {
+			return 0, ErrIterLimit
+		}
+		t.iters++
+		enter := -1
+		best := -feasEps
+		if iter > blandIter {
+			// Bland's rule: smallest index with negative reduced cost.
+			for j := 0; j < maxCol; j++ {
+				if r[j] < -feasEps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			// Dantzig rule: most negative reduced cost.
+			for j := 0; j < maxCol; j++ {
+				if r[j] < best {
+					best = r[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return z, nil
+		}
+		// Ratio test (lexicographic tie-break on basis index for
+		// determinism and anti-cycling support).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i*stride+enter]
+			if aij > pivotEps {
+				ratio := t.b[i] / aij
+				if ratio < bestRatio-pivotEps ||
+					(ratio < bestRatio+pivotEps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+		// Update the reduced-cost row and objective before the pivot
+		// normalizes the leaving row.
+		factor := r[enter] / t.a[leave*stride+enter]
+		row := t.a[leave*stride : leave*stride+t.n]
+		for j := 0; j < t.n; j++ {
+			r[j] -= factor * row[j]
+		}
+		r[enter] = 0
+		z += factor * t.b[leave]
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column j basic in row i.
+func (t *tableau) pivot(i, j int) {
+	stride := t.stride()
+	row := t.a[i*stride : i*stride+t.n]
+	pv := row[j]
+	inv := 1.0 / pv
+	for k := range row {
+		row[k] *= inv
+	}
+	t.b[i] *= inv
+	row[j] = 1 // kill rounding noise on the pivot element
+	for r := 0; r < t.m; r++ {
+		if r == i {
+			continue
+		}
+		factor := t.a[r*stride+j]
+		if factor == 0 {
+			continue
+		}
+		other := t.a[r*stride : r*stride+t.n]
+		for k := range other {
+			other[k] -= factor * row[k]
+		}
+		other[j] = 0
+		t.b[r] -= factor * t.b[i]
+	}
+	t.basis[i] = j
+}
+
+// solution extracts structural variable values and the objective in the
+// problem's original sense.
+func (t *tableau) solution(p *Problem) *Solution {
+	x := make([]float64, t.nStruct)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.nStruct {
+			x[t.basis[i]] = t.b[i]
+		}
+	}
+	obj := 0.0
+	for v, coef := range p.obj {
+		obj += coef * x[v]
+	}
+	return &Solution{X: x, Objective: obj}
+}

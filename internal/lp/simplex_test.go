@@ -1,0 +1,233 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveBasicMax(t *testing.T) {
+	// max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  → x=2, y=6, obj=36.
+	p := NewMaximize()
+	x := p.AddVar(3, "x")
+	y := p.AddVar(5, "y")
+	p.AddConstraint([]Term{{x, 1}}, LE, 4, "c1")
+	p.AddConstraint([]Term{{y, 2}}, LE, 12, "c2")
+	p.AddConstraint([]Term{{x, 3}, {y, 2}}, LE, 18, "c3")
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve() error: %v", err)
+	}
+	if !almost(sol.Objective, 36) {
+		t.Errorf("objective = %v, want 36", sol.Objective)
+	}
+	if !almost(sol.Value(x), 2) || !almost(sol.Value(y), 6) {
+		t.Errorf("x=%v y=%v, want 2, 6", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSolveBasicMin(t *testing.T) {
+	// min 2x + 3y  s.t. x + y ≥ 10, x ≥ 2  → x=10 (y=0)? cost 20 vs
+	// y=8,x=2: 4+24=28. So x=10, y=0, obj=20... but x≥2 satisfied.
+	p := NewMinimize()
+	x := p.AddVar(2, "x")
+	y := p.AddVar(3, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 10, "demand")
+	p.AddConstraint([]Term{{x, 1}}, GE, 2, "xmin")
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve() error: %v", err)
+	}
+	if !almost(sol.Objective, 20) {
+		t.Errorf("objective = %v, want 20", sol.Objective)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min x + 2y  s.t. x + y = 5, x ≤ 3  → x=3, y=2, obj=7.
+	p := NewMinimize()
+	x := p.AddVar(1, "x")
+	y := p.AddVar(2, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 5, "sum")
+	p.AddConstraint([]Term{{x, 1}}, LE, 3, "cap")
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve() error: %v", err)
+	}
+	if !almost(sol.Objective, 7) || !almost(sol.Value(x), 3) || !almost(sol.Value(y), 2) {
+		t.Errorf("got obj=%v x=%v y=%v, want 7, 3, 2", sol.Objective, sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x  s.t. -x ≤ -5  (i.e. x ≥ 5) → x=5.
+	p := NewMinimize()
+	x := p.AddVar(1, "x")
+	p.AddConstraint([]Term{{x, -1}}, LE, -5, "c")
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve() error: %v", err)
+	}
+	if !almost(sol.Value(x), 5) {
+		t.Errorf("x = %v, want 5", sol.Value(x))
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := NewMinimize()
+	x := p.AddVar(1, "x")
+	p.AddConstraint([]Term{{x, 1}}, LE, 1, "ub")
+	p.AddConstraint([]Term{{x, 1}}, GE, 2, "lb")
+	if _, err := p.Solve(); err != ErrInfeasible {
+		t.Errorf("Solve() error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := NewMaximize()
+	x := p.AddVar(1, "x")
+	p.AddConstraint([]Term{{x, -1}}, LE, 0, "c") // x ≥ 0 only
+	if _, err := p.Solve(); err != ErrUnbounded {
+		t.Errorf("Solve() error = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A classic degenerate LP that cycles under naive Dantzig without
+	// safeguards (Beale's example).
+	p := NewMinimize()
+	x1 := p.AddVar(-0.75, "x1")
+	x2 := p.AddVar(150, "x2")
+	x3 := p.AddVar(-0.02, "x3")
+	x4 := p.AddVar(6, "x4")
+	p.AddConstraint([]Term{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0, "c1")
+	p.AddConstraint([]Term{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0, "c2")
+	p.AddConstraint([]Term{{x3, 1}}, LE, 1, "c3")
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve() error: %v", err)
+	}
+	if !almost(sol.Objective, -0.05) {
+		t.Errorf("objective = %v, want -0.05", sol.Objective)
+	}
+}
+
+func TestSolveRedundantEqualities(t *testing.T) {
+	// x + y = 4 stated twice; solver must handle the redundant row.
+	p := NewMinimize()
+	x := p.AddVar(1, "x")
+	y := p.AddVar(1, "y")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 4, "a")
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 4, "b")
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve() error: %v", err)
+	}
+	if !almost(sol.Objective, 4) {
+		t.Errorf("objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestDuplicateTermsMerged(t *testing.T) {
+	// x + x ≤ 4 should behave as 2x ≤ 4.
+	p := NewMaximize()
+	x := p.AddVar(1, "x")
+	p.AddConstraint([]Term{{x, 1}, {x, 1}}, LE, 4, "c")
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve() error: %v", err)
+	}
+	if !almost(sol.Value(x), 2) {
+		t.Errorf("x = %v, want 2", sol.Value(x))
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// 2 supplies (10, 20), 2 demands (15, 15), costs:
+	//   s0->d0:1  s0->d1:4  s1->d0:2  s1->d1:1
+	// Optimal: s0->d0 10, s1->d0 5, s1->d1 15 → 10 + 10 + 15 = 35.
+	p := NewMinimize()
+	costs := [][]float64{{1, 4}, {2, 1}}
+	vars := make([][]int, 2)
+	for i := range vars {
+		vars[i] = make([]int, 2)
+		for j := range vars[i] {
+			vars[i][j] = p.AddVar(costs[i][j], "")
+		}
+	}
+	supply := []float64{10, 20}
+	demand := []float64{15, 15}
+	for i := 0; i < 2; i++ {
+		p.AddConstraint([]Term{{vars[i][0], 1}, {vars[i][1], 1}}, LE, supply[i], "supply")
+	}
+	for j := 0; j < 2; j++ {
+		p.AddConstraint([]Term{{vars[0][j], 1}, {vars[1][j], 1}}, EQ, demand[j], "demand")
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve() error: %v", err)
+	}
+	if !almost(sol.Objective, 35) {
+		t.Errorf("objective = %v, want 35", sol.Objective)
+	}
+}
+
+func TestLargerRandomFeasibility(t *testing.T) {
+	// A moderately sized random-but-deterministic covering LP; checks
+	// the solver completes and the solution is feasible and optimal by
+	// weak duality sanity (objective no less than any single cover).
+	const n, m = 60, 40
+	p := NewMinimize()
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = p.AddVar(1+float64(i%7), "")
+	}
+	state := uint64(42)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	rows := make([][]Term, m)
+	for r := 0; r < m; r++ {
+		var terms []Term
+		for i := 0; i < n; i++ {
+			if next()%4 == 0 {
+				terms = append(terms, Term{vars[i], 1 + float64(next()%3)})
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{vars[r%n], 1})
+		}
+		rows[r] = terms
+		p.AddConstraint(terms, GE, 10, "cover")
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve() error: %v", err)
+	}
+	// Feasibility check.
+	for r, terms := range rows {
+		lhs := 0.0
+		for _, tm := range terms {
+			lhs += tm.Coef * sol.X[tm.Var]
+		}
+		if lhs < 10-1e-6 {
+			t.Errorf("row %d violated: lhs=%v", r, lhs)
+		}
+	}
+	if sol.Objective <= 0 {
+		t.Errorf("objective = %v, want > 0", sol.Objective)
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Sense.String() wrong")
+	}
+	if Sense(99).String() != "Sense(99)" {
+		t.Error("unknown sense string wrong")
+	}
+}

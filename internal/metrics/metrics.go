@@ -1,0 +1,123 @@
+// Package metrics provides the measurement utilities used by the
+// experiment harness: latency histograms with percentile extraction and
+// windowed throughput meters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram collects duration samples and reports percentiles. It keeps
+// raw samples (experiments here collect at most a few million), which
+// keeps percentiles exact.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range h.samples {
+		total += s
+	}
+	return total / time.Duration(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) by
+// nearest-rank, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Summary renders count/mean/p50/p99 on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond))
+}
+
+// Meter measures throughput over a wall-clock window.
+type Meter struct {
+	mu    sync.Mutex
+	count uint64
+	bytes uint64
+	start time.Time
+}
+
+// NewMeter returns a meter starting now.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Add records n events totalling b bytes.
+func (m *Meter) Add(n, b uint64) {
+	m.mu.Lock()
+	m.count += n
+	m.bytes += b
+	m.mu.Unlock()
+}
+
+// Rates returns events/second and bytes/second since the meter started.
+func (m *Meter) Rates() (perSec, bytesPerSec float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0, 0
+	}
+	return float64(m.count) / el, float64(m.bytes) / el
+}
+
+// Count returns the total events recorded.
+func (m *Meter) Count() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
+
+// Reset restarts the window.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.count, m.bytes, m.start = 0, 0, time.Now()
+	m.mu.Unlock()
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram not zero")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := h.Percentile(99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", got)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", got)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	if s := h.Summary(); s == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Add(100, 5000)
+	m.Add(50, 2500)
+	if m.Count() != 150 {
+		t.Errorf("count = %d, want 150", m.Count())
+	}
+	time.Sleep(10 * time.Millisecond)
+	perSec, bps := m.Rates()
+	if perSec <= 0 || bps <= 0 {
+		t.Errorf("rates = %v, %v, want positive", perSec, bps)
+	}
+	if perSec > 150/0.01 {
+		t.Errorf("rate %v impossibly high", perSec)
+	}
+	m.Reset()
+	if m.Count() != 0 {
+		t.Error("reset did not clear count")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Microsecond)
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if h.Count() != 4000 {
+		t.Errorf("count = %d, want 4000", h.Count())
+	}
+}

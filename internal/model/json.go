@@ -1,0 +1,88 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// networkJSON is the serialized form of a Network. Delays are stored in
+// nanoseconds; maps keyed by NodeID serialize naturally (encoding/json
+// renders integer keys as strings).
+type networkJSON struct {
+	Nodes     int                                   `json:"nodes"`
+	DelayNs   map[NodeID]map[NodeID]int64           `json:"delay_ns"`
+	Links     []Link                                `json:"links,omitempty"`
+	RouteFrac map[NodeID]map[NodeID]map[int]float64 `json:"route_frac,omitempty"`
+	MLU       float64                               `json:"mlu"`
+	Sites     map[NodeID]*Site                      `json:"sites"`
+	VNFs      map[VNFID]*VNF                        `json:"vnfs"`
+	Chains    map[ChainID]*Chain                    `json:"chains"`
+}
+
+// MarshalJSON implements json.Marshaler, so a Network (and the scenario
+// it describes) can be saved and replayed.
+func (nw *Network) MarshalJSON() ([]byte, error) {
+	out := networkJSON{
+		Nodes:     len(nw.Nodes),
+		DelayNs:   make(map[NodeID]map[NodeID]int64, len(nw.Delay)),
+		Links:     nw.Links,
+		RouteFrac: nw.RouteFrac,
+		MLU:       nw.MLU,
+		Sites:     nw.Sites,
+		VNFs:      nw.VNFs,
+		Chains:    nw.Chains,
+	}
+	for a, m := range nw.Delay {
+		row := make(map[NodeID]int64, len(m))
+		for b, d := range m {
+			if d != 0 {
+				row[b] = int64(d)
+			}
+		}
+		if len(row) > 0 {
+			out.DelayNs[a] = row
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (nw *Network) UnmarshalJSON(data []byte) error {
+	var in networkJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Nodes <= 0 {
+		return fmt.Errorf("model: network has %d nodes", in.Nodes)
+	}
+	fresh := NewNetwork(in.Nodes, in.MLU)
+	for a, row := range in.DelayNs {
+		for b, ns := range row {
+			if int(a) >= in.Nodes || int(b) >= in.Nodes {
+				return fmt.Errorf("model: delay references node outside 0..%d", in.Nodes-1)
+			}
+			fresh.Delay[a][b] = time.Duration(ns)
+		}
+	}
+	fresh.Links = in.Links
+	if in.RouteFrac != nil {
+		fresh.RouteFrac = in.RouteFrac
+		for _, n := range fresh.Nodes {
+			if fresh.RouteFrac[n] == nil {
+				fresh.RouteFrac[n] = make(map[NodeID]map[int]float64)
+			}
+		}
+	}
+	if in.Sites != nil {
+		fresh.Sites = in.Sites
+	}
+	if in.VNFs != nil {
+		fresh.VNFs = in.VNFs
+	}
+	if in.Chains != nil {
+		fresh.Chains = in.Chains
+	}
+	*nw = *fresh
+	return nil
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	nw := testNetwork(t)
+	nw.AddLink(0, 1, 100, 10)
+	nw.RouteFrac[0][1] = map[int]float64{0: 1.0}
+
+	data, err := json.Marshal(nw)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Network
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped network invalid: %v", err)
+	}
+	if len(back.Nodes) != len(nw.Nodes) {
+		t.Errorf("nodes = %d, want %d", len(back.Nodes), len(nw.Nodes))
+	}
+	if back.MLU != nw.MLU {
+		t.Errorf("MLU = %v, want %v", back.MLU, nw.MLU)
+	}
+	if back.Delay[0][1] != nw.Delay[0][1] {
+		t.Errorf("delay = %v, want %v", back.Delay[0][1], nw.Delay[0][1])
+	}
+	if len(back.Links) != 1 || back.Links[0].Bandwidth != 100 {
+		t.Errorf("links = %+v", back.Links)
+	}
+	if got := back.RouteFrac[0][1][0]; got != 1.0 {
+		t.Errorf("route frac = %v, want 1", got)
+	}
+	if back.VNFs["fw"].SiteCapacity[1] != nw.VNFs["fw"].SiteCapacity[1] {
+		t.Error("VNF capacities differ after round trip")
+	}
+	c := back.Chains["c1"]
+	if c == nil || c.Ingress != 0 || c.Egress != 3 || len(c.VNFs) != 2 {
+		t.Errorf("chain = %+v", c)
+	}
+	if c.Forward[0] != 10 || c.Reverse[0] != 5 {
+		t.Errorf("chain traffic = %v/%v", c.Forward, c.Reverse)
+	}
+}
+
+func TestNetworkUnmarshalRejectsBad(t *testing.T) {
+	var nw Network
+	if err := json.Unmarshal([]byte(`{"nodes":0,"mlu":1}`), &nw); err == nil {
+		t.Error("zero-node network accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"nodes":2,"mlu":1,"delay_ns":{"0":{"9":5}}}`), &nw); err == nil {
+		t.Error("out-of-range delay node accepted")
+	}
+	if err := json.Unmarshal([]byte(`{not json`), &nw); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestNetworkJSONEmptyCollections(t *testing.T) {
+	nw := NewNetwork(2, 0.9)
+	nw.SetDelay(0, 1, 0) // zero delays omitted
+	data, err := json.Marshal(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Network
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nodes) != 2 || back.Sites == nil || back.VNFs == nil || back.Chains == nil {
+		t.Errorf("empty network round trip broken: %+v", back)
+	}
+	// RouteFrac rows must exist for every node so callers can index.
+	for _, n := range back.Nodes {
+		if back.RouteFrac[n] == nil {
+			t.Fatalf("RouteFrac row missing for node %d", n)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package model defines Switchboard's network model: the nodes, links,
+// cloud sites, VNFs, and service chains over which traffic engineering is
+// computed. The types mirror Table 1 of the Switchboard paper
+// (Middleware '19) and are shared by the traffic-engineering algorithms,
+// the controllers, and the experiment harness.
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a network node (a backbone PoP). Cloud sites are
+// co-located with a subset of nodes and are identified by the node they
+// attach to.
+type NodeID int
+
+// VNFID names a virtual network function in the catalog (e.g. "firewall").
+type VNFID string
+
+// ChainID names a customer service chain.
+type ChainID string
+
+// Link is a directed backbone link between two nodes.
+type Link struct {
+	ID   int
+	From NodeID
+	To   NodeID
+	// Bandwidth is the link capacity in traffic units per second
+	// (the model is unit-agnostic; experiments use Mbps).
+	Bandwidth float64
+	// Background is non-Switchboard traffic already on the link (g_e).
+	Background float64
+}
+
+// Site is a cloud site co-located with a network node.
+type Site struct {
+	Node NodeID
+	// Capacity is the maximum total compute load the site can host (m_s).
+	Capacity float64
+}
+
+// VNF describes one entry of the VNF catalog: where it is deployed and how
+// much compute it consumes per unit of traffic.
+type VNF struct {
+	ID VNFID
+	// SiteCapacity maps each deployment site to the compute capacity the
+	// VNF has provisioned there (m_sf). The key set is S_f.
+	SiteCapacity map[NodeID]float64
+	// LoadPerUnit is the compute load imposed per unit of traffic
+	// processed (l_f, "CPU/byte" in the paper's evaluation).
+	LoadPerUnit float64
+}
+
+// Sites returns the deployment sites S_f in unspecified order.
+func (v *VNF) Sites() []NodeID {
+	sites := make([]NodeID, 0, len(v.SiteCapacity))
+	for s := range v.SiteCapacity {
+		sites = append(sites, s)
+	}
+	return sites
+}
+
+// DeployedAt reports whether the VNF has capacity at site s.
+func (v *VNF) DeployedAt(s NodeID) bool {
+	_, ok := v.SiteCapacity[s]
+	return ok
+}
+
+// Chain is a customer service chain: an ingress, an egress, and an ordered
+// list of VNFs. A chain with k VNFs has k+2 logical nodes (including
+// ingress and egress) and k+1 stages; stage z (1-based) carries traffic
+// from the (z-1)-th VNF to the z-th VNF, with ingress playing the role of
+// VNF 0 and egress of VNF k+1.
+type Chain struct {
+	ID      ChainID
+	Ingress NodeID
+	Egress  NodeID
+	VNFs    []VNFID
+	// Forward[z-1] is the forward traffic w_cz at stage z; Reverse[z-1]
+	// is the reverse traffic v_cz. Both have length len(VNFs)+1.
+	Forward []float64
+	Reverse []float64
+}
+
+// Stages returns the number of stages |F_c|+1.
+func (c *Chain) Stages() int { return len(c.VNFs) + 1 }
+
+// StageTraffic returns the combined forward+reverse traffic (w_cz + v_cz)
+// at 1-based stage z.
+func (c *Chain) StageTraffic(z int) float64 {
+	return c.Forward[z-1] + c.Reverse[z-1]
+}
+
+// UniformTraffic sets every stage's forward traffic to w and reverse
+// traffic to v, the common case when per-stage measurements are absent and
+// the chain's end-to-end demand is used for all stages.
+func (c *Chain) UniformTraffic(w, v float64) {
+	n := c.Stages()
+	c.Forward = make([]float64, n)
+	c.Reverse = make([]float64, n)
+	for i := 0; i < n; i++ {
+		c.Forward[i] = w
+		c.Reverse[i] = v
+	}
+}
+
+// Network is the full model consumed by traffic engineering: topology,
+// routing, cloud sites, the VNF catalog and the chain set.
+type Network struct {
+	// Nodes is the set N; node IDs are 0..len(Nodes)-1.
+	Nodes []NodeID
+	// Delay[n1][n2] is the propagation delay d_{n1n2}.
+	Delay map[NodeID]map[NodeID]time.Duration
+	// Links is the set E.
+	Links []Link
+	// RouteFrac[n1][n2][e] is r_{n1 n2 e}: the fraction of traffic from
+	// n1 to n2 that crosses link with ID e under the network's routing.
+	RouteFrac map[NodeID]map[NodeID]map[int]float64
+	// MLU is the maximum-link-utilization limit β in (0, 1].
+	MLU float64
+	// Sites maps a node to its cloud site, if any (S ⊆ N).
+	Sites map[NodeID]*Site
+	// VNFs is the catalog F.
+	VNFs map[VNFID]*VNF
+	// Chains is the chain set C.
+	Chains map[ChainID]*Chain
+}
+
+// NewNetwork returns an empty network with n nodes and the given MLU limit.
+func NewNetwork(n int, mlu float64) *Network {
+	nw := &Network{
+		Nodes:     make([]NodeID, n),
+		Delay:     make(map[NodeID]map[NodeID]time.Duration, n),
+		RouteFrac: make(map[NodeID]map[NodeID]map[int]float64, n),
+		MLU:       mlu,
+		Sites:     make(map[NodeID]*Site),
+		VNFs:      make(map[VNFID]*VNF),
+		Chains:    make(map[ChainID]*Chain),
+	}
+	for i := 0; i < n; i++ {
+		nw.Nodes[i] = NodeID(i)
+		nw.Delay[NodeID(i)] = make(map[NodeID]time.Duration, n)
+		nw.RouteFrac[NodeID(i)] = make(map[NodeID]map[int]float64, n)
+	}
+	return nw
+}
+
+// SetDelay records the propagation delay between two nodes in both
+// directions.
+func (nw *Network) SetDelay(a, b NodeID, d time.Duration) {
+	nw.Delay[a][b] = d
+	nw.Delay[b][a] = d
+}
+
+// DelaySeconds returns d_{n1n2} in seconds, the unit used by TE cost
+// functions.
+func (nw *Network) DelaySeconds(a, b NodeID) float64 {
+	return nw.Delay[a][b].Seconds()
+}
+
+// AddLink appends a directed link and returns its ID.
+func (nw *Network) AddLink(from, to NodeID, bandwidth, background float64) int {
+	id := len(nw.Links)
+	nw.Links = append(nw.Links, Link{ID: id, From: from, To: to, Bandwidth: bandwidth, Background: background})
+	return id
+}
+
+// AddSite registers a cloud site at node n with the given compute capacity.
+func (nw *Network) AddSite(n NodeID, capacity float64) *Site {
+	s := &Site{Node: n, Capacity: capacity}
+	nw.Sites[n] = s
+	return s
+}
+
+// AddVNF registers a VNF in the catalog.
+func (nw *Network) AddVNF(id VNFID, loadPerUnit float64) *VNF {
+	v := &VNF{ID: id, SiteCapacity: make(map[NodeID]float64), LoadPerUnit: loadPerUnit}
+	nw.VNFs[id] = v
+	return v
+}
+
+// AddChain registers a chain. The chain must already carry its traffic
+// vectors (see Chain.UniformTraffic).
+func (nw *Network) AddChain(c *Chain) {
+	nw.Chains[c.ID] = c
+}
+
+// SiteNodes returns the nodes that host cloud sites, in ascending order.
+func (nw *Network) SiteNodes() []NodeID {
+	out := make([]NodeID, 0, len(nw.Sites))
+	for _, n := range nw.Nodes {
+		if _, ok := nw.Sites[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// StageSources returns N^src_cz: the candidate source nodes for stage z of
+// chain c — the ingress for stage 1, otherwise the deployment sites of the
+// (z-1)-th VNF.
+func (nw *Network) StageSources(c *Chain, z int) []NodeID {
+	if z == 1 {
+		return []NodeID{c.Ingress}
+	}
+	return nw.vnfSitesOrdered(c.VNFs[z-2])
+}
+
+// StageDests returns N^dst_cz: the egress for the last stage, otherwise
+// the deployment sites of the z-th VNF.
+func (nw *Network) StageDests(c *Chain, z int) []NodeID {
+	if z == c.Stages() {
+		return []NodeID{c.Egress}
+	}
+	return nw.vnfSitesOrdered(c.VNFs[z-1])
+}
+
+func (nw *Network) vnfSitesOrdered(id VNFID) []NodeID {
+	v := nw.VNFs[id]
+	if v == nil {
+		return nil
+	}
+	out := make([]NodeID, 0, len(v.SiteCapacity))
+	for _, n := range nw.Nodes {
+		if _, ok := v.SiteCapacity[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: delays present for all node
+// pairs, chains referencing cataloged VNFs deployed at at least one site,
+// traffic vectors of the right length, and route fractions only on known
+// links. It returns the first violation found.
+func (nw *Network) Validate() error {
+	if nw.MLU <= 0 || nw.MLU > 1 {
+		return fmt.Errorf("model: MLU %v outside (0, 1]", nw.MLU)
+	}
+	for _, a := range nw.Nodes {
+		for _, b := range nw.Nodes {
+			if a == b {
+				continue
+			}
+			if _, ok := nw.Delay[a][b]; !ok {
+				return fmt.Errorf("model: missing delay %d->%d", a, b)
+			}
+		}
+	}
+	for id, v := range nw.VNFs {
+		if v.ID != id {
+			return fmt.Errorf("model: VNF catalog key %q != VNF ID %q", id, v.ID)
+		}
+		for s := range v.SiteCapacity {
+			if _, ok := nw.Sites[s]; !ok {
+				return fmt.Errorf("model: VNF %q deployed at %d which is not a cloud site", id, s)
+			}
+		}
+	}
+	for id, c := range nw.Chains {
+		if c.ID != id {
+			return fmt.Errorf("model: chain key %q != chain ID %q", id, c.ID)
+		}
+		if err := nw.validateChain(c); err != nil {
+			return err
+		}
+	}
+	for n1, m := range nw.RouteFrac {
+		for n2, fr := range m {
+			sum := 0.0
+			for e, f := range fr {
+				if e < 0 || e >= len(nw.Links) {
+					return fmt.Errorf("model: route fraction %d->%d references unknown link %d", n1, n2, e)
+				}
+				if f < 0 || f > 1+1e-9 {
+					return fmt.Errorf("model: route fraction %d->%d link %d = %v outside [0,1]", n1, n2, e, f)
+				}
+				sum += f
+			}
+			_ = sum // fractions may sum above 1: a path crosses several links
+		}
+	}
+	return nil
+}
+
+func (nw *Network) validateChain(c *Chain) error {
+	if int(c.Ingress) < 0 || int(c.Ingress) >= len(nw.Nodes) {
+		return fmt.Errorf("model: chain %q ingress %d unknown", c.ID, c.Ingress)
+	}
+	if int(c.Egress) < 0 || int(c.Egress) >= len(nw.Nodes) {
+		return fmt.Errorf("model: chain %q egress %d unknown", c.ID, c.Egress)
+	}
+	for _, f := range c.VNFs {
+		v, ok := nw.VNFs[f]
+		if !ok {
+			return fmt.Errorf("model: chain %q references unknown VNF %q", c.ID, f)
+		}
+		if len(v.SiteCapacity) == 0 {
+			return fmt.Errorf("model: chain %q references VNF %q with no deployment sites", c.ID, f)
+		}
+	}
+	if len(c.Forward) != c.Stages() || len(c.Reverse) != c.Stages() {
+		return fmt.Errorf("model: chain %q traffic vectors have length %d/%d, want %d",
+			c.ID, len(c.Forward), len(c.Reverse), c.Stages())
+	}
+	for z := 1; z <= c.Stages(); z++ {
+		if c.Forward[z-1] < 0 || c.Reverse[z-1] < 0 {
+			return fmt.Errorf("model: chain %q stage %d has negative traffic", c.ID, z)
+		}
+	}
+	return nil
+}
+
+// TotalDemand returns the sum over chains and stages of forward+reverse
+// traffic, a convenient normalizer for throughput metrics.
+func (nw *Network) TotalDemand() float64 {
+	total := 0.0
+	for _, c := range nw.Chains {
+		for z := 1; z <= c.Stages(); z++ {
+			total += c.StageTraffic(z)
+		}
+	}
+	return total
+}

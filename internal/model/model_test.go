@@ -1,0 +1,128 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func fullMeshDelays(nw *Network, d time.Duration) {
+	for _, a := range nw.Nodes {
+		for _, b := range nw.Nodes {
+			if a != b {
+				nw.Delay[a][b] = d
+			}
+		}
+	}
+}
+
+func testNetwork(t *testing.T) *Network {
+	t.Helper()
+	nw := NewNetwork(4, 0.9)
+	fullMeshDelays(nw, 10*time.Millisecond)
+	nw.AddSite(1, 100)
+	nw.AddSite(2, 100)
+	fw := nw.AddVNF("fw", 1.0)
+	fw.SiteCapacity[1] = 50
+	fw.SiteCapacity[2] = 50
+	nat := nw.AddVNF("nat", 0.5)
+	nat.SiteCapacity[2] = 80
+	c := &Chain{ID: "c1", Ingress: 0, Egress: 3, VNFs: []VNFID{"fw", "nat"}}
+	c.UniformTraffic(10, 5)
+	nw.AddChain(c)
+	return nw
+}
+
+func TestValidateOK(t *testing.T) {
+	nw := testNetwork(t)
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Network)
+	}{
+		{"bad MLU", func(nw *Network) { nw.MLU = 0 }},
+		{"missing delay", func(nw *Network) { delete(nw.Delay[0], 1) }},
+		{"vnf at non-site", func(nw *Network) { nw.VNFs["fw"].SiteCapacity[0] = 10 }},
+		{"chain unknown vnf", func(nw *Network) { nw.Chains["c1"].VNFs[0] = "nope" }},
+		{"chain bad traffic len", func(nw *Network) { nw.Chains["c1"].Forward = nil }},
+		{"chain negative traffic", func(nw *Network) { nw.Chains["c1"].Forward[0] = -1 }},
+		{"chain key mismatch", func(nw *Network) {
+			c := nw.Chains["c1"]
+			delete(nw.Chains, "c1")
+			nw.Chains["c2"] = c
+		}},
+		{"vnf no sites", func(nw *Network) { nw.VNFs["fw"].SiteCapacity = map[NodeID]float64{} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			nw := testNetwork(t)
+			tt.mutate(nw)
+			if err := nw.Validate(); err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestStageSourcesDests(t *testing.T) {
+	nw := testNetwork(t)
+	c := nw.Chains["c1"]
+	if got := nw.StageSources(c, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("StageSources(1) = %v, want [0]", got)
+	}
+	if got := nw.StageDests(c, 1); len(got) != 2 {
+		t.Errorf("StageDests(1) = %v, want fw sites {1,2}", got)
+	}
+	if got := nw.StageSources(c, 2); len(got) != 2 {
+		t.Errorf("StageSources(2) = %v, want fw sites", got)
+	}
+	if got := nw.StageDests(c, 2); len(got) != 1 || got[0] != 2 {
+		t.Errorf("StageDests(2) = %v, want nat site [2]", got)
+	}
+	if got := nw.StageDests(c, 3); len(got) != 1 || got[0] != 3 {
+		t.Errorf("StageDests(3) = %v, want egress [3]", got)
+	}
+}
+
+func TestChainStageTraffic(t *testing.T) {
+	c := &Chain{ID: "c", VNFs: []VNFID{"a"}}
+	c.UniformTraffic(7, 3)
+	if c.Stages() != 2 {
+		t.Fatalf("Stages() = %d, want 2", c.Stages())
+	}
+	if got := c.StageTraffic(1); got != 10 {
+		t.Errorf("StageTraffic(1) = %v, want 10", got)
+	}
+}
+
+func TestTotalDemand(t *testing.T) {
+	nw := testNetwork(t)
+	// c1 has 3 stages of (10+5) each.
+	if got := nw.TotalDemand(); got != 45 {
+		t.Errorf("TotalDemand() = %v, want 45", got)
+	}
+}
+
+func TestSiteNodesOrdered(t *testing.T) {
+	nw := testNetwork(t)
+	got := nw.SiteNodes()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("SiteNodes() = %v, want [1 2]", got)
+	}
+}
+
+func TestAddLink(t *testing.T) {
+	nw := testNetwork(t)
+	id := nw.AddLink(0, 1, 100, 10)
+	if id != 0 || len(nw.Links) != 1 {
+		t.Fatalf("AddLink returned id %d, links %d", id, len(nw.Links))
+	}
+	l := nw.Links[0]
+	if l.From != 0 || l.To != 1 || l.Bandwidth != 100 || l.Background != 10 {
+		t.Errorf("link = %+v", l)
+	}
+}

@@ -1,0 +1,215 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ChainSplit is the routing decision for one chain: for each 1-based stage
+// z, Frac[z-1][from][to] is x_{cz from to}, the fraction of the chain's
+// stage-z traffic sent from node `from` to node `to`. Fractions at each
+// stage sum to at most 1; a sum below 1 means part of the chain's demand
+// is unroutable under the current resources.
+type ChainSplit struct {
+	Chain ChainID
+	Frac  []map[NodeID]map[NodeID]float64
+}
+
+// NewChainSplit returns an all-zero split for a chain with the given
+// number of stages.
+func NewChainSplit(id ChainID, stages int) *ChainSplit {
+	fr := make([]map[NodeID]map[NodeID]float64, stages)
+	for i := range fr {
+		fr[i] = make(map[NodeID]map[NodeID]float64)
+	}
+	return &ChainSplit{Chain: id, Frac: fr}
+}
+
+// Add accumulates fraction f onto stage z (1-based) from->to.
+func (s *ChainSplit) Add(z int, from, to NodeID, f float64) {
+	m := s.Frac[z-1]
+	inner, ok := m[from]
+	if !ok {
+		inner = make(map[NodeID]float64)
+		m[from] = inner
+	}
+	inner[to] += f
+}
+
+// Get returns the fraction at stage z from->to.
+func (s *ChainSplit) Get(z int, from, to NodeID) float64 {
+	if inner, ok := s.Frac[z-1][from]; ok {
+		return inner[to]
+	}
+	return 0
+}
+
+// StageTotal returns the total routed fraction at stage z.
+func (s *ChainSplit) StageTotal(z int) float64 {
+	total := 0.0
+	for _, inner := range s.Frac[z-1] {
+		for _, f := range inner {
+			total += f
+		}
+	}
+	return total
+}
+
+// RoutedFraction returns the fraction of the chain's demand that is
+// routed end to end: the minimum over stages of the stage totals.
+func (s *ChainSplit) RoutedFraction() float64 {
+	if len(s.Frac) == 0 {
+		return 0
+	}
+	minTotal := s.StageTotal(1)
+	for z := 2; z <= len(s.Frac); z++ {
+		if t := s.StageTotal(z); t < minTotal {
+			minTotal = t
+		}
+	}
+	return minTotal
+}
+
+// PathRoute is a single end-to-end route for a chain: the site hosting
+// each VNF in order, bracketed by ingress and egress, carrying Fraction of
+// the chain's demand. Sites has length |F_c|+2.
+type PathRoute struct {
+	Chain    ChainID
+	Sites    []NodeID
+	Fraction float64
+}
+
+// String renders the route as "c1: 0 -> 3 -> 7 (0.50)".
+func (p PathRoute) String() string {
+	out := fmt.Sprintf("%s:", p.Chain)
+	for i, s := range p.Sites {
+		if i == 0 {
+			out += fmt.Sprintf(" %d", s)
+		} else {
+			out += fmt.Sprintf(" -> %d", s)
+		}
+	}
+	return fmt.Sprintf("%s (%.3f)", out, p.Fraction)
+}
+
+// Split converts a set of path routes for one chain into the equivalent
+// per-stage split.
+func SplitFromPaths(id ChainID, stages int, paths []PathRoute) *ChainSplit {
+	s := NewChainSplit(id, stages)
+	for _, p := range paths {
+		if len(p.Sites) != stages+1 {
+			continue
+		}
+		for z := 1; z <= stages; z++ {
+			s.Add(z, p.Sites[z-1], p.Sites[z], p.Fraction)
+		}
+	}
+	return s
+}
+
+// Paths decomposes the split into path routes by iteratively peeling the
+// maximal flow along a consistent site sequence (standard flow
+// decomposition). Stage totals that disagree are reconciled by the
+// minimum. The decomposition is exact when the split satisfies flow
+// conservation (Eq. 5 of the paper).
+func (s *ChainSplit) Paths() []PathRoute {
+	const eps = 1e-9
+	stages := len(s.Frac)
+	// Work on a copy so the receiver is unmodified.
+	work := make([]map[NodeID]map[NodeID]float64, stages)
+	for z, m := range s.Frac {
+		work[z] = make(map[NodeID]map[NodeID]float64, len(m))
+		for from, inner := range m {
+			cp := make(map[NodeID]float64, len(inner))
+			for to, f := range inner {
+				if f > eps {
+					cp[to] = f
+				}
+			}
+			if len(cp) > 0 {
+				work[z][from] = cp
+			}
+		}
+	}
+	var out []PathRoute
+	for {
+		// Greedily trace a path from stage 1, always taking the
+		// heaviest available edge, to keep the decomposition small.
+		path := make([]NodeID, 0, stages+1)
+		var cur NodeID
+		found := false
+		bestF := 0.0
+		for from, inner := range work[0] {
+			for _, f := range inner {
+				if f > bestF {
+					bestF = f
+					cur = from
+					found = true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		path = append(path, cur)
+		frac := 1.0
+		ok := true
+		for z := 0; z < stages; z++ {
+			inner := work[z][cur]
+			var next NodeID
+			best := 0.0
+			for to, f := range inner {
+				if f > best {
+					best = f
+					next = to
+				}
+			}
+			if best <= eps {
+				ok = false
+				break
+			}
+			if best < frac {
+				frac = best
+			}
+			path = append(path, next)
+			cur = next
+		}
+		if !ok || frac <= eps {
+			break
+		}
+		// Peel the flow off every stage edge along the path.
+		for z := 0; z < stages; z++ {
+			from, to := path[z], path[z+1]
+			work[z][from][to] -= frac
+			if work[z][from][to] <= eps {
+				delete(work[z][from], to)
+				if len(work[z][from]) == 0 {
+					delete(work[z], from)
+				}
+			}
+		}
+		out = append(out, PathRoute{Chain: s.Chain, Sites: path, Fraction: frac})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fraction > out[j].Fraction })
+	return out
+}
+
+// Routing is the full TE output: one split per chain.
+type Routing struct {
+	Splits map[ChainID]*ChainSplit
+}
+
+// NewRouting returns an empty routing.
+func NewRouting() *Routing {
+	return &Routing{Splits: make(map[ChainID]*ChainSplit)}
+}
+
+// Split returns the split for a chain, creating an empty one on demand.
+func (r *Routing) Split(c *Chain) *ChainSplit {
+	s, ok := r.Splits[c.ID]
+	if !ok {
+		s = NewChainSplit(c.ID, c.Stages())
+		r.Splits[c.ID] = s
+	}
+	return s
+}

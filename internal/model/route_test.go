@@ -1,0 +1,167 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChainSplitAddGet(t *testing.T) {
+	s := NewChainSplit("c", 2)
+	s.Add(1, 0, 1, 0.5)
+	s.Add(1, 0, 1, 0.25)
+	s.Add(2, 1, 3, 0.75)
+	if got := s.Get(1, 0, 1); got != 0.75 {
+		t.Errorf("Get(1,0,1) = %v, want 0.75", got)
+	}
+	if got := s.Get(1, 0, 2); got != 0 {
+		t.Errorf("Get(1,0,2) = %v, want 0", got)
+	}
+	if got := s.StageTotal(1); got != 0.75 {
+		t.Errorf("StageTotal(1) = %v, want 0.75", got)
+	}
+	if got := s.RoutedFraction(); got != 0.75 {
+		t.Errorf("RoutedFraction() = %v, want 0.75", got)
+	}
+}
+
+func TestRoutedFractionTakesMin(t *testing.T) {
+	s := NewChainSplit("c", 2)
+	s.Add(1, 0, 1, 1.0)
+	s.Add(2, 1, 3, 0.4)
+	if got := s.RoutedFraction(); got != 0.4 {
+		t.Errorf("RoutedFraction() = %v, want 0.4", got)
+	}
+}
+
+func TestPathsDecomposition(t *testing.T) {
+	// Two disjoint paths: 0->1->9 (0.6) and 0->2->9 (0.4).
+	s := NewChainSplit("c", 2)
+	s.Add(1, 0, 1, 0.6)
+	s.Add(2, 1, 9, 0.6)
+	s.Add(1, 0, 2, 0.4)
+	s.Add(2, 2, 9, 0.4)
+	paths := s.Paths()
+	if len(paths) != 2 {
+		t.Fatalf("Paths() returned %d paths, want 2: %v", len(paths), paths)
+	}
+	if paths[0].Fraction < paths[1].Fraction {
+		t.Error("paths not sorted by descending fraction")
+	}
+	total := paths[0].Fraction + paths[1].Fraction
+	if math.Abs(total-1.0) > 1e-9 {
+		t.Errorf("total decomposed fraction = %v, want 1", total)
+	}
+	for _, p := range paths {
+		if len(p.Sites) != 3 {
+			t.Errorf("path %v has %d sites, want 3", p, len(p.Sites))
+		}
+	}
+}
+
+func TestSplitFromPathsRoundTrip(t *testing.T) {
+	paths := []PathRoute{
+		{Chain: "c", Sites: []NodeID{0, 1, 9}, Fraction: 0.6},
+		{Chain: "c", Sites: []NodeID{0, 2, 9}, Fraction: 0.4},
+	}
+	s := SplitFromPaths("c", 2, paths)
+	back := s.Paths()
+	if len(back) != 2 {
+		t.Fatalf("round trip produced %d paths, want 2", len(back))
+	}
+	got := map[NodeID]float64{}
+	for _, p := range back {
+		got[p.Sites[1]] = p.Fraction
+	}
+	if math.Abs(got[1]-0.6) > 1e-9 || math.Abs(got[2]-0.4) > 1e-9 {
+		t.Errorf("round trip fractions = %v", got)
+	}
+}
+
+func TestSplitFromPathsSkipsMalformed(t *testing.T) {
+	paths := []PathRoute{{Chain: "c", Sites: []NodeID{0, 9}, Fraction: 1}} // wrong length
+	s := SplitFromPaths("c", 2, paths)
+	if got := s.RoutedFraction(); got != 0 {
+		t.Errorf("RoutedFraction() = %v, want 0 for malformed path", got)
+	}
+}
+
+// Property: decomposing any flow-conserving split yields paths whose total
+// fraction equals the split's routed fraction, and re-splitting the paths
+// reproduces the per-stage totals.
+func TestPathsDecompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRand(seed)
+		stages := 2 + rng.intn(3)
+		// Build 1-4 random paths through small node IDs with random
+		// positive fractions summing to <= 1.
+		nPaths := 1 + rng.intn(4)
+		remaining := 1.0
+		var paths []PathRoute
+		for i := 0; i < nPaths; i++ {
+			f := remaining * (0.2 + 0.6*rng.float64())
+			remaining -= f
+			sites := make([]NodeID, stages+1)
+			for j := range sites {
+				sites[j] = NodeID(rng.intn(5))
+			}
+			paths = append(paths, PathRoute{Chain: "c", Sites: sites, Fraction: f})
+		}
+		want := 0.0
+		for _, p := range paths {
+			want += p.Fraction
+		}
+		s := SplitFromPaths("c", stages, paths)
+		got := 0.0
+		for _, p := range s.Paths() {
+			got += p.Fraction
+		}
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newTestRand is a tiny deterministic PRNG (xorshift) so the property test
+// does not depend on math/rand seeding behaviour across Go versions.
+type testRand struct{ state uint64 }
+
+func newTestRand(seed int64) *testRand {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return &testRand{state: s}
+}
+
+func (r *testRand) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state
+}
+
+func (r *testRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *testRand) float64() float64 { return float64(r.next()%1000000) / 1000000 }
+
+func TestRoutingSplitCreatesOnDemand(t *testing.T) {
+	r := NewRouting()
+	c := &Chain{ID: "c", VNFs: []VNFID{"a", "b"}}
+	s := r.Split(c)
+	if s == nil || len(s.Frac) != 3 {
+		t.Fatalf("Split() = %+v, want 3-stage split", s)
+	}
+	if r.Split(c) != s {
+		t.Error("Split() did not return the same split on second call")
+	}
+}
+
+func TestPathRouteString(t *testing.T) {
+	p := PathRoute{Chain: "c1", Sites: []NodeID{0, 3, 7}, Fraction: 0.5}
+	want := "c1: 0 -> 3 -> 7 (0.500)"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,173 @@
+// Package packet defines the data-plane packet representation shared by
+// edges, forwarders, and VNFs: an IP 5-tuple flow key, the Switchboard
+// label stack, and a compact wire encoding used when packets cross
+// simulated tunnels.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"switchboard/internal/labels"
+)
+
+// FlowKey is the connection 5-tuple used for flow-affinity lookups.
+type FlowKey struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Reverse returns the key of the same connection in the opposite
+// direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		SrcIP:   k.DstIP,
+		DstIP:   k.SrcIP,
+		SrcPort: k.DstPort,
+		DstPort: k.SrcPort,
+		Proto:   k.Proto,
+	}
+}
+
+// Canonical returns the direction-independent form of the key (the lesser
+// endpoint first) and whether k was already canonical. Forwarders use it
+// to key one flow-table entry per connection regardless of direction.
+func (k FlowKey) Canonical() (FlowKey, bool) {
+	if k.less() {
+		return k, true
+	}
+	return k.Reverse(), false
+}
+
+func (k FlowKey) less() bool {
+	if k.SrcIP != k.DstIP {
+		return k.SrcIP < k.DstIP
+	}
+	return k.SrcPort <= k.DstPort
+}
+
+// Hash returns a 64-bit FNV-1a hash of the key, used for flow-table
+// sharding.
+func (k FlowKey) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	mix(byte(k.SrcIP))
+	mix(byte(k.SrcIP >> 8))
+	mix(byte(k.SrcIP >> 16))
+	mix(byte(k.SrcIP >> 24))
+	mix(byte(k.DstIP))
+	mix(byte(k.DstIP >> 8))
+	mix(byte(k.DstIP >> 16))
+	mix(byte(k.DstIP >> 24))
+	mix(byte(k.SrcPort))
+	mix(byte(k.SrcPort >> 8))
+	mix(byte(k.DstPort))
+	mix(byte(k.DstPort >> 8))
+	mix(k.Proto)
+	return h
+}
+
+// String renders "src:port->dst:port/proto" with IPs in dotted quads.
+func (k FlowKey) String() string {
+	ip := func(v uint32) string {
+		return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return fmt.Sprintf("%s:%d->%s:%d/%d", ip(k.SrcIP), k.SrcPort, ip(k.DstIP), k.DstPort, k.Proto)
+}
+
+// Prefix is an IPv4 prefix used for header-field matching by edge
+// classifiers and firewall rules.
+type Prefix struct {
+	IP   uint32
+	Bits int
+}
+
+// Contains reports whether ip is within the prefix. A zero-bit prefix
+// matches everything.
+func (p Prefix) Contains(ip uint32) bool {
+	if p.Bits <= 0 {
+		return true
+	}
+	if p.Bits >= 32 {
+		return ip == p.IP
+	}
+	mask := ^uint32(0) << (32 - p.Bits)
+	return ip&mask == p.IP&mask
+}
+
+// Packet is a data-plane packet inside the Switchboard overlay.
+type Packet struct {
+	// Labels is the chain/egress label stack. Labeled is false once a
+	// forwarder has stripped labels for a label-unaware VNF.
+	Labels  labels.Stack
+	Labeled bool
+	// Key is the connection 5-tuple.
+	Key FlowKey
+	// Payload is the application bytes (may be nil in benchmarks).
+	Payload []byte
+}
+
+// wire layout: 1 flag byte | 8 label bytes | 13 key bytes | payload.
+const headerSize = 1 + labels.HeaderSize + 13
+
+// ErrShortPacket is returned when unmarshalling fewer bytes than a header.
+var ErrShortPacket = errors.New("packet: short packet")
+
+// MarshalAppend encodes the packet onto buf and returns the extended
+// slice. The encoding is used across simulated tunnels and by the wire
+// forwarder daemon.
+func (p *Packet) MarshalAppend(buf []byte) ([]byte, error) {
+	var flags byte
+	if p.Labeled {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	var lb [labels.HeaderSize]byte
+	if _, err := p.Labels.Encode(lb[:]); err != nil {
+		return nil, err
+	}
+	buf = append(buf, lb[:]...)
+	var kb [13]byte
+	binary.BigEndian.PutUint32(kb[0:4], p.Key.SrcIP)
+	binary.BigEndian.PutUint32(kb[4:8], p.Key.DstIP)
+	binary.BigEndian.PutUint16(kb[8:10], p.Key.SrcPort)
+	binary.BigEndian.PutUint16(kb[10:12], p.Key.DstPort)
+	kb[12] = p.Key.Proto
+	buf = append(buf, kb[:]...)
+	buf = append(buf, p.Payload...)
+	return buf, nil
+}
+
+// Unmarshal decodes a packet from buf. The payload aliases buf.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < headerSize {
+		return nil, ErrShortPacket
+	}
+	p := &Packet{Labeled: buf[0]&1 != 0}
+	st, err := labels.Decode(buf[1 : 1+labels.HeaderSize])
+	if err != nil {
+		return nil, err
+	}
+	p.Labels = st
+	kb := buf[1+labels.HeaderSize : headerSize]
+	p.Key = FlowKey{
+		SrcIP:   binary.BigEndian.Uint32(kb[0:4]),
+		DstIP:   binary.BigEndian.Uint32(kb[4:8]),
+		SrcPort: binary.BigEndian.Uint16(kb[8:10]),
+		DstPort: binary.BigEndian.Uint16(kb[10:12]),
+		Proto:   kb[12],
+	}
+	p.Payload = buf[headerSize:]
+	return p, nil
+}

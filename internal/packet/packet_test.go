@@ -1,0 +1,124 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"switchboard/internal/labels"
+)
+
+func sampleKey() FlowKey {
+	return FlowKey{SrcIP: 0x0A000001, DstIP: 0xC0A80101, SrcPort: 12345, DstPort: 80, Proto: 6}
+}
+
+func TestReverse(t *testing.T) {
+	k := sampleKey()
+	r := k.Reverse()
+	if r.SrcIP != k.DstIP || r.DstIP != k.SrcIP || r.SrcPort != k.DstPort || r.DstPort != k.SrcPort {
+		t.Errorf("Reverse() = %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Error("double reverse != identity")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	k := sampleKey()
+	c1, _ := k.Canonical()
+	c2, _ := k.Reverse().Canonical()
+	if c1 != c2 {
+		t.Errorf("canonical differs across directions: %+v vs %+v", c1, c2)
+	}
+}
+
+func TestCanonicalProperty(t *testing.T) {
+	f := func(sip, dip uint32, sp, dp uint16, proto uint8) bool {
+		k := FlowKey{SrcIP: sip, DstIP: dip, SrcPort: sp, DstPort: dp, Proto: proto}
+		c1, _ := k.Canonical()
+		c2, _ := k.Reverse().Canonical()
+		return c1 == c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashDiffersAcrossFlows(t *testing.T) {
+	a := sampleKey()
+	b := a
+	b.SrcPort++
+	if a.Hash() == b.Hash() {
+		t.Error("hash collision on adjacent ports (suspicious)")
+	}
+	if a.Hash() != sampleKey().Hash() {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	p := &Packet{
+		Labels:  labels.Stack{Chain: 100, Egress: 7},
+		Labeled: true,
+		Key:     sampleKey(),
+		Payload: []byte("hello"),
+	}
+	buf, err := p.MarshalAppend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Labels != p.Labels || got.Labeled != p.Labeled || got.Key != p.Key {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, p)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("payload mismatch: %q", got.Payload)
+	}
+}
+
+func TestMarshalUnlabeled(t *testing.T) {
+	p := &Packet{Key: sampleKey()}
+	buf, err := p.MarshalAppend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Labeled {
+		t.Error("Labeled flag set after round trip of unlabeled packet")
+	}
+	if len(got.Payload) != 0 {
+		t.Errorf("payload = %q, want empty", got.Payload)
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, headerSize-1)); err != ErrShortPacket {
+		t.Errorf("err = %v, want ErrShortPacket", err)
+	}
+}
+
+func TestMarshalAppendReusesBuffer(t *testing.T) {
+	p := &Packet{Key: sampleKey(), Payload: []byte("x")}
+	buf := make([]byte, 0, 256)
+	out, err := p.MarshalAppend(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Error("MarshalAppend reallocated despite sufficient capacity")
+	}
+}
+
+func TestFlowKeyString(t *testing.T) {
+	got := sampleKey().String()
+	want := "10.0.0.1:12345->192.168.1.1:80/6"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,309 @@
+// Package simnet is the wide-area substrate for end-to-end experiments:
+// named sites connected by emulated WAN paths with one-way propagation
+// delay, optional bandwidth (serialization delay), and optional loss.
+// Endpoints — forwarders, VNF instances, edge instances, controllers,
+// message-bus proxies — attach to a site and exchange messages; delivery
+// between sites is FIFO per ordered site pair, as on a real tunnel.
+//
+// It replaces the paper's testbeds (AWS EC2 regions, a private OpenStack
+// cloud, CPE boxes) with an in-process equivalent that exercises the same
+// code paths in Switchboard's control and data planes.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SiteID names a cloud or edge site ("siteA", "aws-east", "cpe-1").
+type SiteID string
+
+// Addr identifies an endpoint: a host name within a site.
+type Addr struct {
+	Site SiteID
+	Host string
+}
+
+func (a Addr) String() string { return string(a.Site) + "/" + a.Host }
+
+// Message is a delivered payload.
+type Message struct {
+	From    Addr
+	To      Addr
+	Payload any
+	// Size in bytes, used for bandwidth emulation (0 = negligible).
+	Size int
+	// SentAt is the wall-clock send time, for latency measurements.
+	SentAt time.Time
+}
+
+// PathProfile describes the emulated WAN path between two sites.
+type PathProfile struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Bandwidth in bytes/second; 0 means unlimited.
+	Bandwidth float64
+	// Loss is the drop probability in [0, 1).
+	Loss float64
+}
+
+// Network is a set of sites and attached endpoints.
+type Network struct {
+	mu        sync.RWMutex
+	endpoints map[Addr]*Endpoint
+	profiles  map[[2]SiteID]PathProfile
+	pipes     map[[2]SiteID]*pipe
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+	closed    bool
+}
+
+// New returns an empty network. Seed drives loss decisions.
+func New(seed int64) *Network {
+	return &Network{
+		endpoints: make(map[Addr]*Endpoint),
+		profiles:  make(map[[2]SiteID]PathProfile),
+		pipes:     make(map[[2]SiteID]*pipe),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetPath configures the WAN profile between two sites, symmetrically.
+// Intra-site delivery is always immediate and lossless.
+func (n *Network) SetPath(a, b SiteID, p PathProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.profiles[[2]SiteID{a, b}] = p
+	n.profiles[[2]SiteID{b, a}] = p
+}
+
+// Path returns the profile between two sites (zero profile if unset or
+// same site).
+func (n *Network) Path(a, b SiteID) PathProfile {
+	if a == b {
+		return PathProfile{}
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.profiles[[2]SiteID{a, b}]
+}
+
+// Errors returned by Send.
+var (
+	ErrNoEndpoint = errors.New("simnet: no such endpoint")
+	ErrClosed     = errors.New("simnet: network closed")
+	ErrQueueFull  = errors.New("simnet: receive queue full")
+)
+
+// Endpoint is an attached host. Receive from Inbox().
+type Endpoint struct {
+	addr  Addr
+	inbox chan Message
+	net   *Network
+	once  sync.Once
+}
+
+// Attach registers an endpoint with the given inbox capacity.
+func (n *Network) Attach(addr Addr, queue int) (*Endpoint, error) {
+	if queue <= 0 {
+		queue = 256
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, fmt.Errorf("simnet: endpoint %v already attached", addr)
+	}
+	ep := &Endpoint{addr: addr, inbox: make(chan Message, queue), net: n}
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+// Detach removes an endpoint and closes its inbox.
+func (n *Network) Detach(addr Addr) {
+	n.mu.Lock()
+	ep := n.endpoints[addr]
+	delete(n.endpoints, addr)
+	n.mu.Unlock()
+	if ep != nil {
+		ep.once.Do(func() { close(ep.inbox) })
+	}
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Inbox returns the receive channel. It is closed on Detach/Close.
+func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
+
+// Send delivers a payload to another endpoint, applying the WAN profile
+// between the two sites. Size 0 payloads skip bandwidth emulation.
+func (e *Endpoint) Send(to Addr, payload any, size int) error {
+	return e.net.send(Message{
+		From: e.addr, To: to, Payload: payload, Size: size, SentAt: time.Now(),
+	})
+}
+
+func (n *Network) send(m Message) error {
+	n.mu.RLock()
+	if n.closed {
+		n.mu.RUnlock()
+		return ErrClosed
+	}
+	dst, ok := n.endpoints[m.To]
+	profile := n.profiles[[2]SiteID{m.From.Site, m.To.Site}]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoEndpoint, m.To)
+	}
+
+	sameSite := m.From.Site == m.To.Site
+	if sameSite || (profile.Delay == 0 && profile.Bandwidth == 0 && profile.Loss == 0) {
+		// Immediate local delivery.
+		return deliver(dst, m)
+	}
+	if profile.Loss > 0 {
+		n.rngMu.Lock()
+		drop := n.rng.Float64() < profile.Loss
+		n.rngMu.Unlock()
+		if drop {
+			return nil // silently lost, like a real WAN
+		}
+	}
+	p := n.pipeFor(m.From.Site, m.To.Site, profile)
+	p.enqueue(m)
+	return nil
+}
+
+func deliver(dst *Endpoint, m Message) error {
+	select {
+	case dst.inbox <- m:
+		return nil
+	default:
+		return fmt.Errorf("%w: %v", ErrQueueFull, dst.addr)
+	}
+}
+
+// pipe is the FIFO delivery queue for one ordered site pair. A single
+// goroutine drains it, modeling propagation plus serialization delay.
+type pipe struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []pipeItem
+	profile PathProfile
+	net     *Network
+	closed  bool
+	// txFree is when the emulated transmitter is next idle, for
+	// bandwidth-based serialization delay.
+	txFree time.Time
+}
+
+type pipeItem struct {
+	m       Message
+	arrival time.Time
+}
+
+func (n *Network) pipeFor(a, b SiteID, profile PathProfile) *pipe {
+	key := [2]SiteID{a, b}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.pipes[key]; ok {
+		return p
+	}
+	p := &pipe{profile: profile, net: n}
+	p.cond = sync.NewCond(&p.mu)
+	n.pipes[key] = p
+	go p.run()
+	return p
+}
+
+func (p *pipe) enqueue(m Message) {
+	now := time.Now()
+	p.mu.Lock()
+	// Serialization delay: the transmitter sends Size bytes at
+	// Bandwidth; packets queue behind each other.
+	start := now
+	if p.txFree.After(start) {
+		start = p.txFree
+	}
+	if p.profile.Bandwidth > 0 && m.Size > 0 {
+		tx := time.Duration(float64(m.Size) / p.profile.Bandwidth * float64(time.Second))
+		p.txFree = start.Add(tx)
+		start = p.txFree
+	}
+	arrival := start.Add(p.profile.Delay)
+	p.queue = append(p.queue, pipeItem{m: m, arrival: arrival})
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+func (p *pipe) run() {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		item := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		if wait := time.Until(item.arrival); wait > 0 {
+			time.Sleep(wait)
+		}
+		p.net.mu.RLock()
+		dst, ok := p.net.endpoints[item.m.To]
+		closed := p.net.closed
+		p.net.mu.RUnlock()
+		if ok && !closed {
+			_ = deliver(dst, item.m) // drop on full queue, like a NIC ring
+		}
+	}
+}
+
+// Close shuts the network down: all pipes stop and all inboxes close.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	pipes := make([]*pipe, 0, len(n.pipes))
+	for _, p := range n.pipes {
+		pipes = append(pipes, p)
+	}
+	n.mu.Unlock()
+	for _, p := range pipes {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Signal()
+		p.mu.Unlock()
+	}
+	for _, ep := range eps {
+		ep.once.Do(func() { close(ep.inbox) })
+	}
+}
+
+// Endpoints returns the currently attached addresses (diagnostics).
+func (n *Network) Endpoints() []Addr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]Addr, 0, len(n.endpoints))
+	for a := range n.endpoints {
+		out = append(out, a)
+	}
+	return out
+}

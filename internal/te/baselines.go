@@ -1,0 +1,231 @@
+package te
+
+import (
+	"math"
+
+	"switchboard/internal/model"
+)
+
+// Scheme names a routing scheme for experiment output.
+type Scheme string
+
+// The schemes compared in the paper's evaluation (Section 7.3).
+const (
+	SchemeLP           Scheme = "SB-LP"
+	SchemeDP           Scheme = "SB-DP"
+	SchemeAnycast      Scheme = "ANYCAST"
+	SchemeComputeAware Scheme = "COMPUTE-AWARE"
+	SchemeDPLatency    Scheme = "DP-LATENCY"
+	SchemeOneHop       Scheme = "ONEHOP"
+)
+
+// SolveAnycast routes every chain hop by hop, always choosing the
+// deployment site of the next VNF with the lowest propagation delay from
+// the current site — blind to both network load and compute availability
+// (cf. anycast CDN routing). The admitted fraction is whatever the chosen
+// path's resources can still carry; ANYCAST never reroutes a remainder.
+func SolveAnycast(nw *model.Network) *model.Routing {
+	routing := model.NewRouting()
+	st := newLoadState(nw)
+	for _, c := range chainsByDemand(nw) {
+		sites := greedyPath(nw, c, func(from, to model.NodeID, z int) float64 {
+			return nw.DelaySeconds(from, to)
+		})
+		if sites == nil {
+			continue
+		}
+		frac := st.pathHeadroom(c, sites, 1.0)
+		if frac <= 0 {
+			continue
+		}
+		st.commit(c, sites, frac)
+		split := routing.Split(c)
+		for z := 1; z <= c.Stages(); z++ {
+			split.Add(z, sites[z-1], sites[z], frac)
+		}
+	}
+	return routing
+}
+
+// SolveComputeAware is ANYCAST that skips sites whose VNF compute
+// capacity is already saturated: it considers candidate sites in order of
+// increasing delay and picks the first with enough remaining compute for
+// the chain's full demand (falling back to the most-headroom site when
+// none fits fully). It remains blind to network link load.
+func SolveComputeAware(nw *model.Network) *model.Routing {
+	routing := model.NewRouting()
+	st := newLoadState(nw)
+	for _, c := range chainsByDemand(nw) {
+		sites := computeAwarePath(nw, st, c)
+		if sites == nil {
+			continue
+		}
+		frac := st.pathHeadroom(c, sites, 1.0)
+		if frac <= 0 {
+			continue
+		}
+		st.commit(c, sites, frac)
+		split := routing.Split(c)
+		for z := 1; z <= c.Stages(); z++ {
+			split.Add(z, sites[z-1], sites[z], frac)
+		}
+	}
+	return routing
+}
+
+// SolveOneHop is the ONEHOP ablation of Figure 13a: it uses SB-DP's full
+// cost function (latency + network utilization + compute utilization) but
+// chooses each hop greedily instead of optimizing the whole chain route,
+// and like SB-DP it repeats to route remainders.
+func SolveOneHop(nw *model.Network, opts DPOptions) *model.Routing {
+	opts.setDefaults()
+	routing := model.NewRouting()
+	st := newLoadState(nw)
+	for _, c := range chainsByDemand(nw) {
+		split := routing.Split(c)
+		remaining := 1.0
+		for iter := 0; iter < opts.MaxRoutesPerChain && remaining > opts.MinFraction; iter++ {
+			sites := greedyPath(nw, c, func(from, to model.NodeID, z int) float64 {
+				return stageCost(nw, st, c, z, from, to, opts)
+			})
+			if sites == nil {
+				break
+			}
+			frac := st.pathHeadroom(c, sites, remaining)
+			if frac <= opts.MinFraction*0.1 {
+				break
+			}
+			st.commit(c, sites, frac)
+			for z := 1; z <= c.Stages(); z++ {
+				split.Add(z, sites[z-1], sites[z], frac)
+			}
+			remaining -= frac
+		}
+	}
+	return routing
+}
+
+// SolveAnycastUncapped is ANYCAST without admission control: every chain
+// is routed in full along its per-hop nearest path, even when that
+// overloads VNF instances. The end-to-end experiments use it to let the
+// data plane (queueing at instances) exhibit ANYCAST's overload behaviour
+// instead of rejecting traffic up front.
+func SolveAnycastUncapped(nw *model.Network) *model.Routing {
+	routing := model.NewRouting()
+	for _, c := range chainsByDemand(nw) {
+		sites := greedyPath(nw, c, func(from, to model.NodeID, z int) float64 {
+			return nw.DelaySeconds(from, to)
+		})
+		if sites == nil {
+			continue
+		}
+		split := routing.Split(c)
+		for z := 1; z <= c.Stages(); z++ {
+			split.Add(z, sites[z-1], sites[z], 1.0)
+		}
+	}
+	return routing
+}
+
+// SolveComputeAwareUncapped is COMPUTE-AWARE without admission control:
+// per-hop nearest site with compute headroom for the full demand, but
+// the chain is always routed in full along the chosen path.
+func SolveComputeAwareUncapped(nw *model.Network) *model.Routing {
+	routing := model.NewRouting()
+	st := newLoadState(nw)
+	for _, c := range chainsByDemand(nw) {
+		sites := computeAwarePath(nw, st, c)
+		if sites == nil {
+			continue
+		}
+		st.commit(c, sites, 1.0)
+		split := routing.Split(c)
+		for z := 1; z <= c.Stages(); z++ {
+			split.Add(z, sites[z-1], sites[z], 1.0)
+		}
+	}
+	return routing
+}
+
+// greedyPath builds a site sequence hop by hop, minimizing edgeCost at
+// each stage independently.
+func greedyPath(nw *model.Network, c *model.Chain, edgeCost func(from, to model.NodeID, z int) float64) []model.NodeID {
+	sites := make([]model.NodeID, 0, c.Stages()+1)
+	sites = append(sites, c.Ingress)
+	cur := c.Ingress
+	for z := 1; z <= c.Stages(); z++ {
+		dsts := nw.StageDests(c, z)
+		if len(dsts) == 0 {
+			return nil
+		}
+		best := dsts[0]
+		bestCost := math.Inf(1)
+		for _, s := range dsts {
+			if cc := edgeCost(cur, s, z); cc < bestCost {
+				bestCost = cc
+				best = s
+			}
+		}
+		sites = append(sites, best)
+		cur = best
+	}
+	return sites
+}
+
+// computeAwarePath picks, at each stage, the lowest-delay site whose VNF
+// still has compute headroom for the chain's full demand; when no site
+// fits fully it takes the site with the most remaining headroom.
+func computeAwarePath(nw *model.Network, st *loadState, c *model.Chain) []model.NodeID {
+	sites := make([]model.NodeID, 0, c.Stages()+1)
+	sites = append(sites, c.Ingress)
+	cur := c.Ingress
+	for z := 1; z <= c.Stages(); z++ {
+		dsts := nw.StageDests(c, z)
+		if len(dsts) == 0 {
+			return nil
+		}
+		var need float64
+		var fid model.VNFID
+		if z <= len(c.VNFs) {
+			fid = c.VNFs[z-1]
+			f := nw.VNFs[fid]
+			need = f.LoadPerUnit * (c.StageTraffic(z) + c.StageTraffic(z+1))
+		}
+		best := model.NodeID(-1)
+		bestDelay := math.Inf(1)
+		fallback := dsts[0]
+		fallbackRoom := math.Inf(-1)
+		for _, s := range dsts {
+			d := nw.DelaySeconds(cur, s)
+			room := math.Inf(1)
+			if fid != "" {
+				room = nw.VNFs[fid].SiteCapacity[s] - st.vnfLoadAt(fid, s)
+				if siteRoom := siteHeadroom(nw, st, s); siteRoom < room {
+					room = siteRoom
+				}
+			}
+			if room >= need && d < bestDelay {
+				bestDelay = d
+				best = s
+			}
+			if room > fallbackRoom {
+				fallbackRoom = room
+				fallback = s
+			}
+		}
+		if best < 0 {
+			best = fallback
+		}
+		sites = append(sites, best)
+		cur = best
+	}
+	return sites
+}
+
+func siteHeadroom(nw *model.Network, st *loadState, s model.NodeID) float64 {
+	site := nw.Sites[s]
+	if site == nil {
+		return 0
+	}
+	return site.Capacity - st.siteLoad[s]
+}

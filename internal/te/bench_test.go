@@ -1,0 +1,69 @@
+package te
+
+import (
+	"fmt"
+	"testing"
+
+	"switchboard/internal/topology"
+	"switchboard/internal/workload"
+)
+
+// These benchmarks reproduce the paper's running-time claim (Section
+// 7.3): SB-DP is a fast heuristic usable as the primary scheme, while
+// SB-LP costs orders of magnitude more time (3 hours with CPLEX on the
+// full AT&T instance) and is relegated to background re-optimization.
+//
+//	go test ./internal/te -bench 'Solve' -benchtime=2x
+
+func BenchmarkSolveDP(b *testing.B) {
+	for _, size := range []struct{ chains, sites int }{
+		{10, 6}, {50, 6}, {200, 8}, {1000, 8},
+	} {
+		b.Run(fmt.Sprintf("chains=%d/sites=%d", size.chains, size.sites), func(b *testing.B) {
+			nw := topology.Backbone(topology.Options{BackgroundFraction: 0.2})
+			workload.Populate(nw, workload.ChainGenOptions{
+				NumChains: size.chains, NumVNFs: 20, NumSites: size.sites,
+				Coverage: 0.5, SiteCapacity: 1600, CPUPerByte: 1.0,
+				TotalTraffic: 800, ReverseRatio: 0.2, Seed: 99,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				SolveDP(nw, DPOptions{})
+			}
+		})
+	}
+}
+
+func BenchmarkSolveLP(b *testing.B) {
+	for _, size := range []struct{ chains, sites int }{
+		{10, 6}, {25, 6},
+	} {
+		b.Run(fmt.Sprintf("chains=%d/sites=%d", size.chains, size.sites), func(b *testing.B) {
+			nw := topology.Backbone(topology.Options{BackgroundFraction: 0.2})
+			workload.Populate(nw, workload.ChainGenOptions{
+				NumChains: size.chains, NumVNFs: 20, NumSites: size.sites,
+				Coverage: 0.5, SiteCapacity: 1600, CPUPerByte: 1.0,
+				TotalTraffic: 800, ReverseRatio: 0.2, Seed: 99,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveLP(nw, LPOptions{Objective: MaxThroughput}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolveAnycast(b *testing.B) {
+	nw := topology.Backbone(topology.Options{BackgroundFraction: 0.2})
+	workload.Populate(nw, workload.ChainGenOptions{
+		NumChains: 200, NumVNFs: 20, NumSites: 8,
+		Coverage: 0.5, SiteCapacity: 1600, CPUPerByte: 1.0,
+		TotalTraffic: 800, ReverseRatio: 0.2, Seed: 99,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveAnycast(nw)
+	}
+}

@@ -1,0 +1,202 @@
+package te
+
+import (
+	"math"
+	"sort"
+
+	"switchboard/internal/cost"
+	"switchboard/internal/model"
+)
+
+// DPOptions tunes the dynamic-programming router (Section 4.4).
+type DPOptions struct {
+	// LatencyOnly drops the utilization terms from the cost function,
+	// producing the DP-LATENCY ablation of Figure 13a.
+	LatencyOnly bool
+	// NetWeight and ComputeWeight scale the network- and compute-
+	// utilization cost terms relative to latency (seconds). The defaults
+	// (0.01) make a fully utilized resource cost about as much as 100 ms
+	// of extra propagation delay, which keeps the DP strongly averse to
+	// hot links and hot VNF sites. Zero means default.
+	NetWeight     float64
+	ComputeWeight float64
+	// MaxRoutesPerChain bounds the "repeat for the remainder" loop; the
+	// default is 8 routes per chain.
+	MaxRoutesPerChain int
+	// MinFraction is the smallest useful route fraction; remainders
+	// below this are abandoned. Default 1e-3.
+	MinFraction float64
+}
+
+func (o *DPOptions) setDefaults() {
+	if o.NetWeight == 0 {
+		o.NetWeight = 0.01
+	}
+	if o.ComputeWeight == 0 {
+		o.ComputeWeight = 0.01
+	}
+	if o.MaxRoutesPerChain == 0 {
+		o.MaxRoutesPerChain = 8
+	}
+	if o.MinFraction == 0 {
+		o.MinFraction = 1e-3
+	}
+}
+
+// SolveDP computes routing for all chains with the SB-DP heuristic:
+// chains are processed in descending demand order; each chain's route is
+// the least-cost site sequence under a cost combining propagation delay,
+// link-utilization cost, and compute-utilization cost; if resources limit
+// the admitted fraction, the DP repeats on the updated loads to route the
+// remainder (Section 4.4).
+func SolveDP(nw *model.Network, opts DPOptions) *model.Routing {
+	opts.setDefaults()
+	routing := model.NewRouting()
+	st := newLoadState(nw)
+
+	for _, c := range chainsByDemand(nw) {
+		split := routing.Split(c)
+		remaining := 1.0
+		for iter := 0; iter < opts.MaxRoutesPerChain && remaining > opts.MinFraction; iter++ {
+			sites, ok := dpBestPath(nw, st, c, opts)
+			if !ok {
+				break
+			}
+			frac := st.pathHeadroom(c, sites, remaining)
+			if frac <= opts.MinFraction*0.1 {
+				break
+			}
+			st.commit(c, sites, frac)
+			for z := 1; z <= c.Stages(); z++ {
+				split.Add(z, sites[z-1], sites[z], frac)
+			}
+			remaining -= frac
+		}
+	}
+	return routing
+}
+
+// dpBestPath runs the table computation of Eq. 8: E(z+1, s) =
+// min_{s'} E(z, s') + cost(s', z, s), returning the least-cost full site
+// sequence [ingress, s_1 … s_k, egress].
+func dpBestPath(nw *model.Network, st *loadState, c *model.Chain, opts DPOptions) ([]model.NodeID, bool) {
+	stages := c.Stages()
+	// prev[z][s] is the predecessor site chosen for stage z ending at s.
+	type cell struct {
+		cost float64
+		prev model.NodeID
+	}
+	// Table rows are keyed by site; row 0 is the ingress only.
+	rows := make([]map[model.NodeID]cell, stages+1)
+	rows[0] = map[model.NodeID]cell{c.Ingress: {cost: 0}}
+
+	for z := 1; z <= stages; z++ {
+		dsts := nw.StageDests(c, z)
+		row := make(map[model.NodeID]cell, len(dsts))
+		for _, s := range dsts {
+			best := cell{cost: math.Inf(1)}
+			for sPrev, prevCell := range rows[z-1] {
+				if math.IsInf(prevCell.cost, 1) {
+					continue
+				}
+				edge := prevCell.cost + stageCost(nw, st, c, z, sPrev, s, opts)
+				if edge < best.cost {
+					best = cell{cost: edge, prev: sPrev}
+				}
+			}
+			if !math.IsInf(best.cost, 1) {
+				row[s] = best
+			}
+		}
+		if len(row) == 0 {
+			return nil, false
+		}
+		rows[z] = row
+	}
+
+	// Backtrack from the egress.
+	end, ok := rows[stages][c.Egress]
+	if !ok {
+		return nil, false
+	}
+	sites := make([]model.NodeID, stages+1)
+	sites[stages] = c.Egress
+	at := end
+	for z := stages; z >= 1; z-- {
+		sites[z-1] = at.prev
+		if z > 1 {
+			at = rows[z-1][at.prev]
+		}
+	}
+	return sites, true
+}
+
+// stageCost is cost(s', z-1, s): the cost of carrying chain c's stage-z
+// traffic from site s1 to site s2. It sums the propagation delay, the
+// utilization cost of the links on the s1→s2 (and reverse) routes weighted
+// by the per-link traffic fraction, and the compute-utilization cost of
+// the stage-z VNF at s2.
+func stageCost(nw *model.Network, st *loadState, c *model.Chain, z int, s1, s2 model.NodeID, opts DPOptions) float64 {
+	total := nw.DelaySeconds(s1, s2)
+	if opts.LatencyOnly {
+		return total
+	}
+	w, v := c.Forward[z-1], c.Reverse[z-1]
+
+	// Network utilization cost: links on the forward and reverse routes,
+	// weighted by the fraction of the stage's traffic each link carries,
+	// at the utilization that would result from adding this traffic.
+	if s1 != s2 {
+		net := 0.0
+		if w > 0 {
+			for e, rf := range nw.RouteFrac[s1][s2] {
+				b := nw.Links[e].Bandwidth
+				if b <= 0 {
+					net += rf * cost.Utilization(2)
+					continue
+				}
+				net += rf * cost.Utilization((st.linkLoad[e]+rf*w)/b)
+			}
+		}
+		if v > 0 {
+			for e, rf := range nw.RouteFrac[s2][s1] {
+				b := nw.Links[e].Bandwidth
+				if b <= 0 {
+					net += rf * cost.Utilization(2)
+					continue
+				}
+				net += rf * cost.Utilization((st.linkLoad[e]+rf*v)/b)
+			}
+		}
+		total += opts.NetWeight * net
+	}
+
+	// Compute utilization cost of the stage-z VNF at s2 (no VNF at the
+	// egress stage).
+	if z <= len(c.VNFs) {
+		fid := c.VNFs[z-1]
+		f := nw.VNFs[fid]
+		added := f.LoadPerUnit * (c.StageTraffic(z) + c.StageTraffic(z+1))
+		capV := f.SiteCapacity[s2]
+		total += opts.ComputeWeight * cost.Load(st.vnfLoadAt(fid, s2)+added, capV)
+	}
+	return total
+}
+
+// chainsByDemand returns chains sorted by descending end-to-end demand,
+// with chain ID as a deterministic tiebreak.
+func chainsByDemand(nw *model.Network) []*model.Chain {
+	out := make([]*model.Chain, 0, len(nw.Chains))
+	for _, c := range nw.Chains {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di := out[i].Forward[0] + out[i].Reverse[0]
+		dj := out[j].Forward[0] + out[j].Reverse[0]
+		if di != dj {
+			return di > dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

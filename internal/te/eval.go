@@ -1,0 +1,178 @@
+// Package te implements Global Switchboard's traffic engineering: the
+// optimal LP chain-routing formulation (SB-LP), the fast dynamic-
+// programming heuristic (SB-DP), the distributed baselines the paper
+// compares against (ANYCAST, COMPUTE-AWARE, DP-LATENCY, ONEHOP), and the
+// cloud/VNF capacity-planning problems of Section 4.2.
+package te
+
+import (
+	"fmt"
+
+	"switchboard/internal/model"
+)
+
+// Evaluation summarizes a routing against the network model: admitted
+// throughput, traffic-weighted latency, and resource utilizations.
+type Evaluation struct {
+	// Throughput is the admitted end-to-end demand:
+	// Σ_c (w_c1 + v_c1) × routedFraction(c).
+	Throughput float64
+	// Demand is Σ_c (w_c1 + v_c1), the offered end-to-end demand.
+	Demand float64
+	// LatencyObjective is Eq. 3: Σ (w+v)·d·x over chains, stages, pairs.
+	LatencyObjective float64
+	// MeanLatency is the demand-weighted mean end-to-end chain latency
+	// (seconds) over admitted traffic.
+	MeanLatency float64
+	// MaxLinkUtil is the maximum link utilization including background.
+	MaxLinkUtil float64
+	// MaxSiteUtil is the maximum cloud-site compute utilization.
+	MaxSiteUtil float64
+	// LinkLoad[e] is the total traffic on link e including background.
+	LinkLoad []float64
+	// SiteLoad is the compute load per cloud site.
+	SiteLoad map[model.NodeID]float64
+	// VNFLoad is the compute load per VNF per site.
+	VNFLoad map[model.VNFID]map[model.NodeID]float64
+	// Violations lists capacity constraints exceeded beyond tolerance.
+	Violations []string
+}
+
+const capEps = 1e-6
+
+// Evaluate computes all metrics for a routing over the network.
+func Evaluate(nw *model.Network, routing *model.Routing) *Evaluation {
+	ev := &Evaluation{
+		LinkLoad: make([]float64, len(nw.Links)),
+		SiteLoad: make(map[model.NodeID]float64),
+		VNFLoad:  make(map[model.VNFID]map[model.NodeID]float64),
+	}
+	for i := range nw.Links {
+		ev.LinkLoad[i] = nw.Links[i].Background
+	}
+
+	latWeighted := 0.0 // Σ admitted demand × end-to-end latency
+	latDenom := 0.0
+
+	for _, c := range nw.Chains {
+		demand := c.Forward[0] + c.Reverse[0]
+		ev.Demand += demand
+		split, ok := routing.Splits[c.ID]
+		if !ok {
+			continue
+		}
+		routed := split.RoutedFraction()
+		ev.Throughput += demand * routed
+
+		// Per-stage latency and loads.
+		chainLatency := 0.0
+		for z := 1; z <= c.Stages(); z++ {
+			w, v := c.Forward[z-1], c.Reverse[z-1]
+			for n1, inner := range split.Frac[z-1] {
+				for n2, x := range inner {
+					if x <= 0 {
+						continue
+					}
+					d := nw.DelaySeconds(n1, n2)
+					ev.LatencyObjective += (w + v) * d * x
+					chainLatency += d * x
+					// Forward traffic n1→n2, reverse n2→n1.
+					for e, rf := range nw.RouteFrac[n1][n2] {
+						ev.LinkLoad[e] += rf * w * x
+					}
+					for e, rf := range nw.RouteFrac[n2][n1] {
+						ev.LinkLoad[e] += rf * v * x
+					}
+				}
+			}
+		}
+		if routed > 0 {
+			// chainLatency sums fraction-weighted stage delays; divide
+			// by routed fraction for the per-unit end-to-end latency.
+			perUnit := chainLatency / routed
+			latWeighted += demand * routed * perUnit
+			latDenom += demand * routed
+		}
+
+		// Compute loads (Eq. 4): for each VNF at stage j (1-based VNF
+		// index j, incoming stage z=j, outgoing stage z+1).
+		for j, fid := range c.VNFs {
+			f := nw.VNFs[fid]
+			if f == nil {
+				continue
+			}
+			zin := j + 1
+			zout := j + 2
+			win, vin := c.Forward[zin-1], c.Reverse[zin-1]
+			wout, vout := c.Forward[zout-1], c.Reverse[zout-1]
+			for _, s := range nw.StageDests(c, zin) {
+				in := 0.0
+				for _, inner := range split.Frac[zin-1] {
+					in += inner[s]
+				}
+				out := 0.0
+				if inner, ok := split.Frac[zout-1][s]; ok {
+					for _, x := range inner {
+						out += x
+					}
+				}
+				load := f.LoadPerUnit * ((win+vin)*in + (wout+vout)*out)
+				if load == 0 {
+					continue
+				}
+				ev.SiteLoad[s] += load
+				vl, ok := ev.VNFLoad[fid]
+				if !ok {
+					vl = make(map[model.NodeID]float64)
+					ev.VNFLoad[fid] = vl
+				}
+				vl[s] += load
+			}
+		}
+	}
+
+	if latDenom > 0 {
+		ev.MeanLatency = latWeighted / latDenom
+	}
+
+	// Utilizations and violations.
+	for i, l := range nw.Links {
+		if l.Bandwidth <= 0 {
+			continue
+		}
+		u := ev.LinkLoad[i] / l.Bandwidth
+		if u > ev.MaxLinkUtil {
+			ev.MaxLinkUtil = u
+		}
+		if ev.LinkLoad[i] > nw.MLU*l.Bandwidth+capEps {
+			ev.Violations = append(ev.Violations,
+				fmt.Sprintf("link %d (%d->%d): load %.3f > %.3f", i, l.From, l.To, ev.LinkLoad[i], nw.MLU*l.Bandwidth))
+		}
+	}
+	for s, load := range ev.SiteLoad {
+		site := nw.Sites[s]
+		if site == nil {
+			ev.Violations = append(ev.Violations, fmt.Sprintf("load at non-site node %d", s))
+			continue
+		}
+		if site.Capacity > 0 {
+			if u := load / site.Capacity; u > ev.MaxSiteUtil {
+				ev.MaxSiteUtil = u
+			}
+		}
+		if load > site.Capacity+capEps {
+			ev.Violations = append(ev.Violations,
+				fmt.Sprintf("site %d: load %.3f > capacity %.3f", s, load, site.Capacity))
+		}
+	}
+	for fid, perSite := range ev.VNFLoad {
+		f := nw.VNFs[fid]
+		for s, load := range perSite {
+			if load > f.SiteCapacity[s]+capEps {
+				ev.Violations = append(ev.Violations,
+					fmt.Sprintf("vnf %s at %d: load %.3f > capacity %.3f", fid, s, load, f.SiteCapacity[s]))
+			}
+		}
+	}
+	return ev
+}

@@ -1,0 +1,208 @@
+package te
+
+import (
+	"testing"
+
+	"switchboard/internal/model"
+	"switchboard/internal/topology"
+	"switchboard/internal/workload"
+)
+
+// benchNetwork builds a reduced backbone instance small enough for the
+// simplex solver but rich enough to differentiate the schemes.
+func benchNetwork(t testing.TB, chains int, coverage float64, cpuPerByte float64) *model.Network {
+	t.Helper()
+	nw := topology.Backbone(topology.Options{BackgroundFraction: 0.2})
+	workload.Populate(nw, workload.ChainGenOptions{
+		NumChains:    chains,
+		NumVNFs:      20,
+		NumSites:     8,
+		Coverage:     coverage,
+		SiteCapacity: 400,
+		CPUPerByte:   cpuPerByte,
+		TotalTraffic: 800,
+		ReverseRatio: 0.2,
+		Seed:         11,
+	})
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return nw
+}
+
+func TestSchemesOrderingOnBackbone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping LP integration test in -short mode")
+	}
+	nw := benchNetwork(t, 25, 0.5, 1.0)
+
+	lpRouting, err := SolveLP(nw, LPOptions{Objective: MaxThroughput})
+	if err != nil {
+		t.Fatalf("SolveLP: %v", err)
+	}
+	lpEv := Evaluate(nw, lpRouting)
+	dpEv := Evaluate(nw, SolveDP(nw, DPOptions{}))
+	anyEv := Evaluate(nw, SolveAnycast(nw))
+	caEv := Evaluate(nw, SolveComputeAware(nw))
+	oneEv := Evaluate(nw, SolveOneHop(nw, DPOptions{}))
+	dplEv := Evaluate(nw, SolveDP(nw, DPOptions{LatencyOnly: true}))
+
+	for name, ev := range map[string]*Evaluation{
+		"SB-LP": lpEv, "SB-DP": dpEv, "ANYCAST": anyEv,
+		"COMPUTE-AWARE": caEv, "ONEHOP": oneEv, "DP-LATENCY": dplEv,
+	} {
+		if len(ev.Violations) != 0 {
+			t.Errorf("%s produced capacity violations: %v", name, ev.Violations[:1])
+		}
+		if ev.Throughput < 0 || ev.Throughput > ev.Demand+1e-6 {
+			t.Errorf("%s throughput %v outside [0, %v]", name, ev.Throughput, ev.Demand)
+		}
+	}
+
+	// The paper's headline ordering (Fig. 12): LP is optimal, DP close,
+	// ANYCAST far behind.
+	if lpEv.Throughput < dpEv.Throughput-1e-6 {
+		t.Errorf("SB-LP throughput %v < SB-DP %v; LP should be optimal", lpEv.Throughput, dpEv.Throughput)
+	}
+	if dpEv.Throughput < anyEv.Throughput {
+		t.Errorf("SB-DP throughput %v < ANYCAST %v", dpEv.Throughput, anyEv.Throughput)
+	}
+	if anyEv.Throughput >= lpEv.Throughput {
+		t.Errorf("ANYCAST throughput %v >= SB-LP %v; expected a clear gap", anyEv.Throughput, lpEv.Throughput)
+	}
+	// SB-DP should beat its ablations (allow small noise margins).
+	if dpEv.Throughput < dplEv.Throughput*0.95 {
+		t.Errorf("SB-DP %v much worse than DP-LATENCY %v", dpEv.Throughput, dplEv.Throughput)
+	}
+	if dpEv.Throughput < oneEv.Throughput*0.95 {
+		t.Errorf("SB-DP %v much worse than ONEHOP %v", dpEv.Throughput, oneEv.Throughput)
+	}
+	t.Logf("throughput: LP=%.1f DP=%.1f ONEHOP=%.1f DP-LAT=%.1f CA=%.1f ANY=%.1f (demand %.1f)",
+		lpEv.Throughput, dpEv.Throughput, oneEv.Throughput, dplEv.Throughput,
+		caEv.Throughput, anyEv.Throughput, lpEv.Demand)
+}
+
+func TestDPLatencyWithinRangeOfLP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping LP integration test in -short mode")
+	}
+	// Lightly loaded network: everything routable; compare latency.
+	nw := benchNetwork(t, 15, 0.6, 0.2)
+	for _, c := range nw.Chains {
+		for z := range c.Forward {
+			c.Forward[z] *= 0.25
+			c.Reverse[z] *= 0.25
+		}
+	}
+	lpRouting, err := SolveLP(nw, LPOptions{Objective: MinLatency})
+	if err != nil {
+		t.Fatalf("SolveLP: %v", err)
+	}
+	lpEv := Evaluate(nw, lpRouting)
+	dpEv := Evaluate(nw, SolveDP(nw, DPOptions{}))
+	if dpEv.Throughput < 0.95*dpEv.Demand {
+		t.Fatalf("SB-DP admitted only %v of %v on a light load", dpEv.Throughput, dpEv.Demand)
+	}
+	if lpEv.MeanLatency <= 0 {
+		t.Fatal("LP mean latency not positive")
+	}
+	// Paper: SB-DP latency within 8% of SB-LP. Allow 35% margin on this
+	// synthetic instance (the shape claim is "close", not equal).
+	if dpEv.MeanLatency > 1.35*lpEv.MeanLatency {
+		t.Errorf("SB-DP latency %.4f more than 35%% above SB-LP %.4f", dpEv.MeanLatency, lpEv.MeanLatency)
+	}
+	t.Logf("mean latency: LP=%.4fs DP=%.4fs", lpEv.MeanLatency, dpEv.MeanLatency)
+}
+
+func TestCloudCapacityPlanBeatsUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping LP integration test in -short mode")
+	}
+	nw := benchNetwork(t, 12, 0.5, 1.0)
+	base, err := MaxScaleFactor(nw)
+	if err != nil {
+		t.Fatalf("MaxScaleFactor: %v", err)
+	}
+	const extra = 800
+	plan, err := CloudCapacityPlan(nw, extra)
+	if err != nil {
+		t.Fatalf("CloudCapacityPlan: %v", err)
+	}
+	uniform, err := UniformCloudCapacity(nw, extra)
+	if err != nil {
+		t.Fatalf("UniformCloudCapacity: %v", err)
+	}
+	if plan.Alpha < base-1e-6 {
+		t.Errorf("planned α %v below no-extra baseline %v", plan.Alpha, base)
+	}
+	if plan.Alpha < uniform-1e-6 {
+		t.Errorf("planned α %v below uniform spread %v; optimizer should win", plan.Alpha, uniform)
+	}
+	total := 0.0
+	for _, v := range plan.Extra {
+		total += v
+	}
+	if total > extra+1e-6 {
+		t.Errorf("allocated extra %v exceeds budget %v", total, extra)
+	}
+	t.Logf("α: base=%.3f uniform=%.3f planned=%.3f", base, uniform, plan.Alpha)
+}
+
+func TestVNFPlacementGreedyBeatsRandom(t *testing.T) {
+	nw := benchNetwork(t, 30, 0.3, 0.5)
+	meanLatency := func(p Placement) float64 {
+		undo := ApplyPlacement(nw, p, 100)
+		defer undo()
+		ev := Evaluate(nw, SolveDP(nw, DPOptions{}))
+		return ev.MeanLatency
+	}
+	greedy := meanLatency(VNFPlacementGreedy(nw, 2))
+	worst := 0.0
+	better := 0
+	const trials = 3
+	for seed := int64(1); seed <= trials; seed++ {
+		r := meanLatency(VNFPlacementRandom(nw, 2, seed))
+		if r > worst {
+			worst = r
+		}
+		if greedy <= r+1e-9 {
+			better++
+		}
+	}
+	if better == 0 {
+		t.Errorf("greedy placement latency %.4f never beat random (worst random %.4f)", greedy, worst)
+	}
+	t.Logf("greedy=%.4fs worst-random=%.4fs beat %d/%d seeds", greedy, worst, better, trials)
+}
+
+func TestPlacementHelpers(t *testing.T) {
+	nw := benchNetwork(t, 5, 0.3, 1.0)
+	p := VNFPlacementRandom(nw, 2, 7)
+	if len(p) != len(nw.VNFs) {
+		t.Fatalf("placement covers %d VNFs, want %d", len(p), len(nw.VNFs))
+	}
+	for fid, sites := range p {
+		f := nw.VNFs[fid]
+		for _, s := range sites {
+			if f.DeployedAt(s) {
+				t.Errorf("random placement chose existing site %d for %s", s, fid)
+			}
+		}
+	}
+	undo := ApplyPlacement(nw, p, 50)
+	for fid, sites := range p {
+		for _, s := range sites {
+			if !nw.VNFs[fid].DeployedAt(s) {
+				t.Errorf("ApplyPlacement did not deploy %s at %d", fid, s)
+			}
+		}
+	}
+	undo()
+	for fid, sites := range p {
+		for _, s := range sites {
+			if nw.VNFs[fid].DeployedAt(s) {
+				t.Errorf("undo did not remove %s at %d", fid, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package te
+
+import (
+	"fmt"
+
+	"switchboard/internal/lp"
+	"switchboard/internal/model"
+)
+
+// Objective selects what SB-LP optimizes.
+type Objective int
+
+// LP objectives: minimize aggregate chain latency (Eq. 3) with all demand
+// routed, or maximize admitted throughput with latency as a tiebreak.
+const (
+	MinLatency Objective = iota + 1
+	MaxThroughput
+)
+
+// LPOptions configures SolveLP.
+type LPOptions struct {
+	Objective Objective
+	// LatencyTiebreak is the weight of the latency term added to the
+	// MaxThroughput objective so that, among maximal-throughput
+	// routings, the solver prefers low-latency ones. Zero means the
+	// default 0.1, small enough never to sacrifice throughput for
+	// latency at the scales the experiments use.
+	LatencyTiebreak float64
+	// SkipLinkConstraints drops Eq. 6 (useful when the model has no
+	// link-level routing information).
+	SkipLinkConstraints bool
+	// SkipVNFCaps drops the per-(VNF, site) capacity constraints,
+	// leaving only per-site totals. Capacity planning uses this: extra
+	// site capacity is assumed to be shared by the VNFs deployed there.
+	SkipVNFCaps bool
+	// AllowOverdrive removes the t_c ≤ 1 bound under MaxThroughput so
+	// admitted fractions can exceed current demand; capacity planning
+	// uses this to find the traffic scale factor α.
+	AllowOverdrive bool
+}
+
+// SolveLP solves the chain-routing problem optimally with the linear
+// program of Section 4.3: variables x_{cz n1 n2}, flow conservation
+// (Eq. 5), per-site and per-VNF compute capacity (Eq. 4), and link MLU
+// (Eq. 6). With MinLatency it requires all demand routed and minimizes
+// Eq. 3; infeasible models return an error. With MaxThroughput each chain
+// gets an admitted-fraction variable t_c ∈ [0,1] and the objective is
+// Σ_c demand_c·t_c minus a small latency tiebreak.
+func SolveLP(nw *model.Network, opts LPOptions) (*model.Routing, error) {
+	if opts.Objective == 0 {
+		opts.Objective = MinLatency
+	}
+	if opts.LatencyTiebreak == 0 {
+		opts.LatencyTiebreak = 0.1
+	}
+
+	b := newLPBuilder(nw, opts)
+	b.addFlowConservation()
+	b.addComputeConstraints(nil)
+	if !opts.SkipLinkConstraints && len(nw.Links) > 0 {
+		b.addLinkConstraints()
+	}
+
+	sol, err := b.p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("te: SB-LP solve: %w", err)
+	}
+	return b.extractRouting(sol), nil
+}
+
+// lpBuilder assembles the chain-routing LP. It is shared by SolveLP and
+// the capacity-planning problems, which extend the same core formulation.
+type lpBuilder struct {
+	nw   *model.Network
+	opts LPOptions
+	p    *lp.Problem
+	// x[cid][z-1] maps (n1,n2) to the variable index of x_{cz n1 n2}.
+	x map[model.ChainID][]map[[2]model.NodeID]int
+	// tc maps each chain to its admitted-fraction variable
+	// (MaxThroughput only; -1 under MinLatency).
+	tc     map[model.ChainID]int
+	chains []*model.Chain
+}
+
+func newLPBuilder(nw *model.Network, opts LPOptions) *lpBuilder {
+	b := &lpBuilder{
+		nw:     nw,
+		opts:   opts,
+		x:      make(map[model.ChainID][]map[[2]model.NodeID]int, len(nw.Chains)),
+		tc:     make(map[model.ChainID]int, len(nw.Chains)),
+		chains: chainsByDemand(nw),
+	}
+	if opts.Objective == MaxThroughput {
+		b.p = lp.NewMaximize()
+	} else {
+		b.p = lp.NewMinimize()
+	}
+	b.addVariables()
+	return b
+}
+
+// addVariables creates x variables with their objective coefficients and
+// the per-chain stage-total constraints.
+func (b *lpBuilder) addVariables() {
+	latSign := 1.0 // minimize latency directly
+	latWeight := 1.0
+	if b.opts.Objective == MaxThroughput {
+		latSign = -1.0 // subtract latency tiebreak from maximized objective
+		latWeight = b.opts.LatencyTiebreak
+	}
+	for _, c := range b.chains {
+		stages := c.Stages()
+		perStage := make([]map[[2]model.NodeID]int, stages)
+		for z := 1; z <= stages; z++ {
+			perStage[z-1] = make(map[[2]model.NodeID]int)
+			w, v := c.Forward[z-1], c.Reverse[z-1]
+			for _, n1 := range b.nw.StageSources(c, z) {
+				for _, n2 := range b.nw.StageDests(c, z) {
+					coef := latSign * latWeight * (w + v) * b.nw.DelaySeconds(n1, n2)
+					idx := b.p.AddVar(coef, fmt.Sprintf("x(%s,%d,%d,%d)", c.ID, z, n1, n2))
+					perStage[z-1][[2]model.NodeID{n1, n2}] = idx
+				}
+			}
+		}
+		b.x[c.ID] = perStage
+
+		// Stage-1 total: Σ x_{c1 i n} = t_c (or = 1 under MinLatency).
+		terms := make([]lp.Term, 0, len(perStage[0]))
+		for _, idx := range perStage[0] {
+			terms = append(terms, lp.Term{Var: idx, Coef: 1})
+		}
+		if b.opts.Objective == MaxThroughput {
+			demand := c.Forward[0] + c.Reverse[0]
+			t := b.p.AddVar(demand, fmt.Sprintf("t(%s)", c.ID))
+			b.tc[c.ID] = t
+			if !b.opts.AllowOverdrive {
+				b.p.AddConstraint([]lp.Term{{Var: t, Coef: 1}}, lp.LE, 1, fmt.Sprintf("tmax(%s)", c.ID))
+			}
+			terms = append(terms, lp.Term{Var: t, Coef: -1})
+			b.p.AddConstraint(terms, lp.EQ, 0, fmt.Sprintf("total(%s)", c.ID))
+		} else {
+			b.tc[c.ID] = -1
+			b.p.AddConstraint(terms, lp.EQ, 1, fmt.Sprintf("total(%s)", c.ID))
+		}
+	}
+}
+
+// addFlowConservation adds Eq. 5: traffic into a site at stage z equals
+// traffic out of it at stage z+1.
+func (b *lpBuilder) addFlowConservation() {
+	for _, c := range b.chains {
+		perStage := b.x[c.ID]
+		for z := 1; z < c.Stages(); z++ {
+			for _, s := range b.nw.StageDests(c, z) {
+				var terms []lp.Term
+				for _, n1 := range b.nw.StageSources(c, z) {
+					if idx, ok := perStage[z-1][[2]model.NodeID{n1, s}]; ok {
+						terms = append(terms, lp.Term{Var: idx, Coef: 1})
+					}
+				}
+				for _, n2 := range b.nw.StageDests(c, z+1) {
+					if idx, ok := perStage[z][[2]model.NodeID{s, n2}]; ok {
+						terms = append(terms, lp.Term{Var: idx, Coef: -1})
+					}
+				}
+				if len(terms) > 0 {
+					b.p.AddConstraint(terms, lp.EQ, 0, fmt.Sprintf("flow(%s,%d,%d)", c.ID, z, s))
+				}
+			}
+		}
+	}
+}
+
+// computeTerms returns, for chain c and its j-th VNF at site s, the LP
+// terms of the compute load: l_f × [(w_z+v_z)·Σ_in x + (w_{z+1}+v_{z+1})·Σ_out x].
+func (b *lpBuilder) computeTerms(c *model.Chain, j int, s model.NodeID) []lp.Term {
+	perStage := b.x[c.ID]
+	fid := c.VNFs[j]
+	f := b.nw.VNFs[fid]
+	zin, zout := j+1, j+2
+	var terms []lp.Term
+	inW := f.LoadPerUnit * c.StageTraffic(zin)
+	for _, n1 := range b.nw.StageSources(c, zin) {
+		if idx, ok := perStage[zin-1][[2]model.NodeID{n1, s}]; ok {
+			terms = append(terms, lp.Term{Var: idx, Coef: inW})
+		}
+	}
+	outW := f.LoadPerUnit * c.StageTraffic(zout)
+	for _, n2 := range b.nw.StageDests(c, zout) {
+		if idx, ok := perStage[zout-1][[2]model.NodeID{s, n2}]; ok {
+			terms = append(terms, lp.Term{Var: idx, Coef: outW})
+		}
+	}
+	return terms
+}
+
+// addComputeConstraints adds Eq. 4 per site and per (VNF, site). When
+// siteExtra is non-nil, it maps a site to an extra-capacity variable that
+// is added to the site's RHS (used by cloud capacity planning).
+func (b *lpBuilder) addComputeConstraints(siteExtra map[model.NodeID]int) {
+	// Per (VNF, site) first, collecting per-site terms along the way.
+	siteTerms := make(map[model.NodeID][]lp.Term, len(b.nw.Sites))
+	type vnfSite struct {
+		f model.VNFID
+		s model.NodeID
+	}
+	vnfTerms := make(map[vnfSite][]lp.Term)
+	for _, c := range b.chains {
+		for j, fid := range c.VNFs {
+			f := b.nw.VNFs[fid]
+			for s := range f.SiteCapacity {
+				terms := b.computeTerms(c, j, s)
+				if len(terms) == 0 {
+					continue
+				}
+				key := vnfSite{fid, s}
+				vnfTerms[key] = append(vnfTerms[key], terms...)
+				siteTerms[s] = append(siteTerms[s], terms...)
+			}
+		}
+	}
+	if !b.opts.SkipVNFCaps {
+		for key, terms := range vnfTerms {
+			capV := b.nw.VNFs[key.f].SiteCapacity[key.s]
+			b.p.AddConstraint(terms, lp.LE, capV, fmt.Sprintf("vnfcap(%s,%d)", key.f, key.s))
+		}
+	}
+	for s, terms := range siteTerms {
+		site := b.nw.Sites[s]
+		if site == nil {
+			continue
+		}
+		if siteExtra != nil {
+			if av, ok := siteExtra[s]; ok {
+				terms = append(terms, lp.Term{Var: av, Coef: -1})
+			}
+		}
+		b.p.AddConstraint(terms, lp.LE, site.Capacity, fmt.Sprintf("sitecap(%d)", s))
+	}
+}
+
+// addLinkConstraints adds Eq. 6: per link, background plus routed chain
+// traffic (forward via r_{n1n2e}, reverse via r_{n2n1e}) within β·b_e.
+func (b *lpBuilder) addLinkConstraints() {
+	linkTerms := make([][]lp.Term, len(b.nw.Links))
+	for _, c := range b.chains {
+		perStage := b.x[c.ID]
+		for z := 1; z <= c.Stages(); z++ {
+			w, v := c.Forward[z-1], c.Reverse[z-1]
+			for pair, idx := range perStage[z-1] {
+				n1, n2 := pair[0], pair[1]
+				if n1 == n2 {
+					continue
+				}
+				if w > 0 {
+					for e, rf := range b.nw.RouteFrac[n1][n2] {
+						linkTerms[e] = append(linkTerms[e], lp.Term{Var: idx, Coef: rf * w})
+					}
+				}
+				if v > 0 {
+					for e, rf := range b.nw.RouteFrac[n2][n1] {
+						linkTerms[e] = append(linkTerms[e], lp.Term{Var: idx, Coef: rf * v})
+					}
+				}
+			}
+		}
+	}
+	for e, terms := range linkTerms {
+		if len(terms) == 0 {
+			continue
+		}
+		link := b.nw.Links[e]
+		rhs := b.nw.MLU*link.Bandwidth - link.Background
+		b.p.AddConstraint(terms, lp.LE, rhs, fmt.Sprintf("link(%d)", e))
+	}
+}
+
+// extractRouting converts the LP solution's x values into a Routing.
+func (b *lpBuilder) extractRouting(sol *lp.Solution) *model.Routing {
+	routing := model.NewRouting()
+	for _, c := range b.chains {
+		split := routing.Split(c)
+		perStage := b.x[c.ID]
+		for z := 1; z <= c.Stages(); z++ {
+			for pair, idx := range perStage[z-1] {
+				if f := sol.Value(idx); f > 1e-9 {
+					split.Add(z, pair[0], pair[1], f)
+				}
+			}
+		}
+	}
+	return routing
+}

@@ -1,0 +1,96 @@
+package te
+
+import (
+	"testing"
+	"time"
+
+	"switchboard/internal/model"
+)
+
+// mipNetwork: 4 nodes in a line, sites everywhere, one VNF currently
+// deployed only at the far site (3); the chain ingresses at 0, so
+// opening a new site near the ingress saves most of the latency.
+func mipNetwork() *model.Network {
+	nw := model.NewNetwork(4, 1.0)
+	d := func(a, b model.NodeID, ms int) { nw.SetDelay(a, b, time.Duration(ms)*time.Millisecond) }
+	d(0, 1, 5)
+	d(0, 2, 20)
+	d(0, 3, 40)
+	d(1, 2, 15)
+	d(1, 3, 35)
+	d(2, 3, 20)
+	for n := model.NodeID(0); n < 4; n++ {
+		nw.AddSite(n, 1000)
+	}
+	v := nw.AddVNF("fw", 1.0)
+	v.SiteCapacity[3] = 100
+	c := &model.Chain{ID: "c1", Ingress: 0, Egress: 0, VNFs: []model.VNFID{"fw"}}
+	c.UniformTraffic(10, 0)
+	nw.AddChain(c)
+	return nw
+}
+
+func TestVNFPlacementMIPPicksNearestSite(t *testing.T) {
+	nw := mipNetwork()
+	p, err := VNFPlacementMIP(nw, 1, 100)
+	if err != nil {
+		t.Fatalf("MIP: %v", err)
+	}
+	sites := p["fw"]
+	if len(sites) > 1 {
+		t.Fatalf("MIP opened %d sites, budget 1", len(sites))
+	}
+	// Site 1 (5 ms from the ingress/egress at 0) is the best opening;
+	// site 0 itself is even better. Either beats the status quo (40 ms).
+	if len(sites) == 1 && sites[0] != 0 && sites[0] != 1 {
+		t.Errorf("MIP opened site %d, want 0 or 1", sites[0])
+	}
+	if len(sites) == 0 {
+		t.Error("MIP opened no site despite a 40 ms saving available")
+	}
+}
+
+func TestVNFPlacementMIPRespectsBudgetZero(t *testing.T) {
+	nw := mipNetwork()
+	p, err := VNFPlacementMIP(nw, 0, 100)
+	if err != nil {
+		t.Fatalf("MIP: %v", err)
+	}
+	if len(p["fw"]) != 0 {
+		t.Errorf("budget 0 but opened %v", p["fw"])
+	}
+}
+
+func TestVNFPlacementMIPLeavesNetworkUnchanged(t *testing.T) {
+	nw := mipNetwork()
+	before := len(nw.VNFs["fw"].SiteCapacity)
+	if _, err := VNFPlacementMIP(nw, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(nw.VNFs["fw"].SiteCapacity); got != before {
+		t.Errorf("network mutated: %d sites, want %d", got, before)
+	}
+}
+
+func TestVNFPlacementMIPAtLeastAsGoodAsGreedy(t *testing.T) {
+	nw := mipNetwork()
+	latencyWith := func(p Placement) float64 {
+		undo := ApplyPlacement(nw, p, 100)
+		defer undo()
+		routing, err := SolveLP(nw, LPOptions{Objective: MinLatency, SkipLinkConstraints: true})
+		if err != nil {
+			t.Fatalf("LP: %v", err)
+		}
+		return Evaluate(nw, routing).MeanLatency
+	}
+	mipP, err := VNFPlacementMIP(nw, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyP := VNFPlacementGreedy(nw, 1)
+	mipLat := latencyWith(mipP)
+	greedyLat := latencyWith(greedyP)
+	if mipLat > greedyLat+1e-9 {
+		t.Errorf("MIP latency %v worse than greedy %v", mipLat, greedyLat)
+	}
+}

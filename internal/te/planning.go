@@ -1,0 +1,345 @@
+package te
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"switchboard/internal/lp"
+	"switchboard/internal/model"
+)
+
+// PlanResult is the output of cloud capacity planning: the sustainable
+// uniform traffic scale factor α and the extra capacity assigned per site.
+type PlanResult struct {
+	Alpha float64
+	Extra map[model.NodeID]float64
+}
+
+// maxScaleObjective builds the "maximize α" LP shared by MaxScaleFactor
+// and CloudCapacityPlan: a MaxThroughput formulation with overdrive, all
+// t_c tied to a single α variable, and a latency tiebreak small enough
+// never to trade α away.
+func maxScaleBuilder(nw *model.Network) (*lpBuilder, int) {
+	maxDelay := 0.0
+	for _, a := range nw.Nodes {
+		for _, b := range nw.Nodes {
+			if d := nw.DelaySeconds(a, b); d > maxDelay {
+				maxDelay = d
+			}
+		}
+	}
+	demand := nw.TotalDemand()
+	eps := 1e-12
+	if demand > 0 && maxDelay > 0 {
+		eps = 0.001 / (demand * maxDelay * 10)
+	}
+	b := newLPBuilder(nw, LPOptions{
+		Objective:       MaxThroughput,
+		AllowOverdrive:  true,
+		SkipVNFCaps:     true,
+		LatencyTiebreak: eps,
+	})
+	// α variable; tie every chain's admitted fraction to it and zero out
+	// the per-chain throughput objective coefficients.
+	alpha := b.p.AddVar(1, "alpha")
+	for _, c := range b.chains {
+		t := b.tc[c.ID]
+		b.p.SetObj(t, 0)
+		b.p.AddConstraint([]lp.Term{{Var: t, Coef: 1}, {Var: alpha, Coef: -1}}, lp.EQ, 0,
+			fmt.Sprintf("scale(%s)", c.ID))
+	}
+	b.addFlowConservation()
+	return b, alpha
+}
+
+// MaxScaleFactor returns the largest uniform traffic scale factor α the
+// network can sustain with its current site capacities (per-VNF capacity
+// splits relaxed, matching the planning experiments), along with the
+// optimal routing at that scale.
+func MaxScaleFactor(nw *model.Network) (float64, error) {
+	b, alpha := maxScaleBuilder(nw)
+	b.addComputeConstraints(nil)
+	if len(nw.Links) > 0 {
+		b.addLinkConstraints()
+	}
+	sol, err := b.p.Solve()
+	if err != nil {
+		return 0, fmt.Errorf("te: max scale factor: %w", err)
+	}
+	return sol.Value(alpha), nil
+}
+
+// CloudCapacityPlan solves the cloud capacity planning problem of Section
+// 4.2/4.3: distribute additional compute capacity A across sites so as to
+// maximize the uniform traffic scale factor α. Site capacities become
+// variables (m_s + a_s) with Σ_s a_s ≤ A.
+func CloudCapacityPlan(nw *model.Network, extra float64) (*PlanResult, error) {
+	b, alpha := maxScaleBuilder(nw)
+	siteExtra := make(map[model.NodeID]int, len(nw.Sites))
+	var sumTerms []lp.Term
+	for _, s := range nw.SiteNodes() {
+		av := b.p.AddVar(0, fmt.Sprintf("a(%d)", s))
+		siteExtra[s] = av
+		sumTerms = append(sumTerms, lp.Term{Var: av, Coef: 1})
+	}
+	b.p.AddConstraint(sumTerms, lp.LE, extra, "budget")
+	b.addComputeConstraints(siteExtra)
+	if len(nw.Links) > 0 {
+		b.addLinkConstraints()
+	}
+	sol, err := b.p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("te: cloud capacity plan: %w", err)
+	}
+	res := &PlanResult{Alpha: sol.Value(alpha), Extra: make(map[model.NodeID]float64, len(siteExtra))}
+	for s, av := range siteExtra {
+		if v := sol.Value(av); v > 1e-9 {
+			res.Extra[s] = v
+		}
+	}
+	return res, nil
+}
+
+// UniformCloudCapacity is the baseline of Figure 13b: spread the extra
+// capacity equally across sites and report the resulting α.
+func UniformCloudCapacity(nw *model.Network, extra float64) (float64, error) {
+	sites := nw.SiteNodes()
+	if len(sites) == 0 {
+		return 0, fmt.Errorf("te: no cloud sites")
+	}
+	per := extra / float64(len(sites))
+	// Temporarily bump capacities; restore on return.
+	for _, s := range sites {
+		nw.Sites[s].Capacity += per
+	}
+	defer func() {
+		for _, s := range sites {
+			nw.Sites[s].Capacity -= per
+		}
+	}()
+	return MaxScaleFactor(nw)
+}
+
+// Placement maps each VNF to the new sites selected for it.
+type Placement map[model.VNFID][]model.NodeID
+
+// VNFPlacementGreedy computes placement hints for deploying each VNF at
+// newSites additional sites (the VNF capacity-planning problem of Section
+// 4.2). It greedily picks, per VNF, the sites that most reduce the
+// demand-weighted distance from the ingresses of the chains using that
+// VNF to the VNF's nearest deployment site — a facility-location step
+// that approximates the paper's MIP.
+func VNFPlacementGreedy(nw *model.Network, newSites int) Placement {
+	out := make(Placement, len(nw.VNFs))
+	// Demand per (VNF, ingress).
+	demandAt := make(map[model.VNFID]map[model.NodeID]float64, len(nw.VNFs))
+	for _, c := range nw.Chains {
+		d := c.Forward[0] + c.Reverse[0]
+		for _, fid := range c.VNFs {
+			m, ok := demandAt[fid]
+			if !ok {
+				m = make(map[model.NodeID]float64)
+				demandAt[fid] = m
+			}
+			m[c.Ingress] += d
+		}
+	}
+	siteNodes := nw.SiteNodes()
+	for fid, f := range nw.VNFs {
+		current := make(map[model.NodeID]bool, len(f.SiteCapacity))
+		for s := range f.SiteCapacity {
+			current[s] = true
+		}
+		nearest := func(n model.NodeID) float64 {
+			best := -1.0
+			for s := range current {
+				if d := nw.DelaySeconds(n, s); best < 0 || d < best {
+					best = d
+				}
+			}
+			if best < 0 {
+				return 0
+			}
+			return best
+		}
+		var picked []model.NodeID
+		for k := 0; k < newSites; k++ {
+			bestGain := 0.0
+			bestSite := model.NodeID(-1)
+			for _, s := range siteNodes {
+				if current[s] {
+					continue
+				}
+				gain := 0.0
+				for in, dem := range demandAt[fid] {
+					old := nearest(in)
+					if nd := nw.DelaySeconds(in, s); nd < old {
+						gain += dem * (old - nd)
+					}
+				}
+				if gain > bestGain || (bestSite < 0 && gain >= bestGain) {
+					bestGain = gain
+					bestSite = s
+				}
+			}
+			if bestSite < 0 {
+				break
+			}
+			current[bestSite] = true
+			picked = append(picked, bestSite)
+		}
+		sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+		out[fid] = picked
+	}
+	return out
+}
+
+// VNFPlacementMIP solves the paper's VNF capacity-planning MIP (Section
+// 4.3): a binary variable w_fs decides whether VNF f opens a new site at
+// s; chain-routing variables may only use a new site when it is opened
+// (x ≤ w), each VNF opens at most newSites new sites, and the objective
+// minimizes aggregate chain latency (Eq. 3) with all demand routed. New
+// sites get newSiteCapacity for the VNF. Exact but exponential in the
+// worst case — intended for small instances; VNFPlacementGreedy is the
+// scalable hint generator.
+func VNFPlacementMIP(nw *model.Network, newSites int, newSiteCapacity float64) (Placement, error) {
+	// Work on a copy whose VNFs are deployable everywhere; remember
+	// which (VNF, site) pairs are new candidates.
+	type cand struct {
+		f model.VNFID
+		s model.NodeID
+	}
+	undoSites := make([]cand, 0)
+	for fid, f := range nw.VNFs {
+		for _, s := range nw.SiteNodes() {
+			if !f.DeployedAt(s) {
+				f.SiteCapacity[s] = newSiteCapacity
+				undoSites = append(undoSites, cand{fid, s})
+			}
+		}
+	}
+	defer func() {
+		for _, c := range undoSites {
+			delete(nw.VNFs[c.f].SiteCapacity, c.s)
+		}
+	}()
+	isNew := make(map[cand]bool, len(undoSites))
+	for _, c := range undoSites {
+		isNew[c] = true
+	}
+
+	b := newLPBuilder(nw, LPOptions{Objective: MinLatency, SkipLinkConstraints: len(nw.Links) == 0})
+	b.addFlowConservation()
+	b.addComputeConstraints(nil)
+	if len(nw.Links) > 0 {
+		b.addLinkConstraints()
+	}
+
+	// Binary open variables and linking constraints.
+	wVar := make(map[cand]int, len(undoSites))
+	perVNF := make(map[model.VNFID][]lp.Term)
+	for _, c := range undoSites {
+		v := b.p.AddVar(0, fmt.Sprintf("w(%s,%d)", c.f, c.s))
+		b.p.MarkBinary(v)
+		wVar[c] = v
+		perVNF[c.f] = append(perVNF[c.f], lp.Term{Var: v, Coef: 1})
+	}
+	for fid, terms := range perVNF {
+		b.p.AddConstraint(terms, lp.LE, float64(newSites), fmt.Sprintf("budget(%s)", fid))
+	}
+	// x_{cz n1 s} ≤ w_fs for stage destinations at new sites.
+	for _, c := range b.chains {
+		perStage := b.x[c.ID]
+		for z := 1; z <= c.Stages(); z++ {
+			if z > len(c.VNFs) {
+				continue // egress stage has no VNF
+			}
+			fid := c.VNFs[z-1]
+			for pair, idx := range perStage[z-1] {
+				key := cand{fid, pair[1]}
+				if w, ok := wVar[key]; ok {
+					b.p.AddConstraint([]lp.Term{{Var: idx, Coef: 1}, {Var: w, Coef: -1}},
+						lp.LE, 0, "open-link")
+				}
+			}
+		}
+	}
+
+	sol, err := b.p.SolveMIP(lp.MIPOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("te: VNF placement MIP: %w", err)
+	}
+	out := make(Placement, len(nw.VNFs))
+	for c, v := range wVar {
+		if sol.Value(v) > 0.5 {
+			out[c.f] = append(out[c.f], c.s)
+		}
+	}
+	for fid := range out {
+		sort.Slice(out[fid], func(i, j int) bool { return out[fid][i] < out[fid][j] })
+	}
+	return out, nil
+}
+
+// VNFPlacementRandom is the Figure 13c baseline: each VNF gets newSites
+// additional sites chosen uniformly at random from the sites where it is
+// not yet deployed.
+func VNFPlacementRandom(nw *model.Network, newSites int, seed int64) Placement {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(Placement, len(nw.VNFs))
+	siteNodes := nw.SiteNodes()
+	// Deterministic VNF iteration order.
+	ids := make([]model.VNFID, 0, len(nw.VNFs))
+	for id := range nw.VNFs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, fid := range ids {
+		f := nw.VNFs[fid]
+		var candidates []model.NodeID
+		for _, s := range siteNodes {
+			if !f.DeployedAt(s) {
+				candidates = append(candidates, s)
+			}
+		}
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		k := newSites
+		if k > len(candidates) {
+			k = len(candidates)
+		}
+		picked := append([]model.NodeID(nil), candidates[:k]...)
+		sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+		out[fid] = picked
+	}
+	return out
+}
+
+// ApplyPlacement deploys each VNF at its new sites with the given per-site
+// capacity, mutating the network. It returns an undo function.
+func ApplyPlacement(nw *model.Network, p Placement, capacity float64) (undo func()) {
+	type added struct {
+		f model.VNFID
+		s model.NodeID
+	}
+	var adds []added
+	for fid, sites := range p {
+		f := nw.VNFs[fid]
+		if f == nil {
+			continue
+		}
+		for _, s := range sites {
+			if !f.DeployedAt(s) {
+				f.SiteCapacity[s] = capacity
+				adds = append(adds, added{fid, s})
+			}
+		}
+	}
+	return func() {
+		for _, a := range adds {
+			delete(nw.VNFs[a.f].SiteCapacity, a.s)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package te
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"switchboard/internal/model"
+)
+
+// randomNetwork builds a small random-but-valid network from a seed.
+func randomNetwork(seed uint32) *model.Network {
+	state := uint64(seed) | 1
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	nodes := 3 + next(4) // 3..6
+	nw := model.NewNetwork(nodes, 1.0)
+	for i := 0; i < nodes; i++ {
+		for j := i + 1; j < nodes; j++ {
+			nw.SetDelay(model.NodeID(i), model.NodeID(j),
+				time.Duration(5+next(40))*time.Millisecond)
+		}
+	}
+	nSites := 2 + next(nodes-1)
+	for s := 0; s < nSites; s++ {
+		nw.AddSite(model.NodeID(s), float64(50+next(200)))
+	}
+	nVNFs := 1 + next(3)
+	for v := 0; v < nVNFs; v++ {
+		f := nw.AddVNF(model.VNFID(rune('a'+v)), 0.5+float64(next(3))*0.5)
+		deployed := false
+		for s := 0; s < nSites; s++ {
+			if next(2) == 0 {
+				f.SiteCapacity[model.NodeID(s)] = float64(20 + next(100))
+				deployed = true
+			}
+		}
+		if !deployed {
+			f.SiteCapacity[model.NodeID(next(nSites))] = float64(20 + next(100))
+		}
+	}
+	nChains := 1 + next(4)
+	for c := 0; c < nChains; c++ {
+		in := model.NodeID(next(nodes))
+		eg := model.NodeID(next(nodes))
+		k := 1 + next(nVNFs)
+		var vnfs []model.VNFID
+		for v := 0; v < k; v++ {
+			vnfs = append(vnfs, model.VNFID(rune('a'+v)))
+		}
+		ch := &model.Chain{
+			ID: model.ChainID(rune('A' + c)), Ingress: in, Egress: eg, VNFs: vnfs,
+		}
+		ch.UniformTraffic(float64(1+next(20)), float64(next(10)))
+		nw.AddChain(ch)
+	}
+	return nw
+}
+
+// Property: on any random network, (1) every scheme produces a
+// violation-free routing, (2) SB-LP max-throughput is an upper bound on
+// every capacity-respecting scheme, and (3) routed fractions are within
+// [0, 1].
+func TestSchemesPropertyRandomNetworks(t *testing.T) {
+	f := func(seed uint32) bool {
+		nw := randomNetwork(seed)
+		if err := nw.Validate(); err != nil {
+			t.Logf("seed %d: invalid network: %v", seed, err)
+			return false
+		}
+		lpRouting, err := SolveLP(nw, LPOptions{Objective: MaxThroughput, SkipLinkConstraints: true})
+		if err != nil {
+			t.Logf("seed %d: LP error: %v", seed, err)
+			return false
+		}
+		lp := Evaluate(nw, lpRouting)
+		schemes := map[string]*Evaluation{
+			"lp":      lp,
+			"dp":      Evaluate(nw, SolveDP(nw, DPOptions{})),
+			"anycast": Evaluate(nw, SolveAnycast(nw)),
+			"ca":      Evaluate(nw, SolveComputeAware(nw)),
+			"onehop":  Evaluate(nw, SolveOneHop(nw, DPOptions{})),
+		}
+		for name, ev := range schemes {
+			if len(ev.Violations) != 0 {
+				t.Logf("seed %d: %s violations: %v", seed, name, ev.Violations[0])
+				return false
+			}
+			if ev.Throughput < -1e-9 || ev.Throughput > ev.Demand+1e-6 {
+				t.Logf("seed %d: %s throughput %v outside [0, %v]", seed, name, ev.Throughput, ev.Demand)
+				return false
+			}
+			if ev.Throughput > lp.Throughput+1e-6 {
+				t.Logf("seed %d: %s throughput %v exceeds LP optimum %v", seed, name, ev.Throughput, lp.Throughput)
+				return false
+			}
+		}
+		// Split fractions stay in [0, 1+ε] per stage.
+		for _, split := range lpRouting.Splits {
+			for z := 1; z <= len(split.Frac); z++ {
+				if tot := split.StageTotal(z); tot < -1e-9 || tot > 1+1e-6 {
+					t.Logf("seed %d: stage total %v", seed, tot)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+package te
+
+import (
+	"switchboard/internal/model"
+)
+
+// loadState tracks resource loads as routes are committed one chain at a
+// time. It is the shared substrate of SB-DP and the greedy baselines:
+// they differ only in how they pick paths, not in how loads accumulate or
+// how admission is capacity-limited.
+type loadState struct {
+	nw       *model.Network
+	linkLoad []float64 // includes background traffic
+	siteLoad map[model.NodeID]float64
+	vnfLoad  map[model.VNFID]map[model.NodeID]float64
+}
+
+func newLoadState(nw *model.Network) *loadState {
+	st := &loadState{
+		nw:       nw,
+		linkLoad: make([]float64, len(nw.Links)),
+		siteLoad: make(map[model.NodeID]float64, len(nw.Sites)),
+		vnfLoad:  make(map[model.VNFID]map[model.NodeID]float64, len(nw.VNFs)),
+	}
+	for i := range nw.Links {
+		st.linkLoad[i] = nw.Links[i].Background
+	}
+	return st
+}
+
+func (st *loadState) vnfLoadAt(f model.VNFID, s model.NodeID) float64 {
+	if m, ok := st.vnfLoad[f]; ok {
+		return m[s]
+	}
+	return 0
+}
+
+func (st *loadState) addVNFLoad(f model.VNFID, s model.NodeID, load float64) {
+	m, ok := st.vnfLoad[f]
+	if !ok {
+		m = make(map[model.NodeID]float64)
+		st.vnfLoad[f] = m
+	}
+	m[s] += load
+	st.siteLoad[s] += load
+}
+
+// linkUtil returns the utilization of link e.
+func (st *loadState) linkUtil(e int) float64 {
+	b := st.nw.Links[e].Bandwidth
+	if b <= 0 {
+		return 2 // treat capacity-less links as overloaded
+	}
+	return st.linkLoad[e] / b
+}
+
+// pathHeadroom returns the maximum fraction of chain c (≤ wanted) that
+// can be routed along the site path without violating link MLU, site, or
+// VNF capacity. Sites has length stages+1.
+func (st *loadState) pathHeadroom(c *model.Chain, sites []model.NodeID, wanted float64) float64 {
+	frac := wanted
+	nw := st.nw
+
+	// Link headroom: accumulate the per-unit-fraction load each link
+	// receives across every stage (a path can cross a link more than
+	// once), then bound the fraction by each link's remaining headroom.
+	perLink := make(map[int]float64)
+	for z := 1; z <= c.Stages(); z++ {
+		n1, n2 := sites[z-1], sites[z]
+		w, v := c.Forward[z-1], c.Reverse[z-1]
+		if n1 == n2 {
+			continue
+		}
+		if w > 0 {
+			for e, rf := range nw.RouteFrac[n1][n2] {
+				perLink[e] += rf * w
+			}
+		}
+		if v > 0 {
+			for e, rf := range nw.RouteFrac[n2][n1] {
+				perLink[e] += rf * v
+			}
+		}
+	}
+	for e, unit := range perLink {
+		if unit > 0 {
+			frac = minf(frac, st.linkHeadroom(e)/unit)
+		}
+	}
+	if frac <= 0 {
+		return 0
+	}
+
+	// Compute headroom per VNF along the path. Placing fraction x of the
+	// chain loads VNF j at site sites[j+1] with
+	// l_f × ((w_z+v_z) + (w_{z+1}+v_{z+1})) × x.
+	// Track additions per (vnf, site) and per site so repeated sites on
+	// one path are accounted cumulatively.
+	type key struct {
+		f model.VNFID
+		s model.NodeID
+	}
+	perVNF := make(map[key]float64, len(c.VNFs))
+	perSite := make(map[model.NodeID]float64, len(c.VNFs))
+	for j, fid := range c.VNFs {
+		f := nw.VNFs[fid]
+		s := sites[j+1]
+		unit := f.LoadPerUnit * (c.StageTraffic(j+1) + c.StageTraffic(j+2))
+		perVNF[key{fid, s}] += unit
+		perSite[s] += unit
+	}
+	for k, unit := range perVNF {
+		if unit <= 0 {
+			continue
+		}
+		room := nw.VNFs[k.f].SiteCapacity[k.s] - st.vnfLoadAt(k.f, k.s)
+		frac = minf(frac, room/unit)
+	}
+	for s, unit := range perSite {
+		if unit <= 0 {
+			continue
+		}
+		site := nw.Sites[s]
+		if site == nil {
+			return 0
+		}
+		room := site.Capacity - st.siteLoad[s]
+		frac = minf(frac, room/unit)
+	}
+	if frac < 0 {
+		return 0
+	}
+	return frac
+}
+
+func (st *loadState) linkHeadroom(e int) float64 {
+	return st.nw.MLU*st.nw.Links[e].Bandwidth - st.linkLoad[e]
+}
+
+// commit routes fraction frac of chain c along the site path, updating
+// link and compute loads. Callers must have checked headroom.
+func (st *loadState) commit(c *model.Chain, sites []model.NodeID, frac float64) {
+	nw := st.nw
+	for z := 1; z <= c.Stages(); z++ {
+		n1, n2 := sites[z-1], sites[z]
+		if n1 == n2 {
+			continue
+		}
+		w, v := c.Forward[z-1], c.Reverse[z-1]
+		for e, rf := range nw.RouteFrac[n1][n2] {
+			st.linkLoad[e] += rf * w * frac
+		}
+		for e, rf := range nw.RouteFrac[n2][n1] {
+			st.linkLoad[e] += rf * v * frac
+		}
+	}
+	for j, fid := range c.VNFs {
+		f := nw.VNFs[fid]
+		s := sites[j+1]
+		unit := f.LoadPerUnit * (c.StageTraffic(j+1) + c.StageTraffic(j+2))
+		st.addVNFLoad(fid, s, unit*frac)
+	}
+}
+
+func minf(a, b float64) float64 {
+	if b < a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,87 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"switchboard/internal/model"
+)
+
+func TestAnycastUncappedRoutesFullDemand(t *testing.T) {
+	// Zero capacity at the nearest site: capped ANYCAST admits nothing,
+	// uncapped still routes everything onto the (overloaded) path.
+	nw := lineNetwork(0, 1000)
+	nw.Chains["c1"].Egress = 1
+	capped := SolveAnycast(nw)
+	if got := routedFrac(capped, "c1"); got > 1e-9 {
+		t.Fatalf("capped anycast routed %v, want 0", got)
+	}
+	uncapped := SolveAnycastUncapped(nw)
+	if got := routedFrac(uncapped, "c1"); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("uncapped anycast routed %v, want 1", got)
+	}
+	// It chose the nearest site (1) despite zero capacity, so the
+	// evaluation must flag the overload.
+	split := uncapped.Splits["c1"]
+	if got := split.Get(1, 0, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("fraction via site 1 = %v, want 1", got)
+	}
+	ev := Evaluate(nw, uncapped)
+	if len(ev.Violations) == 0 {
+		t.Error("overloaded uncapped routing reported no violations")
+	}
+}
+
+func TestComputeAwareUncappedAvoidsSaturation(t *testing.T) {
+	nw := lineNetwork(0, 1000)
+	nw.Chains["c1"].Egress = 1
+	routing := SolveComputeAwareUncapped(nw)
+	split := routing.Splits["c1"]
+	if got := split.Get(1, 0, 2); math.Abs(got-1) > 1e-9 {
+		t.Errorf("fraction via site 2 = %v, want 1 (site 1 has no capacity)", got)
+	}
+	ev := Evaluate(nw, routing)
+	if len(ev.Violations) != 0 {
+		t.Errorf("violations: %v", ev.Violations)
+	}
+}
+
+func TestComputeAwareUncappedTracksLoadAcrossChains(t *testing.T) {
+	// Two identical chains; each fills one site. The second chain must
+	// see the first chain's load and pick the other site.
+	nw := lineNetwork(20, 20) // each site fits exactly one chain (load 20)
+	c2 := *nw.Chains["c1"]
+	c2.ID = "c2"
+	c2.UniformTraffic(10, 0)
+	nw.AddChain(&c2)
+	routing := SolveComputeAwareUncapped(nw)
+	s1 := routing.Splits["c1"]
+	s2 := routing.Splits["c2"]
+	if s1 == nil || s2 == nil {
+		t.Fatal("missing splits")
+	}
+	site1 := dominantSite(s1)
+	site2 := dominantSite(s2)
+	if site1 == site2 {
+		t.Errorf("both chains on site %d; compute-aware should separate them", site1)
+	}
+	ev := Evaluate(nw, routing)
+	if len(ev.Violations) != 0 {
+		t.Errorf("violations: %v", ev.Violations)
+	}
+}
+
+// dominantSite returns the stage-1 destination carrying the most traffic.
+func dominantSite(s *model.ChainSplit) model.NodeID {
+	best := model.NodeID(-1)
+	bestW := -1.0
+	for _, inner := range s.Frac[0] {
+		for to, w := range inner {
+			if w > bestW {
+				bestW = w
+				best = to
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,89 @@
+package topology
+
+// city is one PoP of the synthetic continental backbone: a major US metro
+// with an approximate location and population weight. The real Switchboard
+// evaluation used a proprietary tier-1 backbone; this stand-in reproduces
+// its qualitative structure — a continental mesh with heterogeneous
+// population-driven demands and realistic propagation delays.
+type city struct {
+	Name string
+	Lat  float64 // degrees
+	Lon  float64 // degrees
+	Pop  float64 // metro population, millions (gravity-model weight)
+}
+
+// cities lists the 25 PoPs in a fixed order; model.NodeID i corresponds to
+// cities[i].
+var cities = []city{
+	{"Seattle", 47.61, -122.33, 4.0},
+	{"Portland", 45.52, -122.68, 2.5},
+	{"SanFrancisco", 37.77, -122.42, 4.7},
+	{"LosAngeles", 34.05, -118.24, 13.2},
+	{"SanDiego", 32.72, -117.16, 3.3},
+	{"Phoenix", 33.45, -112.07, 4.9},
+	{"SaltLakeCity", 40.76, -111.89, 1.3},
+	{"Denver", 39.74, -104.99, 3.0},
+	{"Dallas", 32.78, -96.80, 7.6},
+	{"Houston", 29.76, -95.37, 7.1},
+	{"SanAntonio", 29.42, -98.49, 2.6},
+	{"KansasCity", 39.10, -94.58, 2.2},
+	{"Minneapolis", 44.98, -93.27, 3.7},
+	{"Chicago", 41.88, -87.63, 9.5},
+	{"StLouis", 38.63, -90.20, 2.8},
+	{"Nashville", 36.16, -86.78, 2.0},
+	{"Atlanta", 33.75, -84.39, 6.1},
+	{"Miami", 25.76, -80.19, 6.2},
+	{"Orlando", 28.54, -81.38, 2.6},
+	{"Charlotte", 35.23, -80.84, 2.7},
+	{"Washington", 38.91, -77.04, 6.3},
+	{"Philadelphia", 39.95, -75.17, 6.2},
+	{"NewYork", 40.71, -74.01, 19.2},
+	{"Boston", 42.36, -71.06, 4.9},
+	{"Cleveland", 41.50, -81.69, 2.1},
+}
+
+// backboneLinks are bidirectional adjacencies forming a realistic
+// continental mesh (average degree ≈ 4.5, no long-haul shortcuts that a
+// fiber map would not have). Indices refer to the cities slice.
+var backboneLinks = [][2]int{
+	{0, 1},   // Seattle–Portland
+	{0, 6},   // Seattle–SaltLake
+	{0, 12},  // Seattle–Minneapolis
+	{1, 2},   // Portland–SanFrancisco
+	{2, 3},   // SF–LA
+	{2, 6},   // SF–SaltLake
+	{3, 4},   // LA–SanDiego
+	{3, 5},   // LA–Phoenix
+	{4, 5},   // SanDiego–Phoenix
+	{5, 8},   // Phoenix–Dallas
+	{5, 6},   // Phoenix–SaltLake
+	{6, 7},   // SaltLake–Denver
+	{7, 8},   // Denver–Dallas
+	{7, 11},  // Denver–KansasCity
+	{7, 12},  // Denver–Minneapolis
+	{8, 9},   // Dallas–Houston
+	{8, 10},  // Dallas–SanAntonio
+	{9, 10},  // Houston–SanAntonio
+	{9, 16},  // Houston–Atlanta
+	{8, 11},  // Dallas–KansasCity
+	{11, 13}, // KansasCity–Chicago
+	{11, 14}, // KansasCity–StLouis
+	{12, 13}, // Minneapolis–Chicago
+	{13, 14}, // Chicago–StLouis
+	{13, 24}, // Chicago–Cleveland
+	{14, 15}, // StLouis–Nashville
+	{15, 16}, // Nashville–Atlanta
+	{16, 17}, // Atlanta–Miami
+	{16, 18}, // Atlanta–Orlando
+	{17, 18}, // Miami–Orlando
+	{16, 19}, // Atlanta–Charlotte
+	{19, 20}, // Charlotte–Washington
+	{20, 21}, // Washington–Philadelphia
+	{21, 22}, // Philadelphia–NewYork
+	{22, 23}, // NewYork–Boston
+	{22, 24}, // NewYork–Cleveland
+	{24, 20}, // Cleveland–Washington
+	{13, 22}, // Chicago–NewYork (long-haul trunk)
+	{3, 8},   // LA–Dallas (long-haul trunk)
+	{15, 19}, // Nashville–Charlotte
+}

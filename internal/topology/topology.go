@@ -1,0 +1,212 @@
+// Package topology builds the synthetic tier-1 backbone and traffic
+// matrix used by Switchboard's traffic-engineering evaluation. It stands
+// in for the proprietary AT&T backbone topology and March-2015 traffic
+// snapshot: a 25-PoP continental mesh with propagation delays derived from
+// great-circle fiber distance and a gravity-model traffic matrix weighted
+// by metro population.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"switchboard/internal/model"
+)
+
+// Options configures backbone construction.
+type Options struct {
+	// LinkBandwidth is the capacity of every backbone link, in traffic
+	// units (experiments use Mbps). Default 40000 (a 40 Gbps trunk).
+	LinkBandwidth float64
+	// BackgroundFraction is the fraction of each link's bandwidth
+	// consumed by non-Switchboard (transit) traffic, spread from the
+	// gravity traffic matrix. The paper uses a 4:1 Switchboard-to-
+	// background split; 1/5 of demand as background matches that.
+	BackgroundFraction float64
+	// MLU is the maximum-link-utilization limit β. Default 1.0.
+	MLU float64
+}
+
+func (o *Options) setDefaults() {
+	if o.LinkBandwidth == 0 {
+		o.LinkBandwidth = 40000
+	}
+	if o.MLU == 0 {
+		o.MLU = 1.0
+	}
+}
+
+// NumNodes is the size of the synthetic backbone.
+const NumNodes = 25
+
+// NodeName returns the metro name of a backbone node.
+func NodeName(n model.NodeID) string {
+	if int(n) < 0 || int(n) >= len(cities) {
+		return fmt.Sprintf("node%d", n)
+	}
+	return cities[n].Name
+}
+
+// Population returns the gravity weight (metro population in millions).
+func Population(n model.NodeID) float64 {
+	return cities[n].Pop
+}
+
+// Backbone constructs the 25-node continental network: bidirectional
+// links with propagation delays from fiber distance, all-pairs delays via
+// shortest paths, and single-shortest-path routing fractions r_{n1 n2 e}.
+func Backbone(opts Options) *model.Network {
+	opts.setDefaults()
+	nw := model.NewNetwork(NumNodes, opts.MLU)
+
+	// Directed links (both directions of each adjacency).
+	adj := make([][]edge, NumNodes)
+	for _, pair := range backboneLinks {
+		a, b := model.NodeID(pair[0]), model.NodeID(pair[1])
+		d := propagationDelay(cities[a], cities[b])
+		ab := nw.AddLink(a, b, opts.LinkBandwidth, 0)
+		ba := nw.AddLink(b, a, opts.LinkBandwidth, 0)
+		adj[a] = append(adj[a], edge{to: b, delay: d, link: ab})
+		adj[b] = append(adj[b], edge{to: a, delay: d, link: ba})
+	}
+
+	// All-pairs shortest paths by delay (Dijkstra from every source).
+	// Record both the delay matrix and, per destination, the sequence of
+	// links used, to fill RouteFrac with 0/1 single-path routing.
+	for src := 0; src < NumNodes; src++ {
+		dist, prevLink, prevNode := dijkstra(adj, model.NodeID(src))
+		for dst := 0; dst < NumNodes; dst++ {
+			if dst == src {
+				nw.Delay[model.NodeID(src)][model.NodeID(dst)] = 0
+				continue
+			}
+			nw.Delay[model.NodeID(src)][model.NodeID(dst)] = dist[dst]
+			fr := make(map[int]float64)
+			for at := model.NodeID(dst); at != model.NodeID(src); at = prevNode[at] {
+				fr[prevLink[at]] = 1.0
+			}
+			nw.RouteFrac[model.NodeID(src)][model.NodeID(dst)] = fr
+		}
+	}
+
+	// Background traffic: route the gravity matrix over shortest paths,
+	// scaled so the average link carries BackgroundFraction of capacity.
+	if opts.BackgroundFraction > 0 {
+		tm := GravityMatrix(nw, 1.0)
+		load := make([]float64, len(nw.Links))
+		total := 0.0
+		for s := range tm {
+			for d, v := range tm[s] {
+				for e, f := range nw.RouteFrac[s][d] {
+					load[e] += f * v
+				}
+			}
+		}
+		for _, l := range load {
+			total += l
+		}
+		if total > 0 {
+			mean := total / float64(len(load))
+			scale := opts.BackgroundFraction * opts.LinkBandwidth / mean
+			for i := range nw.Links {
+				nw.Links[i].Background = load[i] * scale
+			}
+		}
+	}
+	return nw
+}
+
+// edge is a directed adjacency used during construction.
+type edge struct {
+	to    model.NodeID
+	delay time.Duration
+	link  int
+}
+
+// dijkstra returns, for a single source, per-node shortest-path delay and
+// the predecessor link/node on that path. The graph is small (25 nodes) so
+// the O(V²) scan is plenty.
+func dijkstra(adj [][]edge, src model.NodeID) (dist []time.Duration, prevLink []int, prevNode []model.NodeID) {
+	n := len(adj)
+	const inf = time.Duration(math.MaxInt64)
+	dist = make([]time.Duration, n)
+	prevLink = make([]int, n)
+	prevNode = make([]model.NodeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+		prevLink[i] = -1
+		prevNode[i] = -1
+	}
+	dist[src] = 0
+	for {
+		u := -1
+		best := inf
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				best = dist[i]
+				u = i
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		for _, e := range adj[u] {
+			if nd := dist[u] + e.delay; nd < dist[e.to] {
+				dist[e.to] = nd
+				prevLink[e.to] = e.link
+				prevNode[e.to] = model.NodeID(u)
+			}
+		}
+	}
+	return dist, prevLink, prevNode
+}
+
+// propagationDelay converts great-circle distance between two cities to a
+// one-way fiber propagation delay: distance × 1.3 path inflation at
+// 200,000 km/s (speed of light in fiber).
+func propagationDelay(a, b city) time.Duration {
+	km := haversineKm(a.Lat, a.Lon, b.Lat, b.Lon) * 1.3
+	seconds := km / 200000.0
+	return time.Duration(seconds * float64(time.Second))
+}
+
+func haversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const r = 6371.0
+	rad := math.Pi / 180
+	dLat := (lat2 - lat1) * rad
+	dLon := (lon2 - lon1) * rad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*rad)*math.Cos(lat2*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * r * math.Asin(math.Sqrt(a))
+}
+
+// GravityMatrix returns a traffic matrix T[s][d] ∝ pop(s)·pop(d),
+// normalized so the total demand equals totalDemand. The diagonal is zero.
+func GravityMatrix(nw *model.Network, totalDemand float64) map[model.NodeID]map[model.NodeID]float64 {
+	tm := make(map[model.NodeID]map[model.NodeID]float64, len(nw.Nodes))
+	sum := 0.0
+	for _, s := range nw.Nodes {
+		tm[s] = make(map[model.NodeID]float64, len(nw.Nodes))
+		for _, d := range nw.Nodes {
+			if s == d {
+				continue
+			}
+			v := Population(s) * Population(d)
+			tm[s][d] = v
+			sum += v
+		}
+	}
+	if sum == 0 {
+		return tm
+	}
+	scale := totalDemand / sum
+	for s := range tm {
+		for d := range tm[s] {
+			tm[s][d] *= scale
+		}
+	}
+	return tm
+}

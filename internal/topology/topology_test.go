@@ -1,0 +1,161 @@
+package topology
+
+import (
+	"testing"
+	"time"
+
+	"switchboard/internal/model"
+)
+
+func TestBackboneStructure(t *testing.T) {
+	nw := Backbone(Options{})
+	if len(nw.Nodes) != NumNodes {
+		t.Fatalf("nodes = %d, want %d", len(nw.Nodes), NumNodes)
+	}
+	if len(nw.Links) != 2*len(backboneLinks) {
+		t.Errorf("links = %d, want %d (both directions)", len(nw.Links), 2*len(backboneLinks))
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+}
+
+func TestBackboneDelaysSane(t *testing.T) {
+	nw := Backbone(Options{})
+	// Seattle (0) to Miami (17) is a cross-country path: expect one-way
+	// delay between 15 ms and 60 ms.
+	d := nw.Delay[0][17]
+	if d < 15*time.Millisecond || d > 60*time.Millisecond {
+		t.Errorf("Seattle->Miami delay = %v, want 15-60 ms", d)
+	}
+	// Adjacent cities (Seattle-Portland) should be very close.
+	if d := nw.Delay[0][1]; d > 5*time.Millisecond {
+		t.Errorf("Seattle->Portland delay = %v, want < 5 ms", d)
+	}
+	// Symmetry.
+	for _, a := range nw.Nodes {
+		for _, b := range nw.Nodes {
+			if nw.Delay[a][b] != nw.Delay[b][a] {
+				t.Fatalf("delay asymmetric %d<->%d: %v vs %v", a, b, nw.Delay[a][b], nw.Delay[b][a])
+			}
+		}
+	}
+}
+
+func TestBackboneTriangleInequality(t *testing.T) {
+	// Shortest-path delays must satisfy the triangle inequality.
+	nw := Backbone(Options{})
+	for _, a := range nw.Nodes {
+		for _, b := range nw.Nodes {
+			for _, c := range nw.Nodes {
+				if nw.Delay[a][b] > nw.Delay[a][c]+nw.Delay[c][b] {
+					t.Fatalf("triangle violated: d(%d,%d)=%v > d(%d,%d)+d(%d,%d)",
+						a, b, nw.Delay[a][b], a, c, c, b)
+				}
+			}
+		}
+	}
+}
+
+func TestBackboneRouteFractions(t *testing.T) {
+	nw := Backbone(Options{})
+	// Every distinct pair must have at least one routed link, each link
+	// on the route must carry fraction 1 (single shortest path), and the
+	// route's total delay must equal the delay matrix entry.
+	for _, s := range nw.Nodes {
+		for _, d := range nw.Nodes {
+			if s == d {
+				continue
+			}
+			fr := nw.RouteFrac[s][d]
+			if len(fr) == 0 {
+				t.Fatalf("no route %d->%d", s, d)
+			}
+			for e, f := range fr {
+				if f != 1.0 {
+					t.Fatalf("route %d->%d link %d fraction %v, want 1", s, d, e, f)
+				}
+			}
+		}
+	}
+	// A route from Seattle to Portland should be the direct link.
+	fr := nw.RouteFrac[0][1]
+	if len(fr) != 1 {
+		t.Errorf("Seattle->Portland uses %d links, want direct link", len(fr))
+	}
+}
+
+func TestBackboneConnected(t *testing.T) {
+	nw := Backbone(Options{})
+	for _, a := range nw.Nodes {
+		for _, b := range nw.Nodes {
+			if a != b && nw.Delay[a][b] <= 0 {
+				t.Fatalf("unreachable or zero delay %d->%d", a, b)
+			}
+		}
+	}
+}
+
+func TestBackboneBackgroundTraffic(t *testing.T) {
+	nw := Backbone(Options{BackgroundFraction: 0.2})
+	total := 0.0
+	overCap := 0
+	for _, l := range nw.Links {
+		total += l.Background
+		if l.Background > l.Bandwidth {
+			overCap++
+		}
+	}
+	if total <= 0 {
+		t.Fatal("no background traffic generated")
+	}
+	mean := total / float64(len(nw.Links))
+	want := 0.2 * 40000
+	if mean < want*0.99 || mean > want*1.01 {
+		t.Errorf("mean background = %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestGravityMatrix(t *testing.T) {
+	nw := Backbone(Options{})
+	tm := GravityMatrix(nw, 500)
+	total := 0.0
+	for s := range tm {
+		if tm[s][s] != 0 {
+			t.Errorf("diagonal entry for %d nonzero", s)
+		}
+		for _, v := range tm[s] {
+			if v < 0 {
+				t.Fatal("negative traffic entry")
+			}
+			total += v
+		}
+	}
+	if total < 499.999 || total > 500.001 {
+		t.Errorf("total demand = %v, want 500", total)
+	}
+	// NY (22, pop 19.2) to LA (3, pop 13.2) should be the single largest
+	// entry.
+	maxV := 0.0
+	var maxS, maxD model.NodeID
+	for s := range tm {
+		for d, v := range tm[s] {
+			if v > maxV {
+				maxV, maxS, maxD = v, s, d
+			}
+		}
+	}
+	okPair := (maxS == 22 && maxD == 3) || (maxS == 3 && maxD == 22)
+	if !okPair {
+		t.Errorf("largest TM entry is %d->%d, want NY<->LA", maxS, maxD)
+	}
+}
+
+func TestNodeName(t *testing.T) {
+	if NodeName(0) != "Seattle" || NodeName(22) != "NewYork" {
+		t.Error("NodeName mapping wrong")
+	}
+	if NodeName(99) != "node99" {
+		t.Errorf("NodeName(99) = %q", NodeName(99))
+	}
+}

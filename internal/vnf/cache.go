@@ -1,0 +1,113 @@
+package vnf
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is an LRU web-object cache modeled on the Squid proxy of the
+// shared-cache experiment (Section 7.2, Table 3). It is multi-tenant:
+// several chains may share one instance, reusing each other's cached
+// objects, or each chain may get a private 1/N-size instance (the
+// "vertically siloed" baseline).
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64 // bytes
+	used     int64
+	lru      *list.List // front = most recent
+	items    map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheItem struct {
+	key  string
+	size int64
+}
+
+// NewCache returns a cache bounded to capacity bytes.
+func NewCache(capacity int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get reports whether the object is cached, updating recency and
+// hit/miss counters.
+func (c *Cache) Get(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return true
+}
+
+// Put inserts an object of the given size, evicting LRU entries as
+// needed. Objects larger than the whole cache are not stored.
+func (c *Cache) Put(key string, size int64) {
+	if size <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.capacity {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		item := el.Value.(*cacheItem)
+		c.used += size - item.size
+		item.size = size
+	} else {
+		el := c.lru.PushFront(&cacheItem{key: key, size: size})
+		c.items[key] = el
+		c.used += size
+	}
+	for c.used > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		item := back.Value.(*cacheItem)
+		c.lru.Remove(back)
+		delete(c.items, item.key)
+		c.used -= item.size
+	}
+}
+
+// Stats returns (hits, misses).
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Len returns the number of cached objects.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Used returns the bytes currently stored.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

@@ -1,0 +1,98 @@
+package vnf
+
+import (
+	"sync"
+
+	"switchboard/internal/packet"
+)
+
+// FirewallAction is a rule verdict.
+type FirewallAction int
+
+// Verdicts.
+const (
+	Allow FirewallAction = iota + 1
+	Deny
+)
+
+// FirewallRule matches packets by destination port and protocol; zero
+// values are wildcards.
+type FirewallRule struct {
+	DstPort uint16
+	Proto   uint8
+	Action  FirewallAction
+}
+
+// Firewall is a stateful firewall modeled on the iptables setup of the
+// paper's end-to-end comparison (Section 7.2): connections initiated from
+// the "inside" (forward direction) are tracked, reverse packets are
+// admitted only when they belong to a tracked connection, and new inbound
+// connections are evaluated against the rule list (default deny).
+type Firewall struct {
+	mu    sync.Mutex
+	conns map[packet.FlowKey]bool
+	rules []FirewallRule
+	// insideNets are source prefixes considered "inside"; a packet from
+	// inside opens connection state.
+	insideNets []Prefix
+}
+
+// Prefix is an IPv4 prefix (alias of packet.Prefix).
+type Prefix = packet.Prefix
+
+// NewFirewall returns a firewall trusting the given inside prefixes with
+// the given inbound rules.
+func NewFirewall(inside []Prefix, rules []FirewallRule) *Firewall {
+	return &Firewall{
+		conns:      make(map[packet.FlowKey]bool),
+		rules:      rules,
+		insideNets: inside,
+	}
+}
+
+// Name implements Function.
+func (f *Firewall) Name() string { return "firewall" }
+
+// Process implements Function.
+func (f *Firewall) Process(p *packet.Packet) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	canon, _ := p.Key.Canonical()
+	if f.conns[canon] {
+		return true // established connection
+	}
+	if f.fromInside(p.Key.SrcIP) {
+		f.conns[canon] = true
+		return true
+	}
+	for _, r := range f.rules {
+		if r.DstPort != 0 && r.DstPort != p.Key.DstPort {
+			continue
+		}
+		if r.Proto != 0 && r.Proto != p.Key.Proto {
+			continue
+		}
+		if r.Action == Allow {
+			f.conns[canon] = true
+			return true
+		}
+		return false
+	}
+	return false // default deny
+}
+
+func (f *Firewall) fromInside(ip uint32) bool {
+	for _, pr := range f.insideNets {
+		if pr.Contains(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+// Connections returns the number of tracked connections.
+func (f *Firewall) Connections() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.conns)
+}

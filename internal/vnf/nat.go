@@ -1,0 +1,98 @@
+package vnf
+
+import (
+	"errors"
+	"sync"
+
+	"switchboard/internal/packet"
+)
+
+// NAT is a stateful source NAT, modeled on the iptables NAT used in the
+// paper's dynamic-chaining experiment (Section 7.1). Forward packets get
+// their source rewritten to the NAT's public IP and an allocated port;
+// reverse packets (matching a translated 5-tuple) are rewritten back.
+// Because translations live in one instance's memory, correct operation
+// requires the forwarders' symmetric-return property.
+type NAT struct {
+	publicIP uint32
+
+	mu       sync.Mutex
+	nextPort uint16
+	// forward maps original (src ip, src port) to allocated port.
+	forward map[natKey]uint16
+	// back maps allocated port to the original source.
+	back map[uint16]natKey
+}
+
+type natKey struct {
+	ip   uint32
+	port uint16
+}
+
+// NewNAT returns a NAT translating to the given public IP, allocating
+// ports from 20000 upward.
+func NewNAT(publicIP uint32) *NAT {
+	return &NAT{
+		publicIP: publicIP,
+		nextPort: 20000,
+		forward:  make(map[natKey]uint16),
+		back:     make(map[uint16]natKey),
+	}
+}
+
+// Name implements Function.
+func (n *NAT) Name() string { return "nat" }
+
+// ErrPortsExhausted reports NAT port-pool exhaustion.
+var ErrPortsExhausted = errors.New("vnf: NAT port pool exhausted")
+
+// Process implements Function.
+func (n *NAT) Process(p *packet.Packet) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Reverse packet: destination is our public IP on a mapped port.
+	if p.Key.DstIP == n.publicIP {
+		orig, ok := n.back[p.Key.DstPort]
+		if !ok {
+			return false // no mapping: unsolicited, drop
+		}
+		p.Key.DstIP = orig.ip
+		p.Key.DstPort = orig.port
+		return true
+	}
+	// Forward packet: translate source.
+	k := natKey{ip: p.Key.SrcIP, port: p.Key.SrcPort}
+	port, ok := n.forward[k]
+	if !ok {
+		port = n.allocPort()
+		if port == 0 {
+			return false
+		}
+		n.forward[k] = port
+		n.back[port] = k
+	}
+	p.Key.SrcIP = n.publicIP
+	p.Key.SrcPort = port
+	return true
+}
+
+func (n *NAT) allocPort() uint16 {
+	for tries := 0; tries < 65535; tries++ {
+		port := n.nextPort
+		n.nextPort++
+		if n.nextPort < 20000 {
+			n.nextPort = 20000
+		}
+		if _, used := n.back[port]; !used {
+			return port
+		}
+	}
+	return 0
+}
+
+// Translations returns the number of active mappings.
+func (n *NAT) Translations() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.forward)
+}

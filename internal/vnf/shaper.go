@@ -1,0 +1,73 @@
+package vnf
+
+import (
+	"sync"
+	"time"
+
+	"switchboard/internal/packet"
+)
+
+// Shaper is a token-bucket traffic shaper: an example of a stateful VNF
+// that needs flow affinity but not symmetric return (Section 5.3). It
+// admits packets while tokens remain and drops the excess.
+type Shaper struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second (1 token = 1 packet)
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewShaper returns a shaper admitting `rate` packets/second with the
+// given burst size.
+func NewShaper(rate, burst float64) *Shaper {
+	s := &Shaper{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	s.last = s.now()
+	return s
+}
+
+// newShaperWithClock lets tests control time.
+func newShaperWithClock(rate, burst float64, now func() time.Time) *Shaper {
+	s := &Shaper{rate: rate, burst: burst, tokens: burst, now: now}
+	s.last = now()
+	return s
+}
+
+// Name implements Function.
+func (s *Shaper) Name() string { return "shaper" }
+
+// Process implements Function.
+func (s *Shaper) Process(*packet.Packet) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	s.tokens += now.Sub(s.last).Seconds() * s.rate
+	if s.tokens > s.burst {
+		s.tokens = s.burst
+	}
+	s.last = now
+	if s.tokens < 1 {
+		return false
+	}
+	s.tokens--
+	return true
+}
+
+// Blur is the face-anonymizing function of the Section 2 demo, reduced to
+// its data-plane essence: it transforms the payload in place (simulating
+// GPU work) and forwards the packet.
+type Blur struct{}
+
+// Name implements Function.
+func (Blur) Name() string { return "blur" }
+
+// Process implements Function. Every payload byte is mixed so the
+// "video" leaving the VNF differs from what entered, which the videochain
+// example asserts on.
+func (Blur) Process(p *packet.Packet) bool {
+	for i := range p.Payload {
+		p.Payload[i] ^= 0xA5
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+// Package vnf provides Switchboard's VNF framework — the per-instance
+// runtime that attaches a network function to a forwarder — and a small
+// catalog of concrete functions used throughout the evaluation: a
+// stateful NAT, a stateful firewall, a shared web cache, a traffic
+// shaper, and a toy video-anonymizing function. Each VNF service is
+// managed by its own controller (package controller), mirroring the
+// paper's service-oriented design.
+package vnf
+
+import (
+	"context"
+	"sync/atomic"
+
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+)
+
+// Function is the packet-processing logic of a network function.
+// Implementations may mutate the packet (e.g. NAT rewrites addresses) and
+// decide whether it continues along the chain.
+type Function interface {
+	// Name identifies the function type ("nat", "firewall", ...).
+	Name() string
+	// Process handles one packet; returning false drops it.
+	Process(p *packet.Packet) (forward bool)
+}
+
+// Stats counts an instance's packet outcomes.
+type Stats struct {
+	Processed uint64
+	Dropped   uint64
+}
+
+// Instance is one deployed VNF instance: it receives packets from its
+// gateway forwarder, runs the function, and returns survivors to the
+// forwarder (Section 5.1: the forwarder is the instance's proxy gateway;
+// instance and forwarder share a site).
+type Instance struct {
+	id      string
+	fn      Function
+	ep      *simnet.Endpoint
+	gateway simnet.Addr
+	weight  float64
+
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewInstance attaches a function to the simulated network. gateway is
+// the forwarder serving this instance.
+func NewInstance(id string, fn Function, ep *simnet.Endpoint, gateway simnet.Addr, weight float64) *Instance {
+	return &Instance{id: id, fn: fn, ep: ep, gateway: gateway, weight: weight}
+}
+
+// ID returns the instance identifier.
+func (i *Instance) ID() string { return i.id }
+
+// Weight returns the load-balancing weight the instance publishes.
+func (i *Instance) Weight() float64 { return i.weight }
+
+// Addr returns the instance's network address.
+func (i *Instance) Addr() simnet.Addr { return i.ep.Addr() }
+
+// Stats returns a snapshot of the counters.
+func (i *Instance) Stats() Stats {
+	return Stats{Processed: i.processed.Load(), Dropped: i.dropped.Load()}
+}
+
+// Run processes packets until the context is cancelled or the endpoint
+// closes.
+func (i *Instance) Run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m, ok := <-i.ep.Inbox():
+			if !ok {
+				return
+			}
+			p, ok := m.Payload.(*packet.Packet)
+			if !ok {
+				continue
+			}
+			if !i.fn.Process(p) {
+				i.dropped.Add(1)
+				continue
+			}
+			i.processed.Add(1)
+			_ = i.ep.Send(i.gateway, p, len(p.Payload)+40)
+		}
+	}
+}
+
+// Start launches Run on a goroutine and returns a stop function.
+func (i *Instance) Start() (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		i.Run(ctx)
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// PassThrough is the identity function, useful in tests and benchmarks.
+type PassThrough struct{}
+
+// Name implements Function.
+func (PassThrough) Name() string { return "passthrough" }
+
+// Process implements Function.
+func (PassThrough) Process(*packet.Packet) bool { return true }

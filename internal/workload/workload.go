@@ -1,0 +1,224 @@
+// Package workload synthesizes the evaluation workloads of the
+// Switchboard paper: service-chain populations over the backbone (10000
+// chains of 3–5 VNFs drawn from a 100-VNF catalog in a fixed order, with
+// traffic proportional to the ingress site's demand) and the Zipf object
+// workload used by the shared-cache experiment.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"switchboard/internal/model"
+	"switchboard/internal/topology"
+)
+
+// ChainGenOptions configures Populate.
+type ChainGenOptions struct {
+	// NumChains is the number of service chains to create.
+	NumChains int
+	// NumVNFs is the catalog size (the paper uses 100).
+	NumVNFs int
+	// Coverage is the fraction of cloud sites at which each VNF is
+	// deployed, chosen randomly per VNF (the paper sweeps 0.25–1.0).
+	Coverage float64
+	// NumSites, when positive, restricts cloud sites to the NumSites
+	// highest-population nodes instead of every node. LP-based
+	// experiments use this to keep instances tractable.
+	NumSites int
+	// SiteCapacity is the homogeneous compute capacity of each cloud
+	// site; per-VNF capacity at a site is SiteCapacity divided by the
+	// number of VNFs deployed there.
+	SiteCapacity float64
+	// CPUPerByte is the compute load per unit of traffic (l_f) applied
+	// to every VNF (the paper sweeps this).
+	CPUPerByte float64
+	// MinChainLen and MaxChainLen bound the VNFs per chain (3–5).
+	MinChainLen, MaxChainLen int
+	// TotalTraffic is the aggregate forward demand across all chains.
+	TotalTraffic float64
+	// ReverseRatio is reverse traffic as a fraction of forward traffic.
+	ReverseRatio float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (o *ChainGenOptions) setDefaults() {
+	if o.NumChains == 0 {
+		o.NumChains = 100
+	}
+	if o.NumVNFs == 0 {
+		o.NumVNFs = 100
+	}
+	if o.Coverage == 0 {
+		o.Coverage = 0.5
+	}
+	if o.SiteCapacity == 0 {
+		o.SiteCapacity = 1000
+	}
+	if o.CPUPerByte == 0 {
+		o.CPUPerByte = 1.0
+	}
+	if o.MinChainLen == 0 {
+		o.MinChainLen = 3
+	}
+	if o.MaxChainLen == 0 {
+		o.MaxChainLen = 5
+	}
+	if o.TotalTraffic == 0 {
+		o.TotalTraffic = 1000
+	}
+}
+
+// VNFName returns the catalog name of the i-th VNF. The index encodes the
+// pre-determined order: chains always list VNFs in ascending index, which
+// models the typical firewall-before-NAT ordering the paper assumes.
+func VNFName(i int) model.VNFID {
+	return model.VNFID(fmt.Sprintf("vnf%03d", i))
+}
+
+// Populate fills a backbone network with cloud sites, a VNF catalog, and
+// service chains per the options. Every node gets a cloud site. Each VNF
+// picks ⌈coverage × |S|⌉ sites uniformly at random; site capacity is split
+// equally among the VNFs deployed there. Chains draw ingress/egress from
+// the gravity weights and carry traffic proportional to the ingress
+// site's total demand.
+func Populate(nw *model.Network, opts ChainGenOptions) {
+	opts.setDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Cloud sites: every node by default, or the NumSites most populous.
+	siteNodes := append([]model.NodeID(nil), nw.Nodes...)
+	if opts.NumSites > 0 && opts.NumSites < len(siteNodes) {
+		sort.Slice(siteNodes, func(i, j int) bool {
+			return topology.Population(siteNodes[i]) > topology.Population(siteNodes[j])
+		})
+		siteNodes = siteNodes[:opts.NumSites]
+	}
+	for _, n := range siteNodes {
+		if _, ok := nw.Sites[n]; !ok {
+			nw.AddSite(n, opts.SiteCapacity)
+		}
+	}
+	sites := nw.SiteNodes()
+
+	// Catalog: each VNF at a random coverage-sized subset of sites.
+	perSite := make(map[model.NodeID]int) // VNFs deployed at each site
+	nCover := int(math.Ceil(opts.Coverage * float64(len(sites))))
+	if nCover < 1 {
+		nCover = 1
+	}
+	chosen := make([][]model.NodeID, opts.NumVNFs)
+	for i := 0; i < opts.NumVNFs; i++ {
+		perm := rng.Perm(len(sites))
+		sub := make([]model.NodeID, 0, nCover)
+		for _, idx := range perm[:nCover] {
+			sub = append(sub, sites[idx])
+			perSite[sites[idx]]++
+		}
+		chosen[i] = sub
+	}
+	for i := 0; i < opts.NumVNFs; i++ {
+		v := nw.AddVNF(VNFName(i), opts.CPUPerByte)
+		for _, s := range chosen[i] {
+			v.SiteCapacity[s] = nw.Sites[s].Capacity / float64(perSite[s])
+		}
+	}
+
+	// Ingress weights from gravity populations.
+	weights := make([]float64, len(nw.Nodes))
+	totalW := 0.0
+	for i, n := range nw.Nodes {
+		weights[i] = topology.Population(n)
+		if weights[i] <= 0 {
+			weights[i] = 1
+		}
+		totalW += weights[i]
+	}
+	pick := func() model.NodeID {
+		x := rng.Float64() * totalW
+		for i, w := range weights {
+			x -= w
+			if x <= 0 {
+				return nw.Nodes[i]
+			}
+		}
+		return nw.Nodes[len(nw.Nodes)-1]
+	}
+
+	// Chains: random ingress/egress, 3–5 VNFs in catalog order, traffic
+	// proportional to ingress weight.
+	type draft struct {
+		c *model.Chain
+		w float64
+	}
+	drafts := make([]draft, 0, opts.NumChains)
+	sumW := 0.0
+	for i := 0; i < opts.NumChains; i++ {
+		in := pick()
+		eg := pick()
+		for eg == in {
+			eg = pick()
+		}
+		k := opts.MinChainLen
+		if opts.MaxChainLen > opts.MinChainLen {
+			k += rng.Intn(opts.MaxChainLen - opts.MinChainLen + 1)
+		}
+		if k > opts.NumVNFs {
+			k = opts.NumVNFs
+		}
+		idxs := rng.Perm(opts.NumVNFs)[:k]
+		sort.Ints(idxs) // pre-determined catalog order
+		vnfs := make([]model.VNFID, k)
+		for j, idx := range idxs {
+			vnfs[j] = VNFName(idx)
+		}
+		c := &model.Chain{
+			ID:      model.ChainID(fmt.Sprintf("chain%05d", i)),
+			Ingress: in,
+			Egress:  eg,
+			VNFs:    vnfs,
+		}
+		w := topology.Population(in)
+		drafts = append(drafts, draft{c, w})
+		sumW += w
+	}
+	for _, d := range drafts {
+		fwd := opts.TotalTraffic * d.w / sumW
+		d.c.UniformTraffic(fwd, fwd*opts.ReverseRatio)
+		nw.AddChain(d.c)
+	}
+}
+
+// Zipf samples object IDs 0..N-1 with probability ∝ 1/(rank+1)^exponent.
+// Unlike math/rand's Zipf it supports exponent == 1.0, the value used by
+// the paper's cache experiment, via an explicit inverse-CDF table.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a sampler over n objects with the given exponent (> 0).
+func NewZipf(n int, exponent float64, seed int64) *Zipf {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1.0 / math.Pow(float64(i+1), exponent)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next sampled object ID.
+func (z *Zipf) Next() int {
+	x := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, x)
+}
+
+// N returns the number of objects.
+func (z *Zipf) N() int { return len(z.cdf) }

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"switchboard/internal/model"
+	"switchboard/internal/topology"
+)
+
+func TestPopulateBasics(t *testing.T) {
+	nw := topology.Backbone(topology.Options{})
+	Populate(nw, ChainGenOptions{NumChains: 50, NumVNFs: 20, Coverage: 0.4, Seed: 1})
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	if len(nw.Chains) != 50 {
+		t.Errorf("chains = %d, want 50", len(nw.Chains))
+	}
+	if len(nw.VNFs) != 20 {
+		t.Errorf("VNFs = %d, want 20", len(nw.VNFs))
+	}
+	if len(nw.Sites) != len(nw.Nodes) {
+		t.Errorf("sites = %d, want one per node", len(nw.Sites))
+	}
+}
+
+func TestPopulateCoverage(t *testing.T) {
+	nw := topology.Backbone(topology.Options{})
+	Populate(nw, ChainGenOptions{NumChains: 5, NumVNFs: 30, Coverage: 0.4, Seed: 2})
+	want := int(math.Ceil(0.4 * float64(len(nw.Sites))))
+	for id, v := range nw.VNFs {
+		if got := len(v.SiteCapacity); got != want {
+			t.Errorf("VNF %s deployed at %d sites, want %d", id, got, want)
+		}
+	}
+}
+
+func TestPopulateChainProperties(t *testing.T) {
+	nw := topology.Backbone(topology.Options{})
+	Populate(nw, ChainGenOptions{NumChains: 200, NumVNFs: 100, Seed: 3, TotalTraffic: 1000})
+	totalFwd := 0.0
+	for _, c := range nw.Chains {
+		if len(c.VNFs) < 3 || len(c.VNFs) > 5 {
+			t.Fatalf("chain %s has %d VNFs, want 3-5", c.ID, len(c.VNFs))
+		}
+		if c.Ingress == c.Egress {
+			t.Fatalf("chain %s ingress == egress", c.ID)
+		}
+		// Catalog order: VNF names must be strictly ascending.
+		if !sort.SliceIsSorted(c.VNFs, func(i, j int) bool { return c.VNFs[i] < c.VNFs[j] }) {
+			t.Fatalf("chain %s VNFs out of catalog order: %v", c.ID, c.VNFs)
+		}
+		totalFwd += c.Forward[0]
+	}
+	if math.Abs(totalFwd-1000) > 1e-6 {
+		t.Errorf("total forward traffic = %v, want 1000", totalFwd)
+	}
+}
+
+func TestPopulateDeterministic(t *testing.T) {
+	mk := func() *model.Network {
+		nw := topology.Backbone(topology.Options{})
+		Populate(nw, ChainGenOptions{NumChains: 20, NumVNFs: 10, Seed: 7})
+		return nw
+	}
+	a, b := mk(), mk()
+	for id, ca := range a.Chains {
+		cb, ok := b.Chains[id]
+		if !ok {
+			t.Fatalf("chain %s missing in second run", id)
+		}
+		if ca.Ingress != cb.Ingress || ca.Egress != cb.Egress || len(ca.VNFs) != len(cb.VNFs) {
+			t.Fatalf("chain %s differs across runs", id)
+		}
+	}
+}
+
+func TestPopulateCapacitySplit(t *testing.T) {
+	nw := topology.Backbone(topology.Options{})
+	Populate(nw, ChainGenOptions{NumChains: 5, NumVNFs: 10, Coverage: 1.0, SiteCapacity: 100, Seed: 4})
+	// Full coverage: every VNF at every site, so each gets 100/10 = 10.
+	for id, v := range nw.VNFs {
+		for s, cap := range v.SiteCapacity {
+			if math.Abs(cap-10) > 1e-9 {
+				t.Errorf("VNF %s at site %d capacity %v, want 10", id, s, cap)
+			}
+		}
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	z := NewZipf(1000, 1.0, 42)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		id := z.Next()
+		if id < 0 || id >= 1000 {
+			t.Fatalf("sample %d out of range", id)
+		}
+		counts[id]++
+	}
+	// Rank 1 should be ~2x rank 2 and ~10x rank 10 under exponent 1.
+	r1, r2, r10 := float64(counts[0]), float64(counts[1]), float64(counts[9])
+	if r1/r2 < 1.7 || r1/r2 > 2.3 {
+		t.Errorf("rank1/rank2 = %v, want ≈ 2", r1/r2)
+	}
+	if r1/r10 < 8 || r1/r10 > 12 {
+		t.Errorf("rank1/rank10 = %v, want ≈ 10", r1/r10)
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(100, 1.0, 9), NewZipf(100, 1.0, 9)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("Zipf not deterministic for equal seeds")
+		}
+	}
+	if a.N() != 100 {
+		t.Errorf("N() = %d, want 100", a.N())
+	}
+}
+
+func TestVNFNameOrdering(t *testing.T) {
+	if VNFName(1) >= VNFName(2) || VNFName(9) >= VNFName(10) || VNFName(99) >= VNFName(100) {
+		t.Error("VNFName does not preserve numeric order lexicographically")
+	}
+}
