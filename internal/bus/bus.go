@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"switchboard/internal/metrics"
 	"switchboard/internal/simnet"
 )
 
@@ -63,10 +64,14 @@ func (s *Subscription) closeCh() {
 
 // proxyMsg is the inter-proxy wire message.
 type proxyMsg struct {
-	kind    string // "pub", "sub", "unsub"
+	kind    string // "pub", "sub", "unsub", "ack", "syncreq", "syncpub"
 	topic   Topic
 	payload any
-	site    simnet.SiteID // for sub/unsub: the subscribing site
+	site    simnet.SiteID    // for sub/unsub/syncreq: the subscribing site
+	from    simnet.SiteID    // sender's site, for acks and dedupe
+	seq     uint64           // per-(sender,destination) sequence; 0 = best effort
+	rev     uint64           // retained revision carried by pub/syncpub
+	revs    map[Topic]uint64 // syncreq: the revisions the requester holds
 }
 
 // Bus is Switchboard's global message bus: one proxy per site.
@@ -75,6 +80,15 @@ type Bus struct {
 	mu      sync.RWMutex
 	proxies map[simnet.SiteID]*proxy
 	wanMsgs atomic.Uint64
+
+	relMu sync.RWMutex
+	rel   Reliability
+
+	sendErrors metrics.Counter
+	retries    metrics.Counter
+	drops      metrics.Counter
+	duplicates metrics.Counter
+	resyncs    metrics.Counter
 }
 
 // proxy is the per-site message-queuing proxy.
@@ -95,16 +109,35 @@ type proxy struct {
 	// subscriber receives the current value on filter installation
 	// instead of missing it forever.
 	retained map[Topic]retainedMsg
+	// revSeq numbers the retained revisions this proxy assigns as a
+	// topic home; strictly increasing, so per-topic revisions are too.
+	revSeq uint64
+
+	// Reliable-delivery state (see reliable.go), guarded by outMu.
+	outMu   sync.Mutex
+	nextSeq map[simnet.SiteID]uint64
+	pending map[simnet.SiteID]map[uint64]*pendingMsg
+	seen    map[simnet.SiteID]*dedupe
+
+	// stop is closed when run() exits; it stops retryLoop/resyncLoop.
+	stop chan struct{}
 }
 
 type retainedMsg struct {
 	payload any
 	size    int
+	// rev is the home-assigned revision: copies with rev ≤ the stored
+	// one are stale (retransmission or reordering) and are suppressed.
+	rev uint64
 }
 
 // New creates a bus over the given simulated network.
 func New(net *simnet.Network) *Bus {
-	return &Bus{net: net, proxies: make(map[simnet.SiteID]*proxy)}
+	return &Bus{
+		net:     net,
+		proxies: make(map[simnet.SiteID]*proxy),
+		rel:     Reliability{}.withDefaults(),
+	}
 }
 
 // AddSite creates the proxy for a site. Every site that publishes or
@@ -126,9 +159,15 @@ func (b *Bus) AddSite(site simnet.SiteID) error {
 		localSubs:     make(map[Topic]map[*Subscription]bool),
 		remoteFilters: make(map[Topic]map[simnet.SiteID]int),
 		retained:      make(map[Topic]retainedMsg),
+		nextSeq:       make(map[simnet.SiteID]uint64),
+		pending:       make(map[simnet.SiteID]map[uint64]*pendingMsg),
+		seen:          make(map[simnet.SiteID]*dedupe),
+		stop:          make(chan struct{}),
 	}
 	b.proxies[site] = p
 	go p.run()
+	go p.retryLoop()
+	go p.resyncLoop()
 	return nil
 }
 
@@ -178,10 +217,10 @@ func (b *Bus) Subscribe(site simnet.SiteID, topic Topic, queue int) (*Subscripti
 	// Install the filter at the publisher's site on first local
 	// subscriber for the topic. The home proxy responds with its
 	// retained value, covering the publish-before-subscribe race.
+	// Delivery is at-least-once: a lost install is retransmitted, and
+	// the anti-entropy loop re-installs it even past the retry budget.
 	if pubSite, ok := topic.PublisherSite(); ok && pubSite != site && first {
-		if err := p.sendToProxy(pubSite, proxyMsg{kind: "sub", topic: topic, site: site}, 64); err != nil {
-			return nil, fmt.Errorf("bus: installing filter at %s: %w", pubSite, err)
-		}
+		_ = p.sendReliable(pubSite, proxyMsg{kind: "sub", topic: topic, site: site}, 64)
 	}
 	return sub, nil
 }
@@ -197,7 +236,7 @@ func (p *proxy) unsubscribe(topic Topic, sub *Subscription) {
 	p.mu.Unlock()
 	sub.closeCh()
 	if pubSite, ok := topic.PublisherSite(); ok && pubSite != p.site && last {
-		_ = p.sendToProxy(pubSite, proxyMsg{kind: "unsub", topic: topic, site: p.site}, 64)
+		_ = p.sendReliable(pubSite, proxyMsg{kind: "unsub", topic: topic, site: p.site}, 64)
 	}
 }
 
@@ -213,17 +252,19 @@ func (b *Bus) Publish(site simnet.SiteID, topic Topic, payload any, size int) er
 	if ok && pubSite != site {
 		// Publishing from a site other than the topic's home: relay to
 		// the home proxy, which owns the filters.
-		return p.sendToProxy(pubSite, proxyMsg{kind: "pub", topic: topic, payload: payload}, size)
+		return p.sendReliable(pubSite, proxyMsg{kind: "pub", topic: topic, payload: payload}, size)
 	}
 	p.fanOut(topic, payload, size, 0)
 	return nil
 }
 
 // fanOut delivers locally and to each remotely subscribed site,
-// retaining the value for late subscribers.
+// retaining the value (under a fresh revision) for late subscribers.
 func (p *proxy) fanOut(topic Topic, payload any, size, hops int) {
 	p.mu.Lock()
-	p.retained[topic] = retainedMsg{payload: payload, size: size}
+	p.revSeq++
+	rev := p.revSeq
+	p.retained[topic] = retainedMsg{payload: payload, size: size, rev: rev}
 	var local []*Subscription
 	for sub := range p.localSubs[topic] {
 		local = append(local, sub)
@@ -238,23 +279,39 @@ func (p *proxy) fanOut(topic Topic, payload any, size, hops int) {
 		sub.deliver(Publication{Topic: topic, Payload: payload, Hops: hops})
 	}
 	for _, site := range remote {
-		_ = p.sendToProxy(site, proxyMsg{kind: "pub", topic: topic, payload: payload}, size)
+		_ = p.sendReliable(site, proxyMsg{kind: "pub", topic: topic, payload: payload, rev: rev}, size)
 	}
 }
 
-func (p *proxy) sendToProxy(site simnet.SiteID, m proxyMsg, size int) error {
-	if site != p.site {
-		p.bus.wanMsgs.Add(1)
+// applyRemote stores a forwarded retained copy and delivers it to local
+// subscribers, unless the revision shows it is stale (a retransmitted or
+// reordered copy of state this site has already moved past).
+func (p *proxy) applyRemote(topic Topic, payload any, size int, rev uint64) {
+	p.mu.Lock()
+	if cur, ok := p.retained[topic]; ok && rev > 0 && cur.rev >= rev {
+		p.mu.Unlock()
+		p.bus.duplicates.Inc()
+		return
 	}
-	return p.ep.Send(simnet.Addr{Site: site, Host: "bus-proxy"}, m, size)
+	p.retained[topic] = retainedMsg{payload: payload, size: size, rev: rev}
+	p.mu.Unlock()
+	p.deliverLocal(topic, payload, 1)
 }
 
 // run drains the proxy's endpoint.
 func (p *proxy) run() {
+	defer close(p.stop)
 	for m := range p.ep.Inbox() {
 		pm, ok := m.Payload.(proxyMsg)
 		if !ok {
 			continue
+		}
+		if pm.kind == "ack" {
+			p.handleAck(pm.from, pm.seq)
+			continue
+		}
+		if pm.seq > 0 && !p.admitReliable(pm) {
+			continue // duplicate of an already-processed transmission
 		}
 		switch pm.kind {
 		case "sub":
@@ -268,7 +325,7 @@ func (p *proxy) run() {
 			ret, hasRetained := p.retained[pm.topic]
 			p.mu.Unlock()
 			if hasRetained {
-				_ = p.sendToProxy(pm.site, proxyMsg{kind: "pub", topic: pm.topic, payload: ret.payload}, ret.size)
+				_ = p.sendReliable(pm.site, proxyMsg{kind: "pub", topic: pm.topic, payload: ret.payload, rev: ret.rev}, ret.size)
 			}
 		case "unsub":
 			p.mu.Lock()
@@ -286,13 +343,13 @@ func (p *proxy) run() {
 				// We own the filters: fan out (1 hop so far).
 				p.fanOut(pm.topic, pm.payload, m.Size, 1)
 			} else {
-				// Copy forwarded to us because we have local subs;
-				// retain it for this site's late subscribers.
-				p.mu.Lock()
-				p.retained[pm.topic] = retainedMsg{payload: pm.payload, size: m.Size}
-				p.mu.Unlock()
-				p.deliverLocal(pm.topic, pm.payload, 1)
+				// Copy forwarded to us because we have local subs.
+				p.applyRemote(pm.topic, pm.payload, m.Size, pm.rev)
 			}
+		case "syncreq":
+			p.handleSyncReq(pm)
+		case "syncpub":
+			p.applyRemote(pm.topic, pm.payload, m.Size, pm.rev)
 		}
 	}
 }

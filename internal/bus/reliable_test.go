@@ -1,0 +1,216 @@
+package bus
+
+import (
+	"testing"
+	"time"
+
+	"switchboard/internal/simnet"
+)
+
+// fastReliability is a test tuning: aggressive retransmission so lossy
+// paths converge in milliseconds rather than the production defaults.
+func fastReliability() Reliability {
+	return Reliability{
+		RetryBase:      5 * time.Millisecond,
+		RetryMax:       40 * time.Millisecond,
+		MaxAttempts:    40,
+		ResyncInterval: 25 * time.Millisecond,
+	}
+}
+
+// waitForPayload drains a subscription until the wanted payload arrives
+// (at-least-once delivery may surface earlier values first).
+func waitForPayload(t *testing.T, sub *Subscription, want any, within time.Duration) {
+	t.Helper()
+	deadline := time.After(within)
+	for {
+		select {
+		case p := <-sub.Ch():
+			if p.Payload == want {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("payload %v never delivered", want)
+		}
+	}
+}
+
+// TestLossyPathConvergesViaRetransmission subscribes across a path that
+// drops 30% of all messages and checks that every subscriber still
+// converges to the retained topic state. The subscription install, the
+// publication forwarding, and the acks each face the same loss, so a
+// bare best-effort bus would wedge regularly; retransmission hides it.
+func TestLossyPathConvergesViaRetransmission(t *testing.T) {
+	n := simnet.New(7)
+	defer n.Close()
+	lossy := simnet.PathProfile{Delay: 2 * time.Millisecond, Loss: 0.3}
+	n.SetPath("A", "B", lossy)
+	n.SetPath("A", "C", lossy)
+	n.SetPath("B", "C", lossy)
+	b := newTestBus(t, n, "A", "B", "C")
+	b.SetReliability(fastReliability())
+
+	topic := MakeTopic("c1", "e1", "vnf_G", "A", "instances")
+	subB, err := b.Subscribe("B", topic, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subC, err := b.Subscribe("C", topic, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish a sequence of state versions; the last one must reach
+	// every site despite the loss.
+	for i := 0; i < 10; i++ {
+		if err := b.Publish("A", topic, i, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForPayload(t, subB, 9, 5*time.Second)
+	waitForPayload(t, subC, 9, 5*time.Second)
+
+	s := b.Stats()
+	if s.Retries == 0 {
+		t.Error("30% loss on every path but Retries == 0; retransmission never engaged")
+	}
+	t.Logf("stats after lossy run: %+v", s)
+}
+
+// TestMeshLosesMessagesUnderLoss documents the full-mesh baseline's
+// behaviour on the same lossy path: Mesh has no delivery layer, so a
+// dropped copy is simply gone. This is the contrast the chaos experiment
+// quantifies — the bus pays retransmission traffic for convergence,
+// the mesh silently diverges.
+func TestMeshLosesMessagesUnderLoss(t *testing.T) {
+	n := simnet.New(3)
+	defer n.Close()
+	n.SetPath("A", "B", simnet.PathProfile{Delay: time.Millisecond, Loss: 0.5})
+	m := NewMesh(n)
+	topic := MakeTopic("c1", "e1", "vnf_G", "A", "instances")
+	sub, err := m.Subscribe("B", topic, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pubs = 100
+	for i := 0; i < pubs; i++ {
+		if err := m.Publish("A", topic, i, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	got := 0
+	for {
+		select {
+		case <-sub.Ch():
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got == pubs {
+		t.Errorf("mesh delivered all %d copies across a 50%% loss path; expected silent loss", pubs)
+	}
+	t.Logf("mesh delivered %d/%d under 50%% loss", got, pubs)
+}
+
+// TestAntiEntropyResyncsAfterPartition exhausts the retry budget during
+// a partition and checks that the periodic anti-entropy pass — not
+// retransmission — brings the subscriber back to current state after
+// the partition heals.
+func TestAntiEntropyResyncsAfterPartition(t *testing.T) {
+	n := simnet.New(5)
+	defer n.Close()
+	n.SetPath("A", "B", simnet.PathProfile{Delay: time.Millisecond})
+	b := newTestBus(t, n, "A", "B")
+	// A tiny retry budget guarantees the in-flight copies die during
+	// the partition instead of riding out the outage.
+	b.SetReliability(Reliability{
+		RetryBase:      2 * time.Millisecond,
+		RetryMax:       4 * time.Millisecond,
+		MaxAttempts:    3,
+		ResyncInterval: 20 * time.Millisecond,
+	})
+
+	topic := MakeTopic("c1", "e1", "vnf_G", "A", "instances")
+	sub, err := b.Subscribe("B", topic, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("A", topic, "v1", 16); err != nil {
+		t.Fatal(err)
+	}
+	waitForPayload(t, sub, "v1", 2*time.Second)
+
+	n.Partition("A", "B")
+	if err := b.Publish("A", topic, "v2", 16); err != nil {
+		t.Fatal(err)
+	}
+	// Let the retry budget burn out while the partition holds.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Stats().Drops == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("retry budget never exhausted during partition")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	n.Heal("A", "B")
+	waitForPayload(t, sub, "v2", 5*time.Second)
+	s := b.Stats()
+	if s.Resyncs == 0 {
+		t.Error("partition healed but Resyncs == 0; v2 should have arrived via anti-entropy")
+	}
+	t.Logf("stats after heal: %+v", s)
+}
+
+// TestDuplicateSuppression checks at-least-once doesn't become
+// at-least-twice for the application: retransmissions of the same
+// publication are acknowledged and dropped, not re-delivered.
+func TestDuplicateSuppression(t *testing.T) {
+	n := simnet.New(11)
+	defer n.Close()
+	// Loss forces retransmissions; each retransmitted copy that does
+	// get through must be suppressed by the dedupe window.
+	n.SetPath("A", "B", simnet.PathProfile{Delay: time.Millisecond, Loss: 0.4})
+	b := newTestBus(t, n, "A", "B")
+	b.SetReliability(fastReliability())
+
+	topic := MakeTopic("c1", "e1", "vnf_G", "A", "instances")
+	sub, err := b.Subscribe("B", topic, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pubs = 30
+	for i := 0; i < pubs; i++ {
+		if err := b.Publish("A", topic, i, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Collect the full delivery stream: everything until the last value
+	// arrives, plus a grace period for straggling retransmissions.
+	seen := make(map[any]int)
+	deadline := time.After(5 * time.Second)
+	for seen[pubs-1] == 0 {
+		select {
+		case p := <-sub.Ch():
+			seen[p.Payload]++
+		case <-deadline:
+			t.Fatalf("last publication never arrived; saw %d distinct values", len(seen))
+		}
+	}
+	settle := time.After(200 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case p := <-sub.Ch():
+			seen[p.Payload]++
+		case <-settle:
+			done = true
+		}
+	}
+	for payload, count := range seen {
+		if count > 1 {
+			t.Errorf("payload %v delivered %d times", payload, count)
+		}
+	}
+}

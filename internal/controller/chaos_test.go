@@ -1,0 +1,185 @@
+package controller
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"switchboard/internal/bus"
+	"switchboard/internal/labels"
+	"switchboard/internal/simnet"
+	"switchboard/internal/testutil"
+	"switchboard/internal/vnf"
+)
+
+// fastBus tightens the bus's delivery tuning so chaos tests converge in
+// milliseconds.
+func fastBus(b *bus.Bus) {
+	b.SetReliability(bus.Reliability{
+		RetryBase:      5 * time.Millisecond,
+		RetryMax:       40 * time.Millisecond,
+		MaxAttempts:    40,
+		ResyncInterval: 25 * time.Millisecond,
+	})
+}
+
+// stageOneSite returns the (single) site hosting the chain's first VNF
+// stage plus one alternative from the candidates.
+func stageOneSite(t *testing.T, rec *RouteRecord, candidates ...simnet.SiteID) (host, other simnet.SiteID) {
+	t.Helper()
+	sites := rec.StageSites(1)
+	for s, w := range sites {
+		if w > 0 {
+			host = s
+		}
+	}
+	if host == "" {
+		t.Fatalf("no stage-1 site in %+v", rec.Splits)
+	}
+	for _, c := range candidates {
+		if c != host {
+			return host, c
+		}
+	}
+	t.Fatalf("no alternative to %s among %v", host, candidates)
+	return "", ""
+}
+
+// TestDetectorHandlesSiteCrashAndReadmission crashes a site with a
+// network blackout and verifies the heartbeat detector alone — no
+// manual HandleSiteFailure call — reroutes the chain, then re-admits
+// the site once its beacons resume.
+func TestDetectorHandlesSiteCrashAndReadmission(t *testing.T) {
+	tb := newTestbed(t, 2*time.Millisecond, "A", "B", "C")
+	tb.registerSites(1000, "A", "B", "C")
+	fastBus(tb.bus)
+	v := tb.addVNF("fw", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"B": 500, "C": 500})
+
+	for _, ls := range tb.locals {
+		ls.StartHeartbeats(10 * time.Millisecond)
+	}
+	stop, err := tb.g.StartFailureDetector(DetectorConfig{
+		Interval:     20 * time.Millisecond,
+		SuspectAfter: 100 * time.Millisecond,
+		Debounce:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	rec, err := tb.g.CreateChain(Spec{
+		ID: "c1", IngressSite: "A", EgressSite: "A",
+		VNFs: []string{"fw"}, ForwardRate: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, other := stageOneSite(t, rec, "B", "C")
+	tb.waitReady(rec, "A", host)
+
+	// Crash the hosting site: all its traffic (heartbeats included)
+	// stops dead.
+	tb.net.BlackoutSite(host)
+
+	testutil.WaitUntil(t, 10*time.Second, "detector declares "+string(host)+" failed", func() bool {
+		return tb.g.SiteFailed(host)
+	})
+	testutil.WaitUntil(t, 10*time.Second, "chain rerouted off "+string(host), func() bool {
+		cur, ok := tb.g.Record("c1")
+		return ok && cur.Version > rec.Version && cur.StageSites(1)[other] > 0 && cur.StageSites(1)[host] == 0
+	})
+	cur, _ := tb.g.Record("c1")
+	tb.waitReady(cur, "A", other)
+
+	// The site comes back; resumed heartbeats must re-admit it.
+	tb.net.RestoreSite(host)
+	testutil.WaitUntil(t, 10*time.Second, "detector re-admits "+string(host), func() bool {
+		return !tb.g.SiteFailed(host)
+	})
+	testutil.WaitUntil(t, 10*time.Second, "fw capacity restored at "+string(host), func() bool {
+		return v.Capacity()[host] == 500
+	})
+	// Whatever the joint re-optimization decided, the data path must
+	// settle back to ready.
+	testutil.WaitUntil(t, 10*time.Second, "data path ready after re-admission", func() bool {
+		cur, ok := tb.g.Record("c1")
+		return ok && tb.g.WaitForDataPath(cur, "A", 50*time.Millisecond) == nil
+	})
+}
+
+// TestPartitionedSiteCatchesUpViaResync partitions the hosting site away
+// from the controller during a route update, lets the bus's retry budget
+// exhaust (messages dropped), and verifies the site still converges to
+// the current route version after the heal — via anti-entropy resync —
+// with the stale rule for its former role removed.
+func TestPartitionedSiteCatchesUpViaResync(t *testing.T) {
+	tb := newTestbed(t, 2*time.Millisecond, "A", "B", "C")
+	tb.registerSites(1000, "A", "B", "C")
+	// A deliberately tiny retry budget: recovery must come from the
+	// anti-entropy pass, not from a retransmission that outlived the
+	// partition.
+	tb.bus.SetReliability(bus.Reliability{
+		RetryBase:      5 * time.Millisecond,
+		RetryMax:       20 * time.Millisecond,
+		MaxAttempts:    3,
+		ResyncInterval: 30 * time.Millisecond,
+	})
+	tb.addVNF("fw", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"B": 500, "C": 500})
+
+	rec, err := tb.g.CreateChain(Spec{
+		ID: "c1", IngressSite: "A", EgressSite: "A",
+		VNFs: []string{"fw"}, ForwardRate: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, other := stageOneSite(t, rec, "B", "C")
+	tb.waitReady(rec, "A", host)
+
+	// Cut the controller off from the hosting site, then move the chain
+	// away from it. The new route version cannot reach the host.
+	tb.net.Partition("A", host)
+	if _, err := tb.g.HandleSiteFailure(host); err != nil {
+		t.Fatalf("HandleSiteFailure(%s): %v", host, err)
+	}
+	cur, ok := tb.g.Record("c1")
+	if !ok || cur.StageSites(1)[other] == 0 {
+		t.Fatalf("chain not rerouted to %s: %+v", other, cur)
+	}
+	tb.waitReady(cur, "A", other)
+	testutil.WaitUntil(t, 5*time.Second, "retry budget exhausted during partition", func() bool {
+		return tb.bus.Stats().Drops > 0
+	})
+
+	tb.net.Heal("A", host)
+
+	// The partitioned Local Switchboard catches up to the current route
+	// version purely via the bus's anti-entropy pass.
+	hostLS := tb.locals[host]
+	testutil.WaitUntil(t, 10*time.Second, "host LS catches up to route v"+strconv.Itoa(cur.Version), func() bool {
+		hostLS.mu.Lock()
+		cs, ok := hostLS.chains["c1"]
+		v := -1
+		if ok && cs.rec != nil {
+			v = cs.rec.Version
+		}
+		hostLS.mu.Unlock()
+		return v >= cur.Version
+	})
+	// Its stale rule for the role it no longer plays is gone.
+	st := labels.Stack{Chain: cur.ChainLabel, Egress: cur.EgressLabel}
+	testutil.WaitUntil(t, 5*time.Second, "stale fw rule removed at "+string(host), func() bool {
+		f, err := hostLS.Forwarder("fw")
+		if err != nil {
+			return true
+		}
+		_, _, _, ok := f.RuleInfo(st)
+		return !ok
+	})
+	if s := tb.bus.Stats(); s.Resyncs == 0 {
+		t.Errorf("host caught up but Resyncs == 0; expected anti-entropy to deliver the route: %+v", s)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"switchboard/internal/labels"
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
+	"switchboard/internal/testutil"
 	"switchboard/internal/vnf"
 )
 
@@ -53,26 +54,18 @@ func TestDeleteChainRemovesRulesAndReleasesResources(t *testing.T) {
 
 	// Rules disappear at every site.
 	st := labels.Stack{Chain: rec.ChainLabel, Egress: rec.EgressLabel}
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		gone := true
+	testutil.WaitUntil(t, 3*time.Second, "rules removed after delete", func() bool {
 		for site, role := range map[simnet.SiteID]string{"A": "edge", "B": "fw", "C": "edge"} {
 			f, err := tb.locals[site].Forwarder(role)
 			if err != nil {
 				continue
 			}
 			if _, _, _, ok := f.RuleInfo(st); ok {
-				gone = false
+				return false
 			}
 		}
-		if gone {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("rules not removed after delete")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+		return true
+	})
 
 	// New traffic for the chain is dropped at the ingress edge (its
 	// classification rules are gone).

@@ -36,6 +36,8 @@ type GlobalSwitchboard struct {
 	alloc      *labels.Allocator
 	txSeq      int
 	tl         *Timeline
+	// failedSites is the failure detector's current verdict per site.
+	failedSites map[simnet.SiteID]bool
 	// UseLP switches chain routing to the LP optimizer (SB-LP); the
 	// default is the SB-DP heuristic, as the paper recommends.
 	UseLP bool
@@ -75,6 +77,7 @@ func NewGlobalSwitchboard(net *simnet.Network, b *bus.Bus, site simnet.SiteID) *
 		locals:           make(map[simnet.SiteID]*LocalSwitchboard),
 		chains:           make(map[ChainID]*chainRecord),
 		alloc:            labels.NewAllocator(),
+		failedSites:      make(map[simnet.SiteID]bool),
 		InstancesPerSite: 1,
 	}
 }

@@ -24,9 +24,10 @@ const edgeRole = "edge"
 // rules (site-level TE weights × instance weights), and installs them at
 // its forwarders (Figure 4, step 5; Figure 6).
 type LocalSwitchboard struct {
-	site simnet.SiteID
-	net  *simnet.Network
-	bus  *bus.Bus
+	site    simnet.SiteID
+	gsbSite simnet.SiteID
+	net     *simnet.Network
+	bus     *bus.Bus
 
 	mu         sync.Mutex
 	forwarders map[string]*roleRuntime
@@ -35,6 +36,7 @@ type LocalSwitchboard struct {
 	chains     map[ChainID]*chainState
 	tl         *Timeline
 	routesSub  *bus.Subscription
+	hbStop     chan struct{}
 	wg         sync.WaitGroup
 	closed     bool
 }
@@ -68,6 +70,7 @@ type chainState struct {
 func NewLocalSwitchboard(net *simnet.Network, b *bus.Bus, site, gsbSite simnet.SiteID) (*LocalSwitchboard, error) {
 	ls := &LocalSwitchboard{
 		site:       site,
+		gsbSite:    gsbSite,
 		net:        net,
 		bus:        b,
 		forwarders: make(map[string]*roleRuntime),
@@ -506,6 +509,10 @@ func (ls *LocalSwitchboard) reinstall(id ChainID) {
 	for j, vnfName := range rec.VNFs {
 		z := j + 1
 		if !ls.siteHostsStage(rec, z) {
+			// A newer route version moved this stage off the site:
+			// leaving the old rule behind would keep a dead path
+			// installed, so drop it from any existing forwarders.
+			ls.removeStaleRule(vnfName, st)
 			continue
 		}
 		members, err := ls.roleForwarders(vnfName)
@@ -574,6 +581,23 @@ func (ls *LocalSwitchboard) reinstall(id ChainID) {
 			}
 			tl.Record(fmt.Sprintf("localSB %s installed edge rule for %s", ls.site, id))
 		}
+	} else {
+		ls.removeStaleRule(edgeRole, st)
+	}
+}
+
+// removeStaleRule drops a chain's rule from a role's existing forwarder
+// set. Forwarders are never created just to delete from them.
+func (ls *LocalSwitchboard) removeStaleRule(role string, st labels.Stack) {
+	ls.mu.Lock()
+	rr, ok := ls.forwarders[role]
+	var members []*fwdRuntime
+	if ok {
+		members = append(members, rr.fwds...)
+	}
+	ls.mu.Unlock()
+	for _, rt := range members {
+		rt.f.RemoveRule(st)
 	}
 }
 
@@ -694,6 +718,9 @@ func (ls *LocalSwitchboard) Close() {
 		return
 	}
 	ls.closed = true
+	if ls.hbStop != nil {
+		close(ls.hbStop)
+	}
 	subs := []*bus.Subscription{ls.routesSub}
 	for _, cs := range ls.chains {
 		subs = append(subs, cs.subs...)

@@ -8,6 +8,7 @@ import (
 	"switchboard/internal/labels"
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
+	"switchboard/internal/testutil"
 	"switchboard/internal/vnf"
 )
 
@@ -59,13 +60,9 @@ func TestScaleForwardersSpreadsNewFlows(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := labels.Stack{Chain: rec.ChainLabel, Egress: rec.EgressLabel}
-	deadline := time.Now().Add(5 * time.Second)
-	for fwdEdge.RuleNextHopCount(st) < 3 {
-		if time.Now().After(deadline) {
-			t.Fatalf("ingress rule has %d next hops, want 3", fwdEdge.RuleNextHopCount(st))
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second, "ingress rule grows to 3 next hops", func() bool {
+		return fwdEdge.RuleNextHopCount(st) >= 3
+	})
 
 	// Push 60 fresh connections; they must spread across members.
 	for i := 0; i < 60; i++ {

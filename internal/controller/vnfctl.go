@@ -30,6 +30,9 @@ type VNFController struct {
 	// capacity and committed compute load per site.
 	capacity  map[simnet.SiteID]float64
 	committed map[simnet.SiteID]float64
+	// failedCap remembers the pre-failure capacity of sites taken out by
+	// FailSite, so ReviveSite can restore the deployment.
+	failedCap map[simnet.SiteID]float64
 	// prepared holds 2PC reservations not yet committed or aborted.
 	prepared map[string]map[simnet.SiteID]float64
 	// instances per site.
@@ -76,6 +79,7 @@ func NewVNFController(net *simnet.Network, b *bus.Bus, cfg VNFConfig) *VNFContro
 		shared:      cfg.SharedInstances && cfg.LabelAware,
 		capacity:    capCopy,
 		committed:   make(map[simnet.SiteID]float64),
+		failedCap:   make(map[simnet.SiteID]float64),
 		prepared:    make(map[string]map[simnet.SiteID]float64),
 		instances:   make(map[simnet.SiteID][]*managedInstance),
 		served:      make(map[simnet.SiteID][]labels.Stack),
@@ -258,6 +262,9 @@ func (v *VNFController) FailSite(site simnet.SiteID) {
 		mi.stop()
 	}
 	delete(v.instances, site)
+	if c, ok := v.capacity[site]; ok {
+		v.failedCap[site] = c
+	}
 	delete(v.capacity, site)
 	delete(v.committed, site)
 	stacks := v.served[site]
@@ -266,6 +273,22 @@ func (v *VNFController) FailSite(site simnet.SiteID) {
 	for _, st := range stacks {
 		_ = v.bus.Publish(site, instancesTopic(st, v.name, site), []InstanceInfo{}, 16)
 	}
+}
+
+// ReviveSite undoes FailSite: the deployment's pre-failure capacity
+// returns (with no committed load — the failed instances are gone), so
+// traffic engineering can place chains there again. Instances are
+// re-created lazily by the next AllocateForChain.
+func (v *VNFController) ReviveSite(site simnet.SiteID) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.failedCap[site]
+	if !ok {
+		return
+	}
+	delete(v.failedCap, site)
+	v.capacity[site] = c
+	v.committed[site] = 0
 }
 
 // LabelAware reports whether instances handle Switchboard labels.

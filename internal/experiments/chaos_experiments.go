@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"switchboard/internal/bus"
+	"switchboard/internal/controller"
+	"switchboard/internal/edge"
+	"switchboard/internal/simnet"
+	"switchboard/internal/testutil"
+	"switchboard/internal/vnf"
+)
+
+// stage1Host returns the site carrying the chain's first VNF stage.
+func stage1Host(rec *controller.RouteRecord) simnet.SiteID {
+	for s, w := range rec.StageSites(1) {
+		if w > 0 {
+			return s
+		}
+	}
+	return ""
+}
+
+// chainReady reports whether the chain's current route is installed at
+// the ingress site and at whichever site hosts its stage.
+func chainReady(g *controller.GlobalSwitchboard, id controller.ChainID, ingress simnet.SiteID) bool {
+	cur, ok := g.Record(id)
+	if !ok {
+		return false
+	}
+	host := stage1Host(cur)
+	if host == "" {
+		return false
+	}
+	for _, s := range []simnet.SiteID{ingress, host} {
+		if g.WaitForDataPath(cur, s, 50*time.Millisecond) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Chaos is the robustness soak: a chain across lossy WAN paths survives
+// 30% loss on every inter-site link, a controller partition, and a full
+// site crash. Chain creation must converge through bus retransmission,
+// the heartbeat failure detector alone must detect the partition and the
+// crash (no manual failure call), and after every fault heals the data
+// path must reconverge with route state intact — the partitioned site
+// catches up via the bus's anti-entropy pass.
+func Chaos() (*Table, error) {
+	const loss = 0.3
+	sites := []simnet.SiteID{"GSB", "A", "B", "C"}
+	paths := make(map[[2]simnet.SiteID]simnet.PathProfile)
+	for i, a := range sites {
+		for _, b := range sites[i+1:] {
+			paths[[2]simnet.SiteID{a, b}] = simnet.PathProfile{
+				Delay: 2 * time.Millisecond, Loss: loss, Jitter: 500 * time.Microsecond,
+			}
+		}
+	}
+	bed, err := NewBedWithPaths(77, paths, sites...)
+	if err != nil {
+		return nil, err
+	}
+	defer bed.Close()
+	g := bed.G
+
+	// A deliberately small retry budget so a partition exhausts it
+	// (visible as Drops) and recovery must come from anti-entropy.
+	bed.Bus.SetReliability(bus.Reliability{
+		RetryBase:      5 * time.Millisecond,
+		RetryMax:       40 * time.Millisecond,
+		MaxAttempts:    12,
+		ResyncInterval: 25 * time.Millisecond,
+	})
+
+	for _, s := range []simnet.SiteID{"A", "B", "C"} {
+		if _, err := g.RegisterSite(s, 1000); err != nil {
+			return nil, err
+		}
+	}
+	fw := bed.AddVNF(controller.VNFConfig{
+		Name:        "fw",
+		Factory:     func() vnf.Function { return vnf.PassThrough{} },
+		LoadPerUnit: 1.0,
+		LabelAware:  true,
+		Capacity:    map[simnet.SiteID]float64{"B": 500, "C": 500},
+	})
+
+	for _, s := range sites {
+		ls, ok := g.Local(s)
+		if !ok {
+			return nil, fmt.Errorf("chaos: no Local Switchboard at %s", s)
+		}
+		ls.StartHeartbeats(10 * time.Millisecond)
+	}
+	stopDetector, err := g.StartFailureDetector(controller.DetectorConfig{
+		Interval:     25 * time.Millisecond,
+		SuspectAfter: 200 * time.Millisecond,
+		Debounce:     2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer stopDetector()
+
+	// Phase 1: chain creation under 30% loss on every path. The reliable
+	// bus must retransmit the control plane to convergence.
+	createStart := time.Now()
+	rec, err := g.CreateChain(controller.Spec{
+		ID: "c1", IngressSite: "A", EgressSite: "A",
+		VNFs: []string{"fw"}, ForwardRate: 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ingress, egress, err := g.ConfigureChainEdges(rec, []edge.MatchRule{{}})
+	if err != nil {
+		return nil, err
+	}
+	host := stage1Host(rec)
+	if host == "" {
+		return nil, fmt.Errorf("chaos: no stage-1 site in %+v", rec.Splits)
+	}
+	for _, s := range []simnet.SiteID{"A", host} {
+		if err := g.WaitForDataPath(rec, s, 30*time.Second); err != nil {
+			return nil, fmt.Errorf("chaos: creation under loss: %w", err)
+		}
+	}
+	createReady := time.Since(createStart)
+	if s := bed.Bus.Stats(); s.Retries == 0 {
+		return nil, fmt.Errorf("chaos: converged with zero retransmissions under %.0f%% loss: %+v", loss*100, s)
+	}
+
+	client, err := bed.Net.Attach(simnet.Addr{Site: "A", Host: "client"}, 8192)
+	if err != nil {
+		return nil, err
+	}
+	server, err := bed.Net.Attach(simnet.Addr{Site: "A", Host: "server"}, 8192)
+	if err != nil {
+		return nil, err
+	}
+	egress.RegisterHost(expServerIP, server.Addr())
+	ingress.RegisterHost(expClientIP, client.Addr())
+	ce := ChainEndpoints{
+		IngressEdge: ingress.Addr(), EgressEdge: egress.Addr(),
+		Client: client, Server: server,
+		ClientIP: expClientIP, ServerIP: expServerIP,
+		Flows: 48, Window: 2,
+	}
+	before := RunWindowedTraffic(ce, 700*time.Millisecond)
+
+	// Phase 2: partition the stage host away from the controller. The
+	// detector must notice the silence on its own and reroute; the retry
+	// budget toward the dead site must run dry.
+	partitionStart := time.Now()
+	bed.Net.Partition("GSB", host)
+	if !testutil.Poll(15*time.Second, func() bool { return g.SiteFailed(host) }) {
+		return nil, fmt.Errorf("chaos: detector never declared partitioned site %s failed", host)
+	}
+	partitionDetect := time.Since(partitionStart)
+	if !testutil.Poll(15*time.Second, func() bool {
+		cur, ok := g.Record("c1")
+		return ok && cur.StageSites(1)[host] == 0 && stage1Host(cur) != ""
+	}) {
+		return nil, fmt.Errorf("chaos: chain never rerouted off partitioned site %s", host)
+	}
+	if !testutil.Poll(15*time.Second, func() bool { return chainReady(g, "c1", "A") }) {
+		return nil, fmt.Errorf("chaos: data path after partition reroute never ready")
+	}
+	if !testutil.Poll(15*time.Second, func() bool { return bed.Bus.Stats().Drops > 0 }) {
+		return nil, fmt.Errorf("chaos: retry budget toward %s never exhausted: %+v", host, bed.Bus.Stats())
+	}
+
+	healStart := time.Now()
+	bed.Net.Heal("GSB", host)
+	if !testutil.Poll(15*time.Second, func() bool { return !g.SiteFailed(host) }) {
+		return nil, fmt.Errorf("chaos: %s never re-admitted after heal", host)
+	}
+	healReadmit := time.Since(healStart)
+	if !testutil.Poll(15*time.Second, func() bool { return fw.Capacity()[host] == 500 }) {
+		return nil, fmt.Errorf("chaos: fw capacity at %s not restored after heal", host)
+	}
+	// Route state must not be lost: the healed site converges to the
+	// current route via anti-entropy, and the whole data path re-settles.
+	if !testutil.Poll(15*time.Second, func() bool { return chainReady(g, "c1", "A") }) {
+		return nil, fmt.Errorf("chaos: data path never re-settled after partition heal")
+	}
+	if s := bed.Bus.Stats(); s.Resyncs == 0 {
+		return nil, fmt.Errorf("chaos: healed with zero anti-entropy resyncs: %+v", s)
+	}
+
+	// Phase 3: crash whichever site now hosts the stage — a blackout
+	// kills its heartbeats and everything else.
+	cur, _ := g.Record("c1")
+	crashed := stage1Host(cur)
+	if crashed == "" {
+		return nil, fmt.Errorf("chaos: no stage-1 site before crash in %+v", cur.Splits)
+	}
+	crashStart := time.Now()
+	bed.Net.BlackoutSite(crashed)
+	if !testutil.Poll(15*time.Second, func() bool { return g.SiteFailed(crashed) }) {
+		return nil, fmt.Errorf("chaos: detector never declared crashed site %s failed", crashed)
+	}
+	crashDetect := time.Since(crashStart)
+	if !testutil.Poll(15*time.Second, func() bool {
+		cur, ok := g.Record("c1")
+		return ok && cur.StageSites(1)[crashed] == 0 && stage1Host(cur) != ""
+	}) {
+		return nil, fmt.Errorf("chaos: chain never rerouted off crashed site %s", crashed)
+	}
+	if !testutil.Poll(15*time.Second, func() bool { return chainReady(g, "c1", "A") }) {
+		return nil, fmt.Errorf("chaos: data path never reconverged after crash of %s", crashed)
+	}
+
+	bed.Net.RestoreSite(crashed)
+	if !testutil.Poll(15*time.Second, func() bool { return !g.SiteFailed(crashed) }) {
+		return nil, fmt.Errorf("chaos: %s never re-admitted after restore", crashed)
+	}
+	if !testutil.Poll(15*time.Second, func() bool { return chainReady(g, "c1", "A") }) {
+		return nil, fmt.Errorf("chaos: data path never settled after restore of %s", crashed)
+	}
+
+	// Fresh connections after all the churn (old flows stay pinned to
+	// routes that may be gone).
+	ce.Flows = 48
+	ce.PortBase = 30000
+	after := RunWindowedTraffic(ce, 700*time.Millisecond)
+	if after.Completed == 0 {
+		return nil, fmt.Errorf("chaos: no traffic completed after recovery")
+	}
+
+	stats := bed.Bus.Stats()
+	final, _ := g.Record("c1")
+	t := &Table{
+		ID:     "chaos",
+		Title:  "chaos soak: 30% loss, controller partition, site crash",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("chain ready under 30% loss (ms)", msOf(createReady))
+	t.AddRow("partition detected by heartbeats (ms)", msOf(partitionDetect))
+	t.AddRow("partitioned site re-admitted (ms)", msOf(healReadmit))
+	t.AddRow("crash detected by heartbeats (ms)", msOf(crashDetect))
+	t.AddRow("bus retransmissions", stats.Retries)
+	t.AddRow("bus drops (retry budget exhausted)", stats.Drops)
+	t.AddRow("bus duplicates suppressed", stats.Duplicates)
+	t.AddRow("bus anti-entropy resyncs", stats.Resyncs)
+	t.AddRow("messages dropped by injected faults", bed.Net.FaultDrops())
+	t.AddRow("round trips before faults", before.Completed)
+	t.AddRow("round trips after recovery", after.Completed)
+	t.AddRow("stage-1 sites at end", fmt.Sprintf("%v", final.StageSites(1)))
+	t.Notes = append(t.Notes,
+		"every fault is detected by heartbeat silence alone; no manual failure call",
+		"data-plane packets are datagrams (lost sends are not retried), so round-trip counts reflect raw 30% path loss; the control plane converges regardless")
+	return t, nil
+}

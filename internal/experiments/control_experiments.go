@@ -10,6 +10,7 @@ import (
 	"switchboard/internal/labels"
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
+	"switchboard/internal/testutil"
 	"switchboard/internal/vnf"
 )
 
@@ -116,12 +117,8 @@ func Fig10() (*Table, error) {
 		return nil, err
 	}
 	st := labelsOf(rec2)
-	deadline := time.Now().Add(5 * time.Second)
-	for fwdEdge.RuleNextHopCount(st) < 2 {
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("fig10: two-site ingress rule never installed")
-		}
-		time.Sleep(2 * time.Millisecond)
+	if !testutil.Poll(5*time.Second, func() bool { return fwdEdge.RuleNextHopCount(st) >= 2 }) {
+		return nil, fmt.Errorf("fig10: two-site ingress rule never installed")
 	}
 	updateLatency := time.Since(start)
 

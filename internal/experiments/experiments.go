@@ -93,6 +93,7 @@ func All() []Experiment {
 		{"fig13a", "SB-DP vs DP-LATENCY vs ONEHOP ablation", Fig13a},
 		{"fig13b", "cloud capacity planning vs uniform provisioning", Fig13b},
 		{"fig13c", "VNF placement hints vs random site selection", Fig13c},
+		{"chaos", "chaos soak: 30% loss, controller partition, site crash", Chaos},
 	}
 }
 

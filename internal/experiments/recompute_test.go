@@ -9,6 +9,7 @@ import (
 	"switchboard/internal/edge"
 	"switchboard/internal/labels"
 	"switchboard/internal/simnet"
+	"switchboard/internal/testutil"
 	"switchboard/internal/vnf"
 )
 
@@ -67,13 +68,9 @@ func TestWindowedTrafficAfterRecompute(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := labels.Stack{Chain: rec2.ChainLabel, Egress: rec2.EgressLabel}
-	deadline := time.Now().Add(5 * time.Second)
-	for fwdEdge.RuleNextHopCount(st) < 2 {
-		if time.Now().After(deadline) {
-			t.Fatal("two-site rule never installed")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second, "two-site rule installed", func() bool {
+		return fwdEdge.RuleNextHopCount(st) >= 2
+	})
 
 	ce := ChainEndpoints{
 		IngressEdge: ingress.Addr(), EgressEdge: egress.Addr(),

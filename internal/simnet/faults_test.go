@@ -1,0 +1,181 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func attachOrFatal(t *testing.T, n *Network, site SiteID, host string) *Endpoint {
+	t.Helper()
+	ep, err := n.Attach(Addr{Site: site, Host: host}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+func expectDelivery(t *testing.T, ep *Endpoint, want any, within time.Duration) {
+	t.Helper()
+	select {
+	case m := <-ep.Inbox():
+		if m.Payload != want {
+			t.Fatalf("payload = %v, want %v", m.Payload, want)
+		}
+	case <-time.After(within):
+		t.Fatalf("message %v never delivered", want)
+	}
+}
+
+func expectSilence(t *testing.T, ep *Endpoint, within time.Duration) {
+	t.Helper()
+	select {
+	case m := <-ep.Inbox():
+		t.Fatalf("unexpected delivery %v", m.Payload)
+	case <-time.After(within):
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	n.SetPath("A", "B", PathProfile{Delay: time.Millisecond})
+	a := attachOrFatal(t, n, "A", "h")
+	b := attachOrFatal(t, n, "B", "h")
+
+	n.Partition("A", "B")
+	if err := a.Send(b.Addr(), "lost", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(a.Addr(), "lost-too", 1); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, b, 30*time.Millisecond)
+	expectSilence(t, a, 30*time.Millisecond)
+	if n.FaultDrops() != 2 {
+		t.Errorf("FaultDrops = %d, want 2", n.FaultDrops())
+	}
+
+	n.Heal("A", "B")
+	if err := a.Send(b.Addr(), "through", 1); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, b, "through", time.Second)
+}
+
+func TestPartitionOneWayIsAsymmetric(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	n.SetPath("A", "B", PathProfile{Delay: time.Millisecond})
+	a := attachOrFatal(t, n, "A", "h")
+	b := attachOrFatal(t, n, "B", "h")
+
+	n.PartitionOneWay("A", "B")
+	if err := b.Send(a.Addr(), "reverse-ok", 1); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, a, "reverse-ok", time.Second)
+	if err := a.Send(b.Addr(), "forward-dropped", 1); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, b, 30*time.Millisecond)
+}
+
+func TestBlackoutSiteDropsEverything(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	n.SetPath("A", "B", PathProfile{Delay: time.Millisecond})
+	a := attachOrFatal(t, n, "A", "h")
+	b1 := attachOrFatal(t, n, "B", "h1")
+	b2 := attachOrFatal(t, n, "B", "h2")
+
+	n.BlackoutSite("B")
+	// Inbound, outbound, and intra-site delivery all stop.
+	if err := a.Send(b1.Addr(), "in", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Send(a.Addr(), "out", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Send(b2.Addr(), "intra", 1); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, b1, 30*time.Millisecond)
+	expectSilence(t, a, 30*time.Millisecond)
+	expectSilence(t, b2, 10*time.Millisecond)
+
+	n.RestoreSite("B")
+	if err := a.Send(b1.Addr(), "revived", 1); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, b1, "revived", time.Second)
+}
+
+func TestScheduleFlapTogglesPartition(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	n.SetPath("A", "B", PathProfile{})
+	a := attachOrFatal(t, n, "A", "h")
+	b := attachOrFatal(t, n, "B", "h")
+
+	cancel := n.ScheduleFlap("A", "B", 40*time.Millisecond, 40*time.Millisecond, 0)
+	defer cancel()
+	// Probe every 2 ms across a couple of cycles: some sends must be
+	// dropped (down phase) and some delivered (up phase).
+	for i := 0; i < 80; i++ {
+		_ = a.Send(b.Addr(), i, 1)
+		time.Sleep(2 * time.Millisecond)
+	}
+	delivered := 0
+	for {
+		select {
+		case <-b.Inbox():
+			delivered++
+			continue
+		default:
+		}
+		break
+	}
+	if delivered == 0 || delivered == 80 {
+		t.Errorf("delivered %d/80 probes; a flapping path should drop some and pass some", delivered)
+	}
+	cancel()
+	cancel() // idempotent
+	// After cancel the path is healed.
+	if err := a.Send(b.Addr(), "after", 1); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, b, "after", time.Second)
+}
+
+func TestJitterReordersMessages(t *testing.T) {
+	n := New(3)
+	defer n.Close()
+	n.SetPath("A", "B", PathProfile{Delay: 2 * time.Millisecond, Jitter: 10 * time.Millisecond, Reorder: 0.3})
+	a := attachOrFatal(t, n, "A", "h")
+	b := attachOrFatal(t, n, "B", "h")
+	const msgs = 64
+	for i := 0; i < msgs; i++ {
+		if err := a.Send(b.Addr(), i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]int, 0, msgs)
+	deadline := time.After(5 * time.Second)
+	for len(got) < msgs {
+		select {
+		case m := <-b.Inbox():
+			got = append(got, m.Payload.(int))
+		case <-deadline:
+			t.Fatalf("only %d/%d messages arrived", len(got), msgs)
+		}
+	}
+	inversions := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Error("jitter+reorder produced a perfectly ordered stream")
+	}
+}

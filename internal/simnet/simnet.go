@@ -40,7 +40,9 @@ type Message struct {
 	SentAt time.Time
 }
 
-// PathProfile describes the emulated WAN path between two sites.
+// PathProfile describes the emulated WAN path between two sites. All
+// fields are dynamic: SetPath at runtime changes the behaviour of
+// messages sent afterwards (in-flight messages keep their old timing).
 type PathProfile struct {
 	// Delay is the one-way propagation delay.
 	Delay time.Duration
@@ -48,6 +50,12 @@ type PathProfile struct {
 	Bandwidth float64
 	// Loss is the drop probability in [0, 1).
 	Loss float64
+	// Jitter adds a uniformly random extra delay in [0, Jitter) per
+	// message. Jittered messages may arrive out of order.
+	Jitter time.Duration
+	// Reorder is the probability in [0, 1) that a message is held back
+	// an extra Delay/2+Jitter, letting later messages overtake it.
+	Reorder float64
 }
 
 // Network is a set of sites and attached endpoints.
@@ -59,6 +67,7 @@ type Network struct {
 	rng       *rand.Rand
 	rngMu     sync.Mutex
 	closed    bool
+	faults    faultState
 }
 
 // New returns an empty network. Seed drives loss decisions.
@@ -69,6 +78,13 @@ func New(seed int64) *Network {
 		pipes:     make(map[[2]SiteID]*pipe),
 		rng:       rand.New(rand.NewSource(seed)),
 	}
+}
+
+// randFloat draws one uniform [0,1) sample from the seeded source.
+func (n *Network) randFloat() float64 {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64()
 }
 
 // SetPath configures the WAN profile between two sites, symmetrically.
@@ -161,21 +177,20 @@ func (n *Network) send(m Message) error {
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNoEndpoint, m.To)
 	}
+	if n.faults.drops(m.From.Site, m.To.Site) {
+		return nil // silently swallowed by the injected fault
+	}
 
 	sameSite := m.From.Site == m.To.Site
-	if sameSite || (profile.Delay == 0 && profile.Bandwidth == 0 && profile.Loss == 0) {
+	if sameSite || (profile.Delay == 0 && profile.Bandwidth == 0 && profile.Loss == 0 &&
+		profile.Jitter == 0 && profile.Reorder == 0) {
 		// Immediate local delivery.
 		return deliver(dst, m)
 	}
-	if profile.Loss > 0 {
-		n.rngMu.Lock()
-		drop := n.rng.Float64() < profile.Loss
-		n.rngMu.Unlock()
-		if drop {
-			return nil // silently lost, like a real WAN
-		}
+	if profile.Loss > 0 && n.randFloat() < profile.Loss {
+		return nil // silently lost, like a real WAN
 	}
-	p := n.pipeFor(m.From.Site, m.To.Site, profile)
+	p := n.pipeFor(m.From.Site, m.To.Site)
 	p.enqueue(m)
 	return nil
 }
@@ -189,15 +204,18 @@ func deliver(dst *Endpoint, m Message) error {
 	}
 }
 
-// pipe is the FIFO delivery queue for one ordered site pair. A single
-// goroutine drains it, modeling propagation plus serialization delay.
+// pipe is the delivery queue for one ordered site pair. A single
+// goroutine drains it in arrival order, modeling propagation plus
+// serialization delay. Without jitter or reorder the queue is FIFO, as
+// on a real tunnel; jitter and reorder perturb per-message arrivals and
+// the sorted insertion lets later messages overtake.
 type pipe struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []pipeItem
-	profile PathProfile
-	net     *Network
-	closed  bool
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []pipeItem
+	a, b   SiteID
+	net    *Network
+	closed bool
 	// txFree is when the emulated transmitter is next idle, for
 	// bandwidth-based serialization delay.
 	txFree time.Time
@@ -208,14 +226,14 @@ type pipeItem struct {
 	arrival time.Time
 }
 
-func (n *Network) pipeFor(a, b SiteID, profile PathProfile) *pipe {
+func (n *Network) pipeFor(a, b SiteID) *pipe {
 	key := [2]SiteID{a, b}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if p, ok := n.pipes[key]; ok {
 		return p
 	}
-	p := &pipe{profile: profile, net: n}
+	p := &pipe{a: a, b: b, net: n}
 	p.cond = sync.NewCond(&p.mu)
 	n.pipes[key] = p
 	go p.run()
@@ -224,6 +242,16 @@ func (n *Network) pipeFor(a, b SiteID, profile PathProfile) *pipe {
 
 func (p *pipe) enqueue(m Message) {
 	now := time.Now()
+	// The profile is re-read per message so SetPath changes (and fault
+	// flaps that adjust delay or jitter) apply to traffic immediately.
+	profile := p.net.Path(p.a, p.b)
+	extra := time.Duration(0)
+	if profile.Jitter > 0 {
+		extra += time.Duration(p.net.randFloat() * float64(profile.Jitter))
+	}
+	if profile.Reorder > 0 && p.net.randFloat() < profile.Reorder {
+		extra += profile.Delay/2 + profile.Jitter
+	}
 	p.mu.Lock()
 	// Serialization delay: the transmitter sends Size bytes at
 	// Bandwidth; packets queue behind each other.
@@ -231,13 +259,21 @@ func (p *pipe) enqueue(m Message) {
 	if p.txFree.After(start) {
 		start = p.txFree
 	}
-	if p.profile.Bandwidth > 0 && m.Size > 0 {
-		tx := time.Duration(float64(m.Size) / p.profile.Bandwidth * float64(time.Second))
+	if profile.Bandwidth > 0 && m.Size > 0 {
+		tx := time.Duration(float64(m.Size) / profile.Bandwidth * float64(time.Second))
 		p.txFree = start.Add(tx)
 		start = p.txFree
 	}
-	arrival := start.Add(p.profile.Delay)
-	p.queue = append(p.queue, pipeItem{m: m, arrival: arrival})
+	arrival := start.Add(profile.Delay + extra)
+	// Insert keeping the queue sorted by arrival (stable: equal arrivals
+	// stay FIFO). The common case appends at the tail in O(1).
+	i := len(p.queue)
+	for i > 0 && p.queue[i-1].arrival.After(arrival) {
+		i--
+	}
+	p.queue = append(p.queue, pipeItem{})
+	copy(p.queue[i+1:], p.queue[i:])
+	p.queue[i] = pipeItem{m: m, arrival: arrival}
 	p.cond.Signal()
 	p.mu.Unlock()
 }

@@ -1,0 +1,32 @@
+// Package testutil holds small helpers shared by tests and experiments.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// Poll runs cond every couple of milliseconds until it returns true or
+// the timeout expires, reporting whether it succeeded. Use it from
+// non-test code (experiments); tests prefer WaitUntil.
+func Poll(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// WaitUntil polls cond until it holds, failing the test if the timeout
+// expires first. desc names the awaited condition in the failure.
+func WaitUntil(t testing.TB, timeout time.Duration, desc string, cond func() bool) {
+	t.Helper()
+	if !Poll(timeout, cond) {
+		t.Fatalf("%s: condition not met within %v", desc, timeout)
+	}
+}
