@@ -6,12 +6,14 @@
 //	sbbench -list
 //	sbbench -exp fig12a
 //	sbbench -exp all
+//	sbbench -exp dataplane -json   # also writes BENCH_dataplane.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"switchboard/internal/experiments"
@@ -20,6 +22,8 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment ID (e.g. fig12a, table2) or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
+	jsonOut := flag.Bool("json", false, "also write each table to BENCH_<id>.json")
+	outDir := flag.String("out", ".", "directory for -json artifacts")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -41,6 +45,19 @@ func main() {
 			return false
 		}
 		table.Fprint(os.Stdout)
+		if *jsonOut {
+			data, err := table.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: marshal: %v\n", e.ID, err)
+				return false
+			}
+			path := filepath.Join(*outDir, "BENCH_"+e.ID+".json")
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: write: %v\n", e.ID, err)
+				return false
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
 		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		return true
 	}

@@ -218,25 +218,73 @@ func (e *Instance) egress(p *packet.Packet) (simnet.Addr, bool) {
 }
 
 // Run drives the instance from its endpoint until the context is
-// cancelled or the inbox closes.
+// cancelled or the inbox closes. Bursts are drained from the inbox and
+// ingress packets heading into the overlay are coalesced into one batch
+// per forwarder per burst; egress packets are delivered to local hosts
+// individually, since hosts are outside the batched overlay path.
 func (e *Instance) Run(ctx context.Context) {
+	msgs := make([]simnet.Message, packet.DefaultBatchSize)
+	var groups []overlayGroup
 	for {
-		select {
-		case <-ctx.Done():
+		n := e.ep.RecvBatchContext(ctx, msgs)
+		if n == 0 {
 			return
-		case m, ok := <-e.ep.Inbox():
-			if !ok {
+		}
+		groups = groups[:0]
+		handle := func(p *packet.Packet, pool *packet.Pool) {
+			to, send := e.HandlePacket(p)
+			if !send {
+				if pool != nil {
+					pool.Put(p)
+				}
 				return
 			}
-			p, ok := m.Payload.(*packet.Packet)
-			if !ok {
-				continue
+			size := len(p.Payload) + 40
+			if !p.Labeled {
+				// Egress toward a local host: plain single delivery.
+				_ = e.ep.Send(to, p, size)
+				return
 			}
-			if to, send := e.HandlePacket(p); send {
-				_ = e.ep.Send(to, p, len(p.Payload)+40)
+			for gi := range groups {
+				if groups[gi].addr == to {
+					groups[gi].b.Append(p, size)
+					return
+				}
 			}
+			b := packet.GetBatch()
+			b.Pool = pool
+			b.Append(p, size)
+			groups = append(groups, overlayGroup{addr: to, b: b})
+		}
+		for k := 0; k < n; k++ {
+			switch pl := msgs[k].Payload.(type) {
+			case *packet.Packet:
+				handle(pl, nil)
+			case *packet.Batch:
+				for _, p := range pl.Pkts {
+					handle(p, pl.Pool)
+				}
+				packet.PutBatch(pl)
+			}
+			msgs[k] = simnet.Message{}
+		}
+		for gi := range groups {
+			b := groups[gi].b
+			if b.Len() == 1 {
+				_ = e.ep.Send(groups[gi].addr, b.Pkts[0], b.Sizes[0])
+				packet.PutBatch(b)
+			} else {
+				_ = e.ep.SendBatch(groups[gi].addr, b)
+			}
+			groups[gi] = overlayGroup{}
 		}
 	}
+}
+
+// overlayGroup accumulates ingress packets sharing a forwarder.
+type overlayGroup struct {
+	addr simnet.Addr
+	b    *packet.Batch
 }
 
 // Start launches Run on a goroutine and returns a stop function.

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -70,6 +71,19 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// JSON renders the table as indented JSON, for machine-readable bench
+// artifacts (cmd/sbbench -json writes one file per table).
+func (t *Table) JSON() ([]byte, error) {
+	type doc struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}
+	return json.MarshalIndent(doc{t.ID, t.Title, t.Header, t.Rows, t.Notes}, "", "  ")
+}
+
 // Experiment is a runnable table/figure reproduction.
 type Experiment struct {
 	ID   string
@@ -94,6 +108,7 @@ func All() []Experiment {
 		{"fig13b", "cloud capacity planning vs uniform provisioning", Fig13b},
 		{"fig13c", "VNF placement hints vs random site selection", Fig13c},
 		{"chaos", "chaos soak: 30% loss, controller partition, site crash", Chaos},
+		{"dataplane", "batched data path: pps per core vs batch size (1/8/32/64)", BatchSweep},
 	}
 }
 

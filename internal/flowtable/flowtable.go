@@ -120,6 +120,65 @@ func (t *Table) Lookup(st labels.Stack, flow packet.FlowKey) (rec Record, forwar
 	return e.rec, sameAsCanonical == e.fwdCanonical, true
 }
 
+// LookupBatch performs Lookup for n parallel entries (sts[i], flows[i]),
+// writing results into recs/forwards/oks. Entries are grouped by shard so
+// each shard lock is acquired at most once per batch, instead of once per
+// packet — the batched data path's answer to flow-table lock pressure.
+// All five slices must have equal length.
+func (t *Table) LookupBatch(sts []labels.Stack, flows []packet.FlowKey, recs []Record, forwards, oks []bool) {
+	n := len(sts)
+	if n == 0 {
+		return
+	}
+	// Scratch: canonical keys, orientation bits, and shard indices. Small
+	// batches stay on the stack.
+	var (
+		kbuf [64]Key
+		cbuf [64]bool
+		sbuf [64]uint64
+	)
+	keys, canon, shardIdx := kbuf[:], cbuf[:], sbuf[:]
+	if n > len(kbuf) {
+		keys = make([]Key, n)
+		canon = make([]bool, n)
+		shardIdx = make([]uint64, n)
+	}
+	for i := 0; i < n; i++ {
+		keys[i], canon[i] = canonicalKey(sts[i], flows[i])
+		shardIdx[i] = keys[i].Flow.Hash() & t.mask
+	}
+	epoch := t.epoch.Load()
+	const visited = ^uint64(0) // shard indices are small, so this is free
+	for i := 0; i < n; i++ {
+		si := shardIdx[i]
+		if si == visited {
+			continue
+		}
+		s := &t.shards[si]
+		s.mu.Lock()
+		for j := i; j < n; j++ {
+			if shardIdx[j] != si {
+				continue
+			}
+			shardIdx[j] = visited
+			e, ok := s.m[keys[j]]
+			oks[j] = ok
+			if !ok {
+				recs[j] = Record{}
+				forwards[j] = false
+				continue
+			}
+			if e.epoch != epoch {
+				e.epoch = epoch
+				s.m[keys[j]] = e
+			}
+			recs[j] = e.rec
+			forwards[j] = canon[j] == e.fwdCanonical
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Remove deletes a connection.
 func (t *Table) Remove(st labels.Stack, flow packet.FlowKey) {
 	k, _ := canonicalKey(st, flow)

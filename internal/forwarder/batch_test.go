@@ -1,0 +1,313 @@
+package forwarder
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+)
+
+// mixedFixture builds a forwarder with a mixed rule set: one chain served
+// by a label-unaware VNF (exercises strip + re-affix), one by a
+// label-aware VNF, plus a next-hop peer and a previous-hop edge shared by
+// both chains.
+type mixedFixture struct {
+	f                  *Forwarder
+	unaware, aware     flowtable.Hop
+	next, prev, bridge flowtable.Hop
+}
+
+var (
+	chainA = labels.Stack{Chain: 100, Egress: 3}
+	chainB = labels.Stack{Chain: 200, Egress: 3}
+	chainX = labels.Stack{Chain: 999, Egress: 9} // never installed
+)
+
+func newMixedFixture(name string, mode Mode) *mixedFixture {
+	fx := &mixedFixture{f: New(name, mode, 8)}
+	fx.unaware = fx.f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", name+"-unaware"),
+		LabelAware: false, Labels: chainA})
+	fx.aware = fx.f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", name+"-aware"), LabelAware: true})
+	fx.next = fx.f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", name+"-peer")})
+	fx.prev = fx.f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", name+"-edge")})
+	fx.f.InstallRule(chainA, RuleSpec{
+		LocalVNF: []WeightedHop{{Hop: fx.unaware, Weight: 1}},
+		Next:     []WeightedHop{{Hop: fx.next, Weight: 1}},
+		Prev:     []WeightedHop{{Hop: fx.prev, Weight: 1}},
+	})
+	fx.f.InstallRule(chainB, RuleSpec{
+		LocalVNF: []WeightedHop{{Hop: fx.aware, Weight: 1}},
+		Next:     []WeightedHop{{Hop: fx.next, Weight: 1}},
+		Prev:     []WeightedHop{{Hop: fx.prev, Weight: 1}},
+	})
+	fx.f.SetBridgeTarget(fx.next)
+	return fx
+}
+
+// burstCase is one packet of the equivalence burst, described relative to
+// a fixture so the same burst can be instantiated for two forwarders.
+type burstCase struct {
+	labels   labels.Stack
+	labeled  bool
+	flow     packet.FlowKey
+	from     func(*mixedFixture) flowtable.Hop
+	wantsErr bool
+}
+
+func equivalenceBurst() []burstCase {
+	fromEdge := func(fx *mixedFixture) flowtable.Hop { return fx.prev }
+	fromUnaware := func(fx *mixedFixture) flowtable.Hop { return fx.unaware }
+	fromAware := func(fx *mixedFixture) flowtable.Hop { return fx.aware }
+	fromPeer := func(fx *mixedFixture) flowtable.Hop { return fx.next }
+	return []burstCase{
+		// New flows on chain A entering from the edge.
+		{labels: chainA, labeled: true, flow: flow(1), from: fromEdge},
+		{labels: chainA, labeled: true, flow: flow(2), from: fromEdge},
+		// Duplicate new flow within the burst: same 5-tuple as flow(1)
+		// would already be pinned by the first entry.
+		{labels: chainA, labeled: true, flow: flow(1), from: fromEdge},
+		// Reverse direction of an in-burst new flow.
+		{labels: chainA, labeled: true, flow: flow(2).Reverse(), from: fromPeer},
+		// Unlabeled return from the label-unaware VNF: relabel path.
+		{labels: labels.Stack{}, labeled: false, flow: flow(1), from: fromUnaware},
+		// Chain B through the label-aware VNF.
+		{labels: chainB, labeled: true, flow: flow(10), from: fromEdge},
+		{labels: chainB, labeled: true, flow: flow(10), from: fromAware},
+		// Rule miss: stack never installed.
+		{labels: chainX, labeled: true, flow: flow(20), from: fromEdge, wantsErr: true},
+		// Unlabeled from a source that is not a label-unaware VNF: drop.
+		{labels: labels.Stack{}, labeled: false, flow: flow(21), from: fromEdge, wantsErr: true},
+		// More chain A traffic so pickers keep advancing after the errors.
+		{labels: chainA, labeled: true, flow: flow(3), from: fromEdge},
+		{labels: chainA, labeled: true, flow: flow(1), from: fromPeer},
+	}
+}
+
+func buildBurst(fx *mixedFixture, cases []burstCase) (pkts []*packet.Packet, froms []flowtable.Hop) {
+	for _, c := range cases {
+		pkts = append(pkts, &packet.Packet{Labels: c.labels, Labeled: c.labeled, Key: c.flow})
+		froms = append(froms, c.from(fx))
+	}
+	return pkts, froms
+}
+
+// ProcessBatch must make the same decisions as N sequential Process calls
+// on a rule set mixing relabeling, affinity, in-burst duplicate flows,
+// reverse traffic, rule misses, and drops — and leave identical counters.
+func TestProcessBatchMatchesSequentialProcess(t *testing.T) {
+	for _, mode := range []Mode{ModeBridge, ModeLabels, ModeAffinity} {
+		t.Run(map[Mode]string{ModeBridge: "bridge", ModeLabels: "labels", ModeAffinity: "affinity"}[mode],
+			func(t *testing.T) {
+				cases := equivalenceBurst()
+				seqFx := newMixedFixture("seq", mode)
+				batFx := newMixedFixture("bat", mode)
+				seqPkts, seqFroms := buildBurst(seqFx, cases)
+				batPkts, batFroms := buildBurst(batFx, cases)
+
+				seqHops := make([]NextHop, len(cases))
+				seqErrs := make([]error, len(cases))
+				for i := range seqPkts {
+					seqHops[i], seqErrs[i] = seqFx.f.Process(seqPkts[i], seqFroms[i])
+				}
+
+				var res BatchResult
+				batFx.f.ProcessBatch(batPkts, batFroms, &res)
+
+				for i := range cases {
+					if (seqErrs[i] == nil) != (res.Errs[i] == nil) {
+						t.Fatalf("entry %d: sequential err=%v, batch err=%v", i, seqErrs[i], res.Errs[i])
+					}
+					if seqErrs[i] != nil {
+						if seqErrs[i].Error() != res.Errs[i].Error() {
+							t.Errorf("entry %d: error mismatch: %v vs %v", i, seqErrs[i], res.Errs[i])
+						}
+						if !cases[i].wantsErr {
+							t.Errorf("entry %d: unexpected error %v", i, seqErrs[i])
+						}
+						continue
+					}
+					if cases[i].wantsErr && mode != ModeBridge {
+						t.Errorf("entry %d: expected an error, got hop %v", i, res.Hops[i].Addr)
+					}
+					// Hop IDs were assigned in the same order on both
+					// fixtures, so they must match exactly.
+					if seqHops[i].ID != res.Hops[i].ID || seqHops[i].Kind != res.Hops[i].Kind {
+						t.Errorf("entry %d: sequential hop %d/%v, batch hop %d/%v",
+							i, seqHops[i].ID, seqHops[i].Kind, res.Hops[i].ID, res.Hops[i].Kind)
+					}
+					// Label state after processing must match (strip/affix).
+					if seqPkts[i].Labeled != batPkts[i].Labeled || seqPkts[i].Labels != batPkts[i].Labels {
+						t.Errorf("entry %d: label state diverged: seq %v/%v, batch %v/%v",
+							i, seqPkts[i].Labeled, seqPkts[i].Labels, batPkts[i].Labeled, batPkts[i].Labels)
+					}
+				}
+				if s, b := seqFx.f.Stats(), batFx.f.Stats(); s != b {
+					t.Errorf("counters diverged:\n  sequential %+v\n  batch      %+v", s, b)
+				}
+				if mode == ModeAffinity {
+					if s, b := seqFx.f.FlowCount(), batFx.f.FlowCount(); s != b {
+						t.Errorf("flow count diverged: sequential %d, batch %d", s, b)
+					}
+				}
+			})
+	}
+}
+
+// A burst larger than the affinity scratch (64) must take the heap path
+// and still agree with sequential processing.
+func TestProcessBatchLargeBurstAffinity(t *testing.T) {
+	const n = 150
+	seqFx := newMixedFixture("seq", ModeAffinity)
+	batFx := newMixedFixture("bat", ModeAffinity)
+	var (
+		seqPkts, batPkts   []*packet.Packet
+		seqFroms, batFroms []flowtable.Hop
+	)
+	for i := 0; i < n; i++ {
+		k := flow(i % 40) // plenty of in-burst duplicates
+		seqPkts = append(seqPkts, &packet.Packet{Labels: chainA, Labeled: true, Key: k})
+		batPkts = append(batPkts, &packet.Packet{Labels: chainA, Labeled: true, Key: k})
+		seqFroms = append(seqFroms, seqFx.prev)
+		batFroms = append(batFroms, batFx.prev)
+	}
+	seqHops := make([]NextHop, n)
+	for i := range seqPkts {
+		seqHops[i], _ = seqFx.f.Process(seqPkts[i], seqFroms[i])
+	}
+	var res BatchResult
+	batFx.f.ProcessBatch(batPkts, batFroms, &res)
+	for i := 0; i < n; i++ {
+		if res.Errs[i] != nil {
+			t.Fatalf("entry %d: unexpected error %v", i, res.Errs[i])
+		}
+		if seqHops[i].ID != res.Hops[i].ID {
+			t.Fatalf("entry %d: hop diverged: %d vs %d", i, seqHops[i].ID, res.Hops[i].ID)
+		}
+	}
+	if s, b := seqFx.f.Stats(), batFx.f.Stats(); s != b {
+		t.Errorf("counters diverged:\n  sequential %+v\n  batch      %+v", s, b)
+	}
+}
+
+func TestNewPickerZeroAndNegativeWeights(t *testing.T) {
+	// All-zero weights: every hop still gets a slot (equal fallback).
+	p := newPicker([]WeightedHop{{Hop: 1, Weight: 0}, {Hop: 2, Weight: 0}})
+	if p == nil {
+		t.Fatal("picker is nil for zero-weight hops")
+	}
+	seen := map[flowtable.Hop]int{}
+	for i := 0; i < 100; i++ {
+		h := p.pick()
+		if h == flowtable.None {
+			t.Fatal("zero-weight picker returned None")
+		}
+		seen[h]++
+	}
+	if len(seen) != 2 || seen[1] == 0 || seen[2] == 0 {
+		t.Errorf("zero-weight fallback not equal-weighted: %v", seen)
+	}
+
+	// A zero-weight hop among positive ones receives no traffic.
+	p = newPicker([]WeightedHop{{Hop: 1, Weight: 1}, {Hop: 2, Weight: 0}, {Hop: 3, Weight: -5}})
+	for i := 0; i < 200; i++ {
+		if h := p.pick(); h != 1 {
+			t.Fatalf("picker chose hop %d; zero/negative-weight hops must get no traffic", h)
+		}
+	}
+}
+
+func TestNewPickerSingleHop(t *testing.T) {
+	p := newPicker([]WeightedHop{{Hop: 7, Weight: 3.5}})
+	if p == nil {
+		t.Fatal("picker is nil for a single hop")
+	}
+	if len(p.slots) != 1 {
+		t.Errorf("single-hop picker has %d slots, want 1 (no stride table)", len(p.slots))
+	}
+	for i := 0; i < 10; i++ {
+		if h := p.pick(); h != 7 {
+			t.Fatalf("single-hop picker returned %d, want 7", h)
+		}
+	}
+	if p := newPicker(nil); p != nil {
+		t.Error("picker for no hops should be nil")
+	}
+	if h := (*picker)(nil).pick(); h != flowtable.None {
+		t.Errorf("nil picker pick = %d, want None", h)
+	}
+}
+
+// Send failures in the Runner must surface as drops and send errors in
+// Forwarder.Stats: blast packets at a next hop whose inbox has capacity 1
+// and is never drained.
+func TestRunnerSendErrorsCountAsDrops(t *testing.T) {
+	net := simnet.New(1)
+	defer net.Close()
+	fwdEP, err := net.Attach(addr("A", "fwd"), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkEP, err := net.Attach(addr("A", "sink"), 1) // tiny, undrained
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcEP, err := net.Attach(addr("A", "src"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := New("f", ModeLabels, 4)
+	next := f.AddHop(NextHop{Kind: KindForwarder, Addr: sinkEP.Addr()})
+	prev := f.AddHop(NextHop{Kind: KindEdge, Addr: srcEP.Addr()})
+	f.InstallRule(chainA, RuleSpec{
+		Next: []WeightedHop{{Hop: next, Weight: 1}},
+		Prev: []WeightedHop{{Hop: prev, Weight: 1}},
+	})
+
+	pool := packet.NewPool()
+	r := &Runner{F: f, EP: fwdEP, Pool: pool}
+	stop := r.Start()
+	defer stop()
+
+	const sent = 64
+	for i := 0; i < sent; i++ {
+		p := pool.Get()
+		p.Labels = chainA
+		p.Labeled = true
+		p.Key = flow(i)
+		if err := srcEP.Send(fwdEP.Addr(), p, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := f.Stats()
+		if st.Rx == sent && st.SendErrs > 0 {
+			if st.Drops < st.SendErrs {
+				t.Fatalf("send errors not included in drops: %+v", st)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no send errors recorded: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Sanity on the wrapped error values through the batch path.
+func TestProcessErrorKindsSurviveBatchPath(t *testing.T) {
+	fx := newMixedFixture("e", ModeLabels)
+	_, err := fx.f.Process(&packet.Packet{Labels: chainX, Labeled: true, Key: flow(0)}, fx.prev)
+	if !errors.Is(err, ErrNoRule) {
+		t.Errorf("rule miss error = %v, want ErrNoRule", err)
+	}
+	_, err = fx.f.Process(&packet.Packet{Key: flow(0)}, fx.prev)
+	if !errors.Is(err, ErrUnlabeled) {
+		t.Errorf("unlabeled error = %v, want ErrUnlabeled", err)
+	}
+}

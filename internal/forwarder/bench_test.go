@@ -75,6 +75,59 @@ func BenchmarkFig7Forwarder(b *testing.B) {
 	}
 }
 
+// Batched fast path: ProcessBatch at the swept burst sizes, against the
+// same rule set as Fig7. batch=1 goes through the Process wrapper, so the
+// delta between the sub-benchmarks is the burst amortization itself
+// (rule/hop lock acquisitions, shard locks, counter flushes per packet).
+func BenchmarkForwarderBatch(b *testing.B) {
+	for _, mc := range []struct {
+		name string
+		mode Mode
+	}{
+		{"labels", ModeLabels},
+		{"affinity", ModeAffinity},
+	} {
+		for _, batch := range []int{1, 8, 32, 64} {
+			b.Run(fmt.Sprintf("%s/batch=%d", mc.name, batch), func(b *testing.B) {
+				benchmarkProcessBatch(b, mc.mode, batch)
+			})
+		}
+	}
+}
+
+func benchmarkProcessBatch(b *testing.B, mode Mode, batch int) {
+	f := New("bench", mode, 16)
+	st := labels.Stack{Chain: 77, Egress: 9}
+	next := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "peer")})
+	prev := f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", "edge")})
+	f.InstallRule(st, RuleSpec{
+		Next: []WeightedHop{{next, 1}},
+		Prev: []WeightedHop{{prev, 1}},
+	})
+	f.SetBridgeTarget(next)
+
+	const flows = 64
+	pkts := make([]*packet.Packet, batch)
+	froms := make([]flowtable.Hop, batch)
+	for i := range pkts {
+		pkts[i] = benchPacket(st, 0, i%flows)
+		froms[i] = prev
+	}
+	var res BatchResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ProcessBatch(pkts, froms, &res)
+		for _, p := range pkts {
+			p.Labeled = true
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)*float64(batch)/sec/1e6, "Mpps")
+	}
+}
+
 // Figure 8: horizontal scale-out — N forwarder instances, each pinned to
 // its own goroutine ("core") with 512K flows, processing packets as fast
 // as possible. Reports aggregate Mpps.

@@ -18,6 +18,7 @@ package forwarder
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -94,10 +95,39 @@ type Stats struct {
 	NewFlows  uint64
 	RuleMiss  uint64
 	Relabeled uint64
+	// SendErrs counts packets the runner failed to hand to the network
+	// (full receiver queue, detached peer). They are also included in
+	// Drops, so chaos experiments see data-plane loss in one place.
+	SendErrs uint64
 }
 
 type counters struct {
-	rx, tx, drops, newFlows, ruleMiss, relabeled atomic.Uint64
+	rx, tx, drops, newFlows, ruleMiss, relabeled, sendErrs atomic.Uint64
+}
+
+// batchCounters accumulates stat deltas for one burst so the hot path
+// pays at most one atomic add per counter per batch instead of one per
+// packet.
+type batchCounters struct {
+	tx, drops, newFlows, ruleMiss, relabeled uint64
+}
+
+func (f *Forwarder) flushCounters(c *batchCounters) {
+	if c.tx > 0 {
+		f.stats.tx.Add(c.tx)
+	}
+	if c.drops > 0 {
+		f.stats.drops.Add(c.drops)
+	}
+	if c.newFlows > 0 {
+		f.stats.newFlows.Add(c.newFlows)
+	}
+	if c.ruleMiss > 0 {
+		f.stats.ruleMiss.Add(c.ruleMiss)
+	}
+	if c.relabeled > 0 {
+		f.stats.relabeled.Add(c.relabeled)
+	}
 }
 
 // picker is a lock-free weighted round-robin selector over a precomputed
@@ -111,21 +141,23 @@ func newPicker(hops []WeightedHop) *picker {
 	if len(hops) == 0 {
 		return nil
 	}
+	if len(hops) == 1 {
+		// One target needs no weighting: a single slot, whatever the
+		// weight (even zero or negative — an installed rule never has an
+		// empty schedule).
+		return &picker{slots: []flowtable.Hop{hops[0].Hop}}
+	}
 	const resolution = 64
 	total := 0.0
 	for _, h := range hops {
-		if h.Weight > 0 {
+		if h.Weight > 0 && !math.IsInf(h.Weight, 1) {
 			total += h.Weight
 		}
 	}
 	var slots []flowtable.Hop
-	if total <= 0 {
+	if total > 0 {
 		for _, h := range hops {
-			slots = append(slots, h.Hop)
-		}
-	} else {
-		for _, h := range hops {
-			if h.Weight <= 0 {
+			if !(h.Weight > 0) || math.IsInf(h.Weight, 1) {
 				continue
 			}
 			n := int(h.Weight/total*resolution + 0.5)
@@ -136,6 +168,16 @@ func newPicker(hops []WeightedHop) *picker {
 				slots = append(slots, h.Hop)
 			}
 		}
+	}
+	if len(slots) == 0 {
+		// All weights zero, negative, or non-finite: fall back to equal
+		// weighting so an installed rule never has an empty schedule.
+		for _, h := range hops {
+			slots = append(slots, h.Hop)
+		}
+	}
+	if len(slots) == 1 {
+		return &picker{slots: slots}
 	}
 	// Interleave slots so bursts spread across hops: stride permutation.
 	out := make([]flowtable.Hop, len(slots))
@@ -185,6 +227,15 @@ type FlowStore interface {
 	Remove(st labels.Stack, flow packet.FlowKey)
 	Len() int
 	Advance(keep uint32) int
+}
+
+// BatchFlowStore is an optional FlowStore extension: stores that resolve
+// a whole burst of lookups with shard-grouped locking (one lock per
+// shard per batch). flowtable.Table implements it; stores that don't
+// (e.g. the replicated dht.Node) transparently fall back to per-packet
+// Lookup on the batch path.
+type BatchFlowStore interface {
+	LookupBatch(sts []labels.Stack, flows []packet.FlowKey, recs []flowtable.Record, forwards, oks []bool)
 }
 
 // HopRegistry assigns stable hop IDs by address. Forwarders that share a
@@ -381,6 +432,17 @@ func (f *Forwarder) Stats() Stats {
 		NewFlows:  f.stats.newFlows.Load(),
 		RuleMiss:  f.stats.ruleMiss.Load(),
 		Relabeled: f.stats.relabeled.Load(),
+		SendErrs:  f.stats.sendErrs.Load(),
+	}
+}
+
+// countSendErrors records packets that could not be handed to the
+// network after processing (e.g. a full receiver queue); they count as
+// data-plane drops so loss is visible in Stats.
+func (f *Forwarder) countSendErrors(n uint64) {
+	if n > 0 {
+		f.stats.sendErrs.Add(n)
+		f.stats.drops.Add(n)
 	}
 }
 
@@ -392,148 +454,117 @@ var (
 	ErrUnknownHop = errors.New("forwarder: unknown hop id")
 )
 
-// Process runs the packet through the forwarding pipeline and returns the
-// hop the packet must be sent to. from is the hop the packet arrived
+// Process runs one packet through the forwarding pipeline and returns
+// the hop the packet must be sent to. from is the hop the packet arrived
 // from (flowtable.None for external sources such as traffic generators).
-// Process may mutate the packet's label state (strip/re-affix).
+// Process may mutate the packet's label state (strip/re-affix). It is a
+// thin wrapper over the batch path: a burst of one.
 func (f *Forwarder) Process(p *packet.Packet, from flowtable.Hop) (NextHop, error) {
-	f.stats.rx.Add(1)
-	switch f.mode {
-	case ModeBridge:
-		return f.processBridge()
-	case ModeLabels:
-		return f.processLabels(p, from)
-	default:
-		return f.processAffinity(p, from)
-	}
+	var (
+		pkts  = [1]*packet.Packet{p}
+		froms = [1]flowtable.Hop{from}
+		hops  [1]NextHop
+		errs  [1]error
+	)
+	f.processBatch(pkts[:], froms[:], hops[:], errs[:])
+	return hops[0], errs[0]
 }
 
-func (f *Forwarder) processBridge() (NextHop, error) {
+// BatchResult holds per-entry ProcessBatch outcomes. Reuse one across
+// calls to keep the hot loop allocation-free; ProcessBatch resizes it.
+type BatchResult struct {
+	// Hops[i] is where pkts[i] must be sent; valid iff Errs[i] == nil.
+	Hops []NextHop
+	// Errs[i] is the per-packet processing error (dropped packet).
+	Errs []error
+}
+
+func (res *BatchResult) resize(n int) {
+	if cap(res.Hops) < n {
+		res.Hops = make([]NextHop, n)
+		res.Errs = make([]error, n)
+	}
+	res.Hops = res.Hops[:n]
+	res.Errs = res.Errs[:n]
+	clear(res.Hops)
+	clear(res.Errs)
+}
+
+// ProcessBatch runs a burst of packets through the forwarding pipeline.
+// froms[i] is the hop pkts[i] arrived from; per-entry outcomes land in
+// res. Relative to N calls to Process it produces identical decisions
+// and counters (pickers advance in entry order, first-packet flow
+// pinning sees earlier entries of the same burst) while amortizing rule
+// and hop map locking, flow-table shard locking, and counter updates
+// across the burst — the software analog of DPDK burst processing.
+func (f *Forwarder) ProcessBatch(pkts []*packet.Packet, froms []flowtable.Hop, res *BatchResult) {
+	res.resize(len(pkts))
+	f.processBatch(pkts, froms, res.Hops, res.Errs)
+}
+
+func (f *Forwarder) processBatch(pkts []*packet.Packet, froms []flowtable.Hop, hops []NextHop, errs []error) {
+	n := len(pkts)
+	if n == 0 {
+		return
+	}
+	f.stats.rx.Add(uint64(n))
+	var c batchCounters
+	switch f.mode {
+	case ModeBridge:
+		f.bridgeBatch(hops, errs, &c)
+	case ModeLabels:
+		f.labelsBatch(pkts, froms, hops, errs, &c)
+	default:
+		f.affinityBatch(pkts, froms, hops, errs, &c)
+	}
+	f.flushCounters(&c)
+}
+
+func (f *Forwarder) bridgeBatch(hops []NextHop, errs []error, c *batchCounters) {
 	f.mu.RLock()
 	nh, ok := f.hops[f.bridgeTo]
 	f.mu.RUnlock()
 	if !ok {
-		f.stats.drops.Add(1)
-		return NextHop{}, ErrNoNextHop
-	}
-	f.stats.tx.Add(1)
-	return nh, nil
-}
-
-// resolveLabels re-affixes labels on packets returning from label-unaware
-// VNF instances, using the instance's label association.
-func (f *Forwarder) resolveLabels(p *packet.Packet, from flowtable.Hop) (NextHop, error) {
-	f.mu.RLock()
-	src, srcOK := f.hops[from]
-	f.mu.RUnlock()
-	if !p.Labeled {
-		if !srcOK || src.Kind != KindVNF || src.LabelAware {
-			f.stats.drops.Add(1)
-			return NextHop{}, ErrUnlabeled
+		c.drops += uint64(len(hops))
+		for i := range errs {
+			errs[i] = ErrNoNextHop
 		}
-		p.Labels = src.Labels
-		p.Labeled = true
-		f.stats.relabeled.Add(1)
+		return
 	}
-	if !srcOK {
-		return NextHop{}, nil // external source, still fine
+	c.tx += uint64(len(hops))
+	for i := range hops {
+		hops[i] = nh
 	}
-	return src, nil
 }
 
-func (f *Forwarder) processLabels(p *packet.Packet, from flowtable.Hop) (NextHop, error) {
-	if _, err := f.resolveLabels(p, from); err != nil {
-		return NextHop{}, err
+// relabelLocked re-affixes labels on a packet returning from a
+// label-unaware VNF instance, using the instance's label association.
+// Returns false when the packet is unlabeled and cannot be relabeled.
+// Caller holds f.mu (read).
+func (f *Forwarder) relabelLocked(p *packet.Packet, from flowtable.Hop, c *batchCounters) bool {
+	if p.Labeled {
+		return true
 	}
-	f.mu.RLock()
-	r := f.rules[p.Labels]
-	f.mu.RUnlock()
-	if r == nil {
-		f.stats.ruleMiss.Add(1)
-		f.stats.drops.Add(1)
-		return NextHop{}, fmt.Errorf("%w: %+v", ErrNoRule, p.Labels)
+	src, ok := f.hops[from]
+	if !ok || src.Kind != KindVNF || src.LabelAware {
+		return false
 	}
-	var target flowtable.Hop
-	if !r.localSet[from] && r.local != nil {
-		target = r.local.pick()
-	} else {
-		target = r.next.pick()
-	}
-	return f.emit(p, target)
+	p.Labels = src.Labels
+	p.Labeled = true
+	c.relabeled++
+	return true
 }
 
-func (f *Forwarder) processAffinity(p *packet.Packet, from flowtable.Hop) (NextHop, error) {
-	if _, err := f.resolveLabels(p, from); err != nil {
-		return NextHop{}, err
-	}
-	f.mu.RLock()
-	r := f.rules[p.Labels]
-	f.mu.RUnlock()
-	if r == nil {
-		f.stats.ruleMiss.Add(1)
-		f.stats.drops.Add(1)
-		return NextHop{}, fmt.Errorf("%w: %+v", ErrNoRule, p.Labels)
-	}
-
-	rec, forward, ok := f.table.Lookup(p.Labels, p.Key)
-	if !ok {
-		// First packet of a connection: make all load-balancing
-		// decisions now and pin them (flow affinity). When the packet
-		// entered from one of the rule's local elements (the edge
-		// instance at an ingress site), that element is the
-		// connection's pinned local hop; otherwise one is picked by
-		// weight. The previous hop is whoever delivered this packet,
-		// enabling symmetric return.
-		rec = flowtable.Record{Next: r.next.pick(), Prev: from}
-		if r.localSet[from] {
-			rec.VNF = from
-			rec.Prev = r.prev.pick()
-		} else {
-			if r.local != nil {
-				rec.VNF = r.local.pick()
-			}
-			if rec.Prev == flowtable.None {
-				// Unknown source (e.g. a bare traffic generator): fall
-				// back to the rule's previous-hop picker so reverse
-				// packets still have a return path.
-				rec.Prev = r.prev.pick()
-			}
-		}
-		forward = true
-		f.table.Insert(p.Labels, p.Key, rec)
-		f.stats.newFlows.Add(1)
-	}
-
-	// Route by position: a packet that did not just return from the
-	// connection's pinned local element is entering this forwarder, so
-	// it is handed to that element (same instance in both directions —
-	// flow affinity). A packet returning from the local element moves
-	// along the chain: toward the egress when travelling forward,
-	// toward the ingress otherwise (symmetric return).
-	var target flowtable.Hop
-	switch {
-	case rec.VNF != flowtable.None && from != rec.VNF:
-		target = rec.VNF
-	case forward:
-		target = rec.Next
-	default:
-		target = rec.Prev
-	}
-	return f.emit(p, target)
-}
-
-// emit finalizes delivery to the target hop, handling label stripping for
-// label-unaware VNFs.
-func (f *Forwarder) emit(p *packet.Packet, target flowtable.Hop) (NextHop, error) {
+// emitLocked resolves the chosen target to a registered hop, handling
+// label stripping for label-unaware VNFs. Caller holds f.mu (read).
+func (f *Forwarder) emitLocked(p *packet.Packet, target flowtable.Hop, c *batchCounters) (NextHop, error) {
 	if target == flowtable.None {
-		f.stats.drops.Add(1)
+		c.drops++
 		return NextHop{}, ErrNoNextHop
 	}
-	f.mu.RLock()
 	nh, ok := f.hops[target]
-	f.mu.RUnlock()
 	if !ok {
-		f.stats.drops.Add(1)
+		c.drops++
 		return NextHop{}, fmt.Errorf("%w: %d", ErrUnknownHop, target)
 	}
 	if nh.Kind == KindVNF && !nh.LabelAware {
@@ -541,6 +572,197 @@ func (f *Forwarder) emit(p *packet.Packet, target flowtable.Hop) (NextHop, error
 	} else {
 		p.Labeled = true
 	}
-	f.stats.tx.Add(1)
+	c.tx++
 	return nh, nil
+}
+
+func (f *Forwarder) labelsBatch(pkts []*packet.Packet, froms []flowtable.Hop, hops []NextHop, errs []error, c *batchCounters) {
+	// One read-lock covers the whole burst (label re-affixing, rule
+	// resolution and hop emission all read under it), with the rule for
+	// repeated stacks memoized — bursts overwhelmingly share one stack.
+	var (
+		lastSt   labels.Stack
+		lastRule *rule
+		haveRule bool
+	)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for i, p := range pkts {
+		from := froms[i]
+		if !f.relabelLocked(p, from, c) {
+			c.drops++
+			errs[i] = ErrUnlabeled
+			continue
+		}
+		if !haveRule || p.Labels != lastSt {
+			lastRule, lastSt, haveRule = f.rules[p.Labels], p.Labels, true
+		}
+		r := lastRule
+		if r == nil {
+			c.ruleMiss++
+			c.drops++
+			errs[i] = fmt.Errorf("%w: %+v", ErrNoRule, p.Labels)
+			continue
+		}
+		var target flowtable.Hop
+		if !r.localSet[from] && r.local != nil {
+			target = r.local.pick()
+		} else {
+			target = r.next.pick()
+		}
+		hops[i], errs[i] = f.emitLocked(p, target, c)
+	}
+}
+
+// affinityScratchSize is the burst size the affinity path handles with
+// stack scratch; larger bursts allocate.
+const affinityScratchSize = 64
+
+func (f *Forwarder) affinityBatch(pkts []*packet.Packet, froms []flowtable.Hop, hops []NextHop, errs []error, c *batchCounters) {
+	n := len(pkts)
+	var (
+		rbuf  [affinityScratchSize]*rule
+		stbuf [affinityScratchSize]labels.Stack
+		flbuf [affinityScratchSize]packet.FlowKey
+		rcbuf [affinityScratchSize]flowtable.Record
+		fwbuf [affinityScratchSize]bool
+		okbuf [affinityScratchSize]bool
+		tgbuf [affinityScratchSize]flowtable.Hop
+	)
+	rules, sts, flows := rbuf[:], stbuf[:], flbuf[:]
+	recs, fwds, oks, targets := rcbuf[:], fwbuf[:], okbuf[:], tgbuf[:]
+	if n > affinityScratchSize {
+		rules = make([]*rule, n)
+		sts = make([]labels.Stack, n)
+		flows = make([]packet.FlowKey, n)
+		recs = make([]flowtable.Record, n)
+		fwds = make([]bool, n)
+		oks = make([]bool, n)
+		targets = make([]flowtable.Hop, n)
+	} else {
+		rules, sts, flows = rules[:n], sts[:n], flows[:n]
+		recs, fwds, oks, targets = recs[:n], fwds[:n], oks[:n], targets[:n]
+	}
+
+	// Phase 1: one read-lock for the whole burst — re-affix labels and
+	// resolve each entry's rule (memoizing repeated stacks).
+	var (
+		lastSt   labels.Stack
+		lastRule *rule
+		haveRule bool
+	)
+	f.mu.RLock()
+	for i, p := range pkts {
+		if !f.relabelLocked(p, froms[i], c) {
+			c.drops++
+			errs[i] = ErrUnlabeled
+			rules[i] = nil
+			continue
+		}
+		if !haveRule || p.Labels != lastSt {
+			lastRule, lastSt, haveRule = f.rules[p.Labels], p.Labels, true
+		}
+		rules[i] = lastRule
+		if lastRule == nil {
+			c.ruleMiss++
+			c.drops++
+			errs[i] = fmt.Errorf("%w: %+v", ErrNoRule, p.Labels)
+			continue
+		}
+		sts[i] = p.Labels
+		flows[i] = p.Key
+	}
+	f.mu.RUnlock()
+
+	// Phase 2: flow-table lookups for the burst, shard-grouped when the
+	// store supports it (one shard lock per shard per burst).
+	if bs, ok := f.table.(BatchFlowStore); ok {
+		bs.LookupBatch(sts, flows, recs, fwds, oks)
+	} else {
+		for i := range pkts {
+			if rules[i] == nil {
+				continue
+			}
+			recs[i], fwds[i], oks[i] = f.table.Lookup(sts[i], flows[i])
+		}
+	}
+
+	// Phase 3: resolve misses in arrival order. First packet of a
+	// connection makes all load-balancing decisions and pins them (flow
+	// affinity); when the packet entered from one of the rule's local
+	// elements that element is the pinned local hop, otherwise one is
+	// picked by weight. The previous hop is whoever delivered the packet
+	// (symmetric return), falling back to the rule's previous-hop picker
+	// for unknown sources. Later packets of the same new connection
+	// within this burst reuse the pinned record instead of re-picking.
+	type pendingFlow struct {
+		st     labels.Stack
+		canon  packet.FlowKey
+		fwdCan bool
+		rec    flowtable.Record
+	}
+	var pbuf [8]pendingFlow
+	pendings := pbuf[:0]
+	for i, p := range pkts {
+		r := rules[i]
+		if r == nil {
+			continue
+		}
+		from := froms[i]
+		rec, forward := recs[i], fwds[i]
+		if !oks[i] {
+			canon, same := p.Key.Canonical()
+			dup := false
+			for _, pe := range pendings {
+				if pe.st == p.Labels && pe.canon == canon {
+					rec = pe.rec
+					forward = same == pe.fwdCan
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				rec = flowtable.Record{Next: r.next.pick(), Prev: from}
+				if r.localSet[from] {
+					rec.VNF = from
+					rec.Prev = r.prev.pick()
+				} else {
+					if r.local != nil {
+						rec.VNF = r.local.pick()
+					}
+					if rec.Prev == flowtable.None {
+						rec.Prev = r.prev.pick()
+					}
+				}
+				forward = true
+				f.table.Insert(p.Labels, p.Key, rec)
+				c.newFlows++
+				pendings = append(pendings, pendingFlow{st: p.Labels, canon: canon, fwdCan: same, rec: rec})
+			}
+		}
+		// Route by position: a packet that did not just return from the
+		// connection's pinned local element is entering this forwarder,
+		// so it is handed to that element (same instance in both
+		// directions — flow affinity). A packet returning from the local
+		// element moves along the chain: toward the egress when
+		// travelling forward, toward the ingress otherwise.
+		switch {
+		case rec.VNF != flowtable.None && from != rec.VNF:
+			targets[i] = rec.VNF
+		case forward:
+			targets[i] = rec.Next
+		default:
+			targets[i] = rec.Prev
+		}
+	}
+
+	// Phase 4: emit under one read-lock for the burst.
+	f.mu.RLock()
+	for i := range pkts {
+		if rules[i] == nil {
+			continue
+		}
+		hops[i], errs[i] = f.emitLocked(pkts[i], targets[i], c)
+	}
+	f.mu.RUnlock()
 }

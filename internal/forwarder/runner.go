@@ -8,46 +8,151 @@ import (
 	"switchboard/internal/simnet"
 )
 
-// Runner drives a Forwarder from a simnet endpoint: it receives packets,
-// resolves the sender to a registered hop, runs Process, and sends the
-// packet onward. One Runner models one forwarder core.
+// Runner drives a Forwarder from a simnet endpoint: it drains bursts of
+// packets from the inbox, resolves senders to registered hops, runs
+// ProcessBatch, and sends the survivors onward coalesced per next hop —
+// one outgoing batch per destination per burst. One Runner models one
+// forwarder core running a DPDK-style rx-burst/tx-burst loop.
 type Runner struct {
 	F  *Forwarder
 	EP *simnet.Endpoint
+	// BatchSize is the number of inbox messages drained per wakeup
+	// (default packet.DefaultBatchSize). A message may itself carry a
+	// packet batch, so one wakeup can process more packets than this.
+	BatchSize int
+	// Pool, when set, recycles packets the forwarder drops (processing
+	// errors, failed sends) and is attached to outgoing batches so
+	// downstream sinks recycle delivered packets too.
+	Pool *packet.Pool
+}
+
+// sendGroup accumulates processed packets sharing a next hop.
+type sendGroup struct {
+	addr simnet.Addr
+	b    *packet.Batch
 }
 
 // Run processes packets until the context is cancelled or the endpoint's
-// inbox closes. Non-packet payloads and processing errors are counted as
-// drops and skipped.
+// inbox closes. Non-packet payloads are skipped; processing errors are
+// counted as drops by the forwarder, and send failures (full receiver
+// queues, detached peers) are counted as drops + send errors in
+// Forwarder.Stats so chaos experiments see data-plane loss.
 func (r *Runner) Run(ctx context.Context) {
+	bs := r.BatchSize
+	if bs <= 0 {
+		bs = packet.DefaultBatchSize
+	}
+	var (
+		msgs   = make([]simnet.Message, bs)
+		pkts   []*packet.Packet
+		froms  []flowtable.Hop
+		res    BatchResult
+		groups []sendGroup
+	)
 	for {
-		select {
-		case <-ctx.Done():
-			return
-		case m, ok := <-r.EP.Inbox():
-			if !ok {
-				return
+		n := r.EP.RecvBatchContext(ctx, msgs)
+		if n == 0 {
+			return // cancelled or inbox closed
+		}
+
+		// Flatten the drained messages into one packet burst, resolving
+		// each sender to its hop. Senders repeat within a burst, so the
+		// last resolution is memoized.
+		pkts, froms = pkts[:0], froms[:0]
+		var (
+			lastAddr simnet.Addr
+			lastHop  flowtable.Hop
+			haveLast bool
+		)
+		resolve := func(a simnet.Addr) flowtable.Hop {
+			if haveLast && a == lastAddr {
+				return lastHop
 			}
-			p, ok := m.Payload.(*packet.Packet)
-			if !ok {
-				continue
-			}
-			from := r.F.HopByAddr(m.From)
-			if from == flowtable.None && m.From != (simnet.Addr{}) {
+			h := r.F.HopByAddr(a)
+			if h == flowtable.None && a != (simnet.Addr{}) {
 				// Learn unknown senders as peer forwarders so the flow
 				// table can record them as previous hops (needed when a
 				// new edge site starts sending before any rule names it).
-				from = r.F.AddHop(NextHop{Kind: KindForwarder, Addr: m.From})
+				h = r.F.AddHop(NextHop{Kind: KindForwarder, Addr: a})
 			}
-			nh, err := r.F.Process(p, from)
-			if err != nil {
+			lastAddr, lastHop, haveLast = a, h, true
+			return h
+		}
+		for i := 0; i < n; i++ {
+			switch pl := msgs[i].Payload.(type) {
+			case *packet.Packet:
+				pkts = append(pkts, pl)
+				froms = append(froms, resolve(msgs[i].From))
+			case *packet.Batch:
+				from := resolve(msgs[i].From)
+				for _, p := range pl.Pkts {
+					pkts = append(pkts, p)
+					froms = append(froms, from)
+				}
+				packet.PutBatch(pl) // container only; packets live on
+			}
+			msgs[i] = simnet.Message{} // drop payload reference
+		}
+		if len(pkts) == 0 {
+			continue
+		}
+
+		r.F.ProcessBatch(pkts, froms, &res)
+
+		// Coalesce survivors per next hop. The number of distinct next
+		// hops per burst is small, so a linear scan beats a map.
+		groups = groups[:0]
+		for i, p := range pkts {
+			if res.Errs[i] != nil {
+				if r.Pool != nil {
+					r.Pool.Put(p)
+				}
 				continue
 			}
-			// Payload size models the packet body plus the label
-			// overlay when labeled.
+			to := res.Hops[i].Addr
+			// Payload size models the packet body plus the label overlay.
 			size := len(p.Payload) + 40
-			_ = r.EP.Send(nh.Addr, p, size)
+			joined := false
+			for gi := range groups {
+				if groups[gi].addr == to {
+					groups[gi].b.Append(p, size)
+					joined = true
+					break
+				}
+			}
+			if !joined {
+				b := packet.GetBatch()
+				b.Pool = r.Pool
+				b.Append(p, size)
+				groups = append(groups, sendGroup{addr: to, b: b})
+			}
 		}
+
+		var sendErrs uint64
+		for gi := range groups {
+			g := groups[gi]
+			cnt := uint64(g.b.Len())
+			var err error
+			if cnt == 1 {
+				// Single packets keep the classic message shape so
+				// consumers outside the batched path are unaffected.
+				p, size := g.b.Pkts[0], g.b.Sizes[0]
+				if err = r.EP.Send(g.addr, p, size); err != nil && r.Pool != nil {
+					r.Pool.Put(p)
+				}
+				packet.PutBatch(g.b)
+			} else {
+				if err = r.EP.SendBatch(g.addr, g.b); err != nil {
+					g.b.ReleasePackets()
+					packet.PutBatch(g.b)
+				}
+			}
+			if err != nil {
+				sendErrs += cnt
+			}
+			groups[gi] = sendGroup{}
+		}
+		r.F.countSendErrors(sendErrs)
 	}
 }
 

@@ -1,0 +1,156 @@
+package packet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"switchboard/internal/labels"
+)
+
+// DefaultBatchSize is the data plane's default burst size: the number of
+// messages a batched receive loop drains per wakeup and the number of
+// packets a traffic source coalesces per send. 32 matches the common
+// DPDK rx/tx burst size the paper's forwarder is built around.
+const DefaultBatchSize = 32
+
+// Pool recycles Packet structs so the data plane allocates once per
+// in-flight packet instead of once per packet per hop. Ownership is
+// strict hand-off: a sender must not touch a packet after sending it,
+// and only the final owner (a sink, or a hop that drops the packet) may
+// Put it back.
+type Pool struct {
+	p      sync.Pool
+	allocs atomic.Uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	pl := &Pool{}
+	pl.p.New = func() any {
+		pl.allocs.Add(1)
+		return &Packet{}
+	}
+	return pl
+}
+
+// Get returns a packet with zeroed header fields and an empty payload.
+// The payload slice may retain capacity from a previous use; append to
+// it rather than assigning a fresh slice to benefit from recycling.
+func (pl *Pool) Get() *Packet {
+	return pl.p.Get().(*Packet)
+}
+
+// Put resets the packet and returns it to the pool. The label stack and
+// flow key are cleared and the payload is truncated (capacity retained),
+// so a recycled packet can never leak the previous flow's state.
+func (pl *Pool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	p.Labels = labels.Stack{}
+	p.Labeled = false
+	p.Key = FlowKey{}
+	p.Payload = p.Payload[:0]
+	pl.p.Put(p)
+}
+
+// Allocs reports how many packets the pool has ever allocated; the gap
+// between packets processed and Allocs is the recycling win.
+func (pl *Pool) Allocs() uint64 { return pl.allocs.Load() }
+
+// Batch is the unit of work on the batched data path: a burst of packets
+// travelling together between two endpoints, with per-entry wire sizes.
+// A batch is sent as a single simnet message (one inbox operation per
+// burst, like a DPDK tx burst), while WAN loss still applies per entry.
+//
+// Ownership follows the packets: sending a batch hands every packet and
+// the batch container to the receiver. Receivers that keep the packets
+// return just the container with PutBatch; sinks call ReleasePackets
+// first to recycle the packets too.
+type Batch struct {
+	// Pkts are the packets, in send order.
+	Pkts []*Packet
+	// Sizes holds the wire size of each entry, aligned with Pkts.
+	Sizes []int
+	// Pool, when set, receives packets dropped in transit (per-entry WAN
+	// loss) and packets recycled by ReleasePackets.
+	Pool *Pool
+}
+
+var batchPool = sync.Pool{New: func() any { return &Batch{} }}
+
+// GetBatch returns an empty batch container from the shared pool.
+func GetBatch() *Batch { return batchPool.Get().(*Batch) }
+
+// PutBatch resets the container and returns it to the shared pool. It
+// does not touch the packets; use ReleasePackets first when the packets
+// themselves are done.
+func PutBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	b.Reset()
+	batchPool.Put(b)
+}
+
+// Append adds a packet with its wire size.
+func (b *Batch) Append(p *Packet, size int) {
+	b.Pkts = append(b.Pkts, p)
+	b.Sizes = append(b.Sizes, size)
+}
+
+// Len returns the number of entries.
+func (b *Batch) Len() int { return len(b.Pkts) }
+
+// TotalSize returns the summed wire size of all entries — the batch's
+// size on an emulated link (a burst serializes back-to-back).
+func (b *Batch) TotalSize() int {
+	total := 0
+	for _, s := range b.Sizes {
+		total += s
+	}
+	return total
+}
+
+// Reset empties the batch, keeping slice capacity. Packet pointers are
+// cleared so a pooled container never pins packets.
+func (b *Batch) Reset() {
+	clear(b.Pkts)
+	b.Pkts = b.Pkts[:0]
+	b.Sizes = b.Sizes[:0]
+	b.Pool = nil
+}
+
+// Filter removes entries for which keep returns false, preserving order
+// and recycling removed packets into the batch's pool. It operates in
+// place: payloads are not copied or re-boxed.
+func (b *Batch) Filter(keep func(i int) bool) {
+	n := 0
+	for i := range b.Pkts {
+		if keep(i) {
+			b.Pkts[n] = b.Pkts[i]
+			b.Sizes[n] = b.Sizes[i]
+			n++
+			continue
+		}
+		if b.Pool != nil {
+			b.Pool.Put(b.Pkts[i])
+		}
+	}
+	clear(b.Pkts[n:])
+	b.Pkts = b.Pkts[:n]
+	b.Sizes = b.Sizes[:n]
+}
+
+// ReleasePackets recycles every packet into the batch's pool (no-op when
+// the batch has none) and clears the entries.
+func (b *Batch) ReleasePackets() {
+	if b.Pool != nil {
+		for _, p := range b.Pkts {
+			b.Pool.Put(p)
+		}
+	}
+	clear(b.Pkts)
+	b.Pkts = b.Pkts[:0]
+	b.Sizes = b.Sizes[:0]
+}

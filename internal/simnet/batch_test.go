@@ -1,0 +1,213 @@
+package simnet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"switchboard/internal/packet"
+)
+
+func attachPair(t *testing.T, n *Network, aSite, bSite SiteID, queue int) (*Endpoint, *Endpoint) {
+	t.Helper()
+	a, err := n.Attach(Addr{Site: aSite, Host: "a"}, queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Attach(Addr{Site: bSite, Host: "b"}, queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestRecvBatchDrainsAtMostN(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	a, b := attachPair(t, n, "s", "s", 64)
+	for i := 0; i < 10; i++ {
+		if err := a.Send(b.Addr(), i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]Message, 4)
+	got := b.RecvBatch(buf)
+	if got != 4 {
+		t.Fatalf("RecvBatch with 10 queued and buf of 4 = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if buf[i].Payload.(int) != i {
+			t.Errorf("entry %d = %v, want %d (FIFO order)", i, buf[i].Payload, i)
+		}
+	}
+	// The remaining 6 are still queued.
+	rest := make([]Message, 16)
+	if got := b.RecvBatch(rest); got != 6 {
+		t.Errorf("second RecvBatch = %d, want the remaining 6", got)
+	}
+}
+
+func TestRecvBatchNeverBlocksWhenNonEmpty(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	a, b := attachPair(t, n, "s", "s", 64)
+	if err := a.Send(b.Addr(), "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		buf := make([]Message, 8)
+		done <- b.RecvBatch(buf)
+	}()
+	select {
+	case got := <-done:
+		if got != 1 {
+			t.Fatalf("RecvBatch = %d, want 1", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RecvBatch blocked with a non-empty inbox")
+	}
+}
+
+func TestRecvBatchReturnsZeroOnClose(t *testing.T) {
+	n := New(1)
+	_, b := attachPair(t, n, "s", "s", 64)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		n.Close()
+	}()
+	buf := make([]Message, 8)
+	if got := b.RecvBatch(buf); got != 0 {
+		t.Fatalf("RecvBatch on closed inbox = %d, want 0", got)
+	}
+}
+
+func TestRecvBatchContextCancel(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	_, b := attachPair(t, n, "s", "s", 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	buf := make([]Message, 8)
+	if got := b.RecvBatchContext(ctx, buf); got != 0 {
+		t.Fatalf("RecvBatchContext after cancel = %d, want 0", got)
+	}
+}
+
+func TestTryRecvBatchNeverBlocks(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	a, b := attachPair(t, n, "s", "s", 64)
+	buf := make([]Message, 8)
+	if got := b.TryRecvBatch(buf); got != 0 {
+		t.Fatalf("TryRecvBatch on empty inbox = %d, want 0", got)
+	}
+	if err := a.Send(b.Addr(), "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.TryRecvBatch(buf); got != 1 {
+		t.Fatalf("TryRecvBatch with one queued = %d, want 1", got)
+	}
+}
+
+func TestSendBatchDeliversAsOneMessage(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	a, b := attachPair(t, n, "s", "s", 64)
+	batch := packet.GetBatch()
+	for i := 0; i < 5; i++ {
+		batch.Append(&packet.Packet{Key: packet.FlowKey{SrcPort: uint16(i)}}, 100)
+	}
+	if err := a.SendBatch(b.Addr(), batch); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Message, 8)
+	if got := b.RecvBatch(buf); got != 1 {
+		t.Fatalf("a 5-packet batch arrived as %d messages, want 1", got)
+	}
+	rb, ok := buf[0].Payload.(*packet.Batch)
+	if !ok {
+		t.Fatalf("payload is %T, want *packet.Batch", buf[0].Payload)
+	}
+	if rb.Len() != 5 {
+		t.Errorf("batch arrived with %d entries, want 5", rb.Len())
+	}
+	if buf[0].Size != 500 {
+		t.Errorf("message size = %d, want summed wire size 500", buf[0].Size)
+	}
+}
+
+func TestSendBatchEmptyIsNoop(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	a, b := attachPair(t, n, "s", "s", 64)
+	if err := a.SendBatch(b.Addr(), nil); err != nil {
+		t.Fatal(err)
+	}
+	empty := packet.GetBatch()
+	defer packet.PutBatch(empty)
+	if err := a.SendBatch(b.Addr(), empty); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Message, 4)
+	if got := b.TryRecvBatch(buf); got != 0 {
+		t.Fatalf("empty SendBatch delivered %d messages", got)
+	}
+}
+
+// A lossy WAN path drops batch entries individually, not the whole burst,
+// and recycles the dropped packets into the batch's pool.
+func TestSendBatchPerEntryLoss(t *testing.T) {
+	n := New(42)
+	defer n.Close()
+	a, b := attachPair(t, n, "east", "west", 4096)
+	n.SetPath("east", "west", PathProfile{Delay: time.Millisecond, Loss: 0.5})
+
+	pool := packet.NewPool()
+	const sent = 2000
+	perBatch := 20
+	for i := 0; i < sent/perBatch; i++ {
+		batch := packet.GetBatch()
+		batch.Pool = pool
+		for k := 0; k < perBatch; k++ {
+			batch.Append(pool.Get(), 10)
+		}
+		if err := a.SendBatch(b.Addr(), batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	got, partial := 0, 0
+	buf := make([]Message, 64)
+	for got < sent/4 { // well below the ~50% expectation, far above 0
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of %d packets arrived before deadline", got, sent)
+		default:
+		}
+		k := b.TryRecvBatch(buf)
+		if k == 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		for j := 0; j < k; j++ {
+			rb := buf[j].Payload.(*packet.Batch)
+			got += rb.Len()
+			if rb.Len() == 0 || rb.Len() > perBatch {
+				t.Fatalf("delivered batch has %d entries, want 1..%d", rb.Len(), perBatch)
+			}
+			if rb.Len() < perBatch {
+				partial++
+			}
+		}
+	}
+	// Partial batches prove loss was applied per entry, not per burst:
+	// with 50% loss the chance every delivered 20-entry batch survived
+	// intact is (0.5^20)^batches ~ 0.
+	if partial == 0 {
+		t.Error("no partial batches delivered; loss looks per-burst, not per-entry")
+	}
+}

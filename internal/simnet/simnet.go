@@ -11,11 +11,14 @@
 package simnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
+
+	"switchboard/internal/packet"
 )
 
 // SiteID names a cloud or edge site ("siteA", "aws-east", "cpe-1").
@@ -165,6 +168,78 @@ func (e *Endpoint) Send(to Addr, payload any, size int) error {
 	})
 }
 
+// SendBatch delivers a packet batch to one endpoint as a single inbox
+// message: one endpoint lookup, one pipe enqueue, and one receiver
+// wakeup per burst instead of per packet. WAN loss still applies to each
+// batch entry individually (lossy entries are filtered in place, without
+// re-boxing payloads); propagation delay and jitter apply to the burst
+// as a whole, since a back-to-back burst rides one tunnel transmission.
+// Ownership of the batch and its packets passes to the receiver; on a
+// returned error the caller still owns them.
+func (e *Endpoint) SendBatch(to Addr, b *packet.Batch) error {
+	if b == nil || b.Len() == 0 {
+		return nil
+	}
+	return e.Send(to, b, b.TotalSize())
+}
+
+// RecvBatch receives up to len(buf) messages: it blocks until at least
+// one message is available, then drains whatever else is already queued
+// without blocking. Returns the number received; 0 means the inbox
+// closed. It never blocks when the inbox is non-empty.
+func (e *Endpoint) RecvBatch(buf []Message) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	m, ok := <-e.inbox
+	if !ok {
+		return 0
+	}
+	buf[0] = m
+	return 1 + e.drain(buf[1:])
+}
+
+// RecvBatchContext is RecvBatch with cancellation: it also returns 0
+// when ctx is done before a message arrives.
+func (e *Endpoint) RecvBatchContext(ctx context.Context, buf []Message) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	select {
+	case <-ctx.Done():
+		return 0
+	case m, ok := <-e.inbox:
+		if !ok {
+			return 0
+		}
+		buf[0] = m
+		return 1 + e.drain(buf[1:])
+	}
+}
+
+// TryRecvBatch drains up to len(buf) already-queued messages without
+// ever blocking. Returns the number received (0 when the inbox is empty
+// or closed).
+func (e *Endpoint) TryRecvBatch(buf []Message) int { return e.drain(buf) }
+
+// drain moves queued messages into buf without blocking.
+func (e *Endpoint) drain(buf []Message) int {
+	n := 0
+	for n < len(buf) {
+		select {
+		case m, ok := <-e.inbox:
+			if !ok {
+				return n
+			}
+			buf[n] = m
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
 func (n *Network) send(m Message) error {
 	n.mu.RLock()
 	if n.closed {
@@ -187,8 +262,19 @@ func (n *Network) send(m Message) error {
 		// Immediate local delivery.
 		return deliver(dst, m)
 	}
-	if profile.Loss > 0 && n.randFloat() < profile.Loss {
-		return nil // silently lost, like a real WAN
+	if profile.Loss > 0 {
+		if b, ok := m.Payload.(*packet.Batch); ok {
+			// Loss is per batch entry, as on a real wire: each packet of
+			// a burst faces the drop probability independently. Survivors
+			// stay in the same batch container (no re-boxing).
+			b.Filter(func(int) bool { return n.randFloat() >= profile.Loss })
+			if b.Len() == 0 {
+				return nil // whole burst lost
+			}
+			m.Size = b.TotalSize()
+		} else if n.randFloat() < profile.Loss {
+			return nil // silently lost, like a real WAN
+		}
 	}
 	p := n.pipeFor(m.From.Site, m.To.Site)
 	p.enqueue(m)
