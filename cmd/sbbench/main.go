@@ -7,6 +7,7 @@
 //	sbbench -exp fig12a
 //	sbbench -exp all
 //	sbbench -exp dataplane -json   # also writes BENCH_dataplane.json
+//	sbbench -exp observe -listen localhost:6060   # debug endpoint while running
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"time"
 
 	"switchboard/internal/experiments"
+	"switchboard/internal/introspect"
+	"switchboard/internal/metrics"
 )
 
 func main() {
@@ -24,7 +27,18 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	jsonOut := flag.Bool("json", false, "also write each table to BENCH_<id>.json")
 	outDir := flag.String("out", ".", "directory for -json artifacts")
+	listen := flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address while running (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *listen != "" {
+		addr, stop, err := introspect.Serve(*listen, metrics.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listen %s: %v\n", *listen, err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("introspection on http://%s/metrics\n", addr)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

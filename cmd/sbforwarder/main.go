@@ -20,7 +20,7 @@
 //	  ]
 //	}
 //
-// Usage: sbforwarder -config fwd.json
+// Usage: sbforwarder -config fwd.json [-listen-debug localhost:6060]
 package main
 
 import (
@@ -33,7 +33,9 @@ import (
 
 	"switchboard/internal/flowtable"
 	"switchboard/internal/forwarder"
+	"switchboard/internal/introspect"
 	"switchboard/internal/labels"
+	"switchboard/internal/metrics"
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
 )
@@ -186,6 +188,7 @@ func (d *daemon) serve() error {
 
 func main() {
 	configPath := flag.String("config", "", "path to JSON config")
+	debugAddr := flag.String("listen-debug", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: sbforwarder -config fwd.json")
@@ -202,6 +205,14 @@ func main() {
 	d, err := newDaemon(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *debugAddr != "" {
+		d.f.RegisterMetrics(metrics.Default())
+		addr, _, err := introspect.Serve(*debugAddr, metrics.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("introspection on http://%s/metrics", addr)
 	}
 	listen, err := net.ResolveUDPAddr("udp", cfg.Listen)
 	if err != nil {

@@ -10,7 +10,10 @@
 //	POST /v1/plan/cloud  — cloud capacity planning (body: CloudPlanRequest)
 //	GET  /healthz        — liveness
 //
-// Usage: switchboard [-addr :8080]
+// With -listen-debug, a second listener serves /metrics (request
+// counters and solve-latency histograms), /healthz and /debug/pprof.
+//
+// Usage: switchboard [-addr :8080] [-listen-debug localhost:6060]
 package main
 
 import (
@@ -21,6 +24,8 @@ import (
 	"net/http"
 	"time"
 
+	"switchboard/internal/introspect"
+	"switchboard/internal/metrics"
 	"switchboard/internal/model"
 	"switchboard/internal/te"
 )
@@ -158,6 +163,9 @@ func solve(nw *model.Network, scheme string) (*model.Routing, error) {
 }
 
 func handleRoute(w http.ResponseWriter, r *http.Request) {
+	metrics.Default().Counter("ted.route_requests").Inc()
+	start := time.Now()
+	defer func() { metrics.Default().Histogram("ted.route_solve").Observe(time.Since(start)) }()
 	var req RouteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -198,6 +206,7 @@ func handleRoute(w http.ResponseWriter, r *http.Request) {
 }
 
 func handleCloudPlan(w http.ResponseWriter, r *http.Request) {
+	metrics.Default().Counter("ted.plan_requests").Inc()
 	var req CloudPlanRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -239,7 +248,15 @@ func newMux() *http.ServeMux {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("listen-debug", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	if *debugAddr != "" {
+		bound, _, err := introspect.Serve(*debugAddr, metrics.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("introspection on http://%s/metrics", bound)
+	}
 	log.Printf("global switchboard TE service listening on %s", *addr)
 	srv := &http.Server{Addr: *addr, Handler: newMux(), ReadHeaderTimeout: 5 * time.Second}
 	log.Fatal(srv.ListenAndServe())

@@ -369,4 +369,22 @@ func (p *proxy) deliverLocal(topic Topic, payload any, hops int) {
 // WANMessages returns the count of inter-site proxy transmissions.
 func (b *Bus) WANMessages() uint64 { return b.wanMsgs.Load() }
 
+// RegisterMetrics publishes the bus's WAN delivery counters into a
+// metrics registry. All are cumulative message counts mirroring Stats:
+//
+//	bus.wan_messages  inter-site proxy transmissions (incl. retries)
+//	bus.send_errors   transmissions the network refused outright
+//	bus.retries       retransmissions of unacknowledged messages
+//	bus.drops         messages abandoned after the retry budget
+//	bus.duplicates    stale or duplicate copies suppressed at receivers
+//	bus.resyncs       topics repaired by the anti-entropy loop
+func (b *Bus) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("bus.wan_messages", b.wanMsgs.Load)
+	r.CounterFunc("bus.send_errors", b.sendErrors.Load)
+	r.CounterFunc("bus.retries", b.retries.Load)
+	r.CounterFunc("bus.drops", b.drops.Load)
+	r.CounterFunc("bus.duplicates", b.duplicates.Load)
+	r.CounterFunc("bus.resyncs", b.resyncs.Load)
+}
+
 var _ PubSub = (*Bus)(nil)

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"switchboard/internal/bus"
 	"switchboard/internal/edge"
 	"switchboard/internal/labels"
+	"switchboard/internal/metrics"
 	"switchboard/internal/model"
 	"switchboard/internal/simnet"
 	"switchboard/internal/te"
@@ -53,6 +55,14 @@ type GlobalSwitchboard struct {
 	// InstancesPerSite is how many VNF instances each controller
 	// allocates per chain per site (default 1).
 	InstancesPerSite int
+
+	// Control-plane counters; see RegisterMetrics for the exported names.
+	chainsCreated  atomic.Uint64
+	reroutes       atomic.Uint64
+	siteFailures   atomic.Uint64
+	routePublishes atomic.Uint64
+	// reconv records end-to-end site-failure recovery durations.
+	reconv *metrics.Histogram
 }
 
 type chainRecord struct {
@@ -79,7 +89,25 @@ func NewGlobalSwitchboard(net *simnet.Network, b *bus.Bus, site simnet.SiteID) *
 		alloc:            labels.NewAllocator(),
 		failedSites:      make(map[simnet.SiteID]bool),
 		InstancesPerSite: 1,
+		reconv:           metrics.NewHistogram(),
 	}
+}
+
+// RegisterMetrics publishes the controller's counters into a metrics
+// registry. All counters are cumulative control-plane operations; the
+// histogram records durations in nanoseconds:
+//
+//	gs.chains_created  chains successfully created
+//	gs.reroutes        successful chain recomputations (incl. failure recovery)
+//	gs.site_failures   site failures handled
+//	gs.route_publishes route snapshots published on the bus
+//	gs.reconvergence   histogram: site-failure recovery duration
+func (g *GlobalSwitchboard) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("gs.chains_created", g.chainsCreated.Load)
+	r.CounterFunc("gs.reroutes", g.reroutes.Load)
+	r.CounterFunc("gs.site_failures", g.siteFailures.Load)
+	r.CounterFunc("gs.route_publishes", g.routePublishes.Load)
+	r.RegisterHistogram("gs.reconvergence", g.reconv)
 }
 
 // SetTimeline attaches a timeline for responsiveness experiments.
@@ -388,6 +416,7 @@ func (g *GlobalSwitchboard) CreateChain(spec Spec) (*RouteRecord, error) {
 		return nil, err
 	}
 	tl.Record("instances allocated")
+	g.chainsCreated.Add(1)
 	return rec, nil
 }
 
@@ -611,6 +640,7 @@ func (g *GlobalSwitchboard) publishRoute(_ *RouteRecord) error {
 	}
 	g.mu.Unlock()
 	sort.Slice(snapshot, func(i, j int) bool { return snapshot[i].Chain < snapshot[j].Chain })
+	g.routePublishes.Add(1)
 	return g.bus.Publish(g.site, g.RoutesTopic(), snapshot, 256*len(snapshot))
 }
 
@@ -745,6 +775,7 @@ func (g *GlobalSwitchboard) RecomputeChain(id ChainID, newForward, newReverse fl
 		return nil, err
 	}
 	tl.Record("new instances allocated")
+	g.reroutes.Add(1)
 	return rec, nil
 }
 
@@ -793,6 +824,9 @@ func (g *GlobalSwitchboard) DeleteChain(id ChainID) error {
 // were rerouted and the first error encountered (recovery continues past
 // per-chain errors such as chains with no alternative site).
 func (g *GlobalSwitchboard) HandleSiteFailure(site simnet.SiteID) (rerouted []ChainID, firstErr error) {
+	g.siteFailures.Add(1)
+	start := time.Now()
+	defer func() { g.reconv.Observe(time.Since(start)) }()
 	g.mu.Lock()
 	vnfs := make([]*VNFController, 0, len(g.vnfs))
 	for _, v := range g.vnfs {

@@ -3,6 +3,7 @@ package controller
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"switchboard/internal/bus"
 	"switchboard/internal/dht"
@@ -10,6 +11,7 @@ import (
 	"switchboard/internal/flowtable"
 	"switchboard/internal/forwarder"
 	"switchboard/internal/labels"
+	"switchboard/internal/metrics"
 	"switchboard/internal/simnet"
 )
 
@@ -39,6 +41,17 @@ type LocalSwitchboard struct {
 	hbStop     chan struct{}
 	wg         sync.WaitGroup
 	closed     bool
+
+	// routesApplied counts route records accepted (new or newer version).
+	routesApplied atomic.Uint64
+}
+
+// RegisterMetrics publishes the Local Switchboard's counters into a
+// metrics registry under "ls.<site>.*":
+//
+//	ls.<site>.routes_applied route records accepted (new or newer version)
+func (ls *LocalSwitchboard) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("ls."+string(ls.site)+".routes_applied", ls.routesApplied.Load)
 }
 
 type fwdRuntime struct {
@@ -289,6 +302,7 @@ func (ls *LocalSwitchboard) OnRoute(rec *RouteRecord) {
 		ls.mu.Unlock()
 		return
 	}
+	ls.routesApplied.Add(1)
 	cs.rec = rec
 	tl := ls.tl
 	ls.mu.Unlock()

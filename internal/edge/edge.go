@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"switchboard/internal/labels"
+	"switchboard/internal/metrics"
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
 )
@@ -144,6 +145,24 @@ func (e *Instance) Stats() Stats {
 	}
 }
 
+// RegisterMetrics publishes the edge instance's counters into a metrics
+// registry under "edge.<host>.*" (host is the instance's simnet host
+// name). All are cumulative packet counts mirroring Stats:
+//
+//	edge.<host>.ingressed     packets labeled and sent into the overlay
+//	edge.<host>.egressed      packets delivered to local destinations
+//	edge.<host>.unmatched     packets with no matching chain rule
+//	edge.<host>.no_egress     packets with no egress route
+//	edge.<host>.no_local_host egress packets with unknown destination host
+func (e *Instance) RegisterMetrics(r *metrics.Registry) {
+	prefix := "edge." + e.ep.Addr().Host + "."
+	r.CounterFunc(prefix+"ingressed", e.ingressed.Load)
+	r.CounterFunc(prefix+"egressed", e.egressed.Load)
+	r.CounterFunc(prefix+"unmatched", e.unmatched.Load)
+	r.CounterFunc(prefix+"no_egress", e.noEgress.Load)
+	r.CounterFunc(prefix+"no_local_host", e.noLocalHost.Load)
+}
+
 // HandlePacket processes one packet: labeled packets egress to local
 // hosts; unlabeled packets ingress into the overlay. It returns the
 // destination address and true when the packet should be sent.
@@ -225,13 +244,18 @@ func (e *Instance) egress(p *packet.Packet) (simnet.Addr, bool) {
 func (e *Instance) Run(ctx context.Context) {
 	msgs := make([]simnet.Message, packet.DefaultBatchSize)
 	var groups []overlayGroup
+	node := "edge:" + e.ep.Addr().Host
 	for {
 		n := e.ep.RecvBatchContext(ctx, msgs)
 		if n == 0 {
 			return
 		}
 		groups = groups[:0]
-		handle := func(p *packet.Packet, pool *packet.Pool) {
+		// Traced packets stamp arrival/departure per burst: one clock
+		// read each per wakeup, none when nothing is traced.
+		var arrive, depart packet.LazyNow
+		handle := func(p *packet.Packet, pool *packet.Pool, burst int) {
+			packet.TraceArrive(p, node, &arrive, burst)
 			to, send := e.HandlePacket(p)
 			if !send {
 				if pool != nil {
@@ -240,6 +264,7 @@ func (e *Instance) Run(ctx context.Context) {
 				return
 			}
 			size := len(p.Payload) + 40
+			packet.TraceDepart(p, &depart)
 			if !p.Labeled {
 				// Egress toward a local host: plain single delivery.
 				_ = e.ep.Send(to, p, size)
@@ -259,10 +284,11 @@ func (e *Instance) Run(ctx context.Context) {
 		for k := 0; k < n; k++ {
 			switch pl := msgs[k].Payload.(type) {
 			case *packet.Packet:
-				handle(pl, nil)
+				handle(pl, nil, 1)
 			case *packet.Batch:
+				burst := pl.Len()
 				for _, p := range pl.Pkts {
-					handle(p, pl.Pool)
+					handle(p, pl.Pool, burst)
 				}
 				packet.PutBatch(pl)
 			}

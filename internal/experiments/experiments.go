@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"fig13c", "VNF placement hints vs random site selection", Fig13c},
 		{"chaos", "chaos soak: 30% loss, controller partition, site crash", Chaos},
 		{"dataplane", "batched data path: pps per core vs batch size (1/8/32/64)", BatchSweep},
+		{"observe", "per-hop latency breakdown of a 3-VNF chain via sampled path tracing", Observe},
 	}
 }
 

@@ -1,0 +1,30 @@
+package forwarder
+
+import "switchboard/internal/metrics"
+
+// RegisterMetrics publishes the forwarder's counters into a metrics
+// registry under "forwarder.<name>.*". Registration installs read
+// functions over the existing atomic counters, so it adds no cost to
+// the packet path and the Stats accessor keeps working unchanged.
+//
+// Registered names (all counters are cumulative packet counts):
+//
+//	forwarder.<name>.rx         packets received
+//	forwarder.<name>.tx         packets forwarded
+//	forwarder.<name>.drops      packets dropped (all causes, incl. send errors)
+//	forwarder.<name>.new_flows  connections admitted to the flow table
+//	forwarder.<name>.rule_miss  packets with no installed rule
+//	forwarder.<name>.relabeled  packets re-labeled after a label-unaware VNF
+//	forwarder.<name>.send_errs  packets the runner failed to hand to the network
+//	forwarder.<name>.flows      gauge: connections currently tracked
+func (f *Forwarder) RegisterMetrics(r *metrics.Registry) {
+	prefix := "forwarder." + f.name + "."
+	r.CounterFunc(prefix+"rx", f.stats.rx.Load)
+	r.CounterFunc(prefix+"tx", f.stats.tx.Load)
+	r.CounterFunc(prefix+"drops", f.stats.drops.Load)
+	r.CounterFunc(prefix+"new_flows", f.stats.newFlows.Load)
+	r.CounterFunc(prefix+"rule_miss", f.stats.ruleMiss.Load)
+	r.CounterFunc(prefix+"relabeled", f.stats.relabeled.Load)
+	r.CounterFunc(prefix+"send_errs", f.stats.sendErrs.Load)
+	r.GaugeFunc(prefix+"flows", func() float64 { return float64(f.table.Len()) })
+}

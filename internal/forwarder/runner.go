@@ -49,6 +49,7 @@ func (r *Runner) Run(ctx context.Context) {
 		res    BatchResult
 		groups []sendGroup
 	)
+	node := "fwd:" + r.F.Name()
 	for {
 		n := r.EP.RecvBatchContext(ctx, msgs)
 		if n == 0 {
@@ -57,7 +58,10 @@ func (r *Runner) Run(ctx context.Context) {
 
 		// Flatten the drained messages into one packet burst, resolving
 		// each sender to its hop. Senders repeat within a burst, so the
-		// last resolution is memoized.
+		// last resolution is memoized. Traced packets are stamped with
+		// the burst's arrival time: one clock read per burst, zero when
+		// nothing in the burst is traced.
+		var arrive packet.LazyNow
 		pkts, froms = pkts[:0], froms[:0]
 		var (
 			lastAddr simnet.Addr
@@ -81,11 +85,14 @@ func (r *Runner) Run(ctx context.Context) {
 		for i := 0; i < n; i++ {
 			switch pl := msgs[i].Payload.(type) {
 			case *packet.Packet:
+				packet.TraceArrive(pl, node, &arrive, 1)
 				pkts = append(pkts, pl)
 				froms = append(froms, resolve(msgs[i].From))
 			case *packet.Batch:
 				from := resolve(msgs[i].From)
+				burst := pl.Len()
 				for _, p := range pl.Pkts {
+					packet.TraceArrive(p, node, &arrive, burst)
 					pkts = append(pkts, p)
 					froms = append(froms, from)
 				}
@@ -128,9 +135,15 @@ func (r *Runner) Run(ctx context.Context) {
 			}
 		}
 
+		// Departure is stamped per burst, after processing: one clock
+		// read covers every traced survivor of this wakeup.
+		var depart packet.LazyNow
 		var sendErrs uint64
 		for gi := range groups {
 			g := groups[gi]
+			for _, p := range g.b.Pkts {
+				packet.TraceDepart(p, &depart)
+			}
 			cnt := uint64(g.b.Len())
 			var err error
 			if cnt == 1 {

@@ -1,0 +1,62 @@
+// Package introspect exposes a process's metrics registry over HTTP for
+// runtime inspection — an expvar-style debug listener. The endpoint is
+// strictly opt-in: nothing listens unless a command is started with a
+// -listen flag, and the handler only reads registry snapshots, so it
+// never perturbs the data path.
+//
+// Routes:
+//
+//	/metrics       JSON metrics.Snapshot of the registry
+//	/healthz       liveness probe ("ok")
+//	/debug/pprof/  net/http/pprof profiles (CPU, heap, goroutines, ...)
+package introspect
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"switchboard/internal/metrics"
+)
+
+// Handler returns an http.Handler serving the registry. Safe for
+// concurrent use; each /metrics request takes a fresh snapshot.
+func Handler(reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		data, err := reg.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+		_, _ = w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	// pprof registers on http.DefaultServeMux via its init; rebind the
+	// handlers explicitly so this mux works standalone.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug listener on addr (e.g. "localhost:6060") and
+// returns the bound address — useful with a ":0" addr — and a function
+// that shuts the listener down. The server runs on a background
+// goroutine; serve errors after Close are ignored.
+func Serve(addr string, reg *metrics.Registry) (bound string, close func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,83 @@
+package introspect
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"switchboard/internal/metrics"
+)
+
+func newTestRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.Counter("test.hits").Add(42)
+	reg.GaugeFunc("test.load", func() float64 { return 1.5 })
+	reg.Histogram("test.latency").Observe(3 * time.Millisecond)
+	return reg
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	srv := httptest.NewServer(Handler(newTestRegistry()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["test.hits"] != 42 {
+		t.Errorf("test.hits = %d, want 42", snap.Counters["test.hits"])
+	}
+	if snap.Gauges["test.load"] != 1.5 {
+		t.Errorf("test.load = %v, want 1.5", snap.Gauges["test.load"])
+	}
+	if h, ok := snap.Histograms["test.latency"]; !ok || h.Count != 1 {
+		t.Errorf("test.latency = %+v, want count 1", h)
+	}
+}
+
+func TestHandlerHealthzAndPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler(newTestRegistry()))
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %s (%s)", path, resp.Status, body)
+		}
+	}
+}
+
+func TestServe(t *testing.T) {
+	addr, stop, err := Serve("127.0.0.1:0", newTestRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz via Serve: %s", resp.Status)
+	}
+}

@@ -1,76 +1,175 @@
-// Package metrics provides the measurement utilities used by the
-// experiment harness: latency histograms with percentile extraction and
-// windowed throughput meters.
+// Package metrics is the repository's unified observability layer: the
+// primitive instruments (Counter, Gauge, Histogram, Meter) every
+// subsystem counts into, a named-metric Registry with an atomic,
+// JSON-serialisable Snapshot (registry.go), and the per-packet trace
+// collector that turns path-trace annotations into per-hop latency
+// breakdowns (trace_collect.go). See OBSERVABILITY.md for the catalogue
+// of registered metric names.
 package metrics
 
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotonically increasing event count, safe for
-// concurrent use. The zero value is ready.
+// Counter is a monotonically increasing event count (unit: events).
+// All methods are safe for concurrent use. The zero value is ready.
 type Counter struct {
 	v atomic.Uint64
 }
 
-// Inc adds one.
+// Inc adds one. Safe for concurrent use.
 func (c *Counter) Inc() { c.v.Add(1) }
 
-// Add adds n.
+// Add adds n. Safe for concurrent use.
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
-// Load returns the current count.
+// Load returns the current count. Safe for concurrent use.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
-// Histogram collects duration samples and reports percentiles. It keeps
-// raw samples (experiments here collect at most a few million), which
-// keeps percentiles exact.
-type Histogram struct {
-	mu      sync.Mutex
-	samples []time.Duration
+// Gauge is an instantaneous value that can go up and down (unit:
+// caller-defined, stated in OBSERVABILITY.md per registered name). All
+// methods are safe for concurrent use. The zero value is ready.
+type Gauge struct {
+	v atomic.Int64
 }
 
-// NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram { return &Histogram{} }
+// Set replaces the current value. Safe for concurrent use.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
-// Observe records one sample.
+// Add adjusts the current value by delta (may be negative). Safe for
+// concurrent use.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value. Safe for concurrent use.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// DefaultReservoirCap bounds the samples a Histogram retains. Beyond it
+// the histogram switches to uniform reservoir sampling (Vitter's
+// algorithm R), so percentiles stay statistically representative while
+// memory stays O(DefaultReservoirCap) — a long chaos soak observing
+// billions of durations holds at most this many samples.
+const DefaultReservoirCap = 100_000
+
+// Histogram collects duration samples (unit: nanoseconds, as
+// time.Duration) and reports percentiles. Up to its reservoir capacity
+// the samples — and therefore the percentiles — are exact; past it the
+// reservoir is a uniform random sample of everything observed. Count,
+// Mean, Sum, Min and Max always reflect every observation. All methods
+// are safe for concurrent use.
+type Histogram struct {
+	mu       sync.Mutex
+	samples  []time.Duration // bounded reservoir
+	capacity int
+	rng      *rand.Rand
+	count    uint64
+	sum      time.Duration
+	min, max time.Duration
+}
+
+// NewHistogram returns an empty histogram with the default reservoir
+// capacity (DefaultReservoirCap).
+func NewHistogram() *Histogram { return NewHistogramCap(DefaultReservoirCap) }
+
+// NewHistogramCap returns an empty histogram whose reservoir keeps at
+// most capacity samples (values < 1 take the default).
+func NewHistogramCap(capacity int) *Histogram {
+	if capacity < 1 {
+		capacity = DefaultReservoirCap
+	}
+	// The sampling seed is fixed: reservoir contents are then a
+	// deterministic function of the observation sequence, which keeps
+	// experiment reruns comparable.
+	return &Histogram{capacity: capacity, rng: rand.New(rand.NewSource(1))}
+}
+
+// Observe records one sample. Safe for concurrent use.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
-	h.samples = append(h.samples, d)
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < h.capacity {
+		h.samples = append(h.samples, d)
+	} else if j := h.rng.Int63n(int64(h.count)); j < int64(h.capacity) {
+		// Algorithm R: keep each of the count observations in the
+		// reservoir with equal probability capacity/count.
+		h.samples[j] = d
+	}
 	h.mu.Unlock()
 }
 
-// Count returns the number of samples.
+// Count returns the total number of observations (not the reservoir
+// size). Safe for concurrent use.
 func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int(h.count)
+}
+
+// ReservoirLen returns the number of samples currently retained; it
+// never exceeds the reservoir capacity. Safe for concurrent use.
+func (h *Histogram) ReservoirLen() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.samples)
 }
 
-// Mean returns the average sample, or 0 with no samples.
+// Sum returns the exact sum of all observations. Safe for concurrent
+// use.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Min returns the smallest observation, or 0 with no samples. Safe for
+// concurrent use.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation, or 0 with no samples. Safe for
+// concurrent use.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Mean returns the exact average over all observations (not just the
+// reservoir), or 0 with no samples. Safe for concurrent use.
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	var total time.Duration
-	for _, s := range h.samples {
-		total += s
-	}
-	return total / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.count)
 }
 
-// Percentile returns the p-th percentile (0 < p ≤ 100) by
-// nearest-rank, or 0 with no samples.
+// Percentile returns the p-th percentile (0 < p ≤ 100) by nearest-rank
+// over the reservoir, or 0 with no samples. Exact until the reservoir
+// fills; a uniform-sample estimate afterwards. Safe for concurrent use.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.percentileLocked(p)
+}
+
+func (h *Histogram) percentileLocked(p float64) time.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -86,7 +185,8 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return sorted[rank]
 }
 
-// Summary renders count/mean/p50/p99 on one line.
+// Summary renders count/mean/p50/p99 on one line. Safe for concurrent
+// use.
 func (h *Histogram) Summary() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v",
 		h.Count(), h.Mean().Round(time.Microsecond),
@@ -94,7 +194,44 @@ func (h *Histogram) Summary() string {
 		h.Percentile(99).Round(time.Microsecond))
 }
 
-// Meter measures throughput over a wall-clock window.
+// HistogramSnapshot is the JSON-serialisable view of a Histogram at one
+// instant. All duration fields are nanoseconds.
+type HistogramSnapshot struct {
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// MeanNs is the exact mean over all observations.
+	MeanNs int64 `json:"mean_ns"`
+	// MinNs and MaxNs are the exact extremes over all observations.
+	MinNs int64 `json:"min_ns"`
+	MaxNs int64 `json:"max_ns"`
+	// P50Ns, P90Ns and P99Ns are nearest-rank percentiles over the
+	// bounded reservoir (exact until the reservoir fills).
+	P50Ns int64 `json:"p50_ns"`
+	P90Ns int64 `json:"p90_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// Snapshot captures the histogram's current state in one locked pass.
+// Safe for concurrent use.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count: h.count,
+		MinNs: int64(h.min),
+		MaxNs: int64(h.max),
+		P50Ns: int64(h.percentileLocked(50)),
+		P90Ns: int64(h.percentileLocked(90)),
+		P99Ns: int64(h.percentileLocked(99)),
+	}
+	if h.count > 0 {
+		s.MeanNs = int64(h.sum / time.Duration(h.count))
+	}
+	return s
+}
+
+// Meter measures throughput over a wall-clock window (units: events/s
+// and bytes/s). All methods are safe for concurrent use.
 type Meter struct {
 	mu    sync.Mutex
 	count uint64
@@ -105,7 +242,7 @@ type Meter struct {
 // NewMeter returns a meter starting now.
 func NewMeter() *Meter { return &Meter{start: time.Now()} }
 
-// Add records n events totalling b bytes.
+// Add records n events totalling b bytes. Safe for concurrent use.
 func (m *Meter) Add(n, b uint64) {
 	m.mu.Lock()
 	m.count += n
@@ -114,6 +251,7 @@ func (m *Meter) Add(n, b uint64) {
 }
 
 // Rates returns events/second and bytes/second since the meter started.
+// Safe for concurrent use.
 func (m *Meter) Rates() (perSec, bytesPerSec float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -124,14 +262,14 @@ func (m *Meter) Rates() (perSec, bytesPerSec float64) {
 	return float64(m.count) / el, float64(m.bytes) / el
 }
 
-// Count returns the total events recorded.
+// Count returns the total events recorded. Safe for concurrent use.
 func (m *Meter) Count() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.count
 }
 
-// Reset restarts the window.
+// Reset restarts the window. Safe for concurrent use.
 func (m *Meter) Reset() {
 	m.mu.Lock()
 	m.count, m.bytes, m.start = 0, 0, time.Now()

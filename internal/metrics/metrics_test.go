@@ -78,3 +78,58 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Errorf("count = %d, want 4000", h.Count())
 	}
 }
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	// Regression: Observe must not retain unbounded samples — a chaos
+	// soak observing millions of durations previously grew memory
+	// without limit. The reservoir caps retention while count, sum,
+	// mean, min and max stay exact.
+	h := NewHistogramCap(1000)
+	const n = 250_000
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if got := h.ReservoirLen(); got > 1000 {
+		t.Fatalf("reservoir holds %d samples, cap is 1000", got)
+	}
+	if h.Count() != n {
+		t.Errorf("count = %d, want %d", h.Count(), n)
+	}
+	if h.Min() != 1 || h.Max() != n {
+		t.Errorf("min/max = %v/%v, want 1/%d", h.Min(), h.Max(), n)
+	}
+	wantMean := time.Duration((n + 1) / 2)
+	if h.Mean() != wantMean {
+		t.Errorf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+	// The reservoir is a uniform sample: p50 should land near the true
+	// median. A wide tolerance keeps the test deterministic-enough.
+	p50 := float64(h.Percentile(50))
+	if p50 < 0.35*n || p50 > 0.65*n {
+		t.Errorf("p50 = %v, want near %d", p50, n/2)
+	}
+}
+
+func TestHistogramDefaultCap(t *testing.T) {
+	h := NewHistogram()
+	if h.capacity != DefaultReservoirCap {
+		t.Errorf("default capacity = %d, want %d", h.capacity, DefaultReservoirCap)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Errorf("count = %d, want 100", s.Count)
+	}
+	if s.P50Ns != int64(50*time.Millisecond) {
+		t.Errorf("p50 = %d", s.P50Ns)
+	}
+	if s.MinNs != int64(time.Millisecond) || s.MaxNs != int64(100*time.Millisecond) {
+		t.Errorf("min/max = %d/%d", s.MinNs, s.MaxNs)
+	}
+}

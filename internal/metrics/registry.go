@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is a named-metric registry: every subsystem registers its
+// counters, gauges, and histograms under hierarchical dot-separated
+// names ("forwarder.<id>.rx", "bus.retries", "gs.reconvergence", …; the
+// full catalogue lives in OBSERVABILITY.md). A registry is the unit the
+// introspection endpoint and the experiment harness snapshot. All
+// methods are safe for concurrent use, including re-registration while
+// Snapshot runs.
+//
+// Registering a name that already exists replaces the previous
+// registration (latest wins): experiments that rebuild a topology under
+// one registry — or run twice in one process — stay valid without
+// explicit unregistration.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]func() uint64
+	gauges   map[string]func() float64
+	hists    map[string]*Histogram
+	// owned tracks counters created through Counter, for create-or-get.
+	owned map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]func() uint64),
+		gauges:   make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+		owned:    make(map[string]*Counter),
+	}
+}
+
+// defaultRegistry is the process-wide registry served by the cmds'
+// opt-in introspection listeners.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Long-lived daemons
+// (cmd/sbforwarder, cmd/switchboard, cmd/sbbench's -listen mode)
+// register into it so the introspection endpoint sees them; tests and
+// experiments normally use their own NewRegistry.
+func Default() *Registry { return defaultRegistry }
+
+// CounterFunc registers a counter read through fn (unit: events; must
+// be monotonically non-decreasing). fn is called at snapshot time and
+// must be safe for concurrent use. Safe for concurrent use.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	r.mu.Lock()
+	r.counters[name] = fn
+	r.mu.Unlock()
+}
+
+// Counter registers and returns a registry-owned counter. If name is
+// already registered as an owned counter the existing one is returned,
+// so callers can treat it as create-or-get. Safe for concurrent use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.owned[name]; ok {
+		return prev
+	}
+	c := &Counter{}
+	r.owned[name] = c
+	r.counters[name] = c.Load
+	return c
+}
+
+// GaugeFunc registers a gauge read through fn (unit: stated per name in
+// OBSERVABILITY.md). fn is called at snapshot time and must be safe for
+// concurrent use. Safe for concurrent use.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// RegisterHistogram registers an existing histogram under name. Safe
+// for concurrent use.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under name, creating one
+// with the default reservoir capacity on first use. Safe for concurrent
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// Names returns every registered metric name, sorted. Safe for
+// concurrent use.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot is a stable, JSON-serialisable view of a registry at one
+// instant. Map keys are metric names; encoding/json marshals them in
+// sorted order, so serialized snapshots diff cleanly.
+type Snapshot struct {
+	// TakenAt is when the snapshot was captured.
+	TakenAt time.Time `json:"taken_at"`
+	// Counters holds every counter's value (unit: events).
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges holds every gauge's value (unit: per OBSERVABILITY.md).
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms holds every histogram's summary (durations in ns).
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric. The registration set is
+// read atomically (no metric registered concurrently is half-included);
+// individual values are read per metric, so a snapshot taken under
+// concurrent writers is a consistent set of individually-atomic reads.
+// Safe for concurrent use.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]func() uint64, len(r.counters))
+	for n, fn := range r.counters {
+		counters[n] = fn
+	}
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for n, fn := range r.gauges {
+		gauges[n] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.RUnlock()
+
+	s := &Snapshot{
+		TakenAt:    time.Now(),
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for n, fn := range counters {
+		s.Counters[n] = fn()
+	}
+	for n, fn := range gauges {
+		s.Gauges[n] = fn()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON with sorted keys.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Add(3)
+	if again := r.Counter("a.count"); again != c {
+		t.Error("Counter is not create-or-get")
+	}
+	var ext atomic.Uint64
+	ext.Store(7)
+	r.CounterFunc("b.ext", ext.Load)
+	r.GaugeFunc("c.gauge", func() float64 { return 2.5 })
+	h := r.Histogram("d.lat")
+	h.Observe(time.Millisecond)
+	if again := r.Histogram("d.lat"); again != h {
+		t.Error("Histogram is not create-or-get")
+	}
+
+	s := r.Snapshot()
+	if s.Counters["a.count"] != 3 || s.Counters["b.ext"] != 7 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	if s.Gauges["c.gauge"] != 2.5 {
+		t.Errorf("gauges = %v", s.Gauges)
+	}
+	if s.Histograms["d.lat"].Count != 1 {
+		t.Errorf("histograms = %v", s.Histograms)
+	}
+
+	want := []string{"a.count", "b.ext", "c.gauge", "d.lat"}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRegistryReregisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("x", func() uint64 { return 1 })
+	r.CounterFunc("x", func() uint64 { return 2 })
+	if v := r.Snapshot().Counters["x"]; v != 2 {
+		t.Errorf("x = %d, want 2 (latest registration wins)", v)
+	}
+	if n := len(r.Names()); n != 1 {
+		t.Errorf("names = %d, want 1", n)
+	}
+}
+
+// TestRegistrySnapshotConcurrent hammers a registry with concurrent
+// writers (counter increments, histogram observes, re-registrations)
+// while snapshots are taken; run under -race it proves Snapshot never
+// tears the registration set. Counter values in any snapshot must be
+// monotonically non-decreasing across snapshots.
+func TestRegistrySnapshotConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot.count")
+	h := r.Histogram("hot.lat")
+	r.GaugeFunc("hot.gauge", func() float64 { return 1 })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(time.Duration(i))
+				if i%64 == 0 {
+					// Concurrent re-registration must be safe too.
+					r.GaugeFunc("hot.gauge", func() float64 { return float64(w) })
+				}
+			}
+		}(w)
+	}
+
+	var last uint64
+	for i := 0; i < 200; i++ {
+		s := r.Snapshot()
+		v := s.Counters["hot.count"]
+		if v < last {
+			t.Fatalf("counter went backwards: %d < %d", v, last)
+		}
+		last = v
+		if _, ok := s.Gauges["hot.gauge"]; !ok {
+			t.Fatal("gauge missing from snapshot")
+		}
+		if _, err := s.JSON(); err != nil {
+			t.Fatalf("snapshot JSON: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Final snapshot agrees with the instruments.
+	s := r.Snapshot()
+	if s.Counters["hot.count"] != c.Load() {
+		t.Errorf("snapshot counter = %d, instrument = %d", s.Counters["hot.count"], c.Load())
+	}
+	if s.Histograms["hot.lat"].Count != uint64(h.Count()) {
+		t.Errorf("snapshot hist count = %d, instrument = %d", s.Histograms["hot.lat"].Count, h.Count())
+	}
+}
+
+func TestSnapshotJSONStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	s := r.Snapshot()
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Counters["a"] != 1 || back.Counters["b"] != 1 {
+		t.Errorf("round trip lost counters: %v", back.Counters)
+	}
+}

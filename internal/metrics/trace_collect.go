@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+
+	"switchboard/internal/packet"
+)
+
+// TraceCollector aggregates completed packet traces into per-hop
+// latency breakdowns: for every node it tracks the time spent *at* the
+// hop (arrival → departure: queueing plus processing) and the time
+// spent getting *to* the hop (previous hop's departure → this hop's
+// arrival: network transit plus inbox residency), each in a bounded-
+// reservoir histogram so soaks stay O(1) in memory. Sinks call Record
+// before recycling a traced packet. All methods are safe for concurrent
+// use.
+type TraceCollector struct {
+	mu    sync.Mutex
+	order []string
+	stats map[string]*hopAgg
+	e2e   *Histogram
+	count uint64
+}
+
+type hopAgg struct {
+	at       *Histogram // DepartNs - ArriveNs
+	to       *Histogram // ArriveNs - previous hop's DepartNs
+	batchSum uint64
+	batchN   uint64
+}
+
+// HopStat is one node's aggregated view of every trace that crossed it.
+type HopStat struct {
+	// Node is the hop's name as stamped ("fwd:f1", "vnf:nat0", …).
+	Node string
+	// At is the at-hop latency distribution (arrival → departure, ns).
+	At *Histogram
+	// To is the transit latency distribution into the hop (previous
+	// hop's departure → arrival, ns); empty for first hops.
+	To *Histogram
+	// AvgBatch is the mean burst size packets arrived in at this hop.
+	AvgBatch float64
+}
+
+// NewTraceCollector returns an empty collector.
+func NewTraceCollector() *TraceCollector {
+	return &TraceCollector{stats: make(map[string]*hopAgg), e2e: NewHistogram()}
+}
+
+// Record folds one completed trace into the aggregates. The trace must
+// no longer be mutated by any hop (i.e. the caller owns the packet).
+// Safe for concurrent use.
+func (c *TraceCollector) Record(t *packet.Trace) {
+	if t == nil || len(t.Hops) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+	var prevDepart int64
+	for i, h := range t.Hops {
+		agg, ok := c.stats[h.Node]
+		if !ok {
+			agg = &hopAgg{at: NewHistogram(), to: NewHistogram()}
+			c.stats[h.Node] = agg
+			c.order = append(c.order, h.Node)
+		}
+		if h.DepartNs > 0 && h.DepartNs >= h.ArriveNs {
+			agg.at.Observe(time.Duration(h.DepartNs - h.ArriveNs))
+		}
+		if i > 0 && prevDepart > 0 && h.ArriveNs >= prevDepart {
+			agg.to.Observe(time.Duration(h.ArriveNs - prevDepart))
+		}
+		prevDepart = h.DepartNs
+		agg.batchSum += uint64(h.Batch)
+		agg.batchN++
+	}
+	first, last := t.Hops[0], t.Hops[len(t.Hops)-1]
+	if last.ArriveNs >= first.ArriveNs {
+		c.e2e.Observe(time.Duration(last.ArriveNs - first.ArriveNs))
+	}
+}
+
+// Traces returns how many traces have been recorded. Safe for
+// concurrent use.
+func (c *TraceCollector) Traces() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Hops returns per-node aggregates in order of first appearance — for
+// a single chain under trace, that is path order. Safe for concurrent
+// use; the returned histograms are live (they keep aggregating).
+func (c *TraceCollector) Hops() []HopStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]HopStat, 0, len(c.order))
+	for _, node := range c.order {
+		agg := c.stats[node]
+		hs := HopStat{Node: node, At: agg.at, To: agg.to}
+		if agg.batchN > 0 {
+			hs.AvgBatch = float64(agg.batchSum) / float64(agg.batchN)
+		}
+		out = append(out, hs)
+	}
+	return out
+}
+
+// EndToEnd returns the first-hop-arrival → last-hop-arrival latency
+// distribution (ns). Safe for concurrent use; the histogram is live.
+func (c *TraceCollector) EndToEnd() *Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.e2e
+}

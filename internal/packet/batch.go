@@ -51,6 +51,7 @@ func (pl *Pool) Put(p *Packet) {
 	p.Labeled = false
 	p.Key = FlowKey{}
 	p.Payload = p.Payload[:0]
+	p.Trace = nil
 	pl.p.Put(p)
 }
 

@@ -106,7 +106,9 @@ func (p Prefix) Contains(ip uint32) bool {
 	return ip&mask == p.IP&mask
 }
 
-// Packet is a data-plane packet inside the Switchboard overlay.
+// Packet is a data-plane packet inside the Switchboard overlay. A
+// packet is owned by exactly one goroutine at a time (strict hand-off
+// along the chain), so its fields need no locking.
 type Packet struct {
 	// Labels is the chain/egress label stack. Labeled is false once a
 	// forwarder has stripped labels for a label-unaware VNF.
@@ -116,6 +118,10 @@ type Packet struct {
 	Key FlowKey
 	// Payload is the application bytes (may be nil in benchmarks).
 	Payload []byte
+	// Trace is the sampled path annotation; nil for the (vast) majority
+	// of packets that are not traced. It travels with the packet but is
+	// not part of the wire encoding (see trace.go).
+	Trace *Trace
 }
 
 // wire layout: 1 flag byte | 8 label bytes | 13 key bytes | payload.

@@ -1,0 +1,135 @@
+package packet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Path tracing annotates a sampled subset of packets with the hops they
+// actually traverse: each hop appends its node name, arrival and
+// departure timestamps, and the burst size the packet travelled in.
+// Sinks hand completed traces to a collector (metrics.TraceCollector)
+// which turns them into per-chain hop-latency breakdowns.
+//
+// The design keeps tracing off the per-packet hot path when sampling is
+// disabled: an untraced packet carries a nil *Trace, so every stamping
+// helper is a single pointer check, and the batched data path reads the
+// clock at most once per burst per stamping pass (LazyNow) rather than
+// once per packet. See OBSERVABILITY.md for the annotation format and
+// sampling semantics.
+
+// TraceHop is one recorded hop of a traced packet's path. Timestamps
+// are wall-clock Unix nanoseconds; a zero DepartNs means the packet was
+// consumed at the hop (a sink) or the hop never stamped departure.
+type TraceHop struct {
+	// Node names the hop ("fwd:f1", "vnf:nat0", "edge:e1", "sink").
+	Node string `json:"node"`
+	// ArriveNs is when the hop dequeued the packet from its inbox.
+	ArriveNs int64 `json:"arrive_ns"`
+	// DepartNs is when the hop enqueued the packet onward.
+	DepartNs int64 `json:"depart_ns"`
+	// Batch is the size of the burst the packet arrived in.
+	Batch int `json:"batch"`
+}
+
+// Trace is the path annotation carried by a sampled packet. It is owned
+// by whichever hop currently owns the packet (strict hand-off, like the
+// packet itself), so no locking is needed; a hop must not touch a trace
+// after sending the packet onward.
+type Trace struct {
+	// ID identifies the trace within its sampler (unique per sampler).
+	ID uint64 `json:"id"`
+	// Hops is the path recorded so far, in traversal order.
+	Hops []TraceHop `json:"hops"`
+}
+
+// traceHopCap pre-sizes a trace's hop slice to cover a typical chain
+// (edge + 3 forwarder/VNF stage pairs + sink) without regrowing.
+const traceHopCap = 8
+
+// NewTrace returns an empty trace with the given ID, pre-sized for a
+// typical chain.
+func NewTrace(id uint64) *Trace {
+	return &Trace{ID: id, Hops: make([]TraceHop, 0, traceHopCap)}
+}
+
+// TraceSampler decides which packets carry a trace: one in Every
+// packets is annotated. The zero value and a nil sampler never sample,
+// so wiring a sampler through a config struct costs nothing until it is
+// enabled. Safe for concurrent use.
+type TraceSampler struct {
+	every uint64
+	ctr   atomic.Uint64
+	ids   atomic.Uint64
+}
+
+// NewTraceSampler returns a sampler annotating one in every packets
+// (every <= 0 disables sampling).
+func NewTraceSampler(every int) *TraceSampler {
+	s := &TraceSampler{}
+	if every > 0 {
+		s.every = uint64(every)
+	}
+	return s
+}
+
+// Sample returns a fresh trace when this packet is selected, nil
+// otherwise. Callers assign the result to Packet.Trace directly; nil
+// receivers and disabled samplers always return nil. Safe for
+// concurrent use.
+func (s *TraceSampler) Sample() *Trace {
+	if s == nil || s.every == 0 {
+		return nil
+	}
+	if s.ctr.Add(1)%s.every != 0 {
+		return nil
+	}
+	return NewTrace(s.ids.Add(1))
+}
+
+// Sampled reports how many traces the sampler has issued. Safe for
+// concurrent use.
+func (s *TraceSampler) Sampled() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.ids.Load()
+}
+
+// LazyNow is a per-burst clock: the first traced packet of a burst
+// reads the wall clock once and every later stamp in the same pass
+// reuses it, so a whole burst is stamped with one clock read and an
+// untraced burst reads the clock zero times. Declare a fresh LazyNow
+// per stamping pass; not safe for concurrent use (a burst is owned by
+// one goroutine).
+type LazyNow struct {
+	ns int64
+}
+
+// Ns returns the burst timestamp in Unix nanoseconds, reading the clock
+// on first use.
+func (ln *LazyNow) Ns() int64 {
+	if ln.ns == 0 {
+		ln.ns = time.Now().UnixNano()
+	}
+	return ln.ns
+}
+
+// TraceArrive stamps a hop arrival on a traced packet: a no-op (one nil
+// check, no clock read, no allocation) when the packet is untraced.
+// batch is the burst size the packet arrived in.
+func TraceArrive(p *Packet, node string, now *LazyNow, batch int) {
+	if p.Trace == nil {
+		return
+	}
+	p.Trace.Hops = append(p.Trace.Hops, TraceHop{Node: node, ArriveNs: now.Ns(), Batch: batch})
+}
+
+// TraceDepart stamps the departure time on the packet's current (last
+// recorded) hop: a no-op when the packet is untraced or has no hops.
+func TraceDepart(p *Packet, now *LazyNow) {
+	if p.Trace == nil || len(p.Trace.Hops) == 0 {
+		return
+	}
+	p.Trace.Hops[len(p.Trace.Hops)-1].DepartNs = now.Ns()
+}

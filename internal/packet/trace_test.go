@@ -1,0 +1,119 @@
+package packet
+
+import (
+	"testing"
+)
+
+func TestTraceSamplerEvery(t *testing.T) {
+	s := NewTraceSampler(4)
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if tr := s.Sample(); tr != nil {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Errorf("sampled %d of 400 with every=4, want 100", sampled)
+	}
+	if s.Sampled() != 100 {
+		t.Errorf("Sampled() = %d, want 100", s.Sampled())
+	}
+}
+
+func TestTraceSamplerDisabled(t *testing.T) {
+	for _, s := range []*TraceSampler{nil, NewTraceSampler(0), NewTraceSampler(-1), {}} {
+		for i := 0; i < 10; i++ {
+			if tr := s.Sample(); tr != nil {
+				t.Fatalf("disabled sampler returned a trace")
+			}
+		}
+	}
+}
+
+func TestTraceSamplerUniqueIDs(t *testing.T) {
+	s := NewTraceSampler(1)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 50; i++ {
+		tr := s.Sample()
+		if tr == nil {
+			t.Fatal("every=1 sampler skipped a packet")
+		}
+		if seen[tr.ID] {
+			t.Fatalf("duplicate trace ID %d", tr.ID)
+		}
+		seen[tr.ID] = true
+	}
+}
+
+func TestTraceStampOrdering(t *testing.T) {
+	p := &Packet{Trace: NewTrace(1)}
+	for _, node := range []string{"edge:in", "fwd:f1", "vnf:v1", "sink:out"} {
+		var arrive, depart LazyNow
+		TraceArrive(p, node, &arrive, 32)
+		TraceDepart(p, &depart)
+	}
+	hops := p.Trace.Hops
+	if len(hops) != 4 {
+		t.Fatalf("recorded %d hops, want 4", len(hops))
+	}
+	wantOrder := []string{"edge:in", "fwd:f1", "vnf:v1", "sink:out"}
+	var prevDepart int64
+	for i, h := range hops {
+		if h.Node != wantOrder[i] {
+			t.Errorf("hop %d = %q, want %q", i, h.Node, wantOrder[i])
+		}
+		if h.ArriveNs == 0 || h.DepartNs == 0 {
+			t.Errorf("hop %d has zero timestamps: %+v", i, h)
+		}
+		if h.DepartNs < h.ArriveNs {
+			t.Errorf("hop %d departs before it arrives: %+v", i, h)
+		}
+		if h.ArriveNs < prevDepart {
+			t.Errorf("hop %d arrives before hop %d departed", i, i-1)
+		}
+		if h.Batch != 32 {
+			t.Errorf("hop %d batch = %d, want 32", i, h.Batch)
+		}
+		prevDepart = h.DepartNs
+	}
+}
+
+func TestTraceDepartWithoutHops(t *testing.T) {
+	var now LazyNow
+	TraceDepart(&Packet{Trace: NewTrace(1)}, &now) // must not panic
+	TraceDepart(&Packet{}, &now)
+}
+
+// TestTraceStampZeroAllocUntraced is the sampling=0 guarantee: stamping
+// a burst of untraced packets performs zero allocations (and, via
+// LazyNow, zero clock reads — unobservable here, but the nil-check
+// early return covers both).
+func TestTraceStampZeroAllocUntraced(t *testing.T) {
+	pkts := make([]*Packet, 64)
+	for i := range pkts {
+		pkts[i] = &Packet{}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var arrive, depart LazyNow
+		for _, p := range pkts {
+			TraceArrive(p, "fwd:f1", &arrive, len(pkts))
+		}
+		for _, p := range pkts {
+			TraceDepart(p, &depart)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("stamping untraced burst allocates %.1f/run, want 0", allocs)
+	}
+}
+
+func TestPoolPutClearsTrace(t *testing.T) {
+	pool := NewPool()
+	p := pool.Get()
+	p.Trace = NewTrace(7)
+	pool.Put(p)
+	q := pool.Get()
+	if q.Trace != nil {
+		t.Error("recycled packet leaked a previous trace")
+	}
+}

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"switchboard/internal/metrics"
 	"switchboard/internal/packet"
 )
 
@@ -71,6 +73,62 @@ type Network struct {
 	rngMu     sync.Mutex
 	closed    bool
 	faults    faultState
+	stats     netCounters
+}
+
+// netCounters are the network's delivery counters. A batch message
+// counts once (its entries travel as one transmission); WAN-loss drops
+// count per lost batch entry, matching per-packet loss on a real wire.
+type netCounters struct {
+	msgsSent, msgsDelivered, dropsQueueFull, dropsWanLoss, dropsFault atomic.Uint64
+}
+
+// NetStats is a snapshot of the network's delivery counters.
+type NetStats struct {
+	// MsgsSent counts messages accepted by send (before loss/faults).
+	MsgsSent uint64
+	// MsgsDelivered counts messages placed into a receiver's inbox.
+	MsgsDelivered uint64
+	// DropsQueueFull counts messages dropped at a full receiver queue.
+	DropsQueueFull uint64
+	// DropsWanLoss counts WAN-loss drops (per batch entry).
+	DropsWanLoss uint64
+	// DropsFault counts messages swallowed by injected partitions.
+	DropsFault uint64
+}
+
+// Stats returns a snapshot of the delivery counters.
+func (n *Network) Stats() NetStats {
+	return NetStats{
+		MsgsSent:       n.stats.msgsSent.Load(),
+		MsgsDelivered:  n.stats.msgsDelivered.Load(),
+		DropsQueueFull: n.stats.dropsQueueFull.Load(),
+		DropsWanLoss:   n.stats.dropsWanLoss.Load(),
+		DropsFault:     n.stats.dropsFault.Load(),
+	}
+}
+
+// RegisterMetrics publishes the network's counters into a metrics
+// registry. All counts are messages except drops_wan_loss (per batch
+// entry); endpoints is a gauge of currently attached addresses:
+//
+//	simnet.msgs_sent        messages accepted by send
+//	simnet.msgs_delivered   messages placed into receiver inboxes
+//	simnet.drops_queue_full messages dropped at full receiver queues
+//	simnet.drops_wan_loss   WAN-loss drops
+//	simnet.drops_fault      messages swallowed by injected partitions
+//	simnet.endpoints        gauge: attached endpoints
+func (n *Network) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("simnet.msgs_sent", n.stats.msgsSent.Load)
+	r.CounterFunc("simnet.msgs_delivered", n.stats.msgsDelivered.Load)
+	r.CounterFunc("simnet.drops_queue_full", n.stats.dropsQueueFull.Load)
+	r.CounterFunc("simnet.drops_wan_loss", n.stats.dropsWanLoss.Load)
+	r.CounterFunc("simnet.drops_fault", n.stats.dropsFault.Load)
+	r.GaugeFunc("simnet.endpoints", func() float64 {
+		n.mu.RLock()
+		defer n.mu.RUnlock()
+		return float64(len(n.endpoints))
+	})
 }
 
 // New returns an empty network. Seed drives loss decisions.
@@ -252,7 +310,9 @@ func (n *Network) send(m Message) error {
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNoEndpoint, m.To)
 	}
+	n.stats.msgsSent.Add(1)
 	if n.faults.drops(m.From.Site, m.To.Site) {
+		n.stats.dropsFault.Add(1)
 		return nil // silently swallowed by the injected fault
 	}
 
@@ -267,12 +327,17 @@ func (n *Network) send(m Message) error {
 			// Loss is per batch entry, as on a real wire: each packet of
 			// a burst faces the drop probability independently. Survivors
 			// stay in the same batch container (no re-boxing).
+			before := b.Len()
 			b.Filter(func(int) bool { return n.randFloat() >= profile.Loss })
+			if lost := before - b.Len(); lost > 0 {
+				n.stats.dropsWanLoss.Add(uint64(lost))
+			}
 			if b.Len() == 0 {
 				return nil // whole burst lost
 			}
 			m.Size = b.TotalSize()
 		} else if n.randFloat() < profile.Loss {
+			n.stats.dropsWanLoss.Add(1)
 			return nil // silently lost, like a real WAN
 		}
 	}
@@ -284,8 +349,10 @@ func (n *Network) send(m Message) error {
 func deliver(dst *Endpoint, m Message) error {
 	select {
 	case dst.inbox <- m:
+		dst.net.stats.msgsDelivered.Add(1)
 		return nil
 	default:
+		dst.net.stats.dropsQueueFull.Add(1)
 		return fmt.Errorf("%w: %v", ErrQueueFull, dst.addr)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"sync/atomic"
 
+	"switchboard/internal/metrics"
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
 )
@@ -66,6 +67,17 @@ func (i *Instance) Stats() Stats {
 	return Stats{Processed: i.processed.Load(), Dropped: i.dropped.Load()}
 }
 
+// RegisterMetrics publishes the instance's counters into a metrics
+// registry under "vnf.<id>.*". Both are cumulative packet counts:
+//
+//	vnf.<id>.processed packets the function forwarded
+//	vnf.<id>.dropped   packets the function dropped
+func (i *Instance) RegisterMetrics(r *metrics.Registry) {
+	prefix := "vnf." + i.id + "."
+	r.CounterFunc(prefix+"processed", i.processed.Load)
+	r.CounterFunc(prefix+"dropped", i.dropped.Load)
+}
+
 // Run processes packets until the context is cancelled or the endpoint
 // closes. It drains bursts from the inbox and returns survivors to the
 // gateway forwarder as one batch per burst, so a chain hop costs one
@@ -73,6 +85,7 @@ func (i *Instance) Stats() Stats {
 // recycled into the originating batch's pool when it has one.
 func (i *Instance) Run(ctx context.Context) {
 	msgs := make([]simnet.Message, packet.DefaultBatchSize)
+	node := "vnf:" + i.id
 	for {
 		n := i.ep.RecvBatchContext(ctx, msgs)
 		if n == 0 {
@@ -80,7 +93,12 @@ func (i *Instance) Run(ctx context.Context) {
 		}
 		out := packet.GetBatch()
 		var processed, dropped uint64
-		handle := func(p *packet.Packet, pool *packet.Pool) {
+		// Traced packets stamp arrival per burst (one clock read);
+		// departure is stamped after the whole burst is processed, so
+		// at-hop latency covers the function's processing time.
+		var arrive, depart packet.LazyNow
+		handle := func(p *packet.Packet, pool *packet.Pool, burst int) {
+			packet.TraceArrive(p, node, &arrive, burst)
 			if !i.fn.Process(p) {
 				dropped++
 				if pool != nil {
@@ -94,13 +112,14 @@ func (i *Instance) Run(ctx context.Context) {
 		for k := 0; k < n; k++ {
 			switch pl := msgs[k].Payload.(type) {
 			case *packet.Packet:
-				handle(pl, nil)
+				handle(pl, nil, 1)
 			case *packet.Batch:
 				if out.Pool == nil {
 					out.Pool = pl.Pool
 				}
+				burst := pl.Len()
 				for _, p := range pl.Pkts {
-					handle(p, pl.Pool)
+					handle(p, pl.Pool, burst)
 				}
 				packet.PutBatch(pl)
 			}
@@ -111,6 +130,9 @@ func (i *Instance) Run(ctx context.Context) {
 		}
 		if dropped > 0 {
 			i.dropped.Add(dropped)
+		}
+		for _, p := range out.Pkts {
+			packet.TraceDepart(p, &depart)
 		}
 		switch out.Len() {
 		case 0:

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"switchboard/internal/labels"
+	"switchboard/internal/metrics"
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
 )
@@ -31,6 +32,10 @@ type SourceConfig struct {
 	Pool *packet.Pool
 	// SrcIPBase and DstIP form the synthetic 5-tuples.
 	SrcIPBase, DstIP uint32
+	// Trace, when set, annotates a sampled subset of generated packets
+	// with path traces (see packet.TraceSampler); nil disables tracing
+	// at zero cost.
+	Trace *packet.TraceSampler
 }
 
 // Source blasts synthetic packets at a destination as fast as the
@@ -79,6 +84,7 @@ func (s *Source) nextPacket(i int) *packet.Packet {
 		p.Payload = append(p.Payload, 0)
 	}
 	p.Payload = p.Payload[:s.cfg.PayloadSize]
+	p.Trace = s.cfg.Trace.Sample() // nil unless sampled
 	return p
 }
 
@@ -125,11 +131,13 @@ func (s *Source) Run(ctx context.Context) {
 }
 
 // Sink drains an endpoint, counting delivered packets and recycling them
-// into a pool — the Put side of the data plane's recycle loop.
+// into a pool — the Put side of the data plane's recycle loop. With a
+// collector attached it also harvests path traces before recycling.
 type Sink struct {
-	ep    *simnet.Endpoint
-	pool  *packet.Pool
-	count atomic.Uint64
+	ep     *simnet.Endpoint
+	pool   *packet.Pool
+	count  atomic.Uint64
+	traces *metrics.TraceCollector
 }
 
 // NewSink builds a sink draining ep into pool (pool may be nil to skip
@@ -138,27 +146,49 @@ func NewSink(ep *simnet.Endpoint, pool *packet.Pool) *Sink {
 	return &Sink{ep: ep, pool: pool}
 }
 
+// CollectTraces makes the sink stamp a final "sink:<host>" hop on every
+// traced packet and record the completed trace into c. Must be called
+// before Run.
+func (s *Sink) CollectTraces(c *metrics.TraceCollector) { s.traces = c }
+
 // Count reports packets received so far.
 func (s *Sink) Count() uint64 { return s.count.Load() }
 
 // Run drains until the context is cancelled or the inbox closes.
 func (s *Sink) Run(ctx context.Context) {
 	msgs := make([]simnet.Message, packet.DefaultBatchSize)
+	node := "sink:" + s.ep.Addr().Host
 	for {
 		n := s.ep.RecvBatchContext(ctx, msgs)
 		if n == 0 {
 			return
 		}
 		var got uint64
+		var arrive packet.LazyNow
+		harvest := func(p *packet.Packet, burst int) {
+			if p.Trace == nil {
+				return
+			}
+			packet.TraceArrive(p, node, &arrive, burst)
+			s.traces.Record(p.Trace)
+		}
 		for k := 0; k < n; k++ {
 			switch pl := msgs[k].Payload.(type) {
 			case *packet.Packet:
 				got++
+				if s.traces != nil {
+					harvest(pl, 1)
+				}
 				if s.pool != nil {
 					s.pool.Put(pl)
 				}
 			case *packet.Batch:
 				got += uint64(pl.Len())
+				if s.traces != nil {
+					for _, p := range pl.Pkts {
+						harvest(p, pl.Len())
+					}
+				}
 				if pl.Pool == nil {
 					pl.Pool = s.pool
 				}

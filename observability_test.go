@@ -1,0 +1,176 @@
+package switchboard
+
+// Documentation-enforcement tests: the metric catalogue in
+// OBSERVABILITY.md must list exactly the names the components register,
+// and every relative link in the repository's markdown must resolve.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"switchboard/internal/bus"
+	"switchboard/internal/controller"
+	"switchboard/internal/edge"
+	"switchboard/internal/forwarder"
+	"switchboard/internal/metrics"
+	"switchboard/internal/simnet"
+	"switchboard/internal/vnf"
+)
+
+// liveRegistry instantiates one of every metric-publishing component
+// with the placeholder names OBSERVABILITY.md uses (<id>, <host>,
+// <site>) and registers them all into one registry, so the resulting
+// name set matches the catalogue's table verbatim.
+func liveRegistry(t *testing.T) *metrics.Registry {
+	t.Helper()
+	reg := metrics.NewRegistry()
+
+	net := simnet.New(1)
+	net.RegisterMetrics(reg)
+
+	f := forwarder.New("<id>", forwarder.ModeAffinity, 1)
+	f.RegisterMetrics(reg)
+
+	edgeEP, err := net.Attach(simnet.Addr{Site: "<site>", Host: "<host>"}, 8)
+	if err != nil {
+		t.Fatalf("attach edge endpoint: %v", err)
+	}
+	fwdAddr := simnet.Addr{Site: "<site>", Host: "fwd"}
+	edge.NewInstance(edgeEP, fwdAddr, 1).RegisterMetrics(reg)
+
+	vnfEP, err := net.Attach(simnet.Addr{Site: "<site>", Host: "vnf"}, 8)
+	if err != nil {
+		t.Fatalf("attach vnf endpoint: %v", err)
+	}
+	vnf.NewInstance("<id>", vnf.PassThrough{}, vnfEP, fwdAddr, 1).RegisterMetrics(reg)
+
+	b := bus.New(net)
+	b.RegisterMetrics(reg)
+	if err := b.AddSite("<site>"); err != nil {
+		t.Fatalf("bus add site: %v", err)
+	}
+
+	gs := controller.NewGlobalSwitchboard(net, b, "<site>")
+	gs.RegisterMetrics(reg)
+	ls, err := controller.NewLocalSwitchboard(net, b, "<site>", "<site>")
+	if err != nil {
+		t.Fatalf("new local switchboard: %v", err)
+	}
+	defer ls.Close()
+	ls.RegisterMetrics(reg)
+
+	// cmd/switchboard registers its request metrics ad hoc in the HTTP
+	// handlers rather than through a RegisterMetrics method; mirror it.
+	reg.Counter("ted.route_requests")
+	reg.Counter("ted.plan_requests")
+	reg.Histogram("ted.route_solve")
+
+	return reg
+}
+
+// catalogueRow matches a metric row of the catalogue table:
+// "| `name` | type | unit | owner |".
+var catalogueRow = regexp.MustCompile("^\\|\\s*`([^`]+)`\\s*\\|")
+
+// catalogueNames extracts the backticked names from the
+// "## Metric catalogue" section of OBSERVABILITY.md.
+func catalogueNames(t *testing.T) []string {
+	t.Helper()
+	raw, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("read OBSERVABILITY.md: %v", err)
+	}
+	_, after, found := strings.Cut(string(raw), "## Metric catalogue")
+	if !found {
+		t.Fatal(`OBSERVABILITY.md has no "## Metric catalogue" section`)
+	}
+	section, _, _ := strings.Cut(after, "\n## ")
+	var names []string
+	for _, line := range strings.Split(section, "\n") {
+		if m := catalogueRow.FindStringSubmatch(line); m != nil {
+			names = append(names, m[1])
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no metric rows found in the catalogue table")
+	}
+	return names
+}
+
+// TestMetricCatalogue fails when OBSERVABILITY.md's catalogue and the
+// names the components actually register drift apart, in either
+// direction. Adding a metric means adding a catalogue row.
+func TestMetricCatalogue(t *testing.T) {
+	documented := make(map[string]bool)
+	for _, n := range catalogueNames(t) {
+		documented[n] = true
+	}
+	registered := liveRegistry(t).Names()
+
+	seen := make(map[string]bool, len(registered))
+	for _, n := range registered {
+		seen[n] = true
+		if !documented[n] {
+			t.Errorf("registered metric %q is missing from OBSERVABILITY.md's catalogue", n)
+		}
+	}
+	for n := range documented {
+		if !seen[n] {
+			t.Errorf("OBSERVABILITY.md documents %q, but nothing registers it", n)
+		}
+	}
+	if t.Failed() {
+		sort.Strings(registered)
+		t.Logf("registered names:\n  %s", strings.Join(registered, "\n  "))
+	}
+}
+
+// mdLink matches inline markdown links, capturing the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinksResolve checks that every relative link in the
+// repository's markdown files points at a file or directory that
+// exists. External URLs and pure anchors are skipped.
+func TestDocsLinksResolve(t *testing.T) {
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, statErr := os.Stat(resolved); statErr != nil {
+				return fmt.Errorf("%s links to %q which does not resolve (%s)", path, m[1], resolved)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
