@@ -264,9 +264,12 @@ func (e *Instance) Run(ctx context.Context) {
 				return
 			}
 			size := len(p.Payload) + 40
-			packet.TraceDepart(p, &depart)
 			if !p.Labeled {
 				// Egress toward a local host: plain single delivery.
+				// Departure is stamped here because ownership transfers
+				// on Send; overlay packets are stamped in the post-loop
+				// send pass instead.
+				packet.TraceDepart(p, &depart)
 				_ = e.ep.Send(to, p, size)
 				return
 			}
@@ -294,8 +297,16 @@ func (e *Instance) Run(ctx context.Context) {
 			}
 			msgs[k] = simnet.Message{}
 		}
+		// Departure for overlay-bound packets is stamped per burst, after
+		// the whole burst has been processed and grouped — matching the
+		// forwarder's at-hop semantics (arrival→departure covers the full
+		// wakeup's processing), so cross-hop comparisons stay apples to
+		// apples. One clock read covers every traced packet.
 		for gi := range groups {
 			b := groups[gi].b
+			for _, p := range b.Pkts {
+				packet.TraceDepart(p, &depart)
+			}
 			if b.Len() == 1 {
 				_ = e.ep.Send(groups[gi].addr, b.Pkts[0], b.Sizes[0])
 				packet.PutBatch(b)

@@ -29,6 +29,14 @@ const observeSampling = 64
 // the registry snapshot, so BENCH_observe.json is a one-stop artifact
 // for "where does a packet's time go".
 func Observe() (*Table, error) {
+	t, _, err := observe()
+	return t, err
+}
+
+// observe is the testable body of Observe: it also returns the trace
+// collector so tests can verify the table's percentile cells against
+// the live histograms.
+func observe() (*Table, *metrics.TraceCollector, error) {
 	t := &Table{
 		ID:    "observe",
 		Title: "per-hop latency breakdown of a 3-VNF chain (sampled path tracing)",
@@ -48,11 +56,11 @@ func Observe() (*Table, error) {
 	}
 	srcEP, err := attach("src")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sinkEP, err := attach("sink")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	pool := packet.NewPool()
@@ -68,11 +76,11 @@ func Observe() (*Table, error) {
 	for i := 3; i >= 1; i-- {
 		fwdEP, err := attach(fmt.Sprintf("f%d", i))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		vnfEP, err := attach(fmt.Sprintf("v%d", i))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		f := forwarder.New(fmt.Sprintf("f%d", i), forwarder.ModeAffinity, 16)
 		vh := f.AddHop(forwarder.NextHop{Kind: forwarder.KindVNF, Addr: vnfEP.Addr(), LabelAware: true})
@@ -108,8 +116,14 @@ func Observe() (*Table, error) {
 	go func() { defer wg.Done(); sink.Run(ctx) }()
 	go func() { defer wg.Done(); src.Run(ctx) }()
 
+	// Soak for 600ms, then extend (bounded) until traces have actually
+	// flowed: under heavy instrumentation (-race) the chain can need
+	// several seconds before the first sampled packet reaches the sink.
 	start := time.Now()
 	time.Sleep(600 * time.Millisecond)
+	for collector.Traces() < 100 && time.Since(start) < 10*time.Second {
+		time.Sleep(100 * time.Millisecond)
+	}
 	delivered := sink.Count()
 	sec := time.Since(start).Seconds()
 	cancel()
@@ -119,11 +133,11 @@ func Observe() (*Table, error) {
 		return float64(h.Percentile(p)) / 1e3
 	}
 	for _, hs := range collector.Hops() {
-		t.AddRow(hs.Node, us(hs.At, 0.50), us(hs.At, 0.90), us(hs.At, 0.99),
-			us(hs.To, 0.50), us(hs.To, 0.99), hs.AvgBatch)
+		t.AddRow(hs.Node, us(hs.At, 50), us(hs.At, 90), us(hs.At, 99),
+			us(hs.To, 50), us(hs.To, 99), hs.AvgBatch)
 	}
 	e2e := collector.EndToEnd()
-	t.AddRow("end-to-end", us(e2e, 0.50), us(e2e, 0.90), us(e2e, 0.99), "", "", "")
+	t.AddRow("end-to-end", us(e2e, 50), us(e2e, 90), us(e2e, 99), "", "", "")
 
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("sampling 1/%d: %d traces collected from %d delivered packets (%.0f pps)",
@@ -134,7 +148,7 @@ func Observe() (*Table, error) {
 		t.Notes = append(t.Notes, "registry snapshot: "+string(snap))
 	}
 	if collector.Traces() == 0 {
-		return nil, fmt.Errorf("observe: no traces collected (delivered=%d)", delivered)
+		return nil, nil, fmt.Errorf("observe: no traces collected (delivered=%d)", delivered)
 	}
-	return t, nil
+	return t, collector, nil
 }

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"switchboard/internal/metrics"
+)
+
+// TestObservePercentileCells runs the observe experiment and verifies
+// every percentile cell in the table against the collector's live
+// histograms queried with whole-percent arguments — the regression
+// guard for passing fractional p values (0.99 instead of 99) to
+// Histogram.Percentile, which silently reports ~minimum latency in
+// every percentile column. It also asserts the p99 ≥ p50 ordering the
+// columns promise.
+func TestObservePercentileCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("observe experiment runs a 600ms traffic soak")
+	}
+	tb, col, err := observe()
+	if err != nil {
+		t.Fatalf("observe: %v", err)
+	}
+	hops := col.Hops()
+	if len(tb.Rows) != len(hops)+1 {
+		t.Fatalf("table has %d rows, want %d hops + end-to-end", len(tb.Rows), len(hops))
+	}
+	// The run is cancelled before the table is built, so the histograms
+	// are quiescent: recomputing a percentile here must reproduce the
+	// cell exactly.
+	cell := func(h *metrics.Histogram, p float64) string {
+		return fmt.Sprintf("%.3f", float64(h.Percentile(p))/1e3)
+	}
+	for i, hs := range hops {
+		row := tb.Rows[i]
+		for _, c := range []struct {
+			col  int
+			h    *metrics.Histogram
+			p    float64
+			name string
+		}{
+			{1, hs.At, 50, "at-hop p50"},
+			{2, hs.At, 90, "at-hop p90"},
+			{3, hs.At, 99, "at-hop p99"},
+			{4, hs.To, 50, "to-hop p50"},
+			{5, hs.To, 99, "to-hop p99"},
+		} {
+			if want := cell(c.h, c.p); row[c.col] != want {
+				t.Errorf("hop %q %s cell = %s, want %s (Percentile(%v))",
+					hs.Node, c.name, row[c.col], want, c.p)
+			}
+		}
+		if p50, p99 := parseCell(t, tb, i, 1), parseCell(t, tb, i, 3); p99 < p50 {
+			t.Errorf("hop %q: at-hop p99 %v < p50 %v", hs.Node, p99, p50)
+		}
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[0] != "end-to-end" {
+		t.Fatalf("last row is %q, want end-to-end", last[0])
+	}
+	e2e := col.EndToEnd()
+	for _, c := range []struct {
+		col int
+		p   float64
+	}{{1, 50}, {2, 90}, {3, 99}} {
+		if want := cell(e2e, c.p); last[c.col] != want {
+			t.Errorf("end-to-end p%v cell = %s, want %s", c.p, last[c.col], want)
+		}
+	}
+	ri := len(tb.Rows) - 1
+	if p50, p99 := parseCell(t, tb, ri, 1), parseCell(t, tb, ri, 3); p99 < p50 {
+		t.Errorf("end-to-end p99 %v < p50 %v", p99, p50)
+	}
+}

@@ -61,7 +61,9 @@ const DefaultReservoirCap = 100_000
 // the samples — and therefore the percentiles — are exact; past it the
 // reservoir is a uniform random sample of everything observed. Count,
 // Mean, Sum, Min and Max always reflect every observation. All methods
-// are safe for concurrent use.
+// are safe for concurrent use. The zero value is usable and adopts the
+// default reservoir capacity on first Observe; NewHistogramCap sets a
+// custom capacity.
 type Histogram struct {
 	mu       sync.Mutex
 	samples  []time.Duration // bounded reservoir
@@ -91,6 +93,15 @@ func NewHistogramCap(capacity int) *Histogram {
 // Observe records one sample. Safe for concurrent use.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
+	if h.capacity == 0 {
+		// Zero-value histogram (not built via NewHistogram): adopt the
+		// defaults lazily so the first observation past the reservoir
+		// doesn't hit a nil rng.
+		h.capacity = DefaultReservoirCap
+	}
+	if h.rng == nil {
+		h.rng = rand.New(rand.NewSource(1))
+	}
 	h.count++
 	h.sum += d
 	if h.count == 1 || d < h.min {

@@ -133,3 +133,23 @@ func TestHistogramSnapshot(t *testing.T) {
 		t.Errorf("min/max = %d/%d", s.MinNs, s.MaxNs)
 	}
 }
+
+func TestHistogramZeroValue(t *testing.T) {
+	// The zero value must be usable: it adopts the default reservoir
+	// capacity and sampling state lazily, so the reservoir-full branch
+	// never hits a nil rng.
+	var h Histogram
+	const n = DefaultReservoirCap + 10
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if h.Count() != n {
+		t.Errorf("count = %d, want %d", h.Count(), n)
+	}
+	if got := h.ReservoirLen(); got > DefaultReservoirCap {
+		t.Errorf("reservoir holds %d samples, cap is %d", got, DefaultReservoirCap)
+	}
+	if h.Min() != 1 || h.Max() != n {
+		t.Errorf("min/max = %v/%v, want 1/%d", h.Min(), h.Max(), n)
+	}
+}

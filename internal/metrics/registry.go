@@ -54,6 +54,10 @@ func Default() *Registry { return defaultRegistry }
 func (r *Registry) CounterFunc(name string, fn func() uint64) {
 	r.mu.Lock()
 	r.counters[name] = fn
+	// Latest wins across registration styles too: drop any owned counter
+	// under this name so a later Counter(name) doesn't resurrect a stale
+	// instance whose increments the snapshot no longer reads.
+	delete(r.owned, name)
 	r.mu.Unlock()
 }
 

@@ -138,3 +138,25 @@ func TestSnapshotJSONStable(t *testing.T) {
 		t.Errorf("round trip lost counters: %v", back.Counters)
 	}
 }
+
+func TestCounterFuncEvictsOwnedCounter(t *testing.T) {
+	// Regression: Counter and CounterFunc share the counters namespace.
+	// A CounterFunc over an existing owned name must also evict the
+	// owned instance, or a later Counter(name) would hand back the
+	// stale counter whose increments no snapshot reads.
+	r := NewRegistry()
+	old := r.Counter("x")
+	old.Add(1)
+	r.CounterFunc("x", func() uint64 { return 42 })
+	if v := r.Snapshot().Counters["x"]; v != 42 {
+		t.Errorf("x = %d, want 42 (CounterFunc wins)", v)
+	}
+	c := r.Counter("x")
+	if c == old {
+		t.Fatal("Counter returned the evicted owned instance")
+	}
+	c.Add(5)
+	if v := r.Snapshot().Counters["x"]; v != 5 {
+		t.Errorf("x = %d, want 5 (fresh owned counter is published)", v)
+	}
+}
