@@ -20,6 +20,7 @@ import (
 	"switchboard/internal/experiments"
 	"switchboard/internal/introspect"
 	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
 )
 
 func main() {
@@ -31,13 +32,19 @@ func main() {
 	flag.Parse()
 
 	if *listen != "" {
-		addr, stop, err := introspect.Serve(*listen, metrics.Default())
+		hist := metrics.NewHistory(metrics.Default(), 0, 0)
+		defer hist.Start()()
+		addr, stop, err := introspect.ServeOpts(*listen, introspect.Options{
+			Registry: metrics.Default(),
+			History:  hist,
+			Events:   obs.Default(),
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "listen %s: %v\n", *listen, err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Printf("introspection on http://%s/metrics\n", addr)
+		fmt.Printf("introspection on http://%s/metrics (also /metrics/history, /debug/events)\n", addr)
 	}
 
 	if *list || *exp == "" {

@@ -36,6 +36,7 @@ import (
 	"switchboard/internal/introspect"
 	"switchboard/internal/labels"
 	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
 )
@@ -208,11 +209,17 @@ func main() {
 	}
 	if *debugAddr != "" {
 		d.f.RegisterMetrics(metrics.Default())
-		addr, _, err := introspect.Serve(*debugAddr, metrics.Default())
+		hist := metrics.NewHistory(metrics.Default(), 0, 0)
+		hist.Start()
+		addr, _, err := introspect.ServeOpts(*debugAddr, introspect.Options{
+			Registry: metrics.Default(),
+			History:  hist,
+			Events:   obs.Default(),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("introspection on http://%s/metrics", addr)
+		log.Printf("introspection on http://%s/metrics (also /metrics/history, /debug/events)", addr)
 	}
 	listen, err := net.ResolveUDPAddr("udp", cfg.Listen)
 	if err != nil {

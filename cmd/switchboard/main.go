@@ -27,6 +27,7 @@ import (
 	"switchboard/internal/introspect"
 	"switchboard/internal/metrics"
 	"switchboard/internal/model"
+	"switchboard/internal/obs"
 	"switchboard/internal/te"
 )
 
@@ -251,11 +252,17 @@ func main() {
 	debugAddr := flag.String("listen-debug", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if *debugAddr != "" {
-		bound, _, err := introspect.Serve(*debugAddr, metrics.Default())
+		hist := metrics.NewHistory(metrics.Default(), 0, 0)
+		hist.Start()
+		bound, _, err := introspect.ServeOpts(*debugAddr, introspect.Options{
+			Registry: metrics.Default(),
+			History:  hist,
+			Events:   obs.Default(),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("introspection on http://%s/metrics", bound)
+		log.Printf("introspection on http://%s/metrics (also /metrics/history, /debug/events)", bound)
 	}
 	log.Printf("global switchboard TE service listening on %s", *addr)
 	srv := &http.Server{Addr: *addr, Handler: newMux(), ReadHeaderTimeout: 5 * time.Second}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"switchboard/internal/metrics"
 	"switchboard/internal/simnet"
@@ -72,6 +73,11 @@ type proxyMsg struct {
 	seq     uint64           // per-(sender,destination) sequence; 0 = best effort
 	rev     uint64           // retained revision carried by pub/syncpub
 	revs    map[Topic]uint64 // syncreq: the revisions the requester holds
+	// pubNs is the Unix-nanosecond Publish timestamp, carried by fresh
+	// "pub" copies so receivers can observe publish→deliver latency.
+	// Retained replays and anti-entropy repairs carry 0: they deliver
+	// old state whose age would skew the distribution.
+	pubNs int64
 }
 
 // Bus is Switchboard's global message bus: one proxy per site.
@@ -89,6 +95,12 @@ type Bus struct {
 	drops      metrics.Counter
 	duplicates metrics.Counter
 	resyncs    metrics.Counter
+	acks       metrics.Counter
+	// pubLatency records publish→remote-delivery latency: WAN transit,
+	// queueing, and any retransmissions before the first successful
+	// delivery. Duplicate copies and retained/anti-entropy replays of
+	// old state are excluded (they would skew the distribution).
+	pubLatency *metrics.Histogram
 }
 
 // proxy is the per-site message-queuing proxy.
@@ -134,9 +146,10 @@ type retainedMsg struct {
 // New creates a bus over the given simulated network.
 func New(net *simnet.Network) *Bus {
 	return &Bus{
-		net:     net,
-		proxies: make(map[simnet.SiteID]*proxy),
-		rel:     Reliability{}.withDefaults(),
+		net:        net,
+		proxies:    make(map[simnet.SiteID]*proxy),
+		rel:        Reliability{}.withDefaults(),
+		pubLatency: metrics.NewHistogram(),
 	}
 }
 
@@ -248,19 +261,20 @@ func (b *Bus) Publish(site simnet.SiteID, topic Topic, payload any, size int) er
 	if err != nil {
 		return err
 	}
+	pubNs := time.Now().UnixNano()
 	pubSite, ok := topic.PublisherSite()
 	if ok && pubSite != site {
 		// Publishing from a site other than the topic's home: relay to
 		// the home proxy, which owns the filters.
-		return p.sendReliable(pubSite, proxyMsg{kind: "pub", topic: topic, payload: payload}, size)
+		return p.sendReliable(pubSite, proxyMsg{kind: "pub", topic: topic, payload: payload, pubNs: pubNs}, size)
 	}
-	p.fanOut(topic, payload, size, 0)
+	p.fanOut(topic, payload, size, 0, pubNs)
 	return nil
 }
 
 // fanOut delivers locally and to each remotely subscribed site,
 // retaining the value (under a fresh revision) for late subscribers.
-func (p *proxy) fanOut(topic Topic, payload any, size, hops int) {
+func (p *proxy) fanOut(topic Topic, payload any, size, hops int, pubNs int64) {
 	p.mu.Lock()
 	p.revSeq++
 	rev := p.revSeq
@@ -279,14 +293,14 @@ func (p *proxy) fanOut(topic Topic, payload any, size, hops int) {
 		sub.deliver(Publication{Topic: topic, Payload: payload, Hops: hops})
 	}
 	for _, site := range remote {
-		_ = p.sendReliable(site, proxyMsg{kind: "pub", topic: topic, payload: payload, rev: rev}, size)
+		_ = p.sendReliable(site, proxyMsg{kind: "pub", topic: topic, payload: payload, rev: rev, pubNs: pubNs}, size)
 	}
 }
 
 // applyRemote stores a forwarded retained copy and delivers it to local
 // subscribers, unless the revision shows it is stale (a retransmitted or
 // reordered copy of state this site has already moved past).
-func (p *proxy) applyRemote(topic Topic, payload any, size int, rev uint64) {
+func (p *proxy) applyRemote(topic Topic, payload any, size int, rev uint64, pubNs int64) {
 	p.mu.Lock()
 	if cur, ok := p.retained[topic]; ok && rev > 0 && cur.rev >= rev {
 		p.mu.Unlock()
@@ -295,6 +309,9 @@ func (p *proxy) applyRemote(topic Topic, payload any, size int, rev uint64) {
 	}
 	p.retained[topic] = retainedMsg{payload: payload, size: size, rev: rev}
 	p.mu.Unlock()
+	if pubNs > 0 {
+		p.bus.pubLatency.Observe(time.Duration(time.Now().UnixNano() - pubNs))
+	}
 	p.deliverLocal(topic, payload, 1)
 }
 
@@ -341,15 +358,15 @@ func (p *proxy) run() {
 		case "pub":
 			if home, ok := pm.topic.PublisherSite(); ok && home == p.site {
 				// We own the filters: fan out (1 hop so far).
-				p.fanOut(pm.topic, pm.payload, m.Size, 1)
+				p.fanOut(pm.topic, pm.payload, m.Size, 1, pm.pubNs)
 			} else {
 				// Copy forwarded to us because we have local subs.
-				p.applyRemote(pm.topic, pm.payload, m.Size, pm.rev)
+				p.applyRemote(pm.topic, pm.payload, m.Size, pm.rev, pm.pubNs)
 			}
 		case "syncreq":
 			p.handleSyncReq(pm)
 		case "syncpub":
-			p.applyRemote(pm.topic, pm.payload, m.Size, pm.rev)
+			p.applyRemote(pm.topic, pm.payload, m.Size, pm.rev, 0)
 		}
 	}
 }
@@ -378,6 +395,11 @@ func (b *Bus) WANMessages() uint64 { return b.wanMsgs.Load() }
 //	bus.drops         messages abandoned after the retry budget
 //	bus.duplicates    stale or duplicate copies suppressed at receivers
 //	bus.resyncs       topics repaired by the anti-entropy loop
+//	bus.acks          acknowledgements processed by senders
+//
+// plus the delivery-latency histogram (durations in nanoseconds):
+//
+//	bus.publish_to_deliver_ms  Publish → first remote delivery
 func (b *Bus) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("bus.wan_messages", b.wanMsgs.Load)
 	r.CounterFunc("bus.send_errors", b.sendErrors.Load)
@@ -385,6 +407,12 @@ func (b *Bus) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("bus.drops", b.drops.Load)
 	r.CounterFunc("bus.duplicates", b.duplicates.Load)
 	r.CounterFunc("bus.resyncs", b.resyncs.Load)
+	r.CounterFunc("bus.acks", b.acks.Load)
+	r.RegisterHistogram("bus.publish_to_deliver_ms", b.pubLatency)
 }
+
+// PublishToDeliver exposes the publish→remote-delivery latency
+// histogram for experiments and tests.
+func (b *Bus) PublishToDeliver() *metrics.Histogram { return b.pubLatency }
 
 var _ PubSub = (*Bus)(nil)

@@ -1,0 +1,110 @@
+package bus
+
+import (
+	"testing"
+	"time"
+
+	"switchboard/internal/testutil"
+)
+
+// TestPublishToDeliverLatency checks the bus's end-to-end delivery
+// histogram: remote deliveries are observed with roughly the WAN path
+// delay, local deliveries are not observed at all, and acknowledgements
+// of the reliable transmissions show up in bus.acks.
+func TestPublishToDeliverLatency(t *testing.T) {
+	n := newTestNet(t, "A", "B")
+	b := newTestBus(t, n, "A", "B")
+	topic := MakeTopic("c1", "e3", "vnf_G", "A", "instances")
+	sub, err := b.Subscribe("B", topic, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // filter install crosses the WAN
+
+	if n := b.PublishToDeliver().Count(); n != 0 {
+		t.Fatalf("histogram has %d samples before any publish", n)
+	}
+	if err := b.Publish("A", topic, "x", 10); err != nil {
+		t.Fatal(err)
+	}
+	recvOrTimeout(t, sub)
+
+	h := b.PublishToDeliver()
+	testutil.WaitUntil(t, 2*time.Second, "remote delivery observed", func() bool {
+		return h.Count() >= 1
+	})
+	// The test network's A↔B path delay is 5ms; the observed latency must
+	// be at least that, and not absurdly more on an otherwise idle bus.
+	if min := h.Min(); min < 5*time.Millisecond {
+		t.Errorf("publish→deliver min %v < path delay 5ms", min)
+	}
+	if max := h.Max(); max > 2*time.Second {
+		t.Errorf("publish→deliver max %v implausibly large", max)
+	}
+
+	// Reliable delivery means the remote copy is acknowledged.
+	testutil.WaitUntil(t, 2*time.Second, "ack counted", func() bool {
+		return b.Stats().Acks >= 1
+	})
+}
+
+// TestLocalDeliveryNotObserved pins down the histogram's scope: a
+// same-site publish never crosses a proxy boundary, so it contributes
+// no sample — the metric measures WAN propagation, not channel handoff.
+func TestLocalDeliveryNotObserved(t *testing.T) {
+	n := newTestNet(t, "A")
+	b := newTestBus(t, n, "A")
+	topic := MakeTopic("c1", "e1", "vnf_G", "A", "instances")
+	sub, err := b.Subscribe("A", topic, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("A", topic, "hello", 10); err != nil {
+		t.Fatal(err)
+	}
+	recvOrTimeout(t, sub)
+	time.Sleep(20 * time.Millisecond)
+	if n := b.PublishToDeliver().Count(); n != 0 {
+		t.Errorf("local-only publish observed %d latency samples, want 0", n)
+	}
+	if acks := b.Stats().Acks; acks != 0 {
+		t.Errorf("local-only publish counted %d acks, want 0", acks)
+	}
+}
+
+// TestRetainedReplayNotObserved verifies that a late subscriber served
+// from retained state does not pollute the latency histogram: replayed
+// copies carry no publish timestamp, so the histogram only ever holds
+// genuine publish→first-delivery propagation times.
+func TestRetainedReplayNotObserved(t *testing.T) {
+	n := newTestNet(t, "A", "B")
+	b := newTestBus(t, n, "A", "B")
+	topic := MakeTopic("c1", "e3", "vnf_G", "A", "instances")
+
+	sub1, err := b.Subscribe("B", topic, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := b.Publish("A", topic, "v1", 10); err != nil {
+		t.Fatal(err)
+	}
+	recvOrTimeout(t, sub1)
+	h := b.PublishToDeliver()
+	testutil.WaitUntil(t, 2*time.Second, "first remote delivery observed", func() bool {
+		return h.Count() >= 1
+	})
+	before := h.Count()
+
+	// A second subscriber at B is served from B's retained copy — no new
+	// WAN propagation happened, so no new sample may appear.
+	sub2, err := b.Subscribe("B", topic, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvOrTimeout(t, sub2)
+	time.Sleep(20 * time.Millisecond)
+	if got := h.Count(); got != before {
+		t.Errorf("retained replay added %d latency samples", got-before)
+	}
+}

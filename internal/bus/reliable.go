@@ -93,6 +93,10 @@ type Stats struct {
 	// Resyncs counts retained records re-sent by anti-entropy after a
 	// subscriber site was found behind the home's revision.
 	Resyncs uint64
+	// Acks counts acknowledgements processed by senders; with
+	// WANMessages and Retries it shows how much of the reliable-delivery
+	// round-trip budget acknowledgement traffic consumes.
+	Acks uint64
 }
 
 // Stats returns the current delivery counters.
@@ -104,6 +108,7 @@ func (b *Bus) Stats() Stats {
 		Drops:       b.drops.Load(),
 		Duplicates:  b.duplicates.Load(),
 		Resyncs:     b.resyncs.Load(),
+		Acks:        b.acks.Load(),
 	}
 }
 
@@ -187,6 +192,7 @@ func (p *proxy) sendRaw(site simnet.SiteID, m proxyMsg, size int, countWAN bool)
 
 // handleAck clears the pending entry a receiver just confirmed.
 func (p *proxy) handleAck(from simnet.SiteID, seq uint64) {
+	p.bus.acks.Inc()
 	p.outMu.Lock()
 	if byseq := p.pending[from]; byseq != nil {
 		delete(byseq, seq)

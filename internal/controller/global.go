@@ -13,6 +13,7 @@ import (
 	"switchboard/internal/labels"
 	"switchboard/internal/metrics"
 	"switchboard/internal/model"
+	"switchboard/internal/obs"
 	"switchboard/internal/simnet"
 	"switchboard/internal/te"
 )
@@ -38,6 +39,7 @@ type GlobalSwitchboard struct {
 	alloc      *labels.Allocator
 	txSeq      int
 	tl         *Timeline
+	rec        *obs.Recorder
 	// failedSites is the failure detector's current verdict per site.
 	failedSites map[simnet.SiteID]bool
 	// UseLP switches chain routing to the LP optimizer (SB-LP); the
@@ -61,6 +63,11 @@ type GlobalSwitchboard struct {
 	reroutes       atomic.Uint64
 	siteFailures   atomic.Uint64
 	routePublishes atomic.Uint64
+	// opParent is the span ID of the in-flight failure-handling
+	// operation; nested RecomputeChain spans parent to it. Best-effort:
+	// concurrent failovers overwrite each other's linkage (the spans
+	// themselves stay correct).
+	opParent atomic.Uint64
 	// reconv records end-to-end site-failure recovery durations.
 	reconv *metrics.Histogram
 }
@@ -102,12 +109,40 @@ func NewGlobalSwitchboard(net *simnet.Network, b *bus.Bus, site simnet.SiteID) *
 //	gs.site_failures   site failures handled
 //	gs.route_publishes route snapshots published on the bus
 //	gs.reconvergence   histogram: site-failure recovery duration
+//
+// It also pre-creates the histograms the controller's spans fold into
+// (see SetRecorder), so the names appear in snapshots before the first
+// span completes:
+//
+//	gs.chain_setup_ms        histogram: CreateChain end to end
+//	gs.path_compute_ms       histogram: one TE solve (SB-DP/SB-LP/override)
+//	controlplane.failover_ms histogram: last heartbeat seen → failure handled
+//	controlplane.detect_ms   histogram: last heartbeat seen → failure declared
 func (g *GlobalSwitchboard) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("gs.chains_created", g.chainsCreated.Load)
 	r.CounterFunc("gs.reroutes", g.reroutes.Load)
 	r.CounterFunc("gs.site_failures", g.siteFailures.Load)
 	r.CounterFunc("gs.route_publishes", g.routePublishes.Load)
 	r.RegisterHistogram("gs.reconvergence", g.reconv)
+	r.Histogram("gs.chain_setup_ms")
+	r.Histogram("gs.path_compute_ms")
+	r.Histogram("controlplane.failover_ms")
+	r.Histogram("controlplane.detect_ms")
+}
+
+// SetRecorder attaches a control-plane span recorder: chain creation,
+// path computation, recomputation, and failure handling are stamped as
+// spans (obs package). A nil recorder (the default) costs nothing.
+func (g *GlobalSwitchboard) SetRecorder(rec *obs.Recorder) {
+	g.mu.Lock()
+	g.rec = rec
+	g.mu.Unlock()
+}
+
+func (g *GlobalSwitchboard) recorder() *obs.Recorder {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rec
 }
 
 // SetTimeline attaches a timeline for responsiveness experiments.
@@ -290,10 +325,14 @@ func (g *GlobalSwitchboard) OptimizeAll() error {
 	for s, n := range nodeOf {
 		siteOf[n] = s
 	}
+	csp := g.recorder().Start("gs.path_compute", "gs.path_compute_ms", g.opParent.Load())
 	routing, err := g.routeChain(nw)
 	if err != nil {
+		csp.Fail(err)
+		csp.End()
 		return err
 	}
+	csp.End()
 	tl.Record("joint optimization solved")
 
 	tx := g.nextTx("all")
@@ -361,7 +400,7 @@ var ErrNoRoute = errors.New("controller: no feasible route")
 
 // CreateChain runs the full chain-creation sequence of Figure 4 and
 // returns the installed route record.
-func (g *GlobalSwitchboard) CreateChain(spec Spec) (*RouteRecord, error) {
+func (g *GlobalSwitchboard) CreateChain(spec Spec) (rec *RouteRecord, err error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -372,6 +411,13 @@ func (g *GlobalSwitchboard) CreateChain(spec Spec) (*RouteRecord, error) {
 	}
 	tl := g.tl
 	g.mu.Unlock()
+
+	sp := g.recorder().Start("gs.create_chain", "gs.chain_setup_ms", 0)
+	sp.Event("request accepted: " + string(spec.ID))
+	defer func() {
+		sp.Fail(err)
+		sp.End()
+	}()
 
 	// Step 1: edges exist before routing (edge service registration).
 	inLabel, err := g.ensureEdgeAt(spec.IngressSite)
@@ -384,16 +430,19 @@ func (g *GlobalSwitchboard) CreateChain(spec Spec) (*RouteRecord, error) {
 		return nil, err
 	}
 	tl.Record("edges resolved")
+	sp.Event("edges resolved")
 
 	chainLabel, err := g.allocLabel()
 	if err != nil {
 		return nil, err
 	}
-	rec, load, err := g.computeAndCommit(spec, chainLabel, egLabel, 0)
+	rec, load, err := g.computeAndCommit(spec, chainLabel, egLabel, 0, sp.ID())
 	if err != nil {
 		return nil, err
 	}
 	tl.Record("route computed and committed (2PC)")
+	sp.Event("route computed and committed (2PC)")
+	rec.SpanID = sp.ID()
 
 	cr := &chainRecord{
 		spec:          spec,
@@ -410,12 +459,14 @@ func (g *GlobalSwitchboard) CreateChain(spec Spec) (*RouteRecord, error) {
 		return nil, err
 	}
 	tl.Record("route published")
+	sp.Event("route published")
 
 	// Step 4: VNF controllers allocate instances and publish them.
 	if err := g.allocateInstances(cr); err != nil {
 		return nil, err
 	}
 	tl.Record("instances allocated")
+	sp.Event("instances allocated")
 	g.chainsCreated.Add(1)
 	return rec, nil
 }
@@ -428,8 +479,9 @@ func (g *GlobalSwitchboard) allocLabel() (uint32, error) {
 
 // computeAndCommit runs TE and the two-phase commit, recomputing with a
 // VNF's site excluded whenever that VNF controller rejects the proposed
-// reservation. version is carried into the resulting record.
-func (g *GlobalSwitchboard) computeAndCommit(spec Spec, chainLabel, egLabel uint32, version int) (*RouteRecord, map[string]map[simnet.SiteID]float64, error) {
+// reservation. version is carried into the resulting record; parent
+// links the per-attempt path-compute spans to the requesting operation.
+func (g *GlobalSwitchboard) computeAndCommit(spec Spec, chainLabel, egLabel uint32, version int, parent uint64) (*RouteRecord, map[string]map[simnet.SiteID]float64, error) {
 	exclude := make(map[string]map[simnet.SiteID]bool)
 	for attempt := 0; attempt < 5; attempt++ {
 		nw, nodeOf, err := g.buildModel(spec)
@@ -447,10 +499,14 @@ func (g *GlobalSwitchboard) computeAndCommit(spec Spec, chainLabel, egLabel uint
 			}
 		}
 
+		csp := g.recorder().Start("gs.path_compute", "gs.path_compute_ms", parent)
 		routing, err := g.routeChain(nw)
 		if err != nil {
+			csp.Fail(err)
+			csp.End()
 			return nil, nil, err
 		}
+		csp.End()
 		split := routing.Splits[model.ChainID(spec.ID)]
 		// The controller requires the full demand routable; a VNF that
 		// can only host part of the chain's traffic is a resource
@@ -510,6 +566,7 @@ func (g *GlobalSwitchboard) computeAndCommit(spec Spec, chainLabel, egLabel uint
 				exclude[rejectedVNF] = make(map[simnet.SiteID]bool)
 			}
 			exclude[rejectedVNF][rejected.Site] = true
+			g.recorder().Log(fmt.Sprintf("gs: 2PC rejected by %s at %s for %s, recomputing", rejectedVNF, rejected.Site, spec.ID))
 			continue // recompute without the rejected site
 		}
 		for _, p := range preparedAt {
@@ -730,6 +787,9 @@ func (g *GlobalSwitchboard) RecomputeChain(id ChainID, newForward, newReverse fl
 		return nil, fmt.Errorf("controller: unknown chain %s", id)
 	}
 	tl.Record("recompute requested")
+	sp := g.recorder().Start("gs.recompute_chain", "", g.opParent.Load())
+	sp.Event("recompute requested: " + string(id))
+	defer sp.End()
 
 	spec := cr.spec
 	if newForward > 0 {
@@ -745,8 +805,9 @@ func (g *GlobalSwitchboard) RecomputeChain(id ChainID, newForward, newReverse fl
 			v.ReleaseLoad(perSite)
 		}
 	}
-	rec, load, err := g.computeAndCommit(spec, cr.rec.ChainLabel, cr.rec.EgressLabel, cr.rec.Version+1)
+	rec, load, err := g.computeAndCommit(spec, cr.rec.ChainLabel, cr.rec.EgressLabel, cr.rec.Version+1, sp.ID())
 	if err != nil {
+		sp.Fail(err)
 		// Restore the previous reservations on failure.
 		tx := g.nextTx(id)
 		for vnfName, perSite := range cr.committedLoad {
@@ -759,7 +820,9 @@ func (g *GlobalSwitchboard) RecomputeChain(id ChainID, newForward, newReverse fl
 		return nil, err
 	}
 	rec.ExtraIngress = cr.rec.ExtraIngress
+	rec.SpanID = sp.ID()
 	tl.Record("new route committed (2PC)")
+	sp.Event("new route committed (2PC)")
 
 	g.mu.Lock()
 	cr.spec = spec
@@ -768,13 +831,17 @@ func (g *GlobalSwitchboard) RecomputeChain(id ChainID, newForward, newReverse fl
 	g.mu.Unlock()
 
 	if err := g.publishRoute(rec); err != nil {
+		sp.Fail(err)
 		return nil, err
 	}
 	tl.Record("new route published")
+	sp.Event("new route published")
 	if err := g.allocateInstances(cr); err != nil {
+		sp.Fail(err)
 		return nil, err
 	}
 	tl.Record("new instances allocated")
+	sp.Event("new instances allocated")
 	g.reroutes.Add(1)
 	return rec, nil
 }
@@ -827,6 +894,15 @@ func (g *GlobalSwitchboard) HandleSiteFailure(site simnet.SiteID) (rerouted []Ch
 	g.siteFailures.Add(1)
 	start := time.Now()
 	defer func() { g.reconv.Observe(time.Since(start)) }()
+	prevParent := g.opParent.Load()
+	sp := g.recorder().Start("gs.handle_site_failure", "", prevParent)
+	sp.Event("site failure reported: " + string(site))
+	g.opParent.Store(sp.ID())
+	defer func() {
+		g.opParent.Store(prevParent)
+		sp.Fail(firstErr)
+		sp.End()
+	}()
 	g.mu.Lock()
 	vnfs := make([]*VNFController, 0, len(g.vnfs))
 	for _, v := range g.vnfs {
@@ -853,6 +929,7 @@ func (g *GlobalSwitchboard) HandleSiteFailure(site simnet.SiteID) (rerouted []Ch
 		v.FailSite(site)
 	}
 	tl.Record(fmt.Sprintf("site %s failed: %d chains affected", site, len(affected)))
+	sp.Event(fmt.Sprintf("deployments failed: %d chains affected", len(affected)))
 
 	for _, id := range affected {
 		if _, err := g.RecomputeChain(id, 0, -1); err != nil {
@@ -864,6 +941,7 @@ func (g *GlobalSwitchboard) HandleSiteFailure(site simnet.SiteID) (rerouted []Ch
 		rerouted = append(rerouted, id)
 	}
 	tl.Record(fmt.Sprintf("site %s failure handled: %d/%d chains rerouted", site, len(rerouted), len(affected)))
+	sp.Event(fmt.Sprintf("chains rerouted: %d/%d", len(rerouted), len(affected)))
 	return rerouted, firstErr
 }
 

@@ -150,14 +150,37 @@ func (g *GlobalSwitchboard) StartFailureDetector(cfg DetectorConfig) (stop func(
 					if suspicion[site] >= cfg.Debounce {
 						g.setFailed(site, true)
 						g.timeline().Record(fmt.Sprintf("detector: site %s declared failed after %d silent checks", site, suspicion[site]))
-						_, _ = g.HandleSiteFailure(site)
+						// The failover span tree: the total is anchored at
+						// the last heartbeat actually seen, with two
+						// contiguous children — detect covers last beat →
+						// declaration, handle covers declaration →
+						// recovery complete — so the children's durations
+						// sum to the total.
+						declared := time.Now()
+						rec := g.recorder()
+						total := rec.StartAt("controlplane.failover", "controlplane.failover_ms", 0, t)
+						total.Event("site: " + string(site))
+						det := rec.StartAt("controlplane.detect", "controlplane.detect_ms", total.ID(), t)
+						det.Event(fmt.Sprintf("declared failed after %d silent checks", suspicion[site]))
+						det.End()
+						handle := rec.StartAt("controlplane.handle", "", total.ID(), declared)
+						prev := g.opParent.Swap(handle.ID())
+						_, herr := g.HandleSiteFailure(site)
+						g.opParent.Store(prev)
+						handle.Fail(herr)
+						handle.End()
+						total.Fail(herr)
+						total.End()
 					}
 				case !silent && failed:
 					// Beacons resumed: the site is back.
 					suspicion[site] = 0
 					g.setFailed(site, false)
 					g.timeline().Record(fmt.Sprintf("detector: site %s heartbeats resumed, re-admitting", site))
-					_ = g.HandleSiteRecovery(site)
+					rsp := g.recorder().Start("controlplane.recovery", "", 0)
+					rsp.Event("heartbeats resumed: " + string(site))
+					rsp.Fail(g.HandleSiteRecovery(site))
+					rsp.End()
 				case !silent:
 					suspicion[site] = 0
 				}

@@ -12,6 +12,7 @@ import (
 	"switchboard/internal/forwarder"
 	"switchboard/internal/labels"
 	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
 	"switchboard/internal/simnet"
 )
 
@@ -37,6 +38,7 @@ type LocalSwitchboard struct {
 	edgeStop   func()
 	chains     map[ChainID]*chainState
 	tl         *Timeline
+	rec        *obs.Recorder
 	routesSub  *bus.Subscription
 	hbStop     chan struct{}
 	wg         sync.WaitGroup
@@ -50,8 +52,29 @@ type LocalSwitchboard struct {
 // metrics registry under "ls.<site>.*":
 //
 //	ls.<site>.routes_applied route records accepted (new or newer version)
+//
+// It also pre-creates ls.rule_install_ms, the histogram the apply-route
+// spans fold into (shared across sites — create-or-get returns the same
+// instance for every LS on one registry).
 func (ls *LocalSwitchboard) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("ls."+string(ls.site)+".routes_applied", ls.routesApplied.Load)
+	r.Histogram("ls.rule_install_ms")
+}
+
+// SetRecorder attaches a control-plane span recorder: each accepted
+// route record is stamped as an apply-route span, parented (via the
+// record's SpanID) to the Global Switchboard operation that published
+// it. A nil recorder (the default) costs nothing.
+func (ls *LocalSwitchboard) SetRecorder(rec *obs.Recorder) {
+	ls.mu.Lock()
+	ls.rec = rec
+	ls.mu.Unlock()
+}
+
+func (ls *LocalSwitchboard) recorder() *obs.Recorder {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.rec
 }
 
 type fwdRuntime struct {
@@ -308,6 +331,15 @@ func (ls *LocalSwitchboard) OnRoute(rec *RouteRecord) {
 	ls.mu.Unlock()
 	tl.Record(fmt.Sprintf("localSB %s received route v%d for %s", ls.site, rec.Version, rec.Chain))
 
+	// The apply-route span covers everything this site does with the
+	// record: publishing its forwarders, wiring subscriptions, and
+	// installing rules. The record's SpanID parents it back to the GS
+	// operation that produced the route, across the bus. The version
+	// dedupe above guarantees snapshot republications don't re-span.
+	sp := ls.recorder().Start("ls."+string(ls.site)+".apply_route", "ls.rule_install_ms", rec.SpanID)
+	sp.Event(fmt.Sprintf("route v%d received for %s", rec.Version, rec.Chain))
+	defer sp.End()
+
 	// Publish this site's forwarders for the roles it plays (all
 	// members of a scaled-out set, each with equal weight).
 	for j, vnfName := range rec.VNFs {
@@ -318,12 +350,15 @@ func (ls *LocalSwitchboard) OnRoute(rec *RouteRecord) {
 	if rec.IsIngress(ls.site) || rec.EgressSite == ls.site {
 		ls.publishRole(st, edgeRole)
 	}
+	sp.Event("forwarders published")
 
 	// Subscribe to every topic this site's rules depend on.
 	for _, topic := range ls.dependencyTopics(rec, st) {
 		ls.subscribe(cs, rec.Chain, topic)
 	}
+	sp.Event("dependency subscriptions ensured")
 	ls.reinstall(rec.Chain)
+	sp.Event("rules installed")
 }
 
 // onChainDeleted removes the chain's rules from every forwarder at this

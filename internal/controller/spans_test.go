@@ -1,0 +1,203 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+	"switchboard/internal/simnet"
+	"switchboard/internal/testutil"
+	"switchboard/internal/vnf"
+)
+
+// wireObservability attaches one recorder + registry to every
+// control-plane component of the testbed, the way the experiment
+// harness does.
+func wireObservability(tb *testbed, vnfs ...*VNFController) (*obs.Recorder, *metrics.Registry) {
+	reg := metrics.NewRegistry()
+	rec := obs.NewRecorder(0, 0, reg)
+	rec.RegisterMetrics(reg)
+	tb.bus.RegisterMetrics(reg)
+	tb.g.RegisterMetrics(reg)
+	tb.g.SetRecorder(rec)
+	for _, ls := range tb.locals {
+		ls.RegisterMetrics(reg)
+		ls.SetRecorder(rec)
+	}
+	for _, v := range vnfs {
+		v.RegisterMetrics(reg)
+		v.SetRecorder(rec)
+	}
+	return rec, reg
+}
+
+// TestChainCreationSpans verifies the chain-setup control loop is
+// stamped end to end: a gs.create_chain root span with the Figure 4
+// step events, gs.path_compute and vnfctl allocation children, and —
+// across the bus — ls.<site>.apply_route spans parented to the root via
+// the route record's SpanID. Every span's duration must have folded
+// into its named histogram.
+func TestChainCreationSpans(t *testing.T) {
+	tb := newTestbed(t, 2*time.Millisecond, "A", "B")
+	tb.registerSites(1000, "A", "B")
+	v := tb.addVNF("fw", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"B": 500})
+	rec, reg := wireObservability(tb, v)
+
+	route, err := tb.g.CreateChain(Spec{
+		ID: "c1", IngressSite: "A", EgressSite: "A",
+		VNFs: []string{"fw"}, ForwardRate: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.waitReady(route, "A", "B")
+
+	roots := rec.SpansNamed("gs.create_chain")
+	if len(roots) != 1 {
+		t.Fatalf("got %d gs.create_chain spans, want 1", len(roots))
+	}
+	root := roots[0]
+	if route.SpanID != root.ID {
+		t.Fatalf("record SpanID %d != create span ID %d", route.SpanID, root.ID)
+	}
+	if root.Err != "" {
+		t.Fatalf("create span failed: %s", root.Err)
+	}
+	wantEvents := []string{
+		"request accepted: c1", "edges resolved",
+		"route computed and committed (2PC)", "route published", "instances allocated",
+	}
+	if len(root.Events) != len(wantEvents) {
+		t.Fatalf("create span events = %+v", root.Events)
+	}
+	for i, want := range wantEvents {
+		if root.Events[i].Name != want {
+			t.Fatalf("event[%d] = %q, want %q", i, root.Events[i].Name, want)
+		}
+	}
+
+	var sawCompute bool
+	for _, c := range rec.Children(root.ID) {
+		if c.Name == "gs.path_compute" {
+			sawCompute = true
+		}
+	}
+	if !sawCompute {
+		t.Fatal("no gs.path_compute child under gs.create_chain")
+	}
+	if got := rec.SpansNamed("vnfctl.fw.allocate"); len(got) == 0 {
+		t.Fatal("no vnfctl.fw.allocate span recorded")
+	}
+
+	// The apply-route spans land asynchronously as the bus delivers the
+	// route snapshot; site B (hosting fw) must link back to the root.
+	testutil.WaitUntil(t, 5*time.Second, "ls.B.apply_route span parented to create span", func() bool {
+		for _, s := range rec.SpansNamed("ls.B.apply_route") {
+			if s.Parent == root.ID {
+				return true
+			}
+		}
+		return false
+	})
+
+	for _, name := range []string{
+		"gs.chain_setup_ms", "gs.path_compute_ms", "ls.rule_install_ms", "vnfctl.allocate_ms",
+	} {
+		if n := reg.Histogram(name).Count(); n == 0 {
+			t.Errorf("histogram %s has no samples", name)
+		}
+	}
+	if reg.Histogram("gs.chain_setup_ms").Max() < reg.Histogram("gs.path_compute_ms").Min() {
+		t.Error("chain setup reported faster than its own path computation")
+	}
+}
+
+// TestDetectorLatencyRecorded is the failure-detection latency
+// guarantee: when the heartbeat detector declares a site failed, the
+// controlplane.detect_ms histogram must record a silence bounded below
+// by SuspectAfter and above by the detector's worst-case declaration
+// lag (SuspectAfter + Debounce×Interval, plus scheduling slack), and
+// the failover span's children must sum to its total.
+func TestDetectorLatencyRecorded(t *testing.T) {
+	tb := newTestbed(t, 2*time.Millisecond, "A", "B", "C")
+	tb.registerSites(1000, "A", "B", "C")
+	fastBus(tb.bus)
+	v := tb.addVNF("fw", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"B": 500, "C": 500})
+	rec, reg := wireObservability(tb, v)
+
+	for _, ls := range tb.locals {
+		ls.StartHeartbeats(10 * time.Millisecond)
+	}
+	cfg := DetectorConfig{
+		Interval:     20 * time.Millisecond,
+		SuspectAfter: 100 * time.Millisecond,
+		Debounce:     2,
+	}
+	stop, err := tb.g.StartFailureDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	route, err := tb.g.CreateChain(Spec{
+		ID: "c1", IngressSite: "A", EgressSite: "A",
+		VNFs: []string{"fw"}, ForwardRate: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _ := stageOneSite(t, route, "B", "C")
+	tb.waitReady(route, "A", host)
+
+	tb.net.BlackoutSite(host)
+	testutil.WaitUntil(t, 10*time.Second, "detector declares "+string(host)+" failed", func() bool {
+		return tb.g.SiteFailed(host)
+	})
+	testutil.WaitUntil(t, 5*time.Second, "failover span completed", func() bool {
+		return len(rec.SpansNamed("controlplane.failover")) > 0
+	})
+
+	h := reg.Histogram("controlplane.detect_ms")
+	if h.Count() == 0 {
+		t.Fatal("controlplane.detect_ms recorded nothing")
+	}
+	detect := h.Max()
+	if detect < cfg.SuspectAfter {
+		t.Errorf("detect latency %v < SuspectAfter %v: declared before the silence threshold", detect, cfg.SuspectAfter)
+	}
+	// Worst case: the site goes silent right after a check, the silence
+	// threshold is crossed just after another, and Debounce further
+	// checks must pass — plus one heartbeat interval of last-beacon
+	// staleness and generous scheduler slack for loaded CI (-race).
+	bound := cfg.SuspectAfter + time.Duration(cfg.Debounce+1)*cfg.Interval +
+		10*time.Millisecond + 250*time.Millisecond
+	if detect > bound {
+		t.Errorf("detect latency %v exceeds bound %v (interval %v × debounce %d)",
+			detect, bound, cfg.Interval, cfg.Debounce)
+	}
+
+	// The failover span tree: detect + handle children sum to the total.
+	total := rec.SpansNamed("controlplane.failover")[0]
+	kids := rec.Children(total.ID)
+	if len(kids) != 2 {
+		t.Fatalf("failover span has %d children, want 2 (detect, handle): %+v", len(kids), kids)
+	}
+	var sum time.Duration
+	for _, k := range kids {
+		sum += k.Duration()
+	}
+	diff := total.Duration() - sum
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 5*time.Millisecond {
+		t.Errorf("children sum %v differs from failover total %v by %v (> 5ms)",
+			sum, total.Duration(), diff)
+	}
+	if n := reg.Histogram("controlplane.failover_ms").Count(); n == 0 {
+		t.Error("controlplane.failover_ms recorded nothing")
+	}
+}

@@ -77,6 +77,11 @@ type RouteRecord struct {
 	// Deleted marks a tombstone: Local Switchboards remove their rules
 	// and subscriptions for the chain.
 	Deleted bool
+	// SpanID links the record to the Global Switchboard control-plane
+	// span (obs package) that produced it, so the rule-install spans the
+	// Local Switchboards record on receipt parent back to the originating
+	// operation across the bus. 0 = no span recorded.
+	SpanID uint64
 }
 
 // IsIngress reports whether site ingresses traffic for the chain.

@@ -6,6 +6,8 @@ import (
 
 	"switchboard/internal/bus"
 	"switchboard/internal/labels"
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
 	"switchboard/internal/simnet"
 	"switchboard/internal/vnf"
 )
@@ -41,6 +43,32 @@ type VNFController struct {
 	// at each site, so failures can be republished per chain.
 	served map[simnet.SiteID][]labels.Stack
 	seq    int
+	rec    *obs.Recorder
+}
+
+// SetRecorder attaches a control-plane span recorder: each
+// AllocateForChain call is stamped as a span folding into the
+// vnfctl.allocate_ms histogram. A nil recorder (the default) costs
+// nothing.
+func (v *VNFController) SetRecorder(rec *obs.Recorder) {
+	v.mu.Lock()
+	v.rec = rec
+	v.mu.Unlock()
+}
+
+func (v *VNFController) recorder() *obs.Recorder {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.rec
+}
+
+// RegisterMetrics pre-creates the histogram this controller's
+// allocation spans fold into (shared across VNF controllers on one
+// registry):
+//
+//	vnfctl.allocate_ms histogram: AllocateForChain duration
+func (v *VNFController) RegisterMetrics(r *metrics.Registry) {
+	r.Histogram("vnfctl.allocate_ms")
 }
 
 type managedInstance struct {
@@ -208,10 +236,16 @@ func (v *VNFController) ReleaseLoad(load map[simnet.SiteID]float64) {
 // and weights on the message bus so Local Switchboards can build rules
 // (Figure 4, step 4). The gateway is the forwarder the instances attach
 // to. Instances of label-unaware VNFs are dedicated to the label set.
-func (v *VNFController) AllocateForChain(st labels.Stack, site simnet.SiteID, gateway simnet.Addr, count int) error {
+func (v *VNFController) AllocateForChain(st labels.Stack, site simnet.SiteID, gateway simnet.Addr, count int) (err error) {
 	if count <= 0 {
 		count = 1
 	}
+	sp := v.recorder().Start("vnfctl."+v.name+".allocate", "vnfctl.allocate_ms", 0)
+	sp.Event(fmt.Sprintf("allocate %d at %s for c%d", count, site, st.Chain))
+	defer func() {
+		sp.Fail(err)
+		sp.End()
+	}()
 	infos := make([]InstanceInfo, 0, count)
 	v.mu.Lock()
 	if v.shared && len(v.instances[site]) >= count {

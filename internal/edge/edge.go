@@ -154,6 +154,10 @@ func (e *Instance) Stats() Stats {
 //	edge.<host>.unmatched     packets with no matching chain rule
 //	edge.<host>.no_egress     packets with no egress route
 //	edge.<host>.no_local_host egress packets with unknown destination host
+//
+// plus one gauge:
+//
+//	edge.<host>.match_rules   classification rules currently installed
 func (e *Instance) RegisterMetrics(r *metrics.Registry) {
 	prefix := "edge." + e.ep.Addr().Host + "."
 	r.CounterFunc(prefix+"ingressed", e.ingressed.Load)
@@ -161,6 +165,11 @@ func (e *Instance) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc(prefix+"unmatched", e.unmatched.Load)
 	r.CounterFunc(prefix+"no_egress", e.noEgress.Load)
 	r.CounterFunc(prefix+"no_local_host", e.noLocalHost.Load)
+	r.GaugeFunc(prefix+"match_rules", func() float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return float64(len(e.rules))
+	})
 }
 
 // HandlePacket processes one packet: labeled packets egress to local

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/edge"
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/testutil"
+	"switchboard/internal/vnf"
+)
+
+// Controlplane measures the control plane the way the observability
+// layer sees it: every number in the table is read back from span
+// histograms and the event log, not from stopwatches scattered through
+// the experiment.
+//
+// Part one times chain setup (CreateChain: resolve edges, compute the
+// path, 2PC commit, publish, allocate instances) against chain length
+// on a fresh deployment per length. Part two blacks out the site
+// carrying a running chain's VNF stage and reconstructs the failover
+// timeline from the controlplane.failover span tree — heartbeat
+// silence → declared failed → rerouted — then confirms the new path
+// carries traffic with a traced probe whose hop record names the
+// replacement site's forwarder.
+func Controlplane() (*Table, error) {
+	t, _, err := controlplane()
+	return t, err
+}
+
+// controlplaneChains is how many chains each setup-latency round
+// creates: enough for stable percentiles, few enough to stay fast.
+const controlplaneChains = 6
+
+// controlplane is the testable body of Controlplane: it also returns
+// the failover round's recorder so tests can check the table against
+// the raw span tree.
+func controlplane() (*Table, *obs.Recorder, error) {
+	t := &Table{
+		ID:     "controlplane",
+		Title:  "control-plane spans: chain setup vs length, failover timeline",
+		Header: []string{"metric", "p50 ms", "p90 ms", "p99 ms", "n"},
+	}
+
+	// Part one: chain-setup latency vs chain length, fresh bed per
+	// length so site load and bus state never carry over between rows.
+	for _, length := range []int{1, 2, 3} {
+		if err := setupLatencyRound(t, length); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Part two: failover timeline.
+	rec, err := failoverRound(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.Notes = append(t.Notes,
+		"all cells are read from span histograms / the span log, not experiment-side stopwatches",
+		"chain setup = CreateChain: resolve edges, compute path, 2PC commit, publish route, allocate instances",
+		"failover timeline rows are single spans: their p50 column is the span duration, p90/p99 are blank",
+		"failover total is anchored at the failed site's last heartbeat; detect + handle are its contiguous children")
+	return t, rec, nil
+}
+
+// setupLatencyRound creates controlplaneChains chains of the given
+// length on a fresh deployment and appends the gs.chain_setup_ms and
+// gs.path_compute_ms percentiles as table rows.
+func setupLatencyRound(t *Table, length int) error {
+	bed, err := NewBed(int64(40+length), 2*time.Millisecond, "GSB", "A", "B")
+	if err != nil {
+		return err
+	}
+	defer bed.Close()
+	for _, s := range []simnet.SiteID{"A", "B"} {
+		if _, err := bed.G.RegisterSite(s, 10000); err != nil {
+			return err
+		}
+	}
+	names := make([]string, length)
+	for i := range names {
+		names[i] = fmt.Sprintf("fn%d", i+1)
+		bed.AddVNF(controller.VNFConfig{
+			Name:        names[i],
+			Factory:     func() vnf.Function { return vnf.PassThrough{} },
+			LoadPerUnit: 1.0,
+			LabelAware:  true,
+			Capacity:    map[simnet.SiteID]float64{"B": 10000},
+		})
+	}
+	_, reg := bed.EnableObservability()
+
+	for c := 0; c < controlplaneChains; c++ {
+		rec, err := bed.G.CreateChain(controller.Spec{
+			ID:          controller.ChainID(fmt.Sprintf("len%d-c%d", length, c)),
+			IngressSite: "A", EgressSite: "A",
+			VNFs: names, ForwardRate: 5,
+		})
+		if err != nil {
+			return err
+		}
+		if err := bed.G.WaitForDataPath(rec, "B", 10*time.Second); err != nil {
+			return err
+		}
+	}
+
+	setup := reg.Histogram("gs.chain_setup_ms")
+	compute := reg.Histogram("gs.path_compute_ms")
+	if setup.Count() != controlplaneChains {
+		return fmt.Errorf("controlplane: %d setup spans for length %d, want %d",
+			setup.Count(), length, controlplaneChains)
+	}
+	pct := func(h *metrics.Histogram, p float64) float64 { return msOf(h.Percentile(p)) }
+	t.AddRow(fmt.Sprintf("chain setup, %d-VNF chain", length),
+		pct(setup, 50), pct(setup, 90), pct(setup, 99), setup.Count())
+	t.AddRow(fmt.Sprintf("  of which path compute, %d-VNF chain", length),
+		pct(compute, 50), pct(compute, 90), pct(compute, 99), compute.Count())
+	return nil
+}
+
+// failoverRound runs one chain, blacks out its stage site, and appends
+// the failover timeline read from the controlplane.failover span tree.
+func failoverRound(t *Table) (*obs.Recorder, error) {
+	bed, err := NewBed(41, 2*time.Millisecond, "GSB", "A", "B", "C")
+	if err != nil {
+		return nil, err
+	}
+	defer bed.Close()
+	g := bed.G
+	for _, s := range []simnet.SiteID{"A", "B", "C"} {
+		if _, err := g.RegisterSite(s, 1000); err != nil {
+			return nil, err
+		}
+	}
+	bed.AddVNF(controller.VNFConfig{
+		Name:        "fw",
+		Factory:     func() vnf.Function { return vnf.PassThrough{} },
+		LoadPerUnit: 1.0,
+		LabelAware:  true,
+		Capacity:    map[simnet.SiteID]float64{"B": 500, "C": 500},
+	})
+	rec, _ := bed.EnableObservability()
+
+	for _, s := range []simnet.SiteID{"GSB", "A", "B", "C"} {
+		ls, ok := g.Local(s)
+		if !ok {
+			return nil, fmt.Errorf("controlplane: no Local Switchboard at %s", s)
+		}
+		ls.StartHeartbeats(10 * time.Millisecond)
+	}
+	stopDetector, err := g.StartFailureDetector(controller.DetectorConfig{
+		Interval:     20 * time.Millisecond,
+		SuspectAfter: 150 * time.Millisecond,
+		Debounce:     2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer stopDetector()
+
+	route, err := g.CreateChain(controller.Spec{
+		ID: "c1", IngressSite: "A", EgressSite: "A",
+		VNFs: []string{"fw"}, ForwardRate: 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ingress, egress, err := g.ConfigureChainEdges(route, []edge.MatchRule{{}})
+	if err != nil {
+		return nil, err
+	}
+	host := stage1Host(route)
+	if host == "" {
+		return nil, fmt.Errorf("controlplane: no stage-1 site in %+v", route.Splits)
+	}
+	for _, s := range []simnet.SiteID{"A", host} {
+		if err := g.WaitForDataPath(route, s, 10*time.Second); err != nil {
+			return nil, err
+		}
+	}
+
+	client, err := bed.Net.Attach(simnet.Addr{Site: "A", Host: "client"}, 8192)
+	if err != nil {
+		return nil, err
+	}
+	server, err := bed.Net.Attach(simnet.Addr{Site: "A", Host: "server"}, 8192)
+	if err != nil {
+		return nil, err
+	}
+	egress.RegisterHost(expServerIP, server.Addr())
+	ingress.RegisterHost(expClientIP, client.Addr())
+
+	blackoutNs := time.Now().UnixNano()
+	bed.Net.BlackoutSite(host)
+	if !testutil.Poll(15*time.Second, func() bool { return g.SiteFailed(host) }) {
+		return nil, fmt.Errorf("controlplane: detector never declared %s failed", host)
+	}
+	if !testutil.Poll(15*time.Second, func() bool {
+		cur, ok := g.Record("c1")
+		return ok && cur.StageSites(1)[host] == 0 && stage1Host(cur) != ""
+	}) {
+		return nil, fmt.Errorf("controlplane: chain never rerouted off %s", host)
+	}
+	if !testutil.Poll(15*time.Second, func() bool { return chainReady(g, "c1", "A") }) {
+		return nil, fmt.Errorf("controlplane: data path never ready after reroute")
+	}
+	cur, _ := g.Record("c1")
+	newHost := stage1Host(cur)
+
+	// The timeline, read back from the span tree the detector recorded.
+	totals := rec.SpansNamed("controlplane.failover")
+	if len(totals) == 0 {
+		return nil, fmt.Errorf("controlplane: no controlplane.failover span recorded")
+	}
+	total := totals[len(totals)-1]
+	var detect, handle obs.Span
+	for _, k := range rec.Children(total.ID) {
+		switch k.Name {
+		case "controlplane.detect":
+			detect = k
+		case "controlplane.handle":
+			handle = k
+		}
+	}
+	if detect.ID == 0 || handle.ID == 0 {
+		return nil, fmt.Errorf("controlplane: failover span missing detect/handle children")
+	}
+	sum := detect.Duration() + handle.Duration()
+	diff := total.Duration() - sum
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 50*time.Millisecond {
+		return nil, fmt.Errorf("controlplane: span sum %v diverges from failover total %v by %v",
+			sum, total.Duration(), diff)
+	}
+
+	// Proof the new path carries traffic: traced probes until one lands
+	// at the server with the replacement site's forwarder in its hop
+	// record. Fresh ports each probe — old flows stay pinned to the dead
+	// route.
+	firstPacketMs, err := probeNewPath(client, server, ingress.Addr(), newHost, blackoutNs)
+	if err != nil {
+		return nil, err
+	}
+
+	t.AddRow("failover: heartbeat silence -> declared failed", msOf(detect.Duration()), "", "", 1)
+	t.AddRow("failover: reroute + republish (HandleSiteFailure)", msOf(handle.Duration()), "", "", 1)
+	t.AddRow("failover: total (last heartbeat -> handled)", msOf(total.Duration()), "", "", 1)
+	t.AddRow("failover: component span sum", msOf(sum), "", "", 1)
+	t.AddRow(fmt.Sprintf("failover: first traced packet via %s after blackout", newHost),
+		firstPacketMs, "", "", 1)
+	return rec, nil
+}
+
+// probeNewPath sends traced packets into the chain until one reaches
+// the server having traversed a forwarder at newHost, and returns the
+// arrival time at that forwarder in milliseconds after sinceNs.
+func probeNewPath(client, server *simnet.Endpoint, ingressEdge simnet.Addr,
+	newHost simnet.SiteID, sinceNs int64) (float64, error) {
+	fwdPrefix := "fwd:" + string(newHost) + "/"
+	deadline := time.After(15 * time.Second)
+	nextSend := time.After(0)
+	port := 40000
+	for {
+		select {
+		case <-deadline:
+			return 0, fmt.Errorf("controlplane: no traced packet crossed %s within 15s", fwdPrefix)
+		case <-nextSend:
+			p := &packet.Packet{
+				Key: packet.FlowKey{
+					SrcIP: expClientIP, DstIP: expServerIP,
+					SrcPort: uint16(port), DstPort: 80, Proto: 6,
+				},
+				Payload: []byte("probe"),
+				Trace:   packet.NewTrace(uint64(port)),
+			}
+			port++
+			_ = client.Send(ingressEdge, p, len(p.Payload)+40)
+			nextSend = time.After(20 * time.Millisecond)
+		case m, ok := <-server.Inbox():
+			if !ok {
+				return 0, fmt.Errorf("controlplane: server inbox closed")
+			}
+			got, ok := m.Payload.(*packet.Packet)
+			if !ok || got.Trace == nil {
+				continue
+			}
+			for _, hop := range got.Trace.Hops {
+				if len(hop.Node) >= len(fwdPrefix) && hop.Node[:len(fwdPrefix)] == fwdPrefix {
+					return float64(hop.ArriveNs-sinceNs) / 1e6, nil
+				}
+			}
+		}
+	}
+}

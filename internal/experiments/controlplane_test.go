@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestControlplaneSpanSums is the acceptance property of the failover
+// timeline: the controlplane.failover total must equal the sum of its
+// component spans (detect + handle) within tolerance, and every
+// chain-length row must carry real samples.
+func TestControlplaneSpanSums(t *testing.T) {
+	table, rec, err := controlplane()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	row := func(prefix string) int {
+		for i, r := range table.Rows {
+			if strings.HasPrefix(r[0], prefix) {
+				return i
+			}
+		}
+		t.Fatalf("no row with prefix %q in %+v", prefix, table.Rows)
+		return -1
+	}
+
+	// Part one: a setup row per chain length, each with the full sample
+	// count and a path-compute component no larger than the whole.
+	for _, prefix := range []string{"chain setup, 1-VNF", "chain setup, 2-VNF", "chain setup, 3-VNF"} {
+		i := row(prefix)
+		if n := parseCell(t, table, i, 4); n != controlplaneChains {
+			t.Errorf("%s: n = %v, want %d", prefix, n, controlplaneChains)
+		}
+		setup, compute := parseCell(t, table, i, 1), parseCell(t, table, i+1, 1)
+		if setup <= 0 {
+			t.Errorf("%s: p50 = %v, want > 0", prefix, setup)
+		}
+		if compute > setup {
+			t.Errorf("%s: path compute p50 %v > setup p50 %v", prefix, compute, setup)
+		}
+	}
+
+	// Part two: the timeline's sum property, re-derived from the cells.
+	detect := parseCell(t, table, row("failover: heartbeat silence"), 1)
+	handle := parseCell(t, table, row("failover: reroute"), 1)
+	total := parseCell(t, table, row("failover: total"), 1)
+	sum := parseCell(t, table, row("failover: component span sum"), 1)
+	if d := sum - (detect + handle); d > 0.01 || d < -0.01 {
+		t.Errorf("sum row %v != detect %v + handle %v", sum, detect, handle)
+	}
+	if d := total - sum; d > 50 || d < -50 {
+		t.Errorf("failover total %v ms vs component sum %v ms: diff > 50ms", total, sum)
+	}
+	// The detector was configured with SuspectAfter = 150ms: detection
+	// can't be reported faster than the silence threshold.
+	if detect < 150 {
+		t.Errorf("detect %v ms < SuspectAfter 150ms", detect)
+	}
+	firstPkt := parseCell(t, table, row("failover: first traced packet"), 1)
+	if firstPkt <= 0 {
+		t.Errorf("first traced packet at %v ms after blackout, want > 0", firstPkt)
+	}
+
+	// And the raw span tree backs the table: one failover span whose two
+	// children are the detect and handle rows.
+	totals := rec.SpansNamed("controlplane.failover")
+	if len(totals) == 0 {
+		t.Fatal("recorder has no controlplane.failover span")
+	}
+	kids := rec.Children(totals[len(totals)-1].ID)
+	if len(kids) != 2 {
+		t.Fatalf("failover span has %d children, want 2: %+v", len(kids), kids)
+	}
+	var kidSum time.Duration
+	for _, k := range kids {
+		kidSum += k.Duration()
+	}
+	if got := float64(kidSum) / 1e6; got < sum-0.01 || got > sum+0.01 {
+		t.Errorf("span-tree child sum %.3f ms != table sum %v ms", got, sum)
+	}
+}

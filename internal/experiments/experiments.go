@@ -110,6 +110,7 @@ func All() []Experiment {
 		{"chaos", "chaos soak: 30% loss, controller partition, site crash", Chaos},
 		{"dataplane", "batched data path: pps per core vs batch size (1/8/32/64)", BatchSweep},
 		{"observe", "per-hop latency breakdown of a 3-VNF chain via sampled path tracing", Observe},
+		{"controlplane", "control-plane spans: chain-setup latency vs chain length, failover timeline", Controlplane},
 	}
 }
 

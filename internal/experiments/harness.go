@@ -9,6 +9,7 @@ import (
 	"switchboard/internal/bus"
 	"switchboard/internal/controller"
 	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
 	"switchboard/internal/vnf"
@@ -23,6 +24,11 @@ type Bed struct {
 	G      *controller.GlobalSwitchboard
 	locals map[simnet.SiteID]*controller.LocalSwitchboard
 	vnfs   []*controller.VNFController
+
+	// rec/reg are set by EnableObservability; later AddVNF calls join
+	// the same recorder and registry automatically.
+	rec *obs.Recorder
+	reg *metrics.Registry
 }
 
 // NewBed builds a deployment across the given sites with a uniform
@@ -73,7 +79,39 @@ func (bed *Bed) AddVNF(cfg controller.VNFConfig) *controller.VNFController {
 	v := controller.NewVNFController(bed.Net, bed.Bus, cfg)
 	bed.G.RegisterVNF(v)
 	bed.vnfs = append(bed.vnfs, v)
+	if bed.rec != nil {
+		v.RegisterMetrics(bed.reg)
+		v.SetRecorder(bed.rec)
+	}
 	return v
+}
+
+// EnableObservability wires one span recorder and one metrics registry
+// across the whole deployment — network, bus, Global Switchboard, every
+// Local Switchboard, and every VNF controller (including those added
+// later). Span durations fold into the registry's histograms, so the
+// recorder's event log and the registry tell one coherent story.
+func (bed *Bed) EnableObservability() (*obs.Recorder, *metrics.Registry) {
+	if bed.rec != nil {
+		return bed.rec, bed.reg
+	}
+	reg := metrics.NewRegistry()
+	rec := obs.NewRecorder(0, 0, reg)
+	rec.RegisterMetrics(reg)
+	bed.Net.RegisterMetrics(reg)
+	bed.Bus.RegisterMetrics(reg)
+	bed.G.RegisterMetrics(reg)
+	bed.G.SetRecorder(rec)
+	for _, ls := range bed.locals {
+		ls.RegisterMetrics(reg)
+		ls.SetRecorder(rec)
+	}
+	for _, v := range bed.vnfs {
+		v.RegisterMetrics(reg)
+		v.SetRecorder(rec)
+	}
+	bed.rec, bed.reg = rec, reg
+	return rec, reg
 }
 
 // Close tears the deployment down.

@@ -21,6 +21,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"switchboard/internal/flowtable"
 	"switchboard/internal/labels"
@@ -214,6 +215,11 @@ type rule struct {
 	// tell whether a packet entered from one of this rule's local
 	// elements (VNF instance or edge instance) or from outside.
 	localSet map[flowtable.Hop]bool
+	// installedNs is when InstallRule stamped the rule (Unix
+	// nanoseconds) — the control plane's "forwarder rule active" moment,
+	// read by RuleInstalledAt for control-loop timelines. Stamped once
+	// at install, off the packet path.
+	installedNs int64
 }
 
 // FlowStore is the forwarder's connection-table contract. The in-memory
@@ -354,10 +360,11 @@ func (f *Forwarder) HopByAddr(a simnet.Addr) flowtable.Hop {
 // connections (Section 5.3).
 func (f *Forwarder) InstallRule(st labels.Stack, spec RuleSpec) {
 	r := &rule{
-		local:    newPicker(spec.LocalVNF),
-		next:     newPicker(spec.Next),
-		prev:     newPicker(spec.Prev),
-		localSet: make(map[flowtable.Hop]bool, len(spec.LocalVNF)),
+		local:       newPicker(spec.LocalVNF),
+		next:        newPicker(spec.Next),
+		prev:        newPicker(spec.Prev),
+		localSet:    make(map[flowtable.Hop]bool, len(spec.LocalVNF)),
+		installedNs: time.Now().UnixNano(),
 	}
 	for _, wh := range spec.LocalVNF {
 		r.localSet[wh.Hop] = true
@@ -365,6 +372,27 @@ func (f *Forwarder) InstallRule(st labels.Stack, spec RuleSpec) {
 	f.mu.Lock()
 	f.rules[st] = r
 	f.mu.Unlock()
+}
+
+// RuleInstalledAt returns when the current rule for a label stack was
+// installed — the control-plane "rule active at the forwarder" instant
+// the failover timeline correlates against. ok is false when no rule is
+// installed.
+func (f *Forwarder) RuleInstalledAt(st labels.Stack) (at time.Time, ok bool) {
+	f.mu.RLock()
+	r := f.rules[st]
+	f.mu.RUnlock()
+	if r == nil {
+		return time.Time{}, false
+	}
+	return time.Unix(0, r.installedNs), true
+}
+
+// rulesLen returns the number of installed rules (metrics gauge).
+func (f *Forwarder) rulesLen() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.rules)
 }
 
 // RuleInfo reports the installed rule's picker sizes for a label stack:

@@ -17,6 +17,7 @@ import "switchboard/internal/metrics"
 //	forwarder.<name>.relabeled  packets re-labeled after a label-unaware VNF
 //	forwarder.<name>.send_errs  packets the runner failed to hand to the network
 //	forwarder.<name>.flows      gauge: connections currently tracked
+//	forwarder.<name>.rules      gauge: label-stack rules currently installed
 func (f *Forwarder) RegisterMetrics(r *metrics.Registry) {
 	prefix := "forwarder." + f.name + "."
 	r.CounterFunc(prefix+"rx", f.stats.rx.Load)
@@ -27,4 +28,5 @@ func (f *Forwarder) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc(prefix+"relabeled", f.stats.relabeled.Load)
 	r.CounterFunc(prefix+"send_errs", f.stats.sendErrs.Load)
 	r.GaugeFunc(prefix+"flows", func() float64 { return float64(f.table.Len()) })
+	r.GaugeFunc(prefix+"rules", func() float64 { return float64(f.rulesLen()) })
 }

@@ -6,9 +6,14 @@
 //
 // Routes:
 //
-//	/metrics       JSON metrics.Snapshot of the registry
-//	/healthz       liveness probe ("ok")
-//	/debug/pprof/  net/http/pprof profiles (CPU, heap, goroutines, ...)
+//	/metrics          JSON metrics.Snapshot of the registry;
+//	                  ?prefix=bus. filters to names with that prefix
+//	/metrics/history  JSON time-series ring of periodic snapshots
+//	                  (only when a History is wired in via Options)
+//	/debug/events     JSON control-plane span/event log
+//	                  (only when a Recorder is wired in via Options)
+//	/healthz          liveness probe ("ok")
+//	/debug/pprof/     net/http/pprof profiles (CPU, heap, goroutines, ...)
 package introspect
 
 import (
@@ -17,22 +22,64 @@ import (
 	"net/http/pprof"
 
 	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
 )
+
+// Options selects what a debug listener exposes. Registry is required;
+// History and Events are optional — their routes return 404 when nil.
+type Options struct {
+	// Registry backs /metrics.
+	Registry *metrics.Registry
+	// History backs /metrics/history: a started metrics.History sampling
+	// the same registry.
+	History *metrics.History
+	// Events backs /debug/events: the control-plane span recorder.
+	Events *obs.Recorder
+}
 
 // Handler returns an http.Handler serving the registry. Safe for
 // concurrent use; each /metrics request takes a fresh snapshot.
 func Handler(reg *metrics.Registry) http.Handler {
+	return HandlerOpts(Options{Registry: reg})
+}
+
+// HandlerOpts returns an http.Handler serving everything selected by
+// opts. Safe for concurrent use; every request reads a fresh snapshot
+// of the underlying source.
+func HandlerOpts(opts Options) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		data, err := reg.Snapshot().JSON()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := opts.Registry.Snapshot()
+		if p := r.URL.Query().Get("prefix"); p != "" {
+			snap = snap.Filter(p)
+		}
+		data, err := snap.JSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(data)
-		_, _ = w.Write([]byte("\n"))
+		writeJSON(w, data)
 	})
+	if opts.History != nil {
+		mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, _ *http.Request) {
+			data, err := opts.History.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, data)
+		})
+	}
+	if opts.Events != nil {
+		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+			data, err := opts.Events.Snapshot().JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, data)
+		})
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
@@ -47,16 +94,27 @@ func Handler(reg *metrics.Registry) http.Handler {
 	return mux
 }
 
+func writeJSON(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+	_, _ = w.Write([]byte("\n"))
+}
+
 // Serve starts the debug listener on addr (e.g. "localhost:6060") and
 // returns the bound address — useful with a ":0" addr — and a function
 // that shuts the listener down. The server runs on a background
 // goroutine; serve errors after Close are ignored.
 func Serve(addr string, reg *metrics.Registry) (bound string, close func(), err error) {
+	return ServeOpts(addr, Options{Registry: reg})
+}
+
+// ServeOpts is Serve with the full route selection of Options.
+func ServeOpts(addr string, opts Options) (bound string, close func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: HandlerOpts(opts)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), func() { _ = srv.Close() }, nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
 )
 
 func newTestRegistry() *metrics.Registry {
@@ -46,6 +47,115 @@ func TestHandlerMetrics(t *testing.T) {
 	}
 	if h, ok := snap.Histograms["test.latency"]; !ok || h.Count != 1 {
 		t.Errorf("test.latency = %+v, want count 1", h)
+	}
+}
+
+func TestHandlerMetricsPrefixFilter(t *testing.T) {
+	srv := httptest.NewServer(Handler(newTestRegistry()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics?prefix=test.h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["test.hits"] != 42 {
+		t.Errorf("test.hits = %d, want 42", snap.Counters["test.hits"])
+	}
+	if len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Errorf("prefix filter leaked: gauges=%v histograms=%v", snap.Gauges, snap.Histograms)
+	}
+
+	// A prefix matching nothing yields an empty-but-valid snapshot.
+	resp2, err := http.Get(srv.URL + "/metrics?prefix=nomatch.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var empty metrics.Snapshot
+	if err := json.NewDecoder(resp2.Body).Decode(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Counters)+len(empty.Gauges)+len(empty.Histograms) != 0 {
+		t.Errorf("nomatch prefix returned entries: %+v", empty)
+	}
+}
+
+func TestHandlerEvents(t *testing.T) {
+	reg := newTestRegistry()
+	rec := obs.NewRecorder(0, 0, reg)
+	sp := rec.Start("test.op", "test.op_ms", 0)
+	sp.Event("step one")
+	sp.End()
+
+	srv := httptest.NewServer(HandlerOpts(Options{Registry: reg, Events: rec}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.SpansCompleted != 1 || len(snap.Spans) != 1 {
+		t.Fatalf("snapshot = %+v, want one completed span", snap)
+	}
+	if snap.Spans[0].Name != "test.op" || len(snap.Spans[0].Events) != 1 {
+		t.Errorf("span = %+v", snap.Spans[0])
+	}
+}
+
+func TestHandlerHistory(t *testing.T) {
+	reg := newTestRegistry()
+	h := metrics.NewHistory(reg, time.Second, time.Minute)
+	h.Sample()
+	h.Sample()
+
+	srv := httptest.NewServer(HandlerOpts(Options{Registry: reg, History: h}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dump metrics.HistoryDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.IntervalMs != 1000 {
+		t.Errorf("IntervalMs = %d, want 1000", dump.IntervalMs)
+	}
+	if len(dump.Points) != 2 {
+		t.Fatalf("got %d history points, want 2", len(dump.Points))
+	}
+	if dump.Points[0].Counters["test.hits"] != 42 {
+		t.Errorf("point counter = %d, want 42", dump.Points[0].Counters["test.hits"])
+	}
+}
+
+func TestHandlerOptionalRoutes404WhenUnwired(t *testing.T) {
+	srv := httptest.NewServer(Handler(newTestRegistry()))
+	defer srv.Close()
+	for _, path := range []string{"/debug/events", "/metrics/history"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without wiring = %s, want 404", path, resp.Status)
+		}
 	}
 }
 

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// DefaultHistoryInterval and DefaultHistoryWindow bound the default
+// time-series sampler: one snapshot per second for the last ten
+// minutes, enough to see a convergence curve around any control-plane
+// event without unbounded growth.
+const (
+	DefaultHistoryInterval = time.Second
+	DefaultHistoryWindow   = 10 * time.Minute
+)
+
+// History samples a registry on a fixed interval into a ring buffer of
+// snapshots, turning the registry's point-in-time view into a bounded
+// time series — served at /metrics/history so convergence curves
+// (e.g. rules installed over time across a failover) are visible
+// without external scraping. All methods are safe for concurrent use;
+// a nil *History is a no-op.
+type History struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu   sync.Mutex
+	ring []*Snapshot // capacity fixed at construction
+	next int
+	full bool
+	stop chan struct{}
+}
+
+// NewHistory returns a sampler over reg taking one snapshot per
+// interval and retaining window/interval of them (non-positive values
+// take the defaults). Sampling does not start until Start.
+func NewHistory(reg *Registry, interval, window time.Duration) *History {
+	if interval <= 0 {
+		interval = DefaultHistoryInterval
+	}
+	if window <= 0 {
+		window = DefaultHistoryWindow
+	}
+	n := int(window / interval)
+	if n < 1 {
+		n = 1
+	}
+	return &History{
+		reg:      reg,
+		interval: interval,
+		ring:     make([]*Snapshot, 0, n),
+	}
+}
+
+// Start launches the sampling goroutine and returns a stop function
+// (safe to call more than once). Starting an already-running history
+// just returns another stop for the running sampler.
+func (h *History) Start() (stop func()) {
+	if h == nil {
+		return func() {}
+	}
+	h.mu.Lock()
+	if h.stop == nil {
+		ch := make(chan struct{})
+		h.stop = ch
+		go h.run(ch)
+	}
+	ch := h.stop
+	h.mu.Unlock()
+
+	return func() {
+		h.mu.Lock()
+		if h.stop == ch {
+			h.stop = nil
+			close(ch)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// run samples on the interval until ch closes.
+func (h *History) run(ch chan struct{}) {
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ch:
+			return
+		case <-t.C:
+			h.Sample()
+		}
+	}
+}
+
+// Sample takes one snapshot now and appends it to the ring (evicting
+// the oldest when full). Exposed so tests and experiments can sample
+// deterministically without the ticker.
+func (h *History) Sample() {
+	if h == nil {
+		return
+	}
+	s := h.reg.Snapshot()
+	h.mu.Lock()
+	if len(h.ring) < cap(h.ring) {
+		h.ring = append(h.ring, s)
+	} else {
+		h.ring[h.next] = s
+		h.next = (h.next + 1) % cap(h.ring)
+		h.full = true
+	}
+	h.mu.Unlock()
+}
+
+// Points returns the retained snapshots, oldest first. Safe for
+// concurrent use; nil receivers return nil.
+func (h *History) Points() []*Snapshot {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Snapshot, 0, len(h.ring))
+	if h.full {
+		out = append(out, h.ring[h.next:]...)
+		out = append(out, h.ring[:h.next]...)
+	} else {
+		out = append(out, h.ring...)
+	}
+	return out
+}
+
+// HistoryDump is the JSON document served at /metrics/history.
+type HistoryDump struct {
+	// IntervalMs is the sampling period in milliseconds.
+	IntervalMs int64 `json:"interval_ms"`
+	// Points are the retained snapshots, oldest first.
+	Points []*Snapshot `json:"points"`
+}
+
+// JSON renders the retained time series as indented JSON. Safe for
+// concurrent use; nil receivers render an empty series.
+func (h *History) JSON() ([]byte, error) {
+	d := &HistoryDump{Points: h.Points()}
+	if h != nil {
+		d.IntervalMs = h.interval.Milliseconds()
+	}
+	if d.Points == nil {
+		d.Points = []*Snapshot{}
+	}
+	return json.MarshalIndent(d, "", "  ")
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestHistoryRingBounds(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	// 5ms window / 1ms interval = 5 slots.
+	h := NewHistory(reg, time.Millisecond, 5*time.Millisecond)
+	for i := 0; i < 12; i++ {
+		c.Add(1)
+		h.Sample()
+	}
+	pts := h.Points()
+	if len(pts) != 5 {
+		t.Fatalf("ring holds %d points, want 5", len(pts))
+	}
+	// Oldest first: counter values 8..12 survive.
+	for i, p := range pts {
+		if want := uint64(8 + i); p.Counters["x"] != want {
+			t.Fatalf("points[%d].x = %d, want %d", i, p.Counters["x"], want)
+		}
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TakenAt.Before(pts[i-1].TakenAt) {
+			t.Fatalf("points out of order at %d", i)
+		}
+	}
+}
+
+func TestHistoryStartStop(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistory(reg, time.Millisecond, time.Second)
+	stop := h.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(h.Points()) < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := len(h.Points()); got < 3 {
+		t.Fatalf("sampler collected %d points in 2s, want >= 3", got)
+	}
+	stop()
+	stop() // double-stop must be safe
+	n := len(h.Points())
+	time.Sleep(20 * time.Millisecond)
+	if got := len(h.Points()); got > n+1 {
+		t.Fatalf("sampler still running after stop: %d -> %d points", n, got)
+	}
+}
+
+func TestHistoryJSONAndNil(t *testing.T) {
+	var nilH *History
+	nilH.Sample()
+	if nilH.Points() != nil {
+		t.Fatal("nil history has points")
+	}
+	b, err := nilH.JSON()
+	if err != nil {
+		t.Fatalf("nil JSON: %v", err)
+	}
+	var d HistoryDump
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(d.Points) != 0 {
+		t.Fatalf("nil history dump has %d points", len(d.Points))
+	}
+	nilH.Start()() // start/stop on nil must be no-ops
+
+	reg := NewRegistry()
+	reg.Counter("a").Add(7)
+	h := NewHistory(reg, 0, 0) // defaults
+	if cap(h.ring) != int(DefaultHistoryWindow/DefaultHistoryInterval) {
+		t.Fatalf("default ring cap = %d", cap(h.ring))
+	}
+	h.Sample()
+	b, err = h.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if d.IntervalMs != DefaultHistoryInterval.Milliseconds() || len(d.Points) != 1 {
+		t.Fatalf("dump = interval %dms, %d points", d.IntervalMs, len(d.Points))
+	}
+	if d.Points[0].Counters["a"] != 7 {
+		t.Fatalf("point counter a = %d", d.Points[0].Counters["a"])
+	}
+}
+
+func TestSnapshotFilter(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bus.acks").Add(3)
+	reg.Counter("gs.chains_created").Add(1)
+	reg.GaugeFunc("bus.pending", func() float64 { return 2 })
+	reg.GaugeFunc("ted.links", func() float64 { return 9 })
+	reg.Histogram("bus.publish_to_deliver_ms").Observe(time.Millisecond)
+	reg.Histogram("gs.path_compute_ms").Observe(time.Millisecond)
+
+	snap := reg.Snapshot()
+	f := snap.Filter("bus.")
+	if len(f.Counters) != 1 || f.Counters["bus.acks"] != 3 {
+		t.Fatalf("filtered counters = %v", f.Counters)
+	}
+	if len(f.Gauges) != 1 || f.Gauges["bus.pending"] != 2 {
+		t.Fatalf("filtered gauges = %v", f.Gauges)
+	}
+	if len(f.Histograms) != 1 {
+		t.Fatalf("filtered histograms = %v", f.Histograms)
+	}
+	if _, ok := f.Histograms["bus.publish_to_deliver_ms"]; !ok {
+		t.Fatal("bus histogram missing from filter")
+	}
+	if !f.TakenAt.Equal(snap.TakenAt) {
+		t.Fatal("filter changed TakenAt")
+	}
+	if got := snap.Filter(""); got != snap {
+		t.Fatal("empty prefix should return the snapshot unchanged")
+	}
+	empty := snap.Filter("nomatch.")
+	if len(empty.Counters)+len(empty.Gauges)+len(empty.Histograms) != 0 {
+		t.Fatal("nomatch prefix returned metrics")
+	}
+}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"encoding/json"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -182,4 +183,36 @@ func (r *Registry) Snapshot() *Snapshot {
 // JSON renders the snapshot as indented JSON with sorted keys.
 func (s *Snapshot) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
+}
+
+// Filter returns a copy of the snapshot holding only the metrics whose
+// name starts with prefix — how the introspection endpoint answers
+// per-subsystem queries (`/metrics?prefix=bus.`) without shipping the
+// whole registry. An empty prefix returns the snapshot unchanged.
+func (s *Snapshot) Filter(prefix string) *Snapshot {
+	if prefix == "" {
+		return s
+	}
+	out := &Snapshot{
+		TakenAt:    s.TakenAt,
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for n, v := range s.Counters {
+		if strings.HasPrefix(n, prefix) {
+			out.Counters[n] = v
+		}
+	}
+	for n, v := range s.Gauges {
+		if strings.HasPrefix(n, prefix) {
+			out.Gauges[n] = v
+		}
+	}
+	for n, v := range s.Histograms {
+		if strings.HasPrefix(n, prefix) {
+			out.Histograms[n] = v
+		}
+	}
+	return out
 }

@@ -1,0 +1,365 @@
+// Package obs is the control-plane event/span subsystem: lightweight
+// spans with IDs, parent links, and typed events, stamped through the
+// whole control loop — chain request accepted → path computation → bus
+// publish → Local Switchboard receipt → rule install — and through the
+// failure-recovery loop (heartbeat miss → site failure handled →
+// reroute published). Completed spans fold into named histograms in a
+// metrics.Registry (`gs.path_compute_ms`, `ls.rule_install_ms`,
+// `controlplane.failover_ms`, …) and land in a bounded in-memory ring
+// served by internal/introspect at /debug/events.
+//
+// The design mirrors packet tracing's "pay only when observing" rule
+// for the control plane: a nil *Recorder — and the nil *ActiveSpan it
+// hands out — is a complete no-op implementation (no allocation, no
+// clock read, enforced by TestSpanNilRecorderZeroAlloc), so controllers
+// stamp spans unconditionally and deployments that never attach a
+// recorder pay nothing. See OBSERVABILITY.md "Control-plane spans &
+// events" for the schema and the event-name vocabulary.
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"switchboard/internal/metrics"
+)
+
+// Event is one typed, timestamped step inside a span (or a standalone
+// log entry in the recorder's event ring, where Span names its owner).
+type Event struct {
+	// Span is the owning span's ID (0 for standalone events).
+	Span uint64 `json:"span,omitempty"`
+	// Name is the event type, e.g. "route published", "rules installed".
+	Name string `json:"name"`
+	// AtNs is the wall-clock Unix-nanosecond timestamp.
+	AtNs int64 `json:"at_ns"`
+}
+
+// Span is one completed control-loop operation: a named interval with
+// parent linkage and the typed events recorded inside it. Spans form
+// trees — a chain-creation span parents the per-attempt path-compute
+// spans, and the route record it publishes carries its ID so the Local
+// Switchboards' rule-install spans link back across the bus.
+type Span struct {
+	// ID is unique within the recorder (never 0 for a real span).
+	ID uint64 `json:"id"`
+	// Parent is the enclosing span's ID (0 = root).
+	Parent uint64 `json:"parent,omitempty"`
+	// Name identifies the operation ("gs.create_chain",
+	// "controlplane.failover", "ls.A.apply_route", …).
+	Name string `json:"name"`
+	// Metric names the registry histogram the span's duration folds
+	// into on End ("" = duration not folded).
+	Metric string `json:"metric,omitempty"`
+	// StartNs and EndNs bound the interval (Unix nanoseconds).
+	StartNs int64 `json:"start_ns"`
+	EndNs   int64 `json:"end_ns"`
+	// Err carries the failure message when the operation failed.
+	Err string `json:"err,omitempty"`
+	// Events are the steps recorded inside the span, in order.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Duration is the span's total wall time.
+func (s *Span) Duration() time.Duration {
+	return time.Duration(s.EndNs - s.StartNs)
+}
+
+// DefaultSpanCap and DefaultEventCap bound the Default recorder's rings:
+// enough to hold the full control-plane history of a long experiment
+// while keeping memory O(1) under an unbounded event rate.
+const (
+	DefaultSpanCap  = 4096
+	DefaultEventCap = 8192
+)
+
+// Recorder is the bounded in-memory event log: completed spans and
+// standalone events land in fixed-size rings (oldest entries are
+// overwritten), and span durations fold into the attached registry's
+// histograms. All methods are safe for concurrent use, and every method
+// is a no-op on a nil receiver — components stamp unconditionally and
+// pay nothing until a recorder is attached.
+type Recorder struct {
+	nextID atomic.Uint64
+
+	spansDone   atomic.Uint64 // completed spans (incl. overwritten)
+	eventsTotal atomic.Uint64 // events recorded (span + standalone)
+
+	mu        sync.Mutex
+	reg       *metrics.Registry
+	spans     []Span // ring, capacity fixed at construction
+	spanNext  int
+	spanFull  bool
+	events    []Event // ring of standalone events
+	eventNext int
+	eventFull bool
+}
+
+// NewRecorder returns a recorder whose span and event rings hold at
+// most spanCap and eventCap entries (values < 1 take the defaults).
+// Durations of completed spans with a non-empty Metric fold into reg's
+// histogram of that name; reg may be nil to record spans without
+// folding.
+func NewRecorder(spanCap, eventCap int, reg *metrics.Registry) *Recorder {
+	if spanCap < 1 {
+		spanCap = DefaultSpanCap
+	}
+	if eventCap < 1 {
+		eventCap = DefaultEventCap
+	}
+	return &Recorder{
+		reg:    reg,
+		spans:  make([]Span, 0, spanCap),
+		events: make([]Event, 0, eventCap),
+	}
+}
+
+// defaultRecorder is the process-wide recorder the cmds expose at
+// /debug/events, folding into metrics.Default().
+var defaultRecorder = NewRecorder(DefaultSpanCap, DefaultEventCap, metrics.Default())
+
+// Default returns the process-wide recorder. Long-lived daemons attach
+// it so the introspection endpoint sees their control-plane history;
+// tests and experiments normally use their own NewRecorder.
+func Default() *Recorder { return defaultRecorder }
+
+// RegisterMetrics publishes the recorder's own counters into a metrics
+// registry:
+//
+//	obs.spans   spans completed (including ones the ring later evicted)
+//	obs.events  events recorded (span events plus standalone Log calls)
+func (r *Recorder) RegisterMetrics(reg *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	reg.CounterFunc("obs.spans", r.spansDone.Load)
+	reg.CounterFunc("obs.events", r.eventsTotal.Load)
+}
+
+// ActiveSpan is a live span handle. The zero of the API is nil: a nil
+// handle (from a nil recorder) accepts every call and does nothing.
+// Methods are safe for concurrent use on one handle, but spans model
+// one operation and are normally driven by one goroutine.
+type ActiveSpan struct {
+	r  *Recorder
+	mu sync.Mutex
+	s  Span
+}
+
+// Start begins a span now. metric names the histogram the duration
+// folds into on End ("" = none); parent links the enclosing span (0 =
+// root). A nil recorder returns a nil handle.
+func (r *Recorder) Start(name, metric string, parent uint64) *ActiveSpan {
+	if r == nil {
+		return nil
+	}
+	return r.StartAt(name, metric, parent, time.Now())
+}
+
+// StartAt begins a span whose interval opened at a known earlier time —
+// the failure detector uses it to anchor a failover span at the last
+// heartbeat actually seen. A nil recorder returns a nil handle.
+func (r *Recorder) StartAt(name, metric string, parent uint64, at time.Time) *ActiveSpan {
+	if r == nil {
+		return nil
+	}
+	return &ActiveSpan{r: r, s: Span{
+		ID:      r.nextID.Add(1),
+		Parent:  parent,
+		Name:    name,
+		Metric:  metric,
+		StartNs: at.UnixNano(),
+	}}
+}
+
+// ID returns the span's ID, or 0 on a nil handle — so child spans and
+// route records can link to it unconditionally.
+func (a *ActiveSpan) ID() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.s.ID
+}
+
+// Event records a typed event inside the span, stamped now.
+func (a *ActiveSpan) Event(name string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.s.Events = append(a.s.Events, Event{Span: a.s.ID, Name: name, AtNs: time.Now().UnixNano()})
+	a.mu.Unlock()
+	a.r.eventsTotal.Add(1)
+}
+
+// Fail records the error the operation ended with; the span still needs
+// End to complete.
+func (a *ActiveSpan) Fail(err error) {
+	if a == nil || err == nil {
+		return
+	}
+	a.mu.Lock()
+	a.s.Err = err.Error()
+	a.mu.Unlock()
+}
+
+// End completes the span: it is stamped with the end time, appended to
+// the recorder's ring, and — when Metric is set — its duration is
+// observed into the registry histogram of that name. End is idempotent;
+// only the first call records.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.s.EndNs != 0 {
+		a.mu.Unlock()
+		return
+	}
+	a.s.EndNs = time.Now().UnixNano()
+	done := a.s
+	a.mu.Unlock()
+	a.r.complete(done)
+}
+
+// complete folds a finished span into the ring and its metric histogram.
+func (r *Recorder) complete(s Span) {
+	r.spansDone.Add(1)
+	r.mu.Lock()
+	if len(r.spans) < cap(r.spans) {
+		r.spans = append(r.spans, s)
+	} else {
+		r.spans[r.spanNext] = s
+		r.spanNext = (r.spanNext + 1) % cap(r.spans)
+		r.spanFull = true
+	}
+	reg := r.reg
+	r.mu.Unlock()
+	if reg != nil && s.Metric != "" {
+		reg.Histogram(s.Metric).Observe(s.Duration())
+	}
+}
+
+// Log records a standalone event (no owning span) in the event ring —
+// the control-plane analogue of a log line, e.g. "edge instance ready
+// at site B".
+func (r *Recorder) Log(name string) {
+	if r == nil {
+		return
+	}
+	r.eventsTotal.Add(1)
+	e := Event{Name: name, AtNs: time.Now().UnixNano()}
+	r.mu.Lock()
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, e)
+	} else {
+		r.events[r.eventNext] = e
+		r.eventNext = (r.eventNext + 1) % cap(r.events)
+		r.eventFull = true
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns the completed spans currently retained, oldest first.
+// Safe for concurrent use; nil receivers return nil.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.spans))
+	if r.spanFull {
+		out = append(out, r.spans[r.spanNext:]...)
+		out = append(out, r.spans[:r.spanNext]...)
+	} else {
+		out = append(out, r.spans...)
+	}
+	return out
+}
+
+// Events returns the standalone events currently retained, oldest
+// first. Safe for concurrent use; nil receivers return nil.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.events))
+	if r.eventFull {
+		out = append(out, r.events[r.eventNext:]...)
+		out = append(out, r.events[:r.eventNext]...)
+	} else {
+		out = append(out, r.events...)
+	}
+	return out
+}
+
+// SpansNamed returns the retained spans with the given name, oldest
+// first — the lookup experiments use to pull one control loop's
+// timeline out of the ring.
+func (r *Recorder) SpansNamed(name string) []Span {
+	var out []Span
+	for _, s := range r.Spans() {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Children returns the retained spans whose Parent is id, oldest first.
+func (r *Recorder) Children(id uint64) []Span {
+	var out []Span
+	if id == 0 {
+		return nil
+	}
+	for _, s := range r.Spans() {
+		if s.Parent == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Snapshot is the JSON document served at /debug/events.
+type Snapshot struct {
+	// TakenAt is when the snapshot was captured.
+	TakenAt time.Time `json:"taken_at"`
+	// SpansCompleted and EventsRecorded are cumulative totals (the
+	// rings below may have evicted older entries).
+	SpansCompleted uint64 `json:"spans_completed"`
+	EventsRecorded uint64 `json:"events_recorded"`
+	// Spans and Events are the ring contents, oldest first.
+	Spans  []Span  `json:"spans"`
+	Events []Event `json:"events"`
+}
+
+// Snapshot captures the recorder's current state. Safe for concurrent
+// use; a nil receiver yields an empty snapshot.
+func (r *Recorder) Snapshot() *Snapshot {
+	s := &Snapshot{
+		TakenAt: time.Now(),
+		Spans:   r.Spans(),
+		Events:  r.Events(),
+	}
+	if r != nil {
+		s.SpansCompleted = r.spansDone.Load()
+		s.EventsRecorded = r.eventsTotal.Load()
+	}
+	if s.Spans == nil {
+		s.Spans = []Span{}
+	}
+	if s.Events == nil {
+		s.Events = []Event{}
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

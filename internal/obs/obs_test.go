@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"switchboard/internal/metrics"
+)
+
+func TestSpanLifecycleAndFolding(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := NewRecorder(16, 16, reg)
+
+	parent := r.Start("gs.create_chain", "gs.chain_setup_ms", 0)
+	if parent.ID() == 0 {
+		t.Fatal("live span has ID 0")
+	}
+	parent.Event("accepted")
+	child := r.Start("gs.path_compute", "gs.path_compute_ms", parent.ID())
+	time.Sleep(time.Millisecond)
+	child.End()
+	parent.Event("route published")
+	parent.End()
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	// Child ended first, so it is oldest.
+	if spans[0].Name != "gs.path_compute" || spans[1].Name != "gs.create_chain" {
+		t.Fatalf("unexpected order: %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent %d != parent ID %d", spans[0].Parent, spans[1].ID)
+	}
+	if got := len(spans[1].Events); got != 2 {
+		t.Fatalf("parent has %d events, want 2", got)
+	}
+	if spans[1].Events[0].Name != "accepted" || spans[1].Events[1].Name != "route published" {
+		t.Fatalf("unexpected events: %+v", spans[1].Events)
+	}
+	if spans[1].Events[0].Span != spans[1].ID {
+		t.Fatalf("event span link %d != %d", spans[1].Events[0].Span, spans[1].ID)
+	}
+	for _, s := range spans {
+		if s.EndNs < s.StartNs {
+			t.Fatalf("span %s ends before it starts", s.Name)
+		}
+	}
+	if spans[0].Duration() < time.Millisecond {
+		t.Fatalf("child duration %v < 1ms", spans[0].Duration())
+	}
+
+	// Durations folded into the named histograms.
+	for _, name := range []string{"gs.chain_setup_ms", "gs.path_compute_ms"} {
+		if n := reg.Histogram(name).Count(); n != 1 {
+			t.Errorf("histogram %s has %d samples, want 1", name, n)
+		}
+	}
+	// Children lookup.
+	kids := r.Children(spans[1].ID)
+	if len(kids) != 1 || kids[0].ID != spans[0].ID {
+		t.Fatalf("Children = %+v", kids)
+	}
+	if got := r.SpansNamed("gs.create_chain"); len(got) != 1 {
+		t.Fatalf("SpansNamed = %+v", got)
+	}
+}
+
+func TestSpanEndIdempotentAndFail(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := NewRecorder(4, 4, reg)
+	sp := r.Start("op", "op_ms", 0)
+	sp.Fail(errors.New("boom"))
+	sp.End()
+	sp.End()
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("End not idempotent: %d spans", len(spans))
+	}
+	if spans[0].Err != "boom" {
+		t.Fatalf("Err = %q", spans[0].Err)
+	}
+	if n := reg.Histogram("op_ms").Count(); n != 1 {
+		t.Fatalf("histogram observed %d times, want 1", n)
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	r := NewRecorder(4, 3, nil)
+	for i := 0; i < 10; i++ {
+		sp := r.Start(fmt.Sprintf("s%d", i), "", 0)
+		sp.End()
+		r.Log(fmt.Sprintf("e%d", i))
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("span ring holds %d, want 4", len(spans))
+	}
+	// Oldest first: s6..s9 survive.
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", 6+i); s.Name != want {
+			t.Fatalf("spans[%d] = %s, want %s", i, s.Name, want)
+		}
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("event ring holds %d, want 3", len(events))
+	}
+	for i, e := range events {
+		if want := fmt.Sprintf("e%d", 7+i); e.Name != want {
+			t.Fatalf("events[%d] = %s, want %s", i, e.Name, want)
+		}
+	}
+	snap := r.Snapshot()
+	if snap.SpansCompleted != 10 || snap.EventsRecorded != 10 {
+		t.Fatalf("snapshot totals: %d spans, %d events", snap.SpansCompleted, snap.EventsRecorded)
+	}
+	if _, err := snap.JSON(); err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	sp := r.Start("x", "m", 0)
+	if sp != nil {
+		t.Fatal("nil recorder returned live span")
+	}
+	sp.Event("e")
+	sp.Fail(errors.New("x"))
+	sp.End()
+	if sp.ID() != 0 {
+		t.Fatal("nil span has non-zero ID")
+	}
+	r.Log("e")
+	if r.Spans() != nil || r.Events() != nil {
+		t.Fatal("nil recorder retained data")
+	}
+	snap := r.Snapshot()
+	if snap.SpansCompleted != 0 || len(snap.Spans) != 0 {
+		t.Fatal("nil recorder snapshot not empty")
+	}
+}
+
+// TestSpanNilRecorderZeroAlloc pins the "pay only when observing"
+// property: span stamping against a detached (nil) recorder allocates
+// nothing, so controllers stamp unconditionally at zero cost — the
+// control-plane analogue of TestTraceStampZeroAllocUntraced.
+func TestSpanNilRecorderZeroAlloc(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := r.Start("gs.create_chain", "gs.chain_setup_ms", 0)
+		sp.Event("accepted")
+		_ = sp.ID()
+		sp.End()
+		r.Log("noise")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-recorder span stamping allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestStartAtAnchorsPast(t *testing.T) {
+	r := NewRecorder(4, 4, nil)
+	past := time.Now().Add(-50 * time.Millisecond)
+	sp := r.StartAt("controlplane.failover", "", 0, past)
+	sp.End()
+	s := r.Spans()[0]
+	if d := s.Duration(); d < 50*time.Millisecond {
+		t.Fatalf("anchored span duration %v < 50ms", d)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := NewRecorder(64, 64, reg)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := r.Start("op", "op_ms", 0)
+				sp.Event("step")
+				sp.End()
+				r.Log("loose")
+				_ = r.Spans()
+				_ = r.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.spansDone.Load(); got != 800 {
+		t.Fatalf("completed %d spans, want 800", got)
+	}
+	if n := reg.Histogram("op_ms").Count(); n != 800 {
+		t.Fatalf("histogram observed %d, want 800", n)
+	}
+}
+
+func TestDefaultRecorderWired(t *testing.T) {
+	if Default() == nil {
+		t.Fatal("Default() is nil")
+	}
+	reg := metrics.NewRegistry()
+	Default().RegisterMetrics(reg)
+	names := reg.Names()
+	want := map[string]bool{"obs.spans": false, "obs.events": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("RegisterMetrics did not register %s", n)
+		}
+	}
+}

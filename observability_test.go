@@ -18,6 +18,7 @@ import (
 	"switchboard/internal/edge"
 	"switchboard/internal/forwarder"
 	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
 	"switchboard/internal/simnet"
 	"switchboard/internal/vnf"
 )
@@ -63,6 +64,12 @@ func liveRegistry(t *testing.T) *metrics.Registry {
 	}
 	defer ls.Close()
 	ls.RegisterMetrics(reg)
+
+	vc := controller.NewVNFController(net, b, controller.VNFConfig{Name: "<id>"})
+	defer vc.Stop()
+	vc.RegisterMetrics(reg)
+
+	obs.NewRecorder(0, 0, reg).RegisterMetrics(reg)
 
 	// cmd/switchboard registers its request metrics ad hoc in the HTTP
 	// handlers rather than through a RegisterMetrics method; mirror it.
