@@ -21,6 +21,7 @@ import (
 	"switchboard/internal/introspect"
 	"switchboard/internal/metrics"
 	"switchboard/internal/obs"
+	"switchboard/internal/slo"
 )
 
 func main() {
@@ -34,17 +35,21 @@ func main() {
 	if *listen != "" {
 		hist := metrics.NewHistory(metrics.Default(), 0, 0)
 		defer hist.Start()()
+		slo.Default().RegisterMetrics(metrics.Default())
+		slo.Default().Start()
+		defer slo.Default().Stop()
 		addr, stop, err := introspect.ServeOpts(*listen, introspect.Options{
 			Registry: metrics.Default(),
 			History:  hist,
 			Events:   obs.Default(),
+			SLO:      slo.Default(),
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "listen %s: %v\n", *listen, err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Printf("introspection on http://%s/metrics (also /metrics/history, /debug/events)\n", addr)
+		fmt.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /debug/events, /slo, /debug/alerts)\n", addr)
 	}
 
 	if *list || *exp == "" {

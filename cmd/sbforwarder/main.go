@@ -39,6 +39,7 @@ import (
 	"switchboard/internal/obs"
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
+	"switchboard/internal/slo"
 )
 
 // HopJSON is a config entry for one load-balancing target.
@@ -211,15 +212,18 @@ func main() {
 		d.f.RegisterMetrics(metrics.Default())
 		hist := metrics.NewHistory(metrics.Default(), 0, 0)
 		hist.Start()
+		slo.Default().RegisterMetrics(metrics.Default())
+		slo.Default().Start()
 		addr, _, err := introspect.ServeOpts(*debugAddr, introspect.Options{
 			Registry: metrics.Default(),
 			History:  hist,
 			Events:   obs.Default(),
+			SLO:      slo.Default(),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("introspection on http://%s/metrics (also /metrics/history, /debug/events)", addr)
+		log.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /debug/events, /slo, /debug/alerts)", addr)
 	}
 	listen, err := net.ResolveUDPAddr("udp", cfg.Listen)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"switchboard/internal/metrics"
 	"switchboard/internal/model"
 	"switchboard/internal/obs"
+	"switchboard/internal/slo"
 	"switchboard/internal/te"
 )
 
@@ -254,15 +255,18 @@ func main() {
 	if *debugAddr != "" {
 		hist := metrics.NewHistory(metrics.Default(), 0, 0)
 		hist.Start()
+		slo.Default().RegisterMetrics(metrics.Default())
+		slo.Default().Start()
 		bound, _, err := introspect.ServeOpts(*debugAddr, introspect.Options{
 			Registry: metrics.Default(),
 			History:  hist,
 			Events:   obs.Default(),
+			SLO:      slo.Default(),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("introspection on http://%s/metrics (also /metrics/history, /debug/events)", bound)
+		log.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /debug/events, /slo, /debug/alerts)", bound)
 	}
 	log.Printf("global switchboard TE service listening on %s", *addr)
 	srv := &http.Server{Addr: *addr, Handler: newMux(), ReadHeaderTimeout: 5 * time.Second}

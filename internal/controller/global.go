@@ -267,9 +267,10 @@ func (g *GlobalSwitchboard) buildModelMulti(specs []Spec) (*model.Network, map[s
 			return nil, nil, fmt.Errorf("controller: unknown egress site %s", spec.EgressSite)
 		}
 		mc := &model.Chain{
-			ID:      model.ChainID(spec.ID),
-			Ingress: in,
-			Egress:  eg,
+			ID:            model.ChainID(spec.ID),
+			Ingress:       in,
+			Egress:        eg,
+			LatencyBudget: spec.LatencyBudget,
 		}
 		for _, v := range spec.VNFs {
 			if _, ok := vnfs[v]; !ok {
@@ -630,7 +631,36 @@ func (g *GlobalSwitchboard) recordFromSplit(spec Spec, split *model.ChainSplit, 
 		}
 		return a.To < b.To
 	})
+	rec.LatencyBudget = spec.LatencyBudget
+	if rec.LatencyBudget == 0 {
+		rec.LatencyBudget = g.defaultBudget(rec)
+	}
 	return rec
+}
+
+// DefaultBudgetHeadroom scales the TE solution's achieved path latency
+// into a latency budget when the chain's Spec declares none: the SLO
+// defaults to "twice what the chosen route needs in propagation alone",
+// leaving room for queueing and processing before an alert fires.
+const DefaultBudgetHeadroom = 2.0
+
+// MinLatencyBudget floors derived budgets so chains whose route never
+// leaves a site (zero propagation delay) still get a meaningful target.
+const MinLatencyBudget = time.Millisecond
+
+// defaultBudget derives a chain's latency budget from its published
+// route: the expected one-way propagation delay (per-stage split-
+// weighted mean, summed across stages) times DefaultBudgetHeadroom.
+func (g *GlobalSwitchboard) defaultBudget(rec *RouteRecord) time.Duration {
+	var expected float64
+	for _, s := range rec.Splits {
+		expected += s.Weight * float64(g.net.Path(s.From, s.To).Delay)
+	}
+	b := time.Duration(expected * DefaultBudgetHeadroom)
+	if b < MinLatencyBudget {
+		b = MinLatencyBudget
+	}
+	return b
 }
 
 // vnfLoads computes, per VNF and site, the compute load the chain's split
@@ -1004,8 +1034,13 @@ func (g *GlobalSwitchboard) ConfigureChainEdges(rec *RouteRecord, matches []edge
 	}
 	for _, m := range matches {
 		m.Chain = rec.ChainLabel
+		m.Name = string(rec.Chain)
 		ingress.AddRule(m)
 	}
+	// Egress traffic is classified at the ingress side, so the egress
+	// edge never installs a match rule for the chain — register it
+	// explicitly so its per-chain egressed counter still exists.
+	egress.RegisterChain(rec.ChainLabel, string(rec.Chain))
 	ingress.AddEgressRoute(edge.EgressRoute{Egress: rec.EgressLabel})
 	return ingress, egress, nil
 }

@@ -579,7 +579,7 @@ func (ls *LocalSwitchboard) reinstall(id ChainID) {
 				f.RemoveRule(st)
 				continue
 			}
-			spec := forwarder.RuleSpec{}
+			spec := forwarder.RuleSpec{Chain: string(rec.Chain)}
 			for _, info := range infos[instancesTopic(st, vnfName, ls.site)] {
 				hop := ls.hopFor(f, forwarder.NextHop{
 					Kind: forwarder.KindVNF, Addr: info.Addr,
@@ -613,7 +613,7 @@ func (ls *LocalSwitchboard) reinstall(id ChainID) {
 			ls.mu.Unlock()
 			for _, rt := range members {
 				f := rt.f
-				spec := forwarder.RuleSpec{}
+				spec := forwarder.RuleSpec{Chain: string(rec.Chain)}
 				if edgeInst != nil {
 					hop := ls.hopFor(f, forwarder.NextHop{Kind: forwarder.KindEdge, Addr: edgeInst.Addr()})
 					spec.LocalVNF = []forwarder.WeightedHop{{Hop: hop, Weight: 1}}

@@ -29,6 +29,10 @@ type Spec struct {
 	// in model units.
 	ForwardRate float64
 	ReverseRate float64
+	// LatencyBudget is the customer's declared end-to-end latency SLO.
+	// Zero lets the Global Switchboard default it from the TE solution's
+	// achieved path latency times DefaultBudgetHeadroom.
+	LatencyBudget time.Duration
 }
 
 // Validate checks the spec is well formed.
@@ -82,6 +86,12 @@ type RouteRecord struct {
 	// Local Switchboards record on receipt parent back to the originating
 	// operation across the bus. 0 = no span recorded.
 	SpanID uint64
+	// LatencyBudget is the chain's end-to-end latency SLO, carried to
+	// every site so the data plane (and the SLO evaluator reading its
+	// metrics) knows the chain's target. Declared in the Spec or
+	// defaulted by the Global Switchboard from the TE solution's
+	// achieved path latency times DefaultBudgetHeadroom.
+	LatencyBudget time.Duration
 }
 
 // IsIngress reports whether site ingresses traffic for the chain.

@@ -10,6 +10,7 @@ package edge
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +29,9 @@ type MatchRule struct {
 	DstPort uint16
 	// Chain is the chain label applied on match.
 	Chain uint32
+	// Name is the chain's name, used as the key of the edge's per-chain
+	// metric series. Empty falls back to the decimal chain label.
+	Name string
 }
 
 // Matches reports whether the rule matches the key.
@@ -71,6 +75,12 @@ type Instance struct {
 	egressTable []EgressRoute
 	localHosts  map[uint32]simnet.Addr
 	conns       map[packet.FlowKey]labels.Stack
+	// chainIn/chainOut are per-chain keyed counter families (set by
+	// RegisterMetrics; nil: counters still count, unpublished), and
+	// chainInOf/chainOutOf resolve a chain label to its counters on the
+	// packet path. Populated by RegisterChain / AddRule; guarded by mu.
+	chainIn, chainOut     *metrics.KeyedCounters
+	chainInOf, chainOutOf map[uint32]*metrics.Counter
 
 	ingressed, egressed, unmatched, noEgress, noLocalHost atomic.Uint64
 }
@@ -84,6 +94,8 @@ func NewInstance(ep *simnet.Endpoint, forwarder simnet.Addr, siteLabel uint32) *
 		siteLabel:  siteLabel,
 		localHosts: make(map[uint32]simnet.Addr),
 		conns:      make(map[packet.FlowKey]labels.Stack),
+		chainInOf:  make(map[uint32]*metrics.Counter),
+		chainOutOf: make(map[uint32]*metrics.Counter),
 	}
 }
 
@@ -101,10 +113,53 @@ func (e *Instance) SetForwarder(a simnet.Addr) {
 }
 
 // AddRule appends a classification rule. Rules match in insertion order.
+// The rule's chain is registered for per-chain metric attribution.
 func (e *Instance) AddRule(r MatchRule) {
 	e.mu.Lock()
 	e.rules = append(e.rules, r)
+	e.registerChainLocked(r.Chain, r.Name)
 	e.mu.Unlock()
+}
+
+// RegisterChain resolves (creating on first use) the per-chain
+// ingressed/egressed counters for a chain label, keyed by the chain's
+// name (or the decimal label when unnamed). The control plane calls it
+// on both ingress and egress edges of a chain so egress traffic —
+// classified remotely, so never matched by a local rule — is still
+// attributed.
+func (e *Instance) RegisterChain(chain uint32, name string) {
+	e.mu.Lock()
+	e.registerChainLocked(chain, name)
+	e.mu.Unlock()
+}
+
+func (e *Instance) registerChainLocked(chain uint32, name string) {
+	if e.chainIn != nil {
+		if name == "" {
+			name = strconv.FormatUint(uint64(chain), 10)
+		}
+		e.chainInOf[chain] = e.chainIn.Get(name)
+		e.chainOutOf[chain] = e.chainOut.Get(name)
+		return
+	}
+	if e.chainInOf[chain] == nil {
+		e.chainInOf[chain] = &metrics.Counter{}
+		e.chainOutOf[chain] = &metrics.Counter{}
+	}
+}
+
+// ChainCounters returns load functions over a chain's per-chain
+// ingressed/egressed counters, registering the chain first if this edge
+// has not seen it — the offered/delivered pair the SLO evaluator diffs
+// for its loss signal.
+func (e *Instance) ChainCounters(chain uint32, name string) (ingressed, egressed func() uint64) {
+	e.mu.Lock()
+	if e.chainInOf[chain] == nil {
+		e.registerChainLocked(chain, name)
+	}
+	in, out := e.chainInOf[chain], e.chainOutOf[chain]
+	e.mu.Unlock()
+	return in.Load, out.Load
 }
 
 // RemoveChainRules drops all rules for a chain label.
@@ -158,6 +213,12 @@ func (e *Instance) Stats() Stats {
 // plus one gauge:
 //
 //	edge.<host>.match_rules   classification rules currently installed
+//
+// Per-chain dimensional series (keyed families, bounded cardinality;
+// <chain> is the chain's name or its decimal label when unnamed):
+//
+//	edge.<host>.chain.<chain>.ingressed  packets the chain sent into the overlay here
+//	edge.<host>.chain.<chain>.egressed   packets the chain delivered to local hosts here
 func (e *Instance) RegisterMetrics(r *metrics.Registry) {
 	prefix := "edge." + e.ep.Addr().Host + "."
 	r.CounterFunc(prefix+"ingressed", e.ingressed.Load)
@@ -170,6 +231,10 @@ func (e *Instance) RegisterMetrics(r *metrics.Registry) {
 		defer e.mu.RUnlock()
 		return float64(len(e.rules))
 	})
+	e.mu.Lock()
+	e.chainIn = metrics.NewKeyedCounters(r, prefix+"chain.<chain>.ingressed", 0)
+	e.chainOut = metrics.NewKeyedCounters(r, prefix+"chain.<chain>.egressed", 0)
+	e.mu.Unlock()
 }
 
 // HandlePacket processes one packet: labeled packets egress to local
@@ -189,10 +254,14 @@ func (e *Instance) ingress(p *packet.Packet) (simnet.Addr, bool) {
 	canon, _ := p.Key.Canonical()
 	if st, ok := e.conns[canon]; ok {
 		fw := e.forwarder
+		cc := e.chainInOf[st.Chain]
 		e.mu.RUnlock()
 		p.Labels = st
 		p.Labeled = true
 		e.ingressed.Add(1)
+		if cc != nil {
+			cc.Inc()
+		}
 		return fw, true
 	}
 	var chain uint32
@@ -219,6 +288,7 @@ func (e *Instance) ingress(p *packet.Packet) (simnet.Addr, bool) {
 		}
 	}
 	fw := e.forwarder
+	cc := e.chainInOf[chain]
 	e.mu.RUnlock()
 	if !found {
 		e.noEgress.Add(1)
@@ -227,6 +297,9 @@ func (e *Instance) ingress(p *packet.Packet) (simnet.Addr, bool) {
 	p.Labels = labels.Stack{Chain: chain, Egress: egress}
 	p.Labeled = true
 	e.ingressed.Add(1)
+	if cc != nil {
+		cc.Inc()
+	}
 	return fw, true
 }
 
@@ -235,6 +308,7 @@ func (e *Instance) egress(p *packet.Packet) (simnet.Addr, bool) {
 	e.mu.Lock()
 	e.conns[canon] = p.Labels
 	dst, ok := e.localHosts[p.Key.DstIP]
+	cc := e.chainOutOf[p.Labels.Chain]
 	e.mu.Unlock()
 	if !ok {
 		e.noLocalHost.Add(1)
@@ -242,6 +316,9 @@ func (e *Instance) egress(p *packet.Packet) (simnet.Addr, bool) {
 	}
 	p.Labeled = false
 	e.egressed.Add(1)
+	if cc != nil {
+		cc.Inc()
+	}
 	return dst, true
 }
 

@@ -111,6 +111,7 @@ func All() []Experiment {
 		{"dataplane", "batched data path: pps per core vs batch size (1/8/32/64)", BatchSweep},
 		{"observe", "per-hop latency breakdown of a 3-VNF chain via sampled path tracing", Observe},
 		{"controlplane", "control-plane spans: chain-setup latency vs chain length, failover timeline", Controlplane},
+		{"slo", "per-chain SLO alerts through a site blackout: time-to-fire / time-to-resolve vs the failover spans", SLO},
 	}
 }
 

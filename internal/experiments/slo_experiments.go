@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/edge"
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/slo"
+	"switchboard/internal/testutil"
+	"switchboard/internal/vnf"
+)
+
+// SLO runs the per-chain SLO pipeline end to end: three chains with
+// TE-derived latency budgets share a VNF site, the site is blacked out,
+// and the table reports — from the alert log alone — how long each
+// chain's alert took to fire after the fault and to resolve after the
+// control plane rerouted, cross-checked against the failover span
+// timeline the detector records.
+func SLO() (*Table, error) {
+	t, _, err := sloRound()
+	return t, err
+}
+
+// sloChains are the experiment's chains: all share the "fw" VNF, so one
+// site blackout breaches every budget at once. Traffic is told apart by
+// destination port.
+var sloChains = []struct {
+	ID   controller.ChainID
+	Port uint16
+}{
+	{"gold", 80},
+	{"silver", 81},
+	{"bronze", 82},
+}
+
+// sloTracked is one chain's route handle.
+type sloTracked struct {
+	route *controller.RouteRecord
+}
+
+// sloRound is the testable body of SLO: it also returns the recorder so
+// tests can re-derive the failover window from the raw span tree.
+func sloRound() (*Table, *obs.Recorder, error) {
+	t := &Table{
+		ID:    "slo",
+		Title: "per-chain SLO alerts through a site blackout: time-to-fire, time-to-resolve",
+		Header: []string{"chain", "budget ms", "fire +ms after fault",
+			"in failover span", "resolve +ms after reroute", "reason"},
+	}
+
+	// Topology: the shared VNF can run at B or C; the A–B path is
+	// cheaper, so traffic engineering places every chain's stage at B
+	// and the blackout hits all three budgets at once. C is the
+	// failover target.
+	paths := map[[2]simnet.SiteID]simnet.PathProfile{
+		{"GSB", "A"}: {Delay: 2 * time.Millisecond},
+		{"GSB", "B"}: {Delay: 2 * time.Millisecond},
+		{"GSB", "C"}: {Delay: 2 * time.Millisecond},
+		{"A", "B"}:   {Delay: 2 * time.Millisecond},
+		{"A", "C"}:   {Delay: 2500 * time.Microsecond},
+		{"B", "C"}:   {Delay: 2 * time.Millisecond},
+	}
+	bed, err := NewBedWithPaths(57, paths, "GSB", "A", "B", "C")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer bed.Close()
+	g := bed.G
+	for _, s := range []simnet.SiteID{"A", "B", "C"} {
+		if _, err := g.RegisterSite(s, 1000); err != nil {
+			return nil, nil, err
+		}
+	}
+	bed.AddVNF(controller.VNFConfig{
+		Name:        "fw",
+		Factory:     func() vnf.Function { return vnf.PassThrough{} },
+		LoadPerUnit: 1.0,
+		LabelAware:  true,
+		Capacity:    map[simnet.SiteID]float64{"B": 500, "C": 500},
+	})
+	rec, reg := bed.EnableObservability()
+
+	for _, s := range []simnet.SiteID{"GSB", "A", "B", "C"} {
+		ls, ok := g.Local(s)
+		if !ok {
+			return nil, nil, fmt.Errorf("slo: no Local Switchboard at %s", s)
+		}
+		ls.StartHeartbeats(10 * time.Millisecond)
+	}
+	stopDetector, err := g.StartFailureDetector(controller.DetectorConfig{
+		Interval:     20 * time.Millisecond,
+		SuspectAfter: 150 * time.Millisecond,
+		Debounce:     2,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer stopDetector()
+
+	// Chains: budgets left unset, so the controller derives each from
+	// the TE solution's achieved path latency times the headroom.
+	var ingress, egress *edge.Instance
+	tracked := make(map[controller.ChainID]*sloTracked)
+	for _, c := range sloChains {
+		route, err := g.CreateChain(controller.Spec{
+			ID: c.ID, IngressSite: "A", EgressSite: "A",
+			VNFs: []string{"fw"}, ForwardRate: 5,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if route.LatencyBudget <= 0 {
+			return nil, nil, fmt.Errorf("slo: chain %s published without a derived latency budget", c.ID)
+		}
+		ingress, egress, err = g.ConfigureChainEdges(route, []edge.MatchRule{{DstPort: c.Port}})
+		if err != nil {
+			return nil, nil, err
+		}
+		tracked[c.ID] = &sloTracked{route: route}
+	}
+	// Every chain must share one stage host so a single blackout
+	// breaches all budgets; the asymmetric A–C delay makes B the
+	// deterministic TE choice.
+	host := stage1Host(tracked[sloChains[0].ID].route)
+	if host == "" {
+		return nil, nil, fmt.Errorf("slo: no stage-1 site for %s", sloChains[0].ID)
+	}
+	for id, tr := range tracked {
+		if h := stage1Host(tr.route); h != host {
+			return nil, nil, fmt.Errorf("slo: chain %s placed at %s, want shared host %s", id, h, host)
+		}
+	}
+	for _, s := range []simnet.SiteID{"A", host} {
+		for id := range tracked {
+			if err := g.WaitForDataPath(tracked[id].route, s, 10*time.Second); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Telemetry: per-chain trace latency plus the edge's offered/
+	// delivered counters feed the evaluator; the ingress-site forwarder
+	// contributes explicit drops.
+	collector := metrics.NewTraceCollector()
+	collector.RegisterMetrics(reg)
+	nameOf := make(map[uint32]string, len(tracked))
+	for id, tr := range tracked {
+		nameOf[tr.route.ChainLabel] = string(id)
+	}
+	collector.NameChains(func(label uint32) string { return nameOf[label] })
+
+	lsA, _ := g.Local("A")
+	fwdA, err := lsA.Forwarder("edge")
+	if err != nil {
+		return nil, nil, fmt.Errorf("slo: ingress-site forwarder: %w", err)
+	}
+	ev := slo.New(slo.Config{
+		Interval:     20 * time.Millisecond,
+		FireAfter:    2,
+		ResolveAfter: 5,
+		MinLoss:      5,
+	})
+	ev.RegisterMetrics(reg)
+	for id, tr := range tracked {
+		sent, delivered := ingress.ChainCounters(tr.route.ChainLabel, string(id))
+		_, drops := fwdA.ChainCounters(tr.route.ChainLabel, string(id))
+		ev.Track(slo.ChainSLO{
+			Chain:     string(id),
+			Budget:    tr.route.LatencyBudget,
+			E2E:       collector.ChainEndToEnd(string(id)),
+			Sent:      sent,
+			Delivered: delivered,
+			Drops:     drops,
+		})
+	}
+	ev.Start()
+	defer ev.Stop()
+
+	// Open-loop traffic: one traced packet per chain every 2ms, fresh
+	// source port each send so post-failover packets follow the new
+	// route immediately instead of staying pinned to dead flows.
+	client, err := bed.Net.Attach(simnet.Addr{Site: "A", Host: "client"}, 8192)
+	if err != nil {
+		return nil, nil, err
+	}
+	server, err := bed.Net.Attach(simnet.Addr{Site: "A", Host: "server"}, 8192)
+	if err != nil {
+		return nil, nil, err
+	}
+	egress.RegisterHost(expServerIP, server.Addr())
+	ingress.RegisterHost(expClientIP, client.Addr())
+	stopTraffic := sloTrafficPump(client, server, ingress.Addr(), collector)
+	defer stopTraffic()
+
+	// Warm-up: every chain must deliver before the fault so the
+	// evaluator's baseline is a healthy bed.
+	for id, tr := range tracked {
+		_, delivered := egress.ChainCounters(tr.route.ChainLabel, string(id))
+		if !testutil.Poll(10*time.Second, func() bool { return delivered() >= 20 }) {
+			return nil, nil, fmt.Errorf("slo: chain %s never delivered during warm-up", id)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	if got := ev.Firing(); got != 0 {
+		return nil, nil, fmt.Errorf("slo: %d alerts firing on a healthy bed", got)
+	}
+
+	// Fault: black out the shared stage host. Every packet toward it is
+	// swallowed silently, so only the offered-vs-delivered gap betrays
+	// the outage.
+	faultAt := time.Now()
+	bed.Net.BlackoutSite(host)
+
+	// Every chain's alert must fire, detected by the evaluator alone.
+	if !testutil.Poll(15*time.Second, func() bool {
+		fired := 0
+		for _, a := range ev.Alerts() {
+			if a.FiredAt.After(faultAt) {
+				fired++
+			}
+		}
+		return fired >= len(tracked)
+	}) {
+		return nil, nil, fmt.Errorf("slo: only %d/%d chains fired within 15s of the fault",
+			len(ev.Alerts()), len(tracked))
+	}
+
+	// Control plane: detector declares the site failed and reroutes.
+	if !testutil.Poll(15*time.Second, func() bool { return g.SiteFailed(host) }) {
+		return nil, nil, fmt.Errorf("slo: detector never declared %s failed", host)
+	}
+	for id := range tracked {
+		cid := id
+		if !testutil.Poll(15*time.Second, func() bool {
+			cur, ok := g.Record(cid)
+			return ok && cur.StageSites(1)[host] == 0 && stage1Host(cur) != ""
+		}) {
+			return nil, nil, fmt.Errorf("slo: chain %s never rerouted off %s", cid, host)
+		}
+		if !testutil.Poll(15*time.Second, func() bool { return chainReady(g, cid, "A") }) {
+			return nil, nil, fmt.Errorf("slo: chain %s data path never ready after reroute", cid)
+		}
+	}
+
+	// Recovery: traffic drains through the new site and every alert
+	// must resolve on its own.
+	if !testutil.Poll(20*time.Second, func() bool {
+		resolved := 0
+		for _, a := range ev.Alerts() {
+			if a.FiredAt.After(faultAt) && !a.ResolvedAt.IsZero() {
+				resolved++
+			}
+		}
+		return resolved >= len(tracked)
+	}) {
+		return nil, nil, fmt.Errorf("slo: alerts never resolved after reroute; log: %+v", ev.Alerts())
+	}
+
+	// The failover window, from the span tree the detector recorded:
+	// every fire must land inside it — the SLO pipeline notices the
+	// outage while the control plane is still detecting and rerouting.
+	totals := rec.SpansNamed("controlplane.failover")
+	if len(totals) == 0 {
+		return nil, nil, fmt.Errorf("slo: no controlplane.failover span recorded")
+	}
+	span := totals[len(totals)-1]
+	var handle obs.Span
+	for _, k := range rec.Children(span.ID) {
+		if k.Name == "controlplane.handle" {
+			handle = k
+		}
+	}
+	if handle.ID == 0 {
+		return nil, nil, fmt.Errorf("slo: failover span missing handle child")
+	}
+	rerouteNs := handle.EndNs
+
+	// The table is read from the alert log alone (plus the fault clock
+	// and the span window for the cross-check).
+	for _, c := range sloChains {
+		var alert *slo.Alert
+		for i := range ev.Alerts() {
+			a := ev.Alerts()[i]
+			if a.Chain == string(c.ID) && a.FiredAt.After(faultAt) {
+				alert = &a
+				break
+			}
+		}
+		if alert == nil {
+			return nil, nil, fmt.Errorf("slo: no alert in the log for chain %s", c.ID)
+		}
+		firedNs := alert.FiredAt.UnixNano()
+		inWindow := firedNs >= span.StartNs && firedNs <= span.EndNs
+		if !inWindow {
+			return nil, nil, fmt.Errorf("slo: chain %s fired at %d outside failover span [%d,%d]",
+				c.ID, firedNs, span.StartNs, span.EndNs)
+		}
+		if alert.ResolvedAt.UnixNano() <= rerouteNs {
+			return nil, nil, fmt.Errorf("slo: chain %s resolved before the reroute completed", c.ID)
+		}
+		t.AddRow(string(c.ID),
+			alert.BudgetMs,
+			float64(firedNs-faultAt.UnixNano())/1e6,
+			"yes",
+			float64(alert.ResolvedAt.UnixNano()-rerouteNs)/1e6,
+			alert.Reason)
+	}
+	t.Notes = append(t.Notes,
+		"fire/resolve timestamps are read from the SLO alert log alone, not experiment stopwatches",
+		"budgets are TE-derived (achieved path latency x headroom), not declared by the experiment",
+		fmt.Sprintf("failover span window: %.3f ms wide; every alert fired inside it, before the control plane finished rerouting",
+			float64(span.EndNs-span.StartNs)/1e6),
+		"resolve +ms is measured from the end of the controlplane.handle span (reroute published)",
+		"blackout loss is silent (sends succeed, drop counters stay flat): the loss signal is the ingress/egress counter gap")
+	return t, rec, nil
+}
+
+// sloTrafficPump drives open-loop traced traffic for every chain and
+// harvests completed traces at the server into the collector. Returns a
+// stop function.
+func sloTrafficPump(client, server *simnet.Endpoint, ingressEdge simnet.Addr,
+	collector *metrics.TraceCollector) (stop func()) {
+	done := make(chan struct{})
+	stopped := make(chan struct{}, 2)
+
+	// Sender: one packet per chain per tick, fresh source ports.
+	go func() {
+		defer func() { stopped <- struct{}{} }()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		var sends, traceID uint64
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				for _, c := range sloChains {
+					traceID++
+					p := &packet.Packet{
+						Key: packet.FlowKey{
+							SrcIP: expClientIP, DstIP: expServerIP,
+							SrcPort: uint16(20000 + sends%40000), DstPort: c.Port, Proto: 6,
+						},
+						Payload: []byte("slo"),
+						Trace:   packet.NewTrace(traceID),
+					}
+					sends++
+					_ = client.Send(ingressEdge, p, len(p.Payload)+40)
+				}
+			}
+		}
+	}()
+
+	// Server: harvest traces, attributing each to its chain label.
+	go func() {
+		defer func() { stopped <- struct{}{} }()
+		for {
+			select {
+			case <-done:
+				return
+			case m, ok := <-server.Inbox():
+				if !ok {
+					return
+				}
+				p, ok := m.Payload.(*packet.Packet)
+				if !ok || p.Trace == nil {
+					continue
+				}
+				var arrive packet.LazyNow
+				packet.TraceArrive(p, "sink:server", &arrive, 1)
+				collector.RecordLabeled(p.Trace, p.Labels.Chain)
+			}
+		}
+	}()
+
+	return func() {
+		close(done)
+		<-stopped
+		<-stopped
+	}
+}

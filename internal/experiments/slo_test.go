@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestSLOAlertTimeline is the acceptance property of the SLO pipeline:
+// every chain's alert fires after the fault but inside the failover
+// span window the detector recorded, and resolves only after the
+// reroute completed. The experiment body enforces the window and
+// ordering internally (it errors otherwise), so the test checks the
+// table's shape and that the cells carry sane values.
+func TestSLOAlertTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	table, rec, err := sloRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(table.Rows) != len(sloChains) {
+		t.Fatalf("table has %d rows, want one per chain (%d)", len(table.Rows), len(sloChains))
+	}
+	for i, c := range sloChains {
+		r := table.Rows[i]
+		if r[0] != string(c.ID) {
+			t.Errorf("row %d chain = %q, want %q", i, r[0], c.ID)
+		}
+		budget := parseCell(t, table, i, 1)
+		if budget <= 0 {
+			t.Errorf("%s: budget %v ms, want > 0 (TE-derived)", c.ID, budget)
+		}
+		fire := parseCell(t, table, i, 2)
+		if fire <= 0 {
+			t.Errorf("%s: fired %v ms after fault, want > 0", c.ID, fire)
+		}
+		if r[3] != "yes" {
+			t.Errorf("%s: in-failover-span = %q, want yes", c.ID, r[3])
+		}
+		resolve := parseCell(t, table, i, 4)
+		if resolve <= 0 {
+			t.Errorf("%s: resolved %v ms after reroute, want > 0", c.ID, resolve)
+		}
+		if r[5] == "" {
+			t.Errorf("%s: empty breach reason", c.ID)
+		}
+	}
+
+	// The span tree backs the cross-check: the failover span exists and
+	// every fire offset is smaller than the span window's width plus the
+	// fault-to-window-start slack (the alert fired before failover ended).
+	totals := rec.SpansNamed("controlplane.failover")
+	if len(totals) == 0 {
+		t.Fatal("recorder has no controlplane.failover span")
+	}
+	span := totals[len(totals)-1]
+	windowMs := float64(span.EndNs-span.StartNs) / 1e6
+	for i, c := range sloChains {
+		if fire := parseCell(t, table, i, 2); fire >= windowMs {
+			t.Errorf("%s: fire offset %v ms >= failover window %v ms", c.ID, fire, windowMs)
+		}
+	}
+}

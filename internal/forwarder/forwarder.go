@@ -19,12 +19,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"switchboard/internal/flowtable"
 	"switchboard/internal/labels"
+	"switchboard/internal/metrics"
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
 )
@@ -86,6 +88,10 @@ type RuleSpec struct {
 	LocalVNF []WeightedHop
 	Next     []WeightedHop
 	Prev     []WeightedHop
+	// Chain names the chain this rule belongs to, used as the key of the
+	// forwarder's per-chain metric series. Empty falls back to the
+	// stack's decimal chain label.
+	Chain string
 }
 
 // Stats are the forwarder's packet counters.
@@ -111,6 +117,38 @@ type counters struct {
 // packet.
 type batchCounters struct {
 	tx, drops, newFlows, ruleMiss, relabeled uint64
+}
+
+// chainBatch accumulates per-chain tx/drop deltas for the burst's
+// currently-memoized rule, flushing one atomic add per counter when the
+// rule switches or the burst ends — per-chain attribution therefore
+// costs the hot path a branch and an integer increment per packet, no
+// map lookups and no allocations.
+type chainBatch struct {
+	txC, dropC *metrics.Counter
+	tx, drops  uint64
+}
+
+func (cb *chainBatch) flush() {
+	if cb.tx > 0 && cb.txC != nil {
+		cb.txC.Add(cb.tx)
+	}
+	if cb.drops > 0 && cb.dropC != nil {
+		cb.dropC.Add(cb.drops)
+	}
+	cb.tx, cb.drops = 0, 0
+}
+
+// switchTo flushes the pending deltas and retargets the accumulator at
+// r's per-chain counters (nil rule: deltas are discarded — the rule-miss
+// path attributes its own drops).
+func (cb *chainBatch) switchTo(r *rule) {
+	cb.flush()
+	if r != nil {
+		cb.txC, cb.dropC = r.chainTx, r.chainDrops
+	} else {
+		cb.txC, cb.dropC = nil, nil
+	}
 }
 
 func (f *Forwarder) flushCounters(c *batchCounters) {
@@ -220,6 +258,11 @@ type rule struct {
 	// read by RuleInstalledAt for control-loop timelines. Stamped once
 	// at install, off the packet path.
 	installedNs int64
+	// chainTx and chainDrops are the chain's dimensional counters
+	// (forwarder.<name>.chain.<chain>.tx / .drops), resolved once at
+	// install so the packet path reaches them without a map lookup.
+	// Never nil after InstallRule.
+	chainTx, chainDrops *metrics.Counter
 }
 
 // FlowStore is the forwarder's connection-table contract. The in-memory
@@ -286,6 +329,13 @@ type Forwarder struct {
 	byAddr   map[simnet.Addr]flowtable.Hop
 	bridgeTo flowtable.Hop
 	nextID   uint32
+	// chainTx and chainDrops are the per-chain keyed counter families,
+	// set by RegisterMetrics (nil: per-chain counters still count,
+	// unpublished). chainTxOf/chainDropOf resolve a chain label to its
+	// counters off the rule path — rule-miss and send-error attribution,
+	// both error paths. All guarded by mu.
+	chainTx, chainDrops    *metrics.KeyedCounters
+	chainTxOf, chainDropOf map[uint32]*metrics.Counter
 
 	stats counters
 }
@@ -300,12 +350,14 @@ func New(name string, mode Mode, shards int) *Forwarder {
 // affinity survives forwarder failures and elastic scaling.
 func NewWithStore(name string, mode Mode, store FlowStore) *Forwarder {
 	return &Forwarder{
-		name:   name,
-		mode:   mode,
-		table:  store,
-		rules:  make(map[labels.Stack]*rule),
-		hops:   make(map[flowtable.Hop]NextHop),
-		byAddr: make(map[simnet.Addr]flowtable.Hop),
+		name:        name,
+		mode:        mode,
+		table:       store,
+		rules:       make(map[labels.Stack]*rule),
+		hops:        make(map[flowtable.Hop]NextHop),
+		byAddr:      make(map[simnet.Addr]flowtable.Hop),
+		chainTxOf:   make(map[uint32]*metrics.Counter),
+		chainDropOf: make(map[uint32]*metrics.Counter),
 	}
 }
 
@@ -370,8 +422,38 @@ func (f *Forwarder) InstallRule(st labels.Stack, spec RuleSpec) {
 		r.localSet[wh.Hop] = true
 	}
 	f.mu.Lock()
+	r.chainTx, r.chainDrops = f.chainCountersLocked(st.Chain, spec.Chain)
 	f.rules[st] = r
 	f.mu.Unlock()
+}
+
+// chainCountersLocked resolves (creating on first use) the per-chain
+// tx/drops counters for a chain label, keyed by the chain's name (or
+// the decimal label when unnamed). Reinstalls reuse the same counters,
+// so counts stay cumulative across route updates. Caller holds f.mu.
+func (f *Forwarder) chainCountersLocked(label uint32, name string) (tx, drops *metrics.Counter) {
+	if f.chainTx != nil {
+		if name == "" {
+			name = strconv.FormatUint(uint64(label), 10)
+		}
+		tx, drops = f.chainTx.Get(name), f.chainDrops.Get(name)
+	} else if tx = f.chainTxOf[label]; tx == nil {
+		tx, drops = &metrics.Counter{}, &metrics.Counter{}
+	} else {
+		drops = f.chainDropOf[label]
+	}
+	f.chainTxOf[label], f.chainDropOf[label] = tx, drops
+	return tx, drops
+}
+
+// ChainCounters returns load functions over a chain's per-chain tx and
+// drops counters, creating them if no rule for the chain has been
+// installed yet — the drop source the SLO evaluator diffs per interval.
+func (f *Forwarder) ChainCounters(label uint32, name string) (tx, drops func() uint64) {
+	f.mu.Lock()
+	txC, dropC := f.chainCountersLocked(label, name)
+	f.mu.Unlock()
+	return txC.Load, dropC.Load
 }
 
 // RuleInstalledAt returns when the current rule for a label stack was
@@ -471,6 +553,19 @@ func (f *Forwarder) countSendErrors(n uint64) {
 	if n > 0 {
 		f.stats.sendErrs.Add(n)
 		f.stats.drops.Add(n)
+	}
+}
+
+// countChainSendErrs attributes a send failure's packets to their
+// chain's drop counter (send failures are an error path, so the map
+// lookup costs nothing on the fast path). Chains never seen by
+// InstallRule are left unattributed.
+func (f *Forwarder) countChainSendErrs(chain uint32, n uint64) {
+	f.mu.RLock()
+	c := f.chainDropOf[chain]
+	f.mu.RUnlock()
+	if c != nil {
+		c.Add(n)
 	}
 }
 
@@ -612,6 +707,7 @@ func (f *Forwarder) labelsBatch(pkts []*packet.Packet, froms []flowtable.Hop, ho
 		lastSt   labels.Stack
 		lastRule *rule
 		haveRule bool
+		cb       chainBatch
 	)
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -624,11 +720,15 @@ func (f *Forwarder) labelsBatch(pkts []*packet.Packet, froms []flowtable.Hop, ho
 		}
 		if !haveRule || p.Labels != lastSt {
 			lastRule, lastSt, haveRule = f.rules[p.Labels], p.Labels, true
+			cb.switchTo(lastRule)
 		}
 		r := lastRule
 		if r == nil {
 			c.ruleMiss++
 			c.drops++
+			if dc := f.chainDropOf[p.Labels.Chain]; dc != nil {
+				dc.Inc()
+			}
 			errs[i] = fmt.Errorf("%w: %+v", ErrNoRule, p.Labels)
 			continue
 		}
@@ -639,7 +739,13 @@ func (f *Forwarder) labelsBatch(pkts []*packet.Packet, froms []flowtable.Hop, ho
 			target = r.next.pick()
 		}
 		hops[i], errs[i] = f.emitLocked(p, target, c)
+		if errs[i] != nil {
+			cb.drops++
+		} else {
+			cb.tx++
+		}
 	}
+	cb.flush()
 }
 
 // affinityScratchSize is the burst size the affinity path handles with
@@ -694,6 +800,9 @@ func (f *Forwarder) affinityBatch(pkts []*packet.Packet, froms []flowtable.Hop, 
 		if lastRule == nil {
 			c.ruleMiss++
 			c.drops++
+			if dc := f.chainDropOf[p.Labels.Chain]; dc != nil {
+				dc.Inc()
+			}
 			errs[i] = fmt.Errorf("%w: %+v", ErrNoRule, p.Labels)
 			continue
 		}
@@ -784,13 +893,28 @@ func (f *Forwarder) affinityBatch(pkts []*packet.Packet, froms []flowtable.Hop, 
 		}
 	}
 
-	// Phase 4: emit under one read-lock for the burst.
+	// Phase 4: emit under one read-lock for the burst, attributing
+	// per-chain deltas across memoized rule runs.
+	var (
+		cb    chainBatch
+		lastR *rule
+	)
 	f.mu.RLock()
 	for i := range pkts {
 		if rules[i] == nil {
 			continue
 		}
+		if rules[i] != lastR {
+			lastR = rules[i]
+			cb.switchTo(lastR)
+		}
 		hops[i], errs[i] = f.emitLocked(pkts[i], targets[i], c)
+		if errs[i] != nil {
+			cb.drops++
+		} else {
+			cb.tx++
+		}
 	}
 	f.mu.RUnlock()
+	cb.flush()
 }

@@ -18,6 +18,12 @@ import "switchboard/internal/metrics"
 //	forwarder.<name>.send_errs  packets the runner failed to hand to the network
 //	forwarder.<name>.flows      gauge: connections currently tracked
 //	forwarder.<name>.rules      gauge: label-stack rules currently installed
+//
+// Per-chain dimensional series (keyed families, bounded cardinality;
+// <chain> is the chain's ID or its decimal label when unnamed):
+//
+//	forwarder.<name>.chain.<chain>.tx     packets forwarded for the chain
+//	forwarder.<name>.chain.<chain>.drops  packets dropped for the chain
 func (f *Forwarder) RegisterMetrics(r *metrics.Registry) {
 	prefix := "forwarder." + f.name + "."
 	r.CounterFunc(prefix+"rx", f.stats.rx.Load)
@@ -29,4 +35,8 @@ func (f *Forwarder) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc(prefix+"send_errs", f.stats.sendErrs.Load)
 	r.GaugeFunc(prefix+"flows", func() float64 { return float64(f.table.Len()) })
 	r.GaugeFunc(prefix+"rules", func() float64 { return float64(f.rulesLen()) })
+	f.mu.Lock()
+	f.chainTx = metrics.NewKeyedCounters(r, prefix+"chain.<chain>.tx", 0)
+	f.chainDrops = metrics.NewKeyedCounters(r, prefix+"chain.<chain>.drops", 0)
+	f.mu.Unlock()
 }

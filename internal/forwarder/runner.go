@@ -150,12 +150,20 @@ func (r *Runner) Run(ctx context.Context) {
 				// Single packets keep the classic message shape so
 				// consumers outside the batched path are unaffected.
 				p, size := g.b.Pkts[0], g.b.Sizes[0]
-				if err = r.EP.Send(g.addr, p, size); err != nil && r.Pool != nil {
-					r.Pool.Put(p)
+				if err = r.EP.Send(g.addr, p, size); err != nil {
+					// Attribute the loss to the packet's chain before the
+					// pool reclaims it (error path; lookups are fine here).
+					r.F.countChainSendErrs(p.Labels.Chain, 1)
+					if r.Pool != nil {
+						r.Pool.Put(p)
+					}
 				}
 				packet.PutBatch(g.b)
 			} else {
 				if err = r.EP.SendBatch(g.addr, g.b); err != nil {
+					for _, p := range g.b.Pkts {
+						r.F.countChainSendErrs(p.Labels.Chain, 1)
+					}
 					g.b.ReleasePackets()
 					packet.PutBatch(g.b)
 				}

@@ -8,39 +8,70 @@
 //
 //	/metrics          JSON metrics.Snapshot of the registry;
 //	                  ?prefix=bus. filters to names with that prefix
+//	/metrics/prom     the same snapshot in Prometheus text format
+//	                  (flat and keyed series alike)
 //	/metrics/history  JSON time-series ring of periodic snapshots
-//	                  (only when a History is wired in via Options)
+//	                  (only when a History is wired in via Options);
+//	                  ?prefix= filters every point like /metrics
 //	/debug/events     JSON control-plane span/event log
-//	                  (only when a Recorder is wired in via Options)
+//	                  (only when a Recorder is wired in via Options);
+//	                  ?limit=N keeps the newest N spans and events,
+//	                  clamped to the ring bound
+//	/slo              JSON per-chain SLO compliance: budget, p50/p99,
+//	                  error-budget burn, alert state
+//	                  (only when an Evaluator is wired in via Options)
+//	/debug/alerts     JSON alert log: fired/resolved SLO breaches
 //	/healthz          liveness probe ("ok")
 //	/debug/pprof/     net/http/pprof profiles (CPU, heap, goroutines, ...)
 package introspect
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"switchboard/internal/metrics"
 	"switchboard/internal/obs"
+	"switchboard/internal/slo"
 )
 
 // Options selects what a debug listener exposes. Registry is required;
-// History and Events are optional — their routes return 404 when nil.
+// History, Events, and SLO are optional — their routes return 404 when
+// nil.
 type Options struct {
-	// Registry backs /metrics.
+	// Registry backs /metrics and /metrics/prom.
 	Registry *metrics.Registry
 	// History backs /metrics/history: a started metrics.History sampling
 	// the same registry.
 	History *metrics.History
 	// Events backs /debug/events: the control-plane span recorder.
 	Events *obs.Recorder
+	// SLO backs /slo and /debug/alerts: the per-chain SLO evaluator.
+	SLO *slo.Evaluator
 }
 
 // Handler returns an http.Handler serving the registry. Safe for
 // concurrent use; each /metrics request takes a fresh snapshot.
 func Handler(reg *metrics.Registry) http.Handler {
 	return HandlerOpts(Options{Registry: reg})
+}
+
+// sloStatus is the JSON document served at /slo.
+type sloStatus struct {
+	// Firing is how many chains are currently in the firing state.
+	Firing int `json:"firing"`
+	// Chains is every tracked chain's compliance view.
+	Chains []slo.ChainStatus `json:"chains"`
+}
+
+// alertLog is the JSON document served at /debug/alerts.
+type alertLog struct {
+	// Firing is how many chains are currently in the firing state.
+	Firing int `json:"firing"`
+	// Alerts is the bounded alert log, oldest first.
+	Alerts []slo.Alert `json:"alerts"`
 }
 
 // HandlerOpts returns an http.Handler serving everything selected by
@@ -60,9 +91,17 @@ func HandlerOpts(opts Options) http.Handler {
 		}
 		writeJSON(w, data)
 	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, r *http.Request) {
+		snap := opts.Registry.Snapshot()
+		if p := r.URL.Query().Get("prefix"); p != "" {
+			snap = snap.Filter(p)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w)
+	})
 	if opts.History != nil {
-		mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, _ *http.Request) {
-			data, err := opts.History.JSON()
+		mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+			data, err := opts.History.JSONFiltered(r.URL.Query().Get("prefix"))
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
@@ -71,8 +110,47 @@ func HandlerOpts(opts Options) http.Handler {
 		})
 	}
 	if opts.Events != nil {
-		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
-			data, err := opts.Events.Snapshot().JSON()
+		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+			snap := opts.Events.Snapshot()
+			if q := r.URL.Query().Get("limit"); q != "" {
+				// A limit beyond the ring bound is clamped to what the
+				// ring retains; invalid or non-positive keeps everything.
+				if n, err := strconv.Atoi(q); err == nil && n > 0 {
+					if n < len(snap.Spans) {
+						snap.Spans = snap.Spans[len(snap.Spans)-n:]
+					}
+					if n < len(snap.Events) {
+						snap.Events = snap.Events[len(snap.Events)-n:]
+					}
+				}
+			}
+			data, err := snap.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, data)
+		})
+	}
+	if opts.SLO != nil {
+		mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+			doc := sloStatus{
+				Firing: opts.SLO.Firing(),
+				Chains: opts.SLO.Status(),
+			}
+			data, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, data)
+		})
+		mux.HandleFunc("/debug/alerts", func(w http.ResponseWriter, _ *http.Request) {
+			doc := alertLog{
+				Firing: opts.SLO.Firing(),
+				Alerts: opts.SLO.Alerts(),
+			}
+			data, err := json.MarshalIndent(doc, "", "  ")
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return

@@ -5,11 +5,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"switchboard/internal/metrics"
 	"switchboard/internal/obs"
+	"switchboard/internal/slo"
 )
 
 func newTestRegistry() *metrics.Registry {
@@ -119,6 +121,7 @@ func TestHandlerHistory(t *testing.T) {
 	reg := newTestRegistry()
 	h := metrics.NewHistory(reg, time.Second, time.Minute)
 	h.Sample()
+	reg.Counter("test.ticks").Inc() // change the registry: idle dedup skips identical samples
 	h.Sample()
 
 	srv := httptest.NewServer(HandlerOpts(Options{Registry: reg, History: h}))
@@ -147,7 +150,7 @@ func TestHandlerHistory(t *testing.T) {
 func TestHandlerOptionalRoutes404WhenUnwired(t *testing.T) {
 	srv := httptest.NewServer(Handler(newTestRegistry()))
 	defer srv.Close()
-	for _, path := range []string{"/debug/events", "/metrics/history"} {
+	for _, path := range []string{"/debug/events", "/metrics/history", "/slo", "/debug/alerts"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -189,5 +192,169 @@ func TestServe(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /healthz via Serve: %s", resp.Status)
+	}
+}
+
+func TestHandlerPrometheus(t *testing.T) {
+	srv := httptest.NewServer(Handler(newTestRegistry()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE test_hits counter",
+		"test_hits 42",
+		"# TYPE test_load gauge",
+		"test_latency_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prom exposition missing %q; got:\n%s", want, text)
+		}
+	}
+
+	// ?prefix= narrows the exposition like /metrics.
+	resp2, err := http.Get(srv.URL + "/metrics/prom?prefix=test.hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, _ := io.ReadAll(resp2.Body)
+	if text2 := string(body2); !strings.Contains(text2, "test_hits 42") || strings.Contains(text2, "test_load") {
+		t.Errorf("filtered prom exposition wrong:\n%s", text2)
+	}
+}
+
+func TestHandlerHistoryPrefix(t *testing.T) {
+	reg := newTestRegistry()
+	h := metrics.NewHistory(reg, time.Second, time.Minute)
+	h.Sample()
+
+	srv := httptest.NewServer(HandlerOpts(Options{Registry: reg, History: h}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics/history?prefix=test.hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dump metrics.HistoryDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Points) != 1 {
+		t.Fatalf("got %d history points, want 1", len(dump.Points))
+	}
+	p := dump.Points[0]
+	if p.Counters["test.hits"] != 42 {
+		t.Errorf("filtered point lost test.hits: %+v", p)
+	}
+	if len(p.Gauges) != 0 || len(p.Histograms) != 0 {
+		t.Errorf("prefix filter leaked other series: %+v", p)
+	}
+}
+
+func TestHandlerEventsLimitClamped(t *testing.T) {
+	reg := newTestRegistry()
+	rec := obs.NewRecorder(16, 16, reg)
+	for i := 0; i < 5; i++ {
+		rec.Start("test.op", "", 0).End()
+		rec.Log("test.event")
+	}
+
+	srv := httptest.NewServer(HandlerOpts(Options{Registry: reg, Events: rec}))
+	defer srv.Close()
+
+	get := func(query string) obs.Snapshot {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/events" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap obs.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+
+	if snap := get("?limit=2"); len(snap.Spans) != 2 || len(snap.Events) != 2 {
+		t.Errorf("limit=2 kept %d spans / %d events, want 2/2", len(snap.Spans), len(snap.Events))
+	} else if snap.SpansCompleted != 5 {
+		t.Errorf("cumulative totals must survive the limit: %+v", snap)
+	}
+	// A limit past the ring bound clamps to what the ring retains.
+	if snap := get("?limit=99999"); len(snap.Spans) != 5 || len(snap.Events) != 5 {
+		t.Errorf("oversized limit kept %d spans / %d events, want 5/5", len(snap.Spans), len(snap.Events))
+	}
+	// Invalid and non-positive limits keep everything.
+	if snap := get("?limit=bogus"); len(snap.Spans) != 5 {
+		t.Errorf("invalid limit dropped spans: %d", len(snap.Spans))
+	}
+	if snap := get("?limit=-3"); len(snap.Spans) != 5 {
+		t.Errorf("negative limit dropped spans: %d", len(snap.Spans))
+	}
+}
+
+func TestHandlerSLORoutes(t *testing.T) {
+	reg := newTestRegistry()
+	ev := slo.New(slo.Config{FireAfter: 1, ResolveAfter: 1})
+	var drops uint64
+	ev.Track(slo.ChainSLO{
+		Chain:  "c1",
+		Budget: 10 * time.Millisecond,
+		E2E:    metrics.NewHistogram(),
+		Drops:  func() uint64 { return drops },
+	})
+	drops = 5
+	ev.Evaluate(time.Now())
+
+	srv := httptest.NewServer(HandlerOpts(Options{Registry: reg, SLO: ev}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Firing int               `json:"firing"`
+		Chains []slo.ChainStatus `json:"chains"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Firing != 1 || len(status.Chains) != 1 {
+		t.Fatalf("/slo = %+v, want one firing chain", status)
+	}
+	if c := status.Chains[0]; c.Chain != "c1" || c.State != slo.StateFiring || c.BudgetMs != 10 {
+		t.Errorf("chain status = %+v", c)
+	}
+
+	resp2, err := http.Get(srv.URL + "/debug/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var alog struct {
+		Firing int         `json:"firing"`
+		Alerts []slo.Alert `json:"alerts"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&alog); err != nil {
+		t.Fatal(err)
+	}
+	if alog.Firing != 1 || len(alog.Alerts) != 1 {
+		t.Fatalf("/debug/alerts = %+v, want one firing alert", alog)
+	}
+	if a := alog.Alerts[0]; a.Chain != "c1" || a.Reason != "drops" || a.FiredAt.IsZero() {
+		t.Errorf("alert = %+v", a)
 	}
 }

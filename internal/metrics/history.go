@@ -94,14 +94,22 @@ func (h *History) run(ch chan struct{}) {
 }
 
 // Sample takes one snapshot now and appends it to the ring (evicting
-// the oldest when full). Exposed so tests and experiments can sample
-// deterministically without the ticker.
+// the oldest when full). A snapshot whose values are identical to the
+// previously retained point is skipped: an idle registry then holds its
+// window open instead of flooding the ring with duplicate frames, and
+// because each retained snapshot keeps its own capture time, the
+// series' timestamps stay monotone. Exposed so tests and experiments
+// can sample deterministically without the ticker.
 func (h *History) Sample() {
 	if h == nil {
 		return
 	}
 	s := h.reg.Snapshot()
 	h.mu.Lock()
+	if last := h.lastLocked(); last != nil && sameValues(last, s) {
+		h.mu.Unlock()
+		return
+	}
 	if len(h.ring) < cap(h.ring) {
 		h.ring = append(h.ring, s)
 	} else {
@@ -110,6 +118,42 @@ func (h *History) Sample() {
 		h.full = true
 	}
 	h.mu.Unlock()
+}
+
+// lastLocked returns the most recently retained snapshot, or nil when
+// the ring is empty. The caller must hold h.mu.
+func (h *History) lastLocked() *Snapshot {
+	if h.full {
+		return h.ring[(h.next-1+cap(h.ring))%cap(h.ring)]
+	}
+	if len(h.ring) == 0 {
+		return nil
+	}
+	return h.ring[len(h.ring)-1]
+}
+
+// sameValues reports whether two snapshots carry identical metric sets
+// and values, ignoring capture time.
+func sameValues(a, b *Snapshot) bool {
+	if len(a.Counters) != len(b.Counters) || len(a.Gauges) != len(b.Gauges) || len(a.Histograms) != len(b.Histograms) {
+		return false
+	}
+	for n, v := range a.Counters {
+		if bv, ok := b.Counters[n]; !ok || bv != v {
+			return false
+		}
+	}
+	for n, v := range a.Gauges {
+		if bv, ok := b.Gauges[n]; !ok || bv != v {
+			return false
+		}
+	}
+	for n, v := range a.Histograms {
+		if bv, ok := b.Histograms[n]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
 }
 
 // Points returns the retained snapshots, oldest first. Safe for
@@ -141,9 +185,22 @@ type HistoryDump struct {
 // JSON renders the retained time series as indented JSON. Safe for
 // concurrent use; nil receivers render an empty series.
 func (h *History) JSON() ([]byte, error) {
+	return h.JSONFiltered("")
+}
+
+// JSONFiltered is JSON with every point filtered to metric names
+// starting with prefix (empty prefix keeps everything) — the
+// ?prefix= form of /metrics/history. Safe for concurrent use; nil
+// receivers render an empty series.
+func (h *History) JSONFiltered(prefix string) ([]byte, error) {
 	d := &HistoryDump{Points: h.Points()}
 	if h != nil {
 		d.IntervalMs = h.interval.Milliseconds()
+	}
+	if prefix != "" {
+		for i, p := range d.Points {
+			d.Points[i] = p.Filter(prefix)
+		}
 	}
 	if d.Points == nil {
 		d.Points = []*Snapshot{}

@@ -34,6 +34,9 @@ func TestHistoryRingBounds(t *testing.T) {
 
 func TestHistoryStartStop(t *testing.T) {
 	reg := NewRegistry()
+	// A gauge that changes every read, so the idle-dedup logic never
+	// suppresses the ticker's samples.
+	reg.GaugeFunc("clock", func() float64 { return float64(time.Now().UnixNano()) })
 	h := NewHistory(reg, time.Millisecond, time.Second)
 	stop := h.Start()
 	deadline := time.Now().Add(2 * time.Second)
@@ -125,5 +128,44 @@ func TestSnapshotFilter(t *testing.T) {
 	empty := snap.Filter("nomatch.")
 	if len(empty.Counters)+len(empty.Gauges)+len(empty.Histograms) != 0 {
 		t.Fatal("nomatch prefix returned metrics")
+	}
+}
+
+func TestHistorySkipsIdleDuplicates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	h := NewHistory(reg, time.Millisecond, 10*time.Millisecond)
+
+	c.Add(1)
+	for i := 0; i < 5; i++ {
+		h.Sample() // registry idle after the first: one point retained
+	}
+	if got := len(h.Points()); got != 1 {
+		t.Fatalf("idle registry retained %d points, want 1", got)
+	}
+
+	c.Add(1)
+	h.Sample()
+	h.Sample() // idle again
+	pts := h.Points()
+	if len(pts) != 2 {
+		t.Fatalf("retained %d points, want 2", len(pts))
+	}
+	if pts[0].Counters["x"] != 1 || pts[1].Counters["x"] != 2 {
+		t.Fatalf("points carry %d,%d, want 1,2", pts[0].Counters["x"], pts[1].Counters["x"])
+	}
+	if pts[1].TakenAt.Before(pts[0].TakenAt) {
+		t.Fatal("timestamps not monotone")
+	}
+
+	// Dedup also applies across the ring's wrap-around.
+	for i := 0; i < 20; i++ {
+		c.Add(1)
+		h.Sample()
+	}
+	n := len(h.Points())
+	h.Sample()
+	if got := len(h.Points()); got != n {
+		t.Fatalf("full ring grew on idle sample: %d -> %d", n, got)
 	}
 }

@@ -1,0 +1,226 @@
+package metrics
+
+// Keyed metric families: cheap dimensional metrics with bounded
+// cardinality. A family is declared once with a name pattern whose last
+// "<…>" token is the key slot — e.g. "forwarder.<id>.chain.<chain>.drops"
+// keeps "<id>" literal (it is part of the component's name) and
+// substitutes each key for "<chain>". Get(key) returns the instrument
+// for that key, creating and registering it on first use. Families hold
+// at most a fixed number of live keys; past the cap the least-recently
+// used key is evicted and its instance unregistered, so a workload that
+// churns through thousands of short-lived chains cannot grow the
+// registry without bound. The registry's Names (and the catalogue it is
+// checked against) reports the pattern, not the per-key instances;
+// Snapshot carries every live instance.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// DefaultKeyedCap bounds the live keys a keyed family tracks when the
+// caller passes a cap < 1.
+const DefaultKeyedCap = 256
+
+// keyedFamily is the shared key-tracking core: pattern parsing, name
+// templating, and least-recently-used eviction at the cardinality cap.
+// Callers hold its mutex around Get-style operations.
+type keyedFamily struct {
+	mu      sync.Mutex
+	reg     *Registry // nil: instruments work but are not published
+	pattern string
+	prefix  string // pattern before the key slot
+	suffix  string // pattern after the key slot
+	cap     int
+	clock   uint64
+	lastUse map[string]uint64 // key → logical tick of last Get
+}
+
+// initKeyedFamily parses pattern and registers it with reg (when reg is
+// non-nil). It panics on a pattern with no "<…>" key slot — family
+// declarations are static, so a malformed pattern is a programming
+// error, caught at construction like a bad regexp.
+func (f *keyedFamily) initKeyedFamily(reg *Registry, pattern string, cap int) {
+	i := strings.LastIndex(pattern, "<")
+	j := -1
+	if i >= 0 {
+		j = strings.Index(pattern[i:], ">")
+	}
+	if j < 0 {
+		panic(fmt.Sprintf("metrics: keyed pattern %q has no <…> key slot", pattern))
+	}
+	if cap < 1 {
+		cap = DefaultKeyedCap
+	}
+	f.reg = reg
+	f.pattern = pattern
+	f.prefix = pattern[:i]
+	f.suffix = pattern[i+j+1:]
+	f.cap = cap
+	f.lastUse = make(map[string]uint64)
+	if reg != nil {
+		reg.registerKeyedPattern(pattern)
+	}
+}
+
+// name renders the instance name for key.
+func (f *keyedFamily) name(key string) string { return f.prefix + key + f.suffix }
+
+// touch marks key used now and reports whether it is new; when adding a
+// new key over-cap it first evicts the least-recently-used one,
+// returning its key (evicted == "" means nothing was evicted). The
+// caller must hold f.mu.
+func (f *keyedFamily) touch(key string) (isNew bool, evicted string) {
+	f.clock++
+	if _, ok := f.lastUse[key]; ok {
+		f.lastUse[key] = f.clock
+		return false, ""
+	}
+	if len(f.lastUse) >= f.cap {
+		var oldest string
+		var oldestTick uint64
+		first := true
+		for k, tick := range f.lastUse {
+			if first || tick < oldestTick {
+				oldest, oldestTick, first = k, tick, false
+			}
+		}
+		delete(f.lastUse, oldest)
+		evicted = oldest
+		if f.reg != nil {
+			f.reg.Unregister(f.name(oldest))
+		}
+	}
+	f.lastUse[key] = f.clock
+	return true, evicted
+}
+
+// Pattern returns the family's name pattern.
+func (f *keyedFamily) Pattern() string { return f.pattern }
+
+// Len returns the number of live keys. Safe for concurrent use.
+func (f *keyedFamily) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.lastUse)
+}
+
+// Has reports whether key is live (without touching its LRU position).
+// Safe for concurrent use.
+func (f *keyedFamily) Has(key string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.lastUse[key]
+	return ok
+}
+
+// KeyedCounters is a keyed family of Counters.
+type KeyedCounters struct {
+	keyedFamily
+	inst map[string]*Counter
+}
+
+// NewKeyedCounters declares a counter family under pattern, publishing
+// instances into reg (nil reg: instruments still work, unpublished).
+// cap bounds live keys (< 1 → DefaultKeyedCap).
+func NewKeyedCounters(reg *Registry, pattern string, cap int) *KeyedCounters {
+	k := &KeyedCounters{inst: make(map[string]*Counter)}
+	k.initKeyedFamily(reg, pattern, cap)
+	return k
+}
+
+// Get returns the counter for key, creating (and registering) it on
+// first use and evicting the least-recently-used key at the cap. Safe
+// for concurrent use.
+func (k *KeyedCounters) Get(key string) *Counter {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	isNew, evicted := k.touch(key)
+	if evicted != "" {
+		delete(k.inst, evicted)
+	}
+	if !isNew {
+		return k.inst[key]
+	}
+	c := &Counter{}
+	k.inst[key] = c
+	if k.reg != nil {
+		name := k.name(key)
+		k.reg.CounterFunc(name, c.Load)
+		k.reg.markKeyed(name, k.pattern)
+	}
+	return c
+}
+
+// KeyedGauges is a keyed family of Gauges.
+type KeyedGauges struct {
+	keyedFamily
+	inst map[string]*Gauge
+}
+
+// NewKeyedGauges declares a gauge family under pattern; see
+// NewKeyedCounters for reg and cap semantics.
+func NewKeyedGauges(reg *Registry, pattern string, cap int) *KeyedGauges {
+	k := &KeyedGauges{inst: make(map[string]*Gauge)}
+	k.initKeyedFamily(reg, pattern, cap)
+	return k
+}
+
+// Get returns the gauge for key; creation, registration, and eviction
+// follow KeyedCounters.Get. Safe for concurrent use.
+func (k *KeyedGauges) Get(key string) *Gauge {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	isNew, evicted := k.touch(key)
+	if evicted != "" {
+		delete(k.inst, evicted)
+	}
+	if !isNew {
+		return k.inst[key]
+	}
+	g := &Gauge{}
+	k.inst[key] = g
+	if k.reg != nil {
+		name := k.name(key)
+		k.reg.GaugeFunc(name, func() float64 { return float64(g.Load()) })
+		k.reg.markKeyed(name, k.pattern)
+	}
+	return g
+}
+
+// KeyedHistograms is a keyed family of Histograms.
+type KeyedHistograms struct {
+	keyedFamily
+	inst map[string]*Histogram
+}
+
+// NewKeyedHistograms declares a histogram family under pattern; see
+// NewKeyedCounters for reg and cap semantics.
+func NewKeyedHistograms(reg *Registry, pattern string, cap int) *KeyedHistograms {
+	k := &KeyedHistograms{inst: make(map[string]*Histogram)}
+	k.initKeyedFamily(reg, pattern, cap)
+	return k
+}
+
+// Get returns the histogram for key; creation, registration, and
+// eviction follow KeyedCounters.Get. Safe for concurrent use.
+func (k *KeyedHistograms) Get(key string) *Histogram {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	isNew, evicted := k.touch(key)
+	if evicted != "" {
+		delete(k.inst, evicted)
+	}
+	if !isNew {
+		return k.inst[key]
+	}
+	h := NewHistogram()
+	k.inst[key] = h
+	if k.reg != nil {
+		name := k.name(key)
+		k.reg.RegisterHistogram(name, h)
+		k.reg.markKeyed(name, k.pattern)
+	}
+	return h
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKeyedPatternParsing(t *testing.T) {
+	// The key slot is the LAST <…> token: earlier ones (component
+	// names like <id>) stay literal.
+	k := NewKeyedCounters(nil, "forwarder.<id>.chain.<chain>.drops", 4)
+	if got := k.name("c1"); got != "forwarder.<id>.chain.c1.drops" {
+		t.Fatalf("name = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pattern without a key slot did not panic")
+		}
+	}()
+	NewKeyedCounters(nil, "no.slot.here", 4)
+}
+
+func TestKeyedCountersRegisterAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	k := NewKeyedCounters(reg, "chain.<chain>.drops", 8)
+	k.Get("c1").Add(3)
+	k.Get("c2").Add(5)
+	if again := k.Get("c1"); again.Load() != 3 {
+		t.Fatalf("Get is not create-or-get: %d", again.Load())
+	}
+
+	s := reg.Snapshot()
+	if s.Counters["chain.c1.drops"] != 3 || s.Counters["chain.c2.drops"] != 5 {
+		t.Fatalf("snapshot counters = %v", s.Counters)
+	}
+
+	// Names folds instances into the pattern.
+	names := reg.Names()
+	joined := strings.Join(names, "\n")
+	if !strings.Contains(joined, "chain.<chain>.drops") {
+		t.Fatalf("pattern missing from Names: %v", names)
+	}
+	if strings.Contains(joined, "chain.c1.drops") {
+		t.Fatalf("keyed instance leaked into Names: %v", names)
+	}
+}
+
+func TestKeyedEvictionAtCap(t *testing.T) {
+	reg := NewRegistry()
+	k := NewKeyedCounters(reg, "chain.<chain>.drops", 3)
+	for i := 1; i <= 3; i++ {
+		k.Get(fmt.Sprintf("c%d", i)).Add(uint64(i))
+	}
+	// Touch c1 so c2 becomes the least recently used.
+	k.Get("c1")
+	k.Get("c4").Add(40)
+
+	if k.Len() != 3 {
+		t.Fatalf("family holds %d keys, want cap 3", k.Len())
+	}
+	if k.Has("c2") {
+		t.Fatal("LRU key c2 survived eviction")
+	}
+	if !k.Has("c1") || !k.Has("c3") || !k.Has("c4") {
+		t.Fatal("recently used keys were evicted")
+	}
+
+	s := reg.Snapshot()
+	if _, ok := s.Counters["chain.c2.drops"]; ok {
+		t.Fatal("evicted instance still registered")
+	}
+	if s.Counters["chain.c4.drops"] != 40 {
+		t.Fatalf("new instance not registered: %v", s.Counters)
+	}
+
+	// Re-creating an evicted key starts a fresh counter.
+	if v := k.Get("c2").Load(); v != 0 {
+		t.Fatalf("re-created key kept stale value %d", v)
+	}
+}
+
+func TestKeyedGaugesAndHistograms(t *testing.T) {
+	reg := NewRegistry()
+	g := NewKeyedGauges(reg, "chain.<chain>.depth", 4)
+	g.Get("c1").Set(7)
+	h := NewKeyedHistograms(reg, "chain.<chain>.e2e_ms", 4)
+	h.Get("c1").Observe(2 * time.Millisecond)
+
+	s := reg.Snapshot()
+	if s.Gauges["chain.c1.depth"] != 7 {
+		t.Fatalf("gauges = %v", s.Gauges)
+	}
+	if s.Histograms["chain.c1.e2e_ms"].Count != 1 {
+		t.Fatalf("histograms = %v", s.Histograms)
+	}
+	names := strings.Join(reg.Names(), "\n")
+	if !strings.Contains(names, "chain.<chain>.depth") || !strings.Contains(names, "chain.<chain>.e2e_ms") {
+		t.Fatalf("patterns missing from Names:\n%s", names)
+	}
+}
+
+func TestKeyedNilRegistry(t *testing.T) {
+	k := NewKeyedCounters(nil, "chain.<chain>.drops", 2)
+	k.Get("a").Add(1)
+	k.Get("b").Add(2)
+	k.Get("c").Add(3) // evicts "a" with no registry attached
+	if k.Has("a") || !k.Has("c") {
+		t.Fatal("eviction broken without registry")
+	}
+}

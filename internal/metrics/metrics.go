@@ -171,6 +171,16 @@ func (h *Histogram) Mean() time.Duration {
 	return h.sum / time.Duration(h.count)
 }
 
+// CountSum returns the exact observation count and sum in one locked
+// pass, so callers deriving windowed rates (count and sum deltas over
+// an interval — the SLO evaluator's breach test) read a consistent
+// pair. Safe for concurrent use.
+func (h *Histogram) CountSum() (uint64, time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum
+}
+
 // Percentile returns the p-th percentile (0 < p ≤ 100) by nearest-rank
 // over the reservoir, or 0 with no samples. Exact until the reservoir
 // fills; a uniform-sample estimate afterwards. Safe for concurrent use.
@@ -212,6 +222,9 @@ type HistogramSnapshot struct {
 	Count uint64 `json:"count"`
 	// MeanNs is the exact mean over all observations.
 	MeanNs int64 `json:"mean_ns"`
+	// SumNs is the exact sum over all observations (Prometheus
+	// summaries expose it as <name>_sum).
+	SumNs int64 `json:"sum_ns"`
 	// MinNs and MaxNs are the exact extremes over all observations.
 	MinNs int64 `json:"min_ns"`
 	MaxNs int64 `json:"max_ns"`
@@ -229,6 +242,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	defer h.mu.Unlock()
 	s := HistogramSnapshot{
 		Count: h.count,
+		SumNs: int64(h.sum),
 		MinNs: int64(h.min),
 		MaxNs: int64(h.max),
 		P50Ns: int64(h.percentileLocked(50)),

@@ -1,0 +1,93 @@
+package metrics
+
+// Prometheus text exposition (format version 0.0.4), hand-rendered from
+// a registry Snapshot so external scrapers can consume every metric —
+// flat and keyed instances alike — without the repo taking a client
+// library dependency. Metric names are sanitised to the Prometheus
+// charset; histograms are exposed as summaries (quantile series plus
+// _sum/_count) with durations converted from nanoseconds to seconds,
+// per Prometheus convention.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// promName sanitises a registry metric name to the Prometheus name
+// charset [a-zA-Z0-9_:], replacing every other byte with '_' and
+// prefixing '_' when the name would start with a digit.
+func promName(name string) string {
+	out := make([]byte, 0, len(name)+1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// promFloat renders a float sample value (Prometheus accepts Go's 'g'
+// formatting, including scientific notation).
+func promFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format: counters and gauges as single samples, histograms as
+// summaries with 0.5/0.9/0.99 quantiles and seconds units.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[n])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n) + "_seconds"
+		secs := func(ns int64) string { return promFloat(float64(ns) / 1e9) }
+		_, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %s\n%s{quantile=\"0.9\"} %s\n%s{quantile=\"0.99\"} %s\n%s_sum %s\n%s_count %d\n",
+			pn,
+			pn, secs(h.P50Ns),
+			pn, secs(h.P90Ns),
+			pn, secs(h.P99Ns),
+			pn, secs(h.SumNs),
+			pn, h.Count)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

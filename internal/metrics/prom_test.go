@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("forwarder.A/fwd.rx").Add(12)
+	reg.GaugeFunc("ls.A.routes", func() float64 { return 2.5 })
+	reg.Histogram("gs.chain_setup_ms").Observe(3 * time.Millisecond)
+	NewKeyedCounters(reg, "chain.<chain>.drops", 4).Get("c1").Add(7)
+
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE forwarder_A_fwd_rx counter\nforwarder_A_fwd_rx 12\n",
+		"# TYPE ls_A_routes gauge\nls_A_routes 2.5\n",
+		"# TYPE chain_c1_drops counter\nchain_c1_drops 7\n", // keyed instance is scraped
+		"# TYPE gs_chain_setup_ms_seconds summary\n",
+		"gs_chain_setup_ms_seconds{quantile=\"0.5\"} 0.003\n",
+		"gs_chain_setup_ms_seconds_sum 0.003\n",
+		"gs_chain_setup_ms_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Format sanity: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"forwarder.A/fwd-fw.chain.c1.drops": "forwarder_A_fwd_fw_chain_c1_drops",
+		"9lives":                            "_9lives",
+		"ok_name:sub":                       "ok_name:sub",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

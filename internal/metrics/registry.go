@@ -27,15 +27,23 @@ type Registry struct {
 	hists    map[string]*Histogram
 	// owned tracks counters created through Counter, for create-or-get.
 	owned map[string]*Counter
+	// keyedPatterns holds the pattern names of keyed families (keyed.go);
+	// keyedOf maps each keyed instance name back to its pattern. Names
+	// reports patterns instead of the per-key instance set, so the
+	// catalogue stays finite while Snapshot still carries every instance.
+	keyedPatterns map[string]bool
+	keyedOf       map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]func() uint64),
-		gauges:   make(map[string]func() float64),
-		hists:    make(map[string]*Histogram),
-		owned:    make(map[string]*Counter),
+		counters:      make(map[string]func() uint64),
+		gauges:        make(map[string]func() float64),
+		hists:         make(map[string]*Histogram),
+		owned:         make(map[string]*Counter),
+		keyedPatterns: make(map[string]bool),
+		keyedOf:       make(map[string]string),
 	}
 }
 
@@ -108,19 +116,60 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Names returns every registered metric name, sorted. Safe for
-// concurrent use.
+// registerKeyedPattern records a keyed family's pattern so Names (and
+// therefore the metric catalogue) reports the bounded pattern rather
+// than every per-key instance. Safe for concurrent use.
+func (r *Registry) registerKeyedPattern(pattern string) {
+	r.mu.Lock()
+	r.keyedPatterns[pattern] = true
+	r.mu.Unlock()
+}
+
+// markKeyed tags an instance name as belonging to a keyed pattern, so
+// Names hides it in favour of the pattern. Safe for concurrent use.
+func (r *Registry) markKeyed(name, pattern string) {
+	r.mu.Lock()
+	r.keyedOf[name] = pattern
+	r.mu.Unlock()
+}
+
+// Unregister removes a metric name of any kind. Keyed families call it
+// when evicting an instance at the cardinality cap; unknown names are a
+// no-op. Safe for concurrent use.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	delete(r.counters, name)
+	delete(r.gauges, name)
+	delete(r.hists, name)
+	delete(r.owned, name)
+	delete(r.keyedOf, name)
+	r.mu.Unlock()
+}
+
+// Names returns every registered metric name, sorted. Instances of
+// keyed families are folded into their pattern (one name per family,
+// however many keys are live), keeping the result — and the catalogue
+// that mirrors it — bounded. Safe for concurrent use.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.keyedPatterns))
 	for n := range r.counters {
-		names = append(names, n)
+		if _, keyed := r.keyedOf[n]; !keyed {
+			names = append(names, n)
+		}
 	}
 	for n := range r.gauges {
-		names = append(names, n)
+		if _, keyed := r.keyedOf[n]; !keyed {
+			names = append(names, n)
+		}
 	}
 	for n := range r.hists {
-		names = append(names, n)
+		if _, keyed := r.keyedOf[n]; !keyed {
+			names = append(names, n)
+		}
+	}
+	for p := range r.keyedPatterns {
+		names = append(names, p)
 	}
 	r.mu.RUnlock()
 	sort.Strings(names)

@@ -160,3 +160,22 @@ func TestCounterFuncEvictsOwnedCounter(t *testing.T) {
 		t.Errorf("x = %d, want 5 (fresh owned counter is published)", v)
 	}
 }
+
+func TestRegistryUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gone.count").Add(1)
+	r.GaugeFunc("gone.gauge", func() float64 { return 1 })
+	r.Histogram("gone.lat").Observe(time.Millisecond)
+	r.Unregister("gone.count")
+	r.Unregister("gone.gauge")
+	r.Unregister("gone.lat")
+	r.Unregister("never.registered") // no-op
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("unregistered metrics survive: %v %v %v", s.Counters, s.Gauges, s.Histograms)
+	}
+	// A fresh Counter under the old name must not resurrect the old one.
+	if v := r.Counter("gone.count").Load(); v != 0 {
+		t.Fatalf("resurrected counter carries %d", v)
+	}
+}

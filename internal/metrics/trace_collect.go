@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
@@ -21,6 +22,12 @@ type TraceCollector struct {
 	stats map[string]*hopAgg
 	e2e   *Histogram
 	count uint64
+	// chains holds per-chain end-to-end histograms (keyed family
+	// "trace.chain.<chain>.e2e_ms"; unpublished until RegisterMetrics).
+	// nameOf optionally resolves a chain label to the chain's name for
+	// the family key; unresolved labels key by their decimal value.
+	chains *KeyedHistograms
+	nameOf func(uint32) string
 }
 
 type hopAgg struct {
@@ -43,15 +50,50 @@ type HopStat struct {
 	AvgBatch float64
 }
 
+// TraceChainPattern is the keyed-family pattern of the collector's
+// per-chain end-to-end latency histograms.
+const TraceChainPattern = "trace.chain.<chain>.e2e_ms"
+
 // NewTraceCollector returns an empty collector.
 func NewTraceCollector() *TraceCollector {
-	return &TraceCollector{stats: make(map[string]*hopAgg), e2e: NewHistogram()}
+	return &TraceCollector{
+		stats:  make(map[string]*hopAgg),
+		e2e:    NewHistogram(),
+		chains: NewKeyedHistograms(nil, TraceChainPattern, 0),
+	}
+}
+
+// RegisterMetrics publishes the collector's per-chain end-to-end
+// histograms into reg as the keyed family TraceChainPattern. Call it
+// before recording: it replaces the unpublished family, so traces
+// folded earlier do not appear in the registry.
+func (c *TraceCollector) RegisterMetrics(reg *Registry) {
+	c.mu.Lock()
+	c.chains = NewKeyedHistograms(reg, TraceChainPattern, 0)
+	c.mu.Unlock()
+}
+
+// NameChains installs a chain-label → chain-name resolver for the
+// per-chain family keys. Labels the resolver returns "" for — and all
+// labels without a resolver — key by their decimal value.
+func (c *TraceCollector) NameChains(fn func(uint32) string) {
+	c.mu.Lock()
+	c.nameOf = fn
+	c.mu.Unlock()
 }
 
 // Record folds one completed trace into the aggregates. The trace must
 // no longer be mutated by any hop (i.e. the caller owns the packet).
 // Safe for concurrent use.
 func (c *TraceCollector) Record(t *packet.Trace) {
+	c.RecordLabeled(t, 0)
+}
+
+// RecordLabeled folds one completed trace into the aggregates and
+// additionally attributes its end-to-end latency to the packet's chain
+// (by label; 0 = unlabeled, per-chain attribution skipped). Safe for
+// concurrent use.
+func (c *TraceCollector) RecordLabeled(t *packet.Trace, chain uint32) {
 	if t == nil || len(t.Hops) == 0 {
 		return
 	}
@@ -78,8 +120,34 @@ func (c *TraceCollector) Record(t *packet.Trace) {
 	}
 	first, last := t.Hops[0], t.Hops[len(t.Hops)-1]
 	if last.ArriveNs >= first.ArriveNs {
-		c.e2e.Observe(time.Duration(last.ArriveNs - first.ArriveNs))
+		e2e := time.Duration(last.ArriveNs - first.ArriveNs)
+		c.e2e.Observe(e2e)
+		if chain != 0 {
+			c.chains.Get(c.chainKeyLocked(chain)).Observe(e2e)
+		}
 	}
+}
+
+// chainKeyLocked resolves a chain label to its family key. Caller
+// holds c.mu.
+func (c *TraceCollector) chainKeyLocked(chain uint32) string {
+	if c.nameOf != nil {
+		if name := c.nameOf(chain); name != "" {
+			return name
+		}
+	}
+	return strconv.FormatUint(uint64(chain), 10)
+}
+
+// ChainEndToEnd returns the end-to-end latency histogram for a chain
+// key (the chain's name, or decimal label when unnamed), creating it on
+// first use — so the SLO evaluator can hold the histogram before the
+// first trace completes. The histogram is live. Safe for concurrent
+// use.
+func (c *TraceCollector) ChainEndToEnd(key string) *Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.chains.Get(key)
 }
 
 // Traces returns how many traces have been recorded. Safe for

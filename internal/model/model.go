@@ -81,6 +81,11 @@ type Chain struct {
 	// is the reverse traffic v_cz. Both have length len(VNFs)+1.
 	Forward []float64
 	Reverse []float64
+	// LatencyBudget is the chain's declared end-to-end latency target
+	// (its SLO). Zero means "none declared": the controller then derives
+	// one from the TE solution's achieved path latency times a headroom
+	// factor, so every chain ends up with an enforceable budget.
+	LatencyBudget time.Duration
 }
 
 // Stages returns the number of stages |F_c|+1.

@@ -1,0 +1,11 @@
+package slo
+
+// defaultEvaluator is the process-wide evaluator the cmds expose at
+// /slo and /debug/alerts. It starts untracked; components Track chains
+// as budgets become known.
+var defaultEvaluator = New(Config{})
+
+// Default returns the process-wide evaluator (default Config). Its
+// meta-metrics are unpublished until RegisterMetrics is called — cmds
+// register them into metrics.Default() when they serve introspection.
+func Default() *Evaluator { return defaultEvaluator }

@@ -1,0 +1,481 @@
+// Package slo evaluates per-chain service-level objectives against the
+// dimensional telemetry the data plane already emits. Each tracked
+// chain declares a latency budget; the evaluator periodically folds the
+// chain's end-to-end latency histogram and its offered/delivered/drop
+// counters into a breach verdict, runs a small hysteresis state machine
+// (breach-for-N intervals to fire, clear-for-M to resolve), and keeps a
+// bounded alert log that introspection serves at /debug/alerts.
+//
+// Breach detection is delta-based, not level-based: every interval the
+// evaluator diffs the counters and the histogram's (count, sum) pair
+// against the previous interval and asks three questions —
+//
+//  1. did offered traffic outrun delivered traffic (loss)?
+//  2. did explicit drop counters advance?
+//  3. did the windowed mean latency exceed the budget?
+//
+// The loss question matters because simulated site blackouts swallow
+// packets silently: sends "succeed", drop counters stay flat, and the
+// latency histogram simply goes quiet. Only the gap between the ingress
+// edge's ingressed counter and the egress edge's egressed counter
+// betrays the outage, so that delta is the primary breach signal.
+package slo
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"switchboard/internal/metrics"
+)
+
+// ChainSLO declares one chain's objective and binds it to the telemetry
+// sources the evaluator reads. E2E is required; the counter funcs are
+// optional (nil disables that signal).
+type ChainSLO struct {
+	// Chain is the chain's identifier (its name, or decimal label).
+	Chain string
+	// Budget is the end-to-end latency budget. Intervals whose windowed
+	// mean latency exceeds it count as breached.
+	Budget time.Duration
+	// E2E is the chain's end-to-end latency histogram (typically
+	// TraceCollector.ChainEndToEnd). Required.
+	E2E *metrics.Histogram
+	// Sent reports cumulative packets offered to the chain (typically
+	// the ingress edge's per-chain ingressed counter). Optional.
+	Sent func() uint64
+	// Delivered reports cumulative packets that completed the chain
+	// (typically the egress edge's per-chain egressed counter). Optional.
+	Delivered func() uint64
+	// Drops reports cumulative explicit drops attributed to the chain
+	// (forwarder per-chain drop counters, summed). Optional.
+	Drops func() uint64
+}
+
+// Config tunes the evaluator. The zero value picks the defaults noted
+// on each field.
+type Config struct {
+	// Interval is the evaluation period (default 100ms).
+	Interval time.Duration
+	// FireAfter is how many consecutive breached intervals promote a
+	// chain from pending to firing (default 3).
+	FireAfter int
+	// ResolveAfter is how many consecutive clear intervals a firing
+	// chain needs to resolve (default 3).
+	ResolveAfter int
+	// MinLoss is the per-interval sent−delivered (or drop) delta at or
+	// above which the interval counts as breached (default 1).
+	MinLoss uint64
+	// MaxAlerts bounds the alert log; older alerts are evicted first
+	// (default 128).
+	MaxAlerts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.FireAfter <= 0 {
+		c.FireAfter = 3
+	}
+	if c.ResolveAfter <= 0 {
+		c.ResolveAfter = 3
+	}
+	if c.MinLoss == 0 {
+		c.MinLoss = 1
+	}
+	if c.MaxAlerts <= 0 {
+		c.MaxAlerts = 128
+	}
+	return c
+}
+
+// Alert states, in lifecycle order.
+const (
+	StateOK      = "ok"      // no recent breach
+	StatePending = "pending" // breaching, not yet for FireAfter intervals
+	StateFiring  = "firing"  // sustained breach, alert open
+)
+
+// Alert is one entry of the alert log: a chain that sustained a breach
+// long enough to fire, and (once clear long enough) when it resolved.
+type Alert struct {
+	// Chain is the breaching chain's identifier.
+	Chain string `json:"chain"`
+	// Reason summarises the breach signal ("loss", "drops", "latency",
+	// or a comma-joined combination) observed when the alert fired.
+	Reason string `json:"reason"`
+	// FiredAt is when the breach had persisted FireAfter intervals.
+	FiredAt time.Time `json:"fired_at"`
+	// ResolvedAt is when the chain had been clear for ResolveAfter
+	// intervals; zero while the alert is still firing.
+	ResolvedAt time.Time `json:"resolved_at,omitempty"`
+	// BreachMs is the windowed mean latency (ms) in the interval that
+	// fired the alert; 0 when the breach was loss-only (no samples).
+	BreachMs float64 `json:"breach_ms"`
+	// BudgetMs is the chain's latency budget in milliseconds.
+	BudgetMs float64 `json:"budget_ms"`
+}
+
+// ChainStatus is one chain's compliance view, served at /slo.
+type ChainStatus struct {
+	Chain     string  `json:"chain"`
+	BudgetMs  float64 `json:"budget_ms"`
+	State     string  `json:"state"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"` // cumulative mean latency
+	Sent      uint64  `json:"sent"`
+	Delivered uint64  `json:"delivered"`
+	Drops     uint64  `json:"drops"`
+	// LossRatio is cumulative (sent−delivered)/sent; 0 without senders.
+	LossRatio float64 `json:"loss_ratio"`
+	// BurnRate is the cumulative mean latency over the budget: >1 means
+	// the chain spends its error budget faster than it accrues.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// tracked is one chain's evaluator-side state: the declared SLO plus
+// the previous interval's counter/histogram readings and the hysteresis
+// streaks.
+type tracked struct {
+	slo ChainSLO
+
+	lastCount     uint64
+	lastSum       time.Duration
+	lastSent      uint64
+	lastDelivered uint64
+	lastDrops     uint64
+
+	state        string
+	breachStreak int
+	clearStreak  int
+	// open indexes the chain's firing alert in Evaluator.alerts, -1
+	// when none (indexes stay valid because the log only evicts from
+	// the front, shifting is compensated in evict).
+	open int
+}
+
+// Evaluator periodically evaluates tracked chains against their budgets
+// and maintains the alert log. Construct with New, add chains with
+// Track, drive it either with Start (background ticker) or by calling
+// Evaluate directly (deterministic tests and experiments).
+type Evaluator struct {
+	cfg Config
+
+	mu     sync.Mutex
+	chains map[string]*tracked
+	order  []string
+	alerts []Alert
+	firing int
+
+	evals    *metrics.Counter
+	breachMs *metrics.Histogram
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds an evaluator with cfg (zero-value fields defaulted).
+func New(cfg Config) *Evaluator {
+	return &Evaluator{
+		cfg:      cfg.withDefaults(),
+		chains:   make(map[string]*tracked),
+		evals:    &metrics.Counter{},
+		breachMs: metrics.NewHistogram(),
+	}
+}
+
+// RegisterMetrics publishes the evaluator's own meta-metrics:
+//
+//	slo.alerts_firing  gauge: chains currently in the firing state
+//	slo.evaluations    counter: evaluation passes completed
+//	slo.breach_ms      histogram: windowed mean latency of breached
+//	                   intervals (the "how far over budget" distribution)
+func (e *Evaluator) RegisterMetrics(r *metrics.Registry) {
+	r.GaugeFunc("slo.alerts_firing", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(e.firing)
+	})
+	r.CounterFunc("slo.evaluations", e.evals.Load)
+	r.RegisterHistogram("slo.breach_ms", e.breachMs)
+}
+
+// Track adds (or replaces) a chain's SLO. Replacing resets the chain's
+// hysteresis state but leaves past alerts in the log.
+func (e *Evaluator) Track(s ChainSLO) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if old, ok := e.chains[s.Chain]; ok {
+		if old.state == StateFiring {
+			e.firing--
+		}
+	} else {
+		e.order = append(e.order, s.Chain)
+	}
+	e.chains[s.Chain] = &tracked{slo: s, state: StateOK, open: -1}
+}
+
+// Untrack removes a chain. A firing alert for it stays in the log,
+// unresolved.
+func (e *Evaluator) Untrack(chain string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.chains[chain]; ok {
+		if t.state == StateFiring {
+			e.firing--
+		}
+		delete(e.chains, chain)
+		for i, c := range e.order {
+			if c == chain {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Evaluate runs one evaluation pass at the given time: per tracked
+// chain it diffs the telemetry against the previous pass, classifies
+// the interval as breached or clear, and advances the hysteresis state
+// machine. Exported so tests and experiments can drive the evaluator
+// deterministically; Start calls it on a ticker.
+func (e *Evaluator) Evaluate(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evals.Inc()
+	for _, name := range e.order {
+		t := e.chains[name]
+		breached, reason, meanMs := e.intervalVerdict(t)
+		if breached {
+			e.breachObserved(t, now, reason, meanMs)
+		} else {
+			e.clearObserved(t, now)
+		}
+	}
+}
+
+// intervalVerdict diffs one chain's telemetry against the previous pass
+// and decides whether this interval breached. Caller holds e.mu.
+func (e *Evaluator) intervalVerdict(t *tracked) (breached bool, reason string, meanMs float64) {
+	var reasons []string
+
+	// Loss: offered traffic that never completed the chain. This is
+	// the only signal a silent blackout leaves behind.
+	if t.slo.Sent != nil && t.slo.Delivered != nil {
+		sent, delivered := t.slo.Sent(), t.slo.Delivered()
+		sentD, deliveredD := sent-t.lastSent, delivered-t.lastDelivered
+		t.lastSent, t.lastDelivered = sent, delivered
+		if sentD > deliveredD && sentD-deliveredD >= e.cfg.MinLoss {
+			reasons = append(reasons, "loss")
+		}
+	}
+
+	// Explicit drops attributed to the chain.
+	if t.slo.Drops != nil {
+		drops := t.slo.Drops()
+		dropD := drops - t.lastDrops
+		t.lastDrops = drops
+		if dropD >= e.cfg.MinLoss {
+			reasons = append(reasons, "drops")
+		}
+	}
+
+	// Windowed mean latency versus the budget, from the histogram's
+	// cumulative (count, sum) deltas — O(1), no percentile sort.
+	if t.slo.E2E != nil && t.slo.Budget > 0 {
+		count, sum := t.slo.E2E.CountSum()
+		countD, sumD := count-t.lastCount, sum-t.lastSum
+		t.lastCount, t.lastSum = count, sum
+		if countD > 0 {
+			mean := sumD / time.Duration(countD)
+			meanMs = float64(mean) / float64(time.Millisecond)
+			if mean > t.slo.Budget {
+				reasons = append(reasons, "latency")
+			}
+		}
+	}
+
+	if len(reasons) == 0 {
+		return false, "", meanMs
+	}
+	r := reasons[0]
+	for _, more := range reasons[1:] {
+		r += "," + more
+	}
+	return true, r, meanMs
+}
+
+// breachObserved advances a chain's state machine after a breached
+// interval. Caller holds e.mu.
+func (e *Evaluator) breachObserved(t *tracked, now time.Time, reason string, meanMs float64) {
+	t.clearStreak = 0
+	t.breachStreak++
+	if meanMs > 0 {
+		e.breachMs.Observe(time.Duration(meanMs * float64(time.Millisecond)))
+	}
+	if t.state == StateFiring {
+		return // already firing; nothing to escalate
+	}
+	if t.breachStreak >= e.cfg.FireAfter {
+		t.state = StateFiring
+		e.firing++
+		t.open = e.appendAlert(Alert{
+			Chain:    t.slo.Chain,
+			Reason:   reason,
+			FiredAt:  now,
+			BreachMs: meanMs,
+			BudgetMs: float64(t.slo.Budget) / float64(time.Millisecond),
+		})
+	} else {
+		t.state = StatePending
+	}
+}
+
+// clearObserved advances a chain's state machine after a clear
+// interval. Caller holds e.mu.
+func (e *Evaluator) clearObserved(t *tracked, now time.Time) {
+	t.breachStreak = 0
+	switch t.state {
+	case StatePending:
+		t.state = StateOK
+		t.clearStreak = 0
+	case StateFiring:
+		t.clearStreak++
+		if t.clearStreak >= e.cfg.ResolveAfter {
+			t.state = StateOK
+			t.clearStreak = 0
+			e.firing--
+			if t.open >= 0 && t.open < len(e.alerts) {
+				e.alerts[t.open].ResolvedAt = now
+			}
+			t.open = -1
+		}
+	}
+}
+
+// appendAlert adds a to the bounded log and returns its index, evicting
+// the oldest entry (and re-basing every tracked chain's open index)
+// when the log is full. Caller holds e.mu.
+func (e *Evaluator) appendAlert(a Alert) int {
+	if len(e.alerts) >= e.cfg.MaxAlerts {
+		e.alerts = e.alerts[1:]
+		for _, t := range e.chains {
+			if t.open > 0 {
+				t.open--
+			} else if t.open == 0 {
+				t.open = -1 // its alert was evicted
+			}
+		}
+	}
+	e.alerts = append(e.alerts, a)
+	return len(e.alerts) - 1
+}
+
+// Alerts returns a copy of the alert log, oldest first.
+func (e *Evaluator) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, len(e.alerts))
+	copy(out, e.alerts)
+	return out
+}
+
+// Firing reports how many chains are currently in the firing state.
+func (e *Evaluator) Firing() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firing
+}
+
+// State returns a chain's current alert state ("" if untracked).
+func (e *Evaluator) State(chain string) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.chains[chain]; ok {
+		return t.state
+	}
+	return ""
+}
+
+// Status reports every tracked chain's compliance view, sorted by
+// chain identifier — the /slo payload.
+func (e *Evaluator) Status() []ChainStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ChainStatus, 0, len(e.chains))
+	for _, name := range e.order {
+		t := e.chains[name]
+		cs := ChainStatus{
+			Chain:    t.slo.Chain,
+			BudgetMs: float64(t.slo.Budget) / float64(time.Millisecond),
+			State:    t.state,
+		}
+		if t.slo.E2E != nil {
+			cs.P50Ms = float64(t.slo.E2E.Percentile(50)) / float64(time.Millisecond)
+			cs.P99Ms = float64(t.slo.E2E.Percentile(99)) / float64(time.Millisecond)
+			cs.MeanMs = float64(t.slo.E2E.Mean()) / float64(time.Millisecond)
+			if t.slo.Budget > 0 {
+				cs.BurnRate = float64(t.slo.E2E.Mean()) / float64(t.slo.Budget)
+			}
+		}
+		if t.slo.Sent != nil {
+			cs.Sent = t.slo.Sent()
+		}
+		if t.slo.Delivered != nil {
+			cs.Delivered = t.slo.Delivered()
+		}
+		if t.slo.Drops != nil {
+			cs.Drops = t.slo.Drops()
+		}
+		if cs.Sent > 0 && cs.Sent > cs.Delivered {
+			cs.LossRatio = float64(cs.Sent-cs.Delivered) / float64(cs.Sent)
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Chain < out[j].Chain })
+	return out
+}
+
+// Start launches the background evaluation ticker. Returns immediately;
+// Stop halts it. Start after Stop restarts cleanly.
+func (e *Evaluator) Start() {
+	e.mu.Lock()
+	if e.stop != nil {
+		e.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	e.stop, e.done = stop, done
+	interval := e.cfg.Interval
+	e.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				e.Evaluate(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the background ticker and waits for it to exit. No-op when
+// not started.
+func (e *Evaluator) Stop() {
+	e.mu.Lock()
+	stop, done := e.stop, e.done
+	e.stop, e.done = nil, nil
+	e.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

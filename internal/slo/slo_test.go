@@ -1,0 +1,363 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"switchboard/internal/metrics"
+)
+
+// counterSource is a hand-cranked cumulative counter for deterministic
+// evaluator input.
+type counterSource struct{ v uint64 }
+
+func (c *counterSource) fn() func() uint64 { return func() uint64 { return c.v } }
+
+// bed is one synthetic chain under test: cranked counters plus a live
+// histogram, tracked by a fresh evaluator.
+type bed struct {
+	ev        *Evaluator
+	e2e       *metrics.Histogram
+	sent      *counterSource
+	delivered *counterSource
+	drops     *counterSource
+	now       time.Time
+}
+
+func newBed(t *testing.T, cfg Config, budget time.Duration) *bed {
+	t.Helper()
+	b := &bed{
+		ev:        New(cfg),
+		e2e:       metrics.NewHistogram(),
+		sent:      &counterSource{},
+		delivered: &counterSource{},
+		drops:     &counterSource{},
+		now:       time.Unix(1000, 0),
+	}
+	b.ev.Track(ChainSLO{
+		Chain:     "c1",
+		Budget:    budget,
+		E2E:       b.e2e,
+		Sent:      b.sent.fn(),
+		Delivered: b.delivered.fn(),
+		Drops:     b.drops.fn(),
+	})
+	return b
+}
+
+// tick advances time one interval and evaluates once.
+func (b *bed) tick() time.Time {
+	b.now = b.now.Add(100 * time.Millisecond)
+	b.ev.Evaluate(b.now)
+	return b.now
+}
+
+// healthy simulates one clear interval: traffic flows, all delivered,
+// latency within budget.
+func (b *bed) healthy(budget time.Duration) {
+	b.sent.v += 10
+	b.delivered.v += 10
+	for i := 0; i < 10; i++ {
+		b.e2e.Observe(budget / 2)
+	}
+	b.tick()
+}
+
+// blackout simulates one breached interval: traffic offered, nothing
+// delivered, histogram silent — the simnet blackout signature.
+func (b *bed) blackout() {
+	b.sent.v += 10
+	b.tick()
+}
+
+func TestNoFireWithoutSustainedBreach(t *testing.T) {
+	b := newBed(t, Config{FireAfter: 3, ResolveAfter: 2}, 10*time.Millisecond)
+
+	b.healthy(10 * time.Millisecond)
+	if got := b.ev.State("c1"); got != StateOK {
+		t.Fatalf("after healthy interval state = %q, want ok", got)
+	}
+
+	// Two breached intervals: pending, but FireAfter=3 means no alert.
+	b.blackout()
+	b.blackout()
+	if got := b.ev.State("c1"); got != StatePending {
+		t.Fatalf("after 2 breaches state = %q, want pending", got)
+	}
+	if n := len(b.ev.Alerts()); n != 0 {
+		t.Fatalf("alert log has %d entries before FireAfter reached, want 0", n)
+	}
+
+	// A clear interval resets the streak entirely.
+	b.healthy(10 * time.Millisecond)
+	if got := b.ev.State("c1"); got != StateOK {
+		t.Fatalf("clear interval should reset pending → ok, got %q", got)
+	}
+	b.blackout()
+	b.blackout()
+	if n := len(b.ev.Alerts()); n != 0 {
+		t.Fatalf("streak must restart after a clear interval; log has %d", n)
+	}
+
+	// Third consecutive breach fires.
+	b.blackout()
+	if got := b.ev.State("c1"); got != StateFiring {
+		t.Fatalf("after 3 consecutive breaches state = %q, want firing", got)
+	}
+	alerts := b.ev.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alert log has %d entries, want 1", len(alerts))
+	}
+	if alerts[0].Chain != "c1" || alerts[0].Reason != "loss" {
+		t.Fatalf("alert = %+v, want chain c1 reason loss", alerts[0])
+	}
+	if !alerts[0].ResolvedAt.IsZero() {
+		t.Fatalf("alert resolved prematurely: %+v", alerts[0])
+	}
+	if b.ev.Firing() != 1 {
+		t.Fatalf("Firing() = %d, want 1", b.ev.Firing())
+	}
+}
+
+func TestResolveRequiresSustainedClear(t *testing.T) {
+	b := newBed(t, Config{FireAfter: 2, ResolveAfter: 3}, 10*time.Millisecond)
+
+	b.blackout()
+	b.blackout()
+	if got := b.ev.State("c1"); got != StateFiring {
+		t.Fatalf("state = %q, want firing", got)
+	}
+
+	// Two clear intervals: still firing (ResolveAfter=3).
+	b.healthy(10 * time.Millisecond)
+	b.healthy(10 * time.Millisecond)
+	if got := b.ev.State("c1"); got != StateFiring {
+		t.Fatalf("after 2 clears state = %q, want still firing", got)
+	}
+
+	// Third clear resolves, stamping ResolvedAt.
+	b.healthy(10 * time.Millisecond)
+	if got := b.ev.State("c1"); got != StateOK {
+		t.Fatalf("after 3 clears state = %q, want ok", got)
+	}
+	alerts := b.ev.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alert log has %d entries, want 1", len(alerts))
+	}
+	if alerts[0].ResolvedAt.IsZero() {
+		t.Fatalf("alert not resolved: %+v", alerts[0])
+	}
+	if !alerts[0].ResolvedAt.After(alerts[0].FiredAt) {
+		t.Fatalf("ResolvedAt %v not after FiredAt %v", alerts[0].ResolvedAt, alerts[0].FiredAt)
+	}
+	if b.ev.Firing() != 0 {
+		t.Fatalf("Firing() = %d, want 0", b.ev.Firing())
+	}
+}
+
+// TestFlappingDoesNotSpamAlerts alternates breach/clear intervals: the
+// hysteresis thresholds must swallow the flapping without ever firing.
+func TestFlappingDoesNotSpamAlerts(t *testing.T) {
+	b := newBed(t, Config{FireAfter: 3, ResolveAfter: 3}, 10*time.Millisecond)
+
+	for i := 0; i < 20; i++ {
+		b.blackout()
+		b.blackout()                     // two breaches: pending
+		b.healthy(10 * time.Millisecond) // one clear: back to ok
+	}
+	if n := len(b.ev.Alerts()); n != 0 {
+		t.Fatalf("flapping produced %d alerts, want 0", n)
+	}
+	if got := b.ev.State("c1"); got != StateOK {
+		t.Fatalf("state after flapping = %q, want ok", got)
+	}
+
+	// Once firing, clear/breach flapping must not resolve either: the
+	// clear streak resets on every breach.
+	for i := 0; i < 3; i++ {
+		b.blackout()
+	}
+	if got := b.ev.State("c1"); got != StateFiring {
+		t.Fatalf("state = %q, want firing", got)
+	}
+	for i := 0; i < 10; i++ {
+		b.healthy(10 * time.Millisecond)
+		b.healthy(10 * time.Millisecond) // two clears < ResolveAfter
+		b.blackout()                     // breach resets the clear streak
+	}
+	if got := b.ev.State("c1"); got != StateFiring {
+		t.Fatalf("resolve flapped through an unstable recovery: state %q", got)
+	}
+	if n := len(b.ev.Alerts()); n != 1 {
+		t.Fatalf("firing chain re-fired while already firing: %d alerts", n)
+	}
+}
+
+func TestLatencyBreachSignal(t *testing.T) {
+	b := newBed(t, Config{FireAfter: 2, ResolveAfter: 2}, 5*time.Millisecond)
+
+	// Delivery is fine but latency runs 4× over budget.
+	for i := 0; i < 2; i++ {
+		b.sent.v += 10
+		b.delivered.v += 10
+		for j := 0; j < 10; j++ {
+			b.e2e.Observe(20 * time.Millisecond)
+		}
+		b.tick()
+	}
+	if got := b.ev.State("c1"); got != StateFiring {
+		t.Fatalf("state = %q, want firing on latency breach", got)
+	}
+	alerts := b.ev.Alerts()
+	if len(alerts) != 1 || alerts[0].Reason != "latency" {
+		t.Fatalf("alerts = %+v, want one latency alert", alerts)
+	}
+	if alerts[0].BreachMs < 19 || alerts[0].BreachMs > 21 {
+		t.Fatalf("BreachMs = %v, want ≈20", alerts[0].BreachMs)
+	}
+}
+
+func TestDropSignalAndStatus(t *testing.T) {
+	b := newBed(t, Config{FireAfter: 1, ResolveAfter: 1}, 10*time.Millisecond)
+
+	b.sent.v += 10
+	b.delivered.v += 10
+	b.drops.v += 5
+	b.tick()
+	if got := b.ev.State("c1"); got != StateFiring {
+		t.Fatalf("state = %q, want firing on drops with FireAfter=1", got)
+	}
+	if a := b.ev.Alerts(); len(a) != 1 || a[0].Reason != "drops" {
+		t.Fatalf("alerts = %+v, want one drops alert", a)
+	}
+
+	st := b.ev.Status()
+	if len(st) != 1 {
+		t.Fatalf("Status() returned %d chains, want 1", len(st))
+	}
+	s := st[0]
+	if s.Chain != "c1" || s.State != StateFiring {
+		t.Fatalf("status = %+v", s)
+	}
+	if s.Sent != 10 || s.Delivered != 10 || s.Drops != 5 {
+		t.Fatalf("status counters = %+v, want sent/delivered 10, drops 5", s)
+	}
+	if s.BudgetMs != 10 {
+		t.Fatalf("BudgetMs = %v, want 10", s.BudgetMs)
+	}
+}
+
+func TestAlertLogBounded(t *testing.T) {
+	ev := New(Config{FireAfter: 1, ResolveAfter: 1, MaxAlerts: 4})
+	src := &counterSource{}
+	h := metrics.NewHistogram()
+	ev.Track(ChainSLO{Chain: "c1", Budget: time.Millisecond, E2E: h, Drops: src.fn()})
+
+	now := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		src.v += 5 // breach → fire
+		now = now.Add(time.Millisecond)
+		ev.Evaluate(now)
+		now = now.Add(time.Millisecond)
+		ev.Evaluate(now) // clear → resolve
+	}
+	alerts := ev.Alerts()
+	if len(alerts) != 4 {
+		t.Fatalf("alert log has %d entries, want cap 4", len(alerts))
+	}
+	for i, a := range alerts {
+		if a.ResolvedAt.IsZero() {
+			t.Fatalf("alert %d unresolved after resolution: %+v", i, a)
+		}
+	}
+	// Eviction keeps the newest alerts: timestamps strictly increase.
+	for i := 1; i < len(alerts); i++ {
+		if !alerts[i].FiredAt.After(alerts[i-1].FiredAt) {
+			t.Fatalf("alert log out of order at %d: %v !> %v", i, alerts[i].FiredAt, alerts[i-1].FiredAt)
+		}
+	}
+}
+
+// TestAlertEvictionWhileFiring exercises the open-index re-basing: a
+// long-firing chain's alert must still be resolvable after other
+// chains' alerts evicted entries in front of it.
+func TestAlertEvictionWhileFiring(t *testing.T) {
+	ev := New(Config{FireAfter: 1, ResolveAfter: 1, MaxAlerts: 3})
+	long := &counterSource{}
+	flapper := &counterSource{}
+	ev.Track(ChainSLO{Chain: "long", Drops: long.fn()})
+	ev.Track(ChainSLO{Chain: "flap", Drops: flapper.fn()})
+
+	now := time.Unix(1000, 0)
+	step := func(breachLong, breachFlap bool) {
+		if breachLong {
+			long.v += 5
+		}
+		if breachFlap {
+			flapper.v += 5
+		}
+		now = now.Add(time.Millisecond)
+		ev.Evaluate(now)
+	}
+
+	step(true, false) // long fires (log: [long])
+	for i := 0; i < 5; i++ {
+		step(true, true)  // flap fires alongside long's continuing breach
+		step(true, false) // flap resolves; long keeps breaching
+	}
+	if got := ev.State("long"); got != StateFiring {
+		t.Fatalf("long state = %q, want firing", got)
+	}
+	// Resolve long; its (possibly shifted or evicted) alert must either
+	// be gone or carry a ResolvedAt — never a stale unresolved entry.
+	step(false, false)
+	if got := ev.State("long"); got != StateOK {
+		t.Fatalf("long state = %q, want ok after clear", got)
+	}
+	for i, a := range ev.Alerts() {
+		if a.Chain == "long" && a.ResolvedAt.IsZero() {
+			t.Fatalf("alert %d for long left unresolved: %+v", i, a)
+		}
+	}
+}
+
+func TestEvaluatorMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ev := New(Config{FireAfter: 1, ResolveAfter: 1})
+	ev.RegisterMetrics(reg)
+	src := &counterSource{}
+	ev.Track(ChainSLO{Chain: "c1", Drops: src.fn()})
+
+	src.v = 5
+	ev.Evaluate(time.Unix(1000, 0))
+
+	s := reg.Snapshot()
+	if got := s.Counters["slo.evaluations"]; got != 1 {
+		t.Fatalf("slo.evaluations = %d, want 1", got)
+	}
+	if got := s.Gauges["slo.alerts_firing"]; got != 1 {
+		t.Fatalf("slo.alerts_firing = %v, want 1", got)
+	}
+	if _, ok := s.Histograms["slo.breach_ms"]; !ok {
+		t.Fatalf("slo.breach_ms not in snapshot; histograms: %v", s.Histograms)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	ev := New(Config{Interval: 5 * time.Millisecond, FireAfter: 1, ResolveAfter: 1})
+	src := &counterSource{}
+	ev.Track(ChainSLO{Chain: "c1", Drops: src.fn()})
+	ev.Start()
+	defer ev.Stop()
+
+	src.v = 10
+	deadline := time.Now().Add(2 * time.Second)
+	for ev.State("c1") != StateFiring {
+		if time.Now().After(deadline) {
+			t.Fatalf("background evaluator never fired; state %q", ev.State("c1"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ev.Stop()
+	ev.Stop() // idempotent
+}

@@ -170,7 +170,7 @@ func (s *Sink) Run(ctx context.Context) {
 				return
 			}
 			packet.TraceArrive(p, node, &arrive, burst)
-			s.traces.Record(p.Trace)
+			s.traces.RecordLabeled(p.Trace, p.Labels.Chain)
 		}
 		for k := 0; k < n; k++ {
 			switch pl := msgs[k].Payload.(type) {

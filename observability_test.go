@@ -20,6 +20,7 @@ import (
 	"switchboard/internal/metrics"
 	"switchboard/internal/obs"
 	"switchboard/internal/simnet"
+	"switchboard/internal/slo"
 	"switchboard/internal/vnf"
 )
 
@@ -70,6 +71,10 @@ func liveRegistry(t *testing.T) *metrics.Registry {
 	vc.RegisterMetrics(reg)
 
 	obs.NewRecorder(0, 0, reg).RegisterMetrics(reg)
+
+	metrics.NewTraceCollector().RegisterMetrics(reg)
+
+	slo.New(slo.Config{}).RegisterMetrics(reg)
 
 	// cmd/switchboard registers its request metrics ad hoc in the HTTP
 	// handlers rather than through a RegisterMetrics method; mirror it.
