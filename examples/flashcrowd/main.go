@@ -1,0 +1,311 @@
+// Flashcrowd demonstrates the closed elasticity loop (DESIGN.md §8):
+// a flash crowd overloads a paced NAT, the SLO evaluator's latency
+// alert fires, the autoscaler scales the role out and live-migrates
+// the busiest instance's flows — NAT bindings included — and the alert
+// resolves on its own. Long-lived flows keep their translated public
+// port across the handoff.
+//
+// Run with: go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"switchboard/internal/autoscale"
+	"switchboard/internal/bus"
+	"switchboard/internal/controller"
+	"switchboard/internal/edge"
+	"switchboard/internal/metrics"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/slo"
+	"switchboard/internal/vnf"
+)
+
+const (
+	clientIP = 0x0A000001
+	serverIP = 0xC0A80001
+	natPub   = 0x05050505
+)
+
+// pacedNAT gives the stateful NAT a fixed per-packet cost, so one
+// instance has a real capacity for the flash crowd to exceed. The
+// embedded NAT supplies Name and the FlowStateMigrator methods the
+// live migration hands bindings off through.
+type pacedNAT struct {
+	*vnf.NAT
+	gap time.Duration
+}
+
+func (p pacedNAT) Process(pk *packet.Packet) bool {
+	time.Sleep(p.gap)
+	return p.NAT.Process(pk)
+}
+
+func main() {
+	sites := []simnet.SiteID{"gsb", "A", "B"}
+	net := simnet.New(3)
+	defer net.Close()
+	for i, a := range sites {
+		for _, b := range sites[i+1:] {
+			net.SetPath(a, b, simnet.PathProfile{Delay: 2 * time.Millisecond})
+		}
+	}
+	msgBus := bus.New(net)
+	for _, s := range sites {
+		if err := msgBus.AddSite(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := controller.NewGlobalSwitchboard(net, msgBus, "gsb")
+	for _, s := range sites {
+		ls, err := controller.NewLocalSwitchboard(net, msgBus, s, "gsb")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ls.Close()
+		g.RegisterLocal(ls)
+	}
+	for _, s := range []simnet.SiteID{"A", "B"} {
+		if _, err := g.RegisterSite(s, 1000); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Scaled NAT instances share one public IP but draw from disjoint
+	// port bases, so handed-off bindings never collide with fresh ones.
+	var seq atomic.Uint32
+	natV := controller.NewVNFController(net, msgBus, controller.VNFConfig{
+		Name: "nat",
+		Factory: func() vnf.Function {
+			k := seq.Add(1) - 1
+			return pacedNAT{vnf.NewNATWithBase(natPub, uint16(20000+10000*(k%4))), time.Millisecond}
+		},
+		LoadPerUnit: 1.0,
+		LabelAware:  true,
+		Capacity:    map[simnet.SiteID]float64{"B": 10000},
+	})
+	defer natV.Stop()
+	g.RegisterVNF(natV)
+
+	rec, err := g.CreateChain(controller.Spec{
+		ID: "elastic", IngressSite: "A", EgressSite: "A",
+		VNFs: []string{"nat"}, ForwardRate: 5,
+		LatencyBudget: 10 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ingress, egress, err := g.ConfigureChainEdges(rec, []edge.MatchRule{{DstPort: 80}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []simnet.SiteID{"A", "B"} {
+		if err := g.WaitForDataPath(rec, s, 10*time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("chain active: A → nat@B (paced, 1 pkt/ms per instance) → A")
+
+	// Telemetry: traced end-to-end latency + edge counters feed the SLO
+	// evaluator; the autoscaler reconciles its alerts into scale actions.
+	reg := metrics.NewRegistry()
+	collector := metrics.NewTraceCollector()
+	collector.RegisterMetrics(reg)
+	collector.NameChains(func(label uint32) string {
+		if label == rec.ChainLabel {
+			return "elastic"
+		}
+		return ""
+	})
+	lsA, _ := g.Local("A")
+	fwdA, err := lsA.Forwarder("edge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sent, delivered := ingress.ChainCounters(rec.ChainLabel, "elastic")
+	_, drops := fwdA.ChainCounters(rec.ChainLabel, "elastic")
+	ev := slo.New(slo.Config{
+		Interval:     20 * time.Millisecond,
+		FireAfter:    2,
+		ResolveAfter: 5,
+		MinLoss:      50,
+	})
+	ev.Track(slo.ChainSLO{
+		Chain:     "elastic",
+		Budget:    rec.LatencyBudget,
+		E2E:       collector.ChainEndToEnd("elastic"),
+		Sent:      sent,
+		Delivered: delivered,
+		Drops:     drops,
+	})
+	ev.Start()
+	defer ev.Stop()
+
+	as, err := autoscale.New(autoscale.Config{
+		Evaluator:     ev,
+		Executor:      autoscale.GSExecutor{GS: g},
+		Interval:      20 * time.Millisecond,
+		ScaleOutAfter: 2,
+		ScaleInAfter:  1 << 30, // this demo only scales out
+		Cooldown:      600 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	as.RegisterMetrics(reg)
+	as.Add(autoscale.Policy{Chain: "elastic", Role: "nat", MinInstances: 1, MaxInstances: 3},
+		len(natV.InstancesAt("B")))
+	as.Start()
+	defer as.Stop()
+
+	client, err := net.Attach(simnet.Addr{Site: "A", Host: "client"}, 8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := net.Attach(simnet.Addr{Site: "A", Host: "server"}, 16384)
+	if err != nil {
+		log.Fatal(err)
+	}
+	egress.RegisterHost(serverIP, server.Addr())
+	ingress.RegisterHost(clientIP, client.Addr())
+
+	// Open-loop traffic: 8 long-lived "elephant" flows on fixed source
+	// ports (their translated port is the continuity witness) plus a
+	// churn stream of one-packet flows — the flash-crowd dial.
+	var churnPerTick atomic.Int64
+	churnPerTick.Store(2)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		var tickN, churnSeq, traceID uint64
+		send := func(srcPort uint16, payload []byte) {
+			traceID++
+			p := &packet.Packet{
+				Key: packet.FlowKey{
+					SrcIP: clientIP, DstIP: serverIP,
+					SrcPort: srcPort, DstPort: 80, Proto: 6,
+				},
+				Payload: payload,
+				Trace:   packet.NewTrace(traceID),
+			}
+			_ = client.Send(ingress.Addr(), p, len(p.Payload)+40)
+		}
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				idx := int(tickN % 8)
+				send(uint16(7001+idx), []byte{'E', byte(idx)})
+				tickN++
+				for j := int64(0); j < churnPerTick.Load(); j++ {
+					send(uint16(10000+churnSeq%50000), []byte("churn"))
+					churnSeq++
+				}
+			}
+		}
+	}()
+	elephantPorts := make(map[int]map[uint16]bool)
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case m, ok := <-server.Inbox():
+				if !ok {
+					return
+				}
+				p, ok := m.Payload.(*packet.Packet)
+				if !ok {
+					continue
+				}
+				if p.Trace != nil {
+					var arrive packet.LazyNow
+					packet.TraceArrive(p, "sink:server", &arrive, 1)
+					collector.RecordLabeled(p.Trace, p.Labels.Chain)
+				}
+				// Elephants arrive source-NATed: the port the server sees
+				// is the public binding.
+				if len(p.Payload) == 2 && p.Payload[0] == 'E' {
+					idx := int(p.Payload[1])
+					if elephantPorts[idx] == nil {
+						elephantPorts[idx] = make(map[uint16]bool)
+					}
+					elephantPorts[idx][p.Key.SrcPort] = true
+				}
+			}
+		}
+	}()
+
+	time.Sleep(500 * time.Millisecond) // healthy baseline
+	fmt.Println("baseline healthy; tripling the churn rate (flash crowd)...")
+	flashAt := time.Now()
+	churnPerTick.Store(6)
+
+	wait := func(what string, cond func() bool) {
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		log.Fatalf("timed out waiting for %s", what)
+	}
+	var alert slo.Alert
+	wait("SLO alert", func() bool {
+		for _, a := range ev.Alerts() {
+			if a.Chain == "elastic" && a.FiredAt.After(flashAt) {
+				alert = a
+				return true
+			}
+		}
+		return false
+	})
+	fmt.Printf("  +%4dms  alert fired (%s)\n",
+		alert.FiredAt.Sub(flashAt).Milliseconds(), alert.Reason)
+
+	wait("scale-out decision", func() bool {
+		for _, d := range as.Decisions() {
+			if d.Action == autoscale.ActionScaleOut && d.Err == "" {
+				fmt.Printf("  +%4dms  scale-out: %d instances, %d flows migrated, %d packets lost\n",
+					d.Time.Sub(flashAt).Milliseconds(), d.Instances, d.FlowsMoved, d.PacketsLost)
+				return true
+			}
+		}
+		return false
+	})
+	wait("alert resolution", func() bool {
+		for _, a := range ev.Alerts() {
+			if a.Chain == "elastic" && a.FiredAt.Equal(alert.FiredAt) && !a.ResolvedAt.IsZero() {
+				alert = a
+				return true
+			}
+		}
+		return false
+	})
+	fmt.Printf("  +%4dms  alert resolved (time-to-resolve %d ms)\n",
+		alert.ResolvedAt.Sub(flashAt).Milliseconds(),
+		alert.ResolvedAt.Sub(alert.FiredAt).Milliseconds())
+
+	time.Sleep(200 * time.Millisecond) // let elephants cross the migrated path
+	as.Stop()
+	stable := 0
+	for _, ports := range elephantPorts {
+		if len(ports) == 1 {
+			stable++
+		}
+	}
+	fmt.Printf("NAT continuity: %d/%d elephant flows kept their translated public port\n",
+		stable, len(elephantPorts))
+	snap := reg.Snapshot()
+	fmt.Printf("autoscaler: %d decisions, %d migrations, %d flows moved, %d packets lost\n",
+		snap.Counters["autoscale.decisions"], snap.Counters["autoscale.migrations"],
+		snap.Counters["migrate.flows_moved"], snap.Counters["migrate.packets_lost"])
+}

@@ -1,0 +1,512 @@
+// Package autoscale closes the SLO loop: a reconciler on the Global
+// Switchboard consumes the SLO evaluator's firing alerts, decides per
+// VNF role whether more (or fewer) instances would help, and executes
+// the decision through the existing control plane — instance
+// allocation, forwarder-set growth, TE recompute, route republish, and
+// a live migration of existing flows onto the new instance (package
+// controller's scale layer).
+//
+// Not every breach is the autoscaler's to fix: a loss-dominated breach
+// (offered traffic silently vanishing) is the signature of a site
+// blackout — failover's domain, already handled by the heartbeat path —
+// and adding instances to a dead site would be harmful churn. The
+// reconciler therefore classifies each firing alert by its reason and
+// only acts on latency- or drop-dominated breaches, where the chain is
+// overloaded rather than partitioned.
+//
+// Decisions are deliberately sluggish: a breach must persist for
+// ScaleOutAfter consecutive reconcile passes before acting (the SLO
+// evaluator already debounces with FireAfter, this is a second layer
+// against flapping), a chain must be clear for the much longer
+// ScaleInAfter before shrinking, and Cooldown enforces a minimum gap
+// between consecutive actions on the same chain so one action's effect
+// is observable before the next.
+package autoscale
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+	"switchboard/internal/slo"
+)
+
+// Outcome is what an executed scale action reports back to the
+// reconciler (a thin view of controller.ScaleOutcome, keeping this
+// package testable without a control plane).
+type Outcome struct {
+	// Instances is the role's instance count after the action.
+	Instances int
+	// FlowsMoved counts flow-table records live-migrated by the action.
+	FlowsMoved int
+	// PacketsLost counts packets the migration could not preserve.
+	PacketsLost uint64
+}
+
+// Executor performs scale actions. Production use wraps the Global
+// Switchboard (GSExecutor); tests substitute a fake.
+type Executor interface {
+	// ScaleOut adds one instance to the chain's role and migrates flows
+	// onto it. rate is the observed offered rate for the TE recompute
+	// (0 keeps the previous estimate).
+	ScaleOut(chain, role string, rate float64) (Outcome, error)
+	// ScaleIn retires one instance of the chain's role after migrating
+	// its flows off.
+	ScaleIn(chain, role string, rate float64) (Outcome, error)
+}
+
+// Policy subscribes one chain's VNF role to the reconciler. The chain
+// identifier must match the SLO evaluator's (chain name, or decimal
+// label).
+type Policy struct {
+	Chain string
+	// Role is the VNF service to scale when the chain breaches.
+	Role string
+	// MinInstances/MaxInstances bound the instance count (defaults 1 and
+	// 4). The reconciler never acts outside these.
+	MinInstances int
+	MaxInstances int
+	// Rate optionally reports the chain's observed offered rate
+	// (packets/s) for TE recomputes; nil keeps the previous estimate.
+	Rate func() float64
+}
+
+// Config tunes the reconciler. Zero-value fields take the defaults
+// noted on each field.
+type Config struct {
+	// Evaluator is the SLO engine whose alerts drive decisions. Required.
+	Evaluator *slo.Evaluator
+	// Executor performs the scale actions. Required.
+	Executor Executor
+	// Interval is the reconcile period for Start (default 100ms).
+	Interval time.Duration
+	// ScaleOutAfter is how many consecutive reconcile passes a scalable
+	// breach must persist before scaling out (default 2).
+	ScaleOutAfter int
+	// ScaleInAfter is how many consecutive clear passes before scaling
+	// in (default 50 — scale-in should be much lazier than scale-out).
+	ScaleInAfter int
+	// Cooldown is the minimum gap between actions on one chain
+	// (default 500ms).
+	Cooldown time.Duration
+	// MaxDecisions bounds the retained decision log (default 128).
+	MaxDecisions int
+	// Recorder receives autoscale action spans (default obs.Default()).
+	Recorder *obs.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.ScaleOutAfter <= 0 {
+		c.ScaleOutAfter = 2
+	}
+	if c.ScaleInAfter <= 0 {
+		c.ScaleInAfter = 50
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
+	if c.MaxDecisions <= 0 {
+		c.MaxDecisions = 128
+	}
+	if c.Recorder == nil {
+		c.Recorder = obs.Default()
+	}
+	return c
+}
+
+// Decision actions.
+const (
+	ActionScaleOut = "scale-out"
+	ActionScaleIn  = "scale-in"
+	// ActionSkipLoss records a firing alert the reconciler deliberately
+	// left alone because its breach is loss-dominated (failover's
+	// domain, not capacity's).
+	ActionSkipLoss = "skip-loss"
+)
+
+// Decision is one entry of the reconciler's decision log, served at
+// /autoscaler.
+type Decision struct {
+	Time   time.Time `json:"time"`
+	Chain  string    `json:"chain"`
+	Role   string    `json:"role"`
+	Action string    `json:"action"`
+	// Reason is the alert reason that motivated the decision (scale-out
+	// and skip), or the clear-streak note (scale-in).
+	Reason string `json:"reason"`
+	// Instances is the role's instance count after the action.
+	Instances int `json:"instances"`
+	// FlowsMoved/PacketsLost summarize the action's live migration.
+	FlowsMoved  int    `json:"flows_moved"`
+	PacketsLost uint64 `json:"packets_lost"`
+	// Err is the execution error, "" on success.
+	Err string `json:"err,omitempty"`
+}
+
+// policyState is one policy's reconciler-side state.
+type policyState struct {
+	p             Policy
+	instances     int
+	breachStreak  int
+	clearStreak   int
+	lastAction    time.Time
+	everActed     bool
+	watchingAlert bool
+	// firedAt is the open alert's fire time while the reconciler is
+	// waiting for it to resolve (time-to-resolve measurement).
+	firedAt time.Time
+	// skippedFiredAt dedupes skip-loss log entries per alert.
+	skippedFiredAt time.Time
+}
+
+// PolicyStatus is one policy's live view, served at /autoscaler.
+type PolicyStatus struct {
+	Chain        string    `json:"chain"`
+	Role         string    `json:"role"`
+	State        string    `json:"state"` // the SLO evaluator's alert state
+	Instances    int       `json:"instances"`
+	Min          int       `json:"min"`
+	Max          int       `json:"max"`
+	BreachStreak int       `json:"breach_streak"`
+	ClearStreak  int       `json:"clear_streak"`
+	LastAction   time.Time `json:"last_action,omitempty"`
+}
+
+// Status is the /autoscaler payload.
+type Status struct {
+	Policies  []PolicyStatus `json:"policies"`
+	Decisions []Decision     `json:"decisions"`
+}
+
+// Autoscaler reconciles SLO alert state into scale actions. Construct
+// with New, add chains with Add, drive it with Start (background
+// ticker) or Reconcile (deterministic tests and experiments).
+type Autoscaler struct {
+	cfg Config
+
+	mu        sync.Mutex
+	policies  []*policyState
+	decisions []Decision
+
+	decisionsN  *metrics.Counter
+	migrations  *metrics.Counter
+	flowsMoved  *metrics.Counter
+	packetsLost *metrics.Counter
+	resolveMs   *metrics.Histogram
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds an autoscaler. Evaluator and Executor are required.
+func New(cfg Config) (*Autoscaler, error) {
+	if cfg.Evaluator == nil {
+		return nil, fmt.Errorf("autoscale: Config.Evaluator is required")
+	}
+	if cfg.Executor == nil {
+		return nil, fmt.Errorf("autoscale: Config.Executor is required")
+	}
+	return &Autoscaler{
+		cfg:         cfg.withDefaults(),
+		decisionsN:  &metrics.Counter{},
+		migrations:  &metrics.Counter{},
+		flowsMoved:  &metrics.Counter{},
+		packetsLost: &metrics.Counter{},
+		resolveMs:   metrics.NewHistogram(),
+	}, nil
+}
+
+// RegisterMetrics publishes the reconciler's counters:
+//
+//	autoscale.decisions          scale actions attempted (out + in)
+//	autoscale.migrations         live flow migrations executed
+//	migrate.flows_moved          flow records repinned across all migrations
+//	migrate.packets_lost         packets migrations could not preserve
+//	autoscale.time_to_resolve_ms histogram: alert fire → resolve, for
+//	                             alerts the autoscaler acted on
+func (a *Autoscaler) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("autoscale.decisions", a.decisionsN.Load)
+	r.CounterFunc("autoscale.migrations", a.migrations.Load)
+	r.CounterFunc("migrate.flows_moved", a.flowsMoved.Load)
+	r.CounterFunc("migrate.packets_lost", a.packetsLost.Load)
+	r.RegisterHistogram("autoscale.time_to_resolve_ms", a.resolveMs)
+}
+
+// Add subscribes a chain's role to reconciliation. currentInstances
+// seeds the instance count the bounds are checked against.
+func (a *Autoscaler) Add(p Policy, currentInstances int) {
+	if p.MinInstances <= 0 {
+		p.MinInstances = 1
+	}
+	if p.MaxInstances < p.MinInstances {
+		p.MaxInstances = p.MinInstances + 3
+	}
+	if currentInstances < p.MinInstances {
+		currentInstances = p.MinInstances
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, ps := range a.policies {
+		if ps.p.Chain == p.Chain && ps.p.Role == p.Role {
+			a.policies[i] = &policyState{p: p, instances: currentInstances}
+			return
+		}
+	}
+	a.policies = append(a.policies, &policyState{p: p, instances: currentInstances})
+}
+
+// Remove unsubscribes a chain's policies (all roles). Used alongside
+// slo.Evaluator.Forget when a chain is deleted.
+func (a *Autoscaler) Remove(chain string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.policies[:0]
+	for _, ps := range a.policies {
+		if ps.p.Chain != chain {
+			out = append(out, ps)
+		}
+	}
+	a.policies = out
+}
+
+// scalable classifies an alert reason: latency- or drop-dominated
+// breaches are capacity problems the autoscaler can fix; pure loss is
+// a partition/blackout signature owned by failover.
+func scalable(reason string) bool {
+	return strings.Contains(reason, "latency") || strings.Contains(reason, "drops")
+}
+
+// openAlert finds the unresolved alert for chain, newest first.
+func openAlert(alerts []slo.Alert, chain string) (slo.Alert, bool) {
+	for i := len(alerts) - 1; i >= 0; i-- {
+		if alerts[i].Chain == chain && alerts[i].ResolvedAt.IsZero() {
+			return alerts[i], true
+		}
+	}
+	return slo.Alert{}, false
+}
+
+// resolvedAlert finds the most recent resolved alert for chain that
+// fired at firedAt.
+func resolvedAlert(alerts []slo.Alert, chain string, firedAt time.Time) (slo.Alert, bool) {
+	for i := len(alerts) - 1; i >= 0; i-- {
+		if alerts[i].Chain == chain && alerts[i].FiredAt.Equal(firedAt) && !alerts[i].ResolvedAt.IsZero() {
+			return alerts[i], true
+		}
+	}
+	return slo.Alert{}, false
+}
+
+// Reconcile runs one pass at the given time: per policy it reads the
+// chain's alert state, advances the hysteresis streaks, and executes at
+// most one scale action. Exported so tests and experiments can drive
+// the reconciler deterministically; Start calls it on a ticker.
+func (a *Autoscaler) Reconcile(now time.Time) {
+	a.mu.Lock()
+	policies := append([]*policyState(nil), a.policies...)
+	a.mu.Unlock()
+
+	alerts := a.cfg.Evaluator.Alerts()
+	for _, ps := range policies {
+		a.reconcilePolicy(ps, alerts, now)
+	}
+}
+
+// reconcilePolicy advances one policy. Streak state is owned by the
+// reconcile loop (single caller at a time for a given policy under
+// Start; concurrent Reconcile calls are the caller's responsibility).
+func (a *Autoscaler) reconcilePolicy(ps *policyState, alerts []slo.Alert, now time.Time) {
+	chain := ps.p.Chain
+	state := a.cfg.Evaluator.State(chain)
+
+	// Close out a resolve watch: the alert we acted on has resolved, so
+	// fold fire→resolve into the time-to-resolve histogram.
+	if ps.watchingAlert && state != slo.StateFiring {
+		if al, ok := resolvedAlert(alerts, chain, ps.firedAt); ok {
+			a.resolveMs.Observe(al.ResolvedAt.Sub(al.FiredAt))
+			ps.watchingAlert = false
+		}
+	}
+
+	if state != slo.StateFiring {
+		ps.breachStreak = 0
+		ps.clearStreak++
+		if state == slo.StateOK && ps.everActed &&
+			ps.clearStreak >= a.cfg.ScaleInAfter &&
+			ps.instances > ps.p.MinInstances &&
+			now.Sub(ps.lastAction) >= a.cfg.Cooldown {
+			a.execute(ps, ActionScaleIn, fmt.Sprintf("clear for %d passes", ps.clearStreak), now)
+			ps.clearStreak = 0
+		}
+		return
+	}
+
+	ps.clearStreak = 0
+	al, ok := openAlert(alerts, chain)
+	if !ok {
+		return
+	}
+	if !scalable(al.Reason) {
+		// Loss-dominated breach: failover's domain. Record the skip once
+		// per alert so the log shows the classification happened.
+		if !ps.skippedFiredAt.Equal(al.FiredAt) {
+			a.record(Decision{
+				Time: now, Chain: chain, Role: ps.p.Role,
+				Action: ActionSkipLoss, Reason: al.Reason, Instances: ps.instances,
+			})
+			ps.skippedFiredAt = al.FiredAt
+		}
+		ps.breachStreak = 0
+		return
+	}
+
+	ps.breachStreak++
+	if ps.breachStreak < a.cfg.ScaleOutAfter {
+		return
+	}
+	if now.Sub(ps.lastAction) < a.cfg.Cooldown {
+		return
+	}
+	if ps.instances >= ps.p.MaxInstances {
+		return
+	}
+	ps.watchingAlert = true
+	ps.firedAt = al.FiredAt
+	a.execute(ps, ActionScaleOut, al.Reason, now)
+	ps.breachStreak = 0
+}
+
+// execute runs one scale action through the executor and records the
+// decision, metrics, and span.
+func (a *Autoscaler) execute(ps *policyState, action, reason string, now time.Time) {
+	sp := a.cfg.Recorder.Start("autoscale."+action, "", 0)
+	sp.Event(fmt.Sprintf("%s %s/%s: %s", action, ps.p.Chain, ps.p.Role, reason))
+	defer sp.End()
+
+	var rate float64
+	if ps.p.Rate != nil {
+		rate = ps.p.Rate()
+	}
+	a.decisionsN.Inc()
+	var out Outcome
+	var err error
+	if action == ActionScaleOut {
+		out, err = a.cfg.Executor.ScaleOut(ps.p.Chain, ps.p.Role, rate)
+	} else {
+		out, err = a.cfg.Executor.ScaleIn(ps.p.Chain, ps.p.Role, rate)
+	}
+	d := Decision{
+		Time: now, Chain: ps.p.Chain, Role: ps.p.Role,
+		Action: action, Reason: reason,
+		Instances: out.Instances, FlowsMoved: out.FlowsMoved, PacketsLost: out.PacketsLost,
+	}
+	ps.lastAction = now
+	if err != nil {
+		d.Err = err.Error()
+		d.Instances = ps.instances
+		sp.Fail(err)
+		a.record(d)
+		return
+	}
+	ps.everActed = true
+	if out.Instances > 0 {
+		ps.instances = out.Instances
+	}
+	if out.FlowsMoved > 0 || out.PacketsLost > 0 {
+		a.migrations.Inc()
+		a.flowsMoved.Add(uint64(out.FlowsMoved))
+		a.packetsLost.Add(out.PacketsLost)
+	}
+	sp.Event(fmt.Sprintf("%d instances, %d flows moved, %d packets lost",
+		ps.instances, out.FlowsMoved, out.PacketsLost))
+	a.record(d)
+}
+
+// record appends to the bounded decision log.
+func (a *Autoscaler) record(d Decision) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.decisions) >= a.cfg.MaxDecisions {
+		a.decisions = a.decisions[1:]
+	}
+	a.decisions = append(a.decisions, d)
+}
+
+// Decisions returns a copy of the decision log, oldest first.
+func (a *Autoscaler) Decisions() []Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Decision, len(a.decisions))
+	copy(out, a.decisions)
+	return out
+}
+
+// Status reports the reconciler's live view — the /autoscaler payload.
+func (a *Autoscaler) Status() Status {
+	a.mu.Lock()
+	policies := append([]*policyState(nil), a.policies...)
+	a.mu.Unlock()
+	st := Status{Decisions: a.Decisions()}
+	for _, ps := range policies {
+		st.Policies = append(st.Policies, PolicyStatus{
+			Chain:        ps.p.Chain,
+			Role:         ps.p.Role,
+			State:        a.cfg.Evaluator.State(ps.p.Chain),
+			Instances:    ps.instances,
+			Min:          ps.p.MinInstances,
+			Max:          ps.p.MaxInstances,
+			BreachStreak: ps.breachStreak,
+			ClearStreak:  ps.clearStreak,
+			LastAction:   ps.lastAction,
+		})
+	}
+	return st
+}
+
+// Start launches the background reconcile ticker. Returns immediately;
+// Stop halts it. Start after Stop restarts cleanly.
+func (a *Autoscaler) Start() {
+	a.mu.Lock()
+	if a.stop != nil {
+		a.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	a.stop, a.done = stop, done
+	interval := a.cfg.Interval
+	a.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				a.Reconcile(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the background ticker and waits for it to exit. No-op when
+// not started.
+func (a *Autoscaler) Stop() {
+	a.mu.Lock()
+	stop, done := a.stop, a.done
+	a.stop, a.done = nil, nil
+	a.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

@@ -1,0 +1,303 @@
+package autoscale
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"switchboard/internal/metrics"
+	"switchboard/internal/slo"
+)
+
+// fakeExec records scale calls and plays back canned outcomes.
+type fakeExec struct {
+	mu   sync.Mutex
+	outs []string // "out:<chain>/<role>" / "in:<chain>/<role>"
+	n    int      // simulated instance count
+	err  error
+}
+
+func (f *fakeExec) ScaleOut(chain, role string, rate float64) (Outcome, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return Outcome{}, f.err
+	}
+	f.n++
+	f.outs = append(f.outs, "out:"+chain+"/"+role)
+	return Outcome{Instances: f.n, FlowsMoved: 3, PacketsLost: 0}, nil
+}
+
+func (f *fakeExec) ScaleIn(chain, role string, rate float64) (Outcome, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return Outcome{}, f.err
+	}
+	f.n--
+	f.outs = append(f.outs, "in:"+chain+"/"+role)
+	return Outcome{Instances: f.n, FlowsMoved: 2}, nil
+}
+
+func (f *fakeExec) calls() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.outs...)
+}
+
+// breachRig drives a real SLO evaluator into controlled breach states.
+type breachRig struct {
+	ev   *slo.Evaluator
+	e2e  *metrics.Histogram
+	mu   sync.Mutex
+	sent uint64
+	dlvd uint64
+}
+
+func newBreachRig(t *testing.T) *breachRig {
+	t.Helper()
+	r := &breachRig{
+		ev:  slo.New(slo.Config{FireAfter: 1, ResolveAfter: 1}),
+		e2e: metrics.NewHistogram(),
+	}
+	r.ev.Track(slo.ChainSLO{
+		Chain:     "c1",
+		Budget:    time.Millisecond,
+		E2E:       r.e2e,
+		Sent:      func() uint64 { r.mu.Lock(); defer r.mu.Unlock(); return r.sent },
+		Delivered: func() uint64 { r.mu.Lock(); defer r.mu.Unlock(); return r.dlvd },
+	})
+	return r
+}
+
+// latencyBreach makes the next Evaluate see an over-budget interval.
+func (r *breachRig) latencyBreach() { r.e2e.Observe(10 * time.Millisecond) }
+
+// clearInterval makes the next Evaluate see an in-budget interval.
+func (r *breachRig) clearInterval() { r.e2e.Observe(10 * time.Microsecond) }
+
+// lossBreach makes the next Evaluate see sent traffic that never
+// delivered (and keeps latency quiet).
+func (r *breachRig) lossBreach() {
+	r.mu.Lock()
+	r.sent += 100
+	r.mu.Unlock()
+}
+
+func newScaler(t *testing.T, rig *breachRig, exec Executor, cfg Config) *Autoscaler {
+	t.Helper()
+	cfg.Evaluator = rig.ev
+	cfg.Executor = exec
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return a
+}
+
+func TestScaleOutOnLatencyBreach(t *testing.T) {
+	rig := newBreachRig(t)
+	exec := &fakeExec{n: 1}
+	a := newScaler(t, rig, exec, Config{ScaleOutAfter: 2, Cooldown: time.Millisecond})
+	a.Add(Policy{Chain: "c1", Role: "nat", MaxInstances: 4}, 1)
+
+	now := time.Unix(1000, 0)
+	rig.latencyBreach()
+	rig.ev.Evaluate(now)
+	if got := rig.ev.State("c1"); got != slo.StateFiring {
+		t.Fatalf("evaluator state = %q, want firing", got)
+	}
+
+	// First reconcile pass: breach streak 1 < ScaleOutAfter, no action.
+	a.Reconcile(now)
+	if calls := exec.calls(); len(calls) != 0 {
+		t.Fatalf("acted on first pass: %v", calls)
+	}
+	// Second pass: act.
+	now = now.Add(100 * time.Millisecond)
+	a.Reconcile(now)
+	calls := exec.calls()
+	if len(calls) != 1 || calls[0] != "out:c1/nat" {
+		t.Fatalf("calls = %v, want [out:c1/nat]", calls)
+	}
+	ds := a.Decisions()
+	if len(ds) != 1 || ds[0].Action != ActionScaleOut || ds[0].FlowsMoved != 3 {
+		t.Fatalf("decisions = %+v", ds)
+	}
+	if a.decisionsN.Load() != 1 || a.migrations.Load() != 1 || a.flowsMoved.Load() != 3 {
+		t.Fatalf("metrics: decisions=%d migrations=%d flows=%d",
+			a.decisionsN.Load(), a.migrations.Load(), a.flowsMoved.Load())
+	}
+}
+
+func TestLossBreachIsFailoversDomain(t *testing.T) {
+	rig := newBreachRig(t)
+	exec := &fakeExec{n: 1}
+	a := newScaler(t, rig, exec, Config{ScaleOutAfter: 1})
+	a.Add(Policy{Chain: "c1", Role: "nat"}, 1)
+
+	now := time.Unix(1000, 0)
+	rig.lossBreach()
+	rig.ev.Evaluate(now)
+	for i := 0; i < 5; i++ {
+		now = now.Add(100 * time.Millisecond)
+		a.Reconcile(now)
+	}
+	if calls := exec.calls(); len(calls) != 0 {
+		t.Fatalf("scaled on a loss-only breach: %v", calls)
+	}
+	ds := a.Decisions()
+	if len(ds) != 1 || ds[0].Action != ActionSkipLoss || ds[0].Reason != "loss" {
+		t.Fatalf("decisions = %+v, want one skip-loss", ds)
+	}
+}
+
+func TestCooldownAndMaxBound(t *testing.T) {
+	rig := newBreachRig(t)
+	exec := &fakeExec{n: 1}
+	a := newScaler(t, rig, exec, Config{ScaleOutAfter: 1, Cooldown: time.Second})
+	a.Add(Policy{Chain: "c1", Role: "nat", MaxInstances: 2}, 1)
+
+	now := time.Unix(1000, 0)
+	rig.latencyBreach()
+	rig.ev.Evaluate(now)
+	a.Reconcile(now)
+	if len(exec.calls()) != 1 {
+		t.Fatalf("first breach should act: %v", exec.calls())
+	}
+	// Still firing, inside cooldown: no second action.
+	now = now.Add(10 * time.Millisecond)
+	a.Reconcile(now)
+	if len(exec.calls()) != 1 {
+		t.Fatalf("acted inside cooldown: %v", exec.calls())
+	}
+	// Past cooldown but at MaxInstances: still no action.
+	now = now.Add(2 * time.Second)
+	a.Reconcile(now)
+	if len(exec.calls()) != 1 {
+		t.Fatalf("acted beyond MaxInstances: %v", exec.calls())
+	}
+}
+
+func TestScaleInAfterSustainedClear(t *testing.T) {
+	rig := newBreachRig(t)
+	exec := &fakeExec{n: 1}
+	a := newScaler(t, rig, exec, Config{ScaleOutAfter: 1, ScaleInAfter: 3, Cooldown: time.Millisecond})
+	a.Add(Policy{Chain: "c1", Role: "nat", MinInstances: 1, MaxInstances: 4}, 1)
+
+	now := time.Unix(1000, 0)
+	rig.latencyBreach()
+	rig.ev.Evaluate(now)
+	a.Reconcile(now)
+	if len(exec.calls()) != 1 {
+		t.Fatalf("expected scale-out first: %v", exec.calls())
+	}
+
+	// Resolve the alert, then stay clear for ScaleInAfter passes.
+	rig.clearInterval()
+	now = now.Add(100 * time.Millisecond)
+	rig.ev.Evaluate(now)
+	if got := rig.ev.State("c1"); got != slo.StateOK {
+		t.Fatalf("evaluator state = %q, want ok", got)
+	}
+	for i := 0; i < 3; i++ {
+		now = now.Add(100 * time.Millisecond)
+		a.Reconcile(now)
+	}
+	calls := exec.calls()
+	if len(calls) != 2 || calls[1] != "in:c1/nat" {
+		t.Fatalf("calls = %v, want scale-in after sustained clear", calls)
+	}
+	// Back at MinInstances: further clear passes must not act.
+	for i := 0; i < 5; i++ {
+		now = now.Add(100 * time.Millisecond)
+		a.Reconcile(now)
+	}
+	if len(exec.calls()) != 2 {
+		t.Fatalf("shrank below MinInstances: %v", exec.calls())
+	}
+}
+
+func TestTimeToResolveObserved(t *testing.T) {
+	rig := newBreachRig(t)
+	exec := &fakeExec{n: 1}
+	a := newScaler(t, rig, exec, Config{ScaleOutAfter: 1, Cooldown: time.Millisecond})
+	a.Add(Policy{Chain: "c1", Role: "nat", MaxInstances: 4}, 1)
+
+	now := time.Unix(1000, 0)
+	rig.latencyBreach()
+	rig.ev.Evaluate(now)
+	a.Reconcile(now)
+
+	// The alert resolves 250ms after it fired.
+	rig.clearInterval()
+	resolved := now.Add(250 * time.Millisecond)
+	rig.ev.Evaluate(resolved)
+	a.Reconcile(resolved)
+
+	count, sum := a.resolveMs.CountSum()
+	if count != 1 {
+		t.Fatalf("time_to_resolve samples = %d, want 1", count)
+	}
+	if sum != 250*time.Millisecond {
+		t.Fatalf("time_to_resolve = %v, want 250ms", sum)
+	}
+}
+
+func TestExecutorErrorKeepsPolicyRetrying(t *testing.T) {
+	rig := newBreachRig(t)
+	exec := &fakeExec{n: 1, err: errors.New("no capacity")}
+	a := newScaler(t, rig, exec, Config{ScaleOutAfter: 1, Cooldown: time.Millisecond})
+	a.Add(Policy{Chain: "c1", Role: "nat", MaxInstances: 4}, 1)
+
+	now := time.Unix(1000, 0)
+	rig.latencyBreach()
+	rig.ev.Evaluate(now)
+	a.Reconcile(now)
+	ds := a.Decisions()
+	if len(ds) != 1 || ds[0].Err == "" {
+		t.Fatalf("decisions = %+v, want one failed scale-out", ds)
+	}
+	st := a.Status()
+	if len(st.Policies) != 1 || st.Policies[0].Instances != 1 {
+		t.Fatalf("status = %+v, want instance count unchanged on error", st.Policies)
+	}
+
+	// Executor recovers; the still-firing alert triggers a retry after
+	// the cooldown.
+	exec.mu.Lock()
+	exec.err = nil
+	exec.mu.Unlock()
+	rig.latencyBreach()
+	now = now.Add(100 * time.Millisecond)
+	rig.ev.Evaluate(now)
+	a.Reconcile(now)
+	calls := exec.calls()
+	if len(calls) != 1 || calls[0] != "out:c1/nat" {
+		t.Fatalf("calls = %v, want retry after executor recovery", calls)
+	}
+}
+
+func TestRegisterMetricsNames(t *testing.T) {
+	rig := newBreachRig(t)
+	a := newScaler(t, rig, &fakeExec{}, Config{})
+	r := metrics.NewRegistry()
+	a.RegisterMetrics(r)
+	for _, name := range []string{
+		"autoscale.decisions", "autoscale.migrations",
+		"migrate.flows_moved", "migrate.packets_lost",
+		"autoscale.time_to_resolve_ms",
+	} {
+		found := false
+		for _, n := range r.Names() {
+			if n == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("metric %s not registered (have %v)", name, r.Names())
+		}
+	}
+}

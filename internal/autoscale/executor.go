@@ -1,0 +1,36 @@
+package autoscale
+
+import (
+	"switchboard/internal/controller"
+)
+
+// GSExecutor executes scale actions through the Global Switchboard:
+// instance allocation via the VNF controller, forwarder-set growth, TE
+// recompute + route republish, and live flow migration (package
+// controller's scale layer).
+type GSExecutor struct {
+	GS *controller.GlobalSwitchboard
+}
+
+// ScaleOut implements Executor.
+func (e GSExecutor) ScaleOut(chain, role string, rate float64) (Outcome, error) {
+	out, err := e.GS.ScaleChainVNF(controller.ChainID(chain), role, rate)
+	return outcomeOf(out), err
+}
+
+// ScaleIn implements Executor.
+func (e GSExecutor) ScaleIn(chain, role string, rate float64) (Outcome, error) {
+	out, err := e.GS.ScaleInChainVNF(controller.ChainID(chain), role, rate)
+	return outcomeOf(out), err
+}
+
+func outcomeOf(out *controller.ScaleOutcome) Outcome {
+	if out == nil {
+		return Outcome{}
+	}
+	return Outcome{
+		Instances:   out.Instances,
+		FlowsMoved:  out.Migration.Flows,
+		PacketsLost: out.Migration.Lost,
+	}
+}

@@ -32,6 +32,12 @@ type LocalSwitchboard struct {
 	net     *simnet.Network
 	bus     *bus.Bus
 
+	// scaleMu serializes ScaleForwarders' grow/publish/reinstall sequence
+	// against concurrent scale calls (which would otherwise race
+	// failover's reinstall and publish stale member lists). It is always
+	// taken before mu, never while holding it.
+	scaleMu sync.Mutex
+
 	mu         sync.Mutex
 	forwarders map[string]*roleRuntime
 	edgeInst   *edge.Instance
@@ -245,8 +251,23 @@ func (ls *LocalSwitchboard) publishRole(st labels.Stack, role string) {
 // existing connections keep their affinity no matter which member
 // receives them. The updated set is re-announced for every chain the
 // role serves, and rules are installed on the new members.
+//
+// n must be positive (a *ScaleError is returned otherwise; the set
+// never shrinks — scale-in retires VNF instances, not forwarders), and
+// concurrent calls are serialized with each other and with failover's
+// reinstall path so a grow/publish/reinstall sequence can never
+// interleave with another and publish a stale member list.
 func (ls *LocalSwitchboard) ScaleForwarders(role string, n int) error {
+	if n <= 0 {
+		return &ScaleError{Site: ls.site, Role: role, N: n, Reason: "forwarder count must be positive"}
+	}
+	ls.scaleMu.Lock()
+	defer ls.scaleMu.Unlock()
 	ls.mu.Lock()
+	if ls.closed {
+		ls.mu.Unlock()
+		return &ScaleError{Site: ls.site, Role: role, N: n, Reason: "local switchboard closed"}
+	}
 	rr, err := ls.roleLocked(role)
 	if err == nil {
 		err = ls.growRoleLocked(rr, n)

@@ -1,0 +1,512 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"switchboard/internal/forwarder"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/vnf"
+)
+
+// Elastic scaling and live flow migration: the execution half of the
+// autoscaler (package autoscale). The Global Switchboard adds or retires
+// VNF instances through the owning VNF controller, scales the serving
+// forwarder set, re-runs traffic engineering with the updated rate
+// estimate, and hands existing flows off between instances without
+// dropping them: the Local Switchboard's migration coordinator gates the
+// flows at every member forwarder, drains the old instance, snapshots
+// its per-flow state (vnf.FlowStateMigrator), repins the flow-table
+// records, and replays the gated packets toward the new instance.
+
+// ScaleError is the typed error returned by scaling entry points for
+// invalid or unserviceable requests (n <= 0, closed switchboard,
+// missing role), instead of silently misbehaving.
+type ScaleError struct {
+	Site   simnet.SiteID
+	Role   string
+	N      int
+	Reason string
+}
+
+func (e *ScaleError) Error() string {
+	return fmt.Sprintf("controller: scale %s/%s to %d: %s", e.Site, e.Role, e.N, e.Reason)
+}
+
+// MigrationReport summarizes one live flow handoff.
+type MigrationReport struct {
+	Chain ChainID `json:"chain"`
+	Role  string  `json:"role"`
+	From  string  `json:"from"`
+	To    string  `json:"to"`
+	// Flows is the number of flow-table records repinned to the new
+	// instance.
+	Flows int `json:"flows"`
+	// Buffered is the number of packets held at migration gates during
+	// the window and replayed afterward (double-delivered-or-buffered,
+	// never silently dropped).
+	Buffered int `json:"buffered"`
+	// Lost counts packets the migration could not preserve: gate-buffer
+	// overflow plus replay failures. The experiment asserts this is zero
+	// or explicitly bounded.
+	Lost     uint64        `json:"lost"`
+	Duration time.Duration `json:"duration"`
+}
+
+// migrationDrainWindow bounds how long the coordinator waits for the
+// old instance's in-flight packets to settle once the gates are up. An
+// idle instance exits the wait after one stable sample; the window only
+// binds when the instance is overloaded — exactly when its inbox
+// backlog is deepest, so the bound must cover draining a full inbox of
+// paced packets.
+const migrationDrainWindow = 250 * time.Millisecond
+
+// MigrateChainFlows hands the chain's flows pinned to the `from` VNF
+// instance off to `to` at this site: it opens a migration gate on every
+// member forwarder of the role (packets toward `from` are buffered, not
+// dropped), waits for the old instance to drain, exports the migrating
+// flows' state when the function implements vnf.FlowStateMigrator and
+// imports it on the new instance, repins the shared flow table (records
+// are stamped labels.AnnMigrated, which forwarders copy onto every
+// subsequent packet of the flow), and finally replays the buffered
+// packets through the normal pipeline — they now resolve to the new
+// instance.
+func (ls *LocalSwitchboard) MigrateChainFlows(rec *RouteRecord, role string, from, to *vnf.Instance, labelAware bool, maxBuffer int) (MigrationReport, error) {
+	start := time.Now()
+	st := labels.Stack{Chain: rec.ChainLabel, Egress: rec.EgressLabel}
+	rep := MigrationReport{Chain: rec.Chain, Role: role, From: from.ID(), To: to.ID()}
+
+	ls.mu.Lock()
+	closed := ls.closed
+	rr := ls.forwarders[role]
+	var members []*fwdRuntime
+	if rr != nil {
+		members = append(members, rr.fwds...)
+	}
+	ls.mu.Unlock()
+	if closed {
+		return rep, &ScaleError{Site: ls.site, Role: role, Reason: "local switchboard closed"}
+	}
+	if len(members) == 0 {
+		return rep, &ScaleError{Site: ls.site, Role: role, Reason: "no forwarders for role"}
+	}
+
+	sp := ls.recorder().Start("ls."+string(ls.site)+".migrate_flows", "", rec.SpanID)
+	sp.Event(fmt.Sprintf("migrate %s: %s -> %s", role, from.ID(), to.ID()))
+	defer sp.End()
+
+	oldHop := rr.reg.IDFor(from.Addr())
+	newHop := rr.reg.IDFor(to.Addr())
+	// The new instance must be a resolvable hop on every member before
+	// any replayed packet can be emitted toward it.
+	for _, rt := range members {
+		ls.hopFor(rt.f, forwarder.NextHop{
+			Kind: forwarder.KindVNF, Addr: to.Addr(), LabelAware: labelAware, Labels: st,
+		})
+	}
+
+	flows := rr.cluster.FlowsPinnedTo(st, oldHop)
+	if len(flows) == 0 {
+		sp.Event("no pinned flows; nothing to migrate")
+		rep.Duration = time.Since(start)
+		return rep, nil
+	}
+
+	// Gate up on every member: packets of the migrating flows headed for
+	// the old instance are buffered from here on.
+	type gated struct {
+		rt *fwdRuntime
+		m  *forwarder.Migration
+	}
+	var gates []gated
+	for _, rt := range members {
+		m, err := rt.f.BeginMigration(st, oldHop, flows, maxBuffer)
+		if err != nil {
+			for _, g := range gates {
+				_, _, _ = g.rt.f.EndMigration(g.m)
+			}
+			sp.Fail(err)
+			return rep, err
+		}
+		gates = append(gates, gated{rt: rt, m: m})
+	}
+	sp.Event(fmt.Sprintf("gates up on %d forwarders for %d flows", len(gates), len(flows)))
+
+	// Drain: the old instance keeps processing whatever was already in
+	// flight (its output passes the gates untouched); wait until its
+	// inbox is empty and its processed count stops moving so the
+	// exported state is complete. The throughput counter alone is not a
+	// drain signal — an overloaded instance looks momentarily idle
+	// between bursts while packets still sit in its queue.
+	prev := from.Stats().Processed
+	deadline := time.Now().Add(migrationDrainWindow)
+	for time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		cur := from.Stats().Processed
+		if cur == prev && from.Backlog() == 0 {
+			break
+		}
+		prev = cur
+	}
+	sp.Event("old instance drained")
+
+	// State handoff for stateful functions (NAT bindings, firewall
+	// connection state). Stateless functions skip this step.
+	if exp, ok := from.Function().(vnf.FlowStateMigrator); ok {
+		if imp, ok := to.Function().(vnf.FlowStateMigrator); ok {
+			flowKeys := make([]packet.FlowKey, len(flows))
+			for i, k := range flows {
+				flowKeys[i] = k.Flow
+			}
+			state, err := exp.ExportFlowState(flowKeys)
+			if err == nil {
+				err = imp.ImportFlowState(state)
+			}
+			if err != nil {
+				for _, g := range gates {
+					ls.replayGate(g.rt, g.m, &rep)
+				}
+				sp.Fail(err)
+				return rep, fmt.Errorf("controller: migrating %s state: %w", role, err)
+			}
+			sp.Event(fmt.Sprintf("state handed off (%d flow keys)", len(flowKeys)))
+		}
+	}
+
+	// Flip steering: every replica of every migrating record now pins the
+	// new instance, stamped with the migration annotation.
+	rep.Flows = rr.cluster.RepinFlows(st, flows, oldHop, newHop, labels.AnnMigrated)
+	sp.Event(fmt.Sprintf("%d flows repinned", rep.Flows))
+
+	// Gates down: replay the buffered packets through the normal
+	// pipeline; they resolve to the new instance now.
+	for _, g := range gates {
+		ls.replayGate(g.rt, g.m, &rep)
+	}
+	sp.Event(fmt.Sprintf("replayed %d buffered packets (%d lost)", rep.Buffered, rep.Lost))
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// replayGate closes one member's migration gate and re-runs the
+// buffered packets through its pipeline, accounting buffered/lost into
+// the report.
+func (ls *LocalSwitchboard) replayGate(rt *fwdRuntime, m *forwarder.Migration, rep *MigrationReport) {
+	pkts, froms, overflow := rt.f.EndMigration(m)
+	rep.Lost += overflow
+	rep.Buffered += len(pkts)
+	for i, p := range pkts {
+		nh, err := rt.f.Process(p, froms[i])
+		if err != nil {
+			rep.Lost++
+			continue
+		}
+		if err := rt.ep.Send(nh.Addr, p, len(p.Payload)+40); err != nil {
+			rep.Lost++
+		}
+	}
+}
+
+// ScaleTo ensures exactly `total` instances of the VNF serve the chain
+// at the site, creating the missing ones and publishing the full
+// updated instance list on the chain's topic (unlike AllocateForChain,
+// which always creates `count` new instances for dedicated VNFs, this
+// is an idempotent top-up — the autoscaler's allocation primitive).
+// Returns how many instances were added.
+func (v *VNFController) ScaleTo(st labels.Stack, site simnet.SiteID, gateway simnet.Addr, total int) (added int, err error) {
+	if total <= 0 {
+		return 0, &ScaleError{Site: site, Role: v.name, N: total, Reason: "instance count must be positive"}
+	}
+	sp := v.recorder().Start("vnfctl."+v.name+".scale_to", "vnfctl.allocate_ms", 0)
+	sp.Event(fmt.Sprintf("scale to %d at %s for c%d", total, site, st.Chain))
+	defer func() {
+		sp.Fail(err)
+		sp.End()
+	}()
+
+	v.mu.Lock()
+	matching := v.chainInstancesLocked(st, site)
+	for len(matching) < total {
+		v.seq++
+		id := fmt.Sprintf("%s-%s-%d", v.name, site, v.seq)
+		ep, aerr := v.net.Attach(simnet.Addr{Site: site, Host: id}, 1024)
+		if aerr != nil {
+			v.mu.Unlock()
+			return added, fmt.Errorf("controller: attaching instance %s: %w", id, aerr)
+		}
+		inst := vnf.NewInstance(id, v.factory(), ep, gateway, 1.0)
+		mi := &managedInstance{inst: inst, stop: inst.Start(), st: st, dedicated: !v.shared}
+		v.instances[site] = append(v.instances[site], mi)
+		matching = append(matching, mi)
+		added++
+	}
+	if added > 0 {
+		served := false
+		for _, s := range v.served[site] {
+			if s == st {
+				served = true
+				break
+			}
+		}
+		if !served {
+			v.served[site] = append(v.served[site], st)
+		}
+	}
+	infos := make([]InstanceInfo, 0, len(matching))
+	for _, mi := range matching {
+		infos = append(infos, InstanceInfo{Addr: mi.inst.Addr(), Weight: mi.inst.Weight(), LabelAware: v.labelAware})
+	}
+	v.mu.Unlock()
+	if added == 0 {
+		return 0, nil
+	}
+	return added, v.bus.Publish(site, instancesTopic(st, v.name, site), infos, 64*len(infos))
+}
+
+// chainInstancesLocked returns the site's instances serving the chain:
+// all of them for shared VNFs, only the chain's dedicated ones
+// otherwise. Caller holds v.mu.
+func (v *VNFController) chainInstancesLocked(st labels.Stack, site simnet.SiteID) []*managedInstance {
+	var out []*managedInstance
+	for _, mi := range v.instances[site] {
+		if !mi.dedicated || mi.st == st {
+			out = append(out, mi)
+		}
+	}
+	return out
+}
+
+// RemoveInstance retires one dedicated instance (scale-in): it is
+// stopped, dropped from the deployment, and the chain's remaining
+// instance list is republished so forwarder rules stop targeting it.
+// The caller is responsible for migrating its flows off first.
+func (v *VNFController) RemoveInstance(st labels.Stack, site simnet.SiteID, id string) error {
+	v.mu.Lock()
+	var victim *managedInstance
+	list := v.instances[site]
+	for i, mi := range list {
+		if mi.inst.ID() != id {
+			continue
+		}
+		if !mi.dedicated {
+			v.mu.Unlock()
+			return &ScaleError{Site: site, Role: v.name, Reason: "cannot remove shared instance " + id}
+		}
+		victim = mi
+		v.instances[site] = append(list[:i], list[i+1:]...)
+		break
+	}
+	if victim == nil {
+		v.mu.Unlock()
+		return &ScaleError{Site: site, Role: v.name, Reason: "unknown instance " + id}
+	}
+	remaining := v.chainInstancesLocked(st, site)
+	infos := make([]InstanceInfo, 0, len(remaining))
+	for _, mi := range remaining {
+		infos = append(infos, InstanceInfo{Addr: mi.inst.Addr(), Weight: mi.inst.Weight(), LabelAware: v.labelAware})
+	}
+	v.mu.Unlock()
+	victim.stop()
+	return v.bus.Publish(site, instancesTopic(st, v.name, site), infos, 64*len(infos))
+}
+
+// ScaleOutcome summarizes one executed scale action.
+type ScaleOutcome struct {
+	Chain     ChainID         `json:"chain"`
+	VNF       string          `json:"vnf"`
+	Site      simnet.SiteID   `json:"site"`
+	Instances int             `json:"instances"` // instances at the site after the action
+	Migration MigrationReport `json:"migration"`
+}
+
+// scaleSite picks the site hosting the chain's stage for the named VNF
+// (the heaviest split destination).
+func (g *GlobalSwitchboard) scaleSite(rec *RouteRecord, vnfName string) (simnet.SiteID, error) {
+	stage := -1
+	for j, n := range rec.VNFs {
+		if n == vnfName {
+			stage = j + 1
+			break
+		}
+	}
+	if stage < 0 {
+		return "", fmt.Errorf("controller: chain %s has no VNF %q", rec.Chain, vnfName)
+	}
+	var site simnet.SiteID
+	best := 0.0
+	for s, w := range rec.StageSites(stage) {
+		if w > best {
+			best, site = w, s
+		}
+	}
+	if site == "" {
+		return "", fmt.Errorf("controller: chain %s stage %d has no site", rec.Chain, stage)
+	}
+	return site, nil
+}
+
+// ScaleChainVNF executes one scale-out step for a chain's VNF role: one
+// more instance at the stage's site (and a matching forwarder-set
+// member), a TE recompute at the observed rate (0 keeps the previous
+// estimate) so reservations and splits reflect reality, and a live
+// migration of the most-loaded instance's flows onto the new instance.
+func (g *GlobalSwitchboard) ScaleChainVNF(id ChainID, vnfName string, newRate float64) (out *ScaleOutcome, err error) {
+	g.mu.Lock()
+	cr, ok := g.chains[id]
+	tl := g.tl
+	g.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("controller: unknown chain %s", id)
+	}
+	rec := cr.rec
+	st := labels.Stack{Chain: rec.ChainLabel, Egress: rec.EgressLabel}
+
+	prevParent := g.opParent.Load()
+	sp := g.recorder().Start("gs.scale_out", "", prevParent)
+	sp.Event(fmt.Sprintf("scale out %s/%s", id, vnfName))
+	g.opParent.Store(sp.ID())
+	defer func() {
+		g.opParent.Store(prevParent)
+		sp.Fail(err)
+		sp.End()
+	}()
+
+	site, err := g.scaleSite(rec, vnfName)
+	if err != nil {
+		return nil, err
+	}
+	v := g.vnf(vnfName)
+	if v == nil {
+		return nil, fmt.Errorf("controller: unknown VNF %q", vnfName)
+	}
+	ls, ok := g.Local(site)
+	if !ok {
+		return nil, fmt.Errorf("controller: no Local Switchboard at %s", site)
+	}
+	gateway, err := ls.ForwarderAddr(vnfName)
+	if err != nil {
+		return nil, err
+	}
+
+	before := v.InstancesAt(site)
+	if len(before) == 0 {
+		return nil, &ScaleError{Site: site, Role: vnfName, Reason: "no instances to scale from"}
+	}
+	// Migration source: the busiest current instance.
+	from := before[0]
+	for _, inst := range before[1:] {
+		if inst.Stats().Processed > from.Stats().Processed {
+			from = inst
+		}
+	}
+	known := make(map[string]bool, len(before))
+	for _, inst := range before {
+		known[inst.ID()] = true
+	}
+
+	target := len(before) + 1
+	// Grow the serving forwarder set alongside the instance pool; members
+	// share the replicated flow table, so affinity is preserved.
+	if err := ls.ScaleForwarders(vnfName, target); err != nil {
+		return nil, err
+	}
+	if _, err := v.ScaleTo(st, site, gateway, target); err != nil {
+		return nil, err
+	}
+	tl.Record(fmt.Sprintf("scale-out: %s at %s grown to %d instances", vnfName, site, target))
+	sp.Event(fmt.Sprintf("instances grown to %d at %s", target, site))
+
+	// TE recompute at the observed rate keeps reservations and splits
+	// honest (and republishes the route, bumping its version).
+	if _, err := g.RecomputeChain(id, newRate, -1); err != nil {
+		return nil, err
+	}
+	sp.Event("route recomputed")
+
+	var to *vnf.Instance
+	for _, inst := range v.InstancesAt(site) {
+		if !known[inst.ID()] {
+			to = inst
+			break
+		}
+	}
+	outcome := &ScaleOutcome{Chain: id, VNF: vnfName, Site: site, Instances: target}
+	if to != nil {
+		repRec, _ := g.Record(id)
+		if repRec == nil {
+			repRec = rec
+		}
+		rep, merr := ls.MigrateChainFlows(repRec, vnfName, from, to, v.LabelAware(), 0)
+		outcome.Migration = rep
+		if merr != nil {
+			sp.Fail(merr)
+			return outcome, merr
+		}
+		tl.Record(fmt.Sprintf("scale-out: migrated %d flows %s -> %s (%d lost)", rep.Flows, rep.From, rep.To, rep.Lost))
+		sp.Event(fmt.Sprintf("migrated %d flows, lost %d", rep.Flows, rep.Lost))
+	}
+	return outcome, nil
+}
+
+// ScaleInChainVNF executes one scale-in step: the newest instance's
+// flows are migrated onto a survivor, the instance is retired, and TE
+// is recomputed at the observed rate (0 keeps the previous estimate).
+func (g *GlobalSwitchboard) ScaleInChainVNF(id ChainID, vnfName string, newRate float64) (out *ScaleOutcome, err error) {
+	g.mu.Lock()
+	cr, ok := g.chains[id]
+	tl := g.tl
+	g.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("controller: unknown chain %s", id)
+	}
+	rec := cr.rec
+	st := labels.Stack{Chain: rec.ChainLabel, Egress: rec.EgressLabel}
+
+	prevParent := g.opParent.Load()
+	sp := g.recorder().Start("gs.scale_in", "", prevParent)
+	sp.Event(fmt.Sprintf("scale in %s/%s", id, vnfName))
+	g.opParent.Store(sp.ID())
+	defer func() {
+		g.opParent.Store(prevParent)
+		sp.Fail(err)
+		sp.End()
+	}()
+
+	site, err := g.scaleSite(rec, vnfName)
+	if err != nil {
+		return nil, err
+	}
+	v := g.vnf(vnfName)
+	if v == nil {
+		return nil, fmt.Errorf("controller: unknown VNF %q", vnfName)
+	}
+	ls, ok := g.Local(site)
+	if !ok {
+		return nil, fmt.Errorf("controller: no Local Switchboard at %s", site)
+	}
+	instances := v.InstancesAt(site)
+	if len(instances) < 2 {
+		return nil, &ScaleError{Site: site, Role: vnfName, N: len(instances) - 1, Reason: "already at minimum instance count"}
+	}
+	retire := instances[len(instances)-1]
+	survivor := instances[0]
+
+	outcome := &ScaleOutcome{Chain: id, VNF: vnfName, Site: site, Instances: len(instances) - 1}
+	rep, err := ls.MigrateChainFlows(rec, vnfName, retire, survivor, v.LabelAware(), 0)
+	outcome.Migration = rep
+	if err != nil {
+		return outcome, err
+	}
+	if err := v.RemoveInstance(st, site, retire.ID()); err != nil {
+		return outcome, err
+	}
+	tl.Record(fmt.Sprintf("scale-in: retired %s at %s (%d flows migrated)", retire.ID(), site, rep.Flows))
+	sp.Event(fmt.Sprintf("retired %s, migrated %d flows", retire.ID(), rep.Flows))
+	if _, err := g.RecomputeChain(id, newRate, -1); err != nil {
+		return outcome, err
+	}
+	sp.Event("route recomputed")
+	return outcome, nil
+}

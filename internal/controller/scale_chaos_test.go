@@ -1,0 +1,133 @@
+package controller
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"switchboard/internal/edge"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/testutil"
+	"switchboard/internal/vnf"
+)
+
+// TestScaleOutDuringBlackoutConverges races an elastic scale-out against
+// a blackout of the very site being scaled. Whatever the interleaving,
+// the system must converge: the scale call returns (success or a typed
+// error, never a hang), the failure detector reroutes the chain, no
+// instance started by the concurrent scale-out survives orphaned at the
+// dead site, the connections that were pinned through it flow again via
+// the survivor site, and no goroutine outlives the testbed teardown.
+// Run with -race: the scale-out and the detector's FailSite mutate the
+// same instance pool and forwarder set concurrently.
+func TestScaleOutDuringBlackoutConverges(t *testing.T) {
+	// Leak check: this cleanup is registered before the testbed's, so it
+	// runs after every forwarder, instance, and detector has been asked
+	// to stop.
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base+3 {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutines leaked: %d at start, %d after teardown\n%s",
+			base, runtime.NumGoroutine(), buf[:n])
+	})
+
+	tb := newTestbed(t, 2*time.Millisecond, "A", "B", "C")
+	tb.registerSites(1000, "A", "B", "C")
+	fastBus(tb.bus)
+	v := tb.addVNF("fw", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"B": 500, "C": 500})
+
+	for _, ls := range tb.locals {
+		ls.StartHeartbeats(10 * time.Millisecond)
+	}
+	stop, err := tb.g.StartFailureDetector(DetectorConfig{
+		Interval:     20 * time.Millisecond,
+		SuspectAfter: 100 * time.Millisecond,
+		Debounce:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	rec, err := tb.g.CreateChain(Spec{
+		ID: "c1", IngressSite: "A", EgressSite: "A",
+		VNFs: []string{"fw"}, ForwardRate: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingress, egress, err := tb.g.ConfigureChainEdges(rec, []edge.MatchRule{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, other := stageOneSite(t, rec, "B", "C")
+	tb.waitReady(rec, "A", host)
+
+	client := tb.host("A", "client")
+	server := tb.host("A", "server")
+	egress.RegisterHost(serverIP, server.Addr())
+	ingress.RegisterHost(clientIP, client.Addr())
+
+	// Pin a handful of connections through the doomed site so the
+	// blackout leaves real flow-table state behind.
+	for i := 0; i < 8; i++ {
+		p := &packet.Packet{Key: clientKey(uint16(53000 + i)), Payload: []byte("pin")}
+		sendAndWait(t, client, ingress.Addr(), server, p)
+	}
+
+	// The race: scale out the fw role while its hosting site goes dark.
+	scaled := make(chan error, 1)
+	go func() {
+		_, serr := tb.g.ScaleChainVNF("c1", "fw", 0)
+		scaled <- serr
+	}()
+	tb.net.BlackoutSite(host)
+
+	select {
+	case serr := <-scaled:
+		// Success and failure are both legal outcomes of the race; a
+		// hang or a panic is not.
+		t.Logf("concurrent scale-out returned: %v", serr)
+	case <-time.After(20 * time.Second):
+		t.Fatal("ScaleChainVNF never returned during the blackout")
+	}
+
+	testutil.WaitUntil(t, 10*time.Second, "detector declares "+string(host)+" failed", func() bool {
+		return tb.g.SiteFailed(host)
+	})
+	testutil.WaitUntil(t, 10*time.Second, "chain rerouted off "+string(host), func() bool {
+		cur, ok := tb.g.Record("c1")
+		return ok && cur.StageSites(1)[other] > 0 && cur.StageSites(1)[host] == 0
+	})
+	cur, _ := tb.g.Record("c1")
+	tb.waitReady(cur, "A", other)
+
+	// No orphaned instances: every instance the concurrent scale-out may
+	// have started at the dead site must be stopped and untracked once
+	// the failure handling lands.
+	testutil.WaitUntil(t, 5*time.Second, "no instances tracked at "+string(host), func() bool {
+		return len(v.InstancesAt(host)) == 0
+	})
+	if got := len(v.InstancesAt(other)); got == 0 {
+		t.Fatalf("no instances at survivor site %s", other)
+	}
+
+	// No dangling pins: the connections that were pinned through the
+	// dead site must flow again via the survivor — their stale records
+	// name hops of a site the route no longer visits, so they must be
+	// re-pinned, not black-holed.
+	for i := 0; i < 8; i++ {
+		p := &packet.Packet{Key: clientKey(uint16(53000 + i)), Payload: []byte("again")}
+		sendAndWait(t, client, ingress.Addr(), server, p)
+	}
+}

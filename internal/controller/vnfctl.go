@@ -74,6 +74,11 @@ func (v *VNFController) RegisterMetrics(r *metrics.Registry) {
 type managedInstance struct {
 	inst *vnf.Instance
 	stop func()
+	// st is the chain the instance was allocated for; dedicated is false
+	// for shared (service-oriented) instances, which serve every chain.
+	// Scaling (ScaleTo/RemoveInstance) keys on this attribution.
+	st        labels.Stack
+	dedicated bool
 }
 
 // VNFConfig configures a VNF controller.
@@ -270,7 +275,7 @@ func (v *VNFController) AllocateForChain(st labels.Stack, site simnet.SiteID, ga
 		}
 		inst := vnf.NewInstance(id, v.factory(), ep, gateway, 1.0)
 		stop := inst.Start()
-		v.instances[site] = append(v.instances[site], &managedInstance{inst: inst, stop: stop})
+		v.instances[site] = append(v.instances[site], &managedInstance{inst: inst, stop: stop, st: st, dedicated: !v.shared})
 		infos = append(infos, InstanceInfo{Addr: inst.Addr(), Weight: inst.Weight(), LabelAware: v.labelAware})
 	}
 	v.mu.Unlock()

@@ -1,0 +1,52 @@
+package dht
+
+import (
+	"testing"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+)
+
+func TestClusterRepinRewritesEveryReplica(t *testing.T) {
+	c := NewCluster(2)
+	n1, err := c.Join("fwd-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := c.Join("fwd-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := labels.Stack{Chain: 3, Egress: 4}
+	oldHop, newHop := flowtable.Hop(7), flowtable.Hop(8)
+	for i := uint16(0); i < 16; i++ {
+		flow := packet.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 5000 + i, DstPort: 80, Proto: 6}
+		n1.Insert(st, flow, flowtable.Record{VNF: oldHop})
+	}
+
+	pinned := c.FlowsPinnedTo(st, oldHop)
+	if len(pinned) != 16 {
+		t.Fatalf("FlowsPinnedTo = %d, want 16 (dedup across replicas)", len(pinned))
+	}
+	if moved := c.RepinFlows(st, pinned, oldHop, newHop, labels.AnnMigrated); moved != 16 {
+		t.Fatalf("RepinFlows = %d, want 16", moved)
+	}
+	// A lookup through EITHER member must see the new pin — a stale
+	// replica would bounce some packets back to the retired instance.
+	for i := uint16(0); i < 16; i++ {
+		flow := packet.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 5000 + i, DstPort: 80, Proto: 6}
+		for _, n := range []*Node{n1, n2} {
+			rec, _, ok := n.Lookup(st, flow)
+			if !ok {
+				continue // this member may not hold the key's replica
+			}
+			if rec.VNF != newHop || rec.Ann != labels.AnnMigrated {
+				t.Fatalf("member %v sees stale record %+v for flow %d", n, rec, i)
+			}
+		}
+	}
+	if left := c.FlowsPinnedTo(st, oldHop); len(left) != 0 {
+		t.Fatalf("%d flows still pinned to the retired hop", len(left))
+	}
+}

@@ -162,6 +162,24 @@ func (e *Instance) ChainCounters(chain uint32, name string) (ingressed, egressed
 	return in.Load, out.Load
 }
 
+// ForgetChain garbage-collects a deleted chain's per-chain counters:
+// the keyed instances are unregistered from the metrics registry and
+// the label-indexed caches dropped (typically via slo.ChainSLO.Release
+// when the chain is forgotten). name follows RegisterChain's keying.
+func (e *Instance) ForgetChain(chain uint32, name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.chainInOf, chain)
+	delete(e.chainOutOf, chain)
+	if e.chainIn != nil {
+		if name == "" {
+			name = strconv.FormatUint(uint64(chain), 10)
+		}
+		e.chainIn.Forget(name)
+		e.chainOut.Forget(name)
+	}
+}
+
 // RemoveChainRules drops all rules for a chain label.
 func (e *Instance) RemoveChainRules(chain uint32) {
 	e.mu.Lock()

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAutoscaleExperiment enforces the closed-loop acceptance bounds:
+// the breach must resolve within a hard deadline, every lost packet must
+// be counted (never silent), and the NAT bindings of long-lived flows
+// must survive the live migration.
+func TestAutoscaleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second closed-loop experiment")
+	}
+	tab, res, err := autoscaleRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("table has %d rows, want >= 3:\n%+v", len(tab.Rows), tab.Rows)
+	}
+
+	// Time-to-resolve is read from the alert timeline alone and must be
+	// bounded: the loop has to close well before the experiment's polls
+	// give up.
+	if res.TimeToResolve <= 0 {
+		t.Fatalf("time-to-resolve = %v, want > 0", res.TimeToResolve)
+	}
+	if res.TimeToResolve > 15*time.Second {
+		t.Fatalf("time-to-resolve = %v, want <= 15s", res.TimeToResolve)
+	}
+
+	// At least one scale-out with a real migration behind it.
+	if len(res.ScaleOuts) == 0 {
+		t.Fatal("no successful scale-out decisions")
+	}
+	if res.ScaleOuts[0].Instances < 2 {
+		t.Fatalf("first scale-out left %d instances, want >= 2", res.ScaleOuts[0].Instances)
+	}
+	if res.FlowsMoved == 0 {
+		t.Fatal("scale-out migrated no flows — the elephants never moved")
+	}
+
+	// Loss across the migration is zero-or-counted: whatever the gates
+	// could not buffer is in the decision log, and it must be a handful
+	// of packets, not a drained queue.
+	if res.PacketsLost > 64 {
+		t.Fatalf("migration lost %d packets, want <= 64", res.PacketsLost)
+	}
+
+	// NAT binding continuity: every elephant the server saw must have
+	// kept one stable public port across the handoff.
+	if res.ElephantsSeen < 8 {
+		t.Fatalf("server saw %d elephant flows, want 8", res.ElephantsSeen)
+	}
+	if res.ElephantsStable != res.ElephantsSeen {
+		t.Fatalf("%d/%d elephant flows kept a stable public port", res.ElephantsStable, res.ElephantsSeen)
+	}
+
+	// The control plane traced the action: a gs.scale_out span with the
+	// site-local migration span beneath the operation.
+	scaleSpans := res.Rec.SpansNamed("gs.scale_out")
+	if len(scaleSpans) == 0 {
+		t.Fatal("no gs.scale_out span recorded")
+	}
+	if len(res.Rec.SpansNamed("ls.B.migrate_flows")) == 0 {
+		t.Fatal("no ls.B.migrate_flows span recorded")
+	}
+
+	// The autoscaler's own metrics must agree with the decision log.
+	snap := res.Reg.Snapshot()
+	if got := snap.Counters["autoscale.migrations"]; got < 1 || got > uint64(len(res.ScaleOuts)) {
+		t.Fatalf("autoscale.migrations = %d, want 1..%d", got, len(res.ScaleOuts))
+	}
+	if got := snap.Counters["migrate.packets_lost"]; got != res.PacketsLost {
+		t.Fatalf("migrate.packets_lost = %d, want %d", got, res.PacketsLost)
+	}
+	if h, ok := snap.Histograms["autoscale.time_to_resolve_ms"]; !ok || h.Count == 0 {
+		t.Fatalf("autoscale.time_to_resolve_ms missing or empty (ok=%v)", ok)
+	}
+}

@@ -112,6 +112,7 @@ func All() []Experiment {
 		{"observe", "per-hop latency breakdown of a 3-VNF chain via sampled path tracing", Observe},
 		{"controlplane", "control-plane spans: chain-setup latency vs chain length, failover timeline", Controlplane},
 		{"slo", "per-chain SLO alerts through a site blackout: time-to-fire / time-to-resolve vs the failover spans", SLO},
+		{"autoscale", "flash crowd on a 3-VNF chain: SLO breach -> elastic scale-out with live flow migration -> alert resolves", Autoscale},
 	}
 }
 

@@ -143,6 +143,26 @@ func (p Paced) Process(pkt *packet.Packet) bool {
 	return p.Fn.Process(pkt)
 }
 
+// ExportFlowState implements vnf.FlowStateMigrator by delegating to the
+// wrapped function, so pacing a stateful VNF (an overloaded NAT) does
+// not hide its state from live migration. Stateless wrapped functions
+// export nothing.
+func (p Paced) ExportFlowState(flows []packet.FlowKey) ([]byte, error) {
+	if m, ok := p.Fn.(vnf.FlowStateMigrator); ok {
+		return m.ExportFlowState(flows)
+	}
+	return nil, nil
+}
+
+// ImportFlowState implements vnf.FlowStateMigrator; empty snapshots
+// (from a stateless exporter) are a no-op.
+func (p Paced) ImportFlowState(data []byte) error {
+	if m, ok := p.Fn.(vnf.FlowStateMigrator); ok && len(data) > 0 {
+		return m.ImportFlowState(data)
+	}
+	return nil
+}
+
 // TrafficResult summarizes a windowed traffic run.
 type TrafficResult struct {
 	Completed uint64

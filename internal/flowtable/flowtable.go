@@ -37,6 +37,9 @@ type Record struct {
 	VNF  Hop // local VNF instance (None at transit-only forwarders)
 	Next Hop // next hop after local processing, toward egress
 	Prev Hop // previous hop, toward ingress (for symmetric return)
+	// Ann is the flow's steering annotation (labels.AnnMigrated after a
+	// live handoff); forwarders stamp it onto every packet of the flow.
+	Ann uint8
 }
 
 // Key is the flow-table key: the label stack plus the canonical 5-tuple.

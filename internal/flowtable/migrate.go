@@ -1,0 +1,48 @@
+package flowtable
+
+import "switchboard/internal/labels"
+
+// Migration support: live flow handoff repins a set of connections from
+// one VNF instance hop to another and stamps the records with a flow
+// annotation so packets of moved flows are marked on the wire.
+
+// FlowsPinnedTo returns the canonical keys of every connection of stack
+// st whose record pins the given hop as its local VNF instance. The
+// migration coordinator uses it to choose which flows to hand off.
+func (t *Table) FlowsPinnedTo(st labels.Stack, hop Hop) []Key {
+	var out []Key
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for k, e := range s.m {
+			if k.Chain == st.Chain && k.Egress == st.Egress && e.rec.VNF == hop {
+				out = append(out, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// RepinFlows rewrites the given connections' records from one VNF
+// instance hop to another, stamping ann into each record. Only records
+// still pinned to `from` are touched (a record concurrently removed or
+// already moved is skipped), so the call is idempotent. Returns the
+// number of records moved.
+func (t *Table) RepinFlows(st labels.Stack, flows []Key, from, to Hop, ann uint8) (moved int) {
+	for _, k := range flows {
+		if k.Chain != st.Chain || k.Egress != st.Egress {
+			continue
+		}
+		s := t.shardFor(k)
+		s.mu.Lock()
+		if e, ok := s.m[k]; ok && e.rec.VNF == from {
+			e.rec.VNF = to
+			e.rec.Ann = ann
+			s.m[k] = e
+			moved++
+		}
+		s.mu.Unlock()
+	}
+	return moved
+}

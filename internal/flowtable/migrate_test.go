@@ -1,0 +1,64 @@
+package flowtable
+
+import (
+	"testing"
+
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+)
+
+func migFlow(n uint16) packet.FlowKey {
+	return packet.FlowKey{SrcIP: 0x0A000001, DstIP: 0xC0A80001, SrcPort: 1000 + n, DstPort: 80, Proto: 6}
+}
+
+func TestFlowsPinnedToAndRepin(t *testing.T) {
+	tb := New(4)
+	st := labels.Stack{Chain: 5, Egress: 9}
+	other := labels.Stack{Chain: 6, Egress: 9}
+	oldHop, newHop, nextHop := Hop(11), Hop(22), Hop(33)
+
+	for i := uint16(0); i < 8; i++ {
+		tb.Insert(st, migFlow(i), Record{VNF: oldHop, Next: nextHop})
+	}
+	// Flows of another chain and another hop must not be enumerated.
+	tb.Insert(other, migFlow(0), Record{VNF: oldHop})
+	tb.Insert(st, migFlow(100), Record{VNF: Hop(99)})
+
+	pinned := tb.FlowsPinnedTo(st, oldHop)
+	if len(pinned) != 8 {
+		t.Fatalf("FlowsPinnedTo = %d flows, want 8", len(pinned))
+	}
+	for _, k := range pinned {
+		if k.Chain != st.Chain || k.Egress != st.Egress {
+			t.Fatalf("enumerated foreign flow %+v", k)
+		}
+	}
+
+	moved := tb.RepinFlows(st, pinned, oldHop, newHop, labels.AnnMigrated)
+	if moved != 8 {
+		t.Fatalf("RepinFlows moved %d, want 8", moved)
+	}
+	for i := uint16(0); i < 8; i++ {
+		rec, _, ok := tb.Lookup(st, migFlow(i))
+		if !ok {
+			t.Fatalf("flow %d vanished", i)
+		}
+		if rec.VNF != newHop || rec.Ann != labels.AnnMigrated {
+			t.Fatalf("flow %d not repinned: %+v", i, rec)
+		}
+		if rec.Next != nextHop {
+			t.Fatalf("flow %d lost its Next hop: %+v", i, rec)
+		}
+	}
+	// Untouched records keep their pins.
+	if rec, _, _ := tb.Lookup(other, migFlow(0)); rec.VNF != oldHop {
+		t.Fatalf("foreign chain repinned: %+v", rec)
+	}
+	if rec, _, _ := tb.Lookup(st, migFlow(100)); rec.VNF != Hop(99) {
+		t.Fatalf("foreign hop repinned: %+v", rec)
+	}
+	// Repin is idempotent: nothing is pinned to oldHop anymore.
+	if again := tb.RepinFlows(st, pinned, oldHop, newHop, labels.AnnMigrated); again != 0 {
+		t.Fatalf("second RepinFlows moved %d, want 0", again)
+	}
+}

@@ -253,6 +253,10 @@ type rule struct {
 	// tell whether a packet entered from one of this rule's local
 	// elements (VNF instance or edge instance) or from outside.
 	localSet map[flowtable.Hop]bool
+	// nextSet marks the hops in the next picker, so the fast path can
+	// tell when a record's pinned next hop has been removed by a route
+	// update (failover, scale-in) and must be re-picked.
+	nextSet map[flowtable.Hop]bool
 	// installedNs is when InstallRule stamped the rule (Unix
 	// nanoseconds) — the control plane's "forwarder rule active" moment,
 	// read by RuleInstalledAt for control-loop timelines. Stamped once
@@ -337,6 +341,11 @@ type Forwarder struct {
 	chainTx, chainDrops    *metrics.KeyedCounters
 	chainTxOf, chainDropOf map[uint32]*metrics.Counter
 
+	// migration is the at-most-one active flow-handoff gate (see
+	// migration.go); nil almost always, checked with one atomic load per
+	// burst on the affinity path.
+	migration atomic.Pointer[Migration]
+
 	stats counters
 }
 
@@ -416,10 +425,14 @@ func (f *Forwarder) InstallRule(st labels.Stack, spec RuleSpec) {
 		next:        newPicker(spec.Next),
 		prev:        newPicker(spec.Prev),
 		localSet:    make(map[flowtable.Hop]bool, len(spec.LocalVNF)),
+		nextSet:     make(map[flowtable.Hop]bool, len(spec.Next)),
 		installedNs: time.Now().UnixNano(),
 	}
 	for _, wh := range spec.LocalVNF {
 		r.localSet[wh.Hop] = true
+	}
+	for _, wh := range spec.Next {
+		r.nextSet[wh.Hop] = true
 	}
 	f.mu.Lock()
 	r.chainTx, r.chainDrops = f.chainCountersLocked(st.Chain, spec.Chain)
@@ -444,6 +457,25 @@ func (f *Forwarder) chainCountersLocked(label uint32, name string) (tx, drops *m
 	}
 	f.chainTxOf[label], f.chainDropOf[label] = tx, drops
 	return tx, drops
+}
+
+// ForgetChain garbage-collects a deleted chain's per-chain tx/drops
+// counters: keyed instances are unregistered from the metrics registry
+// and the label-indexed caches dropped (typically via
+// slo.ChainSLO.Release when the chain is forgotten). name follows
+// chainCountersLocked's keying (chain name, or decimal label).
+func (f *Forwarder) ForgetChain(label uint32, name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.chainTxOf, label)
+	delete(f.chainDropOf, label)
+	if f.chainTx != nil {
+		if name == "" {
+			name = strconv.FormatUint(uint64(label), 10)
+		}
+		f.chainTx.Forget(name)
+		f.chainDrops.Forget(name)
+	}
 }
 
 // ChainCounters returns load functions over a chain's per-chain tx and
@@ -840,6 +872,7 @@ func (f *Forwarder) affinityBatch(pkts []*packet.Packet, froms []flowtable.Hop, 
 	}
 	var pbuf [8]pendingFlow
 	pendings := pbuf[:0]
+	mig := f.migration.Load()
 	for i, p := range pkts {
 		r := rules[i]
 		if r == nil {
@@ -876,20 +909,51 @@ func (f *Forwarder) affinityBatch(pkts []*packet.Packet, froms []flowtable.Hop, 
 				c.newFlows++
 				pendings = append(pendings, pendingFlow{st: p.Labels, canon: canon, fwdCan: same, rec: rec})
 			}
+		} else if rec.Next != flowtable.None && !r.nextSet[rec.Next] {
+			// Self-heal a dangling next-hop pin: a failover reroute can
+			// remove the downstream forwarder a record was pinned to from
+			// the rule (dead site). Route updates deliberately leave
+			// existing records alone (Section 5.3), so the repair happens
+			// lazily, the first time a packet hits the stale record.
+			// Re-picking a next hop is safe — the downstream site's shared
+			// flow table still resolves the same pinned instance — whereas
+			// a local-element pin is never healed: moving a stateful flow
+			// to another instance without a state handoff would break it,
+			// which is exactly what live migration exists for. Without
+			// this, flows whose records name a blacked-out site's
+			// forwarders would black-hole forever.
+			rec.Next = r.next.pick()
+			f.table.Insert(p.Labels, p.Key, rec)
 		}
-		// Route by position: a packet that did not just return from the
-		// connection's pinned local element is entering this forwarder,
-		// so it is handed to that element (same instance in both
-		// directions — flow affinity). A packet returning from the local
-		// element moves along the chain: toward the egress when
-		// travelling forward, toward the ingress otherwise.
+		// Route by position: a packet that did not just return from one
+		// of the rule's local elements is entering this forwarder, so it
+		// is handed to the connection's pinned element (same instance in
+		// both directions — flow affinity). A packet returning from any
+		// local element moves along the chain: toward the egress when
+		// travelling forward, toward the ingress otherwise. The returning
+		// element may differ from the pinned one when a live migration
+		// repins the flow while packets are still draining out of the old
+		// instance; those drained packets were already processed once and
+		// must not be re-dispatched into the new instance.
 		switch {
-		case rec.VNF != flowtable.None && from != rec.VNF:
+		case rec.VNF != flowtable.None && from != rec.VNF && !r.localSet[from]:
 			targets[i] = rec.VNF
 		case forward:
 			targets[i] = rec.Next
 		default:
 			targets[i] = rec.Prev
+		}
+		// The flow's steering annotation travels on every packet (class
+		// bits on the wire); AnnMigrated after a live handoff.
+		p.Ann = rec.Ann
+		if mig != nil {
+			if err := mig.gateCheck(p, sts[i], targets[i], from); err != nil {
+				errs[i] = err
+				if errors.Is(err, ErrMigrationOverflow) {
+					c.drops++
+				}
+				rules[i] = nil // phase 4 skips gated entries
+			}
 		}
 	}
 

@@ -324,3 +324,61 @@ func TestStatsCounting(t *testing.T) {
 		t.Errorf("stats = %+v, want Rx=Tx=NewFlows=5", st)
 	}
 }
+
+// TestDanglingNextHopPinHeals covers the failover black-hole repair: a
+// route update that removes the downstream forwarder a flow was pinned
+// to (a dead site) must lazily re-pin the flow's next hop to a member of
+// the new rule, while the local-element pin stays untouched (moving a
+// stateful flow between instances is live migration's job, never an
+// implicit side effect of a reroute).
+func TestDanglingNextHopPinHeals(t *testing.T) {
+	f, _, _, next1, next2, edge := chainForwarder(t, ModeAffinity)
+
+	// Pin flow 6: entry picks the instance, the post-VNF hop pins Next.
+	nh, err := f.Process(labeledPacket(6), edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vnfHop := nh.ID
+	nh, err = f.Process(labeledPacket(6), vnfHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldNext := nh.ID
+	if oldNext != next1 && oldNext != next2 {
+		t.Fatalf("flow pinned next hop %d, want one of the rule's next hops", oldNext)
+	}
+
+	// Failover: the downstream site is gone; the new rule's next hops do
+	// not include the pinned one.
+	survivor := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("C", "f7")})
+	f.InstallRule(chainLabels, RuleSpec{
+		LocalVNF: []WeightedHop{{vnfHop, 1}},
+		Next:     []WeightedHop{{survivor, 1}},
+		Prev:     []WeightedHop{{edge, 1}},
+	})
+
+	// The local pin must hold; the dangling next-hop pin must heal.
+	nh, err = f.Process(labeledPacket(6), edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != vnfHop {
+		t.Fatalf("flow moved to instance %d after reroute, want pinned %d", nh.ID, vnfHop)
+	}
+	nh, err = f.Process(labeledPacket(6), vnfHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != survivor {
+		t.Fatalf("post-VNF packet went to hop %d, want healed next hop %d", nh.ID, survivor)
+	}
+	// The healed pin is sticky: later packets agree without re-healing.
+	nh, err = f.Process(labeledPacket(6), vnfHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh.ID != survivor {
+		t.Fatalf("healed next hop did not stick: got %d, want %d", nh.ID, survivor)
+	}
+}

@@ -1,0 +1,139 @@
+package forwarder
+
+import (
+	"errors"
+	"sync"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+)
+
+// Live flow migration (the drain/handoff window). While a migration is
+// active on a forwarder, packets of the migrating flows that would be
+// delivered to the old VNF instance are buffered at the gate instead of
+// dropped; packets returning *from* the old instance still flow onward,
+// draining its in-flight work. Once per-flow state has been handed off
+// and the flow-table records repinned, the coordinator flushes the
+// buffer through the normal pipeline — the packets then resolve to the
+// new instance, stamped with labels.AnnMigrated.
+
+// Errors reported by the migration gate.
+var (
+	// ErrMigrating marks a packet absorbed by an active migration gate.
+	// It is not a drop: the gate owns the packet and the coordinator will
+	// re-emit it after the handoff, so runners must NOT recycle it.
+	ErrMigrating = errors.New("forwarder: packet buffered by migration gate")
+	// ErrMigrationOverflow marks a packet lost because the migration
+	// buffer was full; these are the migration's counted losses.
+	ErrMigrationOverflow = errors.New("forwarder: migration buffer overflow")
+	// ErrMigrationActive is returned by BeginMigration when the forwarder
+	// already has a migration in progress.
+	ErrMigrationActive = errors.New("forwarder: migration already in progress")
+)
+
+// Migration is one in-progress flow handoff on one forwarder: the gate
+// state for a set of flows of one chain moving off one local VNF
+// instance hop.
+type Migration struct {
+	st     labels.Stack
+	oldHop flowtable.Hop
+	flows  map[packet.FlowKey]bool // canonical keys of migrating flows
+	max    int
+
+	mu       sync.Mutex
+	pkts     []*packet.Packet
+	froms    []flowtable.Hop
+	closed   bool
+	overflow uint64
+}
+
+// buffer absorbs one gated packet, reporting false on overflow (or when
+// the gate already closed under a racing burst).
+func (m *Migration) buffer(p *packet.Packet, from flowtable.Hop) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || len(m.pkts) >= m.max {
+		m.overflow++
+		return false
+	}
+	m.pkts = append(m.pkts, p)
+	m.froms = append(m.froms, from)
+	return true
+}
+
+// Buffered returns the number of packets currently held by the gate.
+func (m *Migration) Buffered() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pkts)
+}
+
+// Overflow returns the number of packets the gate could not hold —
+// the migration's explicitly counted losses.
+func (m *Migration) Overflow() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.overflow
+}
+
+// BeginMigration opens a migration gate for the given flows (canonical
+// keys) of stack st pinned to oldHop. At most one migration may be
+// active per forwarder; maxBuffer bounds the number of packets held
+// during the window (≤0 uses a small default).
+func (f *Forwarder) BeginMigration(st labels.Stack, oldHop flowtable.Hop, flows []flowtable.Key, maxBuffer int) (*Migration, error) {
+	if maxBuffer <= 0 {
+		maxBuffer = 4 * packet.DefaultBatchSize
+	}
+	m := &Migration{
+		st:     st,
+		oldHop: oldHop,
+		flows:  make(map[packet.FlowKey]bool, len(flows)),
+		max:    maxBuffer,
+	}
+	for _, k := range flows {
+		if k.Chain == st.Chain && k.Egress == st.Egress {
+			m.flows[k.Flow] = true
+		}
+	}
+	if !f.migration.CompareAndSwap(nil, m) {
+		return nil, ErrMigrationActive
+	}
+	return m, nil
+}
+
+// EndMigration closes the gate and surrenders the buffered packets (and
+// the hops they arrived from) to the caller, who re-runs them through
+// the pipeline now that the flow table points at the new instance. Safe
+// to call once per BeginMigration.
+func (f *Forwarder) EndMigration(m *Migration) (pkts []*packet.Packet, froms []flowtable.Hop, overflow uint64) {
+	f.migration.CompareAndSwap(m, nil)
+	m.mu.Lock()
+	m.closed = true
+	pkts, froms, overflow = m.pkts, m.froms, m.overflow
+	m.pkts, m.froms = nil, nil
+	m.mu.Unlock()
+	return pkts, froms, overflow
+}
+
+// gateCheck routes one resolved packet into an active migration gate
+// when it targets the migrating instance and belongs to a migrating
+// flow. Returns the error to record (ErrMigrating / overflow) or nil
+// when the packet should proceed normally. Off the fast path unless a
+// migration is active.
+func (m *Migration) gateCheck(p *packet.Packet, st labels.Stack, target, from flowtable.Hop) error {
+	if target != m.oldHop || st != m.st {
+		return nil
+	}
+	canon, _ := p.Key.Canonical()
+	if !m.flows[canon] {
+		return nil
+	}
+	if m.buffer(p, from) {
+		return ErrMigrating
+	}
+	return ErrMigrationOverflow
+}
+
+// MigrationActive reports whether a migration gate is currently open.
+func (f *Forwarder) MigrationActive() bool { return f.migration.Load() != nil }

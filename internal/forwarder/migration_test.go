@@ -1,0 +1,110 @@
+package forwarder
+
+import (
+	"errors"
+	"testing"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/labels"
+)
+
+// migrationRig pins three flows on a forwarder with a shared table and
+// returns the hop one of them is pinned to plus the table for
+// enumeration.
+func migrationRig(t *testing.T) (f *Forwarder, tb *flowtable.Table, oldHop, newHop, edge flowtable.Hop) {
+	t.Helper()
+	tb = flowtable.New(4)
+	f = NewWithStore("f1", ModeAffinity, tb)
+	vnf1 := f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "g1"), LabelAware: true})
+	vnf2 := f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "g2"), LabelAware: true})
+	next := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "f2")})
+	edge = f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", "edge")})
+	f.InstallRule(chainLabels, RuleSpec{
+		LocalVNF: []WeightedHop{{vnf1, 1}, {vnf2, 1}},
+		Next:     []WeightedHop{{next, 1}},
+		Prev:     []WeightedHop{{edge, 1}},
+	})
+	nh, err := f.Process(labeledPacket(1), edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldHop = nh.ID
+	// The freshly added instance flows will migrate to.
+	newHop = f.AddHop(NextHop{Kind: KindVNF, Addr: addr("A", "g3"), LabelAware: true, Labels: chainLabels})
+	return f, tb, oldHop, newHop, edge
+}
+
+func TestMigrationGateBuffersAndReplays(t *testing.T) {
+	f, tb, oldHop, newHop, edge := migrationRig(t)
+	flows := tb.FlowsPinnedTo(chainLabels, oldHop)
+	if len(flows) != 1 {
+		t.Fatalf("pinned flows = %d, want 1", len(flows))
+	}
+
+	m, err := f.BeginMigration(chainLabels, oldHop, flows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.MigrationActive() {
+		t.Fatal("MigrationActive = false with an open gate")
+	}
+	if _, err := f.BeginMigration(chainLabels, oldHop, flows, 2); !errors.Is(err, ErrMigrationActive) {
+		t.Fatalf("second BeginMigration err = %v, want ErrMigrationActive", err)
+	}
+
+	// Inbound packets of the migrating flow are absorbed by the gate.
+	for i := 0; i < 2; i++ {
+		if _, err := f.Process(labeledPacket(1), edge); !errors.Is(err, ErrMigrating) {
+			t.Fatalf("gated packet %d err = %v, want ErrMigrating", i, err)
+		}
+	}
+	if m.Buffered() != 2 {
+		t.Fatalf("Buffered = %d, want 2", m.Buffered())
+	}
+	// Past the buffer cap the loss is explicit, never silent.
+	if _, err := f.Process(labeledPacket(1), edge); !errors.Is(err, ErrMigrationOverflow) {
+		t.Fatalf("overflow packet err = %v, want ErrMigrationOverflow", err)
+	}
+	if m.Overflow() != 1 {
+		t.Fatalf("Overflow = %d, want 1", m.Overflow())
+	}
+
+	// A different flow (pinned elsewhere or fresh) still flows freely.
+	if _, err := f.Process(labeledPacket(2), edge); err != nil {
+		t.Fatalf("non-migrating flow blocked: %v", err)
+	}
+	// Packets returning FROM the old instance drain onward untouched.
+	p := labeledPacket(1)
+	if nh, err := f.Process(p, oldHop); err != nil || nh.Kind != KindForwarder {
+		t.Fatalf("drain packet: nh=%+v err=%v, want next-hop forwarder", nh, err)
+	}
+
+	// Handoff: repin the flow, close the gate, replay the buffer.
+	if moved := tb.RepinFlows(chainLabels, flows, oldHop, newHop, labels.AnnMigrated); moved != 1 {
+		t.Fatalf("RepinFlows = %d, want 1", moved)
+	}
+	pkts, froms, lost := f.EndMigration(m)
+	if len(pkts) != 2 || lost != 1 {
+		t.Fatalf("EndMigration: %d pkts, %d lost; want 2 and 1", len(pkts), lost)
+	}
+	if f.MigrationActive() {
+		t.Fatal("MigrationActive = true after EndMigration")
+	}
+	for i, bp := range pkts {
+		nh, err := f.Process(bp, froms[i])
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if nh.ID != newHop {
+			t.Fatalf("replay %d went to hop %d, want migrated instance %d", i, nh.ID, newHop)
+		}
+		if bp.Ann != labels.AnnMigrated {
+			t.Fatalf("replay %d Ann = %d, want AnnMigrated", i, bp.Ann)
+		}
+	}
+	// Fresh packets of the flow also resolve to the new instance.
+	nh, err := f.Process(labeledPacket(1), edge)
+	if err != nil || nh.ID != newHop {
+		t.Fatalf("post-migration packet: nh=%+v err=%v, want hop %d", nh, err, newHop)
+	}
+}

@@ -2,6 +2,7 @@ package forwarder
 
 import (
 	"context"
+	"errors"
 
 	"switchboard/internal/flowtable"
 	"switchboard/internal/packet"
@@ -110,8 +111,11 @@ func (r *Runner) Run(ctx context.Context) {
 		// hops per burst is small, so a linear scan beats a map.
 		groups = groups[:0]
 		for i, p := range pkts {
-			if res.Errs[i] != nil {
-				if r.Pool != nil {
+			if err := res.Errs[i]; err != nil {
+				// A packet absorbed by a migration gate is owned by the
+				// gate (the coordinator re-emits it after the handoff), so
+				// it must not be recycled here.
+				if r.Pool != nil && !errors.Is(err, ErrMigrating) {
 					r.Pool.Put(p)
 				}
 				continue

@@ -1,0 +1,55 @@
+package introspect
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"switchboard/internal/autoscale"
+	"switchboard/internal/metrics"
+	"switchboard/internal/slo"
+)
+
+type nopExec struct{}
+
+func (nopExec) ScaleOut(string, string, float64) (autoscale.Outcome, error) {
+	return autoscale.Outcome{}, nil
+}
+func (nopExec) ScaleIn(string, string, float64) (autoscale.Outcome, error) {
+	return autoscale.Outcome{}, nil
+}
+
+func TestAutoscalerRoute(t *testing.T) {
+	ev := slo.New(slo.Config{})
+	ev.Track(slo.ChainSLO{Chain: "web", Budget: time.Millisecond, E2E: metrics.NewHistogram()})
+	a, err := autoscale.New(autoscale.Config{Evaluator: ev, Executor: nopExec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Add(autoscale.Policy{Chain: "web", Role: "nat", MaxInstances: 3}, 1)
+
+	h := HandlerOpts(Options{Registry: metrics.NewRegistry(), Autoscaler: a})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/autoscaler", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /autoscaler = %d, want 200", rr.Code)
+	}
+	var st autoscale.Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if len(st.Policies) != 1 || st.Policies[0].Chain != "web" || st.Policies[0].Instances != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Without an Autoscaler the route must 404, like the other optional
+	// routes.
+	h = HandlerOpts(Options{Registry: metrics.NewRegistry()})
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/autoscaler", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("GET /autoscaler without autoscaler = %d, want 404", rr.Code)
+	}
+}

@@ -21,6 +21,9 @@
 //	                  error-budget burn, alert state
 //	                  (only when an Evaluator is wired in via Options)
 //	/debug/alerts     JSON alert log: fired/resolved SLO breaches
+//	/autoscaler       JSON autoscaler view: per-policy instance counts,
+//	                  streaks, and the scale-decision log
+//	                  (only when an Autoscaler is wired in via Options)
 //	/healthz          liveness probe ("ok")
 //	/debug/pprof/     net/http/pprof profiles (CPU, heap, goroutines, ...)
 package introspect
@@ -32,6 +35,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 
+	"switchboard/internal/autoscale"
 	"switchboard/internal/metrics"
 	"switchboard/internal/obs"
 	"switchboard/internal/slo"
@@ -50,6 +54,9 @@ type Options struct {
 	Events *obs.Recorder
 	// SLO backs /slo and /debug/alerts: the per-chain SLO evaluator.
 	SLO *slo.Evaluator
+	// Autoscaler backs /autoscaler: the reconciler's policies and its
+	// decision log.
+	Autoscaler *autoscale.Autoscaler
 }
 
 // Handler returns an http.Handler serving the registry. Safe for
@@ -151,6 +158,16 @@ func HandlerOpts(opts Options) http.Handler {
 				Alerts: opts.SLO.Alerts(),
 			}
 			data, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, data)
+		})
+	}
+	if opts.Autoscaler != nil {
+		mux.HandleFunc("/autoscaler", func(w http.ResponseWriter, _ *http.Request) {
+			data, err := json.MarshalIndent(opts.Autoscaler.Status(), "", "  ")
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return

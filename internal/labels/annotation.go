@@ -1,0 +1,54 @@
+package labels
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Flow annotations ride in the 3-bit traffic-class field of the chain
+// label entry (bits 9-11 of the MPLS-style shim), which the plain
+// Encode/Decode pair leaves zero. Following "Active Switching:
+// Packet-Steering Flow Annotations", the annotation is a per-flow
+// steering hint that travels with the packet without changing the
+// {chain, egress} stack — forwarder rules stay keyed by Stack alone.
+const (
+	// MaxAnnotation is the largest encodable flow annotation (3 bits).
+	MaxAnnotation = 1<<3 - 1
+
+	// AnnNone marks an unannotated flow.
+	AnnNone uint8 = 0
+	// AnnMigrated marks a flow whose pin was moved to a new VNF instance
+	// by live migration; forwarders stamp it from the flow-table record
+	// so downstream hops can tell handed-off flows from fresh ones.
+	AnnMigrated uint8 = 1
+)
+
+// ErrAnnotationRange is returned when an annotation exceeds MaxAnnotation.
+var ErrAnnotationRange = fmt.Errorf("labels: annotation out of range (max %d)", MaxAnnotation)
+
+// EncodeAnnotated writes the stack into buf like Encode, additionally
+// packing ann into the chain entry's class bits.
+func (s Stack) EncodeAnnotated(buf []byte, ann uint8) (int, error) {
+	if ann > MaxAnnotation {
+		return 0, ErrAnnotationRange
+	}
+	n, err := s.Encode(buf)
+	if err != nil {
+		return 0, err
+	}
+	first := binary.BigEndian.Uint32(buf[0:4])
+	binary.BigEndian.PutUint32(buf[0:4], first|uint32(ann)<<9)
+	return n, nil
+}
+
+// DecodeAnnotated parses a label stack and the chain entry's flow
+// annotation from buf. Decode discards the same bits, so the two are
+// wire-compatible.
+func DecodeAnnotated(buf []byte) (Stack, uint8, error) {
+	s, err := Decode(buf)
+	if err != nil {
+		return Stack{}, 0, err
+	}
+	first := binary.BigEndian.Uint32(buf[0:4])
+	return s, uint8(first >> 9 & 0x7), nil
+}

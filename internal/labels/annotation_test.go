@@ -1,0 +1,48 @@
+package labels
+
+import "testing"
+
+func TestAnnotationRoundTrip(t *testing.T) {
+	st := Stack{Chain: 42, Egress: 7}
+	var buf [16]byte
+	for ann := uint8(0); ann <= MaxAnnotation; ann++ {
+		n, err := st.EncodeAnnotated(buf[:], ann)
+		if err != nil {
+			t.Fatalf("EncodeAnnotated(ann=%d): %v", ann, err)
+		}
+		got, gotAnn, err := DecodeAnnotated(buf[:n])
+		if err != nil {
+			t.Fatalf("DecodeAnnotated(ann=%d): %v", ann, err)
+		}
+		if got != st || gotAnn != ann {
+			t.Fatalf("roundtrip ann=%d: got stack %+v ann %d", ann, got, gotAnn)
+		}
+	}
+}
+
+func TestAnnotationRange(t *testing.T) {
+	st := Stack{Chain: 1, Egress: 2}
+	var buf [16]byte
+	if _, err := st.EncodeAnnotated(buf[:], MaxAnnotation+1); err == nil {
+		t.Fatal("EncodeAnnotated accepted an out-of-range annotation")
+	}
+}
+
+// TestAnnotatedDecodesAsPlain pins wire compatibility: a plain Decode
+// of an annotated encoding must still recover the stack (annotation
+// bits live in the class field, which Decode ignores).
+func TestAnnotatedDecodesAsPlain(t *testing.T) {
+	st := Stack{Chain: 3, Egress: 9}
+	var buf [16]byte
+	n, err := st.EncodeAnnotated(buf[:], AnnMigrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf[:n])
+	if err != nil {
+		t.Fatalf("plain Decode of annotated bytes: %v", err)
+	}
+	if got != st {
+		t.Fatalf("plain Decode got %+v, want %+v", got, st)
+	}
+}

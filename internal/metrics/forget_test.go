@@ -1,0 +1,56 @@
+package metrics
+
+import "testing"
+
+// hasName checks instance presence via Snapshot — Names() reports
+// keyed patterns, not per-key instances.
+func hasName(r *Registry, name string) bool {
+	s := r.Snapshot()
+	if _, ok := s.Counters[name]; ok {
+		return true
+	}
+	if _, ok := s.Gauges[name]; ok {
+		return true
+	}
+	_, ok := s.Histograms[name]
+	return ok
+}
+
+func TestKeyedCountersForget(t *testing.T) {
+	r := NewRegistry()
+	k := NewKeyedCounters(r, "edge.e1.chain.<chain>.ingressed", 0)
+	k.Get("web").Inc()
+	if !hasName(r, "edge.e1.chain.web.ingressed") {
+		t.Fatal("instance not registered")
+	}
+	if !k.Forget("web") {
+		t.Fatal("Forget returned false for a live key")
+	}
+	if hasName(r, "edge.e1.chain.web.ingressed") {
+		t.Fatal("instance still registered after Forget")
+	}
+	if k.Has("web") || k.Len() != 0 {
+		t.Fatal("key still live after Forget")
+	}
+	if k.Forget("web") {
+		t.Fatal("Forget returned true for an unknown key")
+	}
+	// The key can come back fresh after a Forget.
+	if got := k.Get("web").Load(); got != 0 {
+		t.Fatalf("recreated counter = %d, want 0", got)
+	}
+}
+
+func TestKeyedGaugesAndHistogramsForget(t *testing.T) {
+	r := NewRegistry()
+	g := NewKeyedGauges(r, "x.<k>.g", 0)
+	h := NewKeyedHistograms(r, "x.<k>.h", 0)
+	g.Get("a")
+	h.Get("a")
+	if !g.Forget("a") || !h.Forget("a") {
+		t.Fatal("Forget returned false for live keys")
+	}
+	if hasName(r, "x.a.g") || hasName(r, "x.a.h") {
+		t.Fatal("instances still registered after Forget")
+	}
+}

@@ -96,6 +96,21 @@ func (f *keyedFamily) touch(key string) (isNew bool, evicted string) {
 	return true, evicted
 }
 
+// forget drops key and unregisters its instance, reporting whether the
+// key was live. The caller must hold f.mu. Unlike LRU eviction this is
+// deliberate garbage collection — used when the keyed entity (a chain)
+// is deleted rather than merely cold.
+func (f *keyedFamily) forget(key string) bool {
+	if _, ok := f.lastUse[key]; !ok {
+		return false
+	}
+	delete(f.lastUse, key)
+	if f.reg != nil {
+		f.reg.Unregister(f.name(key))
+	}
+	return true
+}
+
 // Pattern returns the family's name pattern.
 func (f *keyedFamily) Pattern() string { return f.pattern }
 
@@ -153,6 +168,15 @@ func (k *KeyedCounters) Get(key string) *Counter {
 	return c
 }
 
+// Forget drops key's counter and unregisters it (no-op for unknown
+// keys), reporting whether the key was live. Safe for concurrent use.
+func (k *KeyedCounters) Forget(key string) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.inst, key)
+	return k.forget(key)
+}
+
 // KeyedGauges is a keyed family of Gauges.
 type KeyedGauges struct {
 	keyedFamily
@@ -189,6 +213,14 @@ func (k *KeyedGauges) Get(key string) *Gauge {
 	return g
 }
 
+// Forget drops key's gauge and unregisters it; see KeyedCounters.Forget.
+func (k *KeyedGauges) Forget(key string) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.inst, key)
+	return k.forget(key)
+}
+
 // KeyedHistograms is a keyed family of Histograms.
 type KeyedHistograms struct {
 	keyedFamily
@@ -223,4 +255,13 @@ func (k *KeyedHistograms) Get(key string) *Histogram {
 		k.reg.markKeyed(name, k.pattern)
 	}
 	return h
+}
+
+// Forget drops key's histogram and unregisters it; see
+// KeyedCounters.Forget.
+func (k *KeyedHistograms) Forget(key string) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.inst, key)
+	return k.forget(key)
 }

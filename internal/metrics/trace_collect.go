@@ -150,6 +150,15 @@ func (c *TraceCollector) ChainEndToEnd(key string) *Histogram {
 	return c.chains.Get(key)
 }
 
+// ForgetChain garbage-collects a deleted chain's end-to-end histogram,
+// unregistering its keyed instance (typically via slo.ChainSLO.Release
+// when the chain is forgotten). Safe for concurrent use.
+func (c *TraceCollector) ForgetChain(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.chains.Forget(key)
+}
+
 // Traces returns how many traces have been recorded. Safe for
 // concurrent use.
 func (c *TraceCollector) Traces() uint64 {

@@ -114,6 +114,11 @@ type Packet struct {
 	// forwarder has stripped labels for a label-unaware VNF.
 	Labels  labels.Stack
 	Labeled bool
+	// Ann is the per-flow steering annotation carried in the chain
+	// entry's class bits (labels.AnnMigrated after a live handoff). It is
+	// metadata about the flow, not part of the rule key, so it stays off
+	// the Stack.
+	Ann uint8
 	// Key is the connection 5-tuple.
 	Key FlowKey
 	// Payload is the application bytes (may be nil in benchmarks).
@@ -140,7 +145,7 @@ func (p *Packet) MarshalAppend(buf []byte) ([]byte, error) {
 	}
 	buf = append(buf, flags)
 	var lb [labels.HeaderSize]byte
-	if _, err := p.Labels.Encode(lb[:]); err != nil {
+	if _, err := p.Labels.EncodeAnnotated(lb[:], p.Ann); err != nil {
 		return nil, err
 	}
 	buf = append(buf, lb[:]...)
@@ -161,11 +166,12 @@ func Unmarshal(buf []byte) (*Packet, error) {
 		return nil, ErrShortPacket
 	}
 	p := &Packet{Labeled: buf[0]&1 != 0}
-	st, err := labels.Decode(buf[1 : 1+labels.HeaderSize])
+	st, ann, err := labels.DecodeAnnotated(buf[1 : 1+labels.HeaderSize])
 	if err != nil {
 		return nil, err
 	}
 	p.Labels = st
+	p.Ann = ann
 	kb := buf[1+labels.HeaderSize : headerSize]
 	p.Key = FlowKey{
 		SrcIP:   binary.BigEndian.Uint32(kb[0:4]),

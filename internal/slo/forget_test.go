@@ -1,0 +1,89 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"switchboard/internal/metrics"
+)
+
+// fireChain drives a fresh evaluator until chain "c1" is firing on a
+// loss breach, returning the evaluator and the time of the last pass.
+func fireChain(t *testing.T) (*Evaluator, time.Time) {
+	t.Helper()
+	var sent uint64
+	e := New(Config{FireAfter: 1, ResolveAfter: 1})
+	e.Track(ChainSLO{
+		Chain:     "c1",
+		Budget:    time.Millisecond,
+		E2E:       metrics.NewHistogram(),
+		Sent:      func() uint64 { sent += 100; return sent },
+		Delivered: func() uint64 { return 0 },
+	})
+	now := time.Unix(1000, 0)
+	e.Evaluate(now)
+	if e.State("c1") != StateFiring {
+		t.Fatalf("setup: chain not firing (state %q)", e.State("c1"))
+	}
+	return e, now
+}
+
+func TestForgetClosesOpenAlert(t *testing.T) {
+	e, now := fireChain(t)
+	deleted := now.Add(time.Second)
+	if !e.Forget("c1", deleted) {
+		t.Fatal("Forget returned false for a tracked chain")
+	}
+	if e.Firing() != 0 {
+		t.Fatalf("firing = %d after Forget, want 0", e.Firing())
+	}
+	if e.State("c1") != "" {
+		t.Fatalf("state = %q after Forget, want untracked", e.State("c1"))
+	}
+	alerts := e.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	if !alerts[0].ResolvedAt.Equal(deleted) {
+		t.Fatalf("alert not resolved at deletion time: %+v", alerts[0])
+	}
+	if !strings.Contains(alerts[0].Reason, "chain deleted") {
+		t.Fatalf("alert reason %q lacks deletion marker", alerts[0].Reason)
+	}
+	if e.Forget("c1", deleted) {
+		t.Fatal("Forget returned true for an already-forgotten chain")
+	}
+}
+
+// TestUntrackLeavesAlertOpen pins the contrasting behaviour: Untrack is
+// for SLO replacement/handover and deliberately leaves the alert as-is,
+// while Forget is chain deletion and must close it.
+func TestUntrackLeavesAlertOpen(t *testing.T) {
+	e, _ := fireChain(t)
+	e.Untrack("c1")
+	alerts := e.Alerts()
+	if len(alerts) != 1 || !alerts[0].ResolvedAt.IsZero() {
+		t.Fatalf("alerts = %+v, want one still-open alert", alerts)
+	}
+}
+
+func TestForgetRunsReleaseHook(t *testing.T) {
+	released := 0
+	e := New(Config{})
+	e.Track(ChainSLO{
+		Chain:   "c2",
+		Budget:  time.Millisecond,
+		E2E:     metrics.NewHistogram(),
+		Release: func() { released++ },
+	})
+	e.Forget("c2", time.Unix(1000, 0))
+	if released != 1 {
+		t.Fatalf("Release ran %d times, want 1", released)
+	}
+	// Forgetting an unknown chain must not run anything.
+	e.Forget("c2", time.Unix(1001, 0))
+	if released != 1 {
+		t.Fatalf("Release ran again on a forgotten chain (%d)", released)
+	}
+}

@@ -50,6 +50,11 @@ type ChainSLO struct {
 	// Drops reports cumulative explicit drops attributed to the chain
 	// (forwarder per-chain drop counters, summed). Optional.
 	Drops func() uint64
+	// Release is invoked once when the chain is garbage-collected via
+	// Evaluator.Forget — the hook where the telemetry sources behind the
+	// funcs above unregister their per-chain keyed metric instances.
+	// Optional.
+	Release func()
 }
 
 // Config tunes the evaluator. The zero value picks the defaults noted
@@ -234,6 +239,41 @@ func (e *Evaluator) Untrack(chain string) {
 			}
 		}
 	}
+}
+
+// Forget garbage-collects a deleted chain: the chain is untracked, an
+// open firing alert for it is resolved at now with "(chain deleted)"
+// appended to its reason — Untrack would leave it firing forever — and
+// the SLO's Release hook runs (outside the lock) so per-chain keyed
+// metric instances are unregistered instead of lingering until LRU
+// eviction. Reports whether the chain was tracked.
+func (e *Evaluator) Forget(chain string, now time.Time) bool {
+	e.mu.Lock()
+	t, ok := e.chains[chain]
+	if !ok {
+		e.mu.Unlock()
+		return false
+	}
+	if t.state == StateFiring {
+		e.firing--
+		if t.open >= 0 && t.open < len(e.alerts) {
+			e.alerts[t.open].ResolvedAt = now
+			e.alerts[t.open].Reason += " (chain deleted)"
+		}
+	}
+	delete(e.chains, chain)
+	for i, c := range e.order {
+		if c == chain {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	release := t.slo.Release
+	e.mu.Unlock()
+	if release != nil {
+		release()
+	}
+	return true
 }
 
 // Evaluate runs one evaluation pass at the given time: per tracked

@@ -1,0 +1,123 @@
+package vnf
+
+import (
+	"encoding/json"
+
+	"switchboard/internal/packet"
+)
+
+// FlowStateMigrator is implemented by stateful Functions whose per-flow
+// state can be handed off between instances during live migration. The
+// coordinator exports the state of the migrating flows from the old
+// instance after the migration gate has drained it, and imports the
+// snapshot on the new instance before flipping the flow-table pins —
+// so the first packet the new instance sees already finds its bindings.
+//
+// flows are the canonical (direction-independent) keys of the migrating
+// connections, exactly as enumerated from the flow table; stateful
+// functions must match them against their own keying in both
+// orientations (a NAT, for example, keys by pre- and post-translation
+// tuples).
+type FlowStateMigrator interface {
+	ExportFlowState(flows []packet.FlowKey) ([]byte, error)
+	ImportFlowState(data []byte) error
+}
+
+// natBinding is one exported NAT translation.
+type natBinding struct {
+	IP      uint32 `json:"ip"`
+	Port    uint16 `json:"port"`
+	PubPort uint16 `json:"pub_port"`
+}
+
+// natSnapshot is the NAT's wire format for handed-off bindings.
+type natSnapshot struct {
+	PublicIP uint32       `json:"public_ip"`
+	Bindings []natBinding `json:"bindings"`
+}
+
+// ExportFlowState implements FlowStateMigrator: it snapshots the
+// translations of the given flows. A canonical key may reference a
+// binding from either side — by the original (inside) endpoint, or by
+// the public IP/port of an already-translated tuple — so both
+// orientations are probed.
+func (n *NAT) ExportFlowState(flows []packet.FlowKey) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := make(map[uint16]bool)
+	snap := natSnapshot{PublicIP: n.publicIP}
+	add := func(orig natKey, pub uint16) {
+		if !seen[pub] {
+			seen[pub] = true
+			snap.Bindings = append(snap.Bindings, natBinding{IP: orig.ip, Port: orig.port, PubPort: pub})
+		}
+	}
+	for _, k := range flows {
+		if pub, ok := n.forward[natKey{ip: k.SrcIP, port: k.SrcPort}]; ok {
+			add(natKey{ip: k.SrcIP, port: k.SrcPort}, pub)
+		}
+		if pub, ok := n.forward[natKey{ip: k.DstIP, port: k.DstPort}]; ok {
+			add(natKey{ip: k.DstIP, port: k.DstPort}, pub)
+		}
+		if k.SrcIP == n.publicIP {
+			if orig, ok := n.back[k.SrcPort]; ok {
+				add(orig, k.SrcPort)
+			}
+		}
+		if k.DstIP == n.publicIP {
+			if orig, ok := n.back[k.DstPort]; ok {
+				add(orig, k.DstPort)
+			}
+		}
+	}
+	return json.Marshal(snap)
+}
+
+// ImportFlowState implements FlowStateMigrator: it installs handed-off
+// bindings. The importing instance must allocate fresh ports from a
+// disjoint range (see NewNATWithBase) so imported bindings cannot
+// collide with its own allocations.
+func (n *NAT) ImportFlowState(data []byte) error {
+	var snap natSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, b := range snap.Bindings {
+		orig := natKey{ip: b.IP, port: b.Port}
+		n.forward[orig] = b.PubPort
+		n.back[b.PubPort] = orig
+	}
+	return nil
+}
+
+// ExportFlowState implements FlowStateMigrator for the firewall: the
+// tracked-connection bits of the given flows (keys are already
+// canonical, matching the firewall's own keying).
+func (f *Firewall) ExportFlowState(flows []packet.FlowKey) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []packet.FlowKey
+	for _, k := range flows {
+		canon, _ := k.Canonical()
+		if f.conns[canon] {
+			out = append(out, canon)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// ImportFlowState implements FlowStateMigrator for the firewall.
+func (f *Firewall) ImportFlowState(data []byte) error {
+	var conns []packet.FlowKey
+	if err := json.Unmarshal(data, &conns); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, k := range conns {
+		f.conns[k] = true
+	}
+	return nil
+}

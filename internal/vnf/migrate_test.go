@@ -1,0 +1,108 @@
+package vnf
+
+import (
+	"testing"
+
+	"switchboard/internal/packet"
+)
+
+func TestNATStateHandoff(t *testing.T) {
+	pub := uint32(0x05050505)
+	old := NewNATWithBase(pub, 20000)
+	neu := NewNATWithBase(pub, 30000)
+
+	// Establish a translation on the old instance.
+	fwd := &packet.Packet{Key: packet.FlowKey{SrcIP: 0x0A000001, DstIP: 0xC0A80001, SrcPort: 4444, DstPort: 80, Proto: 6}}
+	if !old.Process(fwd) {
+		t.Fatal("old NAT dropped the forward packet")
+	}
+	pubPort := fwd.Key.SrcPort
+	if fwd.Key.SrcIP != pub {
+		t.Fatal("old NAT did not translate")
+	}
+
+	// Hand off using the canonical flow key exactly as the flow table
+	// records it: the POST-translation tuple (the forwarder pins the
+	// flow after the NAT rewrote it on the way in... both orientations
+	// must work, so probe with the pre-translation tuple too).
+	for name, key := range map[string]packet.FlowKey{
+		"pre-translation":  {SrcIP: 0x0A000001, DstIP: 0xC0A80001, SrcPort: 4444, DstPort: 80, Proto: 6},
+		"post-translation": {SrcIP: 0xC0A80001, DstIP: pub, SrcPort: 80, DstPort: pubPort, Proto: 6},
+	} {
+		state, err := old.ExportFlowState([]packet.FlowKey{key})
+		if err != nil {
+			t.Fatalf("%s export: %v", name, err)
+		}
+		fresh := NewNATWithBase(pub, 30000)
+		if err := fresh.ImportFlowState(state); err != nil {
+			t.Fatalf("%s import: %v", name, err)
+		}
+		if fresh.Translations() != 1 {
+			t.Fatalf("%s: imported %d translations, want 1", name, fresh.Translations())
+		}
+	}
+
+	canonPost, _ := fwd.Key.Canonical()
+	state, err := old.ExportFlowState([]packet.FlowKey{canonPost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := neu.ImportFlowState(state); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reverse packet arriving at the NEW instance finds the binding.
+	rev := &packet.Packet{Key: packet.FlowKey{SrcIP: 0xC0A80001, DstIP: pub, SrcPort: 80, DstPort: pubPort, Proto: 6}}
+	if !neu.Process(rev) {
+		t.Fatal("new NAT dropped the reverse packet — binding not handed off")
+	}
+	if rev.Key.DstIP != 0x0A000001 || rev.Key.DstPort != 4444 {
+		t.Fatalf("reverse translation wrong: %+v", rev.Key)
+	}
+
+	// A later forward packet of the migrated flow reuses the SAME public
+	// port (no re-allocation, so the server sees one continuous flow).
+	fwd2 := &packet.Packet{Key: packet.FlowKey{SrcIP: 0x0A000001, DstIP: 0xC0A80001, SrcPort: 4444, DstPort: 80, Proto: 6}}
+	if !neu.Process(fwd2) {
+		t.Fatal("new NAT dropped the forward packet")
+	}
+	if fwd2.Key.SrcPort != pubPort {
+		t.Fatalf("migrated flow re-translated to %d, want original %d", fwd2.Key.SrcPort, pubPort)
+	}
+
+	// New flows on the new instance allocate from ITS disjoint range.
+	other := &packet.Packet{Key: packet.FlowKey{SrcIP: 0x0A000002, DstIP: 0xC0A80001, SrcPort: 5555, DstPort: 80, Proto: 6}}
+	if !neu.Process(other) {
+		t.Fatal("new NAT dropped a fresh flow")
+	}
+	if other.Key.SrcPort < 30000 {
+		t.Fatalf("fresh flow got port %d, want >= 30000 (disjoint base)", other.Key.SrcPort)
+	}
+}
+
+func TestFirewallStateHandoff(t *testing.T) {
+	inside := []Prefix{{IP: 0x0A000000, Bits: 8}}
+	rules := []FirewallRule{{DstPort: 80, Action: Allow}}
+	old := NewFirewall(inside, rules)
+	neu := NewFirewall(inside, rules)
+
+	out := &packet.Packet{Key: packet.FlowKey{SrcIP: 0x0A000001, DstIP: 0xC0A80001, SrcPort: 4444, DstPort: 80, Proto: 6}}
+	if !old.Process(out) {
+		t.Fatal("old firewall dropped the outbound packet")
+	}
+	canon, _ := out.Key.Canonical()
+
+	state, err := old.ExportFlowState([]packet.FlowKey{canon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := neu.ImportFlowState(state); err != nil {
+		t.Fatal(err)
+	}
+	// The return packet hits the NEW instance: without the handed-off
+	// connection entry a stateful firewall would drop it.
+	back := &packet.Packet{Key: packet.FlowKey{SrcIP: 0xC0A80001, DstIP: 0x0A000001, SrcPort: 80, DstPort: 4444, Proto: 6}}
+	if !neu.Process(back) {
+		t.Fatal("new firewall dropped the return packet — connection not handed off")
+	}
+}

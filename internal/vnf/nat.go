@@ -17,6 +17,7 @@ type NAT struct {
 	publicIP uint32
 
 	mu       sync.Mutex
+	basePort uint16
 	nextPort uint16
 	// forward maps original (src ip, src port) to allocated port.
 	forward map[natKey]uint16
@@ -32,9 +33,21 @@ type natKey struct {
 // NewNAT returns a NAT translating to the given public IP, allocating
 // ports from 20000 upward.
 func NewNAT(publicIP uint32) *NAT {
+	return NewNATWithBase(publicIP, 20000)
+}
+
+// NewNATWithBase returns a NAT allocating ports from basePort upward.
+// Scaled-out NAT instances behind one public IP must use disjoint port
+// ranges so a binding handed off by live migration can never collide
+// with a port the receiving instance allocated itself.
+func NewNATWithBase(publicIP uint32, basePort uint16) *NAT {
+	if basePort == 0 {
+		basePort = 20000
+	}
 	return &NAT{
 		publicIP: publicIP,
-		nextPort: 20000,
+		basePort: basePort,
+		nextPort: basePort,
 		forward:  make(map[natKey]uint16),
 		back:     make(map[uint16]natKey),
 	}
@@ -80,8 +93,8 @@ func (n *NAT) allocPort() uint16 {
 	for tries := 0; tries < 65535; tries++ {
 		port := n.nextPort
 		n.nextPort++
-		if n.nextPort < 20000 {
-			n.nextPort = 20000
+		if n.nextPort < n.basePort {
+			n.nextPort = n.basePort
 		}
 		if _, used := n.back[port]; !used {
 			return port

@@ -56,6 +56,10 @@ func NewInstance(id string, fn Function, ep *simnet.Endpoint, gateway simnet.Add
 // ID returns the instance identifier.
 func (i *Instance) ID() string { return i.id }
 
+// Function returns the instance's packet-processing function, letting
+// the migration coordinator reach per-flow state (FlowStateMigrator).
+func (i *Instance) Function() Function { return i.fn }
+
 // Weight returns the load-balancing weight the instance publishes.
 func (i *Instance) Weight() float64 { return i.weight }
 
@@ -66,6 +70,12 @@ func (i *Instance) Addr() simnet.Addr { return i.ep.Addr() }
 func (i *Instance) Stats() Stats {
 	return Stats{Processed: i.processed.Load(), Dropped: i.dropped.Load()}
 }
+
+// Backlog returns the number of inbox messages queued but not yet
+// processed. The migration coordinator polls it to decide when the old
+// instance has truly drained: the throughput counters alone can look
+// stable while a burst still sits in the queue.
+func (i *Instance) Backlog() int { return len(i.ep.Inbox()) }
 
 // RegisterMetrics publishes the instance's counters into a metrics
 // registry under "vnf.<id>.*". Both are cumulative packet counts:

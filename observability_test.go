@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"switchboard/internal/autoscale"
 	"switchboard/internal/bus"
 	"switchboard/internal/controller"
 	"switchboard/internal/edge"
@@ -74,7 +75,14 @@ func liveRegistry(t *testing.T) *metrics.Registry {
 
 	metrics.NewTraceCollector().RegisterMetrics(reg)
 
-	slo.New(slo.Config{}).RegisterMetrics(reg)
+	ev := slo.New(slo.Config{})
+	ev.RegisterMetrics(reg)
+
+	as, err := autoscale.New(autoscale.Config{Evaluator: ev, Executor: autoscale.GSExecutor{GS: gs}})
+	if err != nil {
+		t.Fatalf("new autoscaler: %v", err)
+	}
+	as.RegisterMetrics(reg)
 
 	// cmd/switchboard registers its request metrics ad hoc in the HTTP
 	// handlers rather than through a RegisterMetrics method; mirror it.
