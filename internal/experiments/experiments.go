@@ -113,6 +113,7 @@ func All() []Experiment {
 		{"controlplane", "control-plane spans: chain-setup latency vs chain length, failover timeline", Controlplane},
 		{"slo", "per-chain SLO alerts through a site blackout: time-to-fire / time-to-resolve vs the failover spans", SLO},
 		{"autoscale", "flash crowd on a 3-VNF chain: SLO breach -> elastic scale-out with live flow migration -> alert resolves", Autoscale},
+		{"switchbench", "multi-core data plane: throughput vs flows, pps vs cores (1/2/4/8), latency CDF at fixed load", Switchbench},
 	}
 }
 

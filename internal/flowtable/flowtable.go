@@ -203,6 +203,21 @@ func (t *Table) Len() int {
 	return n
 }
 
+// Occupancy returns the number of tracked connections per shard, in
+// shard order — the steering-skew view the forwarder's flowpart gauges
+// publish. The counts are read shard by shard, so the result is a
+// consistent per-shard set, not an atomic whole-table snapshot.
+func (t *Table) Occupancy() []int {
+	out := make([]int, len(t.shards))
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		out[i] = len(s.m)
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Advance bumps the idle-tracking epoch and evicts connections not
 // looked up within `keep` epochs. The owner calls this periodically (e.g.
 // once per idle-timeout interval) instead of stamping wall-clock time on

@@ -1,0 +1,170 @@
+package flowtable
+
+import (
+	"testing"
+
+	"switchboard/internal/labels"
+	"switchboard/internal/packet"
+)
+
+func pflow(i int) packet.FlowKey {
+	return packet.FlowKey{SrcIP: 0x0A000000 + uint32(i), DstIP: 0xC0A80001, SrcPort: 10000, DstPort: 80, Proto: 6}
+}
+
+func TestPartitionedRoundTripBothDirections(t *testing.T) {
+	p := NewPartitioned(4, 2)
+	st := labels.Stack{Chain: 1, Egress: 2}
+	rec := Record{VNF: 7, Next: 8, Prev: 9}
+	for i := 0; i < 64; i++ {
+		p.Insert(st, pflow(i), rec)
+	}
+	if p.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", p.Len())
+	}
+	for i := 0; i < 64; i++ {
+		got, fwd, ok := p.Lookup(st, pflow(i))
+		if !ok || !fwd || got != rec {
+			t.Fatalf("forward lookup %d: rec=%+v fwd=%v ok=%v", i, got, fwd, ok)
+		}
+		got, fwd, ok = p.Lookup(st, pflow(i).Reverse())
+		if !ok || fwd || got != rec {
+			t.Fatalf("reverse lookup %d: rec=%+v fwd=%v ok=%v", i, got, fwd, ok)
+		}
+	}
+}
+
+// TestPartitionedSteeringExclusive pins the partition-selection rule:
+// a flow lives in partition SteerHash % parts and nowhere else, in both
+// directions — the invariant that lets a runner core own its partition.
+func TestPartitionedSteeringExclusive(t *testing.T) {
+	const parts = 4
+	p := NewPartitioned(parts, 2)
+	st := labels.Stack{Chain: 1, Egress: 2}
+	for i := 0; i < 128; i++ {
+		k := pflow(i)
+		p.Insert(st, k, Record{Next: 1})
+		want := int(k.SteerHash() % parts)
+		if int(k.Reverse().SteerHash()%parts) != want {
+			t.Fatalf("flow %d: directions steer to different partitions", i)
+		}
+		for pi := 0; pi < parts; pi++ {
+			_, _, ok := p.Part(pi).Lookup(st, k)
+			if ok != (pi == want) {
+				t.Fatalf("flow %d found in partition %d, want only %d", i, pi, want)
+			}
+		}
+		p.Remove(st, k)
+	}
+}
+
+func TestPartitionedOccupancySumsToLen(t *testing.T) {
+	p := NewPartitioned(4, 2)
+	st := labels.Stack{Chain: 1, Egress: 2}
+	for i := 0; i < 200; i++ {
+		p.Insert(st, pflow(i), Record{Next: 1})
+	}
+	occ := p.Occupancy()
+	if len(occ) != 4 {
+		t.Fatalf("Occupancy has %d parts, want 4", len(occ))
+	}
+	sum, nonEmpty := 0, 0
+	for _, n := range occ {
+		sum += n
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if sum != p.Len() {
+		t.Fatalf("occupancy sum %d != Len %d", sum, p.Len())
+	}
+	if nonEmpty < 2 {
+		t.Errorf("steering skew: only %d of 4 partitions used for 200 flows", nonEmpty)
+	}
+}
+
+func TestPartitionedLookupBatchMixedAndUniform(t *testing.T) {
+	p := NewPartitioned(4, 2)
+	st := labels.Stack{Chain: 1, Egress: 2}
+	// Mixed burst: flows across all partitions.
+	const n = 64
+	sts := make([]labels.Stack, n)
+	flows := make([]packet.FlowKey, n)
+	for i := 0; i < n; i++ {
+		sts[i] = st
+		flows[i] = pflow(i)
+		if i%2 == 0 {
+			p.Insert(st, flows[i], Record{Next: Hop(i + 1)})
+		}
+	}
+	recs := make([]Record, n)
+	fwds := make([]bool, n)
+	oks := make([]bool, n)
+	p.LookupBatch(sts, flows, recs, fwds, oks)
+	for i := 0; i < n; i++ {
+		if oks[i] != (i%2 == 0) {
+			t.Fatalf("entry %d: ok=%v", i, oks[i])
+		}
+		if oks[i] && recs[i].Next != Hop(i+1) {
+			t.Fatalf("entry %d: rec=%+v", i, recs[i])
+		}
+	}
+	// Uniform burst: every entry from one partition (a steered core's
+	// view) takes the shard-grouped fast path.
+	target := int(pflow(0).SteerHash() % 4)
+	uni := make([]packet.FlowKey, 0, 8)
+	for i := 0; len(uni) < 8; i++ {
+		if int(pflow(i).SteerHash()%4) == target {
+			uni = append(uni, pflow(i))
+		}
+	}
+	for _, k := range uni {
+		p.Insert(st, k, Record{Next: 42})
+	}
+	m := len(uni)
+	p.LookupBatch(sts[:m], uni, recs[:m], fwds[:m], oks[:m])
+	for i := 0; i < m; i++ {
+		if !oks[i] || recs[i].Next != 42 {
+			t.Fatalf("uniform entry %d: rec=%+v ok=%v", i, recs[i], oks[i])
+		}
+	}
+}
+
+func TestPartitionedAdvanceEvicts(t *testing.T) {
+	p := NewPartitioned(2, 2)
+	st := labels.Stack{Chain: 1, Egress: 2}
+	for i := 0; i < 32; i++ {
+		p.Insert(st, pflow(i), Record{Next: 1})
+	}
+	if ev := p.Advance(1); ev != 0 {
+		t.Fatalf("first advance evicted %d", ev)
+	}
+	// Keep half the flows warm.
+	for i := 0; i < 16; i++ {
+		p.Lookup(st, pflow(i))
+	}
+	if ev := p.Advance(1); ev != 16 {
+		t.Fatalf("evicted %d, want 16", ev)
+	}
+	if p.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", p.Len())
+	}
+}
+
+func TestTableOccupancyPerShard(t *testing.T) {
+	tb := New(4)
+	st := labels.Stack{Chain: 1, Egress: 2}
+	for i := 0; i < 100; i++ {
+		tb.Insert(st, pflow(i), Record{Next: 1})
+	}
+	occ := tb.Occupancy()
+	if len(occ) != 4 {
+		t.Fatalf("Occupancy has %d shards, want 4", len(occ))
+	}
+	sum := 0
+	for _, n := range occ {
+		sum += n
+	}
+	if sum != tb.Len() {
+		t.Fatalf("occupancy sum %d != Len %d", sum, tb.Len())
+	}
+}

@@ -128,6 +128,96 @@ func benchmarkProcessBatch(b *testing.B, mode Mode, batch int) {
 	}
 }
 
+// BenchmarkForwarderParallel drives one forwarder's ProcessBatch from
+// GOMAXPROCS goroutines at once over the RCU snapshot path — the
+// multi-core RunnerPool's processing pattern without the simnet I/O.
+// Each goroutine owns its packets, froms, and BatchResult, exactly like
+// a pool core, and the labels path is asserted allocation-free per
+// burst: the zero-alloc-per-core guarantee the multi-core refactor
+// must preserve.
+func BenchmarkForwarderParallel(b *testing.B) {
+	for _, mc := range []struct {
+		name string
+		mode Mode
+	}{
+		{"labels", ModeLabels},
+		{"affinity", ModeAffinity},
+	} {
+		b.Run(mc.name, func(b *testing.B) {
+			f := NewWithStore("bench", mc.mode, flowtable.NewPartitioned(runtime.GOMAXPROCS(0), 16))
+			st := labels.Stack{Chain: 77, Egress: 9}
+			next := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "peer")})
+			prev := f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", "edge")})
+			f.InstallRule(st, RuleSpec{
+				Next: []WeightedHop{{next, 1}},
+				Prev: []WeightedHop{{prev, 1}},
+			})
+			const batch = 32
+			var core atomic.Uint32
+			var total atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c := int(core.Add(1)) - 1
+				pkts := make([]*packet.Packet, batch)
+				froms := make([]flowtable.Hop, batch)
+				for i := range pkts {
+					pkts[i] = benchPacket(st, c, i)
+					froms[i] = prev
+				}
+				var res BatchResult
+				n := uint64(0)
+				for pb.Next() {
+					f.ProcessBatch(pkts, froms, &res)
+					n += batch
+				}
+				total.Add(n)
+			})
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(total.Load())/sec/1e6, "Mpps")
+			}
+			if mc.mode == ModeLabels {
+				assertLabelsBatchZeroAlloc(b, f, prev, st)
+			}
+		})
+	}
+}
+
+// assertLabelsBatchZeroAlloc fails the benchmark when the labels-mode
+// batch path allocates: the zero-allocation hot-path guarantee is an
+// acceptance criterion, not just a metric.
+func assertLabelsBatchZeroAlloc(tb testing.TB, f *Forwarder, prev flowtable.Hop, st labels.Stack) {
+	const batch = 32
+	pkts := make([]*packet.Packet, batch)
+	froms := make([]flowtable.Hop, batch)
+	for i := range pkts {
+		pkts[i] = benchPacket(st, 0, i)
+		froms[i] = prev
+	}
+	var res BatchResult
+	f.ProcessBatch(pkts, froms, &res) // prime scratch
+	if avg := testing.AllocsPerRun(100, func() {
+		f.ProcessBatch(pkts, froms, &res)
+	}); avg != 0 {
+		tb.Fatalf("labels batch path allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestLabelsBatchZeroAlloc enforces the same guarantee in the plain
+// test run (and the CI race matrix), independent of benchmarks.
+func TestLabelsBatchZeroAlloc(t *testing.T) {
+	f := New("z", ModeLabels, 4)
+	st := labels.Stack{Chain: 77, Egress: 9}
+	next := f.AddHop(NextHop{Kind: KindForwarder, Addr: addr("B", "peer")})
+	prev := f.AddHop(NextHop{Kind: KindEdge, Addr: addr("A", "edge")})
+	f.InstallRule(st, RuleSpec{
+		Next: []WeightedHop{{next, 1}},
+		Prev: []WeightedHop{{prev, 1}},
+	})
+	assertLabelsBatchZeroAlloc(t, f, prev, st)
+}
+
 // Figure 8: horizontal scale-out — N forwarder instances, each pinned to
 // its own goroutine ("core") with 512K flows, processing packets as fast
 // as possible. Reports aggregate Mpps.

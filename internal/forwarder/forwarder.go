@@ -18,6 +18,7 @@ package forwarder
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"math"
 	"strconv"
 	"sync"
@@ -106,10 +107,14 @@ type Stats struct {
 	// (full receiver queue, detached peer). They are also included in
 	// Drops, so chaos experiments see data-plane loss in one place.
 	SendErrs uint64
+	// RingDrops counts packets a RunnerPool dispatcher dropped at a full
+	// per-core ring — the software analog of a NIC rx-ring overflow. Also
+	// included in Drops.
+	RingDrops uint64
 }
 
 type counters struct {
-	rx, tx, drops, newFlows, ruleMiss, relabeled, sendErrs atomic.Uint64
+	rx, tx, drops, newFlows, ruleMiss, relabeled, sendErrs, ringDrops atomic.Uint64
 }
 
 // batchCounters accumulates stat deltas for one burst so the hot path
@@ -291,6 +296,15 @@ type BatchFlowStore interface {
 	LookupBatch(sts []labels.Stack, flows []packet.FlowKey, recs []flowtable.Record, forwards, oks []bool)
 }
 
+// OccupancyStore is an optional FlowStore extension: stores that report
+// per-unit occupancy (per shard for flowtable.Table, per partition for
+// flowtable.Partitioned). RegisterMetrics publishes the counts as
+// flowpart gauges for diagnosing steering skew; stores that don't
+// implement it (e.g. dht.Node) simply publish no occupancy series.
+type OccupancyStore interface {
+	Occupancy() []int
+}
+
 // HopRegistry assigns stable hop IDs by address. Forwarders that share a
 // flow store (a scaled-out set over one DHT) must also share a registry:
 // flow records store hop IDs, so the same address has to resolve to the
@@ -320,24 +334,62 @@ func (r *HopRegistry) IDFor(a simnet.Addr) flowtable.Hop {
 	return id
 }
 
-// Forwarder is one Switchboard forwarder instance.
+// snapshot is the forwarder's routing state as one immutable unit: the
+// rule table, the hop registry, the bridge target, and the error-path
+// chain-drop attribution map. The packet path reaches it with a single
+// atomic load and never takes a lock (RCU-style reads); writers clone
+// the current snapshot under the forwarder's writer mutex, mutate the
+// copy, and publish it with one atomic store. A published snapshot is
+// never mutated again, so a batch that loaded it mid-swap keeps a fully
+// consistent view: every packet of one burst is processed against the
+// same rule and hop tables.
+type snapshot struct {
+	rules  map[labels.Stack]*rule
+	hops   map[flowtable.Hop]NextHop
+	byAddr map[simnet.Addr]flowtable.Hop
+	// chainDropOf resolves a chain label to its drop counter for
+	// error-path attribution (rule miss, send errors). Replaced wholesale
+	// whenever the writer-side master map changes.
+	chainDropOf map[uint32]*metrics.Counter
+	bridgeTo    flowtable.Hop
+}
+
+// clone returns a copy whose maps can be mutated without disturbing
+// readers of the original. Rule values themselves are immutable after
+// install, so a shallow copy suffices.
+func (s *snapshot) clone() *snapshot {
+	return &snapshot{
+		rules:       maps.Clone(s.rules),
+		hops:        maps.Clone(s.hops),
+		byAddr:      maps.Clone(s.byAddr),
+		chainDropOf: s.chainDropOf, // replaced, never mutated; see chainCountersWLocked
+		bridgeTo:    s.bridgeTo,
+	}
+}
+
+// Forwarder is one Switchboard forwarder instance. The routing state is
+// published as an atomically-swapped copy-on-write snapshot, so any
+// number of runner cores can process batches concurrently without
+// taking a single lock on the hot path.
 type Forwarder struct {
 	name  string
 	mode  Mode
 	table FlowStore
-	reg   *HopRegistry
 
-	mu       sync.RWMutex
-	rules    map[labels.Stack]*rule
-	hops     map[flowtable.Hop]NextHop
-	byAddr   map[simnet.Addr]flowtable.Hop
-	bridgeTo flowtable.Hop
-	nextID   uint32
+	// snap is the current routing snapshot; never nil. Readers load it
+	// once per burst. Writers swap it under wmu.
+	snap atomic.Pointer[snapshot]
+
+	// wmu serializes writers (rule installs, hop registration, chain
+	// counter resolution) and guards the writer-only fields below. It is
+	// never taken on the packet path.
+	wmu    sync.Mutex
+	reg    *HopRegistry
+	nextID uint32
 	// chainTx and chainDrops are the per-chain keyed counter families,
 	// set by RegisterMetrics (nil: per-chain counters still count,
-	// unpublished). chainTxOf/chainDropOf resolve a chain label to its
-	// counters off the rule path — rule-miss and send-error attribution,
-	// both error paths. All guarded by mu.
+	// unpublished). chainTxOf/chainDropOf are the writer-side master maps;
+	// chainDropOf is republished into the snapshot whenever it changes.
 	chainTx, chainDrops    *metrics.KeyedCounters
 	chainTxOf, chainDropOf map[uint32]*metrics.Counter
 
@@ -356,18 +408,34 @@ func New(name string, mode Mode, shards int) *Forwarder {
 
 // NewWithStore returns a forwarder using an externally provided flow
 // store — e.g. a dht.Node shared by all forwarders at a site, so flow
-// affinity survives forwarder failures and elastic scaling.
+// affinity survives forwarder failures and elastic scaling, or a
+// flowtable.Partitioned so N runner cores never contend on shard locks.
 func NewWithStore(name string, mode Mode, store FlowStore) *Forwarder {
-	return &Forwarder{
+	f := &Forwarder{
 		name:        name,
 		mode:        mode,
 		table:       store,
-		rules:       make(map[labels.Stack]*rule),
-		hops:        make(map[flowtable.Hop]NextHop),
-		byAddr:      make(map[simnet.Addr]flowtable.Hop),
 		chainTxOf:   make(map[uint32]*metrics.Counter),
 		chainDropOf: make(map[uint32]*metrics.Counter),
 	}
+	f.snap.Store(&snapshot{
+		rules:       make(map[labels.Stack]*rule),
+		hops:        make(map[flowtable.Hop]NextHop),
+		byAddr:      make(map[simnet.Addr]flowtable.Hop),
+		chainDropOf: make(map[uint32]*metrics.Counter),
+	})
+	return f
+}
+
+// mutate clones the current snapshot, applies fn to the copy, and
+// publishes it. All control-plane writes go through here; the packet
+// path never blocks on them.
+func (f *Forwarder) mutate(fn func(s *snapshot)) {
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	s := f.snap.Load().clone()
+	fn(s)
+	f.snap.Store(s)
 }
 
 // Name returns the forwarder's name.
@@ -380,40 +448,38 @@ func (f *Forwarder) Mode() Mode { return f.mode }
 // registry. Must be set before any hop is added; required whenever the
 // forwarder shares its flow store with peers.
 func (f *Forwarder) UseHopRegistry(r *HopRegistry) {
-	f.mu.Lock()
+	f.wmu.Lock()
 	f.reg = r
-	f.mu.Unlock()
+	f.wmu.Unlock()
 }
 
 // AddHop registers a target and returns its hop ID.
 func (f *Forwarder) AddHop(nh NextHop) flowtable.Hop {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
 	if f.reg != nil {
 		nh.ID = f.reg.IDFor(nh.Addr)
 	} else {
 		f.nextID++
 		nh.ID = flowtable.Hop(f.nextID)
 	}
-	f.hops[nh.ID] = nh
-	f.byAddr[nh.Addr] = nh.ID
+	s := f.snap.Load().clone()
+	s.hops[nh.ID] = nh
+	s.byAddr[nh.Addr] = nh.ID
+	f.snap.Store(s)
 	return nh.ID
 }
 
 // Hop returns a registered hop.
 func (f *Forwarder) Hop(id flowtable.Hop) (NextHop, bool) {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	nh, ok := f.hops[id]
+	nh, ok := f.snap.Load().hops[id]
 	return nh, ok
 }
 
 // HopByAddr resolves a source address to its hop ID (flowtable.None when
 // unknown, e.g. a traffic generator).
 func (f *Forwarder) HopByAddr(a simnet.Addr) flowtable.Hop {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.byAddr[a]
+	return f.snap.Load().byAddr[a]
 }
 
 // InstallRule sets the load-balancing rule for a label stack. Existing
@@ -434,17 +500,22 @@ func (f *Forwarder) InstallRule(st labels.Stack, spec RuleSpec) {
 	for _, wh := range spec.Next {
 		r.nextSet[wh.Hop] = true
 	}
-	f.mu.Lock()
-	r.chainTx, r.chainDrops = f.chainCountersLocked(st.Chain, spec.Chain)
-	f.rules[st] = r
-	f.mu.Unlock()
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	r.chainTx, r.chainDrops = f.chainCountersWLocked(st.Chain, spec.Chain)
+	s := f.snap.Load().clone()
+	s.rules[st] = r
+	s.chainDropOf = maps.Clone(f.chainDropOf)
+	f.snap.Store(s)
 }
 
-// chainCountersLocked resolves (creating on first use) the per-chain
+// chainCountersWLocked resolves (creating on first use) the per-chain
 // tx/drops counters for a chain label, keyed by the chain's name (or
 // the decimal label when unnamed). Reinstalls reuse the same counters,
-// so counts stay cumulative across route updates. Caller holds f.mu.
-func (f *Forwarder) chainCountersLocked(label uint32, name string) (tx, drops *metrics.Counter) {
+// so counts stay cumulative across route updates. Caller holds f.wmu
+// and must republish chainDropOf into the snapshot (the master maps are
+// writer-side; published snapshots carry immutable clones).
+func (f *Forwarder) chainCountersWLocked(label uint32, name string) (tx, drops *metrics.Counter) {
 	if f.chainTx != nil {
 		if name == "" {
 			name = strconv.FormatUint(uint64(label), 10)
@@ -463,10 +534,10 @@ func (f *Forwarder) chainCountersLocked(label uint32, name string) (tx, drops *m
 // counters: keyed instances are unregistered from the metrics registry
 // and the label-indexed caches dropped (typically via
 // slo.ChainSLO.Release when the chain is forgotten). name follows
-// chainCountersLocked's keying (chain name, or decimal label).
+// chainCountersWLocked's keying (chain name, or decimal label).
 func (f *Forwarder) ForgetChain(label uint32, name string) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
 	delete(f.chainTxOf, label)
 	delete(f.chainDropOf, label)
 	if f.chainTx != nil {
@@ -476,15 +547,21 @@ func (f *Forwarder) ForgetChain(label uint32, name string) {
 		f.chainTx.Forget(name)
 		f.chainDrops.Forget(name)
 	}
+	s := f.snap.Load().clone()
+	s.chainDropOf = maps.Clone(f.chainDropOf)
+	f.snap.Store(s)
 }
 
 // ChainCounters returns load functions over a chain's per-chain tx and
 // drops counters, creating them if no rule for the chain has been
 // installed yet — the drop source the SLO evaluator diffs per interval.
 func (f *Forwarder) ChainCounters(label uint32, name string) (tx, drops func() uint64) {
-	f.mu.Lock()
-	txC, dropC := f.chainCountersLocked(label, name)
-	f.mu.Unlock()
+	f.wmu.Lock()
+	txC, dropC := f.chainCountersWLocked(label, name)
+	s := f.snap.Load().clone()
+	s.chainDropOf = maps.Clone(f.chainDropOf)
+	f.snap.Store(s)
+	f.wmu.Unlock()
 	return txC.Load, dropC.Load
 }
 
@@ -493,9 +570,7 @@ func (f *Forwarder) ChainCounters(label uint32, name string) (tx, drops func() u
 // the failover timeline correlates against. ok is false when no rule is
 // installed.
 func (f *Forwarder) RuleInstalledAt(st labels.Stack) (at time.Time, ok bool) {
-	f.mu.RLock()
-	r := f.rules[st]
-	f.mu.RUnlock()
+	r := f.snap.Load().rules[st]
 	if r == nil {
 		return time.Time{}, false
 	}
@@ -504,18 +579,14 @@ func (f *Forwarder) RuleInstalledAt(st labels.Stack) (at time.Time, ok bool) {
 
 // rulesLen returns the number of installed rules (metrics gauge).
 func (f *Forwarder) rulesLen() int {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return len(f.rules)
+	return len(f.snap.Load().rules)
 }
 
 // RuleInfo reports the installed rule's picker sizes for a label stack:
 // the number of weighted slots for local VNFs, next hops, and previous
 // hops. ok is false when no rule is installed.
 func (f *Forwarder) RuleInfo(st labels.Stack) (local, next, prev int, ok bool) {
-	f.mu.RLock()
-	r := f.rules[st]
-	f.mu.RUnlock()
+	r := f.snap.Load().rules[st]
 	if r == nil {
 		return 0, 0, 0, false
 	}
@@ -532,9 +603,7 @@ func (f *Forwarder) RuleInfo(st labels.Stack) (local, next, prev int, ok bool) {
 // installed rule for a label stack (0 when no rule exists). Experiments
 // use it to detect that an updated multi-site route has propagated.
 func (f *Forwarder) RuleNextHopCount(st labels.Stack) int {
-	f.mu.RLock()
-	r := f.rules[st]
-	f.mu.RUnlock()
+	r := f.snap.Load().rules[st]
 	if r == nil || r.next == nil {
 		return 0
 	}
@@ -547,16 +616,12 @@ func (f *Forwarder) RuleNextHopCount(st labels.Stack) int {
 
 // RemoveRule deletes the rule for a label stack.
 func (f *Forwarder) RemoveRule(st labels.Stack) {
-	f.mu.Lock()
-	delete(f.rules, st)
-	f.mu.Unlock()
+	f.mutate(func(s *snapshot) { delete(s.rules, st) })
 }
 
 // SetBridgeTarget configures the fixed peer used in ModeBridge.
 func (f *Forwarder) SetBridgeTarget(h flowtable.Hop) {
-	f.mu.Lock()
-	f.bridgeTo = h
-	f.mu.Unlock()
+	f.mutate(func(s *snapshot) { s.bridgeTo = h })
 }
 
 // FlowCount returns the number of tracked connections.
@@ -575,6 +640,16 @@ func (f *Forwarder) Stats() Stats {
 		RuleMiss:  f.stats.ruleMiss.Load(),
 		Relabeled: f.stats.relabeled.Load(),
 		SendErrs:  f.stats.sendErrs.Load(),
+		RingDrops: f.stats.ringDrops.Load(),
+	}
+}
+
+// countRingDrops records packets a RunnerPool dispatcher lost at a full
+// per-core ring; they count as data-plane drops like send errors.
+func (f *Forwarder) countRingDrops(n uint64) {
+	if n > 0 {
+		f.stats.ringDrops.Add(n)
+		f.stats.drops.Add(n)
 	}
 }
 
@@ -593,10 +668,7 @@ func (f *Forwarder) countSendErrors(n uint64) {
 // lookup costs nothing on the fast path). Chains never seen by
 // InstallRule are left unattributed.
 func (f *Forwarder) countChainSendErrs(chain uint32, n uint64) {
-	f.mu.RLock()
-	c := f.chainDropOf[chain]
-	f.mu.RUnlock()
-	if c != nil {
+	if c := f.snap.Load().chainDropOf[chain]; c != nil {
 		c.Add(n)
 	}
 }
@@ -650,8 +722,12 @@ func (res *BatchResult) resize(n int) {
 // res. Relative to N calls to Process it produces identical decisions
 // and counters (pickers advance in entry order, first-packet flow
 // pinning sees earlier entries of the same burst) while amortizing rule
-// and hop map locking, flow-table shard locking, and counter updates
-// across the burst — the software analog of DPDK burst processing.
+// resolution, flow-table shard locking, and counter updates across the
+// burst — the software analog of DPDK burst processing. The whole burst
+// is processed against one routing snapshot loaded at entry: a rule
+// install or removal racing the batch either applies to every packet of
+// the burst or to none, never to a prefix. Safe for concurrent use from
+// any number of runner cores.
 func (f *Forwarder) ProcessBatch(pkts []*packet.Packet, froms []flowtable.Hop, res *BatchResult) {
 	res.resize(len(pkts))
 	f.processBatch(pkts, froms, res.Hops, res.Errs)
@@ -663,22 +739,21 @@ func (f *Forwarder) processBatch(pkts []*packet.Packet, froms []flowtable.Hop, h
 		return
 	}
 	f.stats.rx.Add(uint64(n))
+	s := f.snap.Load() // one consistent snapshot for the whole burst
 	var c batchCounters
 	switch f.mode {
 	case ModeBridge:
-		f.bridgeBatch(hops, errs, &c)
+		f.bridgeBatch(s, hops, errs, &c)
 	case ModeLabels:
-		f.labelsBatch(pkts, froms, hops, errs, &c)
+		f.labelsBatch(s, pkts, froms, hops, errs, &c)
 	default:
-		f.affinityBatch(pkts, froms, hops, errs, &c)
+		f.affinityBatch(s, pkts, froms, hops, errs, &c)
 	}
 	f.flushCounters(&c)
 }
 
-func (f *Forwarder) bridgeBatch(hops []NextHop, errs []error, c *batchCounters) {
-	f.mu.RLock()
-	nh, ok := f.hops[f.bridgeTo]
-	f.mu.RUnlock()
+func (f *Forwarder) bridgeBatch(s *snapshot, hops []NextHop, errs []error, c *batchCounters) {
+	nh, ok := s.hops[s.bridgeTo]
 	if !ok {
 		c.drops += uint64(len(hops))
 		for i := range errs {
@@ -692,15 +767,14 @@ func (f *Forwarder) bridgeBatch(hops []NextHop, errs []error, c *batchCounters) 
 	}
 }
 
-// relabelLocked re-affixes labels on a packet returning from a
-// label-unaware VNF instance, using the instance's label association.
-// Returns false when the packet is unlabeled and cannot be relabeled.
-// Caller holds f.mu (read).
-func (f *Forwarder) relabelLocked(p *packet.Packet, from flowtable.Hop, c *batchCounters) bool {
+// relabel re-affixes labels on a packet returning from a label-unaware
+// VNF instance, using the instance's label association. Returns false
+// when the packet is unlabeled and cannot be relabeled.
+func (s *snapshot) relabel(p *packet.Packet, from flowtable.Hop, c *batchCounters) bool {
 	if p.Labeled {
 		return true
 	}
-	src, ok := f.hops[from]
+	src, ok := s.hops[from]
 	if !ok || src.Kind != KindVNF || src.LabelAware {
 		return false
 	}
@@ -710,14 +784,14 @@ func (f *Forwarder) relabelLocked(p *packet.Packet, from flowtable.Hop, c *batch
 	return true
 }
 
-// emitLocked resolves the chosen target to a registered hop, handling
-// label stripping for label-unaware VNFs. Caller holds f.mu (read).
-func (f *Forwarder) emitLocked(p *packet.Packet, target flowtable.Hop, c *batchCounters) (NextHop, error) {
+// emit resolves the chosen target to a registered hop, handling label
+// stripping for label-unaware VNFs.
+func (s *snapshot) emit(p *packet.Packet, target flowtable.Hop, c *batchCounters) (NextHop, error) {
 	if target == flowtable.None {
 		c.drops++
 		return NextHop{}, ErrNoNextHop
 	}
-	nh, ok := f.hops[target]
+	nh, ok := s.hops[target]
 	if !ok {
 		c.drops++
 		return NextHop{}, fmt.Errorf("%w: %d", ErrUnknownHop, target)
@@ -731,9 +805,9 @@ func (f *Forwarder) emitLocked(p *packet.Packet, target flowtable.Hop, c *batchC
 	return nh, nil
 }
 
-func (f *Forwarder) labelsBatch(pkts []*packet.Packet, froms []flowtable.Hop, hops []NextHop, errs []error, c *batchCounters) {
-	// One read-lock covers the whole burst (label re-affixing, rule
-	// resolution and hop emission all read under it), with the rule for
+func (f *Forwarder) labelsBatch(s *snapshot, pkts []*packet.Packet, froms []flowtable.Hop, hops []NextHop, errs []error, c *batchCounters) {
+	// The snapshot covers the whole burst (label re-affixing, rule
+	// resolution and hop emission all read from it), with the rule for
 	// repeated stacks memoized — bursts overwhelmingly share one stack.
 	var (
 		lastSt   labels.Stack
@@ -741,24 +815,22 @@ func (f *Forwarder) labelsBatch(pkts []*packet.Packet, froms []flowtable.Hop, ho
 		haveRule bool
 		cb       chainBatch
 	)
-	f.mu.RLock()
-	defer f.mu.RUnlock()
 	for i, p := range pkts {
 		from := froms[i]
-		if !f.relabelLocked(p, from, c) {
+		if !s.relabel(p, from, c) {
 			c.drops++
 			errs[i] = ErrUnlabeled
 			continue
 		}
 		if !haveRule || p.Labels != lastSt {
-			lastRule, lastSt, haveRule = f.rules[p.Labels], p.Labels, true
+			lastRule, lastSt, haveRule = s.rules[p.Labels], p.Labels, true
 			cb.switchTo(lastRule)
 		}
 		r := lastRule
 		if r == nil {
 			c.ruleMiss++
 			c.drops++
-			if dc := f.chainDropOf[p.Labels.Chain]; dc != nil {
+			if dc := s.chainDropOf[p.Labels.Chain]; dc != nil {
 				dc.Inc()
 			}
 			errs[i] = fmt.Errorf("%w: %+v", ErrNoRule, p.Labels)
@@ -770,7 +842,7 @@ func (f *Forwarder) labelsBatch(pkts []*packet.Packet, froms []flowtable.Hop, ho
 		} else {
 			target = r.next.pick()
 		}
-		hops[i], errs[i] = f.emitLocked(p, target, c)
+		hops[i], errs[i] = s.emit(p, target, c)
 		if errs[i] != nil {
 			cb.drops++
 		} else {
@@ -784,7 +856,7 @@ func (f *Forwarder) labelsBatch(pkts []*packet.Packet, froms []flowtable.Hop, ho
 // stack scratch; larger bursts allocate.
 const affinityScratchSize = 64
 
-func (f *Forwarder) affinityBatch(pkts []*packet.Packet, froms []flowtable.Hop, hops []NextHop, errs []error, c *batchCounters) {
+func (f *Forwarder) affinityBatch(s *snapshot, pkts []*packet.Packet, froms []flowtable.Hop, hops []NextHop, errs []error, c *batchCounters) {
 	n := len(pkts)
 	var (
 		rbuf  [affinityScratchSize]*rule
@@ -810,29 +882,28 @@ func (f *Forwarder) affinityBatch(pkts []*packet.Packet, froms []flowtable.Hop, 
 		recs, fwds, oks, targets = recs[:n], fwds[:n], oks[:n], targets[:n]
 	}
 
-	// Phase 1: one read-lock for the whole burst — re-affix labels and
-	// resolve each entry's rule (memoizing repeated stacks).
+	// Phase 1: re-affix labels and resolve each entry's rule against the
+	// burst's snapshot (memoizing repeated stacks).
 	var (
 		lastSt   labels.Stack
 		lastRule *rule
 		haveRule bool
 	)
-	f.mu.RLock()
 	for i, p := range pkts {
-		if !f.relabelLocked(p, froms[i], c) {
+		if !s.relabel(p, froms[i], c) {
 			c.drops++
 			errs[i] = ErrUnlabeled
 			rules[i] = nil
 			continue
 		}
 		if !haveRule || p.Labels != lastSt {
-			lastRule, lastSt, haveRule = f.rules[p.Labels], p.Labels, true
+			lastRule, lastSt, haveRule = s.rules[p.Labels], p.Labels, true
 		}
 		rules[i] = lastRule
 		if lastRule == nil {
 			c.ruleMiss++
 			c.drops++
-			if dc := f.chainDropOf[p.Labels.Chain]; dc != nil {
+			if dc := s.chainDropOf[p.Labels.Chain]; dc != nil {
 				dc.Inc()
 			}
 			errs[i] = fmt.Errorf("%w: %+v", ErrNoRule, p.Labels)
@@ -841,7 +912,6 @@ func (f *Forwarder) affinityBatch(pkts []*packet.Packet, froms []flowtable.Hop, 
 		sts[i] = p.Labels
 		flows[i] = p.Key
 	}
-	f.mu.RUnlock()
 
 	// Phase 2: flow-table lookups for the burst, shard-grouped when the
 	// store supports it (one shard lock per shard per burst).
@@ -957,13 +1027,12 @@ func (f *Forwarder) affinityBatch(pkts []*packet.Packet, froms []flowtable.Hop, 
 		}
 	}
 
-	// Phase 4: emit under one read-lock for the burst, attributing
-	// per-chain deltas across memoized rule runs.
+	// Phase 4: emit against the same snapshot, attributing per-chain
+	// deltas across memoized rule runs.
 	var (
 		cb    chainBatch
 		lastR *rule
 	)
-	f.mu.RLock()
 	for i := range pkts {
 		if rules[i] == nil {
 			continue
@@ -972,13 +1041,12 @@ func (f *Forwarder) affinityBatch(pkts []*packet.Packet, froms []flowtable.Hop, 
 			lastR = rules[i]
 			cb.switchTo(lastR)
 		}
-		hops[i], errs[i] = f.emitLocked(pkts[i], targets[i], c)
+		hops[i], errs[i] = s.emit(pkts[i], targets[i], c)
 		if errs[i] != nil {
 			cb.drops++
 		} else {
 			cb.tx++
 		}
 	}
-	f.mu.RUnlock()
 	cb.flush()
 }

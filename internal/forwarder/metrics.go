@@ -1,6 +1,10 @@
 package forwarder
 
-import "switchboard/internal/metrics"
+import (
+	"strconv"
+
+	"switchboard/internal/metrics"
+)
 
 // RegisterMetrics publishes the forwarder's counters into a metrics
 // registry under "forwarder.<name>.*". Registration installs read
@@ -16,14 +20,26 @@ import "switchboard/internal/metrics"
 //	forwarder.<name>.rule_miss  packets with no installed rule
 //	forwarder.<name>.relabeled  packets re-labeled after a label-unaware VNF
 //	forwarder.<name>.send_errs  packets the runner failed to hand to the network
+//	forwarder.<name>.ring_drops packets dropped at a full per-core ring
 //	forwarder.<name>.flows      gauge: connections currently tracked
 //	forwarder.<name>.rules      gauge: label-stack rules currently installed
 //
-// Per-chain dimensional series (keyed families, bounded cardinality;
-// <chain> is the chain's ID or its decimal label when unnamed):
+// Flow stores that report occupancy (flowtable.Table per shard,
+// flowtable.Partitioned per partition) additionally publish:
 //
-//	forwarder.<name>.chain.<chain>.tx     packets forwarded for the chain
-//	forwarder.<name>.chain.<chain>.drops  packets dropped for the chain
+//	forwarder.<name>.flow_parts    gauge: occupancy units the store reports
+//	forwarder.<name>.flow_part_max gauge: entries in the fullest unit
+//
+// Per-chain and per-unit dimensional series (keyed families, bounded
+// cardinality; <chain> is the chain's ID or its decimal label when
+// unnamed, <part> a shard/partition index):
+//
+//	forwarder.<name>.chain.<chain>.tx        packets forwarded for the chain
+//	forwarder.<name>.chain.<chain>.drops     packets dropped for the chain
+//	forwarder.<name>.flowpart.<part>.entries gauge: connections in the unit
+//
+// A RunnerPool driving the forwarder publishes its own per-core series
+// (see RunnerPool.RegisterMetrics).
 func (f *Forwarder) RegisterMetrics(r *metrics.Registry) {
 	prefix := "forwarder." + f.name + "."
 	r.CounterFunc(prefix+"rx", f.stats.rx.Load)
@@ -33,10 +49,35 @@ func (f *Forwarder) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc(prefix+"rule_miss", f.stats.ruleMiss.Load)
 	r.CounterFunc(prefix+"relabeled", f.stats.relabeled.Load)
 	r.CounterFunc(prefix+"send_errs", f.stats.sendErrs.Load)
+	r.CounterFunc(prefix+"ring_drops", f.stats.ringDrops.Load)
 	r.GaugeFunc(prefix+"flows", func() float64 { return float64(f.table.Len()) })
 	r.GaugeFunc(prefix+"rules", func() float64 { return float64(f.rulesLen()) })
-	f.mu.Lock()
+	if os, ok := f.table.(OccupancyStore); ok {
+		r.GaugeFunc(prefix+"flow_parts", func() float64 {
+			return float64(len(os.Occupancy()))
+		})
+		r.GaugeFunc(prefix+"flow_part_max", func() float64 {
+			max := 0
+			for _, n := range os.Occupancy() {
+				if n > max {
+					max = n
+				}
+			}
+			return float64(max)
+		})
+		pattern := prefix + "flowpart.<part>.entries"
+		for i := range os.Occupancy() {
+			r.KeyedGaugeFunc(pattern, strconv.Itoa(i), func() float64 {
+				occ := os.Occupancy()
+				if i >= len(occ) {
+					return 0
+				}
+				return float64(occ[i])
+			})
+		}
+	}
+	f.wmu.Lock()
 	f.chainTx = metrics.NewKeyedCounters(r, prefix+"chain.<chain>.tx", 0)
 	f.chainDrops = metrics.NewKeyedCounters(r, prefix+"chain.<chain>.drops", 0)
-	f.mu.Unlock()
+	f.wmu.Unlock()
 }

@@ -13,7 +13,8 @@ import (
 // packets from the inbox, resolves senders to registered hops, runs
 // ProcessBatch, and sends the survivors onward coalesced per next hop —
 // one outgoing batch per destination per burst. One Runner models one
-// forwarder core running a DPDK-style rx-burst/tx-burst loop.
+// forwarder core running a DPDK-style rx-burst/tx-burst loop; RunnerPool
+// generalizes it to N cores with RSS-style flow steering.
 type Runner struct {
 	F  *Forwarder
 	EP *simnet.Endpoint
@@ -33,12 +34,127 @@ type sendGroup struct {
 	b    *packet.Batch
 }
 
+// hopResolver memoizes sender-address-to-hop resolution within a burst
+// (senders repeat within a burst, so the last resolution is cached) and
+// learns unknown senders as peer forwarders so the flow table can record
+// them as previous hops (needed when a new edge site starts sending
+// before any rule names it).
+type hopResolver struct {
+	f        *Forwarder
+	lastAddr simnet.Addr
+	lastHop  flowtable.Hop
+	haveLast bool
+}
+
+func (r *hopResolver) resolve(a simnet.Addr) flowtable.Hop {
+	if r.haveLast && a == r.lastAddr {
+		return r.lastHop
+	}
+	h := r.f.HopByAddr(a)
+	if h == flowtable.None && a != (simnet.Addr{}) {
+		h = r.f.AddHop(NextHop{Kind: KindForwarder, Addr: a})
+	}
+	r.lastAddr, r.lastHop, r.haveLast = a, h, true
+	return h
+}
+
+// txBurst coalesces a processed burst's survivors per next hop and sends
+// them: one outgoing batch per destination per burst. Dropped packets
+// are recycled into pool (when set); send failures are attributed to
+// their chain and counted as drops + send errors in f's Stats. groups is
+// caller-owned scratch, returned for reuse. Shared by Runner and each
+// RunnerPool core.
+func txBurst(f *Forwarder, ep *simnet.Endpoint, pool *packet.Pool, pkts []*packet.Packet, res *BatchResult, groups []sendGroup) []sendGroup {
+	// Coalesce survivors per next hop. The number of distinct next hops
+	// per burst is small, so a linear scan beats a map.
+	groups = groups[:0]
+	for i, p := range pkts {
+		if err := res.Errs[i]; err != nil {
+			// A packet absorbed by a migration gate is owned by the gate
+			// (the coordinator re-emits it after the handoff), so it must
+			// not be recycled here.
+			if pool != nil && !errors.Is(err, ErrMigrating) {
+				pool.Put(p)
+			}
+			continue
+		}
+		to := res.Hops[i].Addr
+		// Payload size models the packet body plus the label overlay.
+		size := len(p.Payload) + 40
+		joined := false
+		for gi := range groups {
+			if groups[gi].addr == to {
+				groups[gi].b.Append(p, size)
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			b := packet.GetBatch()
+			b.Pool = pool
+			b.Append(p, size)
+			groups = append(groups, sendGroup{addr: to, b: b})
+		}
+	}
+
+	// Departure is stamped per burst, after processing: one clock read
+	// covers every traced survivor of this wakeup.
+	var depart packet.LazyNow
+	var sendErrs uint64
+	for gi := range groups {
+		g := groups[gi]
+		for _, p := range g.b.Pkts {
+			packet.TraceDepart(p, &depart)
+		}
+		cnt := uint64(g.b.Len())
+		var err error
+		if cnt == 1 {
+			// Single packets keep the classic message shape so consumers
+			// outside the batched path are unaffected.
+			p, size := g.b.Pkts[0], g.b.Sizes[0]
+			if err = ep.Send(g.addr, p, size); err != nil {
+				// Attribute the loss to the packet's chain before the pool
+				// reclaims it (error path; lookups are fine here).
+				f.countChainSendErrs(p.Labels.Chain, 1)
+				if pool != nil {
+					pool.Put(p)
+				}
+			}
+			packet.PutBatch(g.b)
+		} else {
+			if err = ep.SendBatch(g.addr, g.b); err != nil {
+				for _, p := range g.b.Pkts {
+					f.countChainSendErrs(p.Labels.Chain, 1)
+				}
+				g.b.ReleasePackets()
+				packet.PutBatch(g.b)
+			}
+		}
+		if err != nil {
+			sendErrs += cnt
+		}
+		groups[gi] = sendGroup{}
+	}
+	f.countSendErrors(sendErrs)
+	return groups
+}
+
 // Run processes packets until the context is cancelled or the endpoint's
 // inbox closes. Non-packet payloads are skipped; processing errors are
 // counted as drops by the forwarder, and send failures (full receiver
 // queues, detached peers) are counted as drops + send errors in
 // Forwarder.Stats so chaos experiments see data-plane loss.
+//
+// Run claims the endpoint for the duration of the loop and panics if it
+// is already claimed: two loops draining one inbox would silently split
+// bursts between them and destroy per-flow ordering, so a double Run is
+// a programming error, not a recoverable condition. Sequential reuse
+// (stop, then Run again) is fine — the claim is released on return.
 func (r *Runner) Run(ctx context.Context) {
+	if err := r.EP.Claim(); err != nil {
+		panic("forwarder: Runner.Run: " + err.Error())
+	}
+	defer r.EP.Release()
 	bs := r.BatchSize
 	if bs <= 0 {
 		bs = packet.DefaultBatchSize
@@ -58,39 +174,20 @@ func (r *Runner) Run(ctx context.Context) {
 		}
 
 		// Flatten the drained messages into one packet burst, resolving
-		// each sender to its hop. Senders repeat within a burst, so the
-		// last resolution is memoized. Traced packets are stamped with
-		// the burst's arrival time: one clock read per burst, zero when
+		// each sender to its hop. Traced packets are stamped with the
+		// burst's arrival time: one clock read per burst, zero when
 		// nothing in the burst is traced.
 		var arrive packet.LazyNow
 		pkts, froms = pkts[:0], froms[:0]
-		var (
-			lastAddr simnet.Addr
-			lastHop  flowtable.Hop
-			haveLast bool
-		)
-		resolve := func(a simnet.Addr) flowtable.Hop {
-			if haveLast && a == lastAddr {
-				return lastHop
-			}
-			h := r.F.HopByAddr(a)
-			if h == flowtable.None && a != (simnet.Addr{}) {
-				// Learn unknown senders as peer forwarders so the flow
-				// table can record them as previous hops (needed when a
-				// new edge site starts sending before any rule names it).
-				h = r.F.AddHop(NextHop{Kind: KindForwarder, Addr: a})
-			}
-			lastAddr, lastHop, haveLast = a, h, true
-			return h
-		}
+		hr := hopResolver{f: r.F}
 		for i := 0; i < n; i++ {
 			switch pl := msgs[i].Payload.(type) {
 			case *packet.Packet:
 				packet.TraceArrive(pl, node, &arrive, 1)
 				pkts = append(pkts, pl)
-				froms = append(froms, resolve(msgs[i].From))
+				froms = append(froms, hr.resolve(msgs[i].From))
 			case *packet.Batch:
-				from := resolve(msgs[i].From)
+				from := hr.resolve(msgs[i].From)
 				burst := pl.Len()
 				for _, p := range pl.Pkts {
 					packet.TraceArrive(p, node, &arrive, burst)
@@ -106,78 +203,7 @@ func (r *Runner) Run(ctx context.Context) {
 		}
 
 		r.F.ProcessBatch(pkts, froms, &res)
-
-		// Coalesce survivors per next hop. The number of distinct next
-		// hops per burst is small, so a linear scan beats a map.
-		groups = groups[:0]
-		for i, p := range pkts {
-			if err := res.Errs[i]; err != nil {
-				// A packet absorbed by a migration gate is owned by the
-				// gate (the coordinator re-emits it after the handoff), so
-				// it must not be recycled here.
-				if r.Pool != nil && !errors.Is(err, ErrMigrating) {
-					r.Pool.Put(p)
-				}
-				continue
-			}
-			to := res.Hops[i].Addr
-			// Payload size models the packet body plus the label overlay.
-			size := len(p.Payload) + 40
-			joined := false
-			for gi := range groups {
-				if groups[gi].addr == to {
-					groups[gi].b.Append(p, size)
-					joined = true
-					break
-				}
-			}
-			if !joined {
-				b := packet.GetBatch()
-				b.Pool = r.Pool
-				b.Append(p, size)
-				groups = append(groups, sendGroup{addr: to, b: b})
-			}
-		}
-
-		// Departure is stamped per burst, after processing: one clock
-		// read covers every traced survivor of this wakeup.
-		var depart packet.LazyNow
-		var sendErrs uint64
-		for gi := range groups {
-			g := groups[gi]
-			for _, p := range g.b.Pkts {
-				packet.TraceDepart(p, &depart)
-			}
-			cnt := uint64(g.b.Len())
-			var err error
-			if cnt == 1 {
-				// Single packets keep the classic message shape so
-				// consumers outside the batched path are unaffected.
-				p, size := g.b.Pkts[0], g.b.Sizes[0]
-				if err = r.EP.Send(g.addr, p, size); err != nil {
-					// Attribute the loss to the packet's chain before the
-					// pool reclaims it (error path; lookups are fine here).
-					r.F.countChainSendErrs(p.Labels.Chain, 1)
-					if r.Pool != nil {
-						r.Pool.Put(p)
-					}
-				}
-				packet.PutBatch(g.b)
-			} else {
-				if err = r.EP.SendBatch(g.addr, g.b); err != nil {
-					for _, p := range g.b.Pkts {
-						r.F.countChainSendErrs(p.Labels.Chain, 1)
-					}
-					g.b.ReleasePackets()
-					packet.PutBatch(g.b)
-				}
-			}
-			if err != nil {
-				sendErrs += cnt
-			}
-			groups[gi] = sendGroup{}
-		}
-		r.F.countSendErrors(sendErrs)
+		groups = txBurst(r.F, r.EP, r.Pool, pkts, &res, groups)
 	}
 }
 

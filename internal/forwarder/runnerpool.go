@@ -1,0 +1,242 @@
+package forwarder
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"switchboard/internal/flowtable"
+	"switchboard/internal/metrics"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+)
+
+// DefaultRingDepth is the per-core ring capacity, in bursts, when a
+// RunnerPool does not set RingDepth.
+const DefaultRingDepth = 256
+
+// coreBurst is one steered burst in flight between the dispatcher and a
+// core worker: parallel packet/from slices, recycled through a pool so
+// the steady state allocates nothing.
+type coreBurst struct {
+	pkts  []*packet.Packet
+	froms []flowtable.Hop
+}
+
+var coreBurstPool = sync.Pool{New: func() any { return &coreBurst{} }}
+
+func getCoreBurst() *coreBurst { return coreBurstPool.Get().(*coreBurst) }
+
+func putCoreBurst(b *coreBurst) {
+	clear(b.pkts) // drop packet references before pooling
+	b.pkts, b.froms = b.pkts[:0], b.froms[:0]
+	coreBurstPool.Put(b)
+}
+
+// RunnerPool drives a Forwarder with N cores, the multi-core analog of
+// Runner: one rx-dispatch loop (the endpoint's single claimed consumer)
+// drains bursts from the inbox and steers each packet to a core by the
+// direction-independent hash of its flow key (RSS with symmetric
+// hashing), so every packet of a connection — forward and return path —
+// is processed by the same core. Each core runs the same
+// ProcessBatch + coalesced-tx loop as Runner against its own ring;
+// cores never exchange packets and never share locks on the hot path
+// (rule reads are RCU snapshots, and a flowtable.Partitioned store with
+// Parts == Cores gives each core an exclusive flow-table partition).
+//
+// A full core ring drops the steered packets — the software analog of a
+// NIC rx-ring overflow — counted in Stats as RingDrops (and Drops).
+type RunnerPool struct {
+	F  *Forwarder
+	EP *simnet.Endpoint
+	// Cores is the number of worker cores (minimum 1; 1 behaves like
+	// Runner with an extra ring hop).
+	Cores int
+	// BatchSize is the number of inbox messages drained per dispatcher
+	// wakeup (default packet.DefaultBatchSize).
+	BatchSize int
+	// RingDepth is the per-core ring capacity in bursts (default
+	// DefaultRingDepth).
+	RingDepth int
+	// Pool, when set, recycles dropped packets and rides on outgoing
+	// batches, exactly as in Runner.
+	Pool *packet.Pool
+
+	// coreRx[i] counts packets steered to core i, for diagnosing RSS
+	// skew in switchbench runs. Sized on first use (RegisterMetrics or
+	// Run, whichever comes first).
+	coreRx   []atomic.Uint64
+	coreOnce sync.Once
+}
+
+func (p *RunnerPool) cores() int {
+	if p.Cores < 1 {
+		return 1
+	}
+	return p.Cores
+}
+
+func (p *RunnerPool) ensureCoreRx() {
+	p.coreOnce.Do(func() { p.coreRx = make([]atomic.Uint64, p.cores()) })
+}
+
+// RegisterMetrics publishes the pool's per-core steering counters into
+// a metrics registry as a keyed family with static cardinality (one
+// instance per core):
+//
+//	forwarder.<name>.core.<core>.rx  packets steered to the core
+//
+// Pool-level drops are already visible through the forwarder's
+// ring_drops counter (see Forwarder.RegisterMetrics).
+func (p *RunnerPool) RegisterMetrics(r *metrics.Registry) {
+	p.ensureCoreRx()
+	pattern := "forwarder." + p.F.Name() + ".core.<core>.rx"
+	for i := range p.coreRx {
+		r.KeyedCounterFunc(pattern, strconv.Itoa(i), p.coreRx[i].Load)
+	}
+}
+
+// CoreRx returns the number of packets steered to each core so far —
+// the steering-skew view switchbench reports next to aggregate pps.
+func (p *RunnerPool) CoreRx() []uint64 {
+	p.ensureCoreRx()
+	out := make([]uint64, len(p.coreRx))
+	for i := range p.coreRx {
+		out[i] = p.coreRx[i].Load()
+	}
+	return out
+}
+
+// Run dispatches packets to the core workers until the context is
+// cancelled or the endpoint's inbox closes, then drains the rings and
+// returns once every worker has finished. Like Runner.Run it claims the
+// endpoint and panics when it is already claimed (double-Run is a
+// programming error; see Endpoint.Claim). Sequential reuse after stop
+// is fine.
+func (p *RunnerPool) Run(ctx context.Context) {
+	if err := p.EP.Claim(); err != nil {
+		panic("forwarder: RunnerPool.Run: " + err.Error())
+	}
+	defer p.EP.Release()
+	p.ensureCoreRx()
+	cores := p.cores()
+	bs := p.BatchSize
+	if bs <= 0 {
+		bs = packet.DefaultBatchSize
+	}
+	depth := p.RingDepth
+	if depth <= 0 {
+		depth = DefaultRingDepth
+	}
+
+	rings := make([]chan *coreBurst, cores)
+	for i := range rings {
+		rings[i] = make(chan *coreBurst, depth)
+	}
+	var wg sync.WaitGroup
+	wg.Add(cores)
+	for i := 0; i < cores; i++ {
+		go func(ring <-chan *coreBurst) {
+			defer wg.Done()
+			p.worker(ring)
+		}(rings[i])
+	}
+
+	// rx-dispatch loop: flatten each drained message burst, steer per
+	// packet, and hand each core at most one coreBurst per wakeup.
+	var (
+		msgs    = make([]simnet.Message, bs)
+		pending = make([]*coreBurst, cores)
+	)
+	node := "fwd:" + p.F.Name()
+	for {
+		n := p.EP.RecvBatchContext(ctx, msgs)
+		if n == 0 {
+			break // cancelled or inbox closed
+		}
+		var arrive packet.LazyNow
+		hr := hopResolver{f: p.F}
+		steer := func(pkt *packet.Packet, from flowtable.Hop) {
+			core := int(pkt.Key.SteerHash() % uint64(cores))
+			cb := pending[core]
+			if cb == nil {
+				cb = getCoreBurst()
+				pending[core] = cb
+			}
+			cb.pkts = append(cb.pkts, pkt)
+			cb.froms = append(cb.froms, from)
+		}
+		for i := 0; i < n; i++ {
+			switch pl := msgs[i].Payload.(type) {
+			case *packet.Packet:
+				packet.TraceArrive(pl, node, &arrive, 1)
+				steer(pl, hr.resolve(msgs[i].From))
+			case *packet.Batch:
+				from := hr.resolve(msgs[i].From)
+				burst := pl.Len()
+				for _, pkt := range pl.Pkts {
+					packet.TraceArrive(pkt, node, &arrive, burst)
+					steer(pkt, from)
+				}
+				packet.PutBatch(pl) // container only; packets live on
+			}
+			msgs[i] = simnet.Message{} // drop payload reference
+		}
+		for core, cb := range pending {
+			if cb == nil {
+				continue
+			}
+			pending[core] = nil
+			p.coreRx[core].Add(uint64(len(cb.pkts)))
+			select {
+			case rings[core] <- cb:
+			default:
+				// Ring overflow: the core cannot keep up with offered
+				// load. Drop the burst like a NIC would.
+				p.F.countRingDrops(uint64(len(cb.pkts)))
+				if p.Pool != nil {
+					for _, pkt := range cb.pkts {
+						p.Pool.Put(pkt)
+					}
+				}
+				putCoreBurst(cb)
+			}
+		}
+	}
+	for _, ring := range rings {
+		close(ring)
+	}
+	wg.Wait()
+}
+
+// worker is one core's processing loop: drain steered bursts from the
+// ring, run them through the forwarder, and send survivors coalesced
+// per next hop. Each worker owns its scratch (BatchResult, send
+// groups), so cores share nothing but the forwarder's atomic counters.
+func (p *RunnerPool) worker(ring <-chan *coreBurst) {
+	var (
+		res    BatchResult
+		groups []sendGroup
+	)
+	for cb := range ring {
+		p.F.ProcessBatch(cb.pkts, cb.froms, &res)
+		groups = txBurst(p.F, p.EP, p.Pool, cb.pkts, &res, groups)
+		putCoreBurst(cb)
+	}
+}
+
+// Start launches Run on a new goroutine and returns a stop function
+// that cancels it and waits for every core to finish.
+func (p *RunnerPool) Start() (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(ctx)
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}

@@ -23,6 +23,22 @@ import (
 // caller passes a cap < 1.
 const DefaultKeyedCap = 256
 
+// keyedInstanceName renders a keyed pattern's instance name for key,
+// substituting the last "<…>" token. Like initKeyedFamily it panics on
+// a pattern with no key slot — patterns are static declarations, so a
+// malformed one is a programming error.
+func keyedInstanceName(pattern, key string) string {
+	i := strings.LastIndex(pattern, "<")
+	j := -1
+	if i >= 0 {
+		j = strings.Index(pattern[i:], ">")
+	}
+	if j < 0 {
+		panic(fmt.Sprintf("metrics: keyed pattern %q has no <…> key slot", pattern))
+	}
+	return pattern[:i] + key + pattern[i+j+1:]
+}
+
 // keyedFamily is the shared key-tracking core: pattern parsing, name
 // templating, and least-recently-used eviction at the cardinality cap.
 // Callers hold its mutex around Get-style operations.

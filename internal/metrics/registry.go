@@ -94,6 +94,29 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.mu.Unlock()
 }
 
+// KeyedCounterFunc registers a read-through counter as one instance of
+// the keyed family pattern, substituting key for the pattern's last
+// "<…>" slot. It is the static-cardinality sibling of KeyedCounters:
+// right when the key set is fixed at construction (per-core, per-
+// partition series) so no LRU tracking is needed. Names reports the
+// pattern; Snapshot carries every instance. Safe for concurrent use.
+func (r *Registry) KeyedCounterFunc(pattern, key string, fn func() uint64) {
+	name := keyedInstanceName(pattern, key)
+	r.registerKeyedPattern(pattern)
+	r.CounterFunc(name, fn)
+	r.markKeyed(name, pattern)
+}
+
+// KeyedGaugeFunc registers a read-through gauge as one instance of the
+// keyed family pattern; see KeyedCounterFunc for the pattern and key
+// semantics. Safe for concurrent use.
+func (r *Registry) KeyedGaugeFunc(pattern, key string, fn func() float64) {
+	name := keyedInstanceName(pattern, key)
+	r.registerKeyedPattern(pattern)
+	r.GaugeFunc(name, fn)
+	r.markKeyed(name, pattern)
+}
+
 // RegisterHistogram registers an existing histogram under name. Safe
 // for concurrent use.
 func (r *Registry) RegisterHistogram(name string, h *Histogram) {

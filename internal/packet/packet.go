@@ -78,6 +78,28 @@ func (k FlowKey) Hash() uint64 {
 	return h
 }
 
+// SteerHash returns a direction-independent hash of the connection:
+// both directions of one flow produce the same value. Runner pools use
+// it for RSS-style core steering (core = SteerHash % cores) so every
+// packet of a connection — forward and return path — lands on the same
+// core, preserving affinity and NAT ordering without cross-core locks.
+// Flow-table partitions select by the same value, so a steered core
+// only ever touches its own partition.
+func (k FlowKey) SteerHash() uint64 {
+	c, _ := k.Canonical()
+	h := c.Hash()
+	// Core selection is modulo a small core count, so it reads the low
+	// bits — exactly where FNV-1a disperses poorly for structured,
+	// sequential keys. A 64-bit avalanche finalizer (murmur3 fmix64)
+	// spreads every input bit into the low bits.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
 // String renders "src:port->dst:port/proto" with IPs in dotted quads.
 func (k FlowKey) String() string {
 	ip := func(v uint32) string {

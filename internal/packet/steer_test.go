@@ -1,0 +1,40 @@
+package packet
+
+import "testing"
+
+// TestSteerHashDirectionIndependent pins the RSS steering contract:
+// both directions of a connection hash identically, so a runner pool
+// lands forward and return packets on the same core.
+func TestSteerHashDirectionIndependent(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		k := FlowKey{
+			SrcIP: 0x0A000000 + uint32(i), DstIP: 0xC0A80001 + uint32(i%7),
+			SrcPort: uint16(1024 + i), DstPort: 80, Proto: 6,
+		}
+		if k.SteerHash() != k.Reverse().SteerHash() {
+			t.Fatalf("flow %d: SteerHash differs across directions", i)
+		}
+	}
+}
+
+// TestSteerHashSpreadsAcrossCores guards against a degenerate steering
+// hash: synthetic flows must not collapse onto a few cores.
+func TestSteerHashSpreadsAcrossCores(t *testing.T) {
+	for _, cores := range []int{2, 4, 8} {
+		counts := make([]int, cores)
+		const flows = 4096
+		for i := 0; i < flows; i++ {
+			k := FlowKey{
+				SrcIP: 0x0A000000 + uint32(i), DstIP: 0xC0A80001,
+				SrcPort: uint16(10000 + i%50000), DstPort: 80, Proto: 6,
+			}
+			counts[k.SteerHash()%uint64(cores)]++
+		}
+		want := flows / cores
+		for c, n := range counts {
+			if n < want/2 || n > want*2 {
+				t.Errorf("cores=%d: core %d got %d of %d flows (expected ~%d)", cores, c, n, flows, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestEndpointClaim pins the single-consumer contract: one claim at a
+// time, explicit rejection of a second claimant, and sequential reuse
+// after Release.
+func TestEndpointClaim(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	ep, err := n.Attach(Addr{Site: "A", Host: "h"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Claim(); err != nil {
+		t.Fatalf("first Claim: %v", err)
+	}
+	err = ep.Claim()
+	if err == nil {
+		t.Fatal("second Claim succeeded; want ErrClaimed")
+	}
+	if !errors.Is(err, ErrClaimed) {
+		t.Fatalf("second Claim error = %v, want ErrClaimed", err)
+	}
+	ep.Release()
+	if err := ep.Claim(); err != nil {
+		t.Fatalf("Claim after Release: %v", err)
+	}
+}

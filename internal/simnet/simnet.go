@@ -175,13 +175,39 @@ var (
 	ErrQueueFull  = errors.New("simnet: receive queue full")
 )
 
+// ErrClaimed is returned by Claim when the endpoint already has an
+// active consumer.
+var ErrClaimed = errors.New("simnet: endpoint already claimed by a consumer")
+
 // Endpoint is an attached host. Receive from Inbox().
+//
+// An endpoint's inbox supports exactly one active consumer: two
+// goroutines draining the same inbox would silently split bursts
+// between them, destroying per-flow ordering. Consumer loops (Runner,
+// RunnerPool, VNF and edge instances) enforce this with Claim/Release;
+// anything driving an endpoint directly should do the same.
 type Endpoint struct {
-	addr  Addr
-	inbox chan Message
-	net   *Network
-	once  sync.Once
+	addr    Addr
+	inbox   chan Message
+	net     *Network
+	once    sync.Once
+	claimed atomic.Bool
 }
+
+// Claim marks the endpoint as having an active consumer. It fails with
+// ErrClaimed when another consumer already holds the claim, making the
+// "one drain loop per endpoint" contract explicit instead of silently
+// interleaving drains.
+func (e *Endpoint) Claim() error {
+	if !e.claimed.CompareAndSwap(false, true) {
+		return fmt.Errorf("%w: %v", ErrClaimed, e.addr)
+	}
+	return nil
+}
+
+// Release returns the endpoint to the unclaimed state, allowing a new
+// consumer to Claim it (e.g. a runner restarted after Stop).
+func (e *Endpoint) Release() { e.claimed.Store(false) }
 
 // Attach registers an endpoint with the given inbox capacity.
 func (n *Network) Attach(addr Addr, queue int) (*Endpoint, error) {

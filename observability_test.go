@@ -39,6 +39,13 @@ func liveRegistry(t *testing.T) *metrics.Registry {
 	f := forwarder.New("<id>", forwarder.ModeAffinity, 1)
 	f.RegisterMetrics(reg)
 
+	fwdEP, err := net.Attach(simnet.Addr{Site: "<site>", Host: "pool"}, 8)
+	if err != nil {
+		t.Fatalf("attach forwarder endpoint: %v", err)
+	}
+	pool := &forwarder.RunnerPool{F: f, EP: fwdEP, Cores: 2}
+	pool.RegisterMetrics(reg)
+
 	edgeEP, err := net.Attach(simnet.Addr{Site: "<site>", Host: "<host>"}, 8)
 	if err != nil {
 		t.Fatalf("attach edge endpoint: %v", err)
