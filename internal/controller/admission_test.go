@@ -1,0 +1,165 @@
+package controller
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"switchboard/internal/metrics"
+	"switchboard/internal/simnet"
+	"switchboard/internal/vnf"
+)
+
+func admissionSpec(i int, ingress, egress simnet.SiteID) Spec {
+	return Spec{
+		ID:          ChainID([]byte{'b', byte('a' + i/26), byte('a' + i%26)}),
+		IngressSite: ingress,
+		EgressSite:  egress,
+		VNFs:        []string{"nat"},
+		ForwardRate: 1,
+	}
+}
+
+// TestBatchedAdmissionJointSolve drives concurrent CreateChain calls
+// into one admission window and checks they all land, that at least one
+// multi-chain batch actually formed, and that the routes work end to
+// end (records registered, versions published).
+func TestBatchedAdmissionJointSolve(t *testing.T) {
+	tb := newTestbed(t, time.Millisecond, "A", "B", "C")
+	tb.registerSites(1000, "A", "B", "C")
+	tb.addVNF("nat", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"B": 1000})
+	reg := metrics.NewRegistry()
+	tb.g.RegisterMetrics(reg)
+	tb.g.SetAdmissionWindow(20 * time.Millisecond)
+	defer tb.g.SetAdmissionWindow(0)
+
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	recs := make([]*RouteRecord, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i], errs[i] = tb.g.CreateChain(admissionSpec(i, "A", "C"))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("chain %d: %v", i, errs[i])
+		}
+		if recs[i] == nil || len(recs[i].Splits) == 0 {
+			t.Fatalf("chain %d: empty route record", i)
+		}
+		if _, ok := tb.g.Record(recs[i].Chain); !ok {
+			t.Fatalf("chain %d: not registered after batched admission", i)
+		}
+	}
+	h := reg.Histogram("gs.admission_batch_size")
+	if h.Count() == 0 {
+		t.Fatal("no admission batches recorded")
+	}
+	if h.Max() < 2 {
+		t.Errorf("batch size max = %d, want >= 2 (requests were concurrent)", h.Max())
+	}
+}
+
+// TestBatchedAdmissionDuplicatesAndErrors checks per-request outcomes
+// inside one batch: duplicates (against installed chains and within the
+// batch) are rejected individually without poisoning their neighbours.
+func TestBatchedAdmissionDuplicatesAndErrors(t *testing.T) {
+	tb := newTestbed(t, time.Millisecond, "A", "B")
+	tb.registerSites(1000, "A", "B")
+	tb.addVNF("nat", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"B": 1000})
+	if _, err := tb.g.CreateChain(Spec{ID: "pre", IngressSite: "A", EgressSite: "B", VNFs: []string{"nat"}, ForwardRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tb.g.SetAdmissionWindow(20 * time.Millisecond)
+	defer tb.g.SetAdmissionWindow(0)
+
+	specs := []Spec{
+		{ID: "pre", IngressSite: "A", EgressSite: "B", VNFs: []string{"nat"}, ForwardRate: 1},
+		{ID: "new1", IngressSite: "A", EgressSite: "B", VNFs: []string{"nat"}, ForwardRate: 1},
+		{ID: "new1", IngressSite: "A", EgressSite: "B", VNFs: []string{"nat"}, ForwardRate: 1},
+		{ID: "new2", IngressSite: "A", EgressSite: "B", VNFs: []string{"nat"}, ForwardRate: 1},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s Spec) {
+			defer wg.Done()
+			_, errs[i] = tb.g.CreateChain(s)
+		}(i, s)
+	}
+	wg.Wait()
+
+	if errs[0] == nil {
+		t.Error("duplicate of installed chain accepted")
+	}
+	// Exactly one of the two new1 submissions wins.
+	if (errs[1] == nil) == (errs[2] == nil) {
+		t.Errorf("in-batch duplicate: errs = %v / %v, want exactly one success", errs[1], errs[2])
+	}
+	if errs[3] != nil {
+		t.Errorf("independent chain rejected: %v", errs[3])
+	}
+}
+
+// TestBatchedAdmissionBlackoutRace is the stranded-request check: chain
+// requests racing a site blackout (and a mid-flight window change) must
+// all resolve — every CreateChain returns either an installed record or
+// an error, and nothing deadlocks. Run under -race in CI.
+func TestBatchedAdmissionBlackoutRace(t *testing.T) {
+	tb := newTestbed(t, time.Millisecond, "A", "B", "C", "D")
+	tb.registerSites(1000, "A", "B", "C", "D")
+	tb.addVNF("nat", func() vnf.Function { return vnf.PassThrough{} }, 1.0, true,
+		map[simnet.SiteID]float64{"B": 4000, "C": 4000})
+	tb.g.SetAdmissionWindow(2 * time.Millisecond)
+	defer tb.g.SetAdmissionWindow(0)
+
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	recs := make([]*RouteRecord, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%8 == 3 {
+				time.Sleep(time.Millisecond)
+			}
+			recs[i], errs[i] = tb.g.CreateChain(admissionSpec(i, "A", "D"))
+		}(i)
+	}
+	// Concurrently: blackout site B and toggle the admission window.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+		tb.g.HandleSiteFailure("B")
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond)
+		tb.g.SetAdmissionWindow(time.Millisecond)
+	}()
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] == nil {
+			if recs[i] == nil {
+				t.Fatalf("chain %d: nil record with nil error", i)
+			}
+			if _, ok := tb.g.Record(recs[i].Chain); !ok {
+				t.Fatalf("chain %d: accepted but not registered", i)
+			}
+		} else if recs[i] != nil {
+			t.Fatalf("chain %d: record returned alongside error %v", i, errs[i])
+		}
+	}
+}

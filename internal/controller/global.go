@@ -70,6 +70,16 @@ type GlobalSwitchboard struct {
 	opParent atomic.Uint64
 	// reconv records end-to-end site-failure recovery durations.
 	reconv *metrics.Histogram
+
+	// Batched admission (SetAdmissionWindow): pending CreateChain
+	// requests accumulate under admitMu until the window timer or the
+	// batch-size cap flushes them through one joint solve.
+	admitMu     sync.Mutex
+	admitWindow time.Duration
+	admitQueue  []pendingAdmit
+	admitTimer  *time.Timer
+	// batchSize records chains-per-batch (as raw units, not durations).
+	batchSize *metrics.Histogram
 }
 
 type chainRecord struct {
@@ -97,6 +107,7 @@ func NewGlobalSwitchboard(net *simnet.Network, b *bus.Bus, site simnet.SiteID) *
 		failedSites:      make(map[simnet.SiteID]bool),
 		InstancesPerSite: 1,
 		reconv:           metrics.NewHistogram(),
+		batchSize:        metrics.NewHistogram(),
 	}
 }
 
@@ -109,6 +120,7 @@ func NewGlobalSwitchboard(net *simnet.Network, b *bus.Bus, site simnet.SiteID) *
 //	gs.site_failures   site failures handled
 //	gs.route_publishes route snapshots published on the bus
 //	gs.reconvergence   histogram: site-failure recovery duration
+//	gs.admission_batch_size histogram: chains per admission batch (raw count)
 //
 // It also pre-creates the histograms the controller's spans fold into
 // (see SetRecorder), so the names appear in snapshots before the first
@@ -124,6 +136,7 @@ func (g *GlobalSwitchboard) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("gs.site_failures", g.siteFailures.Load)
 	r.CounterFunc("gs.route_publishes", g.routePublishes.Load)
 	r.RegisterHistogram("gs.reconvergence", g.reconv)
+	r.RegisterHistogram("gs.admission_batch_size", g.batchSize)
 	r.Histogram("gs.chain_setup_ms")
 	r.Histogram("gs.path_compute_ms")
 	r.Histogram("controlplane.failover_ms")
@@ -400,11 +413,22 @@ func (g *GlobalSwitchboard) OptimizeAll() error {
 var ErrNoRoute = errors.New("controller: no feasible route")
 
 // CreateChain runs the full chain-creation sequence of Figure 4 and
-// returns the installed route record.
-func (g *GlobalSwitchboard) CreateChain(spec Spec) (rec *RouteRecord, err error) {
+// returns the installed route record. With batched admission enabled
+// (SetAdmissionWindow), the request joins the current admission batch
+// and blocks until the batch is solved; otherwise it is processed
+// immediately on its own.
+func (g *GlobalSwitchboard) CreateChain(spec Spec) (*RouteRecord, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if rec, err, batched := g.admitBatched(spec); batched {
+		return rec, err
+	}
+	return g.createOne(spec)
+}
+
+// createOne is the unbatched chain-creation sequence.
+func (g *GlobalSwitchboard) createOne(spec Spec) (rec *RouteRecord, err error) {
 	g.mu.Lock()
 	if _, dup := g.chains[spec.ID]; dup {
 		g.mu.Unlock()

@@ -114,6 +114,7 @@ func All() []Experiment {
 		{"slo", "per-chain SLO alerts through a site blackout: time-to-fire / time-to-resolve vs the failover spans", SLO},
 		{"autoscale", "flash crowd on a 3-VNF chain: SLO breach -> elastic scale-out with live flow migration -> alert resolves", Autoscale},
 		{"switchbench", "multi-core data plane: throughput vs flows, pps vs cores (1/2/4/8), latency CDF at fixed load", Switchbench},
+		{"tescale", "TE at production scale: solver scaling grid, warm-started incremental re-solve, SB-DP on 100-300 sites, batched admission", TEScale},
 	}
 }
 

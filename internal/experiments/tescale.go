@@ -1,0 +1,276 @@
+package experiments
+
+// TEScale is the traffic-engineering-at-production-scale suite behind
+// DESIGN.md §10: solve-time scaling of the exact SB-LP simplex vs the
+// SB-DP heuristic across problem sizes (with the SB-DP optimality gap),
+// warm-started incremental re-solve vs cold re-solve on single-chain
+// churn, SB-DP solve throughput on expanded topologies of a few hundred
+// sites, and sustained chain-setup throughput through the Global
+// Switchboard with and without batched admission.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/model"
+	"switchboard/internal/simnet"
+	"switchboard/internal/te"
+	"switchboard/internal/topology"
+	"switchboard/internal/vnf"
+	"switchboard/internal/workload"
+)
+
+// teScaleInstance builds a TE instance with a configurable site count,
+// the knob the solve-time grid sweeps (the Figure 12/13 instances pin 6
+// sites).
+func teScaleInstance(chains, sites int, seed int64) *model.Network {
+	nw := topology.Backbone(topology.Options{BackgroundFraction: 0.2})
+	workload.Populate(nw, workload.ChainGenOptions{
+		NumChains:    chains,
+		NumVNFs:      20,
+		NumSites:     sites,
+		Coverage:     0.5,
+		SiteCapacity: 1600,
+		CPUPerByte:   1.0,
+		TotalTraffic: 800,
+		ReverseRatio: 0.2,
+		Seed:         seed,
+	})
+	return nw
+}
+
+// lpCompositeObjective is the SB-LP composite objective (admitted
+// throughput minus the latency tiebreak) of a routing, the quantity the
+// warm and cold solvers agree on and the baseline for SB-DP's gap.
+func lpCompositeObjective(nw *model.Network, r *model.Routing) float64 {
+	ev := te.Evaluate(nw, r)
+	return ev.Throughput - 0.1*ev.LatencyObjective
+}
+
+const teScaleLPOpts = "objective=max-throughput skip-link"
+
+// solveGrid runs the solve-time grid: exact SB-LP vs SB-DP wall time
+// and throughput gap per (sites, chains) point.
+func solveGrid(t *Table) error {
+	for _, pt := range []struct{ sites, chains int }{
+		{6, 15}, {6, 30}, {8, 30}, {8, 60},
+	} {
+		nw := teScaleInstance(pt.chains, pt.sites, 31)
+		label := fmt.Sprintf("sites=%d chains=%d", pt.sites, pt.chains)
+
+		start := time.Now()
+		lpRouting, err := te.SolveLP(nw, te.LPOptions{Objective: te.MaxThroughput, SkipLinkConstraints: true})
+		if err != nil {
+			return fmt.Errorf("tescale grid %s: %w", label, err)
+		}
+		lpMs := time.Since(start).Seconds() * 1000
+		lp := te.Evaluate(nw, lpRouting)
+
+		start = time.Now()
+		dpRouting := te.SolveDP(nw, te.DPOptions{})
+		dpMs := time.Since(start).Seconds() * 1000
+		dp := te.Evaluate(nw, dpRouting)
+
+		gap := 0.0
+		if lp.Throughput > 0 {
+			gap = (1 - dp.Throughput/lp.Throughput) * 100
+		}
+		t.AddRow("solve_ms", "SB-LP", label, lpMs, "ms", teScaleLPOpts)
+		t.AddRow("solve_ms", "SB-DP", label, dpMs, "ms",
+			fmt.Sprintf("gap=%.1f%% (tput %.1f vs %.1f)", gap, dp.Throughput, lp.Throughput))
+	}
+	return nil
+}
+
+// warmVsCold measures single-chain churn at the largest grid point:
+// arrival and departure re-solved warm (retained simplex tableau)
+// versus a cold from-scratch solve of the same population.
+func warmVsCold(t *Table) error {
+	const sites, chains = 8, 60
+	nw := teScaleInstance(chains, sites, 31)
+	opts := te.LPOptions{Objective: te.MaxThroughput, SkipLinkConstraints: true}
+
+	// The churn chain: a fresh arrival synthesized like the workload's.
+	extra := &model.Chain{
+		ID:      "tescale-arrival",
+		Ingress: nw.Nodes[0],
+		Egress:  nw.Nodes[1],
+		VNFs:    []model.VNFID{workload.VNFName(0), workload.VNFName(1), workload.VNFName(2)},
+	}
+	extra.UniformTraffic(8, 2)
+
+	inc, err := te.NewIncrementalLP(nw, opts)
+	if err != nil {
+		return fmt.Errorf("tescale warm: %w", err)
+	}
+	warmBefore, coldBefore := te.Stats().WarmStarts(), te.Stats().ColdFallbacks()
+
+	// Warm: arrival then departure, re-solved on the retained tableau.
+	start := time.Now()
+	if err := inc.AddChain(extra); err != nil {
+		return fmt.Errorf("tescale warm add: %w", err)
+	}
+	warmAddMs := time.Since(start).Seconds() * 1000
+	warmObj := inc.Objective()
+
+	// Cold: the same 61-chain population solved from scratch.
+	start = time.Now()
+	coldRouting, err := te.SolveLP(nw, opts)
+	if err != nil {
+		return fmt.Errorf("tescale cold: %w", err)
+	}
+	coldMs := time.Since(start).Seconds() * 1000
+	coldObj := lpCompositeObjective(nw, coldRouting)
+
+	start = time.Now()
+	if err := inc.RemoveChain(extra.ID); err != nil {
+		return fmt.Errorf("tescale warm remove: %w", err)
+	}
+	warmRemoveMs := time.Since(start).Seconds() * 1000
+
+	speedup := 0.0
+	if warmAddMs > 0 {
+		speedup = coldMs / warmAddMs
+	}
+	label := fmt.Sprintf("sites=%d chains=%d+1", sites, chains)
+	t.AddRow("warm_vs_cold", "cold", label, coldMs, "ms", teScaleLPOpts)
+	t.AddRow("warm_vs_cold", "warm-add", label, warmAddMs, "ms",
+		fmt.Sprintf("speedup=%.1fx obj warm=%.3f cold=%.3f", speedup, warmObj, coldObj))
+	t.AddRow("warm_vs_cold", "warm-remove", label, warmRemoveMs, "ms",
+		fmt.Sprintf("warm_starts=%d cold_fallbacks=%d",
+			te.Stats().WarmStarts()-warmBefore, te.Stats().ColdFallbacks()-coldBefore))
+	return nil
+}
+
+// dpScale runs SB-DP on expanded topologies past the 25-city backbone:
+// a few hundred sites, 600 chains, reporting solve throughput.
+func dpScale(t *Table) {
+	for _, n := range []int{100, 200, 300} {
+		nw := topology.Expanded(n, topology.Options{BackgroundFraction: 0.2})
+		const chains = 600
+		workload.Populate(nw, workload.ChainGenOptions{
+			NumChains:    chains,
+			NumVNFs:      50,
+			Coverage:     0.3,
+			SiteCapacity: 2000,
+			CPUPerByte:   1.0,
+			TotalTraffic: 8000,
+			ReverseRatio: 0.2,
+			Seed:         21,
+		})
+		start := time.Now()
+		r := te.SolveDP(nw, te.DPOptions{})
+		el := time.Since(start)
+		ev := te.Evaluate(nw, r)
+		t.AddRow("dp_scale", "SB-DP", fmt.Sprintf("sites=%d chains=%d", n, chains),
+			float64(chains)/el.Seconds(), "chains/s",
+			fmt.Sprintf("solve=%.0fms admitted=%.0f/%.0f", el.Seconds()*1000, ev.Throughput, ev.Demand))
+	}
+}
+
+// admissionThroughput measures sustained chain-setup throughput on the
+// Global Switchboard: sequential solo admission versus concurrent
+// requests gathered by the batched-admission window.
+func admissionThroughput(t *Table) error {
+	const nChains = 32
+	run := func(mode string, window time.Duration) error {
+		sites := []simnet.SiteID{"A", "B", "C", "D", "E", "F"}
+		bed, err := NewBed(7, time.Millisecond, sites...)
+		if err != nil {
+			return err
+		}
+		defer bed.Close()
+		_, reg := bed.EnableObservability()
+		for _, s := range sites {
+			if _, err := bed.G.RegisterSite(s, 100000); err != nil {
+				return err
+			}
+		}
+		bed.AddVNF(controller.VNFConfig{
+			Name:        "nat",
+			Factory:     func() vnf.Function { return vnf.PassThrough{} },
+			LoadPerUnit: 1.0,
+			LabelAware:  true,
+			Capacity:    map[simnet.SiteID]float64{"B": 1e6, "C": 1e6},
+		})
+		if window > 0 {
+			bed.G.SetAdmissionWindow(window)
+			defer bed.G.SetAdmissionWindow(0)
+		}
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, nChains)
+		for i := 0; i < nChains; i++ {
+			spec := controller.Spec{
+				ID:          controller.ChainID(fmt.Sprintf("tescale-%s-%02d", mode, i)),
+				IngressSite: "A",
+				EgressSite:  "F",
+				VNFs:        []string{"nat"},
+				ForwardRate: 1,
+			}
+			if window > 0 {
+				wg.Add(1)
+				go func(i int, spec controller.Spec) {
+					defer wg.Done()
+					_, errs[i] = bed.G.CreateChain(spec)
+				}(i, spec)
+			} else if _, err := bed.G.CreateChain(spec); err != nil {
+				return fmt.Errorf("tescale admission %s chain %d: %w", mode, i, err)
+			}
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("tescale admission %s chain %d: %w", mode, i, err)
+			}
+		}
+		solves := reg.Histogram("gs.path_compute_ms").Count()
+		detail := fmt.Sprintf("sequential, %d TE solves", solves)
+		if window > 0 {
+			h := reg.Histogram("gs.admission_batch_size")
+			count, sum := h.CountSum()
+			mean := 0.0
+			if count > 0 {
+				mean = float64(sum) / float64(count)
+			}
+			detail = fmt.Sprintf("window=%v batches=%d mean_batch=%.1f, %d TE solves",
+				window, count, mean, solves)
+		}
+		t.AddRow("admission", mode, fmt.Sprintf("chains=%d", nChains),
+			float64(nChains)/elapsed.Seconds(), "chains/s", detail)
+		return nil
+	}
+	if err := run("solo", 0); err != nil {
+		return err
+	}
+	return run("batched", 5*time.Millisecond)
+}
+
+// TEScale runs the full suite.
+func TEScale() (*Table, error) {
+	t := &Table{
+		ID:     "tescale",
+		Title:  "TE at production scale: solver scaling, warm starts, batched admission",
+		Header: []string{"section", "solver", "x", "value", "unit", "detail"},
+	}
+	if err := solveGrid(t); err != nil {
+		return nil, err
+	}
+	if err := warmVsCold(t); err != nil {
+		return nil, err
+	}
+	dpScale(t)
+	if err := admissionThroughput(t); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"solve_ms: exact simplex grows superlinearly with sites x chains; SB-DP stays in single-digit ms with a bounded optimality gap",
+		"warm_vs_cold: single-chain churn re-solved on the retained tableau vs a cold from-scratch solve of the same population",
+		"dp_scale: SB-DP on Expanded topologies (metro-satellite growth of the 25-city core); link capacity is advisory to the heuristic, as in the controller's usage",
+		"admission: end-to-end CreateChain throughput through the Global Switchboard, solo vs one joint solve per admission window; at simulator scale SB-DP solves are microseconds so the window dominates batched wall time — the batch's win is O(1) solves and route publishes per window, which inverts the economics at production solve costs (see the solve_ms section)")
+	return t, nil
+}

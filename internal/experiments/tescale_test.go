@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"switchboard/internal/model"
+	"switchboard/internal/te"
+	"switchboard/internal/workload"
+)
+
+// TestTEScaleWarmSpeedup enforces the headline of the tescale suite: at
+// a large instance, a warm-started single-chain re-solve on the
+// retained tableau must beat a cold from-scratch solve by at least 5x
+// (measured speedups are 1-2 orders of magnitude; the 5x floor leaves
+// room for noisy CI runners). Best of three trials.
+func TestTEScaleWarmSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive benchmark; skipped in -short")
+	}
+	opts := te.LPOptions{Objective: te.MaxThroughput, SkipLinkConstraints: true}
+	const minSpeedup = 5.0
+	best := 0.0
+	for trial := 0; trial < 3 && best < minSpeedup; trial++ {
+		nw := teScaleInstance(40, 6, 31)
+		inc, err := te.NewIncrementalLP(nw, opts)
+		if err != nil {
+			t.Fatalf("trial %d: incremental build: %v", trial, err)
+		}
+		extra := &model.Chain{
+			ID:      "warm-speedup-arrival",
+			Ingress: nw.Nodes[0],
+			Egress:  nw.Nodes[1],
+			VNFs:    []model.VNFID{workload.VNFName(0), workload.VNFName(1)},
+		}
+		extra.UniformTraffic(8, 2)
+
+		start := time.Now()
+		if err := inc.AddChain(extra); err != nil {
+			t.Fatalf("trial %d: warm add: %v", trial, err)
+		}
+		warm := time.Since(start)
+
+		start = time.Now()
+		coldRouting, err := te.SolveLP(nw, opts)
+		if err != nil {
+			t.Fatalf("trial %d: cold solve: %v", trial, err)
+		}
+		cold := time.Since(start)
+
+		want := lpCompositeObjective(nw, coldRouting)
+		if got := inc.Objective(); math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: warm objective %v != cold %v", trial, got, want)
+		}
+		if s := float64(cold) / float64(warm); s > best {
+			best = s
+		}
+		t.Logf("trial %d: cold=%v warm=%v", trial, cold, warm)
+	}
+	if best < minSpeedup {
+		t.Fatalf("warm re-solve speedup %.1fx < %.0fx floor", best, minSpeedup)
+	}
+}
+
+// TestTEScaleReportsGap pins the other tescale contract: the suite
+// computes a finite SB-DP optimality gap against the exact LP, and the
+// experiment is registered under its documented ID.
+func TestTEScaleReportsGap(t *testing.T) {
+	if _, ok := ByID("tescale"); !ok {
+		t.Fatal("tescale experiment not registered")
+	}
+	nw := teScaleInstance(15, 6, 31)
+	lpRouting, err := te.SolveLP(nw, te.LPOptions{Objective: te.MaxThroughput, SkipLinkConstraints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := te.Evaluate(nw, lpRouting)
+	dp := te.Evaluate(nw, te.SolveDP(nw, te.DPOptions{}))
+	if lp.Throughput <= 0 {
+		t.Fatal("LP admitted nothing; gap undefined")
+	}
+	gap := (1 - dp.Throughput/lp.Throughput) * 100
+	if math.IsNaN(gap) || math.IsInf(gap, 0) {
+		t.Fatalf("gap = %v", gap)
+	}
+	// The heuristic must not beat the exact optimum (beyond float noise)
+	// and must stay within a sane band of it.
+	if gap < -0.1 || gap > 60 {
+		t.Fatalf("SB-DP gap %.1f%% outside [-0.1, 60]", gap)
+	}
+	t.Log(fmt.Sprintf("SB-DP gap at 15 chains / 6 sites: %.1f%%", gap))
+}

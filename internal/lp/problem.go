@@ -7,6 +7,15 @@
 // Switchboard's traffic-engineering formulations (thousands of variables,
 // hundreds to thousands of rows). It is exact up to floating-point
 // tolerance and uses Bland's rule to guarantee termination.
+//
+// Two solving modes share the Problem description. Solve is the cold
+// path: build a tableau from scratch and run two-phase simplex.
+// WarmSolver is the incremental path: it retains the optimal tableau
+// between solves so that appending columns and rows (a chain arrival)
+// or deactivating columns (a departure) re-optimizes from the previous
+// basis in a handful of pivots instead of hundreds — the mechanism
+// behind the te package's IncrementalLP and the measured 1-2 order-of-
+// magnitude re-solve speedups in the tescale experiment suite.
 package lp
 
 import (
@@ -25,6 +34,7 @@ const (
 	EQ                  // =
 )
 
+// String renders the sense as its comparison operator.
 func (s Sense) String() string {
 	switch s {
 	case LE:

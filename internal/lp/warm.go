@@ -1,0 +1,554 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Column kinds inside a WarmSolver tableau.
+const (
+	ckStruct uint8 = iota // structural (decision) variable
+	ckSlack               // slack / surplus
+	ckArt                 // artificial
+)
+
+// RowTerm is one coefficient of an appended column on an existing
+// constraint row, addressed by the row's name. Coefficients are given in
+// the constraint's original orientation (the solver compensates for rows
+// it normalized internally).
+type RowTerm struct {
+	Row  string
+	Coef float64
+}
+
+// ColumnSpec describes one structural variable appended to a WarmSolver
+// after the initial build. Rows may only reference constraints that
+// already exist; coefficients on rows appended in the same batch belong
+// in those rows' Terms instead.
+type ColumnSpec struct {
+	Obj  float64 // objective coefficient, in the problem's original sense
+	Name string
+	Rows []RowTerm
+}
+
+// WarmSolver is an incremental variant of the two-phase simplex that
+// retains its final tableau between solves. After an initial cold solve,
+// small edits — appending columns and rows (a chain arriving) or
+// deactivating columns (a chain departing) — are folded into the cached
+// tableau and re-solved from the previous optimal basis, which typically
+// takes a handful of pivots instead of a full solve.
+//
+// The incremental update uses the fact that the cached tableau equals
+// B⁻¹·[A | I]: the columns of each row's initial (crash) basic variable
+// jointly hold B⁻¹, so an appended column a is transformed to B⁻¹a by a
+// linear combination of those columns, and an appended row is reduced
+// against the current basis with one elimination pass.
+//
+// WarmSolver handles pure LPs only; problems with MarkBinary/MarkInteger
+// restrictions are rejected. Infeasible or numerically stuck re-solves
+// return an error so callers can fall back to a cold solve.
+type WarmSolver struct {
+	minimize bool
+	sign     float64 // +1 minimize, -1 maximize (internal costs are sign·obj)
+
+	m, n int       // rows, columns in use
+	cap  int       // column capacity (row stride of a)
+	a    []float64 // m × cap row-major tableau (B⁻¹A)
+	b    []float64 // RHS (B⁻¹b)
+	cost []float64 // internal minimization costs, per column
+	kind []uint8   // per column: ckStruct / ckSlack / ckArt
+	dead []bool    // per column: deactivated structural variable
+
+	basis   []int     // per row: basic column
+	crash   []int     // per row: initial basic column (its tableau column is B⁻¹e_i)
+	rowSign []float64 // per row: -1 if the row was negated when installed
+
+	rowIndex map[string]int
+	varCol   []int     // structural variable index → column
+	colVar   []int     // column → structural variable index (-1 for slack/art)
+	obj      []float64 // original-sense objective, per structural variable
+	names    []string
+
+	iters int // simplex iterations across all solves
+	churn int // Append/Deactivate batches since construction
+}
+
+// NewWarmSolver builds a solver from a fully constructed problem. The
+// problem's constraints become the initial tableau; unnamed constraints
+// are auto-named "row<i>". Row names must be unique — they are the
+// identities appended columns use to address existing rows.
+func NewWarmSolver(p *Problem) (*WarmSolver, error) {
+	if len(p.integers) > 0 || len(p.binaries) > 0 {
+		return nil, fmt.Errorf("lp: warm solver handles pure LPs only")
+	}
+	w := &WarmSolver{
+		minimize: p.Minimize,
+		sign:     1,
+		rowIndex: make(map[string]int, len(p.cons)),
+	}
+	if !p.Minimize {
+		w.sign = -1
+	}
+	nEst := len(p.obj) + 2*len(p.cons)
+	w.cap = nEst + nEst/2 + 32
+	for v, coef := range p.obj {
+		col := w.addColumn(ckStruct, w.sign*coef)
+		w.colVar[col] = v
+		w.varCol = append(w.varCol, col)
+		w.obj = append(w.obj, coef)
+		w.names = append(w.names, p.names[v])
+	}
+	for _, con := range p.cons {
+		name := con.Name
+		if name == "" {
+			name = fmt.Sprintf("row%d", w.m)
+		}
+		if err := w.installRow(con.Terms, con.Sense, con.RHS, name, false); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// NumVars returns the number of structural variables, including appended
+// and deactivated ones.
+func (w *WarmSolver) NumVars() int { return len(w.obj) }
+
+// NumRows returns the number of constraint rows.
+func (w *WarmSolver) NumRows() int { return w.m }
+
+// Iters returns the cumulative simplex iteration count across solves.
+func (w *WarmSolver) Iters() int { return w.iters }
+
+// Churn returns how many Append/Deactivate batches have been applied;
+// callers use it to schedule periodic cold rebuilds that bound
+// floating-point drift.
+func (w *WarmSolver) Churn() int { return w.churn }
+
+// HasRow reports whether a constraint row with the given name exists.
+func (w *WarmSolver) HasRow(name string) bool {
+	_, ok := w.rowIndex[name]
+	return ok
+}
+
+// DeadFraction returns the fraction of structural variables that have
+// been deactivated.
+func (w *WarmSolver) DeadFraction() float64 {
+	if len(w.obj) == 0 {
+		return 0
+	}
+	dead := 0
+	for _, col := range w.varCol {
+		if w.dead[col] {
+			dead++
+		}
+	}
+	return float64(dead) / float64(len(w.obj))
+}
+
+// Append adds structural columns and constraint rows to the cached
+// tableau and returns the variable index of the first appended column.
+// Column Rows entries must name existing constraints; constraint Terms
+// may reference any variable, including columns appended in the same
+// call. Call Reoptimize afterwards to restore optimality.
+func (w *WarmSolver) Append(cols []ColumnSpec, cons []Constraint) (int, error) {
+	w.ensureCols(len(cols) + 2*len(cons))
+	first := len(w.obj)
+	for _, cs := range cols {
+		col := w.addColumn(ckStruct, w.sign*cs.Obj)
+		w.colVar[col] = len(w.obj)
+		w.varCol = append(w.varCol, col)
+		w.obj = append(w.obj, cs.Obj)
+		w.names = append(w.names, cs.Name)
+		if err := w.transformColumn(col, cs.Rows); err != nil {
+			return 0, err
+		}
+	}
+	for _, con := range cons {
+		for _, t := range con.Terms {
+			if t.Var < 0 || t.Var >= len(w.obj) {
+				return 0, fmt.Errorf("lp: append: term references unknown var %d", t.Var)
+			}
+		}
+		name := con.Name
+		if name == "" {
+			name = fmt.Sprintf("row%d", w.m)
+		}
+		if err := w.installRow(mergeTerms(con.Terms), con.Sense, con.RHS, name, true); err != nil {
+			return 0, err
+		}
+	}
+	w.churn++
+	return first, nil
+}
+
+// Deactivate removes structural variables from the problem: their
+// columns are masked from entering the basis and their objective
+// contribution is dropped. Rows that only ever constrained deactivated
+// variables become inert. Call Reoptimize afterwards; it drives any
+// deactivated variable still in the basis back to zero.
+func (w *WarmSolver) Deactivate(vars []int) {
+	for _, v := range vars {
+		col := w.varCol[v]
+		w.dead[col] = true
+		w.cost[col] = 0
+	}
+	w.churn++
+}
+
+// Reoptimize restores primal feasibility and optimality after Append /
+// Deactivate edits (or performs the initial cold solve) and returns the
+// solution. Deactivated variables are first driven out of the basis
+// (phase 0), appended infeasible rows are repaired with artificials
+// (phase 1), then the real objective is re-optimized (phase 2). An error
+// means the edit could not be absorbed — rebuild cold.
+func (w *WarmSolver) Reoptimize() (*Solution, error) {
+	enterable := make([]bool, w.n)
+	for j := 0; j < w.n; j++ {
+		enterable[j] = !w.dead[j] && w.kind[j] != ckArt
+	}
+
+	// Phase 0: deactivated columns still basic at a positive value carry
+	// load that must be rerouted; minimize their sum to drive them to 0.
+	deadLoad := 0.0
+	for i := 0; i < w.m; i++ {
+		if w.dead[w.basis[i]] && w.b[i] > feasEps {
+			deadLoad += w.b[i]
+		}
+	}
+	if deadLoad > feasEps {
+		obj := make([]float64, w.n)
+		for j := 0; j < w.n; j++ {
+			if w.dead[j] {
+				obj[j] = 1
+			}
+		}
+		val, err := w.optimize(obj, enterable)
+		if err == ErrUnbounded {
+			return nil, ErrInfeasible
+		}
+		if err != nil {
+			return nil, err
+		}
+		if val > feasEps {
+			return nil, ErrInfeasible
+		}
+	}
+
+	// Phase 1: appended rows that started on an artificial with b > 0.
+	artLoad := 0.0
+	for i := 0; i < w.m; i++ {
+		if w.kind[w.basis[i]] == ckArt && w.b[i] > feasEps {
+			artLoad += w.b[i]
+		}
+	}
+	if artLoad > feasEps {
+		obj := make([]float64, w.n)
+		for j := 0; j < w.n; j++ {
+			if w.kind[j] == ckArt {
+				obj[j] = 1
+			}
+		}
+		val, err := w.optimize(obj, enterable)
+		if err == ErrUnbounded {
+			return nil, ErrInfeasible
+		}
+		if err != nil {
+			return nil, err
+		}
+		if val > feasEps {
+			return nil, ErrInfeasible
+		}
+	}
+	// Artificial or dead columns still basic sit at ~0; the ratio-test
+	// guard in optimize pins them there, so they need no eager pivot-out.
+
+	if _, err := w.optimize(w.cost, enterable); err != nil {
+		return nil, err
+	}
+	return w.solution(), nil
+}
+
+// solution extracts structural values and the original-sense objective.
+func (w *WarmSolver) solution() *Solution {
+	x := make([]float64, len(w.obj))
+	for i := 0; i < w.m; i++ {
+		col := w.basis[i]
+		if w.kind[col] == ckStruct && !w.dead[col] {
+			x[w.colVar[col]] = w.b[i]
+		}
+	}
+	obj := 0.0
+	for v, coef := range w.obj {
+		obj += coef * x[v]
+	}
+	return &Solution{X: x, Objective: obj}
+}
+
+// locked reports whether a basic column must be held at zero: artificial
+// columns after feasibility, and deactivated columns.
+func (w *WarmSolver) locked(col int) bool {
+	return w.dead[col] || w.kind[col] == ckArt
+}
+
+// optimize runs primal simplex minimizing obj over the enterable
+// columns, maintaining an explicit reduced-cost row like the cold
+// solver. The ratio test adds a guard for degenerate rows whose basic
+// variable is locked at zero (an artificial or deactivated column): if
+// the entering column has any usable pivot there, that row leaves at
+// ratio 0, so locked variables can never grow back to a positive value.
+func (w *WarmSolver) optimize(obj []float64, enterable []bool) (float64, error) {
+	r := make([]float64, w.n)
+	copy(r, obj)
+
+	z := 0.0
+	for i := 0; i < w.m; i++ {
+		cb := obj[w.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := w.a[i*w.cap : i*w.cap+w.n]
+		for j := 0; j < w.n; j++ {
+			r[j] -= cb * row[j]
+		}
+		z += cb * w.b[i]
+	}
+
+	maxIters := 200*(w.m+w.n) + 20000
+	for iter := 0; ; iter++ {
+		if iter > maxIters {
+			return 0, ErrIterLimit
+		}
+		w.iters++
+		enter := -1
+		best := -feasEps
+		if iter > blandIter {
+			for j := 0; j < w.n; j++ {
+				if enterable[j] && r[j] < -feasEps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			for j := 0; j < w.n; j++ {
+				if enterable[j] && r[j] < best {
+					best = r[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return z, nil
+		}
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < w.m; i++ {
+			aij := w.a[i*w.cap+enter]
+			var ratio float64
+			switch {
+			case aij > pivotEps:
+				ratio = w.b[i] / aij
+			case aij < -pivotEps && w.b[i] <= 1e-12 && w.locked(w.basis[i]):
+				// Zero-locked degenerate row: force it to leave so the
+				// locked variable stays at zero instead of growing.
+				ratio = 0
+			default:
+				continue
+			}
+			if ratio < bestRatio-pivotEps ||
+				(ratio < bestRatio+pivotEps && (leave == -1 || w.basis[i] < w.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+		factor := r[enter] / w.a[leave*w.cap+enter]
+		row := w.a[leave*w.cap : leave*w.cap+w.n]
+		for j := 0; j < w.n; j++ {
+			r[j] -= factor * row[j]
+		}
+		r[enter] = 0
+		z += factor * w.b[leave]
+		w.pivot(leave, enter)
+	}
+}
+
+// pivot makes column j basic in row i. Unlike the cold solver it clamps
+// eps-scale negative RHS values to zero: re-solves accumulate more
+// floating-point traffic than a one-shot solve, and the ratio test
+// assumes b ≥ 0.
+func (w *WarmSolver) pivot(i, j int) {
+	row := w.a[i*w.cap : i*w.cap+w.n]
+	inv := 1.0 / row[j]
+	for k := range row {
+		row[k] *= inv
+	}
+	w.b[i] *= inv
+	row[j] = 1
+	if w.b[i] < 0 && w.b[i] > -feasEps {
+		w.b[i] = 0
+	}
+	for r := 0; r < w.m; r++ {
+		if r == i {
+			continue
+		}
+		factor := w.a[r*w.cap+j]
+		if factor == 0 {
+			continue
+		}
+		other := w.a[r*w.cap : r*w.cap+w.n]
+		for k := range other {
+			other[k] -= factor * row[k]
+		}
+		other[j] = 0
+		w.b[r] -= factor * w.b[i]
+		if w.b[r] < 0 && w.b[r] > -feasEps {
+			w.b[r] = 0
+		}
+	}
+	w.basis[i] = j
+}
+
+// addColumn appends a zero column of the given kind and returns its index.
+func (w *WarmSolver) addColumn(kind uint8, costMin float64) int {
+	w.ensureCols(1)
+	col := w.n
+	w.n++
+	w.cost = append(w.cost, costMin)
+	w.kind = append(w.kind, kind)
+	w.dead = append(w.dead, false)
+	w.colVar = append(w.colVar, -1)
+	return col
+}
+
+// ensureCols grows the column capacity (row stride) to fit extra more
+// columns, re-laying out the tableau if needed.
+func (w *WarmSolver) ensureCols(extra int) {
+	if w.n+extra <= w.cap {
+		return
+	}
+	newCap := w.cap * 2
+	for newCap < w.n+extra {
+		newCap *= 2
+	}
+	na := make([]float64, w.m*newCap)
+	for i := 0; i < w.m; i++ {
+		copy(na[i*newCap:i*newCap+w.n], w.a[i*w.cap:i*w.cap+w.n])
+	}
+	w.a = na
+	w.cap = newCap
+}
+
+// transformColumn folds an appended column into the current basis:
+// its tableau image is B⁻¹a, assembled from the crash-basic columns
+// (each of which holds B⁻¹e_i for its row).
+func (w *WarmSolver) transformColumn(col int, rows []RowTerm) error {
+	for _, rt := range rows {
+		i, ok := w.rowIndex[rt.Row]
+		if !ok {
+			return fmt.Errorf("lp: append: unknown row %q", rt.Row)
+		}
+		f := rt.Coef * w.rowSign[i]
+		if f == 0 {
+			continue
+		}
+		src := w.crash[i]
+		for r := 0; r < w.m; r++ {
+			w.a[r*w.cap+col] += f * w.a[r*w.cap+src]
+		}
+	}
+	return nil
+}
+
+// installRow appends one constraint row. At build time (eliminate=false)
+// rows are installed raw; for warm appends (eliminate=true) the row is
+// first reduced against the current basis so the tableau invariant
+// holds. The row starts basic on a fresh slack (LE) or artificial
+// (GE/EQ) column, which also becomes its crash basic for future B⁻¹
+// extraction.
+func (w *WarmSolver) installRow(terms []Term, sense Sense, rhs float64, name string, eliminate bool) error {
+	if _, dup := w.rowIndex[name]; dup {
+		return fmt.Errorf("lp: duplicate row name %q", name)
+	}
+	i := w.m
+	w.m++
+	w.a = append(w.a, make([]float64, w.cap)...)
+	w.b = append(w.b, 0)
+	w.basis = append(w.basis, -1)
+	w.crash = append(w.crash, -1)
+	w.rowSign = append(w.rowSign, 1)
+
+	flip := 1.0
+	if rhs < 0 {
+		flip, rhs = -1, -rhs
+		sense = flipSense(sense)
+	}
+	for _, t := range terms {
+		w.a[i*w.cap+w.varCol[t.Var]] += flip * t.Coef
+	}
+
+	if eliminate {
+		for k := 0; k < i; k++ {
+			f := w.a[i*w.cap+w.basis[k]]
+			if f == 0 {
+				continue
+			}
+			other := w.a[k*w.cap : k*w.cap+w.n]
+			row := w.a[i*w.cap : i*w.cap+w.n]
+			for j := 0; j < w.n; j++ {
+				row[j] -= f * other[j]
+			}
+			row[w.basis[k]] = 0
+			rhs -= f * w.b[k]
+		}
+		if rhs < 0 {
+			row := w.a[i*w.cap : i*w.cap+w.n]
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			sense = flipSense(sense)
+			flip = -flip
+		}
+	}
+
+	w.b[i] = rhs
+	w.rowSign[i] = flip
+	w.rowIndex[name] = i
+
+	switch sense {
+	case LE:
+		s := w.addColumn(ckSlack, 0)
+		w.a[i*w.cap+s] = 1
+		w.basis[i] = s
+		w.crash[i] = s
+	case GE:
+		s := w.addColumn(ckSlack, 0)
+		w.a[i*w.cap+s] = -1
+		art := w.addColumn(ckArt, 0)
+		w.a[i*w.cap+art] = 1
+		w.basis[i] = art
+		w.crash[i] = art
+	case EQ:
+		art := w.addColumn(ckArt, 0)
+		w.a[i*w.cap+art] = 1
+		w.basis[i] = art
+		w.crash[i] = art
+	default:
+		return fmt.Errorf("lp: row %q: invalid sense %v", name, sense)
+	}
+	return nil
+}
+
+func flipSense(s Sense) Sense {
+	switch s {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return s
+	}
+}

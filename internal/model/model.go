@@ -130,6 +130,11 @@ type Network struct {
 	VNFs map[VNFID]*VNF
 	// Chains is the chain set C.
 	Chains map[ChainID]*Chain
+	// Weight is the optional per-node gravity weight (the 25-city
+	// backbone stores metro populations; generated topologies store
+	// synthetic weights). Absent entries default to 1 — see
+	// GravityWeight.
+	Weight map[NodeID]float64
 }
 
 // NewNetwork returns an empty network with n nodes and the given MLU limit.
@@ -149,6 +154,25 @@ func NewNetwork(n int, mlu float64) *Network {
 		nw.RouteFrac[NodeID(i)] = make(map[NodeID]map[int]float64, n)
 	}
 	return nw
+}
+
+// SetWeight records node n's gravity weight, used by workload
+// generators and gravity traffic matrices to skew demand toward
+// high-population nodes.
+func (nw *Network) SetWeight(n NodeID, w float64) {
+	if nw.Weight == nil {
+		nw.Weight = make(map[NodeID]float64, len(nw.Nodes))
+	}
+	nw.Weight[n] = w
+}
+
+// GravityWeight returns node n's gravity weight, defaulting to 1 when
+// none was set so weight-free networks behave uniformly.
+func (nw *Network) GravityWeight(n NodeID) float64 {
+	if w, ok := nw.Weight[n]; ok && w > 0 {
+		return w
+	}
+	return 1
 }
 
 // SetDelay records the propagation delay between two nodes in both

@@ -3,6 +3,7 @@ package te
 import (
 	"math"
 	"sort"
+	"time"
 
 	"switchboard/internal/cost"
 	"switchboard/internal/model"
@@ -51,6 +52,7 @@ func (o *DPOptions) setDefaults() {
 // remainder (Section 4.4).
 func SolveDP(nw *model.Network, opts DPOptions) *model.Routing {
 	opts.setDefaults()
+	defer stats.observeSolve(time.Now())
 	routing := model.NewRouting()
 	st := newLoadState(nw)
 

@@ -3,6 +3,18 @@
 // programming heuristic (SB-DP), the distributed baselines the paper
 // compares against (ANYCAST, COMPUTE-AWARE, DP-LATENCY, ONEHOP), and the
 // cloud/VNF capacity-planning problems of Section 4.2.
+//
+// Solver selection. SolveLP is exact but its simplex cost grows
+// superlinearly with sites × chains (seconds at ~60 chains over 8
+// sites); SolveDP stays in single-digit milliseconds at hundreds of
+// sites with a measured optimality gap of a few percent (see DESIGN.md
+// §10 and the tescale experiment for the gap/speedup table). For
+// steady-state churn — one chain arriving or departing against a large
+// installed population — IncrementalLP re-solves the exact LP warm on
+// a retained simplex tableau, typically 1-2 orders of magnitude faster
+// than a cold SolveLP, falling back to a cold solve whenever the warm
+// path cannot certify optimality. Solve-time and warm-start telemetry
+// flows through Stats (te.solve_ms, te.warm_starts, te.cold_fallbacks).
 package te
 
 import (

@@ -1,0 +1,356 @@
+package te
+
+import (
+	"fmt"
+	"time"
+
+	"switchboard/internal/lp"
+	"switchboard/internal/model"
+)
+
+// IncrementalLP maintains an SB-LP instance across chain arrivals and
+// departures. The first solve is cold; afterwards AddChain appends the
+// new chain's variables and constraints to the cached simplex tableau
+// and re-solves warm from the previous optimal basis, and RemoveChain
+// deactivates the departed chain's variables and re-optimizes. A warm
+// re-solve that cannot be absorbed (infeasible edit, iteration limit,
+// accumulated floating-point drift) falls back to a cold rebuild, so
+// the result always matches what a from-scratch SolveLP would return up
+// to alternate optima.
+//
+// Only the MaxThroughput objective is supported: under it any edit
+// leaves the LP feasible (admitted fractions can drop to zero), which
+// is what makes unattended incremental operation safe. Periodic cold
+// rebuilds (every RebuildEvery edits, or when more than half the
+// variables are dead) bound drift and tableau growth.
+//
+// IncrementalLP is not safe for concurrent use; the Global Switchboard
+// serializes edits through its admission path.
+type IncrementalLP struct {
+	nw   *model.Network
+	opts LPOptions
+	w    *lp.WarmSolver
+	b    *lpBuilder
+	sol  *lp.Solution
+	ops  int // edits since the last cold build
+	gen  int // generation counter for chain-private row names
+
+	// RebuildEvery forces a scheduled cold rebuild after this many
+	// warm edits (default 64). Rebuilds also trigger when deactivated
+	// variables exceed half the tableau.
+	RebuildEvery int
+}
+
+// NewIncrementalLP cold-solves the network's current chain set and
+// returns an incremental solver positioned at that optimum. Objective
+// defaults to MaxThroughput; MinLatency is rejected.
+func NewIncrementalLP(nw *model.Network, opts LPOptions) (*IncrementalLP, error) {
+	if opts.Objective == 0 {
+		opts.Objective = MaxThroughput
+	}
+	if opts.Objective != MaxThroughput {
+		return nil, fmt.Errorf("te: IncrementalLP supports MaxThroughput only")
+	}
+	if opts.LatencyTiebreak == 0 {
+		opts.LatencyTiebreak = 0.1
+	}
+	inc := &IncrementalLP{nw: nw, opts: opts, RebuildEvery: 64}
+	defer stats.observeSolve(time.Now())
+	if err := inc.coldSolve(); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// coldSolve rebuilds the LP from the network's current chain set and
+// solves it from scratch, replacing the cached tableau.
+func (inc *IncrementalLP) coldSolve() error {
+	b := newLPBuilder(inc.nw, inc.opts)
+	b.addFlowConservation()
+	b.addComputeConstraints(nil)
+	if !inc.opts.SkipLinkConstraints && len(inc.nw.Links) > 0 {
+		b.addLinkConstraints()
+	}
+	w, err := lp.NewWarmSolver(b.p)
+	if err != nil {
+		return fmt.Errorf("te: incremental cold build: %w", err)
+	}
+	sol, err := w.Reoptimize()
+	if err != nil {
+		return fmt.Errorf("te: incremental cold solve: %w", err)
+	}
+	inc.b, inc.w, inc.sol, inc.ops = b, w, sol, 0
+	return nil
+}
+
+// Objective returns the current optimum in the problem's original sense
+// (admitted throughput minus the latency tiebreak).
+func (inc *IncrementalLP) Objective() float64 { return inc.sol.Objective }
+
+// Routing converts the current solution into a Routing.
+func (inc *IncrementalLP) Routing() *model.Routing { return inc.b.extractRouting(inc.sol) }
+
+// AddChain inserts the chain into the network and re-solves. The warm
+// path appends the chain's columns and rows to the cached tableau; on
+// failure — or when a scheduled rebuild is due — it solves cold.
+func (inc *IncrementalLP) AddChain(c *model.Chain) error {
+	if _, dup := inc.nw.Chains[c.ID]; dup {
+		return fmt.Errorf("te: chain %s already present", c.ID)
+	}
+	inc.nw.AddChain(c)
+	defer stats.observeSolve(time.Now())
+	if inc.rebuildDue() {
+		return inc.coldSolve()
+	}
+	if err := inc.warmAdd(c); err != nil {
+		stats.coldFallbacks.Add(1)
+		return inc.coldSolve()
+	}
+	stats.warmStarts.Add(1)
+	inc.ops++
+	return nil
+}
+
+// RemoveChain deletes the chain from the network and re-solves,
+// deactivating its variables on the warm path.
+func (inc *IncrementalLP) RemoveChain(id model.ChainID) error {
+	if _, ok := inc.nw.Chains[id]; !ok {
+		return fmt.Errorf("te: chain %s not present", id)
+	}
+	delete(inc.nw.Chains, id)
+	defer stats.observeSolve(time.Now())
+	if inc.rebuildDue() {
+		return inc.coldSolve()
+	}
+	if err := inc.warmRemove(id); err != nil {
+		stats.coldFallbacks.Add(1)
+		return inc.coldSolve()
+	}
+	stats.warmStarts.Add(1)
+	inc.ops++
+	return nil
+}
+
+func (inc *IncrementalLP) rebuildDue() bool {
+	if inc.w == nil {
+		return true
+	}
+	if inc.RebuildEvery > 0 && inc.ops >= inc.RebuildEvery {
+		return true
+	}
+	return inc.w.DeadFraction() > 0.5
+}
+
+// warmRemove deactivates the chain's columns and re-optimizes in place.
+func (inc *IncrementalLP) warmRemove(id model.ChainID) error {
+	var vars []int
+	for _, stage := range inc.b.x[id] {
+		for _, idx := range stage {
+			vars = append(vars, idx)
+		}
+	}
+	if t := inc.b.tc[id]; t >= 0 {
+		vars = append(vars, t)
+	}
+	inc.w.Deactivate(vars)
+	sol, err := inc.w.Reoptimize()
+	if err != nil {
+		return err
+	}
+	delete(inc.b.x, id)
+	delete(inc.b.tc, id)
+	for i, c := range inc.b.chains {
+		if c.ID == id {
+			inc.b.chains = append(inc.b.chains[:i], inc.b.chains[i+1:]...)
+			break
+		}
+	}
+	inc.sol = sol
+	return nil
+}
+
+// warmAdd emits the new chain's variables and constraints against the
+// cached tableau. Coefficients that land on rows the tableau already
+// has (shared vnfcap/sitecap/link rows) ride along on the appended
+// columns; rows the chain introduces (its total/flow/tmax rows, plus
+// capacity rows no previous chain touched) are appended whole.
+func (inc *IncrementalLP) warmAdd(c *model.Chain) error {
+	b, nw := inc.b, inc.nw
+	base := inc.w.NumVars()
+
+	// Chain-private rows (total/tmax/flow) get a generation suffix: a
+	// departed chain's rows stay in the tableau (inert, all-dead terms),
+	// so a chain that leaves and returns would otherwise collide with
+	// its own earlier rows. Shared capacity rows keep canonical names.
+	inc.gen++
+	priv := fmt.Sprintf("@%d", inc.gen)
+
+	latWeight := inc.opts.LatencyTiebreak
+	stages := c.Stages()
+	perStage := make([]map[[2]model.NodeID]int, stages)
+	var cols []lp.ColumnSpec
+	next := base
+	for z := 1; z <= stages; z++ {
+		perStage[z-1] = make(map[[2]model.NodeID]int)
+		w, v := c.Forward[z-1], c.Reverse[z-1]
+		for _, n1 := range nw.StageSources(c, z) {
+			for _, n2 := range nw.StageDests(c, z) {
+				coef := -latWeight * (w + v) * nw.DelaySeconds(n1, n2)
+				cols = append(cols, lp.ColumnSpec{
+					Obj:  coef,
+					Name: fmt.Sprintf("x(%s,%d,%d,%d)", c.ID, z, n1, n2),
+				})
+				perStage[z-1][[2]model.NodeID{n1, n2}] = next
+				next++
+			}
+		}
+	}
+	demand := c.Forward[0] + c.Reverse[0]
+	cols = append(cols, lp.ColumnSpec{Obj: demand, Name: fmt.Sprintf("t(%s)", c.ID)})
+	tVar := next
+
+	// Register the chain before computeTerms, which reads b.x.
+	b.x[c.ID] = perStage
+	b.tc[c.ID] = tVar
+	b.chains = append(b.chains, c)
+	undo := func() {
+		delete(b.x, c.ID)
+		delete(b.tc, c.ID)
+		b.chains = b.chains[:len(b.chains)-1]
+	}
+
+	var cons []lp.Constraint
+
+	// Stage-1 total and the admitted-fraction bound.
+	terms := make([]lp.Term, 0, len(perStage[0])+1)
+	for _, idx := range perStage[0] {
+		terms = append(terms, lp.Term{Var: idx, Coef: 1})
+	}
+	terms = append(terms, lp.Term{Var: tVar, Coef: -1})
+	cons = append(cons, lp.Constraint{
+		Terms: terms, Sense: lp.EQ, RHS: 0, Name: fmt.Sprintf("total(%s)%s", c.ID, priv),
+	})
+	if !inc.opts.AllowOverdrive {
+		cons = append(cons, lp.Constraint{
+			Terms: []lp.Term{{Var: tVar, Coef: 1}}, Sense: lp.LE, RHS: 1,
+			Name: fmt.Sprintf("tmax(%s)%s", c.ID, priv),
+		})
+	}
+
+	// Flow conservation (all rows are new: they involve only this chain).
+	for z := 1; z < stages; z++ {
+		for _, s := range nw.StageDests(c, z) {
+			var ft []lp.Term
+			for _, n1 := range nw.StageSources(c, z) {
+				if idx, ok := perStage[z-1][[2]model.NodeID{n1, s}]; ok {
+					ft = append(ft, lp.Term{Var: idx, Coef: 1})
+				}
+			}
+			for _, n2 := range nw.StageDests(c, z+1) {
+				if idx, ok := perStage[z][[2]model.NodeID{s, n2}]; ok {
+					ft = append(ft, lp.Term{Var: idx, Coef: -1})
+				}
+			}
+			if len(ft) > 0 {
+				cons = append(cons, lp.Constraint{
+					Terms: ft, Sense: lp.EQ, RHS: 0,
+					Name: fmt.Sprintf("flow(%s,%d,%d)%s", c.ID, z, s, priv),
+				})
+			}
+		}
+	}
+
+	// Capacity rows: fold terms onto existing rows, or open new ones.
+	colRows := make(map[int][]lp.RowTerm) // var index → terms on existing rows
+	onRow := func(name string, terms []lp.Term, sense lp.Sense, rhs float64) {
+		if inc.w.HasRow(name) {
+			for _, t := range terms {
+				colRows[t.Var] = append(colRows[t.Var], lp.RowTerm{Row: name, Coef: t.Coef})
+			}
+			return
+		}
+		for i, con := range cons {
+			if con.Name == name {
+				cons[i].Terms = append(cons[i].Terms, terms...)
+				return
+			}
+		}
+		cons = append(cons, lp.Constraint{Terms: terms, Sense: sense, RHS: rhs, Name: name})
+	}
+
+	siteTerms := make(map[model.NodeID][]lp.Term)
+	for j, fid := range c.VNFs {
+		f := nw.VNFs[fid]
+		if f == nil {
+			undo()
+			return fmt.Errorf("te: chain %s references unknown VNF %s", c.ID, fid)
+		}
+		for s := range f.SiteCapacity {
+			ct := b.computeTerms(c, j, s)
+			if len(ct) == 0 {
+				continue
+			}
+			if !inc.opts.SkipVNFCaps {
+				onRow(fmt.Sprintf("vnfcap(%s,%d)", fid, s), ct, lp.LE, f.SiteCapacity[s])
+			}
+			siteTerms[s] = append(siteTerms[s], ct...)
+		}
+	}
+	for s, st := range siteTerms {
+		site := nw.Sites[s]
+		if site == nil {
+			continue
+		}
+		onRow(fmt.Sprintf("sitecap(%d)", s), st, lp.LE, site.Capacity)
+	}
+
+	if !inc.opts.SkipLinkConstraints && len(nw.Links) > 0 {
+		linkTerms := make(map[int][]lp.Term)
+		for z := 1; z <= stages; z++ {
+			w, v := c.Forward[z-1], c.Reverse[z-1]
+			for pair, idx := range perStage[z-1] {
+				n1, n2 := pair[0], pair[1]
+				if n1 == n2 {
+					continue
+				}
+				if w > 0 {
+					for e, rf := range nw.RouteFrac[n1][n2] {
+						linkTerms[e] = append(linkTerms[e], lp.Term{Var: idx, Coef: rf * w})
+					}
+				}
+				if v > 0 {
+					for e, rf := range nw.RouteFrac[n2][n1] {
+						linkTerms[e] = append(linkTerms[e], lp.Term{Var: idx, Coef: rf * v})
+					}
+				}
+			}
+		}
+		for e, lt := range linkTerms {
+			link := nw.Links[e]
+			rhs := nw.MLU*link.Bandwidth - link.Background
+			onRow(fmt.Sprintf("link(%d)", e), lt, lp.LE, rhs)
+		}
+	}
+
+	specs := make([]lp.ColumnSpec, len(cols))
+	copy(specs, cols)
+	for i := range specs {
+		specs[i].Rows = colRows[base+i]
+	}
+	first, err := inc.w.Append(specs, cons)
+	if err != nil {
+		undo()
+		return err
+	}
+	if first != base {
+		undo()
+		return fmt.Errorf("te: incremental append misaligned (got %d, want %d)", first, base)
+	}
+	sol, err := inc.w.Reoptimize()
+	if err != nil {
+		undo()
+		return err
+	}
+	inc.sol = sol
+	return nil
+}

@@ -1,0 +1,166 @@
+package te
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"switchboard/internal/model"
+)
+
+// composite returns the LP's composite objective (admitted throughput
+// minus the latency tiebreak) for a routing, the quantity warm and cold
+// solves must agree on even when alternate optima route differently.
+func composite(nw *model.Network, r *model.Routing) float64 {
+	ev := Evaluate(nw, r)
+	return ev.Throughput - 0.1*ev.LatencyObjective
+}
+
+// TestIncrementalWarmEqualsColdUnderChurn is the warm-start equivalence
+// property: over seeded random networks, a chain population under
+// arrival/departure churn must yield the same optimum from the
+// incremental warm-started solver as from a cold SolveLP after every
+// single event.
+func TestIncrementalWarmEqualsColdUnderChurn(t *testing.T) {
+	opts := LPOptions{Objective: MaxThroughput, SkipLinkConstraints: true}
+	for seed := uint32(1); seed <= 15; seed++ {
+		nw := randomNetwork(seed)
+
+		state := uint64(seed)*2654435761 | 1
+		next := func(n int) int {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return int(state % uint64(n))
+		}
+
+		// Chain pool: the generated population plus synthesized extras so
+		// churn has enough arrivals to draw from.
+		pool := chainsByDemand(nw)
+		nodes := len(nw.Nodes)
+		nVNFs := len(nw.VNFs)
+		for i := 0; i < 6; i++ {
+			k := 1 + next(nVNFs)
+			var vnfs []model.VNFID
+			for v := 0; v < k; v++ {
+				vnfs = append(vnfs, model.VNFID(rune('a'+v)))
+			}
+			ch := &model.Chain{
+				ID:      model.ChainID(fmt.Sprintf("X%02d", i)),
+				Ingress: model.NodeID(next(nodes)),
+				Egress:  model.NodeID(next(nodes)),
+				VNFs:    vnfs,
+			}
+			ch.UniformTraffic(float64(1+next(20)), float64(next(10)))
+			pool = append(pool, ch)
+		}
+
+		// Start with the first half present.
+		for id := range nw.Chains {
+			delete(nw.Chains, id)
+		}
+		present := make(map[model.ChainID]bool)
+		for _, c := range pool[:len(pool)/2] {
+			nw.AddChain(c)
+			present[c.ID] = true
+		}
+
+		warmBefore := stats.WarmStarts()
+		inc, err := NewIncrementalLP(nw, opts)
+		if err != nil {
+			t.Fatalf("seed %d: incremental build: %v", seed, err)
+		}
+
+		check := func(ev int) {
+			coldRouting, err := SolveLP(nw, opts)
+			if err != nil {
+				t.Fatalf("seed %d ev %d: cold solve: %v", seed, ev, err)
+			}
+			want := composite(nw, coldRouting)
+			got := inc.Objective()
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("seed %d ev %d: warm objective %v != cold %v", seed, ev, got, want)
+			}
+			// The extracted routing must evaluate back to the objective
+			// and stay violation-free.
+			evr := Evaluate(nw, inc.Routing())
+			if len(evr.Violations) != 0 {
+				t.Fatalf("seed %d ev %d: violations: %v", seed, ev, evr.Violations[0])
+			}
+			if back := evr.Throughput - 0.1*evr.LatencyObjective; math.Abs(back-got) > 1e-6*(1+math.Abs(got)) {
+				t.Fatalf("seed %d ev %d: routing evaluates to %v, solver says %v", seed, ev, back, got)
+			}
+		}
+		check(-1)
+
+		for ev := 0; ev < 8; ev++ {
+			var absent []*model.Chain
+			var live []model.ChainID
+			for _, c := range pool {
+				if present[c.ID] {
+					live = append(live, c.ID)
+				} else {
+					absent = append(absent, c)
+				}
+			}
+			if (next(2) == 0 && len(absent) > 0) || len(live) == 0 {
+				c := absent[next(len(absent))]
+				if err := inc.AddChain(c); err != nil {
+					t.Fatalf("seed %d ev %d: add %s: %v", seed, ev, c.ID, err)
+				}
+				present[c.ID] = true
+			} else {
+				id := live[next(len(live))]
+				if err := inc.RemoveChain(id); err != nil {
+					t.Fatalf("seed %d ev %d: remove %s: %v", seed, ev, id, err)
+				}
+				delete(present, id)
+			}
+			check(ev)
+		}
+		if stats.WarmStarts() == warmBefore {
+			t.Fatalf("seed %d: churn never took the warm path", seed)
+		}
+	}
+}
+
+// TestIncrementalRejectsMinLatency pins the documented contract: the
+// incremental path only supports the always-feasible MaxThroughput form.
+func TestIncrementalRejectsMinLatency(t *testing.T) {
+	nw := randomNetwork(3)
+	if _, err := NewIncrementalLP(nw, LPOptions{Objective: MinLatency}); err == nil {
+		t.Fatal("expected MinLatency to be rejected")
+	}
+}
+
+// TestIncrementalScheduledRebuild checks that the drift-bounding rebuild
+// kicks in and still matches the cold optimum.
+func TestIncrementalScheduledRebuild(t *testing.T) {
+	opts := LPOptions{Objective: MaxThroughput, SkipLinkConstraints: true}
+	nw := randomNetwork(5)
+	inc, err := NewIncrementalLP(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.RebuildEvery = 2
+	for i := 0; i < 6; i++ {
+		ch := &model.Chain{
+			ID:      model.ChainID(fmt.Sprintf("R%02d", i)),
+			Ingress: nw.Nodes[0],
+			Egress:  nw.Nodes[len(nw.Nodes)-1],
+			VNFs:    []model.VNFID{"a"},
+		}
+		ch.UniformTraffic(5, 1)
+		if err := inc.AddChain(ch); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	coldRouting, err := SolveLP(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := composite(nw, coldRouting)
+	if got := inc.Objective(); math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("after rebuilds: warm %v != cold %v", got, want)
+	}
+}

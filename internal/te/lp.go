@@ -2,6 +2,7 @@ package te
 
 import (
 	"fmt"
+	"time"
 
 	"switchboard/internal/lp"
 	"switchboard/internal/model"
@@ -53,6 +54,7 @@ func SolveLP(nw *model.Network, opts LPOptions) (*model.Routing, error) {
 	if opts.LatencyTiebreak == 0 {
 		opts.LatencyTiebreak = 0.1
 	}
+	defer stats.observeSolve(time.Now())
 
 	b := newLPBuilder(nw, opts)
 	b.addFlowConservation()

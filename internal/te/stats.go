@@ -1,0 +1,50 @@
+package te
+
+import (
+	"sync/atomic"
+	"time"
+
+	"switchboard/internal/metrics"
+)
+
+// SolverStats aggregates TE solver activity: every SolveLP / SolveDP /
+// IncrementalLP solve observes its wall time, and the incremental path
+// counts how often the warm-started re-solve succeeded versus fell back
+// to a cold rebuild. All methods are safe for concurrent use.
+type SolverStats struct {
+	solve         *metrics.Histogram
+	warmStarts    atomic.Uint64
+	coldFallbacks atomic.Uint64
+}
+
+// stats is the package-wide instance every solver records into.
+var stats = &SolverStats{solve: metrics.NewHistogram()}
+
+// Stats returns the package-wide solver statistics.
+func Stats() *SolverStats { return stats }
+
+// RegisterMetrics exposes the solver statistics on a registry under
+// te.solve_ms (histogram of solve wall time), te.warm_starts and
+// te.cold_fallbacks (counters).
+func (s *SolverStats) RegisterMetrics(r *metrics.Registry) {
+	r.RegisterHistogram("te.solve_ms", s.solve)
+	r.CounterFunc("te.warm_starts", s.warmStarts.Load)
+	r.CounterFunc("te.cold_fallbacks", s.coldFallbacks.Load)
+}
+
+// SolveHistogram returns the histogram behind te.solve_ms.
+func (s *SolverStats) SolveHistogram() *metrics.Histogram { return s.solve }
+
+// WarmStarts returns how many incremental re-solves reused the previous
+// basis successfully.
+func (s *SolverStats) WarmStarts() uint64 { return s.warmStarts.Load() }
+
+// ColdFallbacks returns how many incremental re-solves had to rebuild
+// and solve from scratch after a failed warm start.
+func (s *SolverStats) ColdFallbacks() uint64 { return s.coldFallbacks.Load() }
+
+// observeSolve records one solve's wall time; call as
+// `defer stats.observeSolve(time.Now())`.
+func (s *SolverStats) observeSolve(start time.Time) {
+	s.solve.Observe(time.Since(start))
+}

@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"math"
+
+	"switchboard/internal/model"
+)
+
+// Expanded constructs a backbone scaled past the 25-city core: the core
+// metros keep their real positions, populations, and link mesh, and the
+// remaining numNodes-25 nodes become satellite PoPs — smaller sites
+// placed 30-150 km from a parent metro with a gravity weight of 5-20% of
+// the parent's population. Satellites round-robin across parents so the
+// expansion stays geographically balanced, and every fourth satellite is
+// dual-homed to a second metro for path diversity. Construction is
+// deterministic: the same numNodes and Options always yield the same
+// network. numNodes below the core size is clamped to NumNodes, so
+// Expanded(NumNodes, opts) is exactly Backbone(opts).
+func Expanded(numNodes int, opts Options) *model.Network {
+	opts.setDefaults()
+	if numNodes < NumNodes {
+		numNodes = NumNodes
+	}
+	nw := model.NewNetwork(numNodes, opts.MLU)
+
+	// Node table: the 25 metros, then synthesized satellites.
+	sites := make([]city, numNodes)
+	copy(sites, cities)
+	for i := range sites[:NumNodes] {
+		nw.SetWeight(model.NodeID(i), sites[i].Pop)
+	}
+	rng := expandRNG(uint64(numNodes))
+	for i := NumNodes; i < numNodes; i++ {
+		parent := (i - NumNodes) % NumNodes
+		p := cities[parent]
+		// 30-150 km from the parent at a deterministic bearing. One
+		// degree of latitude is ~111 km; longitude shrinks by cos(lat).
+		km := 30 + 120*rng()
+		bearing := 2 * math.Pi * rng()
+		lat := p.Lat + km*math.Cos(bearing)/111.0
+		lon := p.Lon + km*math.Sin(bearing)/(111.0*math.Cos(p.Lat*math.Pi/180))
+		sites[i] = city{
+			Name: NodeName(model.NodeID(i)),
+			Lat:  lat,
+			Lon:  lon,
+			Pop:  p.Pop * (0.05 + 0.15*rng()),
+		}
+		nw.SetWeight(model.NodeID(i), sites[i].Pop)
+	}
+
+	adj := make([][]edge, numNodes)
+	addLink := func(a, b model.NodeID) {
+		d := propagationDelay(sites[a], sites[b])
+		ab := nw.AddLink(a, b, opts.LinkBandwidth, 0)
+		ba := nw.AddLink(b, a, opts.LinkBandwidth, 0)
+		adj[a] = append(adj[a], edge{to: b, delay: d, link: ab})
+		adj[b] = append(adj[b], edge{to: a, delay: d, link: ba})
+	}
+	for _, pair := range backboneLinks {
+		addLink(model.NodeID(pair[0]), model.NodeID(pair[1]))
+	}
+	for i := NumNodes; i < numNodes; i++ {
+		parent := (i - NumNodes) % NumNodes
+		addLink(model.NodeID(i), model.NodeID(parent))
+		if (i-NumNodes)%4 == 3 {
+			addLink(model.NodeID(i), model.NodeID((parent+1)%NumNodes))
+		}
+	}
+
+	finalize(nw, adj, opts)
+	return nw
+}
+
+// expandRNG returns a deterministic xorshift64* generator in [0,1),
+// seeded from the requested topology size so every build of a given size
+// is identical.
+func expandRNG(seed uint64) func() float64 {
+	state := seed*2862933555777941757 + 3037000493
+	return func() float64 {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return float64((state*2685821657736338717)>>11) / float64(1<<53)
+	}
+}

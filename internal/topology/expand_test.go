@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"switchboard/internal/model"
+	"switchboard/internal/workload"
+)
+
+func TestExpandedStructure(t *testing.T) {
+	const n = 200
+	nw := Expanded(n, Options{BackgroundFraction: 0.2})
+	if len(nw.Nodes) != n {
+		t.Fatalf("nodes = %d, want %d", len(nw.Nodes), n)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+	// Core mesh plus one uplink per satellite plus a second uplink for
+	// every fourth satellite, both directions each.
+	sats := n - NumNodes
+	wantLinks := 2 * (len(backboneLinks) + sats + sats/4)
+	if len(nw.Links) != wantLinks {
+		t.Errorf("links = %d, want %d", len(nw.Links), wantLinks)
+	}
+	// Every pair is reachable with a finite, symmetric delay.
+	for _, a := range nw.Nodes {
+		for _, b := range nw.Nodes {
+			d := nw.Delay[a][b]
+			if a != b && (d <= 0 || d > 200*time.Millisecond) {
+				t.Fatalf("delay %d->%d = %v, want finite positive", a, b, d)
+			}
+			if d != nw.Delay[b][a] {
+				t.Fatalf("delay asymmetric %d<->%d", a, b)
+			}
+		}
+	}
+	// Satellites are lighter than their parent metros.
+	for i := NumNodes; i < n; i++ {
+		parent := model.NodeID((i - NumNodes) % NumNodes)
+		sat := model.NodeID(i)
+		if nw.GravityWeight(sat) >= nw.GravityWeight(parent) {
+			t.Fatalf("satellite %d weight %v >= parent %v", i,
+				nw.GravityWeight(sat), nw.GravityWeight(parent))
+		}
+		// A satellite sits 30-150 km from its parent: under ~1.5 ms of
+		// single-hop propagation delay.
+		if d := nw.Delay[sat][parent]; d > 1500*time.Microsecond {
+			t.Errorf("satellite %d->parent delay = %v, want < 1.5 ms", i, d)
+		}
+	}
+	// Background traffic landed on the links.
+	bg := 0.0
+	for _, l := range nw.Links {
+		bg += l.Background
+	}
+	if bg <= 0 {
+		t.Error("no background traffic despite BackgroundFraction > 0")
+	}
+}
+
+// linksEqual compares link tables field-for-field, allowing floating
+// jitter on Background: it is accumulated over Go map iteration, whose
+// order varies run to run, so the sum is only stable to rounding.
+func linksEqual(a, b []model.Link) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		la, lb := a[i], b[i]
+		if la.ID != lb.ID || la.From != lb.From || la.To != lb.To || la.Bandwidth != lb.Bandwidth {
+			return false
+		}
+		if d := la.Background - lb.Background; d > 1e-6*(1+la.Background) || d < -1e-6*(1+la.Background) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExpandedDeterministic(t *testing.T) {
+	a := Expanded(120, Options{BackgroundFraction: 0.2})
+	b := Expanded(120, Options{BackgroundFraction: 0.2})
+	if !reflect.DeepEqual(a.Weight, b.Weight) {
+		t.Fatal("weights differ between identical builds")
+	}
+	if !linksEqual(a.Links, b.Links) {
+		t.Fatal("links differ between identical builds")
+	}
+	if !reflect.DeepEqual(a.Delay, b.Delay) {
+		t.Fatal("delays differ between identical builds")
+	}
+}
+
+func TestExpandedCoreMatchesBackbone(t *testing.T) {
+	opts := Options{BackgroundFraction: 0.2}
+	exp := Expanded(NumNodes, opts)
+	bb := Backbone(opts)
+	if !reflect.DeepEqual(exp.Delay, bb.Delay) {
+		t.Error("Expanded(NumNodes) delays differ from Backbone")
+	}
+	if !linksEqual(exp.Links, bb.Links) {
+		t.Error("Expanded(NumNodes) links differ from Backbone")
+	}
+	if !reflect.DeepEqual(exp.Weight, bb.Weight) {
+		t.Error("Expanded(NumNodes) weights differ from Backbone")
+	}
+}
+
+// TestExpandedWorkload exercises the chain generator at a site count far
+// past the 25-city table, which used to panic in the gravity-weight
+// lookups.
+func TestExpandedWorkload(t *testing.T) {
+	nw := Expanded(150, Options{})
+	workload.Populate(nw, workload.ChainGenOptions{
+		NumChains: 200,
+		NumVNFs:   30,
+		Coverage:  0.5,
+		NumSites:  150,
+		Seed:      1,
+	})
+	if len(nw.Chains) != 200 {
+		t.Fatalf("chains = %d, want 200", len(nw.Chains))
+	}
+	if len(nw.Sites) != 150 {
+		t.Fatalf("sites = %d, want 150", len(nw.Sites))
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+}

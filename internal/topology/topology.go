@@ -40,7 +40,8 @@ func (o *Options) setDefaults() {
 // NumNodes is the size of the synthetic backbone.
 const NumNodes = 25
 
-// NodeName returns the metro name of a backbone node.
+// NodeName returns the metro name of a backbone node; nodes past the
+// 25-city table (expanded-topology satellites) get a synthetic name.
 func NodeName(n model.NodeID) string {
 	if int(n) < 0 || int(n) >= len(cities) {
 		return fmt.Sprintf("node%d", n)
@@ -48,8 +49,13 @@ func NodeName(n model.NodeID) string {
 	return cities[n].Name
 }
 
-// Population returns the gravity weight (metro population in millions).
+// Population returns the gravity weight (metro population in millions)
+// of a backbone node, or 1 for nodes outside the 25-city table. Prefer
+// Network.GravityWeight, which Backbone and Expanded both populate.
 func Population(n model.NodeID) float64 {
+	if int(n) < 0 || int(n) >= len(cities) {
+		return 1
+	}
 	return cities[n].Pop
 }
 
@@ -59,6 +65,9 @@ func Population(n model.NodeID) float64 {
 func Backbone(opts Options) *model.Network {
 	opts.setDefaults()
 	nw := model.NewNetwork(NumNodes, opts.MLU)
+	for i, c := range cities {
+		nw.SetWeight(model.NodeID(i), c.Pop)
+	}
 
 	// Directed links (both directions of each adjacency).
 	adj := make([][]edge, NumNodes)
@@ -70,13 +79,21 @@ func Backbone(opts Options) *model.Network {
 		adj[a] = append(adj[a], edge{to: b, delay: d, link: ab})
 		adj[b] = append(adj[b], edge{to: a, delay: d, link: ba})
 	}
+	finalize(nw, adj, opts)
+	return nw
+}
 
+// finalize fills the delay matrix, single-path routing fractions, and
+// background traffic of a network whose nodes, links, and weights are
+// already in place. Shared by Backbone and Expanded.
+func finalize(nw *model.Network, adj [][]edge, opts Options) {
 	// All-pairs shortest paths by delay (Dijkstra from every source).
 	// Record both the delay matrix and, per destination, the sequence of
 	// links used, to fill RouteFrac with 0/1 single-path routing.
-	for src := 0; src < NumNodes; src++ {
+	n := len(nw.Nodes)
+	for src := 0; src < n; src++ {
 		dist, prevLink, prevNode := dijkstra(adj, model.NodeID(src))
-		for dst := 0; dst < NumNodes; dst++ {
+		for dst := 0; dst < n; dst++ {
 			if dst == src {
 				nw.Delay[model.NodeID(src)][model.NodeID(dst)] = 0
 				continue
@@ -114,7 +131,6 @@ func Backbone(opts Options) *model.Network {
 			}
 		}
 	}
-	return nw
 }
 
 // edge is a directed adjacency used during construction.
@@ -183,8 +199,10 @@ func haversineKm(lat1, lon1, lat2, lon2 float64) float64 {
 	return 2 * r * math.Asin(math.Sqrt(a))
 }
 
-// GravityMatrix returns a traffic matrix T[s][d] ∝ pop(s)·pop(d),
-// normalized so the total demand equals totalDemand. The diagonal is zero.
+// GravityMatrix returns a traffic matrix T[s][d] ∝ weight(s)·weight(d)
+// over the network's gravity weights (metro populations on the 25-city
+// backbone), normalized so the total demand equals totalDemand. The
+// diagonal is zero.
 func GravityMatrix(nw *model.Network, totalDemand float64) map[model.NodeID]map[model.NodeID]float64 {
 	tm := make(map[model.NodeID]map[model.NodeID]float64, len(nw.Nodes))
 	sum := 0.0
@@ -194,7 +212,7 @@ func GravityMatrix(nw *model.Network, totalDemand float64) map[model.NodeID]map[
 			if s == d {
 				continue
 			}
-			v := Population(s) * Population(d)
+			v := nw.GravityWeight(s) * nw.GravityWeight(d)
 			tm[s][d] = v
 			sum += v
 		}

@@ -12,7 +12,6 @@ import (
 	"sort"
 
 	"switchboard/internal/model"
-	"switchboard/internal/topology"
 )
 
 // ChainGenOptions configures Populate.
@@ -93,7 +92,7 @@ func Populate(nw *model.Network, opts ChainGenOptions) {
 	siteNodes := append([]model.NodeID(nil), nw.Nodes...)
 	if opts.NumSites > 0 && opts.NumSites < len(siteNodes) {
 		sort.Slice(siteNodes, func(i, j int) bool {
-			return topology.Population(siteNodes[i]) > topology.Population(siteNodes[j])
+			return nw.GravityWeight(siteNodes[i]) > nw.GravityWeight(siteNodes[j])
 		})
 		siteNodes = siteNodes[:opts.NumSites]
 	}
@@ -131,10 +130,7 @@ func Populate(nw *model.Network, opts ChainGenOptions) {
 	weights := make([]float64, len(nw.Nodes))
 	totalW := 0.0
 	for i, n := range nw.Nodes {
-		weights[i] = topology.Population(n)
-		if weights[i] <= 0 {
-			weights[i] = 1
-		}
+		weights[i] = nw.GravityWeight(n)
 		totalW += weights[i]
 	}
 	pick := func() model.NodeID {
@@ -181,7 +177,7 @@ func Populate(nw *model.Network, opts ChainGenOptions) {
 			Egress:  eg,
 			VNFs:    vnfs,
 		}
-		w := topology.Population(in)
+		w := nw.GravityWeight(in)
 		drafts = append(drafts, draft{c, w})
 		sumW += w
 	}

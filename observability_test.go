@@ -22,6 +22,7 @@ import (
 	"switchboard/internal/obs"
 	"switchboard/internal/simnet"
 	"switchboard/internal/slo"
+	"switchboard/internal/te"
 	"switchboard/internal/vnf"
 )
 
@@ -79,6 +80,8 @@ func liveRegistry(t *testing.T) *metrics.Registry {
 	vc.RegisterMetrics(reg)
 
 	obs.NewRecorder(0, 0, reg).RegisterMetrics(reg)
+
+	te.Stats().RegisterMetrics(reg)
 
 	metrics.NewTraceCollector().RegisterMetrics(reg)
 
