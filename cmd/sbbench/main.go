@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"switchboard/internal/experiments"
+	"switchboard/internal/health"
 	"switchboard/internal/introspect"
 	"switchboard/internal/metrics"
 	"switchboard/internal/obs"
@@ -30,7 +31,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write each table to BENCH_<id>.json")
 	outDir := flag.String("out", ".", "directory for -json artifacts")
 	listen := flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address while running (e.g. localhost:6060)")
+	duration := flag.Duration("duration", experiments.SoakDuration,
+		"steady-phase floor for long-haul experiments (soak): CI smokes pass seconds, operators pass hours")
 	flag.Parse()
+	experiments.SoakDuration = *duration
 
 	if *listen != "" {
 		hist := metrics.NewHistory(metrics.Default(), 0, 0)
@@ -38,18 +42,22 @@ func main() {
 		slo.Default().RegisterMetrics(metrics.Default())
 		slo.Default().Start()
 		defer slo.Default().Stop()
+		h, stopHealth := health.Attach(metrics.Default(), hist, obs.Default(), slo.Default())
+		defer stopHealth()
 		addr, stop, err := introspect.ServeOpts(*listen, introspect.Options{
 			Registry: metrics.Default(),
 			History:  hist,
 			Events:   obs.Default(),
 			SLO:      slo.Default(),
+			Health:   h,
+			Flight:   h.Flight,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "listen %s: %v\n", *listen, err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /debug/events, /slo, /debug/alerts)\n", addr)
+		fmt.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /healthz, /debug/events, /debug/flight, /slo, /debug/alerts)\n", addr)
 	}
 
 	if *list || *exp == "" {

@@ -33,6 +33,7 @@ import (
 
 	"switchboard/internal/flowtable"
 	"switchboard/internal/forwarder"
+	"switchboard/internal/health"
 	"switchboard/internal/introspect"
 	"switchboard/internal/labels"
 	"switchboard/internal/metrics"
@@ -214,16 +215,19 @@ func main() {
 		hist.Start()
 		slo.Default().RegisterMetrics(metrics.Default())
 		slo.Default().Start()
+		h, _ := health.Attach(metrics.Default(), hist, obs.Default(), slo.Default())
 		addr, _, err := introspect.ServeOpts(*debugAddr, introspect.Options{
 			Registry: metrics.Default(),
 			History:  hist,
 			Events:   obs.Default(),
 			SLO:      slo.Default(),
+			Health:   h,
+			Flight:   h.Flight,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /debug/events, /slo, /debug/alerts)", addr)
+		log.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /healthz, /debug/events, /debug/flight, /slo, /debug/alerts)", addr)
 	}
 	listen, err := net.ResolveUDPAddr("udp", cfg.Listen)
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"time"
 
+	"switchboard/internal/health"
 	"switchboard/internal/introspect"
 	"switchboard/internal/metrics"
 	"switchboard/internal/model"
@@ -257,16 +258,19 @@ func main() {
 		hist.Start()
 		slo.Default().RegisterMetrics(metrics.Default())
 		slo.Default().Start()
+		h, _ := health.Attach(metrics.Default(), hist, obs.Default(), slo.Default())
 		bound, _, err := introspect.ServeOpts(*debugAddr, introspect.Options{
 			Registry: metrics.Default(),
 			History:  hist,
 			Events:   obs.Default(),
 			SLO:      slo.Default(),
+			Health:   h,
+			Flight:   h.Flight,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /debug/events, /slo, /debug/alerts)", bound)
+		log.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /healthz, /debug/events, /debug/flight, /slo, /debug/alerts)", bound)
 	}
 	log.Printf("global switchboard TE service listening on %s", *addr)
 	srv := &http.Server{Addr: *addr, Handler: newMux(), ReadHeaderTimeout: 5 * time.Second}

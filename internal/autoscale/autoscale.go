@@ -200,6 +200,10 @@ type Autoscaler struct {
 	packetsLost *metrics.Counter
 	resolveMs   *metrics.Histogram
 
+	// beat (SetBeat) is called once per Reconcile pass — the
+	// autoscaler's health-watchdog heartbeat. Runs outside a.mu.
+	beat func()
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -310,7 +314,11 @@ func resolvedAlert(alerts []slo.Alert, chain string, firedAt time.Time) (slo.Ale
 func (a *Autoscaler) Reconcile(now time.Time) {
 	a.mu.Lock()
 	policies := append([]*policyState(nil), a.policies...)
+	beat := a.beat
 	a.mu.Unlock()
+	if beat != nil {
+		beat()
+	}
 
 	alerts := a.cfg.Evaluator.Alerts()
 	for _, ps := range policies {
@@ -467,6 +475,14 @@ func (a *Autoscaler) Status() Status {
 		})
 	}
 	return st
+}
+
+// SetBeat installs a health-watchdog heartbeat called once per
+// Reconcile pass (ticker-driven or direct). A nil beat disables it.
+func (a *Autoscaler) SetBeat(beat func()) {
+	a.mu.Lock()
+	a.beat = beat
+	a.mu.Unlock()
 }
 
 // Start launches the background reconcile ticker. Returns immediately;

@@ -3,11 +3,13 @@ package autoscale
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"switchboard/internal/metrics"
 	"switchboard/internal/slo"
+	"switchboard/internal/testutil"
 )
 
 // fakeExec records scale calls and plays back canned outcomes.
@@ -300,4 +302,27 @@ func TestRegisterMetricsNames(t *testing.T) {
 			t.Fatalf("metric %s not registered (have %v)", name, r.Names())
 		}
 	}
+}
+
+func TestBeatAndStartStopNoLeaks(t *testing.T) {
+	testutil.NoLeaks(t)
+	rig := newBreachRig(t)
+	a := newScaler(t, rig, &fakeExec{n: 1}, Config{Interval: time.Millisecond})
+
+	var beats atomic.Uint64
+	a.SetBeat(func() { beats.Add(1) })
+
+	// Direct Reconcile beats once per pass.
+	a.Reconcile(time.Unix(1000, 0))
+	if beats.Load() != 1 {
+		t.Fatalf("beats after direct Reconcile = %d, want 1", beats.Load())
+	}
+
+	// The background ticker beats too, and Stop leaves no goroutine
+	// behind (NoLeaks enforces it at cleanup).
+	a.Start()
+	if !testutil.Poll(time.Second, func() bool { return beats.Load() > 1 }) {
+		t.Fatal("ticker-driven Reconcile never beat")
+	}
+	a.Stop()
 }

@@ -90,6 +90,9 @@ type Bus struct {
 	relMu sync.RWMutex
 	rel   Reliability
 
+	beatMu sync.RWMutex
+	beat   func()
+
 	sendErrors metrics.Counter
 	retries    metrics.Counter
 	drops      metrics.Counter

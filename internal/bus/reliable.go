@@ -71,6 +71,23 @@ func (b *Bus) reliability() Reliability {
 	return b.rel
 }
 
+// SetBeat installs a health-watchdog heartbeat the bus machinery calls
+// on every retry-loop tick of every site proxy. The retry ticker fires
+// whether or not traffic is flowing, so — unlike data-plane runner
+// beats — bus silence past the stall threshold always means the bus's
+// goroutines are actually wedged. A nil beat disables it.
+func (b *Bus) SetBeat(beat func()) {
+	b.beatMu.Lock()
+	b.beat = beat
+	b.beatMu.Unlock()
+}
+
+func (b *Bus) beatFn() func() {
+	b.beatMu.RLock()
+	defer b.beatMu.RUnlock()
+	return b.beat
+}
+
 // Stats is a snapshot of the bus's WAN delivery counters.
 type Stats struct {
 	// WANMessages counts first-copy inter-site payload transmissions
@@ -234,6 +251,9 @@ func (p *proxy) retryLoop() {
 		case <-p.stop:
 			return
 		case <-ticker.C:
+		}
+		if beat := p.bus.beatFn(); beat != nil {
+			beat()
 		}
 		rel := p.bus.reliability()
 		now := time.Now()

@@ -71,6 +71,10 @@ type DetectorConfig struct {
 	// before the site is declared failed — one slow beacon is not a
 	// site crash.
 	Debounce int
+	// Beat, when set, is called on every evaluation tick — the failure
+	// detector's own health-watchdog heartbeat (the watcher is itself
+	// watched). The ticker fires regardless of traffic.
+	Beat func()
 }
 
 func (c DetectorConfig) withDefaults() DetectorConfig {
@@ -130,6 +134,9 @@ func (g *GlobalSwitchboard) StartFailureDetector(cfg DetectorConfig) (stop func(
 			case <-stopCh:
 				return
 			case <-ticker.C:
+			}
+			if cfg.Beat != nil {
+				cfg.Beat()
 			}
 			now := time.Now()
 			mu.Lock()

@@ -52,6 +52,10 @@ type LocalSwitchboard struct {
 
 	// routesApplied counts route records accepted (new or newer version).
 	routesApplied atomic.Uint64
+
+	// runnerBeat, when set (SetRunnerBeat), is installed as the Beat
+	// callback on every forwarder runner this LS creates afterwards.
+	runnerBeat func()
 }
 
 // RegisterMetrics publishes the Local Switchboard's counters into a
@@ -81,6 +85,17 @@ func (ls *LocalSwitchboard) recorder() *obs.Recorder {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	return ls.rec
+}
+
+// SetRunnerBeat installs a health-watchdog heartbeat on every forwarder
+// runner this LS creates from now on (existing runners are unaffected,
+// so call it before chains install rules). Runners beat per wakeup and
+// block while idle — see forwarder.Runner.Beat for the stall-threshold
+// implications.
+func (ls *LocalSwitchboard) SetRunnerBeat(beat func()) {
+	ls.mu.Lock()
+	ls.runnerBeat = beat
+	ls.mu.Unlock()
 }
 
 type fwdRuntime struct {
@@ -204,7 +219,7 @@ func (ls *LocalSwitchboard) growRoleLocked(rr *roleRuntime, n int) error {
 		// Members share flow records, so hop IDs must be address-stable
 		// across the whole set.
 		f.UseHopRegistry(rr.reg)
-		r := &forwarder.Runner{F: f, EP: ep}
+		r := &forwarder.Runner{F: f, EP: ep, Beat: ls.runnerBeat}
 		stop := r.Start()
 		rr.fwds = append(rr.fwds, &fwdRuntime{f: f, ep: ep, stop: stop})
 	}

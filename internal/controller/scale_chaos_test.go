@@ -1,7 +1,6 @@
 package controller
 
 import (
-	"runtime"
 	"testing"
 	"time"
 
@@ -25,20 +24,7 @@ func TestScaleOutDuringBlackoutConverges(t *testing.T) {
 	// Leak check: this cleanup is registered before the testbed's, so it
 	// runs after every forwarder, instance, and detector has been asked
 	// to stop.
-	base := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(5 * time.Second)
-		for time.Now().Before(deadline) {
-			if runtime.NumGoroutine() <= base+3 {
-				return
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-		buf := make([]byte, 1<<16)
-		n := runtime.Stack(buf, true)
-		t.Errorf("goroutines leaked: %d at start, %d after teardown\n%s",
-			base, runtime.NumGoroutine(), buf[:n])
-	})
+	testutil.NoLeaks(t)
 
 	tb := newTestbed(t, 2*time.Millisecond, "A", "B", "C")
 	tb.registerSites(1000, "A", "B", "C")

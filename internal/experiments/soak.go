@@ -1,0 +1,671 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"switchboard/internal/autoscale"
+	"switchboard/internal/controller"
+	"switchboard/internal/edge"
+	"switchboard/internal/health"
+	"switchboard/internal/metrics"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/slo"
+	"switchboard/internal/testutil"
+	"switchboard/internal/vnf"
+)
+
+// SoakDuration is the wall-clock floor of the soak experiment's steady
+// phases. cmd/sbbench's -duration flag sets it: CI smokes run seconds,
+// operators run hours. Event-driven segments (alert fire/resolve,
+// failover convergence) take however long they take on top.
+var SoakDuration = 20 * time.Second
+
+const (
+	// soakNATGap paces the NAT stage at 1/Gap = 1000 pkt/s per
+	// instance, the capacity the flash crowd overruns.
+	soakNATGap = time.Millisecond
+	// soakFlashChurn is the flash-crowd churn rate (flows/tick); the
+	// diurnal curve oscillates between 1 and 2 — 400-600 pkt/s offered
+	// against one instance's 1000 pkt/s — and the flash dials 6.
+	soakFlashChurn = 6
+	// soakBudget is the chain's declared end-to-end latency SLO.
+	soakBudget = 10 * time.Millisecond
+	// soakHeapSlack bounds how far the GC-settled heap may drift across
+	// the whole soak before the run counts as leaking.
+	soakHeapSlack = 16 << 20
+	// soakMaxSteadySlope bounds the OLS heap trend fitted over the
+	// steady window (bytes/s). The flash crowd's transient allocation
+	// bump sits inside the window, so the bound is looser than the
+	// GC-settled delta — but a real leak integrates far past it.
+	soakMaxSteadySlope = 1 << 20
+)
+
+// soakResult exposes the raw outcome so the test can enforce the
+// acceptance bounds without re-running the experiment.
+type soakResult struct {
+	Alert         slo.Alert
+	AlertDump     health.DumpInfo
+	TimeToResolve time.Duration
+	FlapDetect    time.Duration
+	FlapReroute   time.Duration
+	HeapStart     uint64
+	HeapEnd       uint64
+	HeapSlopeBps  float64
+	Stalls        uint64
+	LeakVerdicts  uint64
+	Dumps         int
+	ChainsChurned int64
+	ChurnErrors   int64
+}
+
+// Soak runs the production-style long-haul: a diurnal workload with
+// continuous chain churn, a flash crowd (the injected anomaly — the
+// SLO alert it fires must land in a flight-recorder bundle), and a
+// site flap, under the full internal/health harness. Its built-in
+// assertions are the run: bounded GC-settled heap drift, a bounded
+// steady-state heap trend, no active leak verdicts, no watchdog
+// stalls, and zero goroutines leaked across teardown.
+func Soak() (*Table, error) {
+	t, _, err := soakRound(SoakDuration)
+	return t, err
+}
+
+// soakRound is the testable body of Soak. The goroutine-leak check
+// wraps the entire run: everything the soak starts must be gone after
+// teardown.
+func soakRound(d time.Duration) (*Table, *soakResult, error) {
+	if d < 8*time.Second {
+		d = 8 * time.Second
+	}
+	lc := testutil.StartLeakCheck()
+	t, res, err := soakBody(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	if werr := lc.Wait(testutil.DefaultLeakWait); werr != nil {
+		return nil, nil, fmt.Errorf("soak: goroutines leaked across teardown: %w", werr)
+	}
+	t.AddRow("teardown", "-", "0 goroutines leaked (identity diff, post-close)")
+	return t, res, nil
+}
+
+// clampDur bounds v to [lo, hi].
+func clampDur(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func soakBody(d time.Duration) (*Table, *soakResult, error) {
+	t := &Table{
+		ID:     "soak",
+		Title:  fmt.Sprintf("production soak (%v steady floor): diurnal load, chain churn, flash crowd, site flap under the health harness", d),
+		Header: []string{"event", "t+ms", "detail"},
+	}
+	res := &soakResult{}
+	start := time.Now()
+	atMs := func() float64 { return float64(time.Since(start).Microseconds()) / 1000 }
+
+	// Topology: ingress/egress at A; the chain's stages TE-place at B
+	// (the cheaper path), C is the failover target for the flap.
+	paths := map[[2]simnet.SiteID]simnet.PathProfile{
+		{"GSB", "A"}: {Delay: 2 * time.Millisecond},
+		{"GSB", "B"}: {Delay: 2 * time.Millisecond},
+		{"GSB", "C"}: {Delay: 2 * time.Millisecond},
+		{"A", "B"}:   {Delay: 2 * time.Millisecond},
+		{"A", "C"}:   {Delay: 2500 * time.Microsecond},
+		{"B", "C"}:   {Delay: 2 * time.Millisecond},
+	}
+	bed, err := NewBedWithPaths(73, paths, "GSB", "A", "B", "C")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer bed.Close()
+	g := bed.G
+	for _, s := range []simnet.SiteID{"A", "B", "C"} {
+		if _, err := g.RegisterSite(s, 1000); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	const natPub = uint32(0x05050506)
+	var natSeq atomic.Uint32
+	bed.AddVNF(controller.VNFConfig{
+		Name:        "fw",
+		Factory:     func() vnf.Function { return vnf.PassThrough{} },
+		LoadPerUnit: 1.0,
+		LabelAware:  true,
+		Capacity:    map[simnet.SiteID]float64{"B": 10000, "C": 10000},
+	})
+	bed.AddVNF(controller.VNFConfig{
+		Name: "nat",
+		Factory: func() vnf.Function {
+			k := natSeq.Add(1) - 1
+			return Paced{Fn: vnf.NewNATWithBase(natPub, uint16(20000+10000*(k%4))), Gap: soakNATGap}
+		},
+		LoadPerUnit: 1.0,
+		LabelAware:  true,
+		Capacity:    map[simnet.SiteID]float64{"B": 10000, "C": 10000},
+	})
+	rec, reg := bed.EnableObservability()
+
+	// The health harness: vitals feed the history the heap-trend leak
+	// detector fits; the watchdog hears every long-lived component; the
+	// flight recorder freezes the window on any anomaly.
+	vitals := health.NewVitals(100 * time.Millisecond)
+	vitals.RegisterMetrics(reg)
+	hist := metrics.NewHistory(reg, 100*time.Millisecond, clampDur(2*d, 30*time.Second, 10*time.Minute))
+	stopHist := hist.Start()
+	defer stopHist()
+
+	ev := slo.New(slo.Config{
+		Interval:     20 * time.Millisecond,
+		FireAfter:    2,
+		ResolveAfter: 5,
+		MinLoss:      50,
+	})
+	ev.RegisterMetrics(reg)
+
+	flight := health.NewFlightRecorder(health.FlightConfig{
+		Window:   clampDur(d, 10*time.Second, 2*time.Minute),
+		Registry: reg,
+		History:  hist,
+		Recorder: rec,
+		SLO:      ev,
+	})
+	flight.RegisterMetrics(reg)
+	ev.SetOnFire(func(a slo.Alert) {
+		flight.Trigger("slo-alert", fmt.Sprintf("%s: %s", a.Chain, a.Reason))
+	})
+
+	wd := health.NewWatchdog(health.WatchdogConfig{
+		Recorder: rec,
+		OnStall: func(component string, silentFor time.Duration) {
+			flight.Trigger("watchdog-stall", fmt.Sprintf("%s silent %v", component, silentFor))
+		},
+	})
+	wd.RegisterMetrics(reg)
+	leaks := health.NewLeakDetector(health.LeakConfig{
+		History:  hist,
+		Window:   clampDur(d/3, 4*time.Second, time.Minute),
+		Interval: clampDur(d/20, 250*time.Millisecond, 2*time.Second),
+		Recorder: rec,
+		OnVerdict: func(v health.Verdict) {
+			flight.Trigger("leak-verdict", string(v.Kind)+": "+v.Detail)
+		},
+	})
+	leaks.RegisterMetrics(reg)
+	h := &health.Health{Vitals: vitals, Watchdog: wd, Leaks: leaks, Flight: flight}
+	stopHealth := h.Start()
+	healthUp := true
+	haltHealth := func() {
+		if healthUp {
+			healthUp = false
+			stopHealth()
+		}
+	}
+	defer haltHealth()
+
+	// Heartbeats in: the bus retry loop ticks regardless of traffic;
+	// the detector, evaluator, and autoscaler beat from their tickers;
+	// runner beats are traffic-gated, so every site's runners share one
+	// heartbeat — the diurnal load never goes to zero, so sustained
+	// silence there really is a wedged data plane.
+	bed.Bus.SetBeat(wd.Register("bus", 2*time.Second).Func())
+	evBeat := wd.Register("slo-evaluator", 2*time.Second)
+	ev.SetBeat(evBeat.Func())
+	runnersBeat := wd.Register("runners", 10*time.Second)
+	for _, s := range []simnet.SiteID{"GSB", "A", "B", "C"} {
+		ls, ok := g.Local(s)
+		if !ok {
+			return nil, nil, fmt.Errorf("soak: no Local Switchboard at %s", s)
+		}
+		ls.SetRunnerBeat(runnersBeat.Func())
+		ls.StartHeartbeats(10 * time.Millisecond)
+	}
+	stopDetector, err := g.StartFailureDetector(controller.DetectorConfig{
+		Interval:     20 * time.Millisecond,
+		SuspectAfter: 150 * time.Millisecond,
+		Debounce:     2,
+		Beat:         wd.Register("detector", 2*time.Second).Func(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer stopDetector()
+
+	// The long-lived chain under soak: fw -> paced nat, A -> B -> A.
+	route, err := g.CreateChain(controller.Spec{
+		ID: "soak", IngressSite: "A", EgressSite: "A",
+		VNFs: []string{"fw", "nat"}, ForwardRate: 5,
+		LatencyBudget: soakBudget,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ingress, egress, err := g.ConfigureChainEdges(route, []edge.MatchRule{{DstPort: 80}})
+	if err != nil {
+		return nil, nil, err
+	}
+	host := stage1Host(route)
+	if host == "" {
+		return nil, nil, fmt.Errorf("soak: chain has no stage-1 site")
+	}
+	for _, s := range []simnet.SiteID{"A", host} {
+		if err := g.WaitForDataPath(route, s, 10*time.Second); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Telemetry feeding the evaluator, exactly as in the autoscale run.
+	collector := metrics.NewTraceCollector()
+	collector.RegisterMetrics(reg)
+	collector.NameChains(func(label uint32) string {
+		if label == route.ChainLabel {
+			return "soak"
+		}
+		return ""
+	})
+	lsA, _ := g.Local("A")
+	fwdA, err := lsA.Forwarder("edge")
+	if err != nil {
+		return nil, nil, fmt.Errorf("soak: ingress-site forwarder: %w", err)
+	}
+	sent, delivered := ingress.ChainCounters(route.ChainLabel, "soak")
+	_, drops := fwdA.ChainCounters(route.ChainLabel, "soak")
+	ev.Track(slo.ChainSLO{
+		Chain:     "soak",
+		Budget:    route.LatencyBudget,
+		E2E:       collector.ChainEndToEnd("soak"),
+		Sent:      sent,
+		Delivered: delivered,
+		Drops:     drops,
+	})
+	ev.Start()
+	defer ev.Stop()
+
+	as, err := autoscale.New(autoscale.Config{
+		Evaluator:     ev,
+		Executor:      autoscale.GSExecutor{GS: g},
+		Interval:      20 * time.Millisecond,
+		ScaleOutAfter: 2,
+		ScaleInAfter:  1 << 30,
+		Cooldown:      600 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	as.RegisterMetrics(reg)
+	as.SetBeat(wd.Register("autoscaler", 2*time.Second).Func())
+	as.Add(autoscale.Policy{Chain: "soak", Role: "nat", MinInstances: 1, MaxInstances: 3}, 1)
+	as.Start()
+	defer as.Stop()
+
+	// Traffic: the diurnal curve modulates churn-flow arrivals between
+	// 1 and 2 per tick; the flash override pins it at soakFlashChurn.
+	client, err := bed.Net.Attach(simnet.Addr{Site: "A", Host: "client"}, 8192)
+	if err != nil {
+		return nil, nil, err
+	}
+	server, err := bed.Net.Attach(simnet.Addr{Site: "A", Host: "server"}, 16384)
+	if err != nil {
+		return nil, nil, err
+	}
+	egress.RegisterHost(expServerIP, server.Addr())
+	ingress.RegisterHost(expClientIP, client.Addr())
+	var churn atomic.Int64
+	var flashOn atomic.Bool
+	churn.Store(1)
+	stopTraffic := soakPump(client, server, ingress.Addr(), collector, &churn)
+	defer stopTraffic()
+
+	done := make(chan struct{})
+	var doneOnce sync.Once
+	closeDone := func() { doneOnce.Do(func() { close(done) }) }
+	defer closeDone()
+
+	// Diurnal modulator: one full day-night cycle per half-duration.
+	go func() {
+		period := d / 2
+		tick := time.NewTicker(clampDur(d/100, 50*time.Millisecond, time.Second))
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				if flashOn.Load() {
+					continue
+				}
+				theta := 2 * math.Pi * float64(now.Sub(start)) / float64(period)
+				churn.Store(1 + int64(math.Round((1+math.Sin(theta))/2)))
+			}
+		}
+	}()
+
+	// Chain churn: ephemeral chains created and deleted continuously.
+	// Errors are tolerated (creation during the blackout may be refused)
+	// but counted.
+	churnStopped := make(chan struct{})
+	go func() {
+		defer close(churnStopped)
+		tick := time.NewTicker(clampDur(d/30, 200*time.Millisecond, 2*time.Second))
+		defer tick.Stop()
+		var seq int
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				seq++
+				id := controller.ChainID(fmt.Sprintf("eph-%d", seq))
+				if _, cerr := g.CreateChain(controller.Spec{
+					ID: id, IngressSite: "A", EgressSite: "A",
+					VNFs: []string{"fw"}, ForwardRate: 1,
+				}); cerr != nil {
+					atomic.AddInt64(&res.ChurnErrors, 1)
+					continue
+				}
+				if derr := g.DeleteChain(id); derr != nil {
+					atomic.AddInt64(&res.ChurnErrors, 1)
+					continue
+				}
+				atomic.AddInt64(&res.ChainsChurned, 1)
+			}
+		}
+	}()
+
+	// Warm-up, then freeze the leak baselines on a GC-settled heap.
+	_, deliveredEg := egress.ChainCounters(route.ChainLabel, "soak")
+	if !testutil.Poll(10*time.Second, func() bool { return deliveredEg() >= 100 }) {
+		return nil, nil, fmt.Errorf("soak: chain never delivered during warm-up")
+	}
+	time.Sleep(clampDur(15*d/100, time.Second, time.Minute))
+	runtime.GC()
+	vitals.Sample()
+	leaks.Rebaseline()
+	res.HeapStart = vitals.HeapInuse()
+	t.AddRow("steady state", atMs(), fmt.Sprintf("baselines frozen: heap %d KiB, %d goroutines", res.HeapStart>>10, vitals.Goroutines()))
+
+	// First steady stretch under the diurnal curve alone.
+	time.Sleep(clampDur(20*d/100, time.Second, 0x7FFFFFFFFFFFFFFF))
+
+	// The injected anomaly: a flash crowd saturates the paced NAT, the
+	// latency SLO fires, the OnFire hook freezes a flight bundle, the
+	// autoscaler adds capacity, and the alert resolves on its own.
+	flashOn.Store(true)
+	flashAt := time.Now()
+	churn.Store(soakFlashChurn)
+	t.AddRow("flash crowd", atMs(), fmt.Sprintf("churn x%d, offered load > NAT capacity", soakFlashChurn))
+
+	var alert slo.Alert
+	if !testutil.Poll(15*time.Second, func() bool {
+		for _, a := range ev.Alerts() {
+			if a.Chain == "soak" && a.FiredAt.After(flashAt) {
+				alert = a
+				return true
+			}
+		}
+		return false
+	}) {
+		return nil, nil, fmt.Errorf("soak: no alert fired within 15s of the flash crowd")
+	}
+	t.AddRow("alert fired", atMs(), alert.Reason)
+	if !testutil.Poll(15*time.Second, func() bool {
+		for _, dec := range as.Decisions() {
+			if dec.Action == autoscale.ActionScaleOut && dec.Err == "" {
+				return true
+			}
+		}
+		return false
+	}) {
+		return nil, nil, fmt.Errorf("soak: no successful scale-out within 15s; log: %+v", as.Decisions())
+	}
+	t.AddRow("scale-out", atMs(), "autoscaler added NAT capacity")
+	if !testutil.Poll(20*time.Second, func() bool {
+		for _, a := range ev.Alerts() {
+			if a.Chain == "soak" && a.FiredAt.Equal(alert.FiredAt) && !a.ResolvedAt.IsZero() {
+				alert = a
+				return true
+			}
+		}
+		return false
+	}) {
+		return nil, nil, fmt.Errorf("soak: alert never resolved after scale-out")
+	}
+	res.Alert = alert
+	res.TimeToResolve = alert.ResolvedAt.Sub(alert.FiredAt)
+	flashOn.Store(false)
+	t.AddRow("alert resolved", atMs(), fmt.Sprintf("time-to-resolve %.0f ms", float64(res.TimeToResolve.Microseconds())/1000))
+
+	// The black box must have caught it: a bundle triggered by the SLO
+	// alert, with the firing alert inside the dumped window.
+	if err := soakCheckFlight(flight, alert, res); err != nil {
+		return nil, nil, err
+	}
+	t.AddRow("flight bundle", atMs(), fmt.Sprintf("dump #%d (%s) holds the firing alert: %d events, %d spans, %d history points",
+		res.AlertDump.ID, res.AlertDump.Reason, res.AlertDump.Events, res.AlertDump.Spans, res.AlertDump.History))
+
+	// The anomaly is over: settle the heap and open the steady-state
+	// trend window — the flash crowd's allocation ramp is the injected
+	// transient, not the steady state the leak bound is about. The
+	// asserted trend is fitted over GC-settled points so the GC
+	// sawtooth's rising edges don't masquerade as growth on short runs.
+	trendStart := time.Now()
+	var settled []metrics.TrendPoint
+	settle := func() {
+		runtime.GC()
+		vitals.Sample()
+		hist.Sample()
+		settled = append(settled, metrics.TrendPoint{At: time.Now(), V: float64(vitals.HeapInuse())})
+	}
+	settle()
+
+	// Second steady stretch, then the site flap: black out whichever
+	// site hosts the stages, let the detector reroute, restore it.
+	time.Sleep(clampDur(10*d/100, 500*time.Millisecond, 0x7FFFFFFFFFFFFFFF))
+	cur, _ := g.Record("soak")
+	flapped := stage1Host(cur)
+	if flapped == "" {
+		return nil, nil, fmt.Errorf("soak: no stage-1 site before the flap")
+	}
+	flapAt := time.Now()
+	bed.Net.BlackoutSite(flapped)
+	t.AddRow("site flap", atMs(), fmt.Sprintf("blackout of %s (stage host)", flapped))
+	if !testutil.Poll(15*time.Second, func() bool { return g.SiteFailed(flapped) }) {
+		return nil, nil, fmt.Errorf("soak: detector never declared flapped site %s failed", flapped)
+	}
+	res.FlapDetect = time.Since(flapAt)
+	if !testutil.Poll(15*time.Second, func() bool {
+		c, ok := g.Record("soak")
+		return ok && c.StageSites(1)[flapped] == 0 && stage1Host(c) != ""
+	}) {
+		return nil, nil, fmt.Errorf("soak: chain never rerouted off flapped site %s", flapped)
+	}
+	if !testutil.Poll(15*time.Second, func() bool { return chainReady(g, "soak", "A") }) {
+		return nil, nil, fmt.Errorf("soak: data path never reconverged after the flap")
+	}
+	res.FlapReroute = time.Since(flapAt)
+	t.AddRow("rerouted", atMs(), fmt.Sprintf("detected in %.0f ms, data path reconverged in %.0f ms",
+		float64(res.FlapDetect.Microseconds())/1000, float64(res.FlapReroute.Microseconds())/1000))
+	bed.Net.RestoreSite(flapped)
+	if !testutil.Poll(15*time.Second, func() bool { return !g.SiteFailed(flapped) }) {
+		return nil, nil, fmt.Errorf("soak: %s never re-admitted after restore", flapped)
+	}
+	t.AddRow("site restored", atMs(), string(flapped)+" re-admitted")
+	settle()
+
+	// Tail stretch, then settle: stop the load, GC, and read the
+	// steady-window verdicts.
+	time.Sleep(clampDur(15*d/100, time.Second, 0x7FFFFFFFFFFFFFFF))
+	haltHealth()
+	res.Stalls = wd.Stalls()
+	res.LeakVerdicts = leaks.VerdictsTotal()
+	if active := leaks.Active(); len(active) != 0 {
+		return nil, nil, fmt.Errorf("soak: leak verdicts still active at end of run: %v", active)
+	}
+	if res.Stalls != 0 {
+		return nil, nil, fmt.Errorf("soak: %d watchdog stalls during the run: %+v", res.Stalls, wd.Status(time.Now()))
+	}
+	stopTraffic()
+	// A few more settled samples anchor the trend's tail, the way hours
+	// of steady state would on a real soak.
+	for i := 0; i < 4; i++ {
+		settle()
+		time.Sleep(60 * time.Millisecond)
+	}
+	res.HeapEnd = vitals.HeapInuse()
+	slope, ok := metrics.Slope(settled)
+	if !ok {
+		return nil, nil, fmt.Errorf("soak: too few settled points to fit a heap trend")
+	}
+	res.HeapSlopeBps = slope
+	if slope > soakMaxSteadySlope {
+		return nil, nil, fmt.Errorf("soak: steady-state heap trend %+.0f B/s over %d settled points exceeds %d B/s",
+			slope, len(settled), soakMaxSteadySlope)
+	}
+	if res.HeapEnd > res.HeapStart+soakHeapSlack {
+		return nil, nil, fmt.Errorf("soak: GC-settled heap grew %d -> %d bytes (> %d slack): leak",
+			res.HeapStart, res.HeapEnd, soakHeapSlack)
+	}
+	res.Dumps = len(flight.Dumps())
+	rawSlope, rawN, _ := hist.Trend("runtime.heap_inuse_bytes", trendStart)
+	t.AddRow("heap verdict", atMs(), fmt.Sprintf("GC-settled %d -> %d KiB, settled trend %+.0f B/s (bound %d B/s); raw sampled trend %+.0f B/s over %d points",
+		res.HeapStart>>10, res.HeapEnd>>10, res.HeapSlopeBps, int64(soakMaxSteadySlope), rawSlope, rawN))
+	t.AddRow("health verdict", atMs(), fmt.Sprintf("0 watchdog stalls, %d leak verdicts (0 active), %d flight dumps",
+		res.LeakVerdicts, res.Dumps))
+
+	// Freeze the churn loop and read its tally before teardown.
+	closeDone()
+	<-churnStopped
+	t.AddRow("chain churn", atMs(), fmt.Sprintf("%d ephemeral chains created+deleted (%d refused, e.g. during the blackout)",
+		atomic.LoadInt64(&res.ChainsChurned), atomic.LoadInt64(&res.ChurnErrors)))
+	if atomic.LoadInt64(&res.ChainsChurned) == 0 {
+		return nil, nil, fmt.Errorf("soak: chain churn loop never completed a create+delete cycle")
+	}
+
+	t.Notes = append(t.Notes,
+		"assertions are built in: bounded GC-settled heap drift and steady trend, no active leak verdicts, zero watchdog stalls, the firing alert captured in a flight bundle, and zero leaked goroutines",
+		fmt.Sprintf("health harness: vitals every 100ms, watchdog stall thresholds 2s (tickers) / 10s (traffic-gated runners), leak window %v", clampDur(d/3, 4*time.Second, time.Minute)),
+		"the flash crowd is the injected anomaly; dump retrieval over HTTP is pinned by the introspect tests")
+	return t, res, nil
+}
+
+// soakChurnPorts bounds the churn flows' source-port space. Flow pins
+// and NAT bindings are keyed by 5-tuple, so this is the plateau of the
+// per-flow state the soak retains: the port space cycles completely
+// within the first few seconds, after which steady state really is
+// steady — exactly what the heap-trend assertion needs to hold on a
+// short smoke as well as an hours-long run.
+const soakChurnPorts = 2048
+
+// soakPump drives the soak chain's open-loop traffic: a round-robin of
+// long-lived elephant flows plus an adjustable stream of single-packet
+// churn flows over a bounded source-port space — the diurnal/flash
+// dial. Returns a stop function (safe to call twice).
+func soakPump(client, server *simnet.Endpoint, ingressEdge simnet.Addr,
+	collector *metrics.TraceCollector, churnPerTick *atomic.Int64) (stop func()) {
+	done := make(chan struct{})
+	stopped := make(chan struct{}, 2)
+	var once sync.Once
+
+	go func() {
+		defer func() { stopped <- struct{}{} }()
+		tick := time.NewTicker(autoscaleTick)
+		defer tick.Stop()
+		var tickN, churnSeq, traceID uint64
+		send := func(srcPort uint16, payload []byte) {
+			traceID++
+			p := &packet.Packet{
+				Key: packet.FlowKey{
+					SrcIP: expClientIP, DstIP: expServerIP,
+					SrcPort: srcPort, DstPort: 80, Proto: 6,
+				},
+				Payload: payload,
+				Trace:   packet.NewTrace(traceID),
+			}
+			_ = client.Send(ingressEdge, p, len(p.Payload)+40)
+		}
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				idx := int(tickN % autoscaleElephants)
+				send(uint16(7001+idx), []byte{'E', byte(idx)})
+				tickN++
+				for j := int64(0); j < churnPerTick.Load(); j++ {
+					send(uint16(10000+churnSeq%soakChurnPorts), []byte("churn"))
+					churnSeq++
+				}
+			}
+		}
+	}()
+
+	go func() {
+		defer func() { stopped <- struct{}{} }()
+		for {
+			select {
+			case <-done:
+				return
+			case m, ok := <-server.Inbox():
+				if !ok {
+					return
+				}
+				p, ok := m.Payload.(*packet.Packet)
+				if !ok {
+					continue
+				}
+				if p.Trace != nil {
+					var arrive packet.LazyNow
+					packet.TraceArrive(p, "sink:server", &arrive, 1)
+					collector.RecordLabeled(p.Trace, p.Labels.Chain)
+				}
+			}
+		}
+	}()
+
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-stopped
+			<-stopped
+		})
+	}
+}
+
+// soakCheckFlight asserts the flight recorder froze a bundle for the
+// firing alert with that alert inside the dumped window.
+func soakCheckFlight(flight *health.FlightRecorder, alert slo.Alert, res *soakResult) error {
+	for _, info := range flight.Dumps() {
+		if info.Reason != "slo-alert" {
+			continue
+		}
+		full, ok := flight.Dump(info.ID)
+		if !ok {
+			continue
+		}
+		cutoff := full.TakenAt.Add(-time.Duration(full.WindowMs) * time.Millisecond)
+		for _, a := range full.Alerts {
+			if a.Chain == alert.Chain && a.FiredAt.Equal(alert.FiredAt) && !a.FiredAt.Before(cutoff) {
+				if len(full.Spans)+len(full.Events) == 0 || full.Metrics == nil {
+					return fmt.Errorf("soak: flight dump #%d is not self-contained: %d spans, %d events, metrics=%v",
+						full.ID, len(full.Spans), len(full.Events), full.Metrics != nil)
+				}
+				res.AlertDump = info
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("soak: no flight bundle captured the firing alert; dumps: %+v", flight.Dumps())
+}

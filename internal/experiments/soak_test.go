@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSoakExperiment runs the soak at its CI-smoke floor and enforces
+// the health-harness acceptance bounds on the returned raw result —
+// the same assertions the experiment applies internally, plus shape
+// checks on the evidence it reports.
+func TestSoakExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak experiment")
+	}
+	tab, res, err := soakRound(8 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 8 {
+		t.Fatalf("table has %d rows, want >= 8:\n%+v", len(tab.Rows), tab.Rows)
+	}
+
+	// The injected anomaly fired and resolved, and the black box holds
+	// a bundle whose window contains the firing alert.
+	if res.Alert.FiredAt.IsZero() || res.Alert.ResolvedAt.IsZero() {
+		t.Fatalf("alert lifecycle incomplete: %+v", res.Alert)
+	}
+	if res.AlertDump.Reason != "slo-alert" || res.AlertDump.Alerts == 0 {
+		t.Fatalf("flight bundle did not capture the alert: %+v", res.AlertDump)
+	}
+	if res.AlertDump.Spans+res.AlertDump.Events == 0 || !res.AlertDump.Profiles {
+		t.Fatalf("flight bundle not self-contained: %+v", res.AlertDump)
+	}
+
+	// Health verdicts: the watchdog heard every component, nothing
+	// leaked, and the heap settled back down.
+	if res.Stalls != 0 {
+		t.Fatalf("watchdog counted %d stalls, want 0", res.Stalls)
+	}
+	if res.HeapEnd > res.HeapStart+soakHeapSlack {
+		t.Fatalf("GC-settled heap grew %d -> %d bytes", res.HeapStart, res.HeapEnd)
+	}
+	if res.HeapSlopeBps > soakMaxSteadySlope {
+		t.Fatalf("steady heap trend %+.0f B/s exceeds bound", res.HeapSlopeBps)
+	}
+
+	// The churn loop really churned, and the flap really rerouted.
+	if res.ChainsChurned == 0 {
+		t.Fatal("no ephemeral chains churned")
+	}
+	if res.FlapReroute <= 0 || res.FlapReroute > 15*time.Second {
+		t.Fatalf("flap reroute took %v", res.FlapReroute)
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"switchboard/internal/flowtable"
+	"switchboard/internal/health"
 	"switchboard/internal/labels"
 	"switchboard/internal/packet"
 )
@@ -114,6 +116,10 @@ func benchmarkProcessBatch(b *testing.B, mode Mode, batch int) {
 		froms[i] = prev
 	}
 	var res BatchResult
+	// Runtime vitals sample concurrently at a hostile interval: the
+	// health harness must not cost the hot path its 0 allocs/op.
+	stopVitals := health.NewVitals(time.Millisecond).Start()
+	defer stopVitals()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -155,6 +161,8 @@ func BenchmarkForwarderParallel(b *testing.B) {
 			const batch = 32
 			var core atomic.Uint32
 			var total atomic.Uint64
+			stopVitals := health.NewVitals(time.Millisecond).Start()
+			defer stopVitals()
 			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {

@@ -26,6 +26,12 @@ type Runner struct {
 	// errors, failed sends) and is attached to outgoing batches so
 	// downstream sinks recycle delivered packets too.
 	Pool *packet.Pool
+	// Beat, when set, is called once per wakeup (health-watchdog
+	// heartbeat). The loop blocks in RecvBatchContext while idle, so a
+	// runner only beats under traffic: register its heartbeat with a
+	// stall threshold meaningful for a loaded system, where silence
+	// really does mean the loop wedged.
+	Beat func()
 }
 
 // sendGroup accumulates processed packets sharing a next hop.
@@ -171,6 +177,9 @@ func (r *Runner) Run(ctx context.Context) {
 		n := r.EP.RecvBatchContext(ctx, msgs)
 		if n == 0 {
 			return // cancelled or inbox closed
+		}
+		if r.Beat != nil {
+			r.Beat()
 		}
 
 		// Flatten the drained messages into one packet burst, resolving

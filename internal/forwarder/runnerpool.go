@@ -62,6 +62,9 @@ type RunnerPool struct {
 	// Pool, when set, recycles dropped packets and rides on outgoing
 	// batches, exactly as in Runner.
 	Pool *packet.Pool
+	// Beat, when set, is called once per dispatcher wakeup — same
+	// traffic-gated heartbeat semantics as Runner.Beat.
+	Beat func()
 
 	// coreRx[i] counts packets steered to core i, for diagnosing RSS
 	// skew in switchbench runs. Sized on first use (RegisterMetrics or
@@ -154,6 +157,9 @@ func (p *RunnerPool) Run(ctx context.Context) {
 		n := p.EP.RecvBatchContext(ctx, msgs)
 		if n == 0 {
 			break // cancelled or inbox closed
+		}
+		if p.Beat != nil {
+			p.Beat()
 		}
 		var arrive packet.LazyNow
 		hr := hopResolver{f: p.F}

@@ -1,0 +1,256 @@
+package health
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+	"switchboard/internal/slo"
+)
+
+// Flight-recorder defaults: keep the last half-minute of evidence,
+// retain a handful of bundles, and debounce triggers so one incident
+// (an SLO alert plus the watchdog stall it causes) produces one dump,
+// not a dump per symptom.
+const (
+	DefaultFlightWindow      = 30 * time.Second
+	DefaultFlightMaxDumps    = 8
+	DefaultFlightMinInterval = 2 * time.Second
+)
+
+// FlightConfig configures a FlightRecorder. Every source is optional:
+// a nil field just leaves that section out of the bundle.
+type FlightConfig struct {
+	// Window is how far back a dump reaches (default
+	// DefaultFlightWindow).
+	Window time.Duration
+	// MaxDumps bounds the retained bundles; older ones are evicted
+	// (default DefaultFlightMaxDumps).
+	MaxDumps int
+	// MinInterval debounces triggers: a trigger closer than this to the
+	// previous accepted one is dropped (default
+	// DefaultFlightMinInterval).
+	MinInterval time.Duration
+	// Registry is snapshotted at dump time for the point-in-time view.
+	Registry *metrics.Registry
+	// History contributes the metric time series inside the window.
+	History *metrics.History
+	// Recorder contributes spans and events inside the window.
+	Recorder *obs.Recorder
+	// SLO contributes alerts that fired inside the window (or are still
+	// firing).
+	SLO *slo.Evaluator
+	// DisableProfiles skips the pprof heap/goroutine captures — they
+	// cost a stop-the-world stack walk, which tight benchmark loops may
+	// not want.
+	DisableProfiles bool
+}
+
+// Dump is one self-contained flight bundle: everything the process
+// knew about the window leading up to the trigger, serialisable as a
+// single JSON document.
+type Dump struct {
+	// ID is the bundle's retrieval key at /debug/flight?id=.
+	ID int `json:"id"`
+	// Reason is the trigger class ("slo-alert", "watchdog-stall",
+	// "leak-verdict", "http-poke", …); Detail is trigger-specific.
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+	// TakenAt stamps the capture; WindowMs is the lookback that bounded
+	// the Spans/Events/Alerts/History sections.
+	TakenAt  time.Time `json:"taken_at"`
+	WindowMs int64     `json:"window_ms"`
+	// Goroutines is the live goroutine count at capture.
+	Goroutines int `json:"goroutines"`
+	// Spans and Events are the obs ring contents inside the window.
+	Spans  []obs.Span  `json:"spans,omitempty"`
+	Events []obs.Event `json:"events,omitempty"`
+	// Alerts are SLO alerts that fired inside the window or were still
+	// firing at capture.
+	Alerts []slo.Alert `json:"alerts,omitempty"`
+	// History is the metric time series inside the window; Metrics is
+	// the full point-in-time snapshot at capture.
+	History []*metrics.Snapshot `json:"history,omitempty"`
+	Metrics *metrics.Snapshot   `json:"metrics,omitempty"`
+	// HeapProfile is the gzipped pprof heap profile (base64 in JSON);
+	// GoroutineStacks is the debug=1 text goroutine profile.
+	HeapProfile     []byte `json:"heap_profile,omitempty"`
+	GoroutineStacks string `json:"goroutine_stacks,omitempty"`
+}
+
+// DumpInfo is the list-view summary served at /debug/flight.
+type DumpInfo struct {
+	ID       int       `json:"id"`
+	Reason   string    `json:"reason"`
+	Detail   string    `json:"detail,omitempty"`
+	TakenAt  time.Time `json:"taken_at"`
+	Spans    int       `json:"spans"`
+	Events   int       `json:"events"`
+	Alerts   int       `json:"alerts"`
+	History  int       `json:"history_points"`
+	Profiles bool      `json:"profiles"`
+}
+
+// FlightRecorder is the black box: the obs rings and metric history
+// already buffer the recent past continuously, and Trigger freezes
+// that window — plus pprof heap/goroutine profiles — into a bounded
+// list of retrievable bundles. Wire OnFire/OnStall/OnVerdict hooks to
+// Trigger so the evidence is preserved at the moment something goes
+// wrong, not when a human shows up.
+type FlightRecorder struct {
+	cfg FlightConfig
+
+	mu       sync.Mutex
+	dumps    []*Dump
+	nextID   int
+	lastDump time.Time
+
+	dumpsTotal     atomic.Uint64
+	dropsDebounced atomic.Uint64
+}
+
+// NewFlightRecorder returns a recorder with no dumps taken.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultFlightWindow
+	}
+	if cfg.MaxDumps <= 0 {
+		cfg.MaxDumps = DefaultFlightMaxDumps
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = DefaultFlightMinInterval
+	}
+	return &FlightRecorder{cfg: cfg}
+}
+
+// Trigger captures a bundle now. ok is false when the trigger was
+// debounced (a dump was taken less than MinInterval ago); the earlier
+// dump already covers the incident.
+func (f *FlightRecorder) Trigger(reason, detail string) (d *Dump, ok bool) {
+	now := time.Now()
+	f.mu.Lock()
+	if !f.lastDump.IsZero() && now.Sub(f.lastDump) < f.cfg.MinInterval {
+		f.mu.Unlock()
+		f.dropsDebounced.Add(1)
+		return nil, false
+	}
+	f.lastDump = now
+	f.nextID++
+	id := f.nextID
+	f.mu.Unlock()
+
+	d = f.capture(id, reason, detail, now)
+
+	f.mu.Lock()
+	f.dumps = append(f.dumps, d)
+	if len(f.dumps) > f.cfg.MaxDumps {
+		f.dumps = f.dumps[len(f.dumps)-f.cfg.MaxDumps:]
+	}
+	f.mu.Unlock()
+	f.dumpsTotal.Add(1)
+	// Logged after capture: the dump stays about the incident, and the
+	// event ring still records that the black box fired.
+	f.cfg.Recorder.Log("flight: dump #" + strconv.Itoa(id) + " (" + reason + ")")
+	return d, true
+}
+
+// capture builds the bundle; it runs outside f.mu so a slow pprof walk
+// never blocks concurrent list/get calls.
+func (f *FlightRecorder) capture(id int, reason, detail string, now time.Time) *Dump {
+	cutoff := now.Add(-f.cfg.Window)
+	cutoffNs := cutoff.UnixNano()
+	d := &Dump{
+		ID:         id,
+		Reason:     reason,
+		Detail:     detail,
+		TakenAt:    now,
+		WindowMs:   f.cfg.Window.Milliseconds(),
+		Goroutines: runtime.NumGoroutine(),
+	}
+	if f.cfg.Recorder != nil {
+		for _, s := range f.cfg.Recorder.Spans() {
+			if s.EndNs >= cutoffNs {
+				d.Spans = append(d.Spans, s)
+			}
+		}
+		for _, e := range f.cfg.Recorder.Events() {
+			if e.AtNs >= cutoffNs {
+				d.Events = append(d.Events, e)
+			}
+		}
+	}
+	if f.cfg.SLO != nil {
+		for _, a := range f.cfg.SLO.Alerts() {
+			if !a.FiredAt.Before(cutoff) || a.ResolvedAt.IsZero() || !a.ResolvedAt.Before(cutoff) {
+				d.Alerts = append(d.Alerts, a)
+			}
+		}
+	}
+	if f.cfg.History != nil {
+		d.History = f.cfg.History.PointsSince(cutoff)
+	}
+	if f.cfg.Registry != nil {
+		d.Metrics = f.cfg.Registry.Snapshot()
+	}
+	if !f.cfg.DisableProfiles {
+		var heap bytes.Buffer
+		if err := pprof.Lookup("heap").WriteTo(&heap, 0); err == nil {
+			d.HeapProfile = heap.Bytes()
+		}
+		var goro bytes.Buffer
+		if err := pprof.Lookup("goroutine").WriteTo(&goro, 1); err == nil {
+			d.GoroutineStacks = goro.String()
+		}
+	}
+	return d
+}
+
+// Dumps returns list-view summaries of the retained bundles, oldest
+// first.
+func (f *FlightRecorder) Dumps() []DumpInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]DumpInfo, 0, len(f.dumps))
+	for _, d := range f.dumps {
+		out = append(out, DumpInfo{
+			ID:       d.ID,
+			Reason:   d.Reason,
+			Detail:   d.Detail,
+			TakenAt:  d.TakenAt,
+			Spans:    len(d.Spans),
+			Events:   len(d.Events),
+			Alerts:   len(d.Alerts),
+			History:  len(d.History),
+			Profiles: len(d.HeapProfile) > 0,
+		})
+	}
+	return out
+}
+
+// Dump returns the full bundle by ID.
+func (f *FlightRecorder) Dump(id int) (*Dump, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, d := range f.dumps {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// DumpsTotal returns the cumulative accepted-trigger count.
+func (f *FlightRecorder) DumpsTotal() uint64 { return f.dumpsTotal.Load() }
+
+// RegisterMetrics publishes health.flight_dumps (bundles captured) and
+// health.flight_debounced (triggers dropped by the debounce window).
+func (f *FlightRecorder) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("health.flight_dumps", f.dumpsTotal.Load)
+	reg.CounterFunc("health.flight_debounced", f.dropsDebounced.Load)
+}

@@ -1,0 +1,149 @@
+package health
+
+import (
+	"time"
+
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+	"switchboard/internal/slo"
+)
+
+// Health aggregates the package's components into the one view
+// /healthz serves. Every field is optional: a daemon that only wires
+// Vitals still gets a meaningful (always-healthy) status, and the
+// aggregate degrades to "healthy" rather than lying "unhealthy" when a
+// detector isn't attached.
+type Health struct {
+	// Vitals supplies the process-level numbers in Status.
+	Vitals *Vitals
+	// Watchdog supplies per-component stall states.
+	Watchdog *Watchdog
+	// Leaks supplies active leak verdicts.
+	Leaks *LeakDetector
+	// Flight is reported by dump count and serves /debug/flight.
+	Flight *FlightRecorder
+}
+
+// Status is the JSON document /healthz serves.
+type Status struct {
+	// Healthy is the aggregate verdict: no stalled components and no
+	// active leak verdicts. It drives the endpoint's 200/503 split.
+	Healthy bool `json:"healthy"`
+	// TakenAt stamps the report.
+	TakenAt time.Time `json:"taken_at"`
+	// Components is the watchdog's per-component view.
+	Components []ComponentHealth `json:"components,omitempty"`
+	// LeakActive lists leak kinds currently raised; LeakVerdicts is the
+	// retained verdict history.
+	LeakActive   []LeakKind `json:"leak_active,omitempty"`
+	LeakVerdicts []Verdict  `json:"leak_verdicts,omitempty"`
+	// Goroutines and HeapInuseBytes are the last-sampled vitals;
+	// HeapSlopeBps is the leak detector's last fitted heap trend.
+	Goroutines     int     `json:"goroutines,omitempty"`
+	HeapInuseBytes uint64  `json:"heap_inuse_bytes,omitempty"`
+	HeapSlopeBps   float64 `json:"heap_slope_bps,omitempty"`
+	// FlightDumps counts captured flight bundles.
+	FlightDumps int `json:"flight_dumps,omitempty"`
+}
+
+// Status builds the aggregate report as of now. Safe for concurrent
+// use; a nil receiver reports healthy with no detail — the static-ok
+// behaviour /healthz had before this package existed.
+func (h *Health) Status(now time.Time) Status {
+	s := Status{Healthy: true, TakenAt: now}
+	if h == nil {
+		return s
+	}
+	if h.Watchdog != nil {
+		s.Components = h.Watchdog.Status(now)
+		for _, c := range s.Components {
+			if c.Stalled {
+				s.Healthy = false
+			}
+		}
+	}
+	if h.Leaks != nil {
+		s.LeakActive = h.Leaks.Active()
+		s.LeakVerdicts = h.Leaks.Verdicts()
+		s.HeapSlopeBps = h.Leaks.HeapSlope()
+		if len(s.LeakActive) > 0 {
+			s.Healthy = false
+		}
+	}
+	if h.Vitals != nil {
+		s.Goroutines = h.Vitals.Goroutines()
+		s.HeapInuseBytes = h.Vitals.HeapInuse()
+	}
+	if h.Flight != nil {
+		s.FlightDumps = len(h.Flight.Dumps())
+	}
+	return s
+}
+
+// Healthy reports the aggregate verdict as of now.
+func (h *Health) Healthy(now time.Time) bool { return h.Status(now).Healthy }
+
+// Start launches every attached component's background loop (vitals
+// sampling, watchdog sweeps, leak checks) and returns one stop
+// function. Nil components are skipped; the flight recorder has no
+// loop — its buffers are the obs/history rings, which run on their
+// own.
+func (h *Health) Start() (stop func()) {
+	var stops []func()
+	if h.Vitals != nil {
+		stops = append(stops, h.Vitals.Start())
+	}
+	if h.Watchdog != nil {
+		stops = append(stops, h.Watchdog.Start())
+	}
+	if h.Leaks != nil {
+		stops = append(stops, h.Leaks.Start())
+	}
+	return func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+}
+
+// Attach builds the standard daemon harness over a process's existing
+// observability surfaces: vitals, a watchdog, a leak detector over
+// hist, and a flight recorder whose triggers are wired — a firing SLO
+// alert (via ev.SetOnFire), a watchdog stall, or a leak verdict each
+// freeze a bundle. All defaults, all metrics registered into reg, all
+// loops started. Returns the aggregate (hand it to introspect.Options
+// along with its Flight field) and one stop function.
+//
+// Components may be nil: a nil hist skips the heap-trend detector's
+// input, a nil ev skips alert capture and the OnFire trigger.
+func Attach(reg *metrics.Registry, hist *metrics.History, rec *obs.Recorder, ev *slo.Evaluator) (*Health, func()) {
+	vitals := NewVitals(0)
+	flightCfg := FlightConfig{Registry: reg, History: hist, Recorder: rec, SLO: ev}
+	flight := NewFlightRecorder(flightCfg)
+	wd := NewWatchdog(WatchdogConfig{
+		Recorder: rec,
+		OnStall: func(component string, silentFor time.Duration) {
+			flight.Trigger("watchdog-stall", component+" silent "+silentFor.String())
+		},
+	})
+	leaks := NewLeakDetector(LeakConfig{
+		History:  hist,
+		Recorder: rec,
+		OnVerdict: func(v Verdict) {
+			flight.Trigger("leak-verdict", string(v.Kind)+": "+v.Detail)
+		},
+	})
+	if ev != nil {
+		ev.SetOnFire(func(a slo.Alert) {
+			flight.Trigger("slo-alert", string(a.Chain)+": "+a.Reason)
+		})
+	}
+	if reg != nil {
+		vitals.RegisterMetrics(reg)
+		wd.RegisterMetrics(reg)
+		leaks.RegisterMetrics(reg)
+		flight.RegisterMetrics(reg)
+	}
+	h := &Health{Vitals: vitals, Watchdog: wd, Leaks: leaks, Flight: flight}
+	return h, h.Start()
+}

@@ -1,0 +1,445 @@
+package health
+
+import (
+	"math"
+	"runtime"
+	rm "runtime/metrics"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+	"switchboard/internal/testutil"
+)
+
+func TestVitalsSample(t *testing.T) {
+	runtime.GC() // guarantee at least one GC cycle and pause sample
+	v := NewVitals(time.Hour)
+	v.Sample()
+	if v.HeapInuse() == 0 {
+		t.Error("heap in-use sampled as 0")
+	}
+	if v.Goroutines() < 1 {
+		t.Errorf("goroutines sampled as %d", v.Goroutines())
+	}
+	if v.gcCycles.Load() == 0 {
+		t.Error("gc cycles sampled as 0 after an explicit GC")
+	}
+	if v.gcPauseP99Ns.Load() <= 0 {
+		t.Error("gc pause p99 not sampled")
+	}
+}
+
+func TestVitalsRegisterMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	v := NewVitals(0)
+	v.RegisterMetrics(reg)
+	s := reg.Snapshot()
+	for _, g := range []string{
+		"runtime.heap_inuse_bytes", "runtime.heap_released_bytes",
+		"runtime.stack_inuse_bytes", "runtime.goroutines",
+		"runtime.gc_pause_p99_ns", "runtime.sched_latency_p99_ns",
+	} {
+		if _, ok := s.Gauges[g]; !ok {
+			t.Errorf("gauge %s missing from snapshot", g)
+		}
+	}
+	for _, c := range []string{"runtime.gc_cycles", "health.vitals_samples"} {
+		if _, ok := s.Counters[c]; !ok {
+			t.Errorf("counter %s missing from snapshot", c)
+		}
+	}
+	if s.Gauges["runtime.heap_inuse_bytes"] <= 0 {
+		t.Error("heap gauge reads 0")
+	}
+}
+
+func TestVitalsStartStop(t *testing.T) {
+	testutil.NoLeaks(t)
+	v := NewVitals(time.Millisecond)
+	stop := v.Start()
+	before := v.sampleCount.Load()
+	if !testutil.Poll(time.Second, func() bool { return v.sampleCount.Load() > before }) {
+		t.Fatal("sampler never ticked")
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestHistPercentile(t *testing.T) {
+	h := &rm.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if got := histPercentile(h, 0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2 (bucket upper bound)", got)
+	}
+	if got := histPercentile(h, 0.99); got != 3 {
+		t.Errorf("p99 = %v, want 3", got)
+	}
+	// +Inf final bucket falls back to the finite lower bound.
+	hinf := &rm.Float64Histogram{
+		Counts:  []uint64{1, 1},
+		Buckets: []float64{0, 1, math.Inf(1)},
+	}
+	if got := histPercentile(hinf, 0.99); got != 1 {
+		t.Errorf("p99 with +Inf bucket = %v, want 1", got)
+	}
+	if got := histPercentile(nil, 0.99); got != 0 {
+		t.Errorf("nil histogram p99 = %v, want 0", got)
+	}
+	if got := histPercentile(&rm.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}, 0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %v, want 0", got)
+	}
+}
+
+func TestWatchdogStallAndRecover(t *testing.T) {
+	rec := obs.NewRecorder(64, 64, nil)
+	var stalled atomic.Int32
+	w := NewWatchdog(WatchdogConfig{
+		Recorder: rec,
+		OnStall:  func(string, time.Duration) { stalled.Add(1) },
+	})
+	reg := metrics.NewRegistry()
+	w.RegisterMetrics(reg)
+
+	hb := w.Register("bus", 50*time.Millisecond)
+	now := time.Now()
+
+	w.Check(now) // fresh heartbeat: healthy
+	if w.Stalls() != 0 || w.StalledNow() != 0 {
+		t.Fatal("fresh heartbeat reported stalled")
+	}
+
+	w.Check(now.Add(200 * time.Millisecond)) // silent past threshold
+	if w.Stalls() != 1 || w.StalledNow() != 1 || !hb.Stalled() {
+		t.Fatalf("stall not detected: stalls=%d now=%d", w.Stalls(), w.StalledNow())
+	}
+	if stalled.Load() != 1 {
+		t.Fatalf("OnStall called %d times, want 1", stalled.Load())
+	}
+	w.Check(now.Add(300 * time.Millisecond)) // still silent: no re-fire
+	if w.Stalls() != 1 {
+		t.Fatalf("stall re-fired: stalls=%d", w.Stalls())
+	}
+
+	hb.Beat()
+	w.Check(time.Now())
+	if hb.Stalled() || w.StalledNow() != 0 {
+		t.Fatal("recovery not detected after beat")
+	}
+
+	var sawStall, sawRecover bool
+	for _, e := range rec.Events() {
+		if strings.Contains(e.Name, "bus stalled") {
+			sawStall = true
+		}
+		if strings.Contains(e.Name, "bus recovered") {
+			sawRecover = true
+		}
+	}
+	if !sawStall || !sawRecover {
+		t.Fatalf("obs events missing: stall=%v recover=%v (%v)", sawStall, sawRecover, rec.Events())
+	}
+	if s := reg.Snapshot(); s.Counters["health.stalls"] != 1 || s.Gauges["health.stalled"] != 0 {
+		t.Fatalf("metrics wrong: stalls=%d stalled=%v", s.Counters["health.stalls"], s.Gauges["health.stalled"])
+	}
+}
+
+func TestWatchdogStatusSorted(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{})
+	w.Register("zeta", time.Second)
+	w.Register("alpha", time.Second)
+	st := w.Status(time.Now())
+	if len(st) != 2 || st[0].Name != "alpha" || st[1].Name != "zeta" {
+		t.Fatalf("status not sorted by name: %+v", st)
+	}
+}
+
+func TestNilHeartbeat(t *testing.T) {
+	var hb *Heartbeat
+	hb.Beat() // must not panic
+	hb.Func()()
+	if hb.Stalled() {
+		t.Fatal("nil heartbeat stalled")
+	}
+}
+
+func TestLeakDetectorGoroutines(t *testing.T) {
+	rec := obs.NewRecorder(64, 64, nil)
+	var verdicts []Verdict
+	d := NewLeakDetector(LeakConfig{
+		GoroutineSlack: 2,
+		Persist:        2,
+		Recorder:       rec,
+		OnVerdict:      func(v Verdict) { verdicts = append(verdicts, v) },
+	})
+
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() { <-stop }()
+	}
+	// Let them all park so NumGoroutine sees them.
+	if !testutil.Poll(time.Second, func() bool {
+		return runtime.NumGoroutine() >= d.Baseline()+8
+	}) {
+		t.Fatal("spawned goroutines never showed up")
+	}
+
+	now := time.Now()
+	if raised := d.Check(now); len(raised) != 0 {
+		t.Fatal("verdict raised before persist threshold")
+	}
+	raised := d.Check(now.Add(time.Second))
+	if len(raised) != 1 || raised[0].Kind != LeakGoroutines {
+		t.Fatalf("expected goroutine verdict on 2nd consecutive check, got %+v", raised)
+	}
+	if len(verdicts) != 1 {
+		t.Fatalf("OnVerdict called %d times, want 1", len(verdicts))
+	}
+	if got := d.Active(); len(got) != 1 || got[0] != LeakGoroutines {
+		t.Fatalf("Active() = %v", got)
+	}
+
+	close(stop)
+	if !testutil.Poll(time.Second, func() bool {
+		d.Check(time.Now())
+		return len(d.Active()) == 0
+	}) {
+		t.Fatal("verdict never cleared after goroutines exited")
+	}
+	if d.VerdictsTotal() != 1 {
+		t.Fatalf("VerdictsTotal = %d, want 1", d.VerdictsTotal())
+	}
+}
+
+func TestLeakDetectorHeapTrend(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var heap atomic.Uint64
+	reg.GaugeFunc("runtime.heap_inuse_bytes", func() float64 { return float64(heap.Load()) })
+	hist := metrics.NewHistory(reg, time.Second, time.Minute)
+
+	d := NewLeakDetector(LeakConfig{
+		History:        hist,
+		Window:         time.Minute,
+		MinPoints:      4,
+		MaxHeapSlope:   1 << 20, // 1 MiB/s
+		Persist:        2,
+		GoroutineSlack: 1 << 20, // effectively disable the goroutine detector
+	})
+
+	// Grow the "heap" 8 MiB per sample, ~1 ms apart: slope far above
+	// threshold.
+	for i := 1; i <= 6; i++ {
+		heap.Store(uint64(i) * 8 << 20)
+		hist.Sample()
+		time.Sleep(2 * time.Millisecond)
+	}
+	now := time.Now()
+	if raised := d.Check(now); len(raised) != 0 {
+		t.Fatal("heap verdict before persist threshold")
+	}
+	raised := d.Check(now.Add(time.Second))
+	if len(raised) != 1 || raised[0].Kind != LeakHeap {
+		t.Fatalf("expected heap verdict, got %+v (slope %v)", raised, d.HeapSlope())
+	}
+	if d.HeapSlope() <= 1<<20 {
+		t.Fatalf("HeapSlope = %v, want > threshold", d.HeapSlope())
+	}
+
+	// Plateau: fresh samples flat → trend collapses → verdict clears.
+	for i := 0; i < 8; i++ {
+		heap.Store(48<<20 + uint64(i)) // tiny wiggle so dedup retains points
+		hist.Sample()
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Restrict the window to the plateau samples.
+	d.cfg.Window = 40 * time.Millisecond
+	if !testutil.Poll(time.Second, func() bool {
+		d.Check(time.Now())
+		return len(d.Active()) == 0
+	}) {
+		t.Fatalf("heap verdict never cleared on plateau (slope %v)", d.HeapSlope())
+	}
+}
+
+func TestLeakDetectorMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	d := NewLeakDetector(LeakConfig{})
+	d.RegisterMetrics(reg)
+	s := reg.Snapshot()
+	if _, ok := s.Counters["health.leak_verdicts"]; !ok {
+		t.Error("health.leak_verdicts missing")
+	}
+	if _, ok := s.Gauges["health.heap_slope_bps"]; !ok {
+		t.Error("health.heap_slope_bps missing")
+	}
+	if _, ok := s.Gauges["health.leak_active"]; !ok {
+		t.Error("health.leak_active missing")
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("test.packets")
+	rec := obs.NewRecorder(64, 64, reg)
+	hist := metrics.NewHistory(reg, time.Second, time.Minute)
+
+	rec.Log("ancient event")
+	sp := rec.Start("old.span", "", 0)
+	sp.End()
+	c.Inc()
+	hist.Sample()
+	time.Sleep(120 * time.Millisecond)
+
+	f := NewFlightRecorder(FlightConfig{
+		Window:      100 * time.Millisecond,
+		MinInterval: 50 * time.Millisecond,
+		Registry:    reg,
+		History:     hist,
+		Recorder:    rec,
+	})
+	rec.Log("trigger event")
+	sp2 := rec.Start("fresh.span", "", 0)
+	sp2.End()
+	c.Inc()
+	hist.Sample()
+
+	d, ok := f.Trigger("watchdog-stall", "bus silent 1.2s")
+	if !ok || d == nil {
+		t.Fatal("trigger rejected")
+	}
+	var sawTrigger, sawAncient bool
+	for _, e := range d.Events {
+		if e.Name == "trigger event" {
+			sawTrigger = true
+		}
+		if e.Name == "ancient event" {
+			sawAncient = true
+		}
+	}
+	if !sawTrigger {
+		t.Fatal("dump missing the in-window trigger event")
+	}
+	if sawAncient {
+		t.Fatal("dump includes an event older than the window")
+	}
+	var sawFresh, sawOld bool
+	for _, s := range d.Spans {
+		if s.Name == "fresh.span" {
+			sawFresh = true
+		}
+		if s.Name == "old.span" {
+			sawOld = true
+		}
+	}
+	if !sawFresh || sawOld {
+		t.Fatalf("span window filter wrong: fresh=%v old=%v", sawFresh, sawOld)
+	}
+	if d.Metrics == nil || d.Metrics.Counters["test.packets"] != 2 {
+		t.Fatal("dump missing the point-in-time metrics snapshot")
+	}
+	if len(d.History) == 0 {
+		t.Fatal("dump missing history points")
+	}
+	if len(d.HeapProfile) == 0 || d.GoroutineStacks == "" {
+		t.Fatal("dump missing pprof profiles")
+	}
+	if d.Goroutines < 1 {
+		t.Fatal("dump missing goroutine count")
+	}
+
+	// Debounce: an immediate second trigger is dropped…
+	if _, ok := f.Trigger("http-poke", ""); ok {
+		t.Fatal("debounce did not drop an immediate second trigger")
+	}
+	// …and accepted again after MinInterval.
+	time.Sleep(60 * time.Millisecond)
+	d2, ok := f.Trigger("http-poke", "")
+	if !ok {
+		t.Fatal("trigger after debounce window rejected")
+	}
+	if d2.ID == d.ID {
+		t.Fatal("dump IDs not unique")
+	}
+
+	// Retrieval by ID and list view.
+	got, ok := f.Dump(d.ID)
+	if !ok || got.Reason != "watchdog-stall" {
+		t.Fatalf("Dump(%d) = %+v, %v", d.ID, got, ok)
+	}
+	infos := f.Dumps()
+	if len(infos) != 2 || infos[0].ID != d.ID || !infos[0].Profiles {
+		t.Fatalf("Dumps() = %+v", infos)
+	}
+	if f.DumpsTotal() != 2 {
+		t.Fatalf("DumpsTotal = %d, want 2", f.DumpsTotal())
+	}
+}
+
+func TestFlightRecorderEviction(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{
+		MaxDumps:        2,
+		MinInterval:     time.Nanosecond,
+		DisableProfiles: true,
+	})
+	for i := 0; i < 4; i++ {
+		time.Sleep(time.Millisecond)
+		if _, ok := f.Trigger("poke", ""); !ok {
+			t.Fatalf("trigger %d rejected", i)
+		}
+	}
+	infos := f.Dumps()
+	if len(infos) != 2 || infos[0].ID != 3 || infos[1].ID != 4 {
+		t.Fatalf("eviction kept wrong dumps: %+v", infos)
+	}
+	if _, ok := f.Dump(1); ok {
+		t.Fatal("evicted dump still retrievable")
+	}
+}
+
+func TestHealthStatusAggregation(t *testing.T) {
+	var nilH *Health
+	if !nilH.Healthy(time.Now()) {
+		t.Fatal("nil Health not healthy")
+	}
+
+	w := NewWatchdog(WatchdogConfig{})
+	d := NewLeakDetector(LeakConfig{GoroutineSlack: 1 << 20})
+	v := NewVitals(time.Hour)
+	h := &Health{Vitals: v, Watchdog: w, Leaks: d}
+
+	now := time.Now()
+	st := h.Status(now)
+	if !st.Healthy {
+		t.Fatalf("healthy system reported unhealthy: %+v", st)
+	}
+	if st.Goroutines < 1 || st.HeapInuseBytes == 0 {
+		t.Fatal("vitals missing from status")
+	}
+
+	// A stalled component flips the aggregate.
+	w.Register("bus", 10*time.Millisecond)
+	w.Check(now.Add(time.Second))
+	st = h.Status(now.Add(time.Second))
+	if st.Healthy {
+		t.Fatal("stalled component did not flip Healthy")
+	}
+	if len(st.Components) != 1 || !st.Components[0].Stalled {
+		t.Fatalf("components view wrong: %+v", st.Components)
+	}
+}
+
+func TestHealthStartStop(t *testing.T) {
+	testutil.NoLeaks(t)
+	h := &Health{
+		Vitals:   NewVitals(time.Millisecond),
+		Watchdog: NewWatchdog(WatchdogConfig{Interval: time.Millisecond}),
+		Leaks:    NewLeakDetector(LeakConfig{Interval: time.Millisecond, GoroutineSlack: 1 << 20}),
+	}
+	stop := h.Start()
+	time.Sleep(10 * time.Millisecond)
+	stop()
+}

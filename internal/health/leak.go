@@ -1,0 +1,298 @@
+package health
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+)
+
+// Leak-detector defaults: a verdict needs sustained evidence — a heap
+// slope over threshold (or a goroutine count over baseline+slack) on
+// several consecutive checks — so GC sawtooth and transient scale-out
+// don't page anyone.
+const (
+	DefaultLeakInterval   = time.Second
+	DefaultLeakWindow     = 30 * time.Second
+	DefaultLeakMinPoints  = 8
+	DefaultMaxHeapSlope   = 4 << 20 // bytes/sec
+	DefaultLeakPersist    = 3
+	DefaultGoroutineSlack = 64
+)
+
+// LeakKind discriminates Verdict kinds.
+type LeakKind string
+
+// The two leak classes the detector watches.
+const (
+	LeakHeap       LeakKind = "heap"
+	LeakGoroutines LeakKind = "goroutines"
+)
+
+// Verdict is one raised leak alert.
+type Verdict struct {
+	// Kind is what leaked: LeakHeap or LeakGoroutines.
+	Kind LeakKind `json:"kind"`
+	// RaisedAt is when the verdict fired.
+	RaisedAt time.Time `json:"raised_at"`
+	// Detail is a human-readable summary of the evidence.
+	Detail string `json:"detail"`
+	// SlopeBps is the fitted heap growth in bytes/second (heap kind).
+	SlopeBps float64 `json:"slope_bps,omitempty"`
+	// Goroutines and Baseline carry the observed count and the healthy
+	// baseline (goroutine kind).
+	Goroutines int `json:"goroutines,omitempty"`
+	Baseline   int `json:"baseline,omitempty"`
+}
+
+// LeakConfig configures a LeakDetector.
+type LeakConfig struct {
+	// History is the sampled metric time series the heap trend is
+	// fitted over. Nil disables the heap detector.
+	History *metrics.History
+	// HeapMetric names the heap gauge in History (default
+	// "runtime.heap_inuse_bytes", the Vitals name).
+	HeapMetric string
+	// Window is the trend lookback (default DefaultLeakWindow).
+	Window time.Duration
+	// MinPoints is the minimum series length for a trustworthy fit
+	// (default DefaultLeakMinPoints).
+	MinPoints int
+	// MaxHeapSlope is the sustained growth rate, in bytes/second, that
+	// counts as leaking (default DefaultMaxHeapSlope).
+	MaxHeapSlope float64
+	// GoroutineSlack is how far above the baseline the goroutine count
+	// may sit before counting as leaking (default DefaultGoroutineSlack).
+	GoroutineSlack int
+	// Persist is how many consecutive over-threshold checks raise a
+	// verdict (default DefaultLeakPersist).
+	Persist int
+	// Interval is the check period once started (default
+	// DefaultLeakInterval).
+	Interval time.Duration
+	// Recorder, when set, receives a standalone obs event per verdict
+	// raise and clear.
+	Recorder *obs.Recorder
+	// OnVerdict, when set, is called (outside the detector's lock) for
+	// each raised verdict — the flight-recorder trigger hook.
+	OnVerdict func(Verdict)
+}
+
+// LeakDetector baselines the goroutine count and fits a linear heap
+// trend over a metrics.History window, raising a Verdict when growth
+// persists across consecutive checks. Verdicts clear automatically
+// when the signal returns below threshold, so /healthz recovers
+// without a restart.
+type LeakDetector struct {
+	cfg LeakConfig
+
+	baseline atomic.Int64 // healthy goroutine count
+
+	mu          sync.Mutex
+	heapStreak  int
+	goroStreak  int
+	heapActive  bool
+	goroActive  bool
+	verdictsLog []Verdict // bounded
+
+	verdictsTotal atomic.Uint64
+	lastSlopeBits atomic.Uint64 // math.Float64bits of the last heap fit
+
+	stopMu sync.Mutex
+	stop   chan struct{}
+}
+
+// maxVerdictLog bounds the retained verdict history.
+const maxVerdictLog = 64
+
+// NewLeakDetector returns a detector whose goroutine baseline is the
+// count at this instant; call Rebaseline after warmup to move it.
+func NewLeakDetector(cfg LeakConfig) *LeakDetector {
+	if cfg.HeapMetric == "" {
+		cfg.HeapMetric = "runtime.heap_inuse_bytes"
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultLeakWindow
+	}
+	if cfg.MinPoints <= 0 {
+		cfg.MinPoints = DefaultLeakMinPoints
+	}
+	if cfg.MaxHeapSlope <= 0 {
+		cfg.MaxHeapSlope = DefaultMaxHeapSlope
+	}
+	if cfg.GoroutineSlack <= 0 {
+		cfg.GoroutineSlack = DefaultGoroutineSlack
+	}
+	if cfg.Persist <= 0 {
+		cfg.Persist = DefaultLeakPersist
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultLeakInterval
+	}
+	d := &LeakDetector{cfg: cfg}
+	d.baseline.Store(int64(runtime.NumGoroutine()))
+	return d
+}
+
+// Rebaseline re-snapshots the goroutine count as the healthy baseline —
+// call once the system under watch has finished spinning up.
+func (d *LeakDetector) Rebaseline() {
+	d.baseline.Store(int64(runtime.NumGoroutine()))
+}
+
+// Baseline returns the current goroutine baseline.
+func (d *LeakDetector) Baseline() int { return int(d.baseline.Load()) }
+
+// HeapSlope returns the last fitted heap growth rate in bytes/second
+// (0 before the first fit).
+func (d *LeakDetector) HeapSlope() float64 {
+	return math.Float64frombits(d.lastSlopeBits.Load())
+}
+
+// Check runs both detectors once against now and returns any verdicts
+// raised by this pass. Exposed so tests and experiments can drive
+// checks deterministically.
+func (d *LeakDetector) Check(now time.Time) []Verdict {
+	var raised []Verdict
+
+	d.mu.Lock()
+	// Goroutine leak: sustained count above baseline+slack.
+	n := runtime.NumGoroutine()
+	base := int(d.baseline.Load())
+	if n > base+d.cfg.GoroutineSlack {
+		d.goroStreak++
+		if d.goroStreak >= d.cfg.Persist && !d.goroActive {
+			d.goroActive = true
+			raised = append(raised, d.raiseLocked(Verdict{
+				Kind:       LeakGoroutines,
+				RaisedAt:   now,
+				Detail:     fmt.Sprintf("%d goroutines, baseline %d (+slack %d), %d consecutive checks", n, base, d.cfg.GoroutineSlack, d.goroStreak),
+				Goroutines: n,
+				Baseline:   base,
+			}))
+		}
+	} else {
+		d.goroStreak = 0
+		if d.goroActive {
+			d.goroActive = false
+			d.cfg.Recorder.Log("leak: goroutines cleared")
+		}
+	}
+
+	// Heap leak: sustained positive trend over the history window.
+	if d.cfg.History != nil {
+		slope, npts, ok := d.cfg.History.Trend(d.cfg.HeapMetric, now.Add(-d.cfg.Window))
+		if ok {
+			d.lastSlopeBits.Store(math.Float64bits(slope))
+		}
+		if ok && npts >= d.cfg.MinPoints && slope > d.cfg.MaxHeapSlope {
+			d.heapStreak++
+			if d.heapStreak >= d.cfg.Persist && !d.heapActive {
+				d.heapActive = true
+				raised = append(raised, d.raiseLocked(Verdict{
+					Kind:     LeakHeap,
+					RaisedAt: now,
+					Detail:   fmt.Sprintf("heap growing %.0f B/s over %v (%d points, threshold %.0f B/s), %d consecutive checks", slope, d.cfg.Window, npts, d.cfg.MaxHeapSlope, d.heapStreak),
+					SlopeBps: slope,
+				}))
+			}
+		} else {
+			d.heapStreak = 0
+			if d.heapActive {
+				d.heapActive = false
+				d.cfg.Recorder.Log("leak: heap cleared")
+			}
+		}
+	}
+	d.mu.Unlock()
+
+	if d.cfg.OnVerdict != nil {
+		for _, v := range raised {
+			d.cfg.OnVerdict(v)
+		}
+	}
+	return raised
+}
+
+// raiseLocked records a verdict (caller holds d.mu) and logs it.
+func (d *LeakDetector) raiseLocked(v Verdict) Verdict {
+	d.verdictsTotal.Add(1)
+	d.verdictsLog = append(d.verdictsLog, v)
+	if len(d.verdictsLog) > maxVerdictLog {
+		d.verdictsLog = d.verdictsLog[len(d.verdictsLog)-maxVerdictLog:]
+	}
+	d.cfg.Recorder.Log("leak: " + string(v.Kind) + " verdict — " + v.Detail)
+	return v
+}
+
+// Active returns the leak kinds currently in the raised state.
+func (d *LeakDetector) Active() []LeakKind {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []LeakKind
+	if d.heapActive {
+		out = append(out, LeakHeap)
+	}
+	if d.goroActive {
+		out = append(out, LeakGoroutines)
+	}
+	return out
+}
+
+// Verdicts returns the retained verdict history, oldest first.
+func (d *LeakDetector) Verdicts() []Verdict {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Verdict(nil), d.verdictsLog...)
+}
+
+// VerdictsTotal returns the cumulative raised-verdict count.
+func (d *LeakDetector) VerdictsTotal() uint64 { return d.verdictsTotal.Load() }
+
+// Start launches the periodic check loop and returns a stop function
+// (safe to call more than once).
+func (d *LeakDetector) Start() (stop func()) {
+	d.stopMu.Lock()
+	if d.stop == nil {
+		ch := make(chan struct{})
+		d.stop = ch
+		go d.run(ch)
+	}
+	ch := d.stop
+	d.stopMu.Unlock()
+	return func() {
+		d.stopMu.Lock()
+		if d.stop == ch {
+			d.stop = nil
+			close(ch)
+		}
+		d.stopMu.Unlock()
+	}
+}
+
+func (d *LeakDetector) run(ch chan struct{}) {
+	t := time.NewTicker(d.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ch:
+			return
+		case now := <-t.C:
+			d.Check(now)
+		}
+	}
+}
+
+// RegisterMetrics publishes health.leak_verdicts (cumulative raised
+// verdicts), health.leak_active (kinds currently raised), and
+// health.heap_slope_bps (last fitted heap growth, bytes/second).
+func (d *LeakDetector) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("health.leak_verdicts", d.verdictsTotal.Load)
+	reg.GaugeFunc("health.leak_active", func() float64 { return float64(len(d.Active())) })
+	reg.GaugeFunc("health.heap_slope_bps", d.HeapSlope)
+}

@@ -1,0 +1,224 @@
+// Package health watches the Switchboard process itself: runtime
+// vitals sampled from runtime/metrics, a watchdog that long-lived
+// components heartbeat into, leak detectors over goroutine counts and
+// the heap trend, and a black-box flight recorder that preserves the
+// last seconds of spans, events, and metric history whenever something
+// goes wrong. The application plane (forwarders, bus, TE, SLOs) is
+// metered by its own packages; this package answers the question those
+// can't — is the process hosting them still healthy at hour six of a
+// soak?
+//
+// The import direction is strictly downward: health imports metrics,
+// obs, and slo; the components being watched take plain func() beat
+// callbacks, so none of them import health.
+package health
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sbmetrics "switchboard/internal/metrics"
+)
+
+// DefaultVitalsInterval is how often Vitals reads runtime/metrics when
+// started with a non-positive interval. Reading is cheap (a handful of
+// atomic loads inside the runtime), so sub-second sampling is fine.
+const DefaultVitalsInterval = 250 * time.Millisecond
+
+// runtime/metrics keys the sampler reads. All are supported since well
+// before the module's Go floor; readVitals still tolerates a
+// KindBad value defensively.
+const (
+	rmHeapInuse    = "/memory/classes/heap/objects:bytes"
+	rmHeapReleased = "/memory/classes/heap/released:bytes"
+	rmStackInuse   = "/memory/classes/heap/stacks:bytes"
+	rmGoroutines   = "/sched/goroutines:goroutines"
+	rmGCCycles     = "/gc/cycles/total:gc-cycles"
+	rmGCPauses     = "/gc/pauses:seconds"
+	rmSchedLat     = "/sched/latencies:seconds"
+)
+
+// Vitals samples the Go runtime's own health signals — heap in use and
+// released, stack bytes, goroutine count, GC cycles, and the p99 of GC
+// pause and scheduler latency — and exposes them as runtime.* gauges
+// and counters on a metrics registry. Sampled values are stored in
+// atomics, so registry snapshot reads never touch runtime/metrics
+// directly and gauge reads are allocation-free.
+type Vitals struct {
+	interval time.Duration
+
+	mu      sync.Mutex // guards samples (reused across reads)
+	samples []metrics.Sample
+
+	heapInuse    atomic.Uint64
+	heapReleased atomic.Uint64
+	stackInuse   atomic.Uint64
+	goroutines   atomic.Int64
+	gcCycles     atomic.Uint64
+	gcPauseP99Ns atomic.Int64
+	schedLatP99  atomic.Int64
+	sampleCount  atomic.Uint64
+
+	stopMu sync.Mutex
+	stop   chan struct{}
+}
+
+// NewVitals returns a sampler reading runtime/metrics every interval
+// (non-positive takes DefaultVitalsInterval) once started. The first
+// read happens immediately so gauges are meaningful before the first
+// tick.
+func NewVitals(interval time.Duration) *Vitals {
+	if interval <= 0 {
+		interval = DefaultVitalsInterval
+	}
+	v := &Vitals{
+		interval: interval,
+		samples: []metrics.Sample{
+			{Name: rmHeapInuse},
+			{Name: rmHeapReleased},
+			{Name: rmStackInuse},
+			{Name: rmGoroutines},
+			{Name: rmGCCycles},
+			{Name: rmGCPauses},
+			{Name: rmSchedLat},
+		},
+	}
+	v.Sample()
+	return v
+}
+
+// Sample reads runtime/metrics once and updates the published values.
+// Exposed so tests and experiments can sample deterministically.
+func (v *Vitals) Sample() {
+	v.mu.Lock()
+	metrics.Read(v.samples)
+	for _, s := range v.samples {
+		switch s.Name {
+		case rmHeapInuse:
+			v.heapInuse.Store(sampleUint(s))
+		case rmHeapReleased:
+			v.heapReleased.Store(sampleUint(s))
+		case rmStackInuse:
+			v.stackInuse.Store(sampleUint(s))
+		case rmGoroutines:
+			v.goroutines.Store(int64(sampleUint(s)))
+		case rmGCCycles:
+			v.gcCycles.Store(sampleUint(s))
+		case rmGCPauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				v.gcPauseP99Ns.Store(int64(histPercentile(s.Value.Float64Histogram(), 0.99) * 1e9))
+			}
+		case rmSchedLat:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				v.schedLatP99.Store(int64(histPercentile(s.Value.Float64Histogram(), 0.99) * 1e9))
+			}
+		}
+	}
+	v.mu.Unlock()
+	v.sampleCount.Add(1)
+}
+
+// sampleUint extracts a uint64 from a sample of any numeric kind.
+func sampleUint(s metrics.Sample) uint64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return s.Value.Uint64()
+	case metrics.KindFloat64:
+		return uint64(s.Value.Float64())
+	default:
+		return 0
+	}
+}
+
+// histPercentile walks a cumulative runtime/metrics histogram and
+// returns the q-th percentile bucket boundary in the histogram's native
+// unit (seconds for pauses and latencies). Buckets has one more entry
+// than Counts; the first/last boundary may be ±Inf, in which case the
+// finite neighbour is reported instead.
+func histPercentile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	thresh := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= thresh {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, +1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	last := h.Buckets[len(h.Buckets)-1]
+	if math.IsInf(last, +1) {
+		return h.Buckets[len(h.Buckets)-2]
+	}
+	return last
+}
+
+// Start launches the sampling loop and returns a stop function (safe
+// to call more than once). Starting an already-running sampler returns
+// another stop for the running loop.
+func (v *Vitals) Start() (stop func()) {
+	v.stopMu.Lock()
+	if v.stop == nil {
+		ch := make(chan struct{})
+		v.stop = ch
+		go v.run(ch)
+	}
+	ch := v.stop
+	v.stopMu.Unlock()
+	return func() {
+		v.stopMu.Lock()
+		if v.stop == ch {
+			v.stop = nil
+			close(ch)
+		}
+		v.stopMu.Unlock()
+	}
+}
+
+func (v *Vitals) run(ch chan struct{}) {
+	t := time.NewTicker(v.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ch:
+			return
+		case <-t.C:
+			v.Sample()
+		}
+	}
+}
+
+// HeapInuse returns the last-sampled live heap bytes.
+func (v *Vitals) HeapInuse() uint64 { return v.heapInuse.Load() }
+
+// Goroutines returns the last-sampled goroutine count.
+func (v *Vitals) Goroutines() int { return int(v.goroutines.Load()) }
+
+// RegisterMetrics publishes the vitals on reg under the runtime.*
+// names catalogued in OBSERVABILITY.md, plus health.vitals_samples so
+// sampling liveness itself is observable.
+func (v *Vitals) RegisterMetrics(reg *sbmetrics.Registry) {
+	reg.GaugeFunc("runtime.heap_inuse_bytes", func() float64 { return float64(v.heapInuse.Load()) })
+	reg.GaugeFunc("runtime.heap_released_bytes", func() float64 { return float64(v.heapReleased.Load()) })
+	reg.GaugeFunc("runtime.stack_inuse_bytes", func() float64 { return float64(v.stackInuse.Load()) })
+	reg.GaugeFunc("runtime.goroutines", func() float64 { return float64(v.goroutines.Load()) })
+	reg.CounterFunc("runtime.gc_cycles", v.gcCycles.Load)
+	reg.GaugeFunc("runtime.gc_pause_p99_ns", func() float64 { return float64(v.gcPauseP99Ns.Load()) })
+	reg.GaugeFunc("runtime.sched_latency_p99_ns", func() float64 { return float64(v.schedLatP99.Load()) })
+	reg.CounterFunc("health.vitals_samples", v.sampleCount.Load)
+}

@@ -1,0 +1,228 @@
+package health
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+)
+
+// DefaultWatchdogInterval is how often the watchdog sweeps its
+// heartbeats when started with a non-positive interval.
+const DefaultWatchdogInterval = 100 * time.Millisecond
+
+// Heartbeat is one component's check-in point. Components hold only the
+// Beat method (usually as a plain func() via Func), so they never
+// import this package. Beat is an atomic store plus a clock read —
+// cheap enough for per-wakeup use on data-plane runners.
+type Heartbeat struct {
+	name       string
+	stallAfter time.Duration
+	lastBeat   atomic.Int64 // Unix nanoseconds
+	stalled    atomic.Bool
+	stalls     atomic.Uint64
+}
+
+// Beat records that the component made progress now. Safe for
+// concurrent use; a nil receiver is a no-op, so wiring can hand out
+// heartbeats unconditionally.
+func (hb *Heartbeat) Beat() {
+	if hb == nil {
+		return
+	}
+	hb.lastBeat.Store(time.Now().UnixNano())
+}
+
+// Func returns Beat as a plain callback — the form component setters
+// (bus.SetBeat, DetectorConfig.Beat, …) accept. A nil receiver returns
+// a no-op function.
+func (hb *Heartbeat) Func() func() {
+	if hb == nil {
+		return func() {}
+	}
+	return hb.Beat
+}
+
+// Stalled reports whether the watchdog currently considers the
+// component stalled.
+func (hb *Heartbeat) Stalled() bool { return hb != nil && hb.stalled.Load() }
+
+// ComponentHealth is one heartbeat's state in a Status report.
+type ComponentHealth struct {
+	// Name identifies the component ("bus", "runner.A", "slo", …).
+	Name string `json:"name"`
+	// Stalled is true while the component has been silent past its
+	// stall threshold.
+	Stalled bool `json:"stalled"`
+	// SilentForMs is how long ago the last beat was, in milliseconds.
+	SilentForMs float64 `json:"silent_for_ms"`
+	// StallAfterMs is the component's stall threshold in milliseconds.
+	StallAfterMs float64 `json:"stall_after_ms"`
+	// Stalls counts how many times the component has entered the
+	// stalled state since registration.
+	Stalls uint64 `json:"stalls"`
+}
+
+// WatchdogConfig configures a Watchdog; the zero value works.
+type WatchdogConfig struct {
+	// Interval is the sweep period (non-positive takes
+	// DefaultWatchdogInterval).
+	Interval time.Duration
+	// Recorder, when set, receives a standalone obs event on every
+	// stall and recovery.
+	Recorder *obs.Recorder
+	// OnStall, when set, is called (outside the watchdog's lock) each
+	// time a component transitions into the stalled state — the hook
+	// the flight recorder triggers from.
+	OnStall func(component string, silentFor time.Duration)
+}
+
+// Watchdog sweeps registered heartbeats on an interval: a component
+// silent past its threshold transitions to stalled — emitting an obs
+// event, bumping health.stalls, and firing OnStall — and transitions
+// back when it beats again. Detection latency is the sweep interval,
+// so thresholds below the interval are effectively rounded up to it.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu    sync.Mutex
+	beats []*Heartbeat
+
+	stallsTotal atomic.Uint64
+	stalledNow  atomic.Int64
+
+	stopMu sync.Mutex
+	stop   chan struct{}
+}
+
+// NewWatchdog returns a watchdog with no registered components.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultWatchdogInterval
+	}
+	return &Watchdog{cfg: cfg}
+}
+
+// Register adds a component under name with the given stall threshold
+// (non-positive defaults to one second) and returns its heartbeat,
+// primed as of now so a component that is slow to start isn't declared
+// stalled before its first real beat.
+func (w *Watchdog) Register(name string, stallAfter time.Duration) *Heartbeat {
+	if stallAfter <= 0 {
+		stallAfter = time.Second
+	}
+	hb := &Heartbeat{name: name, stallAfter: stallAfter}
+	hb.Beat()
+	w.mu.Lock()
+	w.beats = append(w.beats, hb)
+	w.mu.Unlock()
+	return hb
+}
+
+// Check sweeps every heartbeat against now, firing stall/recovery
+// transitions. Exposed so tests can drive the watchdog without the
+// ticker.
+func (w *Watchdog) Check(now time.Time) {
+	w.mu.Lock()
+	beats := append([]*Heartbeat(nil), w.beats...)
+	w.mu.Unlock()
+
+	type stall struct {
+		name   string
+		silent time.Duration
+	}
+	var fired []stall
+	for _, hb := range beats {
+		silent := now.Sub(time.Unix(0, hb.lastBeat.Load()))
+		if silent > hb.stallAfter {
+			if hb.stalled.CompareAndSwap(false, true) {
+				hb.stalls.Add(1)
+				w.stallsTotal.Add(1)
+				w.stalledNow.Add(1)
+				// Log before OnStall so a flight dump triggered by the
+				// stall contains its own trigger event.
+				w.cfg.Recorder.Log(fmt.Sprintf("watchdog: %s stalled (silent %v)", hb.name, silent.Round(time.Millisecond)))
+				fired = append(fired, stall{hb.name, silent})
+			}
+		} else if hb.stalled.CompareAndSwap(true, false) {
+			w.stalledNow.Add(-1)
+			w.cfg.Recorder.Log(fmt.Sprintf("watchdog: %s recovered", hb.name))
+		}
+	}
+	if w.cfg.OnStall != nil {
+		for _, s := range fired {
+			w.cfg.OnStall(s.name, s.silent)
+		}
+	}
+}
+
+// Start launches the sweep loop and returns a stop function (safe to
+// call more than once).
+func (w *Watchdog) Start() (stop func()) {
+	w.stopMu.Lock()
+	if w.stop == nil {
+		ch := make(chan struct{})
+		w.stop = ch
+		go w.run(ch)
+	}
+	ch := w.stop
+	w.stopMu.Unlock()
+	return func() {
+		w.stopMu.Lock()
+		if w.stop == ch {
+			w.stop = nil
+			close(ch)
+		}
+		w.stopMu.Unlock()
+	}
+}
+
+func (w *Watchdog) run(ch chan struct{}) {
+	t := time.NewTicker(w.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ch:
+			return
+		case now := <-t.C:
+			w.Check(now)
+		}
+	}
+}
+
+// Stalls returns the cumulative count of stall transitions.
+func (w *Watchdog) Stalls() uint64 { return w.stallsTotal.Load() }
+
+// StalledNow returns how many components are currently stalled.
+func (w *Watchdog) StalledNow() int { return int(w.stalledNow.Load()) }
+
+// Status reports every registered component's state as of now, sorted
+// by name.
+func (w *Watchdog) Status(now time.Time) []ComponentHealth {
+	w.mu.Lock()
+	beats := append([]*Heartbeat(nil), w.beats...)
+	w.mu.Unlock()
+	out := make([]ComponentHealth, 0, len(beats))
+	for _, hb := range beats {
+		out = append(out, ComponentHealth{
+			Name:         hb.name,
+			Stalled:      hb.stalled.Load(),
+			SilentForMs:  float64(now.Sub(time.Unix(0, hb.lastBeat.Load()))) / float64(time.Millisecond),
+			StallAfterMs: float64(hb.stallAfter) / float64(time.Millisecond),
+			Stalls:       hb.stalls.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RegisterMetrics publishes health.stalls (cumulative stall
+// transitions) and health.stalled (components stalled right now).
+func (w *Watchdog) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("health.stalls", w.stallsTotal.Load)
+	reg.GaugeFunc("health.stalled", func() float64 { return float64(w.stalledNow.Load()) })
+}

@@ -1,0 +1,233 @@
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"switchboard/internal/health"
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+)
+
+func TestHealthzAggregated(t *testing.T) {
+	reg := metrics.NewRegistry()
+	wd := health.NewWatchdog(health.WatchdogConfig{})
+	h := &health.Health{
+		Vitals:   health.NewVitals(time.Hour),
+		Watchdog: wd,
+	}
+	srv := httptest.NewServer(HandlerOpts(Options{Registry: reg, Health: h}))
+	defer srv.Close()
+
+	getStatus := func() (int, health.Status) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st health.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, st
+	}
+
+	code, st := getStatus()
+	if code != http.StatusOK || !st.Healthy {
+		t.Fatalf("healthy system: code=%d healthy=%v", code, st.Healthy)
+	}
+	if st.Goroutines < 1 {
+		t.Fatal("vitals missing from /healthz")
+	}
+
+	// Stall a component: /healthz must flip to 503 with the component
+	// visible.
+	hb := wd.Register("bus", 10*time.Millisecond)
+	wd.Check(time.Now().Add(time.Second))
+	code, st = getStatus()
+	if code != http.StatusServiceUnavailable || st.Healthy {
+		t.Fatalf("stalled system: code=%d healthy=%v", code, st.Healthy)
+	}
+	if len(st.Components) != 1 || st.Components[0].Name != "bus" || !st.Components[0].Stalled {
+		t.Fatalf("components = %+v", st.Components)
+	}
+
+	// Recovery flips it back.
+	hb.Beat()
+	wd.Check(time.Now())
+	code, st = getStatus()
+	if code != http.StatusOK || !st.Healthy {
+		t.Fatalf("recovered system: code=%d healthy=%v", code, st.Healthy)
+	}
+}
+
+// TestFlightBundleFromInjectedStall pins the acceptance path: an
+// injected watchdog stall triggers a flight dump, and the bundle is
+// retrievable over /debug/flight with the triggering stall event
+// inside the dumped window.
+func TestFlightBundleFromInjectedStall(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec := obs.NewRecorder(256, 256, reg)
+	hist := metrics.NewHistory(reg, time.Second, time.Minute)
+
+	flight := health.NewFlightRecorder(health.FlightConfig{
+		Window:   30 * time.Second,
+		Registry: reg,
+		History:  hist,
+		Recorder: rec,
+	})
+	wd := health.NewWatchdog(health.WatchdogConfig{
+		Recorder: rec,
+		OnStall: func(component string, silentFor time.Duration) {
+			flight.Trigger("watchdog-stall", fmt.Sprintf("%s silent %v", component, silentFor))
+		},
+	})
+	h := &health.Health{Watchdog: wd, Flight: flight}
+	srv := httptest.NewServer(HandlerOpts(Options{Registry: reg, Health: h, Flight: flight}))
+	defer srv.Close()
+
+	// Some activity for the bundle to capture.
+	reg.Counter("test.hits").Add(7)
+	hist.Sample()
+	sp := rec.Start("test.op", "", 0)
+	sp.End()
+
+	// Inject the stall: a registered component goes silent past its
+	// threshold.
+	wd.Register("detector", 10*time.Millisecond)
+	wd.Check(time.Now().Add(time.Second))
+
+	// The bundle list must show the dump…
+	resp, err := http.Get(srv.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Dumps []health.DumpInfo `json:"dumps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Dumps) != 1 || list.Dumps[0].Reason != "watchdog-stall" {
+		t.Fatalf("dump list = %+v, want one watchdog-stall dump", list.Dumps)
+	}
+
+	// …and the full bundle must contain the triggering stall event.
+	resp, err = http.Get(fmt.Sprintf("%s/debug/flight?id=%d", srv.URL, list.Dumps[0].ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump health.Dump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var sawTrigger bool
+	for _, e := range dump.Events {
+		if strings.Contains(e.Name, "detector stalled") {
+			sawTrigger = true
+		}
+	}
+	if !sawTrigger {
+		t.Fatalf("bundle missing the triggering stall event; events: %+v", dump.Events)
+	}
+	if len(dump.Spans) == 0 || dump.Metrics == nil || dump.Metrics.Counters["test.hits"] != 7 {
+		t.Fatalf("bundle not self-contained: spans=%d metrics=%v", len(dump.Spans), dump.Metrics)
+	}
+	if len(dump.HeapProfile) == 0 || dump.GoroutineStacks == "" {
+		t.Fatal("bundle missing pprof profiles")
+	}
+
+	// Unknown and malformed ids.
+	if resp, _ := http.Get(srv.URL + "/debug/flight?id=999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: %s", resp.Status)
+	}
+	if resp, _ := http.Get(srv.URL + "/debug/flight?id=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed id: %s", resp.Status)
+	}
+}
+
+func TestFlightTriggerPoke(t *testing.T) {
+	flight := health.NewFlightRecorder(health.FlightConfig{
+		MinInterval:     time.Minute,
+		DisableProfiles: true,
+	})
+	srv := httptest.NewServer(HandlerOpts(Options{Registry: metrics.NewRegistry(), Flight: flight}))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/debug/flight/trigger", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out["id"] != 1 {
+		t.Fatalf("poke: code=%d out=%v", resp.StatusCode, out)
+	}
+
+	// A second poke inside the debounce window is refused.
+	resp, err = http.Post(srv.URL+"/debug/flight/trigger", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("debounced poke: %s", resp.Status)
+	}
+}
+
+func TestHandlerHistorySince(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var v float64
+	reg.GaugeFunc("g", func() float64 { return v })
+	hist := metrics.NewHistory(reg, time.Second, time.Minute)
+	v = 1
+	hist.Sample()
+	time.Sleep(2 * time.Millisecond)
+	cut := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	v = 2
+	hist.Sample()
+
+	srv := httptest.NewServer(HandlerOpts(Options{Registry: reg, History: hist}))
+	defer srv.Close()
+
+	fetch := func(query string) (int, int) {
+		resp, err := http.Get(srv.URL + "/metrics/history" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, 0
+		}
+		var dump metrics.HistoryDump
+		if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, len(dump.Points)
+	}
+
+	if _, n := fetch(""); n != 2 {
+		t.Fatalf("unfiltered points = %d, want 2", n)
+	}
+	// RFC 3339 and Unix-milliseconds forms of the same cut.
+	if _, n := fetch("?since=" + cut.UTC().Format(time.RFC3339Nano)); n != 1 {
+		t.Fatalf("since RFC3339 points = %d, want 1", n)
+	}
+	if _, n := fetch(fmt.Sprintf("?since=%d", cut.UnixMilli())); n != 1 {
+		t.Fatalf("since unix-ms points = %d, want 1", n)
+	}
+	if code, _ := fetch("?since=yesterday"); code != http.StatusBadRequest {
+		t.Fatalf("malformed since: code=%d, want 400", code)
+	}
+}

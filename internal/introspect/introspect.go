@@ -12,7 +12,9 @@
 //	                  (flat and keyed series alike)
 //	/metrics/history  JSON time-series ring of periodic snapshots
 //	                  (only when a History is wired in via Options);
-//	                  ?prefix= filters every point like /metrics
+//	                  ?prefix= filters every point like /metrics, and
+//	                  ?since= (RFC 3339 or Unix seconds/milliseconds)
+//	                  keeps only points captured at or after the instant
 //	/debug/events     JSON control-plane span/event log
 //	                  (only when a Recorder is wired in via Options);
 //	                  ?limit=N keeps the newest N spans and events,
@@ -24,7 +26,15 @@
 //	/autoscaler       JSON autoscaler view: per-policy instance counts,
 //	                  streaks, and the scale-decision log
 //	                  (only when an Autoscaler is wired in via Options)
-//	/healthz          liveness probe ("ok")
+//	/healthz          aggregated process health when a health.Health is
+//	                  wired in via Options: JSON watchdog/leak/vitals
+//	                  status, 200 while healthy and 503 while any
+//	                  component is stalled or a leak verdict is active;
+//	                  plain "ok" otherwise (the legacy liveness probe)
+//	/debug/flight     flight-recorder bundles (only when a FlightRecorder
+//	                  is wired in via Options): the bundle list, ?id=N
+//	                  for one full dump, and POST /debug/flight/trigger
+//	                  to poke a dump by hand
 //	/debug/pprof/     net/http/pprof profiles (CPU, heap, goroutines, ...)
 package introspect
 
@@ -34,8 +44,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"switchboard/internal/autoscale"
+	"switchboard/internal/health"
 	"switchboard/internal/metrics"
 	"switchboard/internal/obs"
 	"switchboard/internal/slo"
@@ -57,6 +69,13 @@ type Options struct {
 	// Autoscaler backs /autoscaler: the reconciler's policies and its
 	// decision log.
 	Autoscaler *autoscale.Autoscaler
+	// Health upgrades /healthz from the static liveness probe to the
+	// aggregated watchdog + leak-detector + vitals view with 200/503
+	// semantics.
+	Health *health.Health
+	// Flight backs /debug/flight: the black-box flight recorder's
+	// bundle list, per-bundle retrieval, and the manual trigger.
+	Flight *health.FlightRecorder
 }
 
 // Handler returns an http.Handler serving the registry. Safe for
@@ -108,7 +127,15 @@ func HandlerOpts(opts Options) http.Handler {
 	})
 	if opts.History != nil {
 		mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, r *http.Request) {
-			data, err := opts.History.JSONFiltered(r.URL.Query().Get("prefix"))
+			var since time.Time
+			if q := r.URL.Query().Get("since"); q != "" {
+				var ok bool
+				if since, ok = parseSince(q); !ok {
+					http.Error(w, "bad since: want RFC 3339 or Unix seconds/milliseconds", http.StatusBadRequest)
+					return
+				}
+			}
+			data, err := opts.History.JSONFilteredSince(r.URL.Query().Get("prefix"), since)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
@@ -176,9 +203,70 @@ func HandlerOpts(opts Options) http.Handler {
 		})
 	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ok\n"))
+		if opts.Health == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte("ok\n"))
+			return
+		}
+		st := opts.Health.Status(time.Now())
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !st.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_, _ = w.Write(data)
+		_, _ = w.Write([]byte("\n"))
 	})
+	if opts.Flight != nil {
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+			if q := r.URL.Query().Get("id"); q != "" {
+				id, err := strconv.Atoi(q)
+				if err != nil {
+					http.Error(w, "bad id", http.StatusBadRequest)
+					return
+				}
+				d, ok := opts.Flight.Dump(id)
+				if !ok {
+					http.Error(w, "no such dump", http.StatusNotFound)
+					return
+				}
+				data, err := json.MarshalIndent(d, "", "  ")
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				writeJSON(w, data)
+				return
+			}
+			doc := flightList{Dumps: opts.Flight.Dumps()}
+			if doc.Dumps == nil {
+				doc.Dumps = []health.DumpInfo{}
+			}
+			data, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, data)
+		})
+		mux.HandleFunc("/debug/flight/trigger", func(w http.ResponseWriter, r *http.Request) {
+			d, ok := opts.Flight.Trigger("http-poke", r.RemoteAddr)
+			if !ok {
+				http.Error(w, "debounced: a dump was just taken", http.StatusTooManyRequests)
+				return
+			}
+			data, err := json.MarshalIndent(map[string]int{"id": d.ID}, "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, data)
+		})
+	}
 	// pprof registers on http.DefaultServeMux via its init; rebind the
 	// handlers explicitly so this mux works standalone.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -187,6 +275,28 @@ func HandlerOpts(opts Options) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// flightList is the JSON document served at /debug/flight.
+type flightList struct {
+	// Dumps summarises the retained bundles, oldest first; fetch one in
+	// full with ?id=.
+	Dumps []health.DumpInfo `json:"dumps"`
+}
+
+// parseSince accepts the ?since= forms: RFC 3339 timestamps, Unix
+// seconds, or Unix milliseconds (values past 1e12 are read as ms).
+func parseSince(q string) (time.Time, bool) {
+	if t, err := time.Parse(time.RFC3339, q); err == nil {
+		return t, true
+	}
+	if n, err := strconv.ParseInt(q, 10, 64); err == nil {
+		if n > 1e12 {
+			return time.UnixMilli(n), true
+		}
+		return time.Unix(n, 0), true
+	}
+	return time.Time{}, false
 }
 
 func writeJSON(w http.ResponseWriter, data []byte) {

@@ -174,6 +174,24 @@ func (h *History) Points() []*Snapshot {
 	return out
 }
 
+// PointsSince returns the retained snapshots captured at or after
+// since, oldest first. A zero since is equivalent to Points. Safe for
+// concurrent use; nil receivers return nil.
+func (h *History) PointsSince(since time.Time) []*Snapshot {
+	pts := h.Points()
+	if since.IsZero() {
+		return pts
+	}
+	// The ring is time-ordered, so find the first in-window point and
+	// slice from there.
+	for i, p := range pts {
+		if !p.TakenAt.Before(since) {
+			return pts[i:]
+		}
+	}
+	return nil
+}
+
 // HistoryDump is the JSON document served at /metrics/history.
 type HistoryDump struct {
 	// IntervalMs is the sampling period in milliseconds.
@@ -193,7 +211,15 @@ func (h *History) JSON() ([]byte, error) {
 // ?prefix= form of /metrics/history. Safe for concurrent use; nil
 // receivers render an empty series.
 func (h *History) JSONFiltered(prefix string) ([]byte, error) {
-	d := &HistoryDump{Points: h.Points()}
+	return h.JSONFilteredSince(prefix, time.Time{})
+}
+
+// JSONFilteredSince is JSONFiltered restricted to points captured at or
+// after since (zero since keeps the whole window) — the ?since= form of
+// /metrics/history. Safe for concurrent use; nil receivers render an
+// empty series.
+func (h *History) JSONFilteredSince(prefix string, since time.Time) ([]byte, error) {
+	d := &HistoryDump{Points: h.PointsSince(since)}
 	if h != nil {
 		d.IntervalMs = h.interval.Milliseconds()
 	}

@@ -1,0 +1,110 @@
+package metrics
+
+import "time"
+
+// TrendPoint is one (time, value) sample of a named metric, extracted
+// from a History ring by Series.
+type TrendPoint struct {
+	// At is the snapshot's capture time.
+	At time.Time
+	// V is the metric's value at that instant (counters as float64).
+	V float64
+}
+
+// Series extracts the named counter or gauge as a time series from the
+// retained snapshots, oldest first, keeping only points captured at or
+// after since (zero since keeps everything). Points where the name is
+// absent (registered mid-run) are skipped.
+//
+// Counter values are reset-corrected: a decrease between consecutive
+// snapshots means the underlying counter restarted (a component was
+// rebuilt and re-registered), so later readings are rebased by the
+// pre-reset total and the returned series stays monotone. Gauges are
+// returned as read. Safe for concurrent use; nil receivers return nil.
+func (h *History) Series(name string, since time.Time) []TrendPoint {
+	if h == nil {
+		return nil
+	}
+	var (
+		out      []TrendPoint
+		base     float64 // accumulated pre-reset counter total
+		prevRaw  float64
+		havePrev bool
+	)
+	for _, s := range h.Points() {
+		v, counter, ok := lookupValue(s, name)
+		if !ok {
+			continue
+		}
+		if counter {
+			if havePrev && v < prevRaw {
+				base += prevRaw
+			}
+			prevRaw, havePrev = v, true
+			v += base
+		}
+		if !since.IsZero() && s.TakenAt.Before(since) {
+			// Still consume the value above so reset correction sees
+			// every reading, but don't emit points before the window.
+			continue
+		}
+		out = append(out, TrendPoint{At: s.TakenAt, V: v})
+	}
+	return out
+}
+
+// lookupValue finds name in one snapshot, reporting whether it is a
+// counter (reset-correctable) and whether it was present at all.
+// Histograms contribute their cumulative observation count — for trend
+// purposes a histogram is a counter of observations.
+func lookupValue(s *Snapshot, name string) (v float64, counter, ok bool) {
+	if c, found := s.Counters[name]; found {
+		return float64(c), true, true
+	}
+	if g, found := s.Gauges[name]; found {
+		return g, false, true
+	}
+	if hs, found := s.Histograms[name]; found {
+		return float64(hs.Count), true, true
+	}
+	return 0, false, false
+}
+
+// Slope fits an ordinary least-squares line over the points and returns
+// its slope in value units per second. It needs at least two points
+// with distinct timestamps; ok reports whether a slope was fit. The
+// regression uses each point's actual capture time, so series with
+// irregular spacing — History's idle dedup holds a flat window open as
+// one point — are weighted correctly.
+func Slope(pts []TrendPoint) (perSec float64, ok bool) {
+	if len(pts) < 2 {
+		return 0, false
+	}
+	t0 := pts[0].At
+	var sumX, sumY, sumXX, sumXY float64
+	for _, p := range pts {
+		x := p.At.Sub(t0).Seconds()
+		sumX += x
+		sumY += p.V
+		sumXX += x * x
+		sumXY += x * p.V
+	}
+	n := float64(len(pts))
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0, false // all timestamps identical
+	}
+	return (n*sumXY - sumX*sumY) / den, true
+}
+
+// Trend is Series followed by Slope: the named metric's fitted growth
+// rate (units/second) over the retained points captured since the given
+// time. n is the number of points the fit used; ok is false when fewer
+// than two distinct-timestamp points were available. This is the query
+// the leak detector runs over the heap-in-use gauge. Safe for
+// concurrent use; nil receivers report not-ok.
+func (h *History) Trend(name string, since time.Time) (perSec float64, n int, ok bool) {
+	pts := h.Series(name, since)
+	perSec, ok = Slope(pts)
+	return perSec, len(pts), ok
+}

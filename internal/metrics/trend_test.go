@@ -1,0 +1,250 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// pt builds a synthetic TrendPoint at t0+offset.
+func pt(t0 time.Time, offset time.Duration, v float64) TrendPoint {
+	return TrendPoint{At: t0.Add(offset), V: v}
+}
+
+func TestSlopeExactFit(t *testing.T) {
+	t0 := time.Now()
+	pts := []TrendPoint{
+		pt(t0, 0, 100),
+		pt(t0, time.Second, 110),
+		pt(t0, 2*time.Second, 120),
+		pt(t0, 3*time.Second, 130),
+	}
+	s, ok := Slope(pts)
+	if !ok {
+		t.Fatal("Slope reported not-ok for a 4-point line")
+	}
+	if math.Abs(s-10) > 1e-9 {
+		t.Fatalf("slope = %v, want 10/s", s)
+	}
+}
+
+func TestSlopeIrregularSpacing(t *testing.T) {
+	// A perfect line sampled at irregular instants (the shape idle
+	// dedup produces) must still fit exactly.
+	t0 := time.Now()
+	pts := []TrendPoint{
+		pt(t0, 0, 0),
+		pt(t0, 100*time.Millisecond, -5),
+		pt(t0, 7*time.Second, -350),
+		pt(t0, 7100*time.Millisecond, -355),
+	}
+	s, ok := Slope(pts)
+	if !ok {
+		t.Fatal("Slope reported not-ok")
+	}
+	if math.Abs(s-(-50)) > 1e-6 {
+		t.Fatalf("slope = %v, want -50/s", s)
+	}
+}
+
+func TestSlopeDegenerate(t *testing.T) {
+	t0 := time.Now()
+	if _, ok := Slope(nil); ok {
+		t.Fatal("Slope ok on empty input")
+	}
+	if _, ok := Slope([]TrendPoint{pt(t0, 0, 1)}); ok {
+		t.Fatal("Slope ok on a single point")
+	}
+	same := []TrendPoint{pt(t0, 0, 1), pt(t0, 0, 2)}
+	if _, ok := Slope(same); ok {
+		t.Fatal("Slope ok with zero time spread")
+	}
+}
+
+func TestSeriesRingWraparound(t *testing.T) {
+	reg := NewRegistry()
+	var v float64
+	reg.GaugeFunc("g", func() float64 { return v })
+	// Capacity 4: window/interval = 4.
+	h := NewHistory(reg, time.Second, 4*time.Second)
+	for i := 1; i <= 6; i++ {
+		v = float64(i * 10)
+		h.Sample()
+	}
+	pts := h.Series("g", time.Time{})
+	if len(pts) != 4 {
+		t.Fatalf("series length = %d, want 4 (ring capacity)", len(pts))
+	}
+	for i, want := range []float64{30, 40, 50, 60} {
+		if pts[i].V != want {
+			t.Fatalf("pts[%d].V = %v, want %v (oldest-first after wraparound)", i, pts[i].V, want)
+		}
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].At.Before(pts[i-1].At) {
+			t.Fatalf("timestamps not monotone at %d", i)
+		}
+	}
+}
+
+func TestSeriesIdleDedupGap(t *testing.T) {
+	reg := NewRegistry()
+	var v float64
+	reg.GaugeFunc("g", func() float64 { return v })
+	h := NewHistory(reg, time.Second, 16*time.Second)
+
+	v = 5
+	h.Sample()
+	// Idle stretch: identical values are not retained, leaving a time
+	// gap in the series rather than a run of duplicates.
+	h.Sample()
+	h.Sample()
+	time.Sleep(2 * time.Millisecond)
+	v = 8
+	h.Sample()
+
+	pts := h.Series("g", time.Time{})
+	if len(pts) != 2 {
+		t.Fatalf("series length = %d, want 2 (idle samples deduped)", len(pts))
+	}
+	if pts[0].V != 5 || pts[1].V != 8 {
+		t.Fatalf("series values = %v,%v, want 5,8", pts[0].V, pts[1].V)
+	}
+	if !pts[1].At.After(pts[0].At) {
+		t.Fatal("dedup gap lost timestamp ordering")
+	}
+	if s, ok := Slope(pts); !ok || s <= 0 {
+		t.Fatalf("slope across the gap = %v (ok=%v), want positive", s, ok)
+	}
+}
+
+func TestSeriesCounterReset(t *testing.T) {
+	reg := NewRegistry()
+	var c uint64
+	reg.CounterFunc("c", func() uint64 { return c })
+	h := NewHistory(reg, time.Second, 16*time.Second)
+
+	for _, raw := range []uint64{10, 20, 5, 15} { // 5 < 20: component restarted
+		c = raw
+		h.Sample()
+	}
+	pts := h.Series("c", time.Time{})
+	if len(pts) != 4 {
+		t.Fatalf("series length = %d, want 4", len(pts))
+	}
+	for i, want := range []float64{10, 20, 25, 35} {
+		if pts[i].V != want {
+			t.Fatalf("pts[%d].V = %v, want %v (reset-corrected)", i, pts[i].V, want)
+		}
+	}
+}
+
+func TestSeriesSinceKeepsResetCorrection(t *testing.T) {
+	reg := NewRegistry()
+	var c uint64
+	reg.CounterFunc("c", func() uint64 { return c })
+	h := NewHistory(reg, time.Second, 16*time.Second)
+
+	c = 10
+	h.Sample()
+	c = 20
+	h.Sample()
+	time.Sleep(2 * time.Millisecond)
+	since := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	c = 5 // reset happened before the window starts being emitted
+	h.Sample()
+	c = 15
+	h.Sample()
+
+	pts := h.Series("c", since)
+	if len(pts) != 2 {
+		t.Fatalf("series length = %d, want 2 (pre-since points dropped)", len(pts))
+	}
+	// Rebasing must have consumed the out-of-window prefix: 5 and 15
+	// rebase onto the pre-reset total of 20.
+	if pts[0].V != 25 || pts[1].V != 35 {
+		t.Fatalf("series values = %v,%v, want 25,35", pts[0].V, pts[1].V)
+	}
+}
+
+func TestSeriesHistogramCount(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.Histogram("h")
+	h := NewHistory(reg, time.Second, 16*time.Second)
+	hist.Observe(1)
+	h.Sample()
+	hist.Observe(2)
+	hist.Observe(3)
+	h.Sample()
+	pts := h.Series("h", time.Time{})
+	if len(pts) != 2 || pts[0].V != 1 || pts[1].V != 3 {
+		t.Fatalf("histogram count series = %+v, want counts 1,3", pts)
+	}
+}
+
+func TestSeriesMissingAndNil(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistory(reg, time.Second, 4*time.Second)
+	h.Sample()
+	if pts := h.Series("absent", time.Time{}); pts != nil {
+		t.Fatalf("series for unknown metric = %v, want nil", pts)
+	}
+	var nilH *History
+	if pts := nilH.Series("x", time.Time{}); pts != nil {
+		t.Fatal("nil history returned points")
+	}
+	if _, _, ok := nilH.Trend("x", time.Time{}); ok {
+		t.Fatal("nil history reported ok trend")
+	}
+}
+
+func TestTrendOverHistory(t *testing.T) {
+	reg := NewRegistry()
+	var v float64
+	reg.GaugeFunc("g", func() float64 { return v })
+	h := NewHistory(reg, time.Second, 16*time.Second)
+	for i := 0; i < 5; i++ {
+		v = float64(100 + i)
+		h.Sample()
+		time.Sleep(time.Millisecond)
+	}
+	slope, n, ok := h.Trend("g", time.Time{})
+	if !ok || n != 5 {
+		t.Fatalf("Trend ok=%v n=%d, want ok with 5 points", ok, n)
+	}
+	if slope <= 0 {
+		t.Fatalf("slope = %v, want positive for a growing gauge", slope)
+	}
+}
+
+func TestPointsSince(t *testing.T) {
+	reg := NewRegistry()
+	var v float64
+	reg.GaugeFunc("g", func() float64 { return v })
+	h := NewHistory(reg, time.Second, 16*time.Second)
+	v = 1
+	h.Sample()
+	time.Sleep(2 * time.Millisecond)
+	cut := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	v = 2
+	h.Sample()
+	v = 3
+	h.Sample()
+
+	if got := len(h.PointsSince(time.Time{})); got != 3 {
+		t.Fatalf("PointsSince(zero) = %d points, want 3", got)
+	}
+	pts := h.PointsSince(cut)
+	if len(pts) != 2 {
+		t.Fatalf("PointsSince(cut) = %d points, want 2", len(pts))
+	}
+	if pts[0].Gauges["g"] != 2 {
+		t.Fatalf("first in-window point g=%v, want 2", pts[0].Gauges["g"])
+	}
+	var nilH *History
+	if nilH.PointsSince(cut) != nil {
+		t.Fatal("nil history returned points")
+	}
+}

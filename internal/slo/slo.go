@@ -177,6 +177,12 @@ type Evaluator struct {
 	evals    *metrics.Counter
 	breachMs *metrics.Histogram
 
+	// beat (SetBeat) is called once per Evaluate pass — the evaluator's
+	// health-watchdog heartbeat. onFire (SetOnFire) is called for each
+	// alert that transitions into firing. Both run outside e.mu.
+	beat   func()
+	onFire func(Alert)
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -283,17 +289,51 @@ func (e *Evaluator) Forget(chain string, now time.Time) bool {
 // deterministically; Start calls it on a ticker.
 func (e *Evaluator) Evaluate(now time.Time) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.evals.Inc()
+	var fired []Alert
 	for _, name := range e.order {
 		t := e.chains[name]
 		breached, reason, meanMs := e.intervalVerdict(t)
 		if breached {
-			e.breachObserved(t, now, reason, meanMs)
+			if a, ok := e.breachObserved(t, now, reason, meanMs); ok {
+				fired = append(fired, a)
+			}
 		} else {
 			e.clearObserved(t, now)
 		}
 	}
+	beat, onFire := e.beat, e.onFire
+	e.mu.Unlock()
+
+	// Hooks run outside the lock: a handler is free to call back into
+	// the evaluator (Alerts, Status, …) without deadlocking.
+	if beat != nil {
+		beat()
+	}
+	if onFire != nil {
+		for _, a := range fired {
+			onFire(a)
+		}
+	}
+}
+
+// SetBeat installs a health-watchdog heartbeat called once per Evaluate
+// pass, whether driven by Start's ticker or directly. A nil beat
+// disables it.
+func (e *Evaluator) SetBeat(beat func()) {
+	e.mu.Lock()
+	e.beat = beat
+	e.mu.Unlock()
+}
+
+// SetOnFire installs a hook called (outside the evaluator's lock) with
+// each alert at the moment it transitions into the firing state — how
+// the flight recorder snapshots the window around a breach the instant
+// it is declared, not when a poller next looks. A nil hook disables it.
+func (e *Evaluator) SetOnFire(fn func(Alert)) {
+	e.mu.Lock()
+	e.onFire = fn
+	e.mu.Unlock()
 }
 
 // intervalVerdict diffs one chain's telemetry against the previous pass
@@ -348,29 +388,32 @@ func (e *Evaluator) intervalVerdict(t *tracked) (breached bool, reason string, m
 }
 
 // breachObserved advances a chain's state machine after a breached
-// interval. Caller holds e.mu.
-func (e *Evaluator) breachObserved(t *tracked, now time.Time, reason string, meanMs float64) {
+// interval, returning the alert (and true) when this interval fired
+// one. Caller holds e.mu.
+func (e *Evaluator) breachObserved(t *tracked, now time.Time, reason string, meanMs float64) (Alert, bool) {
 	t.clearStreak = 0
 	t.breachStreak++
 	if meanMs > 0 {
 		e.breachMs.Observe(time.Duration(meanMs * float64(time.Millisecond)))
 	}
 	if t.state == StateFiring {
-		return // already firing; nothing to escalate
+		return Alert{}, false // already firing; nothing to escalate
 	}
 	if t.breachStreak >= e.cfg.FireAfter {
 		t.state = StateFiring
 		e.firing++
-		t.open = e.appendAlert(Alert{
+		a := Alert{
 			Chain:    t.slo.Chain,
 			Reason:   reason,
 			FiredAt:  now,
 			BreachMs: meanMs,
 			BudgetMs: float64(t.slo.Budget) / float64(time.Millisecond),
-		})
-	} else {
-		t.state = StatePending
+		}
+		t.open = e.appendAlert(a)
+		return a, true
 	}
+	t.state = StatePending
+	return Alert{}, false
 }
 
 // clearObserved advances a chain's state machine after a clear

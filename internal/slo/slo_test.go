@@ -361,3 +361,54 @@ func TestStartStop(t *testing.T) {
 	ev.Stop()
 	ev.Stop() // idempotent
 }
+
+// TestOnFireHook pins the push-notification contract: the hook fires
+// exactly once per OK→firing transition, after the evaluator lock is
+// released (the handler may re-enter Alerts/Status), and SetBeat ticks
+// once per Evaluate pass.
+func TestOnFireHook(t *testing.T) {
+	b := newBed(t, Config{FireAfter: 2, ResolveAfter: 2}, 10*time.Millisecond)
+
+	var beats int
+	b.ev.SetBeat(func() { beats++ })
+
+	var fired []Alert
+	b.ev.SetOnFire(func(a Alert) {
+		// Re-entrancy: the handler must be able to query the evaluator.
+		if b.ev.State(a.Chain) != StateFiring {
+			t.Errorf("OnFire for %s but state = %q", a.Chain, b.ev.State(a.Chain))
+		}
+		if len(b.ev.Alerts()) == 0 {
+			t.Error("OnFire fired before the alert was appended")
+		}
+		fired = append(fired, a)
+	})
+
+	b.blackout()
+	if len(fired) != 0 {
+		t.Fatalf("hook fired before FireAfter reached: %+v", fired)
+	}
+	b.blackout() // second breach → fires
+	if len(fired) != 1 || fired[0].Chain != "c1" || fired[0].Reason != "loss" {
+		t.Fatalf("fired = %+v, want one loss alert for c1", fired)
+	}
+
+	// Staying in firing state does not re-notify.
+	b.blackout()
+	if len(fired) != 1 {
+		t.Fatalf("hook re-fired while already firing: %d calls", len(fired))
+	}
+
+	// Resolve, then breach again: a fresh transition notifies again.
+	b.healthy(10 * time.Millisecond)
+	b.healthy(10 * time.Millisecond)
+	b.blackout()
+	b.blackout()
+	if len(fired) != 2 {
+		t.Fatalf("hook calls = %d, want 2 (one per transition)", len(fired))
+	}
+
+	if beats == 0 {
+		t.Fatal("SetBeat callback never ran")
+	}
+}

@@ -1,0 +1,166 @@
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// DefaultLeakWait is how long a leak check polls for stragglers to exit
+// before declaring them leaked. Teardown paths legitimately take a few
+// scheduler rounds (ticker loops notice closed stop channels, runners
+// drain a last batch), so the check retries instead of failing on the
+// first hot read.
+const DefaultLeakWait = 5 * time.Second
+
+// benignStacks are substrings identifying goroutines that may appear
+// after a snapshot without being leaks: the testing framework's own
+// machinery and runtime-internal helpers that start lazily on first
+// use. A goroutine whose stack contains any of these is ignored.
+var benignStacks = []string{
+	"testing.(*T).Run",
+	"testing.(*M).startAlarm",
+	"testing.runTests",
+	"testing.(*T).Parallel",
+	"runtime/pprof.",
+	"os/signal.",
+	"runtime.ensureSigM",
+}
+
+// LeakCheck diffs live goroutines against a baseline snapshot. Unlike
+// counting runtime.NumGoroutine — where a leak and an unrelated exit
+// cancel out — it tracks goroutine identity, so any goroutine born
+// after the snapshot must either exit or match the benign allowlist.
+type LeakCheck struct {
+	before map[int64]bool
+	allow  []string
+}
+
+// StartLeakCheck snapshots the current goroutine set. Goroutines alive
+// now are grandfathered; Wait later reports only survivors born after
+// this call. Extra allowlist entries are stack substrings to ignore on
+// top of the built-in benign set.
+func StartLeakCheck(allow ...string) *LeakCheck {
+	return &LeakCheck{
+		before: liveGoroutines(),
+		allow:  append(append([]string{}, benignStacks...), allow...),
+	}
+}
+
+// Wait polls until every goroutine created since the snapshot has
+// exited (ignoring benign ones) or timeout elapses (non-positive means
+// DefaultLeakWait). On timeout it returns an error carrying the count
+// and full stacks of the leaked goroutines.
+func (c *LeakCheck) Wait(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultLeakWait
+	}
+	deadline := time.Now().Add(timeout)
+	var leaked []string
+	for {
+		leaked = c.leakedNow()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("%d goroutine(s) leaked:\n\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+}
+
+// Leaked returns the number of currently-live non-benign goroutines
+// born after the snapshot, without waiting.
+func (c *LeakCheck) Leaked() int { return len(c.leakedNow()) }
+
+// leakedNow returns the stacks of live goroutines that are neither in
+// the baseline nor benign.
+func (c *LeakCheck) leakedNow() []string {
+	var leaked []string
+	for id, stack := range goroutineStacks() {
+		if c.before[id] {
+			continue
+		}
+		benign := false
+		for _, a := range c.allow {
+			if strings.Contains(stack, a) {
+				benign = true
+				break
+			}
+		}
+		if !benign {
+			leaked = append(leaked, stack)
+		}
+	}
+	return leaked
+}
+
+// NoLeaks snapshots goroutines now and registers a cleanup that fails
+// the test if any goroutine born during the test is still running when
+// it ends. Call it before constructing the system under test so the
+// cleanup runs after (LIFO) the system's own teardown cleanups.
+func NoLeaks(t testing.TB, allow ...string) {
+	t.Helper()
+	c := StartLeakCheck(allow...)
+	t.Cleanup(func() {
+		if err := c.Wait(DefaultLeakWait); err != nil {
+			t.Errorf("goroutine leak: %v", err)
+		}
+	})
+}
+
+// liveGoroutines returns the set of currently-live goroutine IDs.
+func liveGoroutines() map[int64]bool {
+	stacks := goroutineStacks()
+	ids := make(map[int64]bool, len(stacks))
+	for id := range stacks {
+		ids[id] = true
+	}
+	return ids
+}
+
+// goroutineStacks captures every goroutine's stack, keyed by goroutine
+// ID. It grows the buffer until runtime.Stack reports a complete dump.
+func goroutineStacks() map[int64]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[int64]string)
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		id, ok := goroutineID(block)
+		if !ok {
+			continue
+		}
+		out[id] = block
+	}
+	return out
+}
+
+// goroutineID parses the "goroutine N [state]:" header of one stack
+// block from a runtime.Stack dump.
+func goroutineID(block string) (int64, bool) {
+	const prefix = "goroutine "
+	if !strings.HasPrefix(block, prefix) {
+		return 0, false
+	}
+	rest := block[len(prefix):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return 0, false
+	}
+	id, err := strconv.ParseInt(rest[:sp], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}

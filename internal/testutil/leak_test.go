@@ -1,0 +1,89 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLeakCheckCleanExit(t *testing.T) {
+	c := StartLeakCheck()
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+	}()
+	close(stop)
+	<-done
+	if err := c.Wait(2 * time.Second); err != nil {
+		t.Fatalf("clean exit reported as leak: %v", err)
+	}
+}
+
+func TestLeakCheckCatchesLeak(t *testing.T) {
+	c := StartLeakCheck()
+	stop := make(chan struct{})
+	go func() {
+		<-stop // parked until the test releases it: a leak from Wait's view
+	}()
+	defer close(stop)
+
+	err := c.Wait(300 * time.Millisecond)
+	if err == nil {
+		t.Fatal("parked goroutine not reported as leaked")
+	}
+	if !strings.Contains(err.Error(), "TestLeakCheckCatchesLeak") {
+		t.Fatalf("leak report missing the culprit stack:\n%v", err)
+	}
+	if c.Leaked() != 1 {
+		t.Fatalf("Leaked() = %d, want 1", c.Leaked())
+	}
+}
+
+func TestLeakCheckAllowlist(t *testing.T) {
+	c := StartLeakCheck("testutil.parkedHelper")
+	stop := make(chan struct{})
+	go parkedHelper(stop)
+	defer close(stop)
+
+	if err := c.Wait(300 * time.Millisecond); err != nil {
+		t.Fatalf("allowlisted goroutine reported as leaked: %v", err)
+	}
+}
+
+// parkedHelper blocks until released; its name is what the allowlist
+// test matches against in the stack dump.
+func parkedHelper(stop chan struct{}) { <-stop }
+
+func TestLeakCheckGrandfathersExisting(t *testing.T) {
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	defer close(stop)
+	time.Sleep(10 * time.Millisecond) // let it park
+
+	c := StartLeakCheck() // snapshot taken with the goroutine already live
+	if err := c.Wait(300 * time.Millisecond); err != nil {
+		t.Fatalf("pre-existing goroutine reported as leaked: %v", err)
+	}
+}
+
+func TestLeakCheckRetryWindow(t *testing.T) {
+	c := StartLeakCheck()
+	go time.Sleep(150 * time.Millisecond) // exits on its own, but not instantly
+	if err := c.Wait(2 * time.Second); err != nil {
+		t.Fatalf("slow-exiting goroutine reported as leaked: %v", err)
+	}
+}
+
+func TestNoLeaksHelper(t *testing.T) {
+	// NoLeaks registers a cleanup on t; run it inside a subtest so a
+	// failure would surface there. The goroutine exits before the
+	// subtest ends, so the cleanup must pass.
+	t.Run("inner", func(t *testing.T) {
+		NoLeaks(t)
+		done := make(chan struct{})
+		go close(done)
+		<-done
+	})
+}

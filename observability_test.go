@@ -18,6 +18,7 @@ import (
 	"switchboard/internal/controller"
 	"switchboard/internal/edge"
 	"switchboard/internal/forwarder"
+	"switchboard/internal/health"
 	"switchboard/internal/metrics"
 	"switchboard/internal/obs"
 	"switchboard/internal/simnet"
@@ -93,6 +94,11 @@ func liveRegistry(t *testing.T) *metrics.Registry {
 		t.Fatalf("new autoscaler: %v", err)
 	}
 	as.RegisterMetrics(reg)
+
+	health.NewVitals(0).RegisterMetrics(reg)
+	health.NewWatchdog(health.WatchdogConfig{}).RegisterMetrics(reg)
+	health.NewLeakDetector(health.LeakConfig{}).RegisterMetrics(reg)
+	health.NewFlightRecorder(health.FlightConfig{}).RegisterMetrics(reg)
 
 	// cmd/switchboard registers its request metrics ad hoc in the HTTP
 	// handlers rather than through a RegisterMetrics method; mirror it.
