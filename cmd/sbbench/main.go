@@ -23,6 +23,7 @@ import (
 	"switchboard/internal/metrics"
 	"switchboard/internal/obs"
 	"switchboard/internal/slo"
+	"switchboard/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +45,19 @@ func main() {
 		defer slo.Default().Stop()
 		h, stopHealth := health.Attach(metrics.Default(), hist, obs.Default(), slo.Default())
 		defer stopHealth()
+		// A fleet-of-one telemetry plane over a loopback publisher, so
+		// /fleet is inspectable while experiments run.
+		fleet := telemetry.NewAggregator(telemetry.AggregatorConfig{})
+		fleet.RegisterMetrics(metrics.Default())
+		agent := telemetry.NewAgent(telemetry.AgentConfig{
+			Site:     "bench",
+			Registry: metrics.Default(),
+			Recorder: obs.Default(),
+			SLO:      slo.Default(),
+			Bus:      telemetry.NewLoopback(fleet),
+			Topic:    telemetry.Topic("bench"),
+		})
+		defer agent.Start()()
 		addr, stop, err := introspect.ServeOpts(*listen, introspect.Options{
 			Registry: metrics.Default(),
 			History:  hist,
@@ -51,13 +65,14 @@ func main() {
 			SLO:      slo.Default(),
 			Health:   h,
 			Flight:   h.Flight,
+			Fleet:    fleet,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "listen %s: %v\n", *listen, err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /healthz, /debug/events, /debug/flight, /slo, /debug/alerts)\n", addr)
+		fmt.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /healthz, /debug/events, /debug/flight, /slo, /debug/alerts, /fleet)\n", addr)
 	}
 
 	if *list || *exp == "" {

@@ -41,6 +41,7 @@ import (
 	"switchboard/internal/packet"
 	"switchboard/internal/simnet"
 	"switchboard/internal/slo"
+	"switchboard/internal/telemetry"
 )
 
 // HopJSON is a config entry for one load-balancing target.
@@ -216,6 +217,20 @@ func main() {
 		slo.Default().RegisterMetrics(metrics.Default())
 		slo.Default().Start()
 		h, _ := health.Attach(metrics.Default(), hist, obs.Default(), slo.Default())
+		// A fleet-of-one telemetry plane: this forwarder's agent reports
+		// over a loopback into a local aggregator, so /fleet serves the
+		// same model a multi-site deployment would.
+		fleet := telemetry.NewAggregator(telemetry.AggregatorConfig{})
+		fleet.RegisterMetrics(metrics.Default())
+		agent := telemetry.NewAgent(telemetry.AgentConfig{
+			Site:     simnet.SiteID(cfg.Name),
+			Registry: metrics.Default(),
+			Recorder: obs.Default(),
+			SLO:      slo.Default(),
+			Bus:      telemetry.NewLoopback(fleet),
+			Topic:    telemetry.Topic(simnet.SiteID(cfg.Name)),
+		})
+		agent.Start()
 		addr, _, err := introspect.ServeOpts(*debugAddr, introspect.Options{
 			Registry: metrics.Default(),
 			History:  hist,
@@ -223,11 +238,12 @@ func main() {
 			SLO:      slo.Default(),
 			Health:   h,
 			Flight:   h.Flight,
+			Fleet:    fleet,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /healthz, /debug/events, /debug/flight, /slo, /debug/alerts)", addr)
+		log.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /healthz, /debug/events, /debug/flight, /slo, /debug/alerts, /fleet)", addr)
 	}
 	listen, err := net.ResolveUDPAddr("udp", cfg.Listen)
 	if err != nil {

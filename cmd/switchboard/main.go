@@ -31,6 +31,7 @@ import (
 	"switchboard/internal/obs"
 	"switchboard/internal/slo"
 	"switchboard/internal/te"
+	"switchboard/internal/telemetry"
 )
 
 // VNFSpec is a catalog entry in a request.
@@ -259,6 +260,20 @@ func main() {
 		slo.Default().RegisterMetrics(metrics.Default())
 		slo.Default().Start()
 		h, _ := health.Attach(metrics.Default(), hist, obs.Default(), slo.Default())
+		// A fleet-of-one telemetry plane: the daemon's own agent reports
+		// over a loopback into a local aggregator, so /fleet serves the
+		// same model a multi-site deployment would.
+		fleet := telemetry.NewAggregator(telemetry.AggregatorConfig{})
+		fleet.RegisterMetrics(metrics.Default())
+		agent := telemetry.NewAgent(telemetry.AgentConfig{
+			Site:     "gs",
+			Registry: metrics.Default(),
+			Recorder: obs.Default(),
+			SLO:      slo.Default(),
+			Bus:      telemetry.NewLoopback(fleet),
+			Topic:    telemetry.Topic("gs"),
+		})
+		agent.Start()
 		bound, _, err := introspect.ServeOpts(*debugAddr, introspect.Options{
 			Registry: metrics.Default(),
 			History:  hist,
@@ -266,11 +281,12 @@ func main() {
 			SLO:      slo.Default(),
 			Health:   h,
 			Flight:   h.Flight,
+			Fleet:    fleet,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /healthz, /debug/events, /debug/flight, /slo, /debug/alerts)", bound)
+		log.Printf("introspection on http://%s/metrics (also /metrics/prom, /metrics/history, /healthz, /debug/events, /debug/flight, /slo, /debug/alerts, /fleet)", bound)
 	}
 	log.Printf("global switchboard TE service listening on %s", *addr)
 	srv := &http.Server{Addr: *addr, Handler: newMux(), ReadHeaderTimeout: 5 * time.Second}

@@ -31,6 +31,7 @@ type Subscription struct {
 
 	mu     sync.Mutex
 	closed bool
+	onDrop func()
 }
 
 // Ch returns the delivery channel. It is closed on Cancel.
@@ -39,18 +40,38 @@ func (s *Subscription) Ch() <-chan Publication { return s.ch }
 // Cancel removes the subscription and closes the channel.
 func (s *Subscription) Cancel() { s.once.Do(s.cancel) }
 
+// SetOnDrop installs a hook called once per publication dropped because
+// this subscriber's queue was full. The bus sheds rather than blocks on
+// slow subscribers by design; the hook lets consumers that care — the
+// telemetry plane counts sheds — observe the loss without slowing
+// delivery to other subscribers. fn runs on the delivering goroutine
+// outside the subscription lock and must not block. Safe for concurrent
+// use.
+func (s *Subscription) SetOnDrop(fn func()) {
+	s.mu.Lock()
+	s.onDrop = fn
+	s.mu.Unlock()
+}
+
 // deliver enqueues a publication, dropping it if the subscriber is slow
 // or already cancelled. The mutex serializes against closeCh so a send
 // can never race a close.
 func (s *Subscription) deliver(p Publication) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
+	dropped := false
 	select {
 	case s.ch <- p:
 	default:
+		dropped = true
+	}
+	onDrop := s.onDrop
+	s.mu.Unlock()
+	if dropped && onDrop != nil {
+		onDrop()
 	}
 }
 

@@ -116,6 +116,7 @@ func All() []Experiment {
 		{"switchbench", "multi-core data plane: throughput vs flows, pps vs cores (1/2/4/8), latency CDF at fixed load", Switchbench},
 		{"tescale", "TE at production scale: solver scaling grid, warm-started incremental re-solve, SB-DP on 100-300 sites, batched admission", TEScale},
 		{"soak", "production soak under the health harness: diurnal load, chain churn, flash crowd, site flap; asserts bounded heap, zero leaks, anomaly in a flight bundle", Soak},
+		{"fleet", "fleet telemetry plane through a site blackout: health matrix staleness, frozen counters, stitched cross-site timeline", Fleet},
 	}
 }
 

@@ -1,0 +1,466 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"switchboard/internal/controller"
+	"switchboard/internal/edge"
+	"switchboard/internal/metrics"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/slo"
+	"switchboard/internal/telemetry"
+	"switchboard/internal/testutil"
+	"switchboard/internal/vnf"
+)
+
+// Fleet runs the fleet telemetry plane end to end: per-site agents fold
+// their slice of the deployment into delta-encoded reports on the
+// telemetry bus topic, the GS-side aggregator merges them into the
+// fleet model, and a site blackout demonstrates the health matrix
+// (stale within two reporting intervals), frozen counters, and a
+// stitched cross-site trace timeline whose hop durations sum exactly to
+// the end-to-end latency.
+func Fleet() (*Table, error) {
+	t, _, err := fleetRound()
+	return t, err
+}
+
+// fleetInterval paces the experiment's telemetry agents. The aggregator
+// derives its staleness bound from this (2 reporting intervals).
+const fleetInterval = 50 * time.Millisecond
+
+// fleetChains: "mesh" spans three data sites (ingress/egress at A, fw
+// at B, opt at C) so its traces stitch across the WAN; "victim" runs
+// its only VNF at D, the site the blackout kills.
+var fleetChains = []struct {
+	ID   controller.ChainID
+	VNFs []string
+	Port uint16
+}{
+	{"mesh", []string{"fw", "opt"}, 80},
+	{"victim", []string{"iso"}, 81},
+}
+
+// fleetSites are the data sites; GSB (sites[0] of the bed) hosts the
+// aggregator and the control-plane agent.
+var fleetSites = []simnet.SiteID{"A", "B", "C", "D"}
+
+// fleetSiteOwned reports whether a metric name belongs to one of the
+// data sites' carved views ("forwarder.<site>/…", "ls.<site>.…").
+func fleetSiteOwned(name string) bool {
+	for _, s := range fleetSites {
+		if strings.HasPrefix(name, "forwarder."+string(s)+"/") ||
+			strings.HasPrefix(name, "ls."+string(s)+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// fleetHopSite attributes a packet-trace hop to the site whose agent
+// would have observed it: forwarder nodes embed "<site>/", VNF instance
+// IDs embed "-<site>-<seq>", and edge/sink nodes belong to the harvest
+// site.
+func fleetHopSite(node string, harvest simnet.SiteID) simnet.SiteID {
+	if rest, ok := strings.CutPrefix(node, "fwd:"); ok {
+		if i := strings.IndexByte(rest, '/'); i > 0 {
+			return simnet.SiteID(rest[:i])
+		}
+	}
+	if rest, ok := strings.CutPrefix(node, "vnf:"); ok {
+		parts := strings.Split(rest, "-")
+		if len(parts) >= 3 {
+			return simnet.SiteID(parts[len(parts)-2])
+		}
+	}
+	return harvest
+}
+
+// fleetRound is the testable body of Fleet; it returns the aggregator
+// so tests can assert on the merged model directly.
+func fleetRound() (*Table, *telemetry.Aggregator, error) {
+	t := &Table{
+		ID:     "fleet",
+		Title:  "fleet telemetry through a site blackout: health matrix, frozen counters, stitched cross-site timeline",
+		Header: []string{"site", "status", "reports", "age ms", "counters", "fwd rx"},
+	}
+
+	bed, err := NewBed(91, 2*time.Millisecond, append([]simnet.SiteID{"GSB"}, fleetSites...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer bed.Close()
+	g := bed.G
+	for _, s := range fleetSites {
+		if _, err := g.RegisterSite(s, 1000); err != nil {
+			return nil, nil, err
+		}
+	}
+	for name, site := range map[string]simnet.SiteID{"fw": "B", "opt": "C", "iso": "D"} {
+		bed.AddVNF(controller.VNFConfig{
+			Name:        name,
+			Factory:     func() vnf.Function { return vnf.PassThrough{} },
+			LoadPerUnit: 1.0,
+			LabelAware:  true,
+			Capacity:    map[simnet.SiteID]float64{site: 500},
+		})
+	}
+	rec, reg := bed.EnableObservability()
+
+	// Chains and their data paths.
+	var ingress, egress *edge.Instance
+	routes := make(map[controller.ChainID]*controller.RouteRecord)
+	for _, c := range fleetChains {
+		route, err := g.CreateChain(controller.Spec{
+			ID: c.ID, IngressSite: "A", EgressSite: "A",
+			VNFs: c.VNFs, ForwardRate: 5,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		ingress, egress, err = g.ConfigureChainEdges(route, []edge.MatchRule{{DstPort: c.Port}})
+		if err != nil {
+			return nil, nil, err
+		}
+		routes[c.ID] = route
+	}
+	waitAt := map[controller.ChainID][]simnet.SiteID{
+		"mesh":   {"A", "B", "C"},
+		"victim": {"A", "D"},
+	}
+	for id, sites := range waitAt {
+		for _, s := range sites {
+			if err := g.WaitForDataPath(routes[id], s, 10*time.Second); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Register each site's forwarder into the shared registry so the
+	// per-site agents have names to carve ("forwarder.<site>/…").
+	for role, site := range map[string]simnet.SiteID{"edge": "A", "fw": "B", "opt": "C", "iso": "D"} {
+		ls, ok := g.Local(site)
+		if !ok {
+			return nil, nil, fmt.Errorf("fleet: no Local Switchboard at %s", site)
+		}
+		fwd, err := ls.Forwarder(role)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: forwarder %s at %s: %w", role, site, err)
+		}
+		fwd.RegisterMetrics(reg)
+	}
+	// Rules resolve their per-chain counters at install time, so bump
+	// each chain's route version now that the forwarders publish keyed
+	// families: the reinstall re-resolves forwarder.<site>/….chain.<id>.*
+	// into the registry, which is what the fleet model folds into
+	// cross-site chain aggregates.
+	for _, c := range fleetChains {
+		rec2, err := g.RecomputeChain(c.ID, 5, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		routes[c.ID] = rec2
+	}
+	for id, sites := range waitAt {
+		for _, s := range sites {
+			if err := g.WaitForDataPath(routes[id], s, 10*time.Second); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Per-chain SLO tracking so the GS agent has alerts to ship when the
+	// blackout severs the victim chain.
+	collector := metrics.NewTraceCollector()
+	collector.RegisterMetrics(reg)
+	nameOf := make(map[uint32]string, len(routes))
+	for id, route := range routes {
+		nameOf[route.ChainLabel] = string(id)
+	}
+	collector.NameChains(func(label uint32) string { return nameOf[label] })
+	ev := slo.New(slo.Config{
+		Interval:     20 * time.Millisecond,
+		FireAfter:    2,
+		ResolveAfter: 5, // lets a warm-up transient clear; the blackout's loss re-fires
+		MinLoss:      5,
+	})
+	ev.RegisterMetrics(reg)
+	for id, route := range routes {
+		sent, _ := ingress.ChainCounters(route.ChainLabel, string(id))
+		_, delivered := egress.ChainCounters(route.ChainLabel, string(id))
+		ev.Track(slo.ChainSLO{
+			Chain:     string(id),
+			Budget:    route.LatencyBudget,
+			E2E:       collector.ChainEndToEnd(string(id)),
+			Sent:      sent,
+			Delivered: delivered,
+		})
+	}
+	ev.Start()
+	defer ev.Stop()
+
+	// The telemetry plane: a GS-side aggregator on the fleet topic, one
+	// agent per data site carving its slice of the shared registry, and
+	// a control-plane agent at GSB shipping everything else plus spans
+	// and SLO alerts.
+	topic := telemetry.Topic("GSB")
+	agg := telemetry.NewAggregator(telemetry.AggregatorConfig{})
+	agg.RegisterMetrics(reg)
+	stopAgg, err := agg.Attach(bed.Bus, "GSB", topic, 64)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer stopAgg()
+
+	traceBufs := make(map[simnet.SiteID]*telemetry.TraceBuffer, len(fleetSites))
+	for _, s := range fleetSites {
+		traceBufs[s] = telemetry.NewTraceBuffer(0)
+	}
+	siteFilter := func(s simnet.SiteID) func(string) bool {
+		fwdPrefix, lsPrefix := "forwarder."+string(s)+"/", "ls."+string(s)+"."
+		return func(name string) bool {
+			return strings.HasPrefix(name, fwdPrefix) || strings.HasPrefix(name, lsPrefix)
+		}
+	}
+	for _, s := range fleetSites {
+		agent := telemetry.NewAgent(telemetry.AgentConfig{
+			Site: s, Registry: reg, Filter: siteFilter(s),
+			Traces: traceBufs[s],
+			Bus:    bed.Bus, Topic: topic, Interval: fleetInterval,
+		})
+		defer agent.Start()()
+	}
+	gsAgent := telemetry.NewAgent(telemetry.AgentConfig{
+		Site: "GSB", Registry: reg,
+		Filter:   func(name string) bool { return !fleetSiteOwned(name) },
+		Recorder: rec, SLO: ev,
+		Bus: bed.Bus, Topic: topic, Interval: fleetInterval,
+	})
+	defer gsAgent.Start()()
+
+	// Open-loop traced traffic for both chains, hops split by site into
+	// each agent's trace buffer at the harvest point.
+	client, err := bed.Net.Attach(simnet.Addr{Site: "A", Host: "client"}, 8192)
+	if err != nil {
+		return nil, nil, err
+	}
+	server, err := bed.Net.Attach(simnet.Addr{Site: "A", Host: "server"}, 8192)
+	if err != nil {
+		return nil, nil, err
+	}
+	egress.RegisterHost(expServerIP, server.Addr())
+	ingress.RegisterHost(expClientIP, client.Addr())
+	stopTraffic := fleetTrafficPump(client, server, ingress.Addr(), collector, nameOf, traceBufs)
+	defer stopTraffic()
+
+	// Warm-up: both chains deliver, every site reports, nothing stale.
+	for id, route := range routes {
+		_, delivered := egress.ChainCounters(route.ChainLabel, string(id))
+		if !testutil.Poll(10*time.Second, func() bool { return delivered() >= 20 }) {
+			return nil, nil, fmt.Errorf("fleet: chain %s never delivered during warm-up", id)
+		}
+	}
+	if !testutil.Poll(10*time.Second, func() bool {
+		m := agg.Model(time.Now())
+		return len(m.Sites) == len(fleetSites)+1 && m.SitesStale == 0
+	}) {
+		m := agg.Model(time.Now())
+		return nil, nil, fmt.Errorf("fleet: %d/%d sites reporting (stale %d) after warm-up",
+			len(m.Sites), len(fleetSites)+1, m.SitesStale)
+	}
+
+	// The victim site's forwarder counters must be advancing pre-fault.
+	dRx := "forwarder.D/fwd-iso.rx"
+	if !testutil.Poll(10*time.Second, func() bool {
+		v, ok := agg.Counter("D", dRx)
+		return ok && v > 0
+	}) {
+		return nil, nil, fmt.Errorf("fleet: %s never advanced in the fleet model", dRx)
+	}
+
+	// Fault: black out D. Its agent keeps collecting, but no report can
+	// cross the WAN, so the health matrix starves it stale.
+	faultAt := time.Now()
+	bed.Net.BlackoutSite("D")
+
+	// The dead site must go stale (bound: 2 of its reporting intervals,
+	// derived by the aggregator from the report's own interval field).
+	staleDeadline := 10 * fleetInterval
+	if !testutil.Poll(staleDeadline, func() bool {
+		for _, h := range agg.HealthMatrix(time.Now()) {
+			if h.Site == "D" {
+				return h.Stale
+			}
+		}
+		return false
+	}) {
+		return nil, nil, fmt.Errorf("fleet: D not stale within %v of the blackout", staleDeadline)
+	}
+	staleAfter := time.Since(faultAt)
+	for _, h := range agg.HealthMatrix(time.Now()) {
+		if h.Site == "D" && float64(h.AgeMs) < float64(2*fleetInterval/time.Millisecond) {
+			return nil, nil, fmt.Errorf("fleet: D marked stale at age %.1f ms, below the 2-interval bound", h.AgeMs)
+		}
+	}
+
+	// Frozen counters: D's cumulative rx stops advancing while B's
+	// keeps climbing under the live mesh chain.
+	bRx := "forwarder.B/fwd-fw.rx"
+	d1, _ := agg.Counter("D", dRx)
+	b1, _ := agg.Counter("B", bRx)
+	time.Sleep(4 * fleetInterval)
+	d2, _ := agg.Counter("D", dRx)
+	b2, ok := agg.Counter("B", bRx)
+	if d2 != d1 {
+		return nil, nil, fmt.Errorf("fleet: dead site's %s advanced %d→%d after the blackout", dRx, d1, d2)
+	}
+	if !ok || b2 <= b1 {
+		return nil, nil, fmt.Errorf("fleet: live site's %s stalled (%d→%d)", bRx, b1, b2)
+	}
+
+	// The stitched mesh timeline: at least 3 distinct sites, and hop +
+	// transit durations summing exactly to the end-to-end latency.
+	var tl telemetry.Timeline
+	if !testutil.Poll(10*time.Second, func() bool {
+		got, ok := agg.Timeline("mesh", 0)
+		if !ok || len(got.Sites) < 3 || got.E2ENs <= 0 {
+			return false
+		}
+		tl = got
+		return true
+	}) {
+		return nil, nil, fmt.Errorf("fleet: no stitched mesh timeline spanning ≥3 sites")
+	}
+	var segSum int64
+	for _, seg := range tl.Segments {
+		segSum += seg.DurNs
+	}
+	if segSum != tl.E2ENs {
+		return nil, nil, fmt.Errorf("fleet: timeline segments sum to %d ns, e2e is %d ns", segSum, tl.E2ENs)
+	}
+
+	// The victim chain's SLO alert crosses in the GS agent's report and
+	// lands in the fleet drill-down.
+	if !testutil.Poll(15*time.Second, func() bool {
+		d, ok := agg.Site("GSB", time.Now())
+		if !ok {
+			return false
+		}
+		for _, a := range d.Alerts {
+			if a.Chain == "victim" && a.FiredAt.After(faultAt) {
+				return true
+			}
+		}
+		return false
+	}) {
+		return nil, nil, fmt.Errorf("fleet: victim SLO alert never reached the fleet model")
+	}
+
+	// Table: the health matrix with each site's forwarder rx rollup.
+	now := time.Now()
+	m := agg.Model(now)
+	rxOf := func(site string) string {
+		d, ok := agg.Site(site, now)
+		if !ok {
+			return "-"
+		}
+		for n, v := range d.Counters {
+			if strings.HasPrefix(n, "forwarder.") && strings.HasSuffix(n, ".rx") {
+				return fmt.Sprintf("%d", v)
+			}
+		}
+		return "-"
+	}
+	for _, s := range m.Sites {
+		t.AddRow(s.Site, s.Status, s.Reports, s.AgeMs, s.Counters, rxOf(s.Site))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("D marked stale %.0f ms after the blackout (bound: 2 reporting intervals = %d ms, derived from the report's own interval field)",
+			float64(staleAfter)/1e6, 2*fleetInterval/time.Millisecond),
+		fmt.Sprintf("D's %s frozen at %d across 4 post-blackout intervals while B's %s advanced %d→%d", dRx, d2, bRx, b1, b2),
+		fmt.Sprintf("stitched mesh timeline: trace %d, %d hops over sites %v, e2e %.3f ms, %d segments summing exactly to the e2e latency",
+			tl.TraceID, len(tl.Hops), tl.Sites, float64(tl.E2ENs)/1e6, len(tl.Segments)),
+		"victim's SLO alert shipped in the GS agent's report and is visible in the /fleet drill-down",
+		"counters are delta-encoded per report; the fleet model reconstructs cumulative values, so a dead site's series freezes instead of resetting")
+	return t, agg, nil
+}
+
+// fleetTrafficPump drives one traced packet per chain per tick and
+// harvests completed traces at the server: end-to-end latency into the
+// collector (for SLO tracking) and per-hop records into each site's
+// telemetry trace buffer, attributed by node name.
+func fleetTrafficPump(client, server *simnet.Endpoint, ingressEdge simnet.Addr,
+	collector *metrics.TraceCollector, nameOf map[uint32]string,
+	bufs map[simnet.SiteID]*telemetry.TraceBuffer) (stop func()) {
+	done := make(chan struct{})
+	stopped := make(chan struct{}, 2)
+
+	go func() {
+		defer func() { stopped <- struct{}{} }()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		var sends, traceID uint64
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				for _, c := range fleetChains {
+					traceID++
+					p := &packet.Packet{
+						Key: packet.FlowKey{
+							SrcIP: expClientIP, DstIP: expServerIP,
+							SrcPort: uint16(20000 + sends%40000), DstPort: c.Port, Proto: 6,
+						},
+						Payload: []byte("fleet"),
+						Trace:   packet.NewTrace(traceID),
+					}
+					sends++
+					_ = client.Send(ingressEdge, p, len(p.Payload)+40)
+				}
+			}
+		}
+	}()
+
+	go func() {
+		defer func() { stopped <- struct{}{} }()
+		for {
+			select {
+			case <-done:
+				return
+			case m, ok := <-server.Inbox():
+				if !ok {
+					return
+				}
+				p, ok := m.Payload.(*packet.Packet)
+				if !ok || p.Trace == nil {
+					continue
+				}
+				var arrive packet.LazyNow
+				packet.TraceArrive(p, "sink:server", &arrive, 1)
+				chain := nameOf[p.Labels.Chain]
+				for _, h := range p.Trace.Hops {
+					site := fleetHopSite(h.Node, "A")
+					buf, ok := bufs[site]
+					if !ok {
+						buf = bufs["A"]
+					}
+					buf.Record(telemetry.HopRecord{
+						TraceID: p.Trace.ID, Chain: chain, Node: h.Node,
+						ArriveNs: h.ArriveNs, DepartNs: h.DepartNs,
+					})
+				}
+				collector.RecordLabeled(p.Trace, p.Labels.Chain)
+			}
+		}
+	}()
+
+	return func() {
+		close(done)
+		<-stopped
+		<-stopped
+	}
+}

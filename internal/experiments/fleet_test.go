@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFleetTelemetryPlane is the acceptance property of the fleet
+// telemetry plane: after the blackout the dead site goes stale in the
+// health matrix (the 2-interval bound is enforced inside fleetRound),
+// its counters freeze while a live site's keep advancing, and a
+// stitched mesh timeline spans at least 3 sites with segment durations
+// summing exactly to the end-to-end latency. fleetRound errors on any
+// violation, so the test asserts the table's shape and the merged
+// model's final state.
+func TestFleetTelemetryPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	table, agg, err := fleetRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One row per site, GSB included.
+	if want := len(fleetSites) + 1; len(table.Rows) != want {
+		t.Fatalf("table has %d rows, want one per site (%d)", len(table.Rows), want)
+	}
+	status := make(map[string]string, len(table.Rows))
+	for _, r := range table.Rows {
+		status[r[0]] = r[1]
+	}
+	if status["D"] != "stale" {
+		t.Errorf("D status = %q, want stale after the blackout", status["D"])
+	}
+	for _, live := range []string{"GSB", "A", "B", "C"} {
+		if status[live] == "stale" {
+			t.Errorf("%s went stale; only the blacked-out site should", live)
+		}
+	}
+	if len(table.Notes) == 0 {
+		t.Error("table carries no notes")
+	}
+
+	// The merged model agrees with the table, and the cross-site chain
+	// aggregate for mesh folded counters from more than one site.
+	m := agg.Model(time.Now())
+	if m.SitesStale != 1 {
+		t.Errorf("model stale count = %d, want 1", m.SitesStale)
+	}
+	var meshSites int
+	for _, c := range m.Chains {
+		if c.Chain == "mesh" {
+			meshSites = len(c.Sites)
+		}
+	}
+	if meshSites < 2 {
+		t.Errorf("mesh chain aggregate folds %d sites, want ≥ 2", meshSites)
+	}
+	if len(m.Timelines) == 0 {
+		t.Error("model has no stitched timelines")
+	}
+}

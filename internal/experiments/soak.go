@@ -403,6 +403,9 @@ func soakBody(d time.Duration) (*Table, *soakResult, error) {
 	// The injected anomaly: a flash crowd saturates the paced NAT, the
 	// latency SLO fires, the OnFire hook freezes a flight bundle, the
 	// autoscaler adds capacity, and the alert resolves on its own.
+	// A warm-up loss transient may have frozen a bundle moments ago;
+	// re-arm the debounce so the injected incident freezes its own.
+	flight.Rearm()
 	flashOn.Store(true)
 	flashAt := time.Now()
 	churn.Store(soakFlashChurn)

@@ -11,8 +11,28 @@ import (
 	"switchboard/internal/flowtable"
 	"switchboard/internal/health"
 	"switchboard/internal/labels"
+	"switchboard/internal/metrics"
 	"switchboard/internal/packet"
+	"switchboard/internal/telemetry"
 )
+
+// startBenchAgent attaches a live telemetry agent to the forwarder at a
+// hostile reporting interval, publishing over a loopback into a real
+// aggregator — the fleet plane must not cost the hot path its
+// 0 allocs/op. The forwarder's metrics are registered first so every
+// report actually samples them.
+func startBenchAgent(f *Forwarder) (stop func()) {
+	reg := metrics.NewRegistry()
+	f.RegisterMetrics(reg)
+	agent := telemetry.NewAgent(telemetry.AgentConfig{
+		Site:     "bench",
+		Registry: reg,
+		Bus:      telemetry.NewLoopback(telemetry.NewAggregator(telemetry.AggregatorConfig{})),
+		Topic:    telemetry.Topic("bench"),
+		Interval: time.Millisecond,
+	})
+	return agent.Start()
+}
 
 // Figure 7: per-packet cost of the three forwarder configurations —
 // bridge, +overlay labels, +flow-affinity — across flow counts, using
@@ -120,6 +140,8 @@ func benchmarkProcessBatch(b *testing.B, mode Mode, batch int) {
 	// health harness must not cost the hot path its 0 allocs/op.
 	stopVitals := health.NewVitals(time.Millisecond).Start()
 	defer stopVitals()
+	stopAgent := startBenchAgent(f)
+	defer stopAgent()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -163,6 +185,7 @@ func BenchmarkForwarderParallel(b *testing.B) {
 			var total atomic.Uint64
 			stopVitals := health.NewVitals(time.Millisecond).Start()
 			defer stopVitals()
+			stopAgent := startBenchAgent(f)
 			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
@@ -182,6 +205,10 @@ func BenchmarkForwarderParallel(b *testing.B) {
 				total.Add(n)
 			})
 			b.StopTimer()
+			// Stop the agent before the allocation probe: AllocsPerRun
+			// measures process-wide, and a concurrent report capture
+			// would charge the hot path for agent allocations.
+			stopAgent()
 			if sec := b.Elapsed().Seconds(); sec > 0 {
 				b.ReportMetric(float64(total.Load())/sec/1e6, "Mpps")
 			}

@@ -129,6 +129,16 @@ func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
 	return &FlightRecorder{cfg: cfg}
 }
 
+// Rearm clears the debounce clock: the next Trigger freezes a bundle
+// no matter how recently the last dump was taken. Call it once an
+// incident is handled, so a bundle frozen for a transient moments ago
+// cannot swallow the trigger for the next, unrelated incident.
+func (f *FlightRecorder) Rearm() {
+	f.mu.Lock()
+	f.lastDump = time.Time{}
+	f.mu.Unlock()
+}
+
 // Trigger captures a bundle now. ok is false when the trigger was
 // debounced (a dump was taken less than MinInterval ago); the earlier
 // dump already covers the incident.

@@ -355,6 +355,11 @@ func TestFlightRecorderDump(t *testing.T) {
 	if _, ok := f.Trigger("http-poke", ""); ok {
 		t.Fatal("debounce did not drop an immediate second trigger")
 	}
+	// …unless the recorder is re-armed…
+	f.Rearm()
+	if _, ok := f.Trigger("http-poke", ""); !ok {
+		t.Fatal("trigger after Rearm rejected")
+	}
 	// …and accepted again after MinInterval.
 	time.Sleep(60 * time.Millisecond)
 	d2, ok := f.Trigger("http-poke", "")
@@ -371,11 +376,11 @@ func TestFlightRecorderDump(t *testing.T) {
 		t.Fatalf("Dump(%d) = %+v, %v", d.ID, got, ok)
 	}
 	infos := f.Dumps()
-	if len(infos) != 2 || infos[0].ID != d.ID || !infos[0].Profiles {
+	if len(infos) != 3 || infos[0].ID != d.ID || !infos[0].Profiles {
 		t.Fatalf("Dumps() = %+v", infos)
 	}
-	if f.DumpsTotal() != 2 {
-		t.Fatalf("DumpsTotal = %d, want 2", f.DumpsTotal())
+	if f.DumpsTotal() != 3 {
+		t.Fatalf("DumpsTotal = %d, want 3", f.DumpsTotal())
 	}
 }
 

@@ -1,0 +1,84 @@
+package introspect
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"switchboard/internal/telemetry"
+)
+
+// registerFleet mounts the /fleet route family on mux:
+//
+//	/fleet            JSON fleet model: per-site rollups, the health
+//	                  matrix verdicts, per-chain cross-site aggregates,
+//	                  and stitched timelines
+//	/fleet/prom       fleet-wide Prometheus exposition — every site's
+//	                  series with a site label, keyed families folded
+//	                  to their key label
+//	/fleet/site?id=   one site's drill-down: cumulative counters,
+//	                  latest gauges and histograms, retained
+//	                  spans/events/alerts
+//	/fleet/trace?chain=[&trace=]  a stitched cross-site timeline;
+//	                  trace omitted or 0 picks the chain's
+//	                  widest-spanning flow
+func registerFleet(mux *http.ServeMux, fleet *telemetry.Aggregator) {
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
+		data, err := json.MarshalIndent(fleet.Model(time.Now()), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, data)
+	})
+	mux.HandleFunc("/fleet/prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = fleet.WritePrometheus(w)
+	})
+	mux.HandleFunc("/fleet/site", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id", http.StatusBadRequest)
+			return
+		}
+		d, ok := fleet.Site(id, time.Now())
+		if !ok {
+			http.Error(w, "unknown site", http.StatusNotFound)
+			return
+		}
+		data, err := json.MarshalIndent(d, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, data)
+	})
+	mux.HandleFunc("/fleet/trace", func(w http.ResponseWriter, r *http.Request) {
+		chain := r.URL.Query().Get("chain")
+		if chain == "" {
+			http.Error(w, "missing chain", http.StatusBadRequest)
+			return
+		}
+		var trace uint64
+		if q := r.URL.Query().Get("trace"); q != "" {
+			n, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			trace = n
+		}
+		tl, ok := fleet.Timeline(chain, trace)
+		if !ok {
+			http.Error(w, "no stitched timeline", http.StatusNotFound)
+			return
+		}
+		data, err := json.MarshalIndent(tl, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, data)
+	})
+}

@@ -1,0 +1,199 @@
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"switchboard/internal/metrics"
+	"switchboard/internal/slo"
+	"switchboard/internal/telemetry"
+)
+
+func newTestFleet() *telemetry.Aggregator {
+	ag := telemetry.NewAggregator(telemetry.AggregatorConfig{})
+	r := &telemetry.Report{
+		Site:       "A",
+		Seq:        1,
+		IntervalNs: int64(time.Second),
+		Healthy:    true,
+		Counters:   map[string]uint64{"fwd.rx": 10},
+		Hops: []telemetry.HopRecord{
+			{TraceID: 3, Chain: "mesh", Node: "edge:c", ArriveNs: 100, DepartNs: 150},
+			{TraceID: 3, Chain: "mesh", Node: "sink:s", ArriveNs: 500},
+		},
+	}
+	ag.IngestAt(r, time.Now())
+	return ag
+}
+
+func TestHandlerFleetRoutes(t *testing.T) {
+	srv := httptest.NewServer(HandlerOpts(Options{Registry: newTestRegistry(), Fleet: newTestFleet()}))
+	defer srv.Close()
+
+	// /fleet: the JSON model.
+	resp, err := http.Get(srv.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var model telemetry.FleetModel
+	if err := json.NewDecoder(resp.Body).Decode(&model); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(model.Sites) != 1 || model.Sites[0].Site != "A" || model.Sites[0].Status != "ok" {
+		t.Fatalf("/fleet sites = %+v", model.Sites)
+	}
+	if len(model.Timelines) != 1 {
+		t.Fatalf("/fleet timelines = %d, want 1", len(model.Timelines))
+	}
+
+	// /fleet/prom: site-labelled exposition.
+	resp, err = http.Get(srv.URL + "/fleet/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `fwd_rx{site="A"} 10`) {
+		t.Errorf("/fleet/prom missing site-labelled series:\n%s", body)
+	}
+
+	// /fleet/site drill-down, and its error paths.
+	resp, err = http.Get(srv.URL + "/fleet/site?id=A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detail telemetry.SiteDetail
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if detail.Counters["fwd.rx"] != 10 {
+		t.Errorf("/fleet/site counters = %+v", detail.Counters)
+	}
+	for path, want := range map[string]int{
+		"/fleet/site":          http.StatusBadRequest,
+		"/fleet/site?id=Z":     http.StatusNotFound,
+		"/fleet/trace":         http.StatusBadRequest,
+		"/fleet/trace?chain=x": http.StatusNotFound,
+	} {
+		r2, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != want {
+			t.Errorf("%s = %d, want %d", path, r2.StatusCode, want)
+		}
+	}
+
+	// /fleet/trace: stitched timeline, default flow selection.
+	resp, err = http.Get(srv.URL + "/fleet/trace?chain=mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl telemetry.Timeline
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tl.TraceID != 3 || tl.E2ENs != 400 || len(tl.Hops) != 2 {
+		t.Errorf("/fleet/trace = %+v", tl)
+	}
+}
+
+func TestHandlerFleet404WhenUnwired(t *testing.T) {
+	srv := httptest.NewServer(Handler(newTestRegistry()))
+	defer srv.Close()
+	for _, path := range []string{"/fleet", "/fleet/prom", "/fleet/site?id=A", "/fleet/trace?chain=c"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without Fleet = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHandlerAlertsSince pins the ?since= incremental path the telemetry
+// agent polls: only alerts that fired or resolved at or after the
+// instant ship.
+func TestHandlerAlertsSince(t *testing.T) {
+	ev := slo.New(slo.Config{FireAfter: 1, ResolveAfter: 1})
+	var oldDrops, newDrops uint64
+	track := func(chain string, drops *uint64) {
+		ev.Track(slo.ChainSLO{
+			Chain:  chain,
+			Budget: 10 * time.Millisecond,
+			E2E:    metrics.NewHistogram(),
+			Drops:  func() uint64 { return *drops },
+		})
+	}
+	track("old", &oldDrops)
+	track("new", &newDrops)
+
+	t0 := time.Unix(1000, 0)
+	oldDrops = 5
+	ev.Evaluate(t0) // "old" fires at t0
+	newDrops = 5
+	ev.Evaluate(t0.Add(time.Hour)) // "new" fires at t0+1h; "old" resolves
+
+	srv := httptest.NewServer(HandlerOpts(Options{Registry: newTestRegistry(), SLO: ev}))
+	defer srv.Close()
+
+	get := func(q string) []slo.Alert {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/alerts" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", q, resp.StatusCode)
+		}
+		var doc struct {
+			Alerts []slo.Alert `json:"alerts"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc.Alerts
+	}
+
+	if all := get(""); len(all) != 2 {
+		t.Fatalf("full log = %d alerts, want 2", len(all))
+	}
+	// A cutoff between the two fire times keeps the new alert and the
+	// old one too — it resolved after the cutoff, and resolutions are
+	// state changes the poller needs.
+	cut := t0.Add(30 * time.Minute)
+	inc := get(fmt.Sprintf("?since=%d", cut.Unix()))
+	if len(inc) != 2 {
+		t.Fatalf("since=+30m = %d alerts, want 2 (new fire + old resolve)", len(inc))
+	}
+	// A cutoff past everything ships nothing.
+	if late := get(fmt.Sprintf("?since=%d", t0.Add(2*time.Hour).Unix())); len(late) != 0 {
+		t.Errorf("since=+2h = %d alerts, want 0", len(late))
+	}
+	// RFC 3339 works too.
+	if rfc := get("?since=" + cut.UTC().Format(time.RFC3339)); len(rfc) != 2 {
+		t.Errorf("RFC3339 since = %d alerts, want 2", len(rfc))
+	}
+	// Malformed cutoffs are a 400, not a silent full log.
+	resp, err := http.Get(srv.URL + "/debug/alerts?since=yesterdayish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad since = %d, want 400", resp.StatusCode)
+	}
+}

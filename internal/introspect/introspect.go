@@ -22,7 +22,18 @@
 //	/slo              JSON per-chain SLO compliance: budget, p50/p99,
 //	                  error-budget burn, alert state
 //	                  (only when an Evaluator is wired in via Options)
-//	/debug/alerts     JSON alert log: fired/resolved SLO breaches
+//	/debug/alerts     JSON alert log: fired/resolved SLO breaches;
+//	                  ?since= (RFC 3339 or Unix seconds/milliseconds)
+//	                  keeps only alerts that fired or resolved at or
+//	                  after the instant — the telemetry agent's
+//	                  incremental poll
+//	/fleet            fleet model merged from site telemetry reports
+//	                  (only when an Aggregator is wired in via Options):
+//	                  JSON rollups + health matrix; /fleet/prom for the
+//	                  fleet-wide Prometheus view with site labels,
+//	                  /fleet/site?id= for one site's drill-down,
+//	                  /fleet/trace?chain= for stitched cross-site
+//	                  timelines
 //	/autoscaler       JSON autoscaler view: per-policy instance counts,
 //	                  streaks, and the scale-decision log
 //	                  (only when an Autoscaler is wired in via Options)
@@ -51,6 +62,7 @@ import (
 	"switchboard/internal/metrics"
 	"switchboard/internal/obs"
 	"switchboard/internal/slo"
+	"switchboard/internal/telemetry"
 )
 
 // Options selects what a debug listener exposes. Registry is required;
@@ -76,6 +88,10 @@ type Options struct {
 	// Flight backs /debug/flight: the black-box flight recorder's
 	// bundle list, per-bundle retrieval, and the manual trigger.
 	Flight *health.FlightRecorder
+	// Fleet backs the /fleet route family: the GS-side telemetry
+	// aggregator's fleet model, site drill-downs, stitched timelines,
+	// and the fleet-wide Prometheus view.
+	Fleet *telemetry.Aggregator
 }
 
 // Handler returns an http.Handler serving the registry. Safe for
@@ -179,10 +195,19 @@ func HandlerOpts(opts Options) http.Handler {
 			}
 			writeJSON(w, data)
 		})
-		mux.HandleFunc("/debug/alerts", func(w http.ResponseWriter, _ *http.Request) {
+		mux.HandleFunc("/debug/alerts", func(w http.ResponseWriter, r *http.Request) {
+			alerts := opts.SLO.Alerts()
+			if q := r.URL.Query().Get("since"); q != "" {
+				since, ok := parseSince(q)
+				if !ok {
+					http.Error(w, "bad since: want RFC 3339 or Unix seconds/milliseconds", http.StatusBadRequest)
+					return
+				}
+				alerts = opts.SLO.AlertsSince(since)
+			}
 			doc := alertLog{
 				Firing: opts.SLO.Firing(),
-				Alerts: opts.SLO.Alerts(),
+				Alerts: alerts,
 			}
 			data, err := json.MarshalIndent(doc, "", "  ")
 			if err != nil {
@@ -266,6 +291,9 @@ func HandlerOpts(opts Options) http.Handler {
 			}
 			writeJSON(w, data)
 		})
+	}
+	if opts.Fleet != nil {
+		registerFleet(mux, opts.Fleet)
 	}
 	// pprof registers on http.DefaultServeMux via its init; rebind the
 	// handlers explicitly so this mux works standalone.

@@ -1,23 +1,27 @@
 package metrics
 
 // Prometheus text exposition (format version 0.0.4), hand-rendered from
-// a registry Snapshot so external scrapers can consume every metric —
-// flat and keyed instances alike — without the repo taking a client
-// library dependency. Metric names are sanitised to the Prometheus
-// charset; histograms are exposed as summaries (quantile series plus
-// _sum/_count) with durations converted from nanoseconds to seconds,
-// per Prometheus convention.
+// a registry Snapshot so external scrapers can consume every metric
+// without the repo taking a client library dependency. Flat registry
+// names are sanitised to the Prometheus charset; keyed-family instances
+// ("chain.c1.drops" under the pattern "chain.<chain>.drops") are folded
+// into one family series per pattern with the key slot exposed as a
+// label ({chain="c1"}), which keeps per-key values queryable without
+// minting a metric name per key. Histograms are exposed as summaries
+// (quantile series plus _sum/_count) with durations converted from
+// nanoseconds to seconds, per Prometheus convention.
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
-// promName sanitises a registry metric name to the Prometheus name
+// PromName sanitises a registry metric name to the Prometheus name
 // charset [a-zA-Z0-9_:], replacing every other byte with '_' and
 // prefixing '_' when the name would start with a digit.
-func promName(name string) string {
+func PromName(name string) string {
 	out := make([]byte, 0, len(name)+1)
 	for i := 0; i < len(name); i++ {
 		c := name[i]
@@ -36,58 +40,209 @@ func promName(name string) string {
 	return string(out)
 }
 
+// promName is kept as the internal spelling used throughout this file.
+func promName(name string) string { return PromName(name) }
+
+// PromLabelValue escapes a label value per the exposition format:
+// backslash, double-quote and newline are the only escaped bytes.
+func PromLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promLabelName sanitises a label name to [a-zA-Z0-9_] (no colons —
+// those are reserved for metric names).
+func promLabelName(name string) string {
+	out := make([]byte, 0, len(name)+1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "key"
+	}
+	return string(out)
+}
+
+// KeyedParts splits a keyed-family instance name against its pattern,
+// returning the family's base metric name (pattern with the key slot
+// segment removed), the key slot's label name (the text inside the
+// pattern's last "<…>" token), and the instance's key. ok is false when
+// instance does not match the pattern — callers should then fall back
+// to treating the instance as a flat name.
+func KeyedParts(pattern, instance string) (base, label, key string, ok bool) {
+	i := strings.LastIndex(pattern, "<")
+	j := -1
+	if i >= 0 {
+		j = strings.Index(pattern[i:], ">")
+	}
+	if j < 0 {
+		return "", "", "", false
+	}
+	prefix, suffix := pattern[:i], pattern[i+j+1:]
+	if len(instance) < len(prefix)+len(suffix) ||
+		!strings.HasPrefix(instance, prefix) || !strings.HasSuffix(instance, suffix) {
+		return "", "", "", false
+	}
+	key = instance[len(prefix) : len(instance)-len(suffix)]
+	base = strings.TrimSuffix(prefix, ".") + suffix
+	base = strings.Trim(base, ".")
+	label = pattern[i+1 : i+j]
+	return base, label, key, true
+}
+
 // promFloat renders a float sample value (Prometheus accepts Go's 'g'
 // formatting, including scientific notation).
 func promFloat(v float64) string { return fmt.Sprintf("%g", v) }
 
+// promSeries is one family to emit: a TYPE header plus its samples in
+// deterministic order.
+type promSeries struct {
+	name    string // sanitised Prometheus metric name
+	kind    string // counter | gauge | summary
+	samples []string
+}
+
+// splitKeyed partitions snapshot metric names into flat names and
+// keyed families (pattern → sorted instance names), using the
+// snapshot's Keyed map. Instances whose name no longer matches their
+// pattern degrade to flat names.
+func splitKeyed(names []string, keyed map[string]string) (flat []string, families map[string][]string) {
+	families = make(map[string][]string)
+	for _, n := range names {
+		p, isKeyed := keyed[n]
+		if !isKeyed {
+			flat = append(flat, n)
+			continue
+		}
+		if _, _, _, ok := KeyedParts(p, n); !ok {
+			flat = append(flat, n)
+			continue
+		}
+		families[p] = append(families[p], n)
+	}
+	sort.Strings(flat)
+	for _, insts := range families {
+		sort.Strings(insts)
+	}
+	return flat, families
+}
+
 // WritePrometheus writes the snapshot in Prometheus text exposition
 // format: counters and gauges as single samples, histograms as
-// summaries with 0.5/0.9/0.99 quantiles and seconds units.
+// summaries with 0.5/0.9/0.99 quantiles and seconds units, and keyed
+// families as labelled series.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
-	names := make([]string, 0, len(s.Counters))
+	var series []promSeries
+
+	counterNames := make([]string, 0, len(s.Counters))
 	for n := range s.Counters {
-		names = append(names, n)
+		counterNames = append(counterNames, n)
 	}
-	sort.Strings(names)
-	for _, n := range names {
+	flat, families := splitKeyed(counterNames, s.Keyed)
+	for _, n := range flat {
 		pn := promName(n)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
-			return err
+		series = append(series, promSeries{name: pn, kind: "counter",
+			samples: []string{fmt.Sprintf("%s %d", pn, s.Counters[n])}})
+	}
+	for _, p := range sortedKeys(families) {
+		sr := keyedSeries(p, "counter")
+		for _, inst := range families[p] {
+			_, label, key, _ := KeyedParts(p, inst)
+			sr.samples = append(sr.samples, fmt.Sprintf("%s{%s=\"%s\"} %d",
+				sr.name, promLabelName(label), PromLabelValue(key), s.Counters[inst]))
 		}
+		series = append(series, sr)
 	}
 
-	names = names[:0]
+	gaugeNames := make([]string, 0, len(s.Gauges))
 	for n := range s.Gauges {
-		names = append(names, n)
+		gaugeNames = append(gaugeNames, n)
 	}
-	sort.Strings(names)
-	for _, n := range names {
+	flat, families = splitKeyed(gaugeNames, s.Keyed)
+	for _, n := range flat {
 		pn := promName(n)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[n])); err != nil {
-			return err
+		series = append(series, promSeries{name: pn, kind: "gauge",
+			samples: []string{fmt.Sprintf("%s %s", pn, promFloat(s.Gauges[n]))}})
+	}
+	for _, p := range sortedKeys(families) {
+		sr := keyedSeries(p, "gauge")
+		for _, inst := range families[p] {
+			_, label, key, _ := KeyedParts(p, inst)
+			sr.samples = append(sr.samples, fmt.Sprintf("%s{%s=\"%s\"} %s",
+				sr.name, promLabelName(label), PromLabelValue(key), promFloat(s.Gauges[inst])))
 		}
+		series = append(series, sr)
 	}
 
-	names = names[:0]
+	histNames := make([]string, 0, len(s.Histograms))
 	for n := range s.Histograms {
-		names = append(names, n)
+		histNames = append(histNames, n)
 	}
-	sort.Strings(names)
-	for _, n := range names {
+	secs := func(ns int64) string { return promFloat(float64(ns) / 1e9) }
+	flat, families = splitKeyed(histNames, s.Keyed)
+	for _, n := range flat {
 		h := s.Histograms[n]
 		pn := promName(n) + "_seconds"
-		secs := func(ns int64) string { return promFloat(float64(ns) / 1e9) }
-		_, err := fmt.Fprintf(w,
-			"# TYPE %s summary\n%s{quantile=\"0.5\"} %s\n%s{quantile=\"0.9\"} %s\n%s{quantile=\"0.99\"} %s\n%s_sum %s\n%s_count %d\n",
-			pn,
-			pn, secs(h.P50Ns),
-			pn, secs(h.P90Ns),
-			pn, secs(h.P99Ns),
-			pn, secs(h.SumNs),
-			pn, h.Count)
-		if err != nil {
+		series = append(series, promSeries{name: pn, kind: "summary", samples: []string{
+			fmt.Sprintf("%s{quantile=\"0.5\"} %s", pn, secs(h.P50Ns)),
+			fmt.Sprintf("%s{quantile=\"0.9\"} %s", pn, secs(h.P90Ns)),
+			fmt.Sprintf("%s{quantile=\"0.99\"} %s", pn, secs(h.P99Ns)),
+			fmt.Sprintf("%s_sum %s", pn, secs(h.SumNs)),
+			fmt.Sprintf("%s_count %d", pn, h.Count),
+		}})
+	}
+	for _, p := range sortedKeys(families) {
+		sr := keyedSeries(p, "summary")
+		sr.name += "_seconds"
+		for _, inst := range families[p] {
+			h := s.Histograms[inst]
+			_, label, key, _ := KeyedParts(p, inst)
+			ln, lv := promLabelName(label), PromLabelValue(key)
+			sr.samples = append(sr.samples,
+				fmt.Sprintf("%s{%s=\"%s\",quantile=\"0.5\"} %s", sr.name, ln, lv, secs(h.P50Ns)),
+				fmt.Sprintf("%s{%s=\"%s\",quantile=\"0.9\"} %s", sr.name, ln, lv, secs(h.P90Ns)),
+				fmt.Sprintf("%s{%s=\"%s\",quantile=\"0.99\"} %s", sr.name, ln, lv, secs(h.P99Ns)),
+				fmt.Sprintf("%s_sum{%s=\"%s\"} %s", sr.name, ln, lv, secs(h.SumNs)),
+				fmt.Sprintf("%s_count{%s=\"%s\"} %d", sr.name, ln, lv, h.Count),
+			)
+		}
+		series = append(series, sr)
+	}
+
+	for _, sr := range series {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", sr.name, sr.kind); err != nil {
 			return err
+		}
+		for _, line := range sr.samples {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+func keyedSeries(pattern, kind string) promSeries {
+	base, _, _, _ := KeyedParts(pattern, keyedInstanceName(pattern, "x"))
+	return promSeries{name: promName(base), kind: kind}
+}
+
+func sortedKeys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

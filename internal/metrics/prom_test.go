@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -22,7 +23,10 @@ func TestPrometheusExposition(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE forwarder_A_fwd_rx counter\nforwarder_A_fwd_rx 12\n",
 		"# TYPE ls_A_routes gauge\nls_A_routes 2.5\n",
-		"# TYPE chain_c1_drops counter\nchain_c1_drops 7\n", // keyed instance is scraped
+		// Keyed instances fold into one family with the key as a label:
+		// the dotted instance name (chain.c1.drops) would be an invalid
+		// Prometheus metric name if minted per key.
+		"# TYPE chain_drops counter\nchain_drops{chain=\"c1\"} 7\n",
 		"# TYPE gs_chain_setup_ms_seconds summary\n",
 		"gs_chain_setup_ms_seconds{quantile=\"0.5\"} 0.003\n",
 		"gs_chain_setup_ms_seconds_sum 0.003\n",
@@ -45,6 +49,65 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 }
 
+var (
+	promTypeLine = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$`)
+	promSample   = regexp.MustCompile(
+		`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [0-9eE.+-]+$`)
+)
+
+// TestPrometheusConformance pins the exposition grammar: every emitted
+// metric name and label must be valid under the Prometheus text format
+// even when registry names carry dots, slashes, and per-key instances
+// — the audit this renderer exists to pass. Keys with exposition
+// metacharacters (quotes, backslashes) must round-trip escaped.
+func TestPrometheusConformance(t *testing.T) {
+	reg := NewRegistry()
+	// The catalogue's worst offenders: dotted flat names and keyed
+	// instances whose raw names are invalid Prometheus names.
+	reg.Counter("forwarder.A/fwd-edge.rx").Add(3)
+	NewKeyedCounters(reg, "forwarder.f1.chain.<chain>.tx", 8).Get("c2").Add(9)
+	NewKeyedGauges(reg, "runner.core.<core>.depth", 8).Get("0").Set(5)
+	kh := NewKeyedHistograms(reg, "trace.chain.<chain>.e2e_ms", 8)
+	kh.Get("gold").Observe(2 * time.Millisecond)
+	kh.Get(`we"ird\key`).Observe(time.Millisecond)
+
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !promTypeLine.MatchString(line) {
+				t.Errorf("invalid TYPE line %q", line)
+			}
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("invalid sample line %q", line)
+		}
+	}
+
+	for _, want := range []string{
+		"forwarder_f1_chain_tx{chain=\"c2\"} 9",
+		"runner_core_depth{core=\"0\"} 5",
+		"trace_chain_e2e_ms_seconds{chain=\"gold\",quantile=\"0.5\"} 0.002",
+		"trace_chain_e2e_ms_seconds_count{chain=\"gold\"} 1",
+		`trace_chain_e2e_ms_seconds_count{chain="we\"ird\\key"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// A family's TYPE header must appear exactly once however many keys
+	// are live.
+	if got := strings.Count(out, "# TYPE trace_chain_e2e_ms_seconds summary"); got != 1 {
+		t.Errorf("family TYPE header emitted %d times, want 1", got)
+	}
+}
+
 func TestPromName(t *testing.T) {
 	for in, want := range map[string]string{
 		"forwarder.A/fwd-fw.chain.c1.drops": "forwarder_A_fwd_fw_chain_c1_drops",
@@ -54,5 +117,18 @@ func TestPromName(t *testing.T) {
 		if got := promName(in); got != want {
 			t.Errorf("promName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestKeyedParts(t *testing.T) {
+	base, label, key, ok := KeyedParts("forwarder.f1.chain.<chain>.tx", "forwarder.f1.chain.c2.tx")
+	if !ok || base != "forwarder.f1.chain.tx" || label != "chain" || key != "c2" {
+		t.Fatalf("KeyedParts = %q %q %q %v", base, label, key, ok)
+	}
+	if _, _, _, ok := KeyedParts("a.<k>.b", "mismatch"); ok {
+		t.Fatal("mismatched instance must not parse")
+	}
+	if _, _, _, ok := KeyedParts("no.slot", "no.slot"); ok {
+		t.Fatal("pattern without slot must not parse")
 	}
 }

@@ -139,6 +139,21 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Histograms returns the live histogram instruments keyed by name —
+// the raw access consumers like the telemetry agent need to build
+// mergeable summaries (Snapshot only carries rendered percentiles).
+// The map is a copy; the instruments are shared. Safe for concurrent
+// use.
+func (r *Registry) Histograms() map[string]*Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		out[n] = h
+	}
+	return out
+}
+
 // registerKeyedPattern records a keyed family's pattern so Names (and
 // therefore the metric catalogue) reports the bounded pattern rather
 // than every per-key instance. Safe for concurrent use.
@@ -211,6 +226,12 @@ type Snapshot struct {
 	Gauges map[string]float64 `json:"gauges,omitempty"`
 	// Histograms holds every histogram's summary (durations in ns).
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Keyed maps each keyed-family instance name present in the maps
+	// above back to its family pattern ("chain.c1.drops" →
+	// "chain.<chain>.drops"), so consumers — the Prometheus renderer,
+	// the fleet aggregator — can fold instances into labelled families
+	// without re-parsing names heuristically.
+	Keyed map[string]string `json:"keyed,omitempty"`
 }
 
 // Snapshot captures every registered metric. The registration set is
@@ -232,6 +253,10 @@ func (r *Registry) Snapshot() *Snapshot {
 	for n, h := range r.hists {
 		hists[n] = h
 	}
+	keyed := make(map[string]string, len(r.keyedOf))
+	for n, p := range r.keyedOf {
+		keyed[n] = p
+	}
 	r.mu.RUnlock()
 
 	s := &Snapshot{
@@ -239,6 +264,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		Counters:   make(map[string]uint64, len(counters)),
 		Gauges:     make(map[string]float64, len(gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+		Keyed:      keyed,
 	}
 	for n, fn := range counters {
 		s.Counters[n] = fn()
@@ -270,6 +296,7 @@ func (s *Snapshot) Filter(prefix string) *Snapshot {
 		Counters:   make(map[string]uint64),
 		Gauges:     make(map[string]float64),
 		Histograms: make(map[string]HistogramSnapshot),
+		Keyed:      make(map[string]string),
 	}
 	for n, v := range s.Counters {
 		if strings.HasPrefix(n, prefix) {
@@ -284,6 +311,11 @@ func (s *Snapshot) Filter(prefix string) *Snapshot {
 	for n, v := range s.Histograms {
 		if strings.HasPrefix(n, prefix) {
 			out.Histograms[n] = v
+		}
+	}
+	for n, p := range s.Keyed {
+		if strings.HasPrefix(n, prefix) {
+			out.Keyed[n] = p
 		}
 	}
 	return out

@@ -1,0 +1,172 @@
+package metrics
+
+// Mergeable histogram summaries: the telemetry plane's wire format for
+// latency distributions. A HistogramSummary carries the exact count,
+// sum, min and max of every observation plus a bounded quantile
+// skeleton drawn from the histogram's reservoir, so a fleet aggregator
+// can merge per-site summaries into a cross-site distribution without
+// shipping raw samples. Merging weights each side's sketch by its
+// observation count, so pooled percentiles stay representative even
+// when one site observed orders of magnitude more than another.
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// DefaultSummarySamples bounds the quantile sketch a summary carries
+// when the caller passes maxSamples < 1. 64 sorted samples resolve
+// percentiles to roughly ±1.5 rank points — enough for p50/p90/p99
+// dashboards at a few hundred bytes per histogram per report.
+const DefaultSummarySamples = 64
+
+// HistogramSummary is a compact, mergeable view of a Histogram. Count,
+// SumNs, MinNs and MaxNs are exact over every observation; SampleNs is
+// a sorted quantile skeleton subsampled from the bounded reservoir.
+// The zero value is an empty summary, the identity for Merge.
+type HistogramSummary struct {
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// SumNs is the exact sum of all observations (ns).
+	SumNs int64 `json:"sum_ns"`
+	// MinNs and MaxNs are the exact extremes (ns); 0 when Count is 0.
+	MinNs int64 `json:"min_ns"`
+	MaxNs int64 `json:"max_ns"`
+	// SampleNs is a sorted, bounded quantile skeleton of the reservoir
+	// (ns). Percentile reads nearest-rank over it.
+	SampleNs []int64 `json:"sample_ns,omitempty"`
+}
+
+// Summarize captures a mergeable summary holding at most maxSamples
+// sketch points (< 1 → DefaultSummarySamples). Safe for concurrent use.
+func (h *Histogram) Summarize(maxSamples int) HistogramSummary {
+	if maxSamples < 1 {
+		maxSamples = DefaultSummarySamples
+	}
+	h.mu.Lock()
+	s := HistogramSummary{
+		Count: h.count,
+		SumNs: int64(h.sum),
+		MinNs: int64(h.min),
+		MaxNs: int64(h.max),
+	}
+	sorted := make([]int64, len(h.samples))
+	for i, d := range h.samples {
+		sorted[i] = int64(d)
+	}
+	h.mu.Unlock()
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.SampleNs = pickQuantiles(sorted, maxSamples)
+	return s
+}
+
+// pickQuantiles subsamples a sorted slice down to at most n points by
+// taking the value at each of n evenly spaced quantile positions — the
+// midpoint rule (i+0.5)/n — so the skeleton spans the distribution
+// without biasing toward either tail. n >= len returns a copy.
+func pickQuantiles(sorted []int64, n int) []int64 {
+	if len(sorted) == 0 {
+		return nil
+	}
+	if n >= len(sorted) {
+		return append([]int64(nil), sorted...)
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		idx := int(float64(len(sorted)) * (float64(i) + 0.5) / float64(n))
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}
+
+// Merge pools two summaries: counts, sums and extremes combine exactly;
+// the sketches are resampled in proportion to each side's observation
+// count and re-merged sorted, holding the result to at most maxSamples
+// points (< 1 → DefaultSummarySamples). Merge is commutative up to
+// sketch rounding and treats the zero summary as identity.
+func (s HistogramSummary) Merge(o HistogramSummary, maxSamples int) HistogramSummary {
+	if maxSamples < 1 {
+		maxSamples = DefaultSummarySamples
+	}
+	if s.Count == 0 {
+		o.SampleNs = pickQuantiles(o.SampleNs, maxSamples)
+		return o
+	}
+	if o.Count == 0 {
+		s.SampleNs = pickQuantiles(s.SampleNs, maxSamples)
+		return s
+	}
+	out := HistogramSummary{
+		Count: s.Count + o.Count,
+		SumNs: s.SumNs + o.SumNs,
+		MinNs: s.MinNs,
+		MaxNs: s.MaxNs,
+	}
+	if o.MinNs < out.MinNs {
+		out.MinNs = o.MinNs
+	}
+	if o.MaxNs > out.MaxNs {
+		out.MaxNs = o.MaxNs
+	}
+	// Allocate sketch slots by observation weight so a site that saw a
+	// million samples is not averaged 50/50 with one that saw ten.
+	na := int(float64(maxSamples) * float64(s.Count) / float64(out.Count))
+	if na < 1 {
+		na = 1
+	}
+	if na > maxSamples-1 {
+		na = maxSamples - 1
+	}
+	a := pickQuantiles(s.SampleNs, na)
+	b := pickQuantiles(o.SampleNs, maxSamples-na)
+	merged := make([]int64, 0, len(a)+len(b))
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	out.SampleNs = merged
+	return out
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) by nearest rank
+// over the sketch, or 0 with no samples.
+func (s HistogramSummary) Percentile(p float64) time.Duration {
+	if len(s.SampleNs) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.SampleNs)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.SampleNs) {
+		rank = len(s.SampleNs) - 1
+	}
+	return time.Duration(s.SampleNs[rank])
+}
+
+// MeanNs returns the exact mean (ns), or 0 with no observations.
+func (s HistogramSummary) MeanNs() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumNs / int64(s.Count)
+}
+
+// Snapshot renders the summary in the registry's HistogramSnapshot
+// shape (percentiles from the sketch, everything else exact), so fleet
+// rollups serialise the same way local histograms do.
+func (s HistogramSummary) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:  s.Count,
+		MeanNs: s.MeanNs(),
+		SumNs:  s.SumNs,
+		MinNs:  s.MinNs,
+		MaxNs:  s.MaxNs,
+		P50Ns:  int64(s.Percentile(50)),
+		P90Ns:  int64(s.Percentile(90)),
+		P99Ns:  int64(s.Percentile(99)),
+	}
+}

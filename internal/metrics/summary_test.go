@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// pooledPercentile computes the exact nearest-rank percentile over raw
+// samples — the reference the merged sketch is judged against.
+func pooledPercentile(samples []int64, p float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(float64(len(sorted))*p/100+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// TestSummarizeExactFields pins that count/sum/min/max are exact even
+// past the reservoir capacity, and that the sketch stays bounded.
+func TestSummarizeExactFields(t *testing.T) {
+	h := NewHistogramCap(32)
+	var sum int64
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+		sum += int64(i) * 1000
+	}
+	s := h.Summarize(16)
+	if s.Count != 1000 || s.SumNs != sum {
+		t.Fatalf("count/sum = %d/%d, want 1000/%d", s.Count, s.SumNs, sum)
+	}
+	if s.MinNs != 1000 || s.MaxNs != 1_000_000 {
+		t.Fatalf("min/max = %d/%d, want 1000/1000000", s.MinNs, s.MaxNs)
+	}
+	if len(s.SampleNs) > 16 {
+		t.Fatalf("sketch holds %d samples, cap 16", len(s.SampleNs))
+	}
+	if !sort.SliceIsSorted(s.SampleNs, func(i, j int) bool { return s.SampleNs[i] < s.SampleNs[j] }) {
+		t.Fatal("sketch not sorted")
+	}
+}
+
+// TestMergeIdentityAndExactness: the zero summary is Merge's identity,
+// and merged count/sum/min/max combine exactly.
+func TestMergeIdentityAndExactness(t *testing.T) {
+	a := HistogramSummary{Count: 3, SumNs: 60, MinNs: 10, MaxNs: 30, SampleNs: []int64{10, 20, 30}}
+	var zero HistogramSummary
+	if got := a.Merge(zero, 8); got.Count != 3 || got.SumNs != 60 {
+		t.Fatalf("merge with zero changed summary: %+v", got)
+	}
+	if got := zero.Merge(a, 8); got.Count != 3 || got.MinNs != 10 || got.MaxNs != 30 {
+		t.Fatalf("zero.Merge(a) = %+v", got)
+	}
+	b := HistogramSummary{Count: 2, SumNs: 9, MinNs: 4, MaxNs: 5, SampleNs: []int64{4, 5}}
+	m := a.Merge(b, 8)
+	if m.Count != 5 || m.SumNs != 69 || m.MinNs != 4 || m.MaxNs != 30 {
+		t.Fatalf("merged exact fields wrong: %+v", m)
+	}
+}
+
+// TestMergePercentileProperty is the satellite's property test: across
+// randomized trials with unequal sizes and disjoint distributions,
+// every merged-sketch percentile must land within a rank tolerance of
+// the percentile computed over the pooled raw samples.
+func TestMergePercentileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const sketch = 64
+	for trial := 0; trial < 40; trial++ {
+		na := 50 + rng.Intn(5000)
+		nb := 50 + rng.Intn(5000)
+		// Two deliberately different shapes: a wide uniform and a
+		// shifted narrow band, so merging actually has to interleave.
+		ha, hb := NewHistogram(), NewHistogram()
+		all := make([]int64, 0, na+nb)
+		for i := 0; i < na; i++ {
+			v := int64(1 + rng.Intn(1_000_000))
+			ha.Observe(time.Duration(v))
+			all = append(all, v)
+		}
+		lo := int64(1 + rng.Intn(500_000))
+		for i := 0; i < nb; i++ {
+			v := lo + int64(rng.Intn(50_000))
+			hb.Observe(time.Duration(v))
+			all = append(all, v)
+		}
+		m := ha.Summarize(sketch).Merge(hb.Summarize(sketch), sketch)
+		if m.Count != uint64(na+nb) {
+			t.Fatalf("trial %d: merged count %d, want %d", trial, m.Count, na+nb)
+		}
+		if len(m.SampleNs) > sketch {
+			t.Fatalf("trial %d: merged sketch %d > cap %d", trial, len(m.SampleNs), sketch)
+		}
+		// Rank tolerance: the merged p-quantile must lie between the
+		// pooled (p-eps) and (p+eps) quantiles. eps covers both the
+		// sketch resolution (100/sketch rank points) and proportional-
+		// allocation rounding.
+		const eps = 6.0
+		for _, p := range []float64{25, 50, 75, 90, 99} {
+			got := int64(m.Percentile(p))
+			loRef := pooledPercentile(all, max0(p-eps))
+			hiRef := pooledPercentile(all, min100(p+eps))
+			if got < loRef || got > hiRef {
+				t.Fatalf("trial %d: merged p%.0f = %d outside pooled [p%.0f=%d, p%.0f=%d]",
+					trial, p, got, p-eps, loRef, p+eps, hiRef)
+			}
+		}
+	}
+}
+
+func max0(p float64) float64 {
+	if p < 0.5 {
+		return 0.5
+	}
+	return p
+}
+
+func min100(p float64) float64 {
+	if p > 100 {
+		return 100
+	}
+	return p
+}
+
+// TestMergeWeighting: a side with overwhelmingly more observations must
+// dominate the merged percentiles.
+func TestMergeWeighting(t *testing.T) {
+	big, small := NewHistogram(), NewHistogram()
+	for i := 0; i < 100_000; i++ {
+		big.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		small.Observe(90 * time.Millisecond)
+	}
+	m := big.Summarize(64).Merge(small.Summarize(64), 64)
+	if p50 := m.Percentile(50); p50 != 100*time.Microsecond {
+		t.Fatalf("p50 = %v, want 100µs (big side must dominate)", p50)
+	}
+	if m.MaxNs != int64(90*time.Millisecond) {
+		t.Fatalf("max = %d, want the small side's 90ms", m.MaxNs)
+	}
+}

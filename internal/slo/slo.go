@@ -465,6 +465,23 @@ func (e *Evaluator) Alerts() []Alert {
 	return out
 }
 
+// AlertsSince returns only the alerts that changed state at or after t
+// — fired, or resolved, on or after the cutoff — oldest first. A
+// telemetry agent polling every interval passes its previous poll time
+// and ships just the increment instead of the whole log; t.IsZero()
+// returns everything, like Alerts. Safe for concurrent use.
+func (e *Evaluator) AlertsSince(t time.Time) []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []Alert
+	for _, a := range e.alerts {
+		if !a.FiredAt.Before(t) || (!a.ResolvedAt.IsZero() && !a.ResolvedAt.Before(t)) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // Firing reports how many chains are currently in the firing state.
 func (e *Evaluator) Firing() int {
 	e.mu.Lock()

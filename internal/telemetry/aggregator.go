@@ -1,0 +1,732 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"switchboard/internal/bus"
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+	"switchboard/internal/simnet"
+	"switchboard/internal/slo"
+)
+
+// Aggregator defaults.
+const (
+	// DefaultStaleAfterIntervals marks a site stale when no report has
+	// arrived for this many of its own reporting intervals — the ISSUE's
+	// "stale within 2 reporting intervals" bound.
+	DefaultStaleAfterIntervals = 2
+	// DefaultRetainedSpans / DefaultRetainedEvents / DefaultRetainedAlerts
+	// bound what the aggregator keeps per site for drill-downs.
+	DefaultRetainedSpans  = 512
+	DefaultRetainedEvents = 1024
+	DefaultRetainedAlerts = 256
+)
+
+// AggregatorConfig tunes the fleet aggregator. The zero value is ready.
+type AggregatorConfig struct {
+	// StaleAfter overrides the staleness bound; 0 derives it per site
+	// as DefaultStaleAfterIntervals × the site's reported interval.
+	StaleAfter time.Duration
+	// MaxFlows bounds stitched flows (≤ 0 → DefaultMaxFlows).
+	MaxFlows int
+	// RetainedSpans, RetainedEvents, RetainedAlerts bound per-site
+	// drill-down state (≤ 0 → the defaults above).
+	RetainedSpans, RetainedEvents, RetainedAlerts int
+	// SummarySamples bounds merged summary sketches
+	// (≤ 0 → metrics.DefaultSummarySamples).
+	SummarySamples int
+}
+
+func (c AggregatorConfig) withDefaults() AggregatorConfig {
+	if c.MaxFlows <= 0 {
+		c.MaxFlows = DefaultMaxFlows
+	}
+	if c.RetainedSpans <= 0 {
+		c.RetainedSpans = DefaultRetainedSpans
+	}
+	if c.RetainedEvents <= 0 {
+		c.RetainedEvents = DefaultRetainedEvents
+	}
+	if c.RetainedAlerts <= 0 {
+		c.RetainedAlerts = DefaultRetainedAlerts
+	}
+	if c.SummarySamples <= 0 {
+		c.SummarySamples = metrics.DefaultSummarySamples
+	}
+	return c
+}
+
+// siteState is everything the aggregator retains about one site.
+type siteState struct {
+	lastSeq      uint64
+	lastReportAt time.Time // receive time, so a dead site's clock can't hide staleness
+	intervalNs   int64
+	healthy      bool
+	reports      uint64
+	counters     map[string]uint64 // cumulative (sum of shipped deltas)
+	gauges       map[string]float64
+	hists        map[string]metrics.HistogramSummary // latest per site
+	keyed        map[string]string
+	spans        []obs.Span
+	events       []obs.Event
+	alerts       []slo.Alert
+}
+
+// Aggregator merges site telemetry reports into the fleet model served
+// at /fleet: per-site rollups, per-chain cross-site aggregates, the
+// health matrix, and stitched trace timelines. All methods are safe for
+// concurrent use.
+type Aggregator struct {
+	cfg AggregatorConfig
+
+	reportsMerged *metrics.Counter
+	sheds         *metrics.Counter
+
+	mu     sync.Mutex
+	sites  map[string]*siteState
+	stitch *stitcher
+
+	subMu sync.Mutex
+	subs  []*bus.Subscription
+	done  sync.WaitGroup
+}
+
+// NewAggregator returns an aggregator for cfg (defaults applied).
+func NewAggregator(cfg AggregatorConfig) *Aggregator {
+	cfg = cfg.withDefaults()
+	return &Aggregator{
+		cfg:           cfg,
+		reportsMerged: &metrics.Counter{},
+		sheds:         &metrics.Counter{},
+		sites:         make(map[string]*siteState),
+		stitch:        newStitcher(cfg.MaxFlows),
+	}
+}
+
+// RegisterMetrics publishes the aggregator's instruments into reg:
+//
+//	telemetry.reports_merged  reports merged into the fleet model
+//	telemetry.sheds           reports dropped by a full subscriber
+//	                          queue (create-or-get: shared with a
+//	                          co-located agent's shed counter)
+//	fleet.sites               sites currently known to the fleet model
+//	fleet.sites_stale         sites whose reports have gone stale
+func (a *Aggregator) RegisterMetrics(reg *metrics.Registry) {
+	shared := reg.Counter("telemetry.sheds")
+	a.mu.Lock()
+	shared.Add(a.sheds.Load())
+	a.sheds = shared
+	a.mu.Unlock()
+	reg.CounterFunc("telemetry.reports_merged", a.reportsMerged.Load)
+	reg.GaugeFunc("fleet.sites", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(len(a.sites))
+	})
+	reg.GaugeFunc("fleet.sites_stale", func() float64 {
+		return float64(a.staleCount(time.Now()))
+	})
+}
+
+// ReportsMerged returns reports merged so far.
+func (a *Aggregator) ReportsMerged() uint64 { return a.reportsMerged.Load() }
+
+// Sheds returns reports shed at the subscriber queue so far.
+func (a *Aggregator) Sheds() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sheds.Load()
+}
+
+// Attach subscribes the aggregator to the fleet topic at site (the GS
+// site) and drains reports on a background goroutine until the returned
+// stop function is called. Publications dropped because the subscriber
+// queue backed up are counted as telemetry.sheds — the bus never waits
+// for a slow aggregator.
+func (a *Aggregator) Attach(b bus.PubSub, site simnet.SiteID, topic bus.Topic, queue int) (func(), error) {
+	sub, err := b.Subscribe(site, topic, queue)
+	if err != nil {
+		return nil, err
+	}
+	sub.SetOnDrop(func() {
+		a.mu.Lock()
+		s := a.sheds
+		a.mu.Unlock()
+		s.Inc()
+	})
+	a.subMu.Lock()
+	a.subs = append(a.subs, sub)
+	a.subMu.Unlock()
+	a.done.Add(1)
+	go func() {
+		defer a.done.Done()
+		for pub := range sub.Ch() {
+			if r, ok := pub.Payload.(*Report); ok {
+				a.Ingest(r)
+			}
+		}
+	}()
+	return func() { sub.Cancel() }, nil
+}
+
+// Close cancels every attached subscription and waits for the drain
+// goroutines.
+func (a *Aggregator) Close() {
+	a.subMu.Lock()
+	subs := a.subs
+	a.subs = nil
+	a.subMu.Unlock()
+	for _, s := range subs {
+		s.Cancel()
+	}
+	a.done.Wait()
+}
+
+// Ingest merges one report at the current wall-clock receive time.
+func (a *Aggregator) Ingest(r *Report) { a.IngestAt(r, time.Now()) }
+
+// IngestAt merges one report received at now (exposed for deterministic
+// tests). Duplicate or reordered deliveries — sequence numbers at or
+// below the site's last merged report — are ignored, so at-least-once
+// bus delivery cannot double-apply counter deltas.
+func (a *Aggregator) IngestAt(r *Report, now time.Time) {
+	if r == nil || r.Site == "" {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.sites[r.Site]
+	if !ok {
+		st = &siteState{
+			counters: make(map[string]uint64),
+			gauges:   make(map[string]float64),
+			hists:    make(map[string]metrics.HistogramSummary),
+			keyed:    make(map[string]string),
+		}
+		a.sites[r.Site] = st
+	}
+	if r.Seq <= st.lastSeq {
+		return
+	}
+	st.lastSeq = r.Seq
+	st.lastReportAt = now
+	st.intervalNs = r.IntervalNs
+	st.healthy = r.Healthy
+	st.reports++
+	for n, d := range r.Counters {
+		st.counters[n] += d
+	}
+	for n, v := range r.Gauges {
+		st.gauges[n] = v
+	}
+	for n, h := range r.Histograms {
+		st.hists[n] = h
+	}
+	for n, p := range r.Keyed {
+		st.keyed[n] = p
+	}
+	st.spans = append(st.spans, r.Spans...)
+	if len(st.spans) > a.cfg.RetainedSpans {
+		st.spans = st.spans[len(st.spans)-a.cfg.RetainedSpans:]
+	}
+	st.events = append(st.events, r.Events...)
+	if len(st.events) > a.cfg.RetainedEvents {
+		st.events = st.events[len(st.events)-a.cfg.RetainedEvents:]
+	}
+	st.alerts = append(st.alerts, r.Alerts...)
+	if len(st.alerts) > a.cfg.RetainedAlerts {
+		st.alerts = st.alerts[len(st.alerts)-a.cfg.RetainedAlerts:]
+	}
+	if len(r.Hops) > 0 {
+		a.stitch.add(r.Site, r.Hops)
+	}
+	a.reportsMerged.Inc()
+}
+
+// staleBound returns how long site st may go unreported before the
+// matrix marks it stale.
+func (a *Aggregator) staleBound(st *siteState) time.Duration {
+	if a.cfg.StaleAfter > 0 {
+		return a.cfg.StaleAfter
+	}
+	iv := time.Duration(st.intervalNs)
+	if iv <= 0 {
+		iv = DefaultInterval
+	}
+	return DefaultStaleAfterIntervals * iv
+}
+
+func (a *Aggregator) staleCount(now time.Time) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, st := range a.sites {
+		if now.Sub(st.lastReportAt) > a.staleBound(st) {
+			n++
+		}
+	}
+	return n
+}
+
+// SiteHealth is one row of the fleet health matrix.
+type SiteHealth struct {
+	// Site is the reporting site.
+	Site string `json:"site"`
+	// Status folds staleness and the shipped health verdict:
+	// "ok", "degraded" (reporting but unhealthy), or "stale".
+	Status string `json:"status"`
+	// Healthy is the site's last shipped /healthz-equivalent verdict.
+	Healthy bool `json:"healthy"`
+	// Stale is true when no report arrived within the staleness bound.
+	Stale bool `json:"stale"`
+	// AgeMs is how long ago the last report arrived.
+	AgeMs float64 `json:"age_ms"`
+	// LastSeq and Reports count the site's report stream.
+	LastSeq uint64 `json:"last_seq"`
+	Reports uint64 `json:"reports"`
+}
+
+// SiteRollup is one site's summary row in the fleet model.
+type SiteRollup struct {
+	SiteHealth
+	// Counters, Gauges, Histograms, Spans, Events, Alerts count the
+	// retained state (full values live in the drill-down).
+	Counters   int `json:"counters"`
+	Gauges     int `json:"gauges"`
+	Histograms int `json:"histograms"`
+	Spans      int `json:"spans"`
+	Events     int `json:"events"`
+	Alerts     int `json:"alerts"`
+}
+
+// ChainAggregate is one chain's cross-site view: counters summed and
+// latency summaries merged over every site reporting keyed metrics for
+// the chain.
+type ChainAggregate struct {
+	// Chain is the chain key as it appears in keyed metric instances.
+	Chain string `json:"chain"`
+	// Sites reported metrics for this chain, sorted.
+	Sites []string `json:"sites"`
+	// Counters sums each keyed counter family's instances across sites,
+	// keyed by the family suffix after the chain slot ("tx", "drops",
+	// "ingressed", …).
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Histograms merges each keyed histogram family's summaries across
+	// sites, keyed and rendered like Counters ("e2e_ms", …).
+	Histograms map[string]metrics.HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// FleetModel is the JSON document served at /fleet.
+type FleetModel struct {
+	// TakenAtNs is when the model was rendered (Unix ns).
+	TakenAtNs int64 `json:"taken_at_ns"`
+	// Sites are the per-site rollups, sorted by site.
+	Sites []SiteRollup `json:"sites"`
+	// SitesStale counts rows with Stale set.
+	SitesStale int `json:"sites_stale"`
+	// Chains are the per-chain cross-site aggregates, sorted by chain.
+	Chains []ChainAggregate `json:"chains"`
+	// Timelines are the stitched flows, most recently updated first.
+	Timelines []Timeline `json:"timelines,omitempty"`
+}
+
+// Model renders the fleet model as of now.
+func (a *Aggregator) Model(now time.Time) FleetModel {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m := FleetModel{TakenAtNs: now.UnixNano()}
+	for site, st := range a.sites {
+		h := a.healthRow(site, st, now)
+		if h.Stale {
+			m.SitesStale++
+		}
+		m.Sites = append(m.Sites, SiteRollup{
+			SiteHealth: h,
+			Counters:   len(st.counters),
+			Gauges:     len(st.gauges),
+			Histograms: len(st.hists),
+			Spans:      len(st.spans),
+			Events:     len(st.events),
+			Alerts:     len(st.alerts),
+		})
+	}
+	sort.Slice(m.Sites, func(i, j int) bool { return m.Sites[i].Site < m.Sites[j].Site })
+	m.Chains = a.chainAggregatesLocked()
+	m.Timelines = a.stitch.timelines()
+	return m
+}
+
+func (a *Aggregator) healthRow(site string, st *siteState, now time.Time) SiteHealth {
+	age := now.Sub(st.lastReportAt)
+	h := SiteHealth{
+		Site:    site,
+		Healthy: st.healthy,
+		Stale:   age > a.staleBound(st),
+		AgeMs:   float64(age) / float64(time.Millisecond),
+		LastSeq: st.lastSeq,
+		Reports: st.reports,
+	}
+	switch {
+	case h.Stale:
+		h.Status = "stale"
+	case !h.Healthy:
+		h.Status = "degraded"
+	default:
+		h.Status = "ok"
+	}
+	return h
+}
+
+// HealthMatrix returns every site's health row, sorted by site.
+func (a *Aggregator) HealthMatrix(now time.Time) []SiteHealth {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]SiteHealth, 0, len(a.sites))
+	for site, st := range a.sites {
+		out = append(out, a.healthRow(site, st, now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// chainAggregatesLocked folds every site's keyed metric instances with
+// a "chain" key slot into per-chain cross-site aggregates. Caller holds
+// a.mu.
+func (a *Aggregator) chainAggregatesLocked() []ChainAggregate {
+	type agg struct {
+		sites    map[string]bool
+		counters map[string]uint64
+		hists    map[string]metrics.HistogramSummary
+	}
+	chains := make(map[string]*agg)
+	get := func(chain string) *agg {
+		c, ok := chains[chain]
+		if !ok {
+			c = &agg{
+				sites:    make(map[string]bool),
+				counters: make(map[string]uint64),
+				hists:    make(map[string]metrics.HistogramSummary),
+			}
+			chains[chain] = c
+		}
+		return c
+	}
+	for site, st := range a.sites {
+		for inst, pattern := range st.keyed {
+			_, label, key, ok := metrics.KeyedParts(pattern, inst)
+			if !ok || label != "chain" {
+				continue
+			}
+			suffix := familySuffix(pattern)
+			if v, ok := st.counters[inst]; ok {
+				c := get(key)
+				c.sites[site] = true
+				c.counters[suffix] += v
+			}
+			if h, ok := st.hists[inst]; ok {
+				c := get(key)
+				c.sites[site] = true
+				c.hists[suffix] = c.hists[suffix].Merge(h, a.cfg.SummarySamples)
+			}
+		}
+	}
+	out := make([]ChainAggregate, 0, len(chains))
+	for chain, c := range chains {
+		ca := ChainAggregate{Chain: chain, Counters: c.counters}
+		for site := range c.sites {
+			ca.Sites = append(ca.Sites, site)
+		}
+		sort.Strings(ca.Sites)
+		if len(c.hists) > 0 {
+			ca.Histograms = make(map[string]metrics.HistogramSnapshot, len(c.hists))
+			for suffix, h := range c.hists {
+				ca.Histograms[suffix] = h.Snapshot()
+			}
+		}
+		out = append(out, ca)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Chain < out[j].Chain })
+	return out
+}
+
+// familySuffix returns the readable tail of a keyed pattern after its
+// key slot ("forwarder.f1.chain.<chain>.tx" → "tx"); when the slot is
+// terminal it falls back to the segment before it.
+func familySuffix(pattern string) string {
+	i := strings.LastIndex(pattern, "<")
+	j := -1
+	if i >= 0 {
+		j = strings.Index(pattern[i:], ">")
+	}
+	if j < 0 {
+		return pattern
+	}
+	if s := strings.Trim(pattern[i+j+1:], "."); s != "" {
+		return s
+	}
+	segs := strings.Split(strings.Trim(pattern[:i], "."), ".")
+	return segs[len(segs)-1]
+}
+
+// SiteDetail is the per-site drill-down served at /fleet/site.
+type SiteDetail struct {
+	SiteHealth
+	// Counters are cumulative values reconstructed from shipped deltas.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges are the site's latest gauge values.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms are the site's latest summaries, rendered.
+	Histograms map[string]metrics.HistogramSnapshot `json:"histograms,omitempty"`
+	// Spans, Events and Alerts are the retained recent records.
+	Spans  []obs.Span  `json:"spans,omitempty"`
+	Events []obs.Event `json:"events,omitempty"`
+	Alerts []slo.Alert `json:"alerts,omitempty"`
+}
+
+// Site renders one site's drill-down, or ok=false if unknown.
+func (a *Aggregator) Site(site string, now time.Time) (SiteDetail, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.sites[site]
+	if !ok {
+		return SiteDetail{}, false
+	}
+	d := SiteDetail{
+		SiteHealth: a.healthRow(site, st, now),
+		Counters:   make(map[string]uint64, len(st.counters)),
+		Gauges:     make(map[string]float64, len(st.gauges)),
+		Histograms: make(map[string]metrics.HistogramSnapshot, len(st.hists)),
+		Spans:      append([]obs.Span(nil), st.spans...),
+		Events:     append([]obs.Event(nil), st.events...),
+		Alerts:     append([]slo.Alert(nil), st.alerts...),
+	}
+	for n, v := range st.counters {
+		d.Counters[n] = v
+	}
+	for n, v := range st.gauges {
+		d.Gauges[n] = v
+	}
+	for n, h := range st.hists {
+		d.Histograms[n] = h.Snapshot()
+	}
+	return d, true
+}
+
+// Counter returns one site's cumulative value for a counter name.
+func (a *Aggregator) Counter(site, name string) (uint64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.sites[site]
+	if !ok {
+		return 0, false
+	}
+	v, ok := st.counters[name]
+	return v, ok
+}
+
+// Timeline returns the stitched timeline for one flow; trace 0 picks
+// the chain's widest-spanning flow. Control-plane spans from the
+// timeline's sites that overlap its window are stitched in (bounded).
+func (a *Aggregator) Timeline(chain string, trace uint64) (Timeline, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var tl Timeline
+	var ok bool
+	if trace == 0 {
+		tl, ok = a.stitch.bestTimeline(chain)
+	} else {
+		tl, ok = a.stitch.timeline(chain, trace)
+	}
+	if !ok {
+		return Timeline{}, false
+	}
+	tl.Spans = a.windowSpansLocked(tl, 32)
+	return tl, true
+}
+
+// Timelines returns every stitched timeline, most recent first.
+func (a *Aggregator) Timelines() []Timeline {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stitch.timelines()
+}
+
+// windowSpansLocked collects up to max control-plane spans reported by
+// the timeline's sites whose interval overlaps the flow's window —
+// the "what was the control plane doing while this flow was slow"
+// join. Caller holds a.mu.
+func (a *Aggregator) windowSpansLocked(tl Timeline, max int) []obs.Span {
+	if len(tl.Hops) == 0 {
+		return nil
+	}
+	lo := tl.Hops[0].ArriveNs
+	hi := tl.Hops[len(tl.Hops)-1].ArriveNs
+	var out []obs.Span
+	for _, site := range tl.Sites {
+		st, ok := a.sites[site]
+		if !ok {
+			continue
+		}
+		for _, sp := range st.spans {
+			if sp.StartNs <= hi && sp.EndNs >= lo {
+				out = append(out, sp)
+				if len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SpanTree joins the spans shipped by every site into the tree rooted
+// at root — cross-site control-plane stitching: a GS create-chain span
+// and the per-site apply-route spans it parents reassemble even though
+// each arrived in a different site's report. The result is
+// breadth-first from the root.
+func (a *Aggregator) SpanTree(root uint64) []obs.Span {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	byParent := make(map[uint64][]obs.Span)
+	var rootSpan *obs.Span
+	for _, st := range a.sites {
+		for _, sp := range st.spans {
+			if sp.ID == root && rootSpan == nil {
+				cp := sp
+				rootSpan = &cp
+				continue
+			}
+			byParent[sp.Parent] = append(byParent[sp.Parent], sp)
+		}
+	}
+	if rootSpan == nil {
+		return nil
+	}
+	out := []obs.Span{*rootSpan}
+	queue := []uint64{root}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		kids := byParent[id]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].ID < kids[j].ID })
+		for _, k := range kids {
+			out = append(out, k)
+			queue = append(queue, k.ID)
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the fleet-wide Prometheus exposition: every
+// site's counters, gauges and histogram summaries as labelled series —
+// {site="A"} always, plus the key label for keyed-family instances —
+// so one scrape of the GS covers the fleet.
+func (a *Aggregator) WritePrometheus(w io.Writer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	type family struct {
+		kind    string
+		samples []string
+	}
+	fams := make(map[string]*family)
+	order := []string{}
+	fam := func(name, kind string) *family {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{kind: kind}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	// series name + labels for one instance: keyed instances fold to
+	// the family base with the key as a label.
+	series := func(st *siteState, site, inst string) (name, lbl string) {
+		if pattern, ok := st.keyed[inst]; ok {
+			if base, label, key, ok := metrics.KeyedParts(pattern, inst); ok {
+				return metrics.PromName(base), fmt.Sprintf("%s=\"%s\",site=\"%s\"",
+					label, metrics.PromLabelValue(key), metrics.PromLabelValue(site))
+			}
+		}
+		return metrics.PromName(inst), fmt.Sprintf("site=\"%s\"", metrics.PromLabelValue(site))
+	}
+
+	siteNames := make([]string, 0, len(a.sites))
+	for s := range a.sites {
+		siteNames = append(siteNames, s)
+	}
+	sort.Strings(siteNames)
+	for _, site := range siteNames {
+		st := a.sites[site]
+		for _, inst := range sortedNames(st.counters) {
+			name, lbl := series(st, site, inst)
+			f := fam(name, "counter")
+			f.samples = append(f.samples, fmt.Sprintf("%s{%s} %d", name, lbl, st.counters[inst]))
+		}
+		for _, inst := range sortedNamesF(st.gauges) {
+			name, lbl := series(st, site, inst)
+			f := fam(name, "gauge")
+			f.samples = append(f.samples, fmt.Sprintf("%s{%s} %g", name, lbl, st.gauges[inst]))
+		}
+		for _, inst := range sortedNamesH(st.hists) {
+			h := st.hists[inst]
+			name, lbl := series(st, site, inst)
+			name += "_seconds"
+			f := fam(name, "summary")
+			secs := func(ns int64) float64 { return float64(ns) / 1e9 }
+			f.samples = append(f.samples,
+				fmt.Sprintf("%s{%s,quantile=\"0.5\"} %g", name, lbl, secs(int64(h.Percentile(50)))),
+				fmt.Sprintf("%s{%s,quantile=\"0.99\"} %g", name, lbl, secs(int64(h.Percentile(99)))),
+				fmt.Sprintf("%s_sum{%s} %g", name, lbl, secs(h.SumNs)),
+				fmt.Sprintf("%s_count{%s} %d", name, lbl, h.Count),
+			)
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.kind); err != nil {
+			return err
+		}
+		for _, line := range f.samples {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedNames(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedNamesF(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedNamesH(m map[string]metrics.HistogramSummary) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,312 @@
+package telemetry
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+)
+
+func report(site string, seq uint64, interval time.Duration) *Report {
+	return &Report{
+		Site:       site,
+		Seq:        seq,
+		IntervalNs: int64(interval),
+		Healthy:    true,
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Keyed:      map[string]string{},
+	}
+}
+
+func TestAggregatorCumulativeAndDedupe(t *testing.T) {
+	ag := NewAggregator(AggregatorConfig{})
+	t0 := time.Unix(1000, 0)
+
+	r1 := report("A", 1, time.Second)
+	r1.Counters["fwd.rx"] = 10
+	ag.IngestAt(r1, t0)
+
+	r2 := report("A", 2, time.Second)
+	r2.Counters["fwd.rx"] = 5
+	ag.IngestAt(r2, t0.Add(time.Second))
+
+	// At-least-once delivery: a replayed seq 1 must not re-apply.
+	ag.IngestAt(r1, t0.Add(2*time.Second))
+	// Nor a reordered stale report.
+	stale := report("A", 1, time.Second)
+	stale.Counters["fwd.rx"] = 100
+	ag.IngestAt(stale, t0.Add(2*time.Second))
+
+	if v, ok := ag.Counter("A", "fwd.rx"); !ok || v != 15 {
+		t.Errorf("cumulative fwd.rx = %d, want 15 (10+5, dupes ignored)", v)
+	}
+	if ag.ReportsMerged() != 2 {
+		t.Errorf("reports merged = %d, want 2", ag.ReportsMerged())
+	}
+}
+
+func TestHealthMatrixStaleness(t *testing.T) {
+	ag := NewAggregator(AggregatorConfig{})
+	t0 := time.Unix(1000, 0)
+	iv := 100 * time.Millisecond
+
+	ag.IngestAt(report("A", 1, iv), t0)
+	b := report("B", 1, iv)
+	b.Healthy = false
+	ag.IngestAt(b, t0)
+
+	// Within the bound (2 intervals of the site's own reporting period)
+	// nobody is stale; B is degraded by its shipped verdict.
+	m := ag.Model(t0.Add(iv))
+	if m.SitesStale != 0 {
+		t.Fatalf("stale at 1 interval = %d, want 0", m.SitesStale)
+	}
+	rows := map[string]string{}
+	for _, s := range m.Sites {
+		rows[s.Site] = s.Status
+	}
+	if rows["A"] != "ok" || rows["B"] != "degraded" {
+		t.Errorf("statuses = %v, want A=ok B=degraded", rows)
+	}
+
+	// B keeps reporting; A goes dark. Just past 2 of A's intervals, A is
+	// stale — the ISSUE's "within 2 reporting intervals" bound.
+	ag.IngestAt(func() *Report { r := report("B", 2, iv); r.Healthy = false; return r }(), t0.Add(2*iv))
+	now := t0.Add(2*iv + time.Millisecond)
+	matrix := ag.HealthMatrix(now)
+	byName := map[string]SiteHealth{}
+	for _, h := range matrix {
+		byName[h.Site] = h
+	}
+	if !byName["A"].Stale || byName["A"].Status != "stale" {
+		t.Errorf("A = %+v, want stale after 2 intervals dark", byName["A"])
+	}
+	if byName["B"].Stale {
+		t.Errorf("B = %+v, want fresh (reported at 2iv)", byName["B"])
+	}
+	if got := ag.Model(now).SitesStale; got != 1 {
+		t.Errorf("SitesStale = %d, want 1", got)
+	}
+}
+
+func TestChainAggregatesAcrossSites(t *testing.T) {
+	ag := NewAggregator(AggregatorConfig{})
+	t0 := time.Unix(1000, 0)
+
+	mk := func(site string, seq uint64, tx uint64, lat time.Duration) *Report {
+		r := report(site, seq, time.Second)
+		inst := "forwarder.f.chain.mesh.tx"
+		r.Counters[inst] = tx
+		r.Keyed[inst] = "forwarder.f.chain.<chain>.tx"
+		h := metrics.NewHistogram()
+		for i := 0; i < 50; i++ {
+			h.Observe(lat)
+		}
+		hi := "trace.chain.mesh.e2e_ms"
+		r.Histograms = map[string]metrics.HistogramSummary{hi: h.Summarize(32)}
+		r.Keyed[hi] = "trace.chain.<chain>.e2e_ms"
+		return r
+	}
+	ag.IngestAt(mk("A", 1, 100, time.Millisecond), t0)
+	ag.IngestAt(mk("B", 1, 40, 3*time.Millisecond), t0)
+
+	m := ag.Model(t0)
+	if len(m.Chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(m.Chains))
+	}
+	c := m.Chains[0]
+	if c.Chain != "mesh" {
+		t.Fatalf("chain = %q, want mesh", c.Chain)
+	}
+	if len(c.Sites) != 2 || c.Sites[0] != "A" || c.Sites[1] != "B" {
+		t.Errorf("chain sites = %v, want [A B]", c.Sites)
+	}
+	if c.Counters["tx"] != 140 {
+		t.Errorf("summed tx = %d, want 140", c.Counters["tx"])
+	}
+	e2e, ok := c.Histograms["e2e_ms"]
+	if !ok {
+		t.Fatalf("merged e2e histogram missing: %v", c.Histograms)
+	}
+	if e2e.Count != 100 {
+		t.Errorf("merged count = %d, want 100", e2e.Count)
+	}
+	if e2e.MinNs != int64(time.Millisecond) || e2e.MaxNs != int64(3*time.Millisecond) {
+		t.Errorf("merged min/max = %d/%d, want 1ms/3ms", e2e.MinNs, e2e.MaxNs)
+	}
+}
+
+func TestSpanTreeStitchesAcrossSites(t *testing.T) {
+	ag := NewAggregator(AggregatorConfig{})
+	t0 := time.Unix(1000, 0)
+
+	// GS report carries the root span; two LS reports carry children.
+	gs := report("GSB", 1, time.Second)
+	gs.Spans = []obs.Span{{ID: 10, Name: "create-chain", StartNs: 100, EndNs: 900}}
+	ag.IngestAt(gs, t0)
+	a := report("A", 1, time.Second)
+	a.Spans = []obs.Span{{ID: 11, Parent: 10, Name: "apply-route:A", StartNs: 200, EndNs: 400}}
+	ag.IngestAt(a, t0)
+	b := report("B", 1, time.Second)
+	b.Spans = []obs.Span{
+		{ID: 12, Parent: 10, Name: "apply-route:B", StartNs: 200, EndNs: 500},
+		{ID: 13, Parent: 12, Name: "install-rules", StartNs: 250, EndNs: 450},
+	}
+	ag.IngestAt(b, t0)
+
+	tree := ag.SpanTree(10)
+	if len(tree) != 4 {
+		t.Fatalf("tree size = %d, want 4", len(tree))
+	}
+	if tree[0].Name != "create-chain" {
+		t.Errorf("root = %q", tree[0].Name)
+	}
+	// Breadth-first: both apply-route spans before the grandchild.
+	if tree[1].ID != 11 || tree[2].ID != 12 || tree[3].ID != 13 {
+		t.Errorf("order = %d,%d,%d, want 11,12,13", tree[1].ID, tree[2].ID, tree[3].ID)
+	}
+	if ag.SpanTree(999) != nil {
+		t.Error("unknown root returned a tree")
+	}
+}
+
+func TestTimelineDrillDownWithWindowSpans(t *testing.T) {
+	ag := NewAggregator(AggregatorConfig{})
+	t0 := time.Unix(1000, 0)
+	r := report("A", 1, time.Second)
+	r.Hops = []HopRecord{
+		{TraceID: 5, Chain: "mesh", Node: "edge:c", ArriveNs: 1000, DepartNs: 1100},
+		{TraceID: 5, Chain: "mesh", Node: "sink:s", ArriveNs: 2000},
+	}
+	r.Spans = []obs.Span{
+		{ID: 1, Name: "inside", StartNs: 1200, EndNs: 1300},
+		{ID: 2, Name: "outside", StartNs: 5000, EndNs: 6000},
+	}
+	ag.IngestAt(r, t0)
+
+	tl, ok := ag.Timeline("mesh", 0) // trace 0 → best flow for chain
+	if !ok {
+		t.Fatal("no timeline for mesh")
+	}
+	if tl.TraceID != 5 || tl.E2ENs != 1000 {
+		t.Errorf("timeline = trace %d e2e %d, want 5/1000", tl.TraceID, tl.E2ENs)
+	}
+	if len(tl.Spans) != 1 || tl.Spans[0].Name != "inside" {
+		t.Errorf("window spans = %+v, want just the overlapping one", tl.Spans)
+	}
+	if len(ag.Timelines()) != 1 {
+		t.Errorf("timelines = %d, want 1", len(ag.Timelines()))
+	}
+	if _, ok := ag.Timeline("mesh", 999); ok {
+		t.Error("unknown trace produced a timeline")
+	}
+}
+
+func TestSiteDetailDrillDown(t *testing.T) {
+	ag := NewAggregator(AggregatorConfig{RetainedSpans: 2})
+	t0 := time.Unix(1000, 0)
+	r := report("A", 1, time.Second)
+	r.Counters["x"] = 7
+	r.Gauges["g"] = 1.5
+	h := metrics.NewHistogram()
+	h.Observe(time.Millisecond)
+	r.Histograms = map[string]metrics.HistogramSummary{"lat": h.Summarize(16)}
+	r.Spans = []obs.Span{{ID: 1, Name: "a"}, {ID: 2, Name: "b"}, {ID: 3, Name: "c"}}
+	ag.IngestAt(r, t0)
+
+	d, ok := ag.Site("A", t0)
+	if !ok {
+		t.Fatal("site A missing")
+	}
+	if d.Counters["x"] != 7 || d.Gauges["g"] != 1.5 {
+		t.Errorf("detail values wrong: %+v %+v", d.Counters, d.Gauges)
+	}
+	if d.Histograms["lat"].Count != 1 {
+		t.Errorf("detail histogram = %+v", d.Histograms["lat"])
+	}
+	// Retention cap keeps the newest spans.
+	if len(d.Spans) != 2 || d.Spans[0].Name != "b" {
+		t.Errorf("retained spans = %+v, want newest 2", d.Spans)
+	}
+	if _, ok := ag.Site("Z", t0); ok {
+		t.Error("unknown site returned a detail")
+	}
+}
+
+var fleetPromSample = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [^ ]+$`)
+
+func TestFleetPrometheusExposition(t *testing.T) {
+	ag := NewAggregator(AggregatorConfig{})
+	t0 := time.Unix(1000, 0)
+	for i, site := range []string{"A", "B"} {
+		r := report(site, 1, time.Second)
+		r.Counters["fwd.rx"] = uint64(10 * (i + 1))
+		r.Counters["chain.mesh.drops"] = 3
+		r.Keyed["chain.mesh.drops"] = "chain.<chain>.drops"
+		r.Gauges["runner.depth"] = float64(i)
+		h := metrics.NewHistogram()
+		h.Observe(2 * time.Millisecond)
+		r.Histograms = map[string]metrics.HistogramSummary{"bus.latency": h.Summarize(8)}
+		ag.IngestAt(r, t0)
+	}
+
+	var sb strings.Builder
+	if err := ag.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE fwd_rx counter\n",
+		`fwd_rx{site="A"} 10`,
+		`fwd_rx{site="B"} 20`,
+		`chain_drops{chain="mesh",site="A"} 3`,
+		`runner_depth{site="B"} 1`,
+		"# TYPE bus_latency_seconds summary\n",
+		`bus_latency_seconds_count{site="A"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Exactly one TYPE header per family, and every line conformant.
+	seenType := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if seenType[name] {
+				t.Errorf("duplicate TYPE header for %s", name)
+			}
+			seenType[name] = true
+			continue
+		}
+		if !fleetPromSample.MatchString(line) {
+			t.Errorf("non-conformant sample line %q", line)
+		}
+	}
+}
+
+func TestAggregatorRegisterMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ag := NewAggregator(AggregatorConfig{})
+	ag.RegisterMetrics(reg)
+	ag.IngestAt(report("A", 1, time.Second), time.Now())
+	snap := reg.Snapshot()
+	if snap.Counters["telemetry.reports_merged"] != 1 {
+		t.Errorf("reports_merged = %d, want 1", snap.Counters["telemetry.reports_merged"])
+	}
+	if snap.Gauges["fleet.sites"] != 1 {
+		t.Errorf("fleet.sites = %g, want 1", snap.Gauges["fleet.sites"])
+	}
+	if _, ok := snap.Gauges["fleet.sites_stale"]; !ok {
+		t.Error("fleet.sites_stale not registered")
+	}
+	if _, ok := snap.Counters["telemetry.sheds"]; !ok {
+		t.Error("telemetry.sheds not registered")
+	}
+}

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"errors"
+
+	"switchboard/internal/bus"
+	"switchboard/internal/simnet"
+)
+
+// Loopback is a bus.PubSub that delivers published telemetry reports
+// straight into an aggregator, bypassing any fabric — the wiring a
+// single-process daemon uses to serve a fleet-of-one /fleet view from
+// its own agent. Non-Report payloads are dropped silently, matching the
+// aggregator's own tolerance for foreign traffic on the fleet topic.
+type Loopback struct {
+	agg *Aggregator
+}
+
+// NewLoopback returns a loopback publisher into agg.
+func NewLoopback(agg *Aggregator) *Loopback { return &Loopback{agg: agg} }
+
+// Publish ingests telemetry reports directly; it never blocks and
+// never fails, so the publishing agent never sheds.
+func (l *Loopback) Publish(_ simnet.SiteID, _ bus.Topic, payload any, _ int) error {
+	if r, ok := payload.(*Report); ok {
+		l.agg.Ingest(r)
+	}
+	return nil
+}
+
+// Subscribe is unsupported: a loopback has exactly one consumer, the
+// aggregator it was built around.
+func (l *Loopback) Subscribe(simnet.SiteID, bus.Topic, int) (*bus.Subscription, error) {
+	return nil, errors.New("telemetry: loopback bus has no subscriptions")
+}
+
+// WANMessages reports 0: loopback deliveries never cross the WAN.
+func (l *Loopback) WANMessages() uint64 { return 0 }

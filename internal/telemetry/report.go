@@ -1,0 +1,172 @@
+// Package telemetry is the fleet observability plane: per-site agents
+// that fold the local metrics registry, recent control-plane spans and
+// events, open SLO alerts, and sampled packet-trace hops into compact,
+// delta-encoded reports on a dedicated bus topic, and a GS-side
+// aggregator that merges those reports into a topology-annotated fleet
+// model — per-site rollups, per-chain cross-site aggregates, a health
+// matrix driven by report staleness, and cross-site trace stitching.
+// The plane is strictly best-effort: agents pace themselves, cap report
+// size, and shed (never block) when the bus or the aggregator is slow,
+// so telemetry can never back-pressure the control or data planes it
+// observes.
+package telemetry
+
+import (
+	"sync"
+
+	"switchboard/internal/bus"
+	"switchboard/internal/metrics"
+	"switchboard/internal/obs"
+	"switchboard/internal/packet"
+	"switchboard/internal/simnet"
+	"switchboard/internal/slo"
+)
+
+// Topic returns the fleet telemetry feed, homed at the Global
+// Switchboard's site (like the heartbeat feed) so every site's reports
+// cross the wide area exactly once toward the aggregator.
+func Topic(gsbSite simnet.SiteID) bus.Topic {
+	return bus.MakeTopic("telemetry", "all", "global", gsbSite, "reports")
+}
+
+// HopRecord is one packet-trace hop as observed by a site's local
+// components, keyed by the flow's trace ID and chain so the aggregator
+// can join hops from different sites into one timeline.
+type HopRecord struct {
+	// TraceID identifies the sampled flow (unique per trace sampler).
+	TraceID uint64 `json:"trace_id"`
+	// Chain labels the service chain the flow belongs to.
+	Chain string `json:"chain"`
+	// Node names the hop ("fwd:A/fwd-edge", "vnf:fw-0", "sink:server").
+	Node string `json:"node"`
+	// ArriveNs and DepartNs bound the hop (Unix nanoseconds; DepartNs
+	// is 0 for terminal hops that never forwarded the packet).
+	ArriveNs int64 `json:"arrive_ns"`
+	DepartNs int64 `json:"depart_ns,omitempty"`
+}
+
+// Report is one telemetry interval from one site: the unit published on
+// the bus topic and merged by the aggregator. Counters are
+// delta-encoded against the site's previous report (only names that
+// advanced are shipped); histograms travel as bounded mergeable
+// summaries; spans, events, alerts and hops are the increments since
+// the previous report, each capped.
+type Report struct {
+	// Site is the reporting site.
+	Site string `json:"site"`
+	// Seq increments per report from this site; the aggregator ignores
+	// duplicates and reordered deliveries by sequence.
+	Seq uint64 `json:"seq"`
+	// TakenAtNs is when the agent captured the report (Unix ns).
+	TakenAtNs int64 `json:"taken_at_ns"`
+	// IntervalNs is the agent's reporting interval, so the aggregator
+	// can derive a staleness bound without out-of-band configuration.
+	IntervalNs int64 `json:"interval_ns"`
+	// Healthy is the site's /healthz-equivalent verdict at capture.
+	Healthy bool `json:"healthy"`
+	// Counters holds per-name deltas since the previous report.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges holds current gauge values.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms holds mergeable summaries of the site's histograms.
+	Histograms map[string]metrics.HistogramSummary `json:"histograms,omitempty"`
+	// Keyed maps keyed-family instance names appearing above to their
+	// family pattern, mirroring metrics.Snapshot.Keyed, so the
+	// aggregator can fold per-chain instances without guessing.
+	Keyed map[string]string `json:"keyed,omitempty"`
+	// Spans and Events are control-plane records new since the previous
+	// report, oldest first, capped.
+	Spans  []obs.Span  `json:"spans,omitempty"`
+	Events []obs.Event `json:"events,omitempty"`
+	// Alerts are SLO alerts that fired or resolved since the previous
+	// report (the /debug/alerts?since= increment).
+	Alerts []slo.Alert `json:"alerts,omitempty"`
+	// Hops are packet-trace hops observed at this site since the
+	// previous report.
+	Hops []HopRecord `json:"hops,omitempty"`
+}
+
+// TraceBuffer is the bounded staging ring between a site's trace
+// harvesting and its telemetry agent: components record hops as flows
+// complete, the agent drains the ring once per interval. When the ring
+// is full the oldest records are overwritten — trace telemetry sheds
+// under load like everything else in this plane.
+type TraceBuffer struct {
+	mu    sync.Mutex
+	recs  []HopRecord
+	start int // index of oldest record
+	n     int // live records
+	cap   int
+}
+
+// DefaultTraceBufferCap bounds hop records staged between agent
+// intervals when NewTraceBuffer is given a cap < 1.
+const DefaultTraceBufferCap = 2048
+
+// NewTraceBuffer returns a ring holding at most cap hop records
+// (< 1 → DefaultTraceBufferCap).
+func NewTraceBuffer(cap int) *TraceBuffer {
+	if cap < 1 {
+		cap = DefaultTraceBufferCap
+	}
+	return &TraceBuffer{recs: make([]HopRecord, cap), cap: cap}
+}
+
+// Record stages one hop record. Safe for concurrent use.
+func (b *TraceBuffer) Record(rec HopRecord) {
+	b.mu.Lock()
+	if b.n < b.cap {
+		b.recs[(b.start+b.n)%b.cap] = rec
+		b.n++
+	} else {
+		b.recs[b.start] = rec
+		b.start = (b.start + 1) % b.cap
+	}
+	b.mu.Unlock()
+}
+
+// RecordTrace stages every hop of a completed trace under the given
+// chain label — the convenience used by sinks that harvest whole
+// traces. Safe for concurrent use.
+func (b *TraceBuffer) RecordTrace(chain string, t *packet.Trace) {
+	if t == nil {
+		return
+	}
+	for _, h := range t.Hops {
+		b.Record(HopRecord{
+			TraceID:  t.ID,
+			Chain:    chain,
+			Node:     h.Node,
+			ArriveNs: h.ArriveNs,
+			DepartNs: h.DepartNs,
+		})
+	}
+}
+
+// Drain removes and returns up to max staged records, oldest first
+// (max < 1 → everything). Safe for concurrent use.
+func (b *TraceBuffer) Drain(max int) []HopRecord {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.n
+	if max > 0 && n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]HopRecord, n)
+	for i := 0; i < n; i++ {
+		out[i] = b.recs[(b.start+i)%b.cap]
+	}
+	b.start = (b.start + n) % b.cap
+	b.n -= n
+	return out
+}
+
+// Len returns the number of staged records. Safe for concurrent use.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}

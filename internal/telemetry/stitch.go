@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"sort"
+
+	"switchboard/internal/obs"
+)
+
+// Cross-site trace stitching: each site's agent ships the hop records
+// its local components stamped, and the aggregator joins records that
+// share a (chain, trace ID) key back into one end-to-end timeline —
+// hops ordered by arrival, segmented into on-node and transit
+// durations whose telescoping sum is exactly the end-to-end latency.
+
+// DefaultMaxFlows bounds the flows a stitcher retains; beyond it the
+// oldest flow is evicted.
+const DefaultMaxFlows = 256
+
+// StitchedHop is one hop in a stitched timeline, annotated with the
+// site whose agent reported it.
+type StitchedHop struct {
+	// Site reported the hop.
+	Site string `json:"site"`
+	// Node names the hop ("fwd:B/fwd-fw", "vnf:fw-0", "sink:server").
+	Node string `json:"node"`
+	// ArriveNs and DepartNs bound the hop (Unix ns; DepartNs 0 for
+	// terminal hops).
+	ArriveNs int64 `json:"arrive_ns"`
+	DepartNs int64 `json:"depart_ns,omitempty"`
+}
+
+// Segment is one interval of a stitched timeline: "hop" is time on a
+// node (arrive→depart), "transit" is time between nodes (depart→next
+// arrive). Segment durations telescope: they sum exactly to the
+// timeline's E2ENs.
+type Segment struct {
+	Kind string `json:"kind"` // "hop" | "transit"
+	// From and To name the segment's endpoints ("hop" segments have
+	// From == To).
+	From  string `json:"from"`
+	To    string `json:"to"`
+	DurNs int64  `json:"dur_ns"`
+}
+
+// Timeline is one flow's stitched cross-site view: the joined hops, the
+// derived segments, the distinct sites in path order, and any
+// control-plane spans from the involved sites overlapping the flow's
+// window.
+type Timeline struct {
+	Chain   string        `json:"chain"`
+	TraceID uint64        `json:"trace_id"`
+	Hops    []StitchedHop `json:"hops"`
+	// Segments alternate hop and transit intervals along the path.
+	Segments []Segment `json:"segments,omitempty"`
+	// E2ENs is last arrival minus first arrival — and, by telescoping,
+	// the sum of every segment duration.
+	E2ENs int64 `json:"e2e_ns"`
+	// Sites lists the distinct reporting sites in path order.
+	Sites []string `json:"sites"`
+	// Spans carries control-plane spans stitched into the timeline's
+	// window (bounded; populated by the aggregator's drill-down).
+	Spans []obs.Span `json:"spans,omitempty"`
+}
+
+type flowKey struct {
+	chain string
+	trace uint64
+}
+
+type flowEntry struct {
+	hops []StitchedHop
+	// seen dedupes hop records across re-reported intervals.
+	seen map[StitchedHop]bool
+	// tick is the stitcher clock at last update, for eviction order.
+	tick uint64
+}
+
+// stitcher joins hop records by flow. It is not self-locking: the
+// aggregator serialises access under its own mutex.
+type stitcher struct {
+	flows map[flowKey]*flowEntry
+	cap   int
+	clock uint64
+}
+
+func newStitcher(cap int) *stitcher {
+	if cap < 1 {
+		cap = DefaultMaxFlows
+	}
+	return &stitcher{flows: make(map[flowKey]*flowEntry), cap: cap}
+}
+
+// add joins one site's hop records into the flow table, evicting the
+// least-recently-updated flow past the cap.
+func (s *stitcher) add(site string, recs []HopRecord) {
+	for _, rec := range recs {
+		k := flowKey{chain: rec.Chain, trace: rec.TraceID}
+		e, ok := s.flows[k]
+		if !ok {
+			if len(s.flows) >= s.cap {
+				s.evictOldest()
+			}
+			e = &flowEntry{seen: make(map[StitchedHop]bool)}
+			s.flows[k] = e
+		}
+		s.clock++
+		e.tick = s.clock
+		h := StitchedHop{Site: site, Node: rec.Node, ArriveNs: rec.ArriveNs, DepartNs: rec.DepartNs}
+		if e.seen[h] {
+			continue
+		}
+		e.seen[h] = true
+		e.hops = append(e.hops, h)
+	}
+}
+
+func (s *stitcher) evictOldest() {
+	var oldest flowKey
+	var oldestTick uint64
+	first := true
+	for k, e := range s.flows {
+		if first || e.tick < oldestTick {
+			oldest, oldestTick, first = k, e.tick, false
+		}
+	}
+	if !first {
+		delete(s.flows, oldest)
+	}
+}
+
+// timeline renders one flow's stitched view, or ok=false if unknown.
+func (s *stitcher) timeline(chain string, trace uint64) (Timeline, bool) {
+	e, ok := s.flows[flowKey{chain: chain, trace: trace}]
+	if !ok || len(e.hops) == 0 {
+		return Timeline{}, false
+	}
+	return buildTimeline(chain, trace, e.hops), true
+}
+
+// bestTimeline picks the flow for chain spanning the most distinct
+// sites (ties: most recently updated) — the drill-down default.
+func (s *stitcher) bestTimeline(chain string) (Timeline, bool) {
+	var best Timeline
+	var bestTick uint64
+	found := false
+	for k, e := range s.flows {
+		if k.chain != chain || len(e.hops) == 0 {
+			continue
+		}
+		tl := buildTimeline(k.chain, k.trace, e.hops)
+		if !found || len(tl.Sites) > len(best.Sites) ||
+			(len(tl.Sites) == len(best.Sites) && e.tick > bestTick) {
+			best, bestTick, found = tl, e.tick, true
+		}
+	}
+	return best, found
+}
+
+// timelines renders every retained flow, most recently updated first.
+func (s *stitcher) timelines() []Timeline {
+	type keyed struct {
+		tl   Timeline
+		tick uint64
+	}
+	out := make([]keyed, 0, len(s.flows))
+	for k, e := range s.flows {
+		if len(e.hops) == 0 {
+			continue
+		}
+		out = append(out, keyed{tl: buildTimeline(k.chain, k.trace, e.hops), tick: e.tick})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].tick > out[j].tick })
+	tls := make([]Timeline, len(out))
+	for i, k := range out {
+		tls[i] = k.tl
+	}
+	return tls
+}
+
+// buildTimeline orders hops by arrival and derives segments: for each
+// non-terminal hop an on-node interval (arrive→depart), then a transit
+// interval to the next arrival. Because consecutive segments share
+// endpoints, their durations telescope to exactly E2ENs = last arrival
+// − first arrival.
+func buildTimeline(chain string, trace uint64, hops []StitchedHop) Timeline {
+	sorted := append([]StitchedHop(nil), hops...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].ArriveNs != sorted[j].ArriveNs {
+			return sorted[i].ArriveNs < sorted[j].ArriveNs
+		}
+		return sorted[i].Node < sorted[j].Node
+	})
+	tl := Timeline{Chain: chain, TraceID: trace, Hops: sorted}
+	seenSite := make(map[string]bool)
+	for _, h := range sorted {
+		if !seenSite[h.Site] {
+			seenSite[h.Site] = true
+			tl.Sites = append(tl.Sites, h.Site)
+		}
+	}
+	if len(sorted) == 0 {
+		return tl
+	}
+	tl.E2ENs = sorted[len(sorted)-1].ArriveNs - sorted[0].ArriveNs
+	for i, h := range sorted {
+		last := i == len(sorted)-1
+		depart := h.DepartNs
+		if depart < h.ArriveNs {
+			// Terminal or unstamped departure: the hop interval ends
+			// where it began so the telescoping stays exact.
+			depart = h.ArriveNs
+		}
+		// The terminal hop's on-node time falls outside the e2e window
+		// (arrival-to-arrival), so it contributes no segment.
+		if !last {
+			next := sorted[i+1]
+			if depart > next.ArriveNs {
+				depart = next.ArriveNs
+			}
+			tl.Segments = append(tl.Segments,
+				Segment{Kind: "hop", From: h.Node, To: h.Node, DurNs: depart - h.ArriveNs},
+				Segment{Kind: "transit", From: h.Node, To: next.Node, DurNs: next.ArriveNs - depart})
+		}
+	}
+	return tl
+}

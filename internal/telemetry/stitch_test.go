@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// hop builds a HopRecord for stitching tests.
+func hop(trace uint64, chain, node string, arrive, depart int64) HopRecord {
+	return HopRecord{TraceID: trace, Chain: chain, Node: node, ArriveNs: arrive, DepartNs: depart}
+}
+
+func TestBuildTimelineTelescopes(t *testing.T) {
+	s := newStitcher(8)
+	// A three-site path: edge at A, forwarder at B, VNF at B, forwarder
+	// at C, sink back at A. Reported piecemeal by three agents.
+	s.add("A", []HopRecord{
+		hop(7, "mesh", "edge:client", 1000, 1100),
+		hop(7, "mesh", "sink:server", 9000, 0), // terminal: no depart
+	})
+	s.add("B", []HopRecord{
+		hop(7, "mesh", "fwd:B/fwd-fw", 2000, 2500),
+		hop(7, "mesh", "vnf:fw-0", 3000, 3600),
+	})
+	s.add("C", []HopRecord{
+		hop(7, "mesh", "fwd:C/fwd-opt", 5000, 6000),
+	})
+
+	tl, ok := s.timeline("mesh", 7)
+	if !ok {
+		t.Fatal("timeline not found")
+	}
+	if len(tl.Hops) != 5 {
+		t.Fatalf("hops = %d, want 5", len(tl.Hops))
+	}
+	if tl.Hops[0].Node != "edge:client" || tl.Hops[4].Node != "sink:server" {
+		t.Errorf("hop order wrong: first=%s last=%s", tl.Hops[0].Node, tl.Hops[4].Node)
+	}
+	wantE2E := int64(9000 - 1000)
+	if tl.E2ENs != wantE2E {
+		t.Errorf("E2ENs = %d, want %d", tl.E2ENs, wantE2E)
+	}
+	// The ISSUE's exactness requirement: segment durations sum to the
+	// end-to-end latency, exactly.
+	var sum int64
+	for _, seg := range tl.Segments {
+		if seg.DurNs < 0 {
+			t.Errorf("negative segment %+v", seg)
+		}
+		sum += seg.DurNs
+	}
+	if sum != tl.E2ENs {
+		t.Errorf("segment sum = %d, want exactly E2E %d", sum, tl.E2ENs)
+	}
+	// Sites in path order: A (edge) → B → C → A dedupes to A, B, C.
+	if len(tl.Sites) != 3 || tl.Sites[0] != "A" || tl.Sites[1] != "B" || tl.Sites[2] != "C" {
+		t.Errorf("sites = %v, want [A B C]", tl.Sites)
+	}
+}
+
+func TestBuildTimelineClampsBadDeparts(t *testing.T) {
+	// A depart stamped after the next hop's arrival (clock skew between
+	// reporting components) must clamp, not produce a negative transit.
+	tl := buildTimeline("c", 1, []StitchedHop{
+		{Site: "A", Node: "n1", ArriveNs: 100, DepartNs: 900}, // past next arrival
+		{Site: "B", Node: "n2", ArriveNs: 500, DepartNs: 0},   // unstamped
+		{Site: "B", Node: "n3", ArriveNs: 700, DepartNs: 650}, // before own arrival
+		{Site: "C", Node: "n4", ArriveNs: 800, DepartNs: 0},
+	})
+	var sum int64
+	for _, seg := range tl.Segments {
+		if seg.DurNs < 0 {
+			t.Errorf("negative segment %+v", seg)
+		}
+		sum += seg.DurNs
+	}
+	if sum != tl.E2ENs || tl.E2ENs != 700 {
+		t.Errorf("sum=%d e2e=%d, want both 700", sum, tl.E2ENs)
+	}
+}
+
+func TestStitcherDedupesReReportedHops(t *testing.T) {
+	s := newStitcher(8)
+	recs := []HopRecord{hop(1, "c", "n1", 100, 200), hop(1, "c", "n2", 300, 0)}
+	s.add("A", recs)
+	s.add("A", recs) // duplicate delivery of the same interval
+	tl, ok := s.timeline("c", 1)
+	if !ok || len(tl.Hops) != 2 {
+		t.Fatalf("hops = %d, want 2 after duplicate add", len(tl.Hops))
+	}
+}
+
+func TestBestTimelinePrefersWidestSpan(t *testing.T) {
+	s := newStitcher(8)
+	s.add("A", []HopRecord{hop(1, "c", "n1", 100, 150)})
+	s.add("A", []HopRecord{hop(2, "c", "m1", 100, 150)})
+	s.add("B", []HopRecord{hop(2, "c", "m2", 300, 0)})
+	s.add("C", []HopRecord{hop(2, "c", "m3", 400, 0)})
+	tl, ok := s.bestTimeline("c")
+	if !ok || tl.TraceID != 2 {
+		t.Fatalf("bestTimeline picked trace %d, want 2 (3 sites)", tl.TraceID)
+	}
+	if _, ok := s.bestTimeline("nope"); ok {
+		t.Error("bestTimeline found a timeline for an unknown chain")
+	}
+}
+
+func TestStitcherEvictsOldestFlow(t *testing.T) {
+	s := newStitcher(2)
+	s.add("A", []HopRecord{hop(1, "c", "n", 1, 2)})
+	s.add("A", []HopRecord{hop(2, "c", "n", 1, 2)})
+	s.add("A", []HopRecord{hop(3, "c", "n", 1, 2)}) // evicts flow 1
+	if _, ok := s.timeline("c", 1); ok {
+		t.Error("oldest flow survived past the cap")
+	}
+	if _, ok := s.timeline("c", 3); !ok {
+		t.Error("newest flow missing")
+	}
+	if got := len(s.timelines()); got != 2 {
+		t.Errorf("retained flows = %d, want 2", got)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"switchboard/internal/simnet"
 	"switchboard/internal/slo"
 	"switchboard/internal/te"
+	"switchboard/internal/telemetry"
 	"switchboard/internal/vnf"
 )
 
@@ -94,6 +95,15 @@ func liveRegistry(t *testing.T) *metrics.Registry {
 		t.Fatalf("new autoscaler: %v", err)
 	}
 	as.RegisterMetrics(reg)
+
+	fleet := telemetry.NewAggregator(telemetry.AggregatorConfig{})
+	fleet.RegisterMetrics(reg)
+	telemetry.NewAgent(telemetry.AgentConfig{
+		Site:     "<site>",
+		Registry: reg,
+		Bus:      telemetry.NewLoopback(fleet),
+		Topic:    telemetry.Topic("<site>"),
+	}).RegisterMetrics(reg)
 
 	health.NewVitals(0).RegisterMetrics(reg)
 	health.NewWatchdog(health.WatchdogConfig{}).RegisterMetrics(reg)
