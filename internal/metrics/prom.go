@@ -50,9 +50,9 @@ func PromLabelValue(v string) string {
 	return r.Replace(v)
 }
 
-// promLabelName sanitises a label name to [a-zA-Z0-9_] (no colons —
+// PromLabelName sanitises a label name to [a-zA-Z0-9_] (no colons —
 // those are reserved for metric names).
-func promLabelName(name string) string {
+func PromLabelName(name string) string {
 	out := make([]byte, 0, len(name)+1)
 	for i := 0; i < len(name); i++ {
 		c := name[i]
@@ -73,6 +73,10 @@ func promLabelName(name string) string {
 	}
 	return string(out)
 }
+
+// promLabelName is kept as the internal spelling used throughout this
+// file.
+func promLabelName(name string) string { return PromLabelName(name) }
 
 // KeyedParts splits a keyed-family instance name against its pattern,
 // returning the family's base metric name (pattern with the key slot

@@ -116,6 +116,7 @@ type Agent struct {
 	queue chan *Report
 
 	mu            sync.Mutex
+	epoch         int64 // boot epoch (first capture instant, Unix ns)
 	seq           uint64
 	prevCounters  map[string]uint64
 	lastSpanID    uint64
@@ -249,7 +250,10 @@ func (a *Agent) publish(r *Report) {
 // sizeAndTrim returns the marshalled size of r, halving its variable-
 // length sections (spans, events, hops, then alerts) while the report
 // exceeds MaxReportBytes. Trimming keeps the newest records — the ones
-// the fleet view is behind on.
+// the fleet view is behind on. Every trim uses ceil-halving so a
+// length-1 section reaches empty: even when the untrimmable base
+// sections (counters, gauges, summaries) alone exceed the cap, the
+// loop terminates instead of spinning on a report it cannot shrink.
 func (a *Agent) sizeAndTrim(r *Report) int {
 	for {
 		data, err := json.Marshal(r)
@@ -264,9 +268,9 @@ func (a *Agent) sizeAndTrim(r *Report) int {
 		}
 		r.Spans = keepNewestSpans(r.Spans, len(r.Spans)/2)
 		r.Events = keepNewestEvents(r.Events, len(r.Events)/2)
-		r.Hops = r.Hops[len(r.Hops)/2:]
+		r.Hops = r.Hops[(len(r.Hops)+1)/2:]
 		if len(r.Spans) == 0 && len(r.Events) == 0 && len(r.Hops) == 0 {
-			r.Alerts = r.Alerts[len(r.Alerts)/2:]
+			r.Alerts = r.Alerts[(len(r.Alerts)+1)/2:]
 		}
 	}
 }
@@ -290,9 +294,16 @@ func keepNewestEvents(e []obs.Event, n int) []obs.Event {
 func (a *Agent) collect(now time.Time) *Report {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.epoch == 0 {
+		// Stamp the boot epoch on first capture: a restarted agent
+		// resets Seq to 1, and the aggregator tells that apart from a
+		// replayed report by the epoch changing.
+		a.epoch = now.UnixNano()
+	}
 	a.seq++
 	r := &Report{
 		Site:       string(a.cfg.Site),
+		Epoch:      a.epoch,
 		Seq:        a.seq,
 		TakenAtNs:  now.UnixNano(),
 		IntervalNs: int64(a.cfg.Interval),

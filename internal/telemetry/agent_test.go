@@ -223,6 +223,54 @@ func TestAgentTrimsOversizedReports(t *testing.T) {
 	}
 }
 
+// TestAgentTrimConvergesOnUntrimmableBase pins the pathological case:
+// the untrimmable base sections (counters) alone exceed MaxReportBytes
+// while a single hop and alert remain. Ceil-halving must empty the
+// variable sections and return instead of busy-looping forever on a
+// report that can never fit.
+func TestAgentTrimConvergesOnUntrimmableBase(t *testing.T) {
+	reg := metrics.NewRegistry()
+	for i := 0; i < 64; i++ {
+		reg.Counter("very.long.untrimmable.counter.name." + strings.Repeat("x", i+1)).Inc()
+	}
+	a := testAgent(AgentConfig{Registry: reg, MaxReportBytes: 512})
+	r := a.collect(time.Unix(1, 0))
+	r.Hops = []HopRecord{{TraceID: 1, Chain: "c", Node: "n", ArriveNs: 1}}
+	r.Alerts = []slo.Alert{{Chain: "c", FiredAt: time.Unix(1, 0)}}
+	r.Spans = []obs.Span{{ID: 1, Name: "s"}}
+	r.Events = []obs.Event{{Name: "e", AtNs: 1}}
+
+	size := a.sizeAndTrim(r)
+	if size <= 512 {
+		t.Fatalf("base sections fit in %d bytes; test needs an untrimmable base > cap", size)
+	}
+	if len(r.Hops) != 0 || len(r.Alerts) != 0 || len(r.Spans) != 0 || len(r.Events) != 0 {
+		t.Errorf("variable sections not emptied: %d hops %d alerts %d spans %d events",
+			len(r.Hops), len(r.Alerts), len(r.Spans), len(r.Events))
+	}
+}
+
+// TestAgentStampsBootEpoch pins the restart signal: every report from
+// one agent carries the same non-zero epoch (its first capture
+// instant), so the aggregator can tell a restarted agent's Seq=1 apart
+// from a replayed delivery.
+func TestAgentStampsBootEpoch(t *testing.T) {
+	a := testAgent(AgentConfig{})
+	r1 := a.collect(time.Unix(100, 0))
+	r2 := a.collect(time.Unix(200, 0))
+	if r1.Epoch == 0 {
+		t.Fatal("first report has no boot epoch")
+	}
+	if r2.Epoch != r1.Epoch {
+		t.Errorf("epoch drifted within one boot: %d then %d", r1.Epoch, r2.Epoch)
+	}
+	restarted := testAgent(AgentConfig{})
+	r3 := restarted.collect(time.Unix(300, 0))
+	if r3.Epoch <= r1.Epoch {
+		t.Errorf("restarted agent epoch %d not newer than %d", r3.Epoch, r1.Epoch)
+	}
+}
+
 func TestAgentStartPacesAndStops(t *testing.T) {
 	reg := metrics.NewRegistry()
 	c := reg.Counter("x")

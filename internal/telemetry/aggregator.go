@@ -64,6 +64,7 @@ func (c AggregatorConfig) withDefaults() AggregatorConfig {
 
 // siteState is everything the aggregator retains about one site.
 type siteState struct {
+	epoch        int64 // reporting agent's boot epoch
 	lastSeq      uint64
 	lastReportAt time.Time // receive time, so a dead site's clock can't hide staleness
 	intervalNs   int64
@@ -193,8 +194,12 @@ func (a *Aggregator) Ingest(r *Report) { a.IngestAt(r, time.Now()) }
 
 // IngestAt merges one report received at now (exposed for deterministic
 // tests). Duplicate or reordered deliveries — sequence numbers at or
-// below the site's last merged report — are ignored, so at-least-once
-// bus delivery cannot double-apply counter deltas.
+// below the site's last merged report within the same boot epoch — are
+// ignored, so at-least-once bus delivery cannot double-apply counter
+// deltas. A newer epoch means the site's agent restarted and its
+// sequence began again at 1: the sequence window re-baselines instead
+// of dropping the fresh stream behind the old high-water mark, while
+// cumulative counters keep accumulating across boots.
 func (a *Aggregator) IngestAt(r *Report, now time.Time) {
 	if r == nil || r.Site == "" {
 		return
@@ -211,8 +216,16 @@ func (a *Aggregator) IngestAt(r *Report, now time.Time) {
 		}
 		a.sites[r.Site] = st
 	}
-	if r.Seq <= st.lastSeq {
+	switch {
+	case r.Epoch > st.epoch:
+		st.epoch = r.Epoch
+	case r.Epoch < st.epoch:
+		// Late delivery from a previous boot.
 		return
+	default:
+		if r.Seq <= st.lastSeq {
+			return
+		}
 	}
 	st.lastSeq = r.Seq
 	st.lastReportAt = now
@@ -239,7 +252,9 @@ func (a *Aggregator) IngestAt(r *Report, now time.Time) {
 	if len(st.events) > a.cfg.RetainedEvents {
 		st.events = st.events[len(st.events)-a.cfg.RetainedEvents:]
 	}
-	st.alerts = append(st.alerts, r.Alerts...)
+	for _, al := range r.Alerts {
+		st.upsertAlert(al)
+	}
 	if len(st.alerts) > a.cfg.RetainedAlerts {
 		st.alerts = st.alerts[len(st.alerts)-a.cfg.RetainedAlerts:]
 	}
@@ -247,6 +262,22 @@ func (a *Aggregator) IngestAt(r *Report, now time.Time) {
 		a.stitch.add(r.Site, r.Hops)
 	}
 	a.reportsMerged.Inc()
+}
+
+// upsertAlert retains al, replacing an already-retained alert with the
+// same identity (chain + fired-at instant) rather than appending: the
+// agent's inclusive ?since= cutoff can ship a state change landing
+// exactly on a capture instant in two consecutive reports, and a fired
+// alert legitimately ships again when it resolves — the newest version
+// wins either way, so the drill-down never shows duplicates.
+func (st *siteState) upsertAlert(al slo.Alert) {
+	for i := range st.alerts {
+		if st.alerts[i].Chain == al.Chain && st.alerts[i].FiredAt.Equal(al.FiredAt) {
+			st.alerts[i] = al
+			return
+		}
+	}
+	st.alerts = append(st.alerts, al)
 }
 
 // staleBound returns how long site st may go unreported before the
@@ -652,7 +683,7 @@ func (a *Aggregator) WritePrometheus(w io.Writer) error {
 		if pattern, ok := st.keyed[inst]; ok {
 			if base, label, key, ok := metrics.KeyedParts(pattern, inst); ok {
 				return metrics.PromName(base), fmt.Sprintf("%s=\"%s\",site=\"%s\"",
-					label, metrics.PromLabelValue(key), metrics.PromLabelValue(site))
+					metrics.PromLabelName(label), metrics.PromLabelValue(key), metrics.PromLabelValue(site))
 			}
 		}
 		return metrics.PromName(inst), fmt.Sprintf("site=\"%s\"", metrics.PromLabelValue(site))
@@ -683,6 +714,7 @@ func (a *Aggregator) WritePrometheus(w io.Writer) error {
 			secs := func(ns int64) float64 { return float64(ns) / 1e9 }
 			f.samples = append(f.samples,
 				fmt.Sprintf("%s{%s,quantile=\"0.5\"} %g", name, lbl, secs(int64(h.Percentile(50)))),
+				fmt.Sprintf("%s{%s,quantile=\"0.9\"} %g", name, lbl, secs(int64(h.Percentile(90)))),
 				fmt.Sprintf("%s{%s,quantile=\"0.99\"} %g", name, lbl, secs(int64(h.Percentile(99)))),
 				fmt.Sprintf("%s_sum{%s} %g", name, lbl, secs(h.SumNs)),
 				fmt.Sprintf("%s_count{%s} %d", name, lbl, h.Count),

@@ -8,6 +8,7 @@ import (
 
 	"switchboard/internal/metrics"
 	"switchboard/internal/obs"
+	"switchboard/internal/slo"
 )
 
 func report(site string, seq uint64, interval time.Duration) *Report {
@@ -46,6 +47,102 @@ func TestAggregatorCumulativeAndDedupe(t *testing.T) {
 	}
 	if ag.ReportsMerged() != 2 {
 		t.Errorf("reports merged = %d, want 2", ag.ReportsMerged())
+	}
+}
+
+// TestAggregatorRebaselinesOnAgentRestart pins the restart path: a
+// restarted agent resets Seq to 1 under a newer boot epoch, and the
+// aggregator must merge the fresh stream instead of dropping it behind
+// the old high-water mark — while still ignoring late deliveries from
+// the previous boot.
+func TestAggregatorRebaselinesOnAgentRestart(t *testing.T) {
+	ag := NewAggregator(AggregatorConfig{})
+	t0 := time.Unix(1000, 0)
+	withEpoch := func(r *Report, epoch int64) *Report {
+		r.Epoch = epoch
+		return r
+	}
+
+	r1 := withEpoch(report("A", 1, time.Second), 100)
+	r1.Counters["fwd.rx"] = 10
+	ag.IngestAt(r1, t0)
+	r2 := withEpoch(report("A", 2, time.Second), 100)
+	r2.Counters["fwd.rx"] = 5
+	ag.IngestAt(r2, t0.Add(time.Second))
+
+	// The agent restarts: Seq 1 again, newer epoch. Must merge.
+	r3 := withEpoch(report("A", 1, time.Second), 200)
+	r3.Counters["fwd.rx"] = 7
+	ag.IngestAt(r3, t0.Add(2*time.Second))
+	if v, _ := ag.Counter("A", "fwd.rx"); v != 22 {
+		t.Errorf("cumulative fwd.rx after restart = %d, want 22 (restart report merged)", v)
+	}
+	if ag.ReportsMerged() != 3 {
+		t.Errorf("reports merged = %d, want 3", ag.ReportsMerged())
+	}
+
+	// A late delivery from the previous boot must still be ignored.
+	late := withEpoch(report("A", 3, time.Second), 100)
+	late.Counters["fwd.rx"] = 100
+	ag.IngestAt(late, t0.Add(3*time.Second))
+	if v, _ := ag.Counter("A", "fwd.rx"); v != 22 {
+		t.Errorf("late old-boot report applied: fwd.rx = %d, want 22", v)
+	}
+
+	// And a replay within the new boot dedupes by sequence as before.
+	ag.IngestAt(r3, t0.Add(4*time.Second))
+	if ag.ReportsMerged() != 3 {
+		t.Errorf("replayed new-boot report merged: %d, want 3", ag.ReportsMerged())
+	}
+
+	// The restarted site is fresh, not stale: its row advances.
+	row := ag.HealthMatrix(t0.Add(3 * time.Second))[0]
+	if row.Stale || row.LastSeq != 1 || row.Reports != 3 {
+		t.Errorf("post-restart row = %+v, want fresh seq=1 reports=3", row)
+	}
+}
+
+// TestAggregatorDedupesAlerts pins drill-down alert retention: the
+// agent's inclusive ?since= cutoff can ship the same state change
+// twice, and a fired alert ships again when it resolves — retention
+// keeps one entry per (chain, FiredAt), newest version winning.
+func TestAggregatorDedupesAlerts(t *testing.T) {
+	ag := NewAggregator(AggregatorConfig{})
+	t0 := time.Unix(1000, 0)
+	fired := slo.Alert{Chain: "c1", Reason: "drops", FiredAt: t0}
+
+	r1 := report("A", 1, time.Second)
+	r1.Alerts = []slo.Alert{fired}
+	ag.IngestAt(r1, t0)
+	// Boundary double-ship: the same alert again in the next report.
+	r2 := report("A", 2, time.Second)
+	r2.Alerts = []slo.Alert{fired}
+	ag.IngestAt(r2, t0.Add(time.Second))
+
+	d, _ := ag.Site("A", t0.Add(time.Second))
+	if len(d.Alerts) != 1 {
+		t.Fatalf("retained alerts = %d, want 1 (duplicate dropped)", len(d.Alerts))
+	}
+
+	// Resolution ships the same identity with ResolvedAt set: replaces.
+	resolved := fired
+	resolved.ResolvedAt = t0.Add(5 * time.Second)
+	r3 := report("A", 3, time.Second)
+	r3.Alerts = []slo.Alert{resolved}
+	ag.IngestAt(r3, t0.Add(5*time.Second))
+	d, _ = ag.Site("A", t0.Add(5*time.Second))
+	if len(d.Alerts) != 1 || d.Alerts[0].ResolvedAt.IsZero() {
+		t.Errorf("retained alerts = %+v, want one resolved entry", d.Alerts)
+	}
+
+	// A genuinely new firing (different FiredAt) appends.
+	again := slo.Alert{Chain: "c1", Reason: "drops", FiredAt: t0.Add(10 * time.Second)}
+	r4 := report("A", 4, time.Second)
+	r4.Alerts = []slo.Alert{again}
+	ag.IngestAt(r4, t0.Add(10*time.Second))
+	d, _ = ag.Site("A", t0.Add(10*time.Second))
+	if len(d.Alerts) != 2 {
+		t.Errorf("retained alerts = %d, want 2 after a new firing", len(d.Alerts))
 	}
 }
 
@@ -248,6 +345,10 @@ func TestFleetPrometheusExposition(t *testing.T) {
 		r.Counters["fwd.rx"] = uint64(10 * (i + 1))
 		r.Counters["chain.mesh.drops"] = 3
 		r.Keyed["chain.mesh.drops"] = "chain.<chain>.drops"
+		// A key slot whose label name needs sanitising to the
+		// Prometheus label charset.
+		r.Counters["lat.mesh.tx"] = 4
+		r.Keyed["lat.mesh.tx"] = "lat.<chain-id>.tx"
 		r.Gauges["runner.depth"] = float64(i)
 		h := metrics.NewHistogram()
 		h.Observe(2 * time.Millisecond)
@@ -266,8 +367,12 @@ func TestFleetPrometheusExposition(t *testing.T) {
 		`fwd_rx{site="A"} 10`,
 		`fwd_rx{site="B"} 20`,
 		`chain_drops{chain="mesh",site="A"} 3`,
+		`lat_tx{chain_id="mesh",site="A"} 4`,
 		`runner_depth{site="B"} 1`,
 		"# TYPE bus_latency_seconds summary\n",
+		`bus_latency_seconds{site="A",quantile="0.5"}`,
+		`bus_latency_seconds{site="A",quantile="0.9"}`,
+		`bus_latency_seconds{site="A",quantile="0.99"}`,
 		`bus_latency_seconds_count{site="A"} 1`,
 	} {
 		if !strings.Contains(out, want) {

@@ -54,8 +54,14 @@ type HopRecord struct {
 type Report struct {
 	// Site is the reporting site.
 	Site string `json:"site"`
-	// Seq increments per report from this site; the aggregator ignores
-	// duplicates and reordered deliveries by sequence.
+	// Epoch identifies the agent's boot (its first capture instant,
+	// Unix ns): Seq restarts at 1 when a site's agent restarts, and the
+	// epoch changing is how the aggregator tells a restart apart from a
+	// replayed or reordered delivery.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Seq increments per report from this site within one Epoch; the
+	// aggregator ignores duplicates and reordered deliveries by
+	// sequence.
 	Seq uint64 `json:"seq"`
 	// TakenAtNs is when the agent captured the report (Unix ns).
 	TakenAtNs int64 `json:"taken_at_ns"`
